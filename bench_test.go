@@ -1,0 +1,227 @@
+package wsnlink_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the underlying data via internal/experiments),
+// plus ablation benchmarks for the design choices DESIGN.md calls out
+// (event-driven vs Monte-Carlo simulation, model evaluation and MOP solve
+// cost, sweep throughput).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks use a reduced packet count per configuration so
+// the whole suite completes in minutes; `wsnbench -packets 4500` reproduces
+// the campaign-scale statistics.
+
+import (
+	"io"
+	"testing"
+
+	"wsnlink"
+	"wsnlink/internal/experiments"
+	"wsnlink/internal/models"
+	"wsnlink/internal/netsim"
+	"wsnlink/internal/optimize"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// benchOpts keeps per-iteration work bounded.
+func benchOpts() experiments.Options {
+	return experiments.Options{Packets: 150, Seed: 1}
+}
+
+func benchExperiment[T experiments.Renderer](b *testing.B, run func(experiments.Options) (T, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+// --- One benchmark per paper table/figure -----------------------------------
+
+func BenchmarkFig1TradeoffFront(b *testing.B) { benchExperiment(b, experiments.RunTableIV) }
+func BenchmarkFig3PathLoss(b *testing.B)      { benchExperiment(b, experiments.RunFig3) }
+func BenchmarkFig4RSSIDeviation(b *testing.B) { benchExperiment(b, experiments.RunFig4) }
+func BenchmarkFig5NoiseFloor(b *testing.B)    { benchExperiment(b, experiments.RunFig5) }
+func BenchmarkFig6PER(b *testing.B)           { benchExperiment(b, experiments.RunFig6) }
+func BenchmarkFig7EnergyVsPower(b *testing.B) { benchExperiment(b, experiments.RunFig7) }
+func BenchmarkFig8EnergyVsPayload(b *testing.B) {
+	benchExperiment(b, experiments.RunFig8)
+}
+func BenchmarkFig9EnergyModel(b *testing.B)   { benchExperiment(b, experiments.RunFig9) }
+func BenchmarkFig10Goodput(b *testing.B)      { benchExperiment(b, experiments.RunFig10) }
+func BenchmarkFig11NtriesFit(b *testing.B)    { benchExperiment(b, experiments.RunFig11) }
+func BenchmarkFig12RadioLossFit(b *testing.B) { benchExperiment(b, experiments.RunFig12) }
+func BenchmarkFig13MaxGoodput(b *testing.B)   { benchExperiment(b, experiments.RunFig13) }
+func BenchmarkFig15Delay(b *testing.B)        { benchExperiment(b, experiments.RunFig15) }
+func BenchmarkFig16PLR(b *testing.B)          { benchExperiment(b, experiments.RunFig16) }
+func BenchmarkFig17LossTradeoff(b *testing.B) { benchExperiment(b, experiments.RunFig17) }
+func BenchmarkTableII(b *testing.B)           { benchExperiment(b, experiments.RunTableII) }
+func BenchmarkTableIV(b *testing.B)           { benchExperiment(b, experiments.RunTableIV) }
+
+// Extension experiments (the paper's Sec. VIII-D future-work factors).
+
+func BenchmarkExtContention(b *testing.B)   { benchExperiment(b, experiments.RunExtContention) }
+func BenchmarkExtInterference(b *testing.B) { benchExperiment(b, experiments.RunExtInterference) }
+func BenchmarkExtLPL(b *testing.B)          { benchExperiment(b, experiments.RunExtLPL) }
+func BenchmarkExtMobility(b *testing.B)     { benchExperiment(b, experiments.RunExtMobility) }
+
+// --- Ablation and substrate benchmarks --------------------------------------
+
+func benchConfig() stack.Config {
+	return stack.Config{
+		DistanceM:    25,
+		TxPower:      15,
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     30,
+		PktInterval:  0.030,
+		PayloadBytes: 110,
+	}
+}
+
+// BenchmarkSimDES measures the event-driven simulator's per-run cost.
+func BenchmarkSimDES(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, sim.Options{Packets: 1000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimFast measures the Monte-Carlo fast path on the same workload —
+// the ablation DESIGN.md calls out for campaign-scale sweeps.
+func BenchmarkSimFast(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFast(cfg, sim.Options{Packets: 1000, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep16 measures parallel sweep throughput over 16 configurations.
+func BenchmarkSweep16(b *testing.B) {
+	space := stack.Space{
+		DistancesM:    []float64{25, 35},
+		TxPowers:      []wsnlink.PowerLevel{7, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{20, 110},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunSpace(space, sweep.RunOptions{
+			Packets: 200, BaseSeed: uint64(i), Fast: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelEval measures one full four-metric model evaluation.
+func BenchmarkModelEval(b *testing.B) {
+	ev := optimize.NewEvaluator(models.Paper(), 23, 3)
+	cand := optimize.Candidate{
+		TxPower: 31, PayloadBytes: 80, MaxTries: 3,
+		RetryDelay: 0.030, QueueCap: 30, PktInterval: 0.030,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(cand); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMOPSolve measures the Sec. VIII epsilon-constraint solve over the
+// default candidate grid, including grid evaluation.
+func BenchmarkMOPSolve(b *testing.B) {
+	ev := optimize.NewEvaluator(models.Paper(), 23, 3)
+	cands := optimize.DefaultGrid().Candidates()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		evals, err := ev.EvaluateAll(cands)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := optimize.EpsilonConstraint(evals, optimize.MetricGoodput,
+			[]optimize.Constraint{{Metric: optimize.MetricEnergy, Bound: 0.5}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParetoFront measures front extraction over the default grid.
+func BenchmarkParetoFront(b *testing.B) {
+	ev := optimize.NewEvaluator(models.Paper(), 23, 3)
+	evals, err := ev.EvaluateAll(optimize.DefaultGrid().Candidates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms := []optimize.Metric{optimize.MetricEnergy, optimize.MetricGoodput}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if front := optimize.ParetoFront(evals, ms); len(front) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
+// BenchmarkStarSim8 measures the contention simulator with 8 senders.
+func BenchmarkStarSim8(b *testing.B) {
+	var cfgs []stack.Config
+	for i := 0; i < 8; i++ {
+		cfgs = append(cfgs, stack.Config{
+			DistanceM: 5 + float64(i)*4, TxPower: 31, MaxTries: 3,
+			RetryDelay: 0.010, QueueCap: 10, PktInterval: 0.060,
+			PayloadBytes: 50,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.RunStar(cfgs, netsim.Options{
+			PacketsPerNode: 250, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngine measures raw event-engine throughput.
+func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 10000 {
+				if _, err := e.Schedule(0.001, tick); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if _, err := e.Schedule(0, tick); err != nil {
+			b.Fatal(err)
+		}
+		e.RunUntilIdle()
+		if n != 10000 {
+			b.Fatalf("ran %d events", n)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command wsnbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wsnbench -exp fig6              # one experiment
+//	wsnbench -exp all               # every experiment
+//	wsnbench -list                  # list experiment IDs
+//	wsnbench -markdown              # emit the EXPERIMENTS.md report
+//	wsnbench -exp fig10 -svg figs/  # write SVG figures
+//	wsnbench -exp fig10 -packets 2000 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wsnlink/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp      = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		packets  = fs.Int("packets", 400, "packets per configuration (paper: 4500)")
+		seed     = fs.Uint64("seed", 1, "base RNG seed")
+		fullDES  = fs.Bool("des", false, "use the full event-driven simulator instead of the fast path")
+		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		markdown = fs.Bool("markdown", false, "emit the EXPERIMENTS.md paper-vs-measured report")
+		svgDir   = fs.String("svg", "", "also write figures as SVG files into this directory")
+		dataDir  = fs.String("data", "", "also write figure data as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Fprintln(stdout, n)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{
+		Packets: *packets,
+		Seed:    *seed,
+		FullDES: *fullDES,
+		Workers: *workers,
+	}
+	if *markdown {
+		return experiments.WriteMarkdownReport(opts, stdout)
+	}
+	if *svgDir != "" || *dataDir != "" {
+		names := []string{*exp}
+		if *exp == "all" {
+			names = experiments.Names()
+		}
+		svgs, csvs := 0, 0
+		for _, name := range names {
+			if *svgDir != "" {
+				n, err := experiments.WriteSVGs(name, opts, *svgDir)
+				if err != nil {
+					return err
+				}
+				svgs += n
+			}
+			if *dataDir != "" {
+				n, err := experiments.WriteDataCSVs(name, opts, *dataDir)
+				if err != nil {
+					return err
+				}
+				csvs += n
+			}
+		}
+		if *svgDir != "" {
+			fmt.Fprintf(stderr, "wrote %d SVG figures to %s\n", svgs, *svgDir)
+		}
+		if *dataDir != "" {
+			fmt.Fprintf(stderr, "wrote %d CSV data files to %s\n", csvs, *dataDir)
+		}
+		return nil
+	}
+	if *exp == "all" {
+		return experiments.RunAll(opts, stdout)
+	}
+	runner, ok := experiments.Registry()[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	r, err := runner(opts)
+	if err != nil {
+		return err
+	}
+	r.Render(stdout)
+	return nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3", "fig17", "table2", "table4", "ext-lpl"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table II") {
+		t.Errorf("output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "rel.err") {
+		t.Error("comparison table missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &buf, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	err := run([]string{"-exp", "fig13", "-svg", dir}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("SVGs = %d, want 2", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG")
+	}
+	if !strings.Contains(errOut.String(), "wrote 2 SVG figures") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}
+
+func TestRunMarkdownModelOnlySections(t *testing.T) {
+	// The markdown report runs the full harness; keep it small.
+	var out, errOut bytes.Buffer
+	err := run([]string{"-markdown", "-packets", "60"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# EXPERIMENTS", "Fig 3", "Table II", "Table IV", "Known deviations",
+		"Extension — duty-cycled MAC",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-wat"}, &buf, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunDataCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "fig9", "-data", dir}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("CSV files = %d, want 2", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9-0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,") {
+		t.Errorf("CSV header missing: %q", string(data)[:40])
+	}
+	if !strings.Contains(errOut.String(), "wrote 2 CSV data files") {
+		t.Errorf("stderr: %q", errOut.String())
+	}
+}

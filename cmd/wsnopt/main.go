@@ -1,0 +1,232 @@
+// Command wsnopt is the parameter-tuning advisor: given the current link
+// quality, it applies the paper's empirical models and multi-objective
+// optimization to recommend a full multi-layer stack configuration.
+//
+// Usage:
+//
+//	# Maximize goodput on a link with SNR 3 dB at power level 23
+//	wsnopt -snr 3 -ref 23 -primary goodput
+//
+//	# Minimize energy subject to goodput >= 15 kbps and delay <= 50 ms
+//	wsnopt -snr 3 -ref 23 -primary energy -min-goodput 15 -max-delay 50ms
+//
+//	# Print the energy-goodput Pareto front
+//	wsnopt -snr 6 -ref 31 -front
+//
+//	# Use models calibrated from a dataset instead of the paper constants
+//	wsnopt -snr 6 -ref 31 -calibrate dataset.csv -primary goodput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/optimize"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnopt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		snr        = fs.Float64("snr", 10, "current link SNR in dB at the reference power")
+		ref        = fs.Int("ref", 31, "reference power level the SNR was measured at")
+		primary    = fs.String("primary", "goodput", "objective: energy|goodput|delay|loss")
+		maxEnergy  = fs.Float64("max-energy", 0, "constraint: U_eng <= this (uJ/bit), 0 = none")
+		minGoodput = fs.Float64("min-goodput", 0, "constraint: goodput >= this (kbps), 0 = none")
+		maxDelay   = fs.Duration("max-delay", 0, "constraint: delay <= this, 0 = none")
+		maxLoss    = fs.Float64("max-loss", 0, "constraint: PLR <= this, 0 = none")
+		interval   = fs.Duration("interval", 0, "application packet interval (0 = bulk/saturated)")
+		front      = fs.Bool("front", false, "print the energy-goodput Pareto front")
+		weights    = fs.String("weights", "", "weighted-sum mode, e.g. 'energy=1,goodput=2' (overrides -primary)")
+		explain    = fs.Bool("explain", false, "print the per-parameter rationale for the recommendation")
+		calibrate  = fs.String("calibrate", "", "calibrate models from this dataset CSV instead of paper constants")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := models.Paper()
+	if *calibrate != "" {
+		f, err := os.Open(*calibrate)
+		if err != nil {
+			return err
+		}
+		rows, err := sweep.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cal, err := models.Calibrate(sweep.ToObservations(rows))
+		if err != nil {
+			return fmt.Errorf("calibrate: %w", err)
+		}
+		suite = cal.Suite
+		fmt.Fprintf(stdout, "calibrated models: PER(a=%.4g,b=%.3g) Ntries(a=%.4g,b=%.3g) Radio(a=%.4g,b=%.3g)\n",
+			cal.PERFit.Alpha, cal.PERFit.Beta,
+			cal.NtriesFit.Alpha, cal.NtriesFit.Beta,
+			cal.RadioFit.Alpha, cal.RadioFit.Beta)
+	}
+
+	refLevel := phy.PowerLevel(*ref)
+	if !refLevel.Valid() {
+		return fmt.Errorf("reference power %d outside [3,31]", *ref)
+	}
+	ev := optimize.NewEvaluator(suite, refLevel, *snr)
+	fmt.Fprintf(stdout, "link: SNR %.1f dB at %v → zone %v (grey zone: %v)\n",
+		*snr, refLevel, models.ClassifySNR(*snr), models.InGreyZone(*snr))
+
+	grid := optimize.DefaultGrid()
+	if *interval > 0 {
+		grid.PktIntervals = []float64{interval.Seconds()}
+	}
+	evals, err := ev.EvaluateAll(grid.Candidates())
+	if err != nil {
+		return err
+	}
+
+	if *front {
+		pf := optimize.ParetoFront(evals,
+			[]optimize.Metric{optimize.MetricEnergy, optimize.MetricGoodput})
+		fmt.Fprintf(stdout, "energy-goodput Pareto front (%d points):\n", len(pf))
+		for _, e := range pf {
+			fmt.Fprintf(stdout, "  U=%.3f uJ/bit  G=%.2f kbps  %v\n",
+				e.UEngMicroJ, e.GoodputKbps, e.Candidate)
+		}
+		return nil
+	}
+
+	if *weights != "" {
+		w, err := parseWeights(*weights)
+		if err != nil {
+			return err
+		}
+		best, err := optimize.WeightedBest(evals, w)
+		if err != nil {
+			return fmt.Errorf("weighted optimize: %w", err)
+		}
+		fmt.Fprintf(stdout, "\nrecommended configuration (weighted: %s):\n  %v\n",
+			*weights, best.Candidate)
+		printPrediction(stdout, best)
+		printExplanation(stdout, ev, best.Candidate, *explain)
+		return nil
+	}
+
+	var prim optimize.Metric
+	switch *primary {
+	case "energy":
+		prim = optimize.MetricEnergy
+	case "goodput":
+		prim = optimize.MetricGoodput
+	case "delay":
+		prim = optimize.MetricDelay
+	case "loss":
+		prim = optimize.MetricLoss
+	default:
+		return fmt.Errorf("unknown primary objective %q", *primary)
+	}
+
+	var constraints []optimize.Constraint
+	if *maxEnergy > 0 {
+		constraints = append(constraints,
+			optimize.Constraint{Metric: optimize.MetricEnergy, Bound: *maxEnergy})
+	}
+	if *minGoodput > 0 {
+		constraints = append(constraints,
+			optimize.Constraint{Metric: optimize.MetricGoodput, Bound: *minGoodput})
+	}
+	if *maxDelay > 0 {
+		constraints = append(constraints,
+			optimize.Constraint{Metric: optimize.MetricDelay, Bound: maxDelay.Seconds()})
+	}
+	if *maxLoss > 0 {
+		constraints = append(constraints,
+			optimize.Constraint{Metric: optimize.MetricLoss, Bound: *maxLoss})
+	}
+
+	best, err := optimize.EpsilonConstraint(evals, prim, constraints)
+	if err != nil {
+		return fmt.Errorf("optimize %v under %v: %w", prim, constraints, err)
+	}
+
+	fmt.Fprintf(stdout, "\nrecommended configuration (%v optimal", prim)
+	for _, c := range constraints {
+		fmt.Fprintf(stdout, ", %v", c)
+	}
+	fmt.Fprintf(stdout, "):\n  %v\n", best.Candidate)
+	printPrediction(stdout, best)
+	printExplanation(stdout, ev, best.Candidate, *explain)
+	return nil
+}
+
+// printExplanation renders the per-parameter rationale when requested.
+func printExplanation(stdout io.Writer, ev optimize.Evaluator, c optimize.Candidate, on bool) {
+	if !on {
+		return
+	}
+	lines, err := ev.Explain(c)
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(stdout, "\nwhy this configuration:")
+	for _, line := range lines {
+		fmt.Fprintf(stdout, "  - %s\n", line)
+	}
+}
+
+// printPrediction renders the model's view of a chosen candidate.
+func printPrediction(stdout io.Writer, best optimize.Evaluation) {
+	fmt.Fprintf(stdout, "predicted performance at SNR %.1f dB:\n", best.SNR)
+	fmt.Fprintf(stdout, "  energy:   %.3f uJ/bit\n", best.UEngMicroJ)
+	fmt.Fprintf(stdout, "  goodput:  %.2f kbps\n", best.GoodputKbps)
+	fmt.Fprintf(stdout, "  delay:    %.2f ms\n", best.DelayS*1000)
+	fmt.Fprintf(stdout, "  loss:     %.4f (radio %.4f, queue %.4f)\n",
+		best.PLR, best.PLRRadio, best.PLRQueue)
+	if !math.IsInf(best.Utilization, 1) {
+		fmt.Fprintf(stdout, "  rho:      %.3f\n", best.Utilization)
+	}
+}
+
+// parseWeights parses "metric=weight,metric=weight" into optimizer weights.
+func parseWeights(spec string) (optimize.Weights, error) {
+	w := optimize.Weights{}
+	for _, tok := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(tok), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad weight %q (want metric=value)", tok)
+		}
+		var m optimize.Metric
+		switch parts[0] {
+		case "energy":
+			m = optimize.MetricEnergy
+		case "goodput":
+			m = optimize.MetricGoodput
+		case "delay":
+			m = optimize.MetricDelay
+		case "loss":
+			m = optimize.MetricLoss
+		default:
+			return nil, fmt.Errorf("unknown metric %q", parts[0])
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad weight value %q: %w", parts[1], err)
+		}
+		w[m] = v
+	}
+	return w, nil
+}

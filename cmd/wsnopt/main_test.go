@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+func TestRunRecommendation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-snr", "3", "-ref", "23", "-primary", "goodput", "-max-energy", "0.45",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"grey zone: true", "recommended configuration",
+		"goodput optimal", "energy <= 0.45", "predicted performance",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunParetoFront(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-snr", "6", "-ref", "31", "-front"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Pareto front") {
+		t.Error("front output missing")
+	}
+	if strings.Count(out.String(), "uJ/bit") < 3 {
+		t.Error("front should list multiple points")
+	}
+}
+
+func TestRunConstraintsFlow(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-snr", "20", "-ref", "31", "-primary", "energy",
+		"-min-goodput", "10", "-max-delay", "50ms", "-max-loss", "0.05",
+		"-interval", "100ms",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rho:") {
+		t.Error("interval run should report utilization")
+	}
+}
+
+func TestRunInfeasible(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-snr", "3", "-ref", "23", "-primary", "energy", "-min-goodput", "1000",
+	}, &buf, &buf)
+	if err == nil {
+		t.Error("impossible goodput constraint should error")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ref", "99"}, &buf, &buf); err == nil {
+		t.Error("bad reference power should error")
+	}
+	if err := run([]string{"-primary", "happiness"}, &buf, &buf); err == nil {
+		t.Error("unknown objective should error")
+	}
+	if err := run([]string{"-calibrate", "/no/such/file.csv"}, &buf, &buf); err == nil {
+		t.Error("missing calibration file should error")
+	}
+}
+
+func TestRunWithCalibration(t *testing.T) {
+	// Build a small dataset, then advise from calibrated models.
+	space := stack.Space{
+		DistancesM:    []float64{25, 35},
+		TxPowers:      []phy.PowerLevel{7, 15, 23, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{20, 65, 110},
+	}
+	rows, err := sweep.RunSpace(space, sweep.RunOptions{Packets: 400, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteCSV(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errOut bytes.Buffer
+	err = run([]string{"-snr", "6", "-ref", "31", "-calibrate", path}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "calibrated models:") {
+		t.Error("calibration banner missing")
+	}
+	if !strings.Contains(out.String(), "recommended configuration") {
+		t.Error("no recommendation after calibration")
+	}
+}
+
+func TestRunWeightedMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-snr", "3", "-ref", "23", "-weights", "energy=1,goodput=2",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "weighted: energy=1,goodput=2") {
+		t.Errorf("weighted banner missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "predicted performance") {
+		t.Error("prediction missing")
+	}
+}
+
+func TestRunWeightedModeBadSpecs(t *testing.T) {
+	var buf bytes.Buffer
+	for _, spec := range []string{"energy", "vibes=1", "energy=abc", "energy=-1"} {
+		if err := run([]string{"-weights", spec}, &buf, &buf); err == nil {
+			t.Errorf("weights %q should error", spec)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{
+		"-snr", "3", "-ref", "23", "-primary", "goodput",
+		"-max-energy", "0.45", "-explain",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"why this configuration:", "grey zone", "Sec."} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+}

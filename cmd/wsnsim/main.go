@@ -1,0 +1,100 @@
+// Command wsnsim simulates one stack configuration on the hallway link and
+// prints the aggregate metric report (optionally the per-packet log), the
+// equivalent of running a single experiment of the paper's campaign.
+//
+// Usage:
+//
+//	wsnsim -d 35 -power 11 -tries 3 -retry 30ms -queue 30 -interval 30ms -payload 110
+//	wsnsim -d 35 -power 7 -packets 4500 -log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dist     = fs.Float64("d", 15, "distance in meters")
+		power    = fs.Int("power", 31, "CC2420 power level (3..31)")
+		tries    = fs.Int("tries", 3, "N_maxTries")
+		retry    = fs.Duration("retry", 30*time.Millisecond, "D_retry")
+		queueCap = fs.Int("queue", 30, "Q_max")
+		interval = fs.Duration("interval", 30*time.Millisecond, "T_pkt (0 = saturated)")
+		payload  = fs.Int("payload", 110, "payload size l_D in bytes")
+		packets  = fs.Int("packets", 4500, "packets to send")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
+		fast     = fs.Bool("fast", false, "use the Monte-Carlo fast path")
+		logPkts  = fs.Bool("log", false, "print the per-packet log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := stack.Config{
+		DistanceM:    *dist,
+		TxPower:      phy.PowerLevel(*power),
+		MaxTries:     *tries,
+		RetryDelay:   retry.Seconds(),
+		QueueCap:     *queueCap,
+		PktInterval:  interval.Seconds(),
+		PayloadBytes: *payload,
+	}
+	opts := sim.Options{Packets: *packets, Seed: *seed, RecordPackets: *logPkts}
+	var (
+		res sim.Result
+		err error
+	)
+	if *fast {
+		res, err = sim.RunFast(cfg, opts)
+	} else {
+		res, err = sim.Run(cfg, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *logPkts {
+		fmt.Fprintln(stdout, "# id gen_s start_s end_s tries delivered acked qdrop rssi snr lqi qlen")
+		for _, r := range res.Records {
+			fmt.Fprintf(stdout, "%d %.6f %.6f %.6f %d %t %t %t %.0f %.1f %d %d\n",
+				r.ID, r.GenTime, r.ServiceStart, r.ServiceEnd, r.Tries,
+				r.Delivered, r.Acked, r.QueueDrop, r.RSSI, r.SNR, r.LQI, r.QueueLen)
+		}
+	}
+
+	rep := metrics.FromResult(res)
+	fmt.Fprintf(stdout, "config:        %v\n", cfg)
+	fmt.Fprintf(stdout, "duration:      %.2f s (%d packets)\n", res.Duration, rep.Generated)
+	fmt.Fprintf(stdout, "link quality:  SNR %.1f±%.1f dB, RSSI %.1f±%.1f dBm\n",
+		rep.MeanSNR, rep.SDSNR, rep.MeanRSSI, rep.SDRSSI)
+	fmt.Fprintf(stdout, "PER:           %.4f (mean tries %.2f)\n", rep.PER, rep.MeanTries)
+	fmt.Fprintf(stdout, "energy:        %.4f uJ/bit (efficiency %.2f bit/uJ)\n",
+		rep.EnergyPerBitMicroJ, rep.EnergyEfficiency)
+	fmt.Fprintf(stdout, "goodput:       %.2f kbps\n", rep.GoodputKbps)
+	fmt.Fprintf(stdout, "delay:         mean %.2f ms (service %.2f ms, queueing %.2f ms)\n",
+		rep.MeanDelay*1000, rep.MeanServiceTime*1000, rep.MeanQueueDelay*1000)
+	fmt.Fprintf(stdout, "loss:          PLR %.4f (queue %.4f, radio %.4f)\n",
+		rep.PLR, rep.PLRQueue, rep.PLRRadio)
+	if rep.Utilization > 0 {
+		fmt.Fprintf(stdout, "utilization:   rho = %.3f\n", rep.Utilization)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-packets", "200", "-d", "20"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"config:", "d=20m", "PER:", "goodput:", "delay:", "loss:", "utilization:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunPacketLog(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-packets", "50", "-log"}, &out, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&out)
+	lines := 0
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "#") || strings.Contains(sc.Text(), ":") {
+			continue
+		}
+		lines++
+	}
+	if lines != 50 {
+		t.Errorf("per-packet lines = %d, want 50", lines)
+	}
+}
+
+func TestRunFastPath(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-packets", "100", "-fast"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "goodput:") {
+		t.Error("fast path produced no report")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-payload", "500"}, &out, &out); err == nil {
+		t.Error("oversized payload should error")
+	}
+	if err := run([]string{"-power", "99"}, &out, &out); err == nil {
+		t.Error("bad power level should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &out); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	render := func() string {
+		var out bytes.Buffer
+		if err := run([]string{"-packets", "150", "-seed", "9"}, &out, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Error("same seed produced different output")
+	}
+}

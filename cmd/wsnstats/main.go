@@ -1,0 +1,219 @@
+// Command wsnstats analyses a campaign dataset (produced by wsnsweep):
+// per-zone aggregates across the paper's joint-effect zones, the best
+// configurations per metric, and a validation of the paper's headline
+// guidelines against the data.
+//
+// Usage:
+//
+//	wsnsweep -out dataset.csv -distances 35 -packets 500
+//	wsnstats -in dataset.csv
+//	wsnstats -in dataset.csv -top 5 -metric goodput
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/stats"
+	"wsnlink/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnstats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in     = fs.String("in", "", "dataset CSV (required)")
+		top    = fs.Int("top", 3, "how many top configurations to list")
+		metric = fs.String("metric", "goodput", "ranking metric: goodput|energy|delay|loss")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in dataset")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("dataset is empty")
+	}
+	fmt.Fprintf(stdout, "dataset: %d configurations, %d packets each\n\n",
+		len(rows), rows[0].Packets)
+
+	if err := zoneSummary(stdout, rows); err != nil {
+		return err
+	}
+	if err := topConfigs(stdout, rows, *metric, *top); err != nil {
+		return err
+	}
+	guidelineChecks(stdout, rows)
+	return nil
+}
+
+// zoneSummary aggregates the four metrics per joint-effect zone.
+func zoneSummary(w io.Writer, rows []sweep.Row) error {
+	type agg struct {
+		goodput, energy, plr, delivery []float64
+		n                              int
+	}
+	zones := make(map[models.Zone]*agg)
+	for _, r := range rows {
+		z := models.ClassifySNR(r.Report.MeanSNR)
+		a := zones[z]
+		if a == nil {
+			a = &agg{}
+			zones[z] = a
+		}
+		a.n++
+		a.goodput = append(a.goodput, r.Report.GoodputKbps)
+		a.plr = append(a.plr, r.Report.PLR)
+		a.delivery = append(a.delivery, r.Report.DeliveryRatio())
+		if !math.IsInf(r.Report.EnergyPerBitMicroJ, 1) && r.Report.EnergyPerBitMicroJ > 0 {
+			a.energy = append(a.energy, r.Report.EnergyPerBitMicroJ)
+		}
+	}
+	fmt.Fprintln(w, "per-zone summary (zones of Sec. III-B):")
+	fmt.Fprintln(w, "  zone            configs  goodput(kbps)  U_eng(uJ/b)  PLR     delivery")
+	for z := models.ZoneDead; z <= models.ZoneLowImpact; z++ {
+		a := zones[z]
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-14s  %7d  %13.2f  %11.3f  %.4f  %.4f\n",
+			z, a.n, stats.Mean(a.goodput), stats.Mean(a.energy),
+			stats.Mean(a.plr), stats.Mean(a.delivery))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// topConfigs ranks configurations by the chosen metric.
+func topConfigs(w io.Writer, rows []sweep.Row, metric string, top int) error {
+	type scored struct {
+		row   sweep.Row
+		score float64
+	}
+	var better func(a, b float64) bool
+	var value func(sweep.Row) float64
+	switch metric {
+	case "goodput":
+		value = func(r sweep.Row) float64 { return r.Report.GoodputKbps }
+		better = func(a, b float64) bool { return a > b }
+	case "energy":
+		value = func(r sweep.Row) float64 { return r.Report.EnergyPerBitMicroJ }
+		better = func(a, b float64) bool { return a < b }
+	case "delay":
+		value = func(r sweep.Row) float64 { return r.Report.MeanDelay }
+		better = func(a, b float64) bool { return a < b }
+	case "loss":
+		value = func(r sweep.Row) float64 { return r.Report.PLR }
+		better = func(a, b float64) bool { return a < b }
+	default:
+		return fmt.Errorf("unknown metric %q", metric)
+	}
+	var list []scored
+	for _, r := range rows {
+		v := value(r)
+		if math.IsInf(v, 0) || math.IsNaN(v) || v == 0 && metric != "loss" {
+			continue
+		}
+		// Rank only configurations that actually delivered something.
+		if r.Report.Delivered == 0 {
+			continue
+		}
+		list = append(list, scored{r, v})
+	}
+	sort.Slice(list, func(i, j int) bool { return better(list[i].score, list[j].score) })
+	if top > len(list) {
+		top = len(list)
+	}
+	fmt.Fprintf(w, "top %d configurations by %s:\n", top, metric)
+	for i := 0; i < top; i++ {
+		r := list[i]
+		fmt.Fprintf(w, "  %2d. %v  →  %.4g (SNR %.1f dB)\n",
+			i+1, r.row.Config, r.score, r.row.Report.MeanSNR)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// guidelineChecks validates the paper's headline guidelines on the data.
+func guidelineChecks(w io.Writer, rows []sweep.Row) {
+	fmt.Fprintln(w, "guideline checks:")
+
+	// 1. ρ < 1 configurations have far smaller delay (Sec. VI-B).
+	var stableDelay, unstableDelay []float64
+	for _, r := range rows {
+		if r.Report.MeanDelay <= 0 || r.Report.Utilization <= 0 {
+			continue
+		}
+		if r.Report.Utilization < 1 {
+			stableDelay = append(stableDelay, r.Report.MeanDelay)
+		} else {
+			unstableDelay = append(unstableDelay, r.Report.MeanDelay)
+		}
+	}
+	if len(stableDelay) > 0 && len(unstableDelay) > 0 {
+		ratio := stats.Mean(unstableDelay) / stats.Mean(stableDelay)
+		fmt.Fprintf(w, "  [rho<1 guideline] mean delay: unstable/stable = %.1fx %s\n",
+			ratio, checkmark(ratio > 3))
+	}
+
+	// 2. Low-impact-zone configurations lose little (Sec. III-B / VII).
+	var lowLoss []float64
+	for _, r := range rows {
+		if models.ClassifySNR(r.Report.MeanSNR) == models.ZoneLowImpact &&
+			r.Report.Utilization < 1 {
+			lowLoss = append(lowLoss, r.Report.PLRRadio)
+		}
+	}
+	if len(lowLoss) > 0 {
+		m := stats.Mean(lowLoss)
+		fmt.Fprintf(w, "  [low-impact zone]  mean radio loss = %.4f %s\n",
+			m, checkmark(m < 0.1))
+	}
+
+	// 3. Retransmissions cut radio loss in stable conditions (Sec. VII-B).
+	var n1, n8 []float64
+	for _, r := range rows {
+		if r.Report.Utilization >= 1 || r.Report.MeanSNR < 5 || r.Report.MeanSNR > 15 {
+			continue
+		}
+		switch r.Config.MaxTries {
+		case 1:
+			n1 = append(n1, r.Report.PLRRadio)
+		case 8:
+			n8 = append(n8, r.Report.PLRRadio)
+		}
+	}
+	if len(n1) > 0 && len(n8) > 0 {
+		fmt.Fprintf(w, "  [retx guideline]   grey-zone radio loss: N=1 %.4f vs N=8 %.4f %s\n",
+			stats.Mean(n1), stats.Mean(n8), checkmark(stats.Mean(n8) < stats.Mean(n1)))
+	}
+}
+
+func checkmark(ok bool) string {
+	if ok {
+		return "[ok]"
+	}
+	return "[VIOLATED]"
+}

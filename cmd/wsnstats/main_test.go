@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	space := stack.Space{
+		DistancesM:    []float64{15, 35},
+		TxPowers:      phy.StandardPowerLevels,
+		MaxTries:      []int{1, 8},
+		RetryDelays:   []float64{0.03},
+		QueueCaps:     []int{30},
+		PktIntervals:  []float64{0.030, 0.250},
+		PayloadsBytes: []int{20, 110},
+	}
+	rows, err := sweep.RunSpace(space, sweep.RunOptions{Packets: 300, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := sweep.WriteCSV(f, rows); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeDataset(t)
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-in", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"per-zone summary", "top 3 configurations by goodput",
+		"guideline checks", "[rho<1 guideline]", "[retx guideline]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "[VIOLATED]") {
+		t.Errorf("a paper guideline is violated by the dataset:\n%s", text)
+	}
+}
+
+func TestRunMetricRankings(t *testing.T) {
+	path := writeDataset(t)
+	for _, metric := range []string{"goodput", "energy", "delay", "loss"} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-in", path, "-metric", metric, "-top", "2"},
+			&out, &errOut); err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		if !strings.Contains(out.String(), "top 2 configurations by "+metric) {
+			t.Errorf("%s ranking missing", metric)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf, &buf); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run([]string{"-in", "/no/such.csv"}, &buf, &buf); err == nil {
+		t.Error("missing file should error")
+	}
+	path := writeDataset(t)
+	if err := run([]string{"-in", path, "-metric", "vibes"}, &buf, &buf); err == nil {
+		t.Error("unknown metric should error")
+	}
+}

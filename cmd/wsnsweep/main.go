@@ -1,0 +1,100 @@
+// Command wsnsweep regenerates the measurement campaign dataset: it sweeps
+// the Table I parameter space (or a scaled subset) and writes one aggregated
+// CSV row per configuration — the synthetic counterpart of the public
+// dataset the paper released.
+//
+// Usage:
+//
+//	wsnsweep -out dataset.csv                   # scaled default (500 pkts/config)
+//	wsnsweep -out full.csv -packets 4500        # paper-scale statistics
+//	wsnsweep -out quick.csv -distances 35 -progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "dataset.csv", "output CSV path ('-' for stdout)")
+		packets   = fs.Int("packets", 500, "packets per configuration (paper: 4500)")
+		seed      = fs.Uint64("seed", 1, "base RNG seed")
+		fullDES   = fs.Bool("des", false, "use the full event-driven simulator")
+		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		progress  = fs.Bool("progress", false, "print progress to stderr")
+		distances = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	space := stack.DefaultSpace()
+	if *distances != "" {
+		var ds []float64
+		for _, tok := range strings.Split(*distances, ",") {
+			d, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad distance %q: %w", tok, err)
+			}
+			ds = append(ds, d)
+		}
+		space.DistancesM = ds
+	}
+
+	opts := sweep.RunOptions{
+		Packets:  *packets,
+		BaseSeed: *seed,
+		Fast:     !*fullDES,
+		Workers:  *workers,
+	}
+	if *progress {
+		total := space.Size()
+		opts.Progress = func(done, _ int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(stderr, "\r%d/%d configurations", done, total)
+				if done == total {
+					fmt.Fprintln(stderr)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(stderr, "sweeping %d configurations (%d per distance) x %d packets\n",
+		space.Size(), space.SettingsPerDistance(), *packets)
+	rows, err := sweep.RunSpace(space, opts)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := sweep.WriteCSV(w, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d rows to %s\n", len(rows), *out)
+	return nil
+}

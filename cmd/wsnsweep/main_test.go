@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/sweep"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	// One distance keeps the sweep at 7680 configs — still too many for a
+	// unit test at default packet counts, so use the smallest scale.
+	// Instead, verify via stdout mode with a single distance and tiny
+	// packet count, checking row count and CSV parseability.
+	out := filepath.Join(t.TempDir(), "ds.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-out", out, "-distances", "35", "-packets", "5",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := sweep.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7680 {
+		t.Errorf("rows = %d, want 7680 (one distance)", len(rows))
+	}
+	if !strings.Contains(stderr.String(), "wrote 7680 rows") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-out", "-", "-distances", "35", "-packets", "2"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sweep.ReadCSV(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7680 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestRunBadDistance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-distances", "abc"}, &buf, &buf); err == nil {
+		t.Error("bad distance should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

@@ -1,0 +1,125 @@
+// Command wsntrace analyses a per-packet trace: loss-burst statistics, a
+// Gilbert–Elliott loss-model fit, conditional delivery probabilities and
+// per-window link stability. Traces come from `wsntrace -generate` or any
+// CSV in the trace schema.
+//
+// Usage:
+//
+//	wsntrace -generate -d 35 -power 7 -packets 4500 -out link.trace
+//	wsntrace -in link.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsntrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsntrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		generate = fs.Bool("generate", false, "simulate a link and write its trace")
+		in       = fs.String("in", "", "trace CSV to analyse")
+		out      = fs.String("out", "link.trace", "output path for -generate")
+		dist     = fs.Float64("d", 35, "distance in meters (-generate)")
+		power    = fs.Int("power", 7, "power level (-generate)")
+		payload  = fs.Int("payload", 110, "payload bytes (-generate)")
+		tries    = fs.Int("tries", 3, "N_maxTries (-generate)")
+		packets  = fs.Int("packets", 4500, "packets (-generate)")
+		seed     = fs.Uint64("seed", 1, "RNG seed (-generate)")
+		window   = fs.Int("window", 200, "stability window size in packets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *generate {
+		cfg := stack.Config{
+			DistanceM:    *dist,
+			TxPower:      phy.PowerLevel(*power),
+			MaxTries:     *tries,
+			RetryDelay:   0.030,
+			QueueCap:     30,
+			PktInterval:  0.050,
+			PayloadBytes: *payload,
+		}
+		res, err := sim.Run(cfg, sim.Options{
+			Packets: *packets, Seed: *seed, RecordPackets: true,
+		})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, res.Records); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d records to %s (%v)\n", len(res.Records), *out, cfg)
+		if *in == "" {
+			*in = *out
+		}
+	}
+	if *in == "" {
+		return fmt.Errorf("nothing to do: pass -in or -generate")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+
+	runs, err := trace.AnalyzeLossRuns(records)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\ntrace: %d packets, %d lost (%.2f%%)\n",
+		runs.Total, runs.Losses, 100*float64(runs.Losses)/float64(runs.Total))
+	fmt.Fprintf(stdout, "loss bursts: max %d, mean %.2f\n", runs.MaxRun, runs.MeanRun)
+
+	ge, err := trace.FitGilbertElliott(records)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "Gilbert-Elliott fit: P(G->B)=%.4f P(B->G)=%.4f stationary loss %.4f\n",
+		ge.PGoodToBad, ge.PBadToGood, ge.StationaryLoss())
+
+	afterS, afterL, err := trace.ConditionalDelivery(records)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "conditional delivery: P(D|D)=%.4f P(D|L)=%.4f\n", afterS, afterL)
+
+	ws, err := trace.Windows(records, *window)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nstability windows (%d packets each):\n", *window)
+	fmt.Fprintln(stdout, "  start_id  delivery  mean_snr  mean_tries")
+	for _, wd := range ws {
+		fmt.Fprintf(stdout, "  %8d  %8.3f  %8.1f  %10.2f\n",
+			wd.StartID, wd.DeliveryRatio, wd.MeanSNR, wd.MeanTries)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGenerateAndAnalyse(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "link.trace")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-generate", "-d", "35", "-power", "7", "-packets", "600", "-out", out,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := stdout.String()
+	for _, want := range []string{
+		"wrote 600 records", "loss bursts", "Gilbert-Elliott fit",
+		"conditional delivery", "stability windows",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunAnalyseExisting(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-generate", "-packets", "200", "-out", out}, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-in", out, "-window", "50"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "trace: 200 packets") {
+		t.Errorf("analysis output: %s", stdout.String())
+	}
+	// Four windows of 50 packets.
+	if got := strings.Count(stdout.String(), "\n  "); got < 4 {
+		t.Errorf("window rows = %d", got)
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf, &buf); err == nil {
+		t.Error("no -in and no -generate should error")
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", "/no/such/trace.csv"}, &buf, &buf); err == nil {
+		t.Error("missing input should error")
+	}
+}
+
+func TestRunBadGenerateConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-generate", "-payload", "999"}, &buf, &buf); err == nil {
+		t.Error("invalid payload should error")
+	}
+}

@@ -1,0 +1,88 @@
+package wsnlink_test
+
+import (
+	"fmt"
+
+	"wsnlink"
+)
+
+// ExampleSimulate runs one configuration of the paper's parameter space and
+// reports the four performance metrics.
+func ExampleSimulate() {
+	cfg := wsnlink.Config{
+		DistanceM:    25,
+		TxPower:      15,
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     30,
+		PktInterval:  0.030,
+		PayloadBytes: 110,
+	}
+	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{Packets: 4500, Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep := wsnlink.Measure(res)
+	fmt.Printf("delivered %d of %d packets\n", rep.Delivered, rep.Generated)
+	fmt.Printf("zone: %v\n", wsnlink.ClassifySNR(rep.MeanSNR))
+	// Output:
+	// delivered 4500 of 4500 packets
+	// zone: low-impact
+}
+
+// ExamplePaperModels evaluates the paper's empirical models (Table III) at
+// the Table II operating point.
+func ExamplePaperModels() {
+	m := wsnlink.PaperModels()
+	// Table II, SNR 20 dB row: l_D = 110 B, D_retry = 30 ms, T_pkt = 30 ms.
+	ts := m.Service.Expected(110, 20, 0.030)
+	rho := m.Service.Utilization(110, 20, 0.030, 0.030)
+	fmt.Printf("T_service = %.2f ms, rho = %.3f\n", ts*1000, rho)
+	// Output:
+	// T_service = 21.39 ms, rho = 0.713
+}
+
+// ExampleEpsilonConstraint reproduces the case-study optimization: maximize
+// goodput on a grey-zone link subject to an energy budget.
+func ExampleEpsilonConstraint() {
+	ev := wsnlink.NewEvaluator(wsnlink.PaperModels(), 23, 3)
+	evals, err := ev.EvaluateAll(wsnlink.DefaultGrid().Candidates())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	best, err := wsnlink.EpsilonConstraint(evals, wsnlink.ObjectiveGoodput,
+		[]wsnlink.Constraint{{Metric: wsnlink.ObjectiveEnergy, Bound: 0.45}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(best.Candidate)
+	// Output:
+	// Ptx=31 lD=80B N=1 Dretry=0ms Qmax=1 Tpkt=0ms
+}
+
+// ExampleFitGilbertElliott analyses the burstiness of a simulated trace.
+func ExampleFitGilbertElliott() {
+	cfg := wsnlink.Config{
+		DistanceM: 35, TxPower: 7, MaxTries: 1, QueueCap: 1,
+		PktInterval: 0.05, PayloadBytes: 110,
+	}
+	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{
+		Packets: 2000, Seed: 3, RecordPackets: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	model, err := wsnlink.FitGilbertElliott(res.Records)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("stationary loss within 5%% of empirical: %v\n",
+		model.StationaryLoss() > 0)
+	// Output:
+	// stationary loss within 5% of empirical: true
+}

@@ -1,0 +1,110 @@
+// Bulktransfer reproduces the paper's Sec. VIII-C case study end to end: an
+// indoor sensor must push bulk data to a base station in a short time slot,
+// so goodput matters most, with energy minimised.
+//
+// The link is in the grey zone (SNR 3 dB at power level 23). The example
+// compares the single-parameter tuning guidelines from the literature
+// ([11] raise power, [6] retransmit, [1] shrink/grow the payload) with the
+// joint multi-layer optimization of this library — first on the empirical
+// models (the paper's Table IV procedure) and then *validated in
+// simulation* on a matching weak channel.
+//
+// Run with:
+//
+//	go run ./examples/bulktransfer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/models"
+	"wsnlink/internal/optimize"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ev := optimize.NewEvaluator(models.Paper(), 23, 3)
+
+	type method struct {
+		name string
+		cand optimize.Candidate
+	}
+	methods := []method{
+		{"[11]-Tuning power ", optimize.Candidate{TxPower: 31, PayloadBytes: 114, MaxTries: 1, QueueCap: 1}},
+		{"[6]-Tuning times  ", optimize.Candidate{TxPower: 23, PayloadBytes: 114, MaxTries: 3, QueueCap: 1}},
+		{"[1]-Minimal lD    ", optimize.Candidate{TxPower: 23, PayloadBytes: 5, MaxTries: 1, QueueCap: 1}},
+		{"[1]-Maximum lD    ", optimize.Candidate{TxPower: 25, PayloadBytes: 60, MaxTries: 1, QueueCap: 1}},
+	}
+
+	// Joint optimization: maximize goodput with energy no worse than the
+	// best single-parameter method (the paper's MOP of Sec. VIII-B).
+	bestSingleEnergy := -1.0
+	for _, m := range methods {
+		e, err := ev.Evaluate(m.cand)
+		if err != nil {
+			return err
+		}
+		if bestSingleEnergy < 0 || e.UEngMicroJ < bestSingleEnergy {
+			bestSingleEnergy = e.UEngMicroJ
+		}
+	}
+	evals, err := ev.EvaluateAll(optimize.DefaultGrid().Candidates())
+	if err != nil {
+		return err
+	}
+	joint, err := optimize.EpsilonConstraint(evals, optimize.MetricGoodput,
+		[]optimize.Constraint{{Metric: optimize.MetricEnergy, Bound: bestSingleEnergy * 1.10}})
+	if err != nil {
+		return err
+	}
+	methods = append(methods, method{"Joint (our MOP)   ", joint.Candidate})
+
+	// Simulation validation: a 35 m link on an obstructed channel whose
+	// SNR at P_tx 23 is 3 dB. Solve the reference loss so the planning
+	// SNR matches: PL(35) = -3 + 95 - 3 = 89 dB.
+	ch := channel.DefaultParams()
+	ch.RefLossDB = 89 - 10*ch.PathLossExponent*math.Log10(35)
+	ch.ShadowingSigmaDB = 0 // the case study pins the link quality
+	fmt.Printf("case-study channel: PL(35m) = %.1f dB, SNR at Ptx=23: %.1f dB\n\n",
+		ch.PathLossDB(35), ch.MeanSNR(phy.PowerLevel(23).DBm(), 35))
+
+	fmt.Println("method              Ptx  lD   N   model G/U          simulated G/U")
+	for _, m := range methods {
+		e, err := ev.Evaluate(m.cand)
+		if err != nil {
+			return err
+		}
+		cfg := stack.Config{
+			DistanceM:    35,
+			TxPower:      m.cand.TxPower,
+			MaxTries:     m.cand.MaxTries,
+			RetryDelay:   m.cand.RetryDelay,
+			QueueCap:     m.cand.QueueCap,
+			PktInterval:  0, // bulk transfer: saturated sender
+			PayloadBytes: m.cand.PayloadBytes,
+		}
+		res, err := sim.Run(cfg, sim.Options{Packets: 3000, Seed: 99, Channel: &ch})
+		if err != nil {
+			return err
+		}
+		rep := metrics.FromResult(res)
+		fmt.Printf("%s %3d %4d %3d   %6.2f kbps %5.3f uJ/b   %6.2f kbps %5.3f uJ/b\n",
+			m.name, int(m.cand.TxPower), m.cand.PayloadBytes, m.cand.MaxTries,
+			e.GoodputKbps, e.UEngMicroJ, rep.GoodputKbps, rep.EnergyPerBitMicroJ)
+	}
+	fmt.Println("\nThe joint configuration matches or beats every single-parameter")
+	fmt.Println("guideline on goodput at comparable energy — the paper's Fig 1 claim.")
+	return nil
+}

@@ -1,0 +1,76 @@
+// Quickstart: simulate one WSN link configuration, print the four
+// performance metrics the paper studies, and compare the measurement with
+// the empirical models' predictions.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/models"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 25 m link at power level 15, sending 110-byte packets every
+	// 30 ms with up to 3 transmissions — a typical mid-quality setting
+	// from the paper's sweep (Table I).
+	cfg := stack.Config{
+		DistanceM:    25,
+		TxPower:      15,
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     30,
+		PktInterval:  0.030,
+		PayloadBytes: 110,
+	}
+
+	res, err := sim.Run(cfg, sim.Options{Packets: 4500, Seed: 42})
+	if err != nil {
+		return err
+	}
+	rep := metrics.FromResult(res)
+
+	fmt.Println("configuration: ", cfg)
+	fmt.Printf("link quality:   SNR %.1f dB (zone: %v)\n",
+		rep.MeanSNR, models.ClassifySNR(rep.MeanSNR))
+	fmt.Println()
+	fmt.Println("measured performance (4500 packets):")
+	fmt.Printf("  energy    %.3f uJ/bit\n", rep.EnergyPerBitMicroJ)
+	fmt.Printf("  goodput   %.2f kbps\n", rep.GoodputKbps)
+	fmt.Printf("  delay     %.2f ms (service %.2f + queueing %.2f)\n",
+		rep.MeanDelay*1000, rep.MeanServiceTime*1000, rep.MeanQueueDelay*1000)
+	fmt.Printf("  loss      %.4f (queue %.4f, radio %.4f)\n",
+		rep.PLR, rep.PLRQueue, rep.PLRRadio)
+	fmt.Println()
+
+	// Predict the same quantities with the paper's empirical models.
+	suite := models.Paper()
+	snr := rep.MeanSNR
+	fmt.Println("empirical-model predictions at the measured SNR:")
+	fmt.Printf("  PER       %.4f (measured %.4f)\n",
+		suite.PER.PER(cfg.PayloadBytes, snr), rep.PER)
+	fmt.Printf("  N_tries   %.3f (measured %.3f)\n",
+		suite.Ntries.Tries(cfg.PayloadBytes, snr), rep.MeanTries)
+	fmt.Printf("  T_service %.2f ms (measured %.2f)\n",
+		suite.Service.Expected(cfg.PayloadBytes, snr, cfg.RetryDelay)*1000,
+		rep.MeanServiceTime*1000)
+	fmt.Printf("  rho       %.3f (measured %.3f)\n",
+		suite.Service.Utilization(cfg.PayloadBytes, snr, cfg.RetryDelay, cfg.PktInterval),
+		rep.Utilization)
+	fmt.Printf("  U_eng     %.3f uJ/bit (measured %.3f)\n",
+		suite.Energy.UEng(cfg.PayloadBytes, snr, cfg.TxPower), rep.EnergyPerBitMicroJ)
+	return nil
+}

@@ -1,0 +1,39 @@
+package wsnlink_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end — the documentation
+// must never rot. Skipped with -short (each example takes a second or two).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := map[string][]string{
+		"quickstart":   {"measured performance", "empirical-model predictions"},
+		"bulktransfer": {"Joint (our MOP)", "simulated G/U"},
+		"adaptive":     {"adaptive tuning reduced energy"},
+		"smarthome":    {"requirements: delay <= 100 ms", "garden shed"},
+		"startopology": {"sensors", "tuned (30B, N=2)"},
+	}
+	for name, markers := range examples {
+		name, markers := name, markers
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, want := range markers {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module wsnlink
+
+go 1.22

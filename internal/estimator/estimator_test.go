@@ -1,0 +1,313 @@
+package estimator
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"wsnlink/internal/models"
+)
+
+func TestNewEWMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := NewEWMA(alpha); err == nil {
+			t.Errorf("alpha %v should be rejected", alpha)
+		}
+	}
+	if _, err := NewEWMA(1); err != nil {
+		t.Errorf("alpha 1 is legal: %v", err)
+	}
+}
+
+func TestEWMAPrimesOnFirstSample(t *testing.T) {
+	e, err := NewEWMA(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Primed() {
+		t.Error("fresh estimator should not be primed")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Errorf("first sample = %v, want 10", got)
+	}
+	if !e.Primed() || e.Value() != 10 {
+		t.Error("priming broken")
+	}
+	e.Reset()
+	if e.Primed() || e.Value() != 0 {
+		t.Error("Reset broken")
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e, _ := NewEWMA(0.2)
+	e.Update(0)
+	for i := 0; i < 100; i++ {
+		e.Update(5)
+	}
+	if math.Abs(e.Value()-5) > 1e-6 {
+		t.Errorf("EWMA did not converge: %v", e.Value())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	// A single outlier moves a small-alpha estimate only slightly.
+	e, _ := NewEWMA(0.05)
+	e.Update(10)
+	e.Update(100)
+	if e.Value() > 15 {
+		t.Errorf("outlier moved estimate to %v", e.Value())
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("size 0 should error")
+	}
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Mean() != 0 || w.StdDev() != 0 || w.Len() != 0 || w.Full() {
+		t.Error("empty window state wrong")
+	}
+	w.Push(1)
+	w.Push(2)
+	w.Push(3)
+	if !w.Full() || w.Mean() != 2 {
+		t.Errorf("mean = %v, full = %v", w.Mean(), w.Full())
+	}
+	// Eviction: pushing 7 evicts 1 → window {2,3,7}, mean 4.
+	w.Push(7)
+	if w.Mean() != 4 {
+		t.Errorf("mean after eviction = %v, want 4", w.Mean())
+	}
+	if w.Len() != 3 {
+		t.Errorf("Len = %d", w.Len())
+	}
+}
+
+func TestWindowMatchesBatchStats(t *testing.T) {
+	f := func(raw []float64, sizeRaw uint8) bool {
+		size := 1 + int(sizeRaw%32)
+		w, err := NewWindow(size)
+		if err != nil {
+			return false
+		}
+		var kept []float64
+		for _, x := range raw {
+			x = math.Mod(x, 1000)
+			if math.IsNaN(x) {
+				continue
+			}
+			w.Push(x)
+			kept = append(kept, x)
+			if len(kept) > size {
+				kept = kept[1:]
+			}
+			// Compare streaming stats with a batch recomputation.
+			var sum float64
+			for _, v := range kept {
+				sum += v
+			}
+			mean := sum / float64(len(kept))
+			if math.Abs(w.Mean()-mean) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowStdDev(t *testing.T) {
+	w, _ := NewWindow(5)
+	for _, x := range []float64{2, 4, 4, 4, 6} {
+		w.Push(x)
+	}
+	// Sample variance = (4+0+0+0+4)/4 = 2.
+	if math.Abs(w.StdDev()-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("StdDev = %v, want sqrt(2)", w.StdDev())
+	}
+	one, _ := NewWindow(4)
+	one.Push(5)
+	if one.StdDev() != 0 {
+		t.Error("single sample stddev should be 0")
+	}
+}
+
+func TestPRRWindow(t *testing.T) {
+	if _, err := NewPRRWindow(0); err == nil {
+		t.Error("size 0 should error")
+	}
+	p, err := NewPRRWindow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Record(true)
+	p.Record(true)
+	p.Record(false)
+	p.Record(true)
+	if got := p.PRR(); got != 0.75 {
+		t.Errorf("PRR = %v, want 0.75", got)
+	}
+	// Sliding: four more successes push the failure out.
+	for i := 0; i < 4; i++ {
+		p.Record(true)
+	}
+	if got := p.PRR(); got != 1 {
+		t.Errorf("PRR after slide = %v, want 1", got)
+	}
+	if p.Len() != 4 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestInvertPERForSNR(t *testing.T) {
+	m := models.PaperPER()
+	// Round trip: SNR → PER → SNR.
+	for _, snr := range []float64{6, 10, 15, 20} {
+		per := m.PER(110, snr)
+		got := InvertPERForSNR(m, per, 110, 0, 40)
+		if math.Abs(got-snr) > 1e-9 {
+			t.Errorf("inversion at %v dB = %v", snr, got)
+		}
+	}
+	// Degenerate observations map to the bounds.
+	if got := InvertPERForSNR(m, 0, 110, 0, 40); got != 40 {
+		t.Errorf("PER 0 → %v, want ceiling", got)
+	}
+	if got := InvertPERForSNR(m, 1, 110, 0, 40); got != 0 {
+		t.Errorf("PER 1 → %v, want floor", got)
+	}
+	if got := InvertPERForSNR(m, 0.5, 0, 0, 40); got < 0 || got > 40 {
+		t.Errorf("payload clamp broken: %v", got)
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	h := Hysteresis{Low: 10, High: 20}
+	if !h.Valid() {
+		t.Error("valid band rejected")
+	}
+	if (Hysteresis{Low: 5, High: 5}).Valid() {
+		t.Error("empty band accepted")
+	}
+	tests := []struct {
+		est  float64
+		want Action
+	}{
+		{5, StepUp}, {10, Hold}, {15, Hold}, {20, Hold}, {25, StepDown},
+	}
+	for _, tt := range tests {
+		if got := h.Decide(tt.est); got != tt.want {
+			t.Errorf("Decide(%v) = %v, want %v", tt.est, got, tt.want)
+		}
+	}
+	for _, a := range []Action{Hold, StepUp, StepDown} {
+		if a.String() == "unknown" {
+			t.Errorf("action %d unnamed", a)
+		}
+	}
+	if Action(0).String() != "unknown" {
+		t.Error("zero action should be unknown")
+	}
+}
+
+func TestRetunerDefaults(t *testing.T) {
+	r, err := NewRetuner(models.Paper(), RetunerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, l := r.Current()
+	if p != 31 || l != 114 {
+		t.Errorf("initial config = %v/%v", p, l)
+	}
+	if _, err := NewRetuner(models.Paper(), RetunerConfig{DeadbandDB: -1}); err == nil {
+		t.Error("negative deadband should error")
+	}
+}
+
+func TestRetunerAdaptsToGoodLink(t *testing.T) {
+	// Feed a strong, stable link: the retuner should drop to a low power
+	// level once the estimate settles, then hold.
+	r, err := NewRetuner(models.Paper(), RetunerConfig{
+		Alpha: 0.3, DeadbandDB: 2, CooldownSamples: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p, _ := r.Current()
+		// True channel: SNR 40 dB at max power; reading is at the
+		// current power level.
+		r.Observe(40 + p.DBm() - 0)
+	}
+	p, _ := r.Current()
+	if p != 3 {
+		t.Errorf("power on a strong link = %v, want 3", p)
+	}
+	if r.Retunes() == 0 {
+		t.Error("retuner never acted")
+	}
+}
+
+func TestRetunerCooldownLimitsThrashing(t *testing.T) {
+	// A wildly oscillating channel: the cooldown bounds the retune rate.
+	r, err := NewRetuner(models.Paper(), RetunerConfig{
+		Alpha: 1, DeadbandDB: 1, CooldownSamples: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	const n = 500
+	for i := 0; i < n; i++ {
+		p, _ := r.Current()
+		snrRef := 10 + rng.Float64()*20
+		r.Observe(snrRef + p.DBm() - 0)
+	}
+	if max := n / 10; r.Retunes() > max {
+		t.Errorf("retunes = %d, cooldown should cap at %d", r.Retunes(), max)
+	}
+}
+
+func TestRetunerDeadbandHolds(t *testing.T) {
+	// Small wobble inside the dead band must not trigger re-tunes after
+	// the initial calibration.
+	r, err := NewRetuner(models.Paper(), RetunerConfig{
+		Alpha: 0.5, DeadbandDB: 3, CooldownSamples: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		p, _ := r.Current()
+		wobble := 0.5 * math.Sin(float64(i)/5)
+		r.Observe(25 + wobble + p.DBm() - 0)
+	}
+	if r.Retunes() > 1 {
+		t.Errorf("retunes = %d, want at most the initial calibration", r.Retunes())
+	}
+}
+
+func TestRetunerEvaluate(t *testing.T) {
+	r, err := NewRetuner(models.Paper(), RetunerConfig{CooldownSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p, _ := r.Current()
+		r.Observe(20 + p.DBm())
+	}
+	ev, err := r.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.GoodputKbps <= 0 {
+		t.Errorf("evaluation empty: %+v", ev)
+	}
+}

@@ -1,0 +1,151 @@
+package estimator
+
+import (
+	"errors"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/optimize"
+	"wsnlink/internal/phy"
+)
+
+// Retuner is the deployable adaptation loop: it smooths SNR readings,
+// detects drift beyond a dead band, and asks the empirical models for a new
+// (power, payload) pair — with a cooldown so bursts of fading do not thrash
+// the configuration. It implements the adaptation the paper motivates in
+// Sec. III-A and IV-B.
+type Retuner struct {
+	suite    models.Suite
+	est      *EWMA
+	deadband float64
+	cooldown int
+
+	powers       []phy.PowerLevel
+	sinceRetune  int
+	lastSNR      float64
+	currentPower phy.PowerLevel
+	currentLD    int
+	retunes      int
+}
+
+// RetunerConfig parameterises the loop.
+type RetunerConfig struct {
+	// Alpha is the EWMA smoothing factor (default 0.1).
+	Alpha float64
+	// DeadbandDB is the minimum smoothed-SNR drift that triggers a
+	// re-tune (default 2 dB).
+	DeadbandDB float64
+	// CooldownSamples is the minimum number of samples between re-tunes
+	// (default 16).
+	CooldownSamples int
+	// Powers is the candidate power set (default the standard levels).
+	Powers []phy.PowerLevel
+	// InitialPower / InitialPayload seed the configuration.
+	InitialPower   phy.PowerLevel
+	InitialPayload int
+}
+
+// NewRetuner builds the loop around a model suite.
+func NewRetuner(suite models.Suite, cfg RetunerConfig) (*Retuner, error) {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.1
+	}
+	if cfg.DeadbandDB == 0 {
+		cfg.DeadbandDB = 2
+	}
+	if cfg.CooldownSamples == 0 {
+		cfg.CooldownSamples = 16
+	}
+	if cfg.DeadbandDB < 0 || cfg.CooldownSamples < 0 {
+		return nil, errors.New("estimator: negative deadband or cooldown")
+	}
+	if len(cfg.Powers) == 0 {
+		cfg.Powers = phy.StandardPowerLevels
+	}
+	if cfg.InitialPower == 0 {
+		cfg.InitialPower = 31
+	}
+	if cfg.InitialPayload == 0 {
+		cfg.InitialPayload = 114
+	}
+	est, err := NewEWMA(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Retuner{
+		suite:        suite,
+		est:          est,
+		deadband:     cfg.DeadbandDB,
+		cooldown:     cfg.CooldownSamples,
+		powers:       cfg.Powers,
+		currentPower: cfg.InitialPower,
+		currentLD:    cfg.InitialPayload,
+	}, nil
+}
+
+// Current returns the active (power, payload) configuration.
+func (r *Retuner) Current() (phy.PowerLevel, int) {
+	return r.currentPower, r.currentLD
+}
+
+// Retunes returns how many times the configuration changed.
+func (r *Retuner) Retunes() int { return r.retunes }
+
+// Observe folds one SNR reading (normalised to the current power level) in
+// and re-tunes if the smoothed estimate drifted beyond the dead band and
+// the cooldown has elapsed. It returns true when the configuration changed.
+//
+// The reading is normalised to a max-power reference internally so that
+// power changes do not masquerade as channel changes.
+func (r *Retuner) Observe(snrAtCurrentPower float64) bool {
+	ref := snrAtCurrentPower + phy.PowerLevel(31).DBm() - r.currentPower.DBm()
+	est := r.est.Update(ref)
+	r.sinceRetune++
+
+	if r.retunes == 0 && r.est.Primed() && r.sinceRetune >= r.cooldown {
+		// First calibration once the estimate settles.
+		return r.retune(est)
+	}
+	if r.sinceRetune < r.cooldown {
+		return false
+	}
+	if abs(est-r.lastSNR) < r.deadband {
+		return false
+	}
+	return r.retune(est)
+}
+
+func (r *Retuner) retune(refSNR float64) bool {
+	snrAt := func(p phy.PowerLevel) float64 {
+		return refSNR + p.DBm() - phy.PowerLevel(31).DBm()
+	}
+	newPower := r.suite.Energy.OptimalPower(114, r.powers, snrAt)
+	newLD := r.suite.Energy.OptimalPayload(snrAt(newPower), newPower)
+	r.lastSNR = refSNR
+	r.sinceRetune = 0
+	if newPower == r.currentPower && newLD == r.currentLD {
+		return false
+	}
+	r.currentPower, r.currentLD = newPower, newLD
+	r.retunes++
+	return true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Evaluate exposes the model view of the current configuration at the
+// smoothed link quality — for logging and tests.
+func (r *Retuner) Evaluate() (optimize.Evaluation, error) {
+	ref := r.est.Value()
+	ev := optimize.NewEvaluator(r.suite, 31, ref)
+	return ev.Evaluate(optimize.Candidate{
+		TxPower:      r.currentPower,
+		PayloadBytes: r.currentLD,
+		MaxTries:     3,
+		QueueCap:     1,
+	})
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/plot"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+// AblationRadioResult justifies the central modelling decision of this
+// reproduction (DESIGN.md): anchoring the radio to the paper's measured
+// packet-level fit ("calibrated") instead of the textbook AWGN O-QPSK
+// curve ("analytic"). The paper itself observes that the measured PER
+// transition is *smoother* than the sharp cliff prior studies reported
+// (Sec. III-B) — the analytic model cannot produce the grey zone at all.
+type AblationRadioResult struct {
+	// CalibratedPER / AnalyticPER: x = SNR, y = PER for l_D = 110 B.
+	CalibratedPER Series
+	AnalyticPER   Series
+	// TransitionWidthCalibrated / ...Analytic: SNR span (dB) over which
+	// PER falls from 0.9 to 0.1 for the max payload.
+	TransitionWidthCalibrated float64
+	TransitionWidthAnalytic   float64
+	// GreyZoneSpanCalibrated: SNR span where 0.1 <= PER(110B) <= 0.9 in
+	// end-to-end simulation (non-degenerate retransmission behaviour).
+	SimGreyPointsCalibrated int
+	SimGreyPointsAnalytic   int
+}
+
+// RunAblationRadio regenerates the error-model ablation.
+func RunAblationRadio(opts Options) (AblationRadioResult, error) {
+	opts = opts.withDefaults()
+	calibrated := phy.NewCalibrated()
+	analytic := phy.NewAnalytic(7) // generous implementation loss
+
+	var res AblationRadioResult
+	res.CalibratedPER = Series{Name: "calibrated (paper Eq. 3)"}
+	res.AnalyticPER = Series{Name: "analytic O-QPSK (+7 dB loss)"}
+	for snr := -2.0; snr <= 30; snr += 0.25 {
+		res.CalibratedPER.Append(snr, calibrated.DataPER(snr, 110))
+		res.AnalyticPER.Append(snr, analytic.DataPER(snr, 110))
+	}
+	res.TransitionWidthCalibrated = transitionWidth(res.CalibratedPER)
+	res.TransitionWidthAnalytic = transitionWidth(res.AnalyticPER)
+
+	// End-to-end: how many sweep points land in the grey band under each
+	// model? The analytic cliff makes links binary (dead or perfect), so
+	// the entire grey-zone phenomenology of the paper disappears.
+	count := func(em phy.ErrorModel) (int, error) {
+		n := 0
+		for _, d := range []float64{25, 30, 35} {
+			for _, p := range phy.StandardPowerLevels {
+				cfg := stack.Config{
+					DistanceM: d, TxPower: p, MaxTries: 1, QueueCap: 1,
+					PktInterval: 0.05, PayloadBytes: 110,
+				}
+				r, err := sim.RunFast(cfg, sim.Options{
+					Packets: opts.Packets, Seed: opts.Seed, ErrorModel: em,
+				})
+				if err != nil {
+					return 0, err
+				}
+				ratio := float64(r.Counters.Delivered) / float64(r.Counters.Generated)
+				if ratio >= 0.1 && ratio <= 0.9 {
+					n++
+				}
+			}
+		}
+		return n, nil
+	}
+	var err error
+	if res.SimGreyPointsCalibrated, err = count(calibrated); err != nil {
+		return res, err
+	}
+	if res.SimGreyPointsAnalytic, err = count(analytic); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// transitionWidth returns the SNR span between the last PER > 0.9 and the
+// first PER < 0.1 along an SNR-sorted series.
+func transitionWidth(s Series) float64 {
+	at90, at10 := math.Inf(-1), math.Inf(1)
+	for i := range s.X {
+		if s.Y[i] > 0.9 {
+			at90 = s.X[i]
+		}
+		if s.Y[i] < 0.1 && s.X[i] < at10 && s.X[i] > at90 {
+			at10 = s.X[i]
+		}
+	}
+	if math.IsInf(at90, -1) || math.IsInf(at10, 1) {
+		return 0
+	}
+	return at10 - at90
+}
+
+// Render writes the result as text.
+func (r AblationRadioResult) Render(w io.Writer) {
+	renderSeries(w, "Ablation: PER vs SNR under both radio models",
+		[]Series{r.CalibratedPER, r.AnalyticPER})
+	fmt.Fprintf(w, "PER 0.9→0.1 transition width: calibrated %.1f dB vs analytic %.1f dB\n",
+		r.TransitionWidthCalibrated, r.TransitionWidthAnalytic)
+	fmt.Fprintf(w, "sweep points in the grey band (delivery 10%%-90%%): calibrated %d vs analytic %d\n",
+		r.SimGreyPointsCalibrated, r.SimGreyPointsAnalytic)
+	fmt.Fprintln(w, "The analytic cliff erases the grey zone the paper's analysis depends on.")
+}
+
+// Charts implements Charter.
+func (r AblationRadioResult) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Ablation: calibrated vs analytic radio model",
+		XLabel: "SNR (dB)", YLabel: "PER (lD=110B)",
+		Series: toPlot(r.CalibratedPER, r.AnalyticPER),
+	}}
+}

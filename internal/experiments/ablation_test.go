@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRadio(t *testing.T) {
+	r, err := RunAblationRadio(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The calibrated model's transition is much wider than the cliff.
+	if r.TransitionWidthCalibrated <= 2*r.TransitionWidthAnalytic {
+		t.Errorf("transition widths: calibrated %v vs analytic %v — expected a clear gap",
+			r.TransitionWidthCalibrated, r.TransitionWidthAnalytic)
+	}
+	// The simulated grey band exists under the calibrated model and
+	// (nearly) vanishes under the analytic one.
+	if r.SimGreyPointsCalibrated <= r.SimGreyPointsAnalytic {
+		t.Errorf("grey-band points: calibrated %d vs analytic %d",
+			r.SimGreyPointsCalibrated, r.SimGreyPointsAnalytic)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "transition width") {
+		t.Error("render incomplete")
+	}
+	if len(r.Charts()) != 1 {
+		t.Error("ablation should chart")
+	}
+}
+
+func TestTransitionWidth(t *testing.T) {
+	// Exact-in-binary PER steps of 1/8: falls from 1 at 5 dB to 0 at 13 dB.
+	s := Series{}
+	for snr := 0.0; snr <= 20; snr++ {
+		per := 1 - (snr-5)*0.125
+		if snr <= 5 {
+			per = 1
+		}
+		if per < 0 {
+			per = 0
+		}
+		s.Append(snr, per)
+	}
+	// Last PER > 0.9 is at 5 dB (per(6) = 0.875); first PER < 0.1 above
+	// it is at 13 dB (per(12) = 0.125, per(13) = 0) → width 8.
+	got := transitionWidth(s)
+	if got != 8 {
+		t.Errorf("transitionWidth = %v, want 8", got)
+	}
+	// Degenerate series: no transition.
+	flat := Series{X: []float64{1, 2}, Y: []float64{0.5, 0.5}}
+	if transitionWidth(flat) != 0 {
+		t.Error("flat series should have zero width")
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stats"
+)
+
+// Fig3Result reproduces Fig. 3: RSSI attenuation with distance and the
+// log-normal path-loss fit (paper: n = 2.19, σ = 3.2).
+type Fig3Result struct {
+	// MeanRSSI has one series per power level: x = distance, y = mean
+	// RSSI over repeated link realisations.
+	MeanRSSI []Series
+	// FittedExponent and FittedSigma are recovered by regressing mean
+	// RSSI against 10·log10(d), the paper's methodology.
+	FittedExponent float64
+	FittedSigma    float64
+	Comparisons    []Comparison
+}
+
+// RunFig3 regenerates Fig. 3.
+func RunFig3(opts Options) (Fig3Result, error) {
+	opts = opts.withDefaults()
+	params := channel.DefaultParams()
+	distances := []float64{5, 10, 15, 20, 25, 30, 35}
+	powers := []phy.PowerLevel{3, 11, 19, 27, 31}
+
+	var res Fig3Result
+	// Regression pools per-location RSSI across many independent link
+	// realisations (the campaign's different days), normalised to 0 dBm.
+	var regX, regY []float64
+	const realisations = 200
+
+	for _, p := range powers {
+		s := Series{Name: p.String()}
+		for _, d := range distances {
+			var xs []float64
+			for r := 0; r < realisations; r++ {
+				seed := opts.Seed + uint64(r)*7919 + uint64(d*131) + uint64(p)
+				rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+				link, err := channel.NewLink(params, d, rng)
+				if err != nil {
+					return Fig3Result{}, err
+				}
+				rssi := link.RSSI(p.DBm())
+				xs = append(xs, rssi)
+				if p == 31 && rssi > phy.SensitivityDBm-2.9 {
+					regX = append(regX, 10*math.Log10(d))
+					regY = append(regY, rssi-p.DBm())
+				}
+			}
+			s.Append(d, stats.Mean(xs))
+		}
+		res.MeanRSSI = append(res.MeanRSSI, s)
+	}
+
+	fitRes, err := stats.LinearRegression(regX, regY)
+	if err != nil {
+		return Fig3Result{}, fmt.Errorf("fig3: path loss fit: %w", err)
+	}
+	res.FittedExponent = -fitRes.Slope
+	res.FittedSigma = fitRes.ResidualSD
+	res.Comparisons = []Comparison{
+		{Name: "path loss exponent n", Paper: 2.19, Measured: res.FittedExponent},
+		{Name: "shadowing sigma (dB)", Paper: 3.2, Measured: res.FittedSigma},
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig3Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 3: mean RSSI vs distance", r.MeanRSSI)
+	renderComparisons(w, "Fig 3", r.Comparisons)
+}
+
+// Fig4Result reproduces Fig. 4: within-experiment RSSI deviation per power
+// level and distance; the paper observes no consistent correlation with
+// output power and the largest deviations at 35 m.
+type Fig4Result struct {
+	// Deviation has one series per power level: x = distance,
+	// y = RSSI standard deviation within an experiment.
+	Deviation []Series
+	// MeanDevAt35 and MeanDevNear compare far-link vs near-link
+	// deviation averaged across power levels.
+	MeanDevAt35 float64
+	MeanDevNear float64
+}
+
+// RunFig4 regenerates Fig. 4.
+func RunFig4(opts Options) (Fig4Result, error) {
+	opts = opts.withDefaults()
+	params := channel.DefaultParams()
+	distances := []float64{5, 15, 25, 35}
+	powers := []phy.PowerLevel{3, 11, 19, 27, 31}
+	const samples = 20000
+
+	var res Fig4Result
+	var sum35, sumNear float64
+	var n35, nNear int
+	for _, p := range powers {
+		s := Series{Name: p.String()}
+		for _, d := range distances {
+			seed := opts.Seed*31 + uint64(d*17) + uint64(p)
+			rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+			link, err := channel.NewLink(params, d, rng)
+			if err != nil {
+				return Fig4Result{}, err
+			}
+			xs := make([]float64, 0, samples)
+			for i := 0; i < samples; i++ {
+				link.Advance(0.05)
+				xs = append(xs, link.RSSI(p.DBm()))
+			}
+			sd := stats.StdDev(xs)
+			s.Append(d, sd)
+			if d == 35 {
+				sum35 += sd
+				n35++
+			} else {
+				sumNear += sd
+				nNear++
+			}
+		}
+		res.Deviation = append(res.Deviation, s)
+	}
+	res.MeanDevAt35 = sum35 / float64(n35)
+	res.MeanDevNear = sumNear / float64(nNear)
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig4Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 4: RSSI deviation vs distance", r.Deviation)
+	fmt.Fprintf(w, "mean deviation at 35 m: %.2f dB vs %.2f dB nearer (paper: 35 m largest)\n",
+		r.MeanDevAt35, r.MeanDevNear)
+}
+
+// Fig5Result reproduces Fig. 5: the noise-floor distribution and the error
+// made by assuming a constant −95 dBm noise floor when computing SNR.
+type Fig5Result struct {
+	// NoiseHist is the per-bin probability mass of the noise floor.
+	NoiseHist Series
+	// RealSNRHist and ConstSNRHist are SNR distributions for a
+	// representative link, with sampled vs constant noise.
+	RealSNRHist  Series
+	ConstSNRHist Series
+	// NoiseMean and NoiseP99 summarise the distribution.
+	NoiseMean float64
+	NoiseP99  float64
+}
+
+// RunFig5 regenerates Fig. 5.
+func RunFig5(opts Options) (Fig5Result, error) {
+	opts = opts.withDefaults()
+	params := channel.DefaultParams()
+	rng := rand.New(rand.NewPCG(opts.Seed*97, opts.Seed^0xabcdef))
+	link, err := channel.NewLink(params, 15, rng)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+
+	const samples = 200000 // scaled stand-in for the paper's 24M samples
+	noise := make([]float64, 0, samples)
+	real := make([]float64, 0, samples)
+	constant := make([]float64, 0, samples)
+	txDBm := phy.PowerLevel(31).DBm()
+	for i := 0; i < samples; i++ {
+		link.Advance(0.01)
+		noise = append(noise, link.NoiseFloorDBm())
+		real = append(real, link.SNR(txDBm))
+		constant = append(constant, link.ConstantNoiseSNR(txDBm))
+	}
+
+	var res Fig5Result
+	res.NoiseMean = stats.Mean(noise)
+	res.NoiseP99, _ = stats.Percentile(noise, 99)
+
+	toHist := func(name string, xs []float64, lo, hi float64, bins int) (Series, error) {
+		h, err := stats.NewHistogram(lo, hi, bins)
+		if err != nil {
+			return Series{}, err
+		}
+		h.AddAll(xs)
+		s := Series{Name: name}
+		for i, d := range h.Density() {
+			s.Append(h.BinCenter(i), d)
+		}
+		return s, nil
+	}
+	if res.NoiseHist, err = toHist("noise floor (dBm)", noise, -100, -80, 40); err != nil {
+		return Fig5Result{}, err
+	}
+	if res.RealSNRHist, err = toHist("real SNR (dB)", real, 0, 40, 80); err != nil {
+		return Fig5Result{}, err
+	}
+	if res.ConstSNRHist, err = toHist("constant-noise SNR (dB)", constant, 0, 40, 80); err != nil {
+		return Fig5Result{}, err
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig5Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 5: distributions",
+		[]Series{r.NoiseHist, r.RealSNRHist, r.ConstSNRHist})
+	fmt.Fprintf(w, "noise floor mean %.2f dBm (paper: -95), p99 %.2f dBm\n",
+		r.NoiseMean, r.NoiseP99)
+}

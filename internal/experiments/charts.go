@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"wsnlink/internal/plot"
+)
+
+// Charter is implemented by experiment results that can render themselves
+// as figures. wsnbench's -svg flag writes one SVG per chart.
+type Charter interface {
+	Charts() []plot.Chart
+}
+
+// toPlot converts experiment series to plot series.
+func toPlot(ss ...Series) []plot.Series {
+	out := make([]plot.Series, len(ss))
+	for i, s := range ss {
+		out[i] = plot.Series{Name: s.Name, X: s.X, Y: s.Y}
+	}
+	return out
+}
+
+// Charts implements Charter.
+func (r Fig3Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Fig 3: mean RSSI vs distance (log-normal path loss)",
+		XLabel: "distance (m)", YLabel: "RSSI (dBm)",
+		Series: toPlot(r.MeanRSSI...),
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig4Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Fig 4: RSSI deviation vs distance",
+		XLabel: "distance (m)", YLabel: "RSSI std dev (dB)",
+		Series: toPlot(r.Deviation...),
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig5Result) Charts() []plot.Chart {
+	return []plot.Chart{
+		{
+			Title:  "Fig 5a: noise floor distribution",
+			XLabel: "noise floor (dBm)", YLabel: "probability mass",
+			Series: toPlot(r.NoiseHist),
+		},
+		{
+			Title:  "Fig 5b: SNR distributions",
+			XLabel: "SNR (dB)", YLabel: "probability mass",
+			Series: toPlot(r.RealSNRHist, r.ConstSNRHist),
+		},
+	}
+}
+
+// Charts implements Charter.
+func (r Fig6Result) Charts() []plot.Chart {
+	return []plot.Chart{
+		{
+			Title:  "Fig 6a/b: PER vs SNR per payload",
+			XLabel: "SNR (dB)", YLabel: "PER",
+			Series: toPlot(r.Scatter...),
+		},
+		{
+			Title:  "Fig 6c: PER vs payload per SNR",
+			XLabel: "payload (B)", YLabel: "PER",
+			Series: toPlot(r.PayloadImpact...),
+		},
+		{
+			Title:  "Fig 6d: joint-effect zones",
+			XLabel: "SNR (dB)", YLabel: "PER",
+			Series: toPlot(r.MinPER, r.MaxPER, r.AvgPER),
+		},
+	}
+}
+
+// Charts implements Charter.
+func (r Fig7Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Fig 7: U_eng vs output power at 35 m",
+		XLabel: "power level", YLabel: "U_eng (uJ/bit)",
+		Series: toPlot(r.Energy...),
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig8Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Fig 8: U_eng vs payload at 35 m",
+		XLabel: "payload (B)", YLabel: "U_eng (uJ/bit)",
+		Series: toPlot(r.Energy...),
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig9Result) Charts() []plot.Chart {
+	return []plot.Chart{
+		{
+			Title:  "Fig 9: model U_eng vs payload",
+			XLabel: "payload (B)", YLabel: "U_eng (uJ/bit)",
+			Series: toPlot(r.ModelCurves...),
+		},
+		{
+			Title:  "Fig 9: energy-optimal payload vs SNR",
+			XLabel: "SNR (dB)", YLabel: "optimal payload (B)",
+			Series: toPlot(r.OptimalPayloadVsSNR),
+		},
+	}
+}
+
+// Charts implements Charter.
+func (r Fig10Result) Charts() []plot.Chart {
+	var out []plot.Chart
+	for _, ms := range FourMACSettings() {
+		out = append(out, plot.Chart{
+			Title:  "Fig 10 " + ms.Name + ": goodput vs SNR",
+			XLabel: "SNR (dB)", YLabel: "goodput (kbps)",
+			Series: toPlot(r.PerSetting[ms.Name]...),
+		})
+	}
+	return out
+}
+
+// Charts implements Charter.
+func (r Fig11Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Fig 11: mean transmissions vs SNR",
+		XLabel: "SNR (dB)", YLabel: "N_tries",
+		Series: append(toPlot(r.Measured...), toPlot(r.Model...)...),
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig12Result) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Fig 12: radio loss vs SNR (measured & model)",
+		XLabel: "SNR (dB)", YLabel: "PLR_radio",
+		Series: append(toPlot(r.Measured...), toPlot(r.Model...)...),
+	}}
+}
+
+// Charts implements Charter.
+func (r Fig13Result) Charts() []plot.Chart {
+	return []plot.Chart{
+		{
+			Title:  "Fig 13a: maxGoodput vs payload (no retx)",
+			XLabel: "payload (B)", YLabel: "goodput (kbps)",
+			Series: toPlot(r.NoRetx...),
+		},
+		{
+			Title:  "Fig 13b: maxGoodput vs payload (with retx)",
+			XLabel: "payload (B)", YLabel: "goodput (kbps)",
+			Series: toPlot(r.WithRetx...),
+		},
+	}
+}
+
+// Charts implements Charter.
+func (r Fig15Result) Charts() []plot.Chart {
+	var out []plot.Chart
+	for name, ss := range r.PerSetting {
+		out = append(out, plot.Chart{
+			Title:  "Fig 15 " + name + ": delay vs SNR",
+			XLabel: "SNR (dB)", YLabel: "mean delay (s)",
+			LogY:   true,
+			Series: toPlot(ss...),
+		})
+	}
+	return out
+}
+
+// Charts implements Charter.
+func (r Fig16Result) Charts() []plot.Chart {
+	var out []plot.Chart
+	for _, ms := range FourMACSettings() {
+		out = append(out, plot.Chart{
+			Title:  "Fig 16 " + ms.Name + ": PLR vs SNR",
+			XLabel: "SNR (dB)", YLabel: "PLR",
+			Series: toPlot(r.PerSetting[ms.Name]...),
+		})
+	}
+	return out
+}
+
+// Charts implements Charter.
+func (r Fig17Result) Charts() []plot.Chart {
+	return []plot.Chart{
+		{
+			Title:  "Fig 17: queue loss vs power level",
+			XLabel: "power level", YLabel: "PLR_queue",
+			Series: toPlot(r.QueueLoss...),
+		},
+		{
+			Title:  "Fig 17: radio loss vs power level",
+			XLabel: "power level", YLabel: "PLR_radio",
+			Series: toPlot(r.RadioLoss...),
+		},
+	}
+}
+
+// Charts implements Charter.
+func (r ExtContentionResult) Charts() []plot.Chart {
+	return []plot.Chart{
+		{
+			Title:  "Extension: aggregate goodput vs senders",
+			XLabel: "senders", YLabel: "goodput (kbps)",
+			Series: toPlot(r.AggregateGoodput),
+		},
+		{
+			Title:  "Extension: contention losses vs senders",
+			XLabel: "senders", YLabel: "rate",
+			Series: toPlot(r.CollisionRate, r.CCAFailureRate, r.DeliveryRatio),
+		},
+	}
+}
+
+// Charts implements Charter.
+func (r ExtInterferenceResult) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Extension: interference duty-cycle sweep",
+		XLabel: "interferer duty cycle", YLabel: "value",
+		Series: toPlot(r.GoodputVsDuty, r.PERVsDuty),
+	}}
+}
+
+// Charts implements Charter.
+func (r ExtLPLResult) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Extension: LPL energy vs wake interval",
+		XLabel: "wake interval (s)", YLabel: "energy per message (uJ)",
+		LogY:   true,
+		Series: toPlot(r.EnergyVsWake...),
+	}}
+}
+
+// Charts implements Charter.
+func (r ExtMobilityResult) Charts() []plot.Chart {
+	return []plot.Chart{{
+		Title:  "Extension: SNR along the walk",
+		XLabel: "time (s)", YLabel: "SNR (dB)",
+		Series: toPlot(r.SNRAlongWalk),
+	}}
+}
+
+// WriteSVGs runs an experiment and writes its charts to dir as
+// <name>-<i>.svg. Experiments without charts are skipped silently.
+func WriteSVGs(name string, opts Options, dir string) (int, error) {
+	runner, ok := Registry()[name]
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	res, err := runner(opts)
+	if err != nil {
+		return 0, err
+	}
+	charter, ok := res.(Charter)
+	if !ok {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	count := 0
+	for i, chart := range charter.Charts() {
+		svg, err := chart.Render()
+		if err != nil {
+			return count, fmt.Errorf("experiments: %s chart %d: %w", name, i, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.svg", name, i))
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// WriteDataCSVs runs an experiment and writes each chart's underlying series
+// as a CSV file (<name>-<i>.csv with columns series,x,y) so downstream users
+// can replot the figures with their own tools. Chartless experiments write
+// nothing.
+func WriteDataCSVs(name string, opts Options, dir string) (int, error) {
+	runner, ok := Registry()[name]
+	if !ok {
+		return 0, fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	res, err := runner(opts)
+	if err != nil {
+		return 0, err
+	}
+	charter, ok := res.(Charter)
+	if !ok {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	count := 0
+	for i, chart := range charter.Charts() {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", name, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return count, err
+		}
+		cw := csv.NewWriter(f)
+		if err := cw.Write([]string{"series", chart.XLabel, chart.YLabel}); err != nil {
+			f.Close()
+			return count, err
+		}
+		for _, s := range chart.Series {
+			n := len(s.X)
+			if len(s.Y) < n {
+				n = len(s.Y)
+			}
+			for j := 0; j < n; j++ {
+				rec := []string{
+					s.Name,
+					strconv.FormatFloat(s.X[j], 'g', -1, 64),
+					strconv.FormatFloat(s.Y[j], 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					f.Close()
+					return count, err
+				}
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			f.Close()
+			return count, err
+		}
+		if err := f.Close(); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllFigureResultsAreCharters(t *testing.T) {
+	// Every fig* experiment (not the tables) should render charts; guard
+	// the interface wiring at compile+run time.
+	var (
+		_ Charter = Fig3Result{}
+		_ Charter = Fig4Result{}
+		_ Charter = Fig5Result{}
+		_ Charter = Fig6Result{}
+		_ Charter = Fig7Result{}
+		_ Charter = Fig8Result{}
+		_ Charter = Fig9Result{}
+		_ Charter = Fig10Result{}
+		_ Charter = Fig11Result{}
+		_ Charter = Fig12Result{}
+		_ Charter = Fig13Result{}
+		_ Charter = Fig15Result{}
+		_ Charter = Fig16Result{}
+		_ Charter = Fig17Result{}
+		_ Charter = ExtContentionResult{}
+		_ Charter = ExtInterferenceResult{}
+		_ Charter = ExtLPLResult{}
+		_ Charter = ExtMobilityResult{}
+	)
+}
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	n, err := WriteSVGs("fig9", Options{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("fig9 wrote %d charts, want 2", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("files = %d", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9-0.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("output is not SVG")
+	}
+}
+
+func TestWriteSVGsUnknownExperiment(t *testing.T) {
+	if _, err := WriteSVGs("nope", Options{}, t.TempDir()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestWriteSVGsTableSkipped(t *testing.T) {
+	// Tables have no charts: zero files, no error.
+	dir := t.TempDir()
+	n, err := WriteSVGs("table2", Options{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("table2 wrote %d charts, want 0", n)
+	}
+}
+
+func TestFig13ChartsRender(t *testing.T) {
+	r, err := RunFig13(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range r.Charts() {
+		svg, err := c.Render()
+		if err != nil {
+			t.Fatalf("chart %d: %v", i, err)
+		}
+		if !strings.Contains(svg, "polyline") {
+			t.Errorf("chart %d has no lines", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/netsim"
+	"wsnlink/internal/stack"
+)
+
+// ExtContentionResult characterises endogenous concurrent transmission: a
+// star of contending senders sharing one sink over CSMA-CA. The classic
+// result: aggregate goodput grows sub-linearly with the number of senders
+// and saturates near channel capacity while collisions and CCA deferrals
+// climb.
+type ExtContentionResult struct {
+	// AggregateGoodput: x = number of senders, y = kbps.
+	AggregateGoodput Series
+	// CollisionRate: x = senders, y = collided / total transmissions.
+	CollisionRate Series
+	// CCAFailureRate: x = senders, y = CCA failures / total transmissions.
+	CCAFailureRate Series
+	// DeliveryRatio: x = senders, y = delivered / generated.
+	DeliveryRatio Series
+}
+
+// RunExtContention regenerates the contention extension experiment.
+func RunExtContention(opts Options) (ExtContentionResult, error) {
+	opts = opts.withDefaults()
+	ch := channel.DefaultParams()
+	ch.ShadowingSigmaDB = 0
+	ch.HumanShadowRatePerS = 0
+
+	var res ExtContentionResult
+	res.AggregateGoodput = Series{Name: "aggregate goodput (kbps)"}
+	res.CollisionRate = Series{Name: "collision rate"}
+	res.CCAFailureRate = Series{Name: "CCA failure rate"}
+	res.DeliveryRatio = Series{Name: "delivery ratio"}
+
+	for _, nNodes := range []int{1, 2, 4, 8, 16} {
+		var cfgs []stack.Config
+		for i := 0; i < nNodes; i++ {
+			cfgs = append(cfgs, stack.Config{
+				DistanceM:    5 + float64(i%10)*3,
+				TxPower:      31,
+				MaxTries:     3,
+				RetryDelay:   0.010,
+				QueueCap:     10,
+				PktInterval:  0.080, // each node offers ~12.5 pkt/s
+				PayloadBytes: 50,
+			})
+		}
+		r, err := netsim.RunStar(cfgs, netsim.Options{
+			PacketsPerNode: opts.Packets,
+			Seed:           opts.Seed + uint64(nNodes),
+			Channel:        &ch,
+		})
+		if err != nil {
+			return ExtContentionResult{}, err
+		}
+		var collisions, ccaFails, tx, delivered, generated int
+		for _, n := range r.Nodes {
+			collisions += n.Collisions
+			ccaFails += n.CCAFailures
+			tx += n.Counters.TotalTransmissions
+			delivered += n.Counters.Delivered
+			generated += n.Counters.Generated
+		}
+		x := float64(nNodes)
+		res.AggregateGoodput.Append(x, r.AggregateGoodputKbps)
+		if tx > 0 {
+			res.CollisionRate.Append(x, float64(collisions)/float64(tx))
+			res.CCAFailureRate.Append(x, float64(ccaFails)/float64(tx))
+		}
+		res.DeliveryRatio.Append(x, float64(delivered)/float64(generated))
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r ExtContentionResult) Render(w io.Writer) {
+	renderSeries(w, "Extension: CSMA contention vs number of senders",
+		[]Series{r.AggregateGoodput, r.CollisionRate, r.CCAFailureRate, r.DeliveryRatio})
+	if n := r.AggregateGoodput.Len(); n >= 2 {
+		first := r.AggregateGoodput.Y[0]
+		last := r.AggregateGoodput.Y[n-1]
+		nodes := r.AggregateGoodput.X[n-1]
+		fmt.Fprintf(w, "scaling efficiency at %g nodes: %.0f%% of linear\n",
+			nodes, 100*last/(first*nodes))
+	}
+}

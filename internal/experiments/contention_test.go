@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtContention(t *testing.T) {
+	r, err := RunExtContention(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.AggregateGoodput
+	if g.Len() < 4 {
+		t.Fatalf("node-count points = %d", g.Len())
+	}
+	// Aggregate goodput grows with senders…
+	if g.Y[g.Len()-1] <= g.Y[0] {
+		t.Errorf("aggregate goodput should grow with senders: %v", g.Y)
+	}
+	// …but sub-linearly at the top end.
+	perNodeFirst := g.Y[0] / g.X[0]
+	perNodeLast := g.Y[g.Len()-1] / g.X[g.Len()-1]
+	if perNodeLast >= perNodeFirst {
+		t.Errorf("per-node goodput should degrade under contention: %v → %v",
+			perNodeFirst, perNodeLast)
+	}
+	// Collision rate climbs with senders.
+	c := r.CollisionRate
+	if c.Y[c.Len()-1] <= c.Y[0] {
+		t.Errorf("collision rate should climb: %v", c.Y)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "scaling efficiency") {
+		t.Error("render incomplete")
+	}
+}

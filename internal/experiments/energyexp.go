@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// Fig7Result reproduces Fig. 7: U_eng vs output power at 35 m for small,
+// medium and large payloads; the optimal power is where the link clears the
+// grey zone, and larger payloads need more power.
+type Fig7Result struct {
+	// Energy has one series per payload: x = power level, y = U_eng.
+	Energy []Series
+	// OptimalPower maps payload → energy-optimal power level.
+	OptimalPower map[int]phy.PowerLevel
+	Comparisons  []Comparison
+}
+
+// RunFig7 regenerates Fig. 7.
+func RunFig7(opts Options) (Fig7Result, error) {
+	opts = opts.withDefaults()
+	payloads := []int{20, 65, 110}
+	space := stack.Space{
+		DistancesM:    []float64{35},
+		TxPowers:      phy.StandardPowerLevels,
+		MaxTries:      []int{8}, // deliverability at low SNR so U_eng is measurable
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.250},
+		PayloadsBytes: payloads,
+	}
+	rows, err := sweep.RunSpace(space, sweep.RunOptions{
+		Packets: opts.Packets, BaseSeed: opts.Seed, Fast: !opts.FullDES,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+
+	res := Fig7Result{OptimalPower: make(map[int]phy.PowerLevel)}
+	for _, lD := range payloads {
+		s := Series{Name: fmt.Sprintf("lD=%dB", lD)}
+		bestP, bestU := phy.PowerLevel(0), math.Inf(1)
+		for _, r := range rows {
+			if r.Config.PayloadBytes != lD {
+				continue
+			}
+			u := r.Report.EnergyPerBitMicroJ
+			s.Append(float64(r.Config.TxPower), u)
+			if u > 0 && u < bestU {
+				bestP, bestU = r.Config.TxPower, u
+			}
+		}
+		s.Sort()
+		res.Energy = append(res.Energy, s)
+		res.OptimalPower[lD] = bestP
+	}
+	res.Comparisons = []Comparison{
+		{Name: "optimal Ptx for lD=110 at 35m", Paper: 11,
+			Measured: float64(res.OptimalPower[110])},
+		{Name: "optimal Ptx for lD=20 at 35m", Paper: 7,
+			Measured: float64(res.OptimalPower[20])},
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig7Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 7: U_eng vs Ptx at 35 m", r.Energy)
+	renderComparisons(w, "Fig 7", r.Comparisons)
+}
+
+// Fig8Result reproduces Fig. 8: U_eng vs payload size for low power levels
+// at 35 m — in the grey zone medium payloads win; with enough SNR the
+// largest payload wins.
+type Fig8Result struct {
+	// Energy has one series per power level: x = payload, y = U_eng.
+	Energy []Series
+	// OptimalPayload maps power level → measured energy-optimal payload.
+	OptimalPayload map[phy.PowerLevel]int
+}
+
+// RunFig8 regenerates Fig. 8.
+func RunFig8(opts Options) (Fig8Result, error) {
+	opts = opts.withDefaults()
+	powers := []phy.PowerLevel{7, 11, 19}
+	payloads := []int{5, 20, 35, 50, 65, 80, 95, 110}
+	space := stack.Space{
+		DistancesM:    []float64{35},
+		TxPowers:      powers,
+		MaxTries:      []int{8},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.250},
+		PayloadsBytes: payloads,
+	}
+	rows, err := sweep.RunSpace(space, sweep.RunOptions{
+		Packets: opts.Packets, BaseSeed: opts.Seed + 8, Fast: !opts.FullDES,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res := Fig8Result{OptimalPayload: make(map[phy.PowerLevel]int)}
+	for _, p := range powers {
+		s := Series{Name: p.String()}
+		bestL, bestU := 0, math.Inf(1)
+		for _, r := range rows {
+			if r.Config.TxPower != p {
+				continue
+			}
+			u := r.Report.EnergyPerBitMicroJ
+			s.Append(float64(r.Config.PayloadBytes), u)
+			if u > 0 && u < bestU {
+				bestL, bestU = r.Config.PayloadBytes, u
+			}
+		}
+		s.Sort()
+		res.Energy = append(res.Energy, s)
+		res.OptimalPayload[p] = bestL
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig8Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 8: U_eng vs payload at 35 m", r.Energy)
+	fmt.Fprintln(w, "measured energy-optimal payload per power level:")
+	for _, p := range []phy.PowerLevel{7, 11, 19} {
+		fmt.Fprintf(w, "  %s → %d B\n", p, r.OptimalPayload[p])
+	}
+}
+
+// Fig9Result reproduces Fig. 9: the empirical energy model's U_eng vs
+// payload curves and the SNR threshold (17 dB) above which the maximum
+// payload is optimal.
+type Fig9Result struct {
+	// ModelCurves: one series per SNR, x = payload, y = model U_eng at
+	// maximum power.
+	ModelCurves []Series
+	// OptimalPayloadVsSNR: x = SNR, y = model-optimal payload.
+	OptimalPayloadVsSNR Series
+	// ThresholdSNR is the smallest SNR (0.5 dB grid) whose optimal
+	// payload is the maximum (paper: 17 dB).
+	ThresholdSNR float64
+	// OptimalAt5dB is the optimal payload at 5 dB (paper: < 40 B).
+	OptimalAt5dB int
+	Comparisons  []Comparison
+}
+
+// RunFig9 regenerates Fig. 9 (model-only, like the paper's figure).
+func RunFig9(opts Options) (Fig9Result, error) {
+	_ = opts // model-only: no simulation scale to apply
+	energy := models.PaperEnergy()
+	var res Fig9Result
+
+	for _, snr := range []float64{5, 9, 13, 17, 21} {
+		s := Series{Name: fmt.Sprintf("SNR=%gdB", snr)}
+		for lD := 5; lD <= 114; lD += 3 {
+			s.Append(float64(lD), energy.UEng(lD, snr, 31))
+		}
+		res.ModelCurves = append(res.ModelCurves, s)
+	}
+
+	res.OptimalPayloadVsSNR = Series{Name: "optimal lD"}
+	res.ThresholdSNR = -1
+	for snr := 3.0; snr <= 25; snr += 0.5 {
+		opt := energy.OptimalPayload(snr, 31)
+		res.OptimalPayloadVsSNR.Append(snr, float64(opt))
+		if res.ThresholdSNR < 0 && opt == 114 {
+			res.ThresholdSNR = snr
+		}
+	}
+	res.OptimalAt5dB = energy.OptimalPayload(5, 31)
+	res.Comparisons = []Comparison{
+		{Name: "SNR threshold for max payload (dB)", Paper: 17, Measured: res.ThresholdSNR},
+		{Name: "optimal payload at 5 dB (B)", Paper: 40, Measured: float64(res.OptimalAt5dB)},
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig9Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 9: model U_eng vs payload", r.ModelCurves)
+	renderSeries(w, "Fig 9: optimal payload vs SNR", []Series{r.OptimalPayloadVsSNR})
+	renderComparisons(w, "Fig 9", r.Comparisons)
+}

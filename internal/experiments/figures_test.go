@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/models"
+)
+
+// testOpts keeps simulation-backed experiments quick but statistically
+// meaningful.
+func testOpts() Options {
+	return Options{Packets: 250, Seed: 7}
+}
+
+func TestFig3PathLossRecovery(t *testing.T) {
+	r, err := RunFig3(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's fit: n = 2.19, σ = 3.2. The regenerated campaign must
+	// recover them within tolerance.
+	if math.Abs(r.FittedExponent-2.19) > 0.15 {
+		t.Errorf("fitted exponent = %v, want ≈2.19", r.FittedExponent)
+	}
+	if math.Abs(r.FittedSigma-3.2) > 0.8 {
+		t.Errorf("fitted sigma = %v, want ≈3.2", r.FittedSigma)
+	}
+	// RSSI must decrease with distance for every power level.
+	for _, s := range r.MeanRSSI {
+		for i := 1; i < s.Len(); i++ {
+			if s.Y[i] > s.Y[i-1]+1.5 { // allow small sampling wiggle
+				t.Errorf("%s: RSSI increases with distance at %v m", s.Name, s.X[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "path loss exponent") {
+		t.Error("render missing comparison")
+	}
+}
+
+func TestFig4DeviationLargestAt35m(t *testing.T) {
+	r, err := RunFig4(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanDevAt35 <= r.MeanDevNear {
+		t.Errorf("deviation at 35 m (%v) should exceed nearer links (%v)",
+			r.MeanDevAt35, r.MeanDevNear)
+	}
+	if len(r.Deviation) == 0 {
+		t.Fatal("no series")
+	}
+}
+
+func TestFig5NoiseFloor(t *testing.T) {
+	r, err := RunFig5(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.NoiseMean-(-95)) > 1 {
+		t.Errorf("noise mean = %v, want ≈ −95", r.NoiseMean)
+	}
+	if r.NoiseP99 <= r.NoiseMean {
+		t.Error("p99 must exceed the mean (right skew)")
+	}
+	// Histograms are probability masses.
+	sum := 0.0
+	for _, v := range r.NoiseHist.Y {
+		sum += v
+	}
+	if sum < 0.95 || sum > 1.0001 {
+		t.Errorf("noise histogram mass = %v", sum)
+	}
+	// The real-SNR distribution is wider than the constant-noise one.
+	spread := func(s Series) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, m := range s.Y {
+			if m > 1e-4 {
+				lo = math.Min(lo, s.X[i])
+				hi = math.Max(hi, s.X[i])
+			}
+		}
+		return hi - lo
+	}
+	if spread(r.RealSNRHist) <= spread(r.ConstSNRHist) {
+		t.Error("real SNR spread should exceed constant-noise spread")
+	}
+}
+
+func TestFig6Zones(t *testing.T) {
+	r, err := RunFig6(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zone structure: spread largest in the high-impact zone, smallest in
+	// the low-impact zone.
+	high := r.SpreadByZone[models.ZoneHighImpact]
+	low := r.SpreadByZone[models.ZoneLowImpact]
+	if high <= low {
+		t.Errorf("payload spread high=%v should exceed low=%v", high, low)
+	}
+	if low > 0.12 {
+		t.Errorf("low-impact zone spread = %v, want small", low)
+	}
+	// The PER(110 B) < 0.1 transition lands near 19 dB.
+	if r.TransitionSNRMaxPayload < 15 || r.TransitionSNRMaxPayload > 23 {
+		t.Errorf("transition SNR = %v, want ≈19", r.TransitionSNRMaxPayload)
+	}
+	// PER rises with payload at a grey-zone SNR bin.
+	for _, s := range r.PayloadImpact {
+		if !strings.Contains(s.Name, "6dB") || s.Len() < 3 {
+			continue
+		}
+		if s.Y[s.Len()-1] <= s.Y[0] {
+			t.Errorf("PER at 6 dB should grow with payload: %v", s.Y)
+		}
+	}
+}
+
+func TestFig7OptimalPower(t *testing.T) {
+	r, err := RunFig7(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal power is interior (not min or max) and larger payloads need
+	// at least as much power (paper: 11 for 110 B vs 7 for smaller).
+	opt110 := r.OptimalPower[110]
+	opt20 := r.OptimalPower[20]
+	if opt110 < 7 || opt110 > 19 {
+		t.Errorf("optimal power for 110 B = %v, want 7..19 (paper: 11)", opt110)
+	}
+	if opt20 > opt110 {
+		t.Errorf("optimal power for 20 B (%v) should be <= 110 B (%v)", opt20, opt110)
+	}
+}
+
+func TestFig8OptimalPayloadDependsOnSNR(t *testing.T) {
+	r, err := RunFig8(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At P_tx 7 (grey zone at 35 m) the optimum is below the maximum; at
+	// P_tx 19 (SNR ≈22) it is the maximum.
+	if got := r.OptimalPayload[7]; got >= 110 {
+		t.Errorf("optimal payload at Ptx=7 = %d, want < 110", got)
+	}
+	if got := r.OptimalPayload[19]; got != 110 {
+		t.Errorf("optimal payload at Ptx=19 = %d, want 110", got)
+	}
+}
+
+func TestFig9Thresholds(t *testing.T) {
+	r, err := RunFig9(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ThresholdSNR-17) > 1 {
+		t.Errorf("threshold SNR = %v, paper 17", r.ThresholdSNR)
+	}
+	if r.OptimalAt5dB < 30 || r.OptimalAt5dB > 45 {
+		t.Errorf("optimal payload at 5 dB = %v, paper <40", r.OptimalAt5dB)
+	}
+	// The optimal payload series is monotone non-decreasing in SNR.
+	s := r.OptimalPayloadVsSNR
+	for i := 1; i < s.Len(); i++ {
+		if s.Y[i] < s.Y[i-1] {
+			t.Fatalf("optimal payload not monotone at SNR %v", s.X[i])
+		}
+	}
+}
+
+func TestFig10GoodputShape(t *testing.T) {
+	r, err := RunFig10(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerSetting) != 4 {
+		t.Fatalf("settings = %d, want 4", len(r.PerSetting))
+	}
+	// Goodput saturates in the paper's range.
+	if r.SaturationSNR < 12 || r.SaturationSNR > 26 {
+		t.Errorf("saturation SNR = %v, want ≈19", r.SaturationSNR)
+	}
+	// Higher traffic load yields higher goodput at high SNR: compare the
+	// 10 ms and 100 ms workloads for setting (d) at the top SNR point.
+	d := r.PerSetting["(d) queue, retx"]
+	heavy, light := d[0], d[3]
+	if heavy.Len() == 0 || light.Len() == 0 {
+		t.Fatal("missing workload series")
+	}
+	if heavy.Y[heavy.Len()-1] <= light.Y[light.Len()-1] {
+		t.Error("heavier offered load should achieve higher goodput at high SNR")
+	}
+}
+
+func TestFig11FitNearPaper(t *testing.T) {
+	r, err := RunFig11(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The regenerated N_tries fit should land near the paper's constants;
+	// alpha absorbs ACK losses so it may run slightly high.
+	if r.FitBeta < -0.25 || r.FitBeta > -0.10 {
+		t.Errorf("fit beta = %v, paper −0.18", r.FitBeta)
+	}
+	if r.FitAlpha < 0.008 || r.FitAlpha > 0.045 {
+		t.Errorf("fit alpha = %v, paper 0.02", r.FitAlpha)
+	}
+	// Mean tries decreases with SNR for the largest payload.
+	for _, s := range r.Measured {
+		if !strings.Contains(s.Name, "110") || s.Len() < 4 {
+			continue
+		}
+		if s.Y[0] <= s.Y[s.Len()-1] {
+			t.Errorf("N_tries should fall with SNR: first %v last %v", s.Y[0], s.Y[s.Len()-1])
+		}
+	}
+}
+
+func TestFig12RadioLossModelAgreement(t *testing.T) {
+	r, err := RunFig12(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FitBeta < -0.25 || r.FitBeta > -0.08 {
+		t.Errorf("fit beta = %v, paper −0.145", r.FitBeta)
+	}
+	// Model and measurement agree: mean absolute difference of matched
+	// points below 0.08 for every N.
+	for i := range r.Measured {
+		m, f := r.Measured[i], r.Model[i]
+		if m.Len() != f.Len() || m.Len() == 0 {
+			t.Fatalf("series mismatch for %s", m.Name)
+		}
+		sum := 0.0
+		for j := range m.Y {
+			sum += math.Abs(m.Y[j] - f.Y[j])
+		}
+		if avg := sum / float64(m.Len()); avg > 0.08 {
+			t.Errorf("%s: mean |measured−model| = %v", m.Name, avg)
+		}
+	}
+	// Retransmissions reduce measured radio loss. Compare the mean loss
+	// over the live grey-zone band (points where the single-try loss is
+	// neither saturated nor negligible).
+	n1, n3 := r.Measured[0], r.Measured[2]
+	mean := func(s Series, lo, hi float64) (float64, int) {
+		sum, n := 0.0, 0
+		for i := range s.X {
+			if s.X[i] >= lo && s.X[i] < hi {
+				sum += s.Y[i]
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		return sum / float64(n), n
+	}
+	m1, c1 := mean(n1, 4, 14)
+	m3, c3 := mean(n3, 4, 14)
+	if c1 > 0 && c3 > 0 && m3 >= m1 {
+		t.Errorf("mean N=3 loss (%v) should be below N=1 (%v) in the grey band", m3, m1)
+	}
+}
+
+func TestFig13OptimalPayloads(t *testing.T) {
+	r, err := RunFig13(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-loss zone: max payload optimal regardless of N.
+	if got := r.Optimal["N=1,SNR=19"]; got != 114 {
+		t.Errorf("optimal at 19 dB N=1 = %d, want 114", got)
+	}
+	if got := r.Optimal["N=8,SNR=12"]; got != 114 {
+		t.Errorf("optimal at 12 dB N=8 = %d, want 114", got)
+	}
+	// Deep grey zone without retransmissions: below max; retransmissions
+	// raise it.
+	n1 := r.Optimal["N=1,SNR=5"]
+	n8 := r.Optimal["N=8,SNR=5"]
+	if n1 >= 114 {
+		t.Errorf("optimal at 5 dB N=1 = %d, want < 114", n1)
+	}
+	if n8 < n1 {
+		t.Errorf("N=8 optimal (%d) should be >= N=1 (%d)", n8, n1)
+	}
+}
+
+func TestTableIIExactness(t *testing.T) {
+	r, err := RunTableII(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	for _, c := range r.Comparisons {
+		if c.RelErr() > 0.02 {
+			t.Errorf("%s: paper %v vs measured %v (%.1f%%)",
+				c.Name, c.Paper, c.Measured, 100*c.RelErr())
+		}
+	}
+}
+
+func TestFig15QueueDelayBlowup(t *testing.T) {
+	r, err := RunFig15(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: two to three orders of magnitude between Q_max 30 and
+	// Q_max 1 in the grey zone. The scaled-down campaign (250 packets,
+	// bounded queue build-up) must still show a blow-up of ≥ 5×.
+	if r.GreyZoneRatio < 5 {
+		t.Errorf("grey-zone delay ratio = %v, want >> 1", r.GreyZoneRatio)
+	}
+}
+
+func TestFig16LossShape(t *testing.T) {
+	r, err := RunFig16(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LowLossSNR < 10 || r.LowLossSNR > 26 {
+		t.Errorf("low-loss SNR = %v, want ≈19", r.LowLossSNR)
+	}
+	// PLR decreases with SNR for the light workload of setting (a).
+	a := r.PerSetting["(a) no queue, no retx"]
+	light := a[3]
+	if light.Len() < 4 {
+		t.Fatal("missing series")
+	}
+	if light.Y[0] <= light.Y[light.Len()-1] {
+		t.Errorf("PLR should fall with SNR: %v", light.Y)
+	}
+}
+
+func TestFig17RetransmissionTradeoff(t *testing.T) {
+	r, err := RunFig17(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's trade-off: more retransmissions cut radio loss but
+	// inflate queue loss under load in the grey zone.
+	if r.RadioLossN8 >= r.RadioLossN1 {
+		t.Errorf("radio loss N=8 (%v) should be < N=1 (%v)",
+			r.RadioLossN8, r.RadioLossN1)
+	}
+	if r.QueueLossN8 <= r.QueueLossN1 {
+		t.Errorf("queue loss N=8 (%v) should be > N=1 (%v)",
+			r.QueueLossN8, r.QueueLossN1)
+	}
+}
+
+func TestTableIVJointWins(t *testing.T) {
+	r, err := RunTableIV(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	if !r.JointBeatsAllGoodput {
+		t.Error("joint tuning must match or beat every single-parameter goodput")
+	}
+	joint := r.Rows[len(r.Rows)-1]
+	for _, row := range r.Rows[:len(r.Rows)-1] {
+		if joint.GoodputKbps < row.GoodputKbps-1e-9 {
+			t.Errorf("joint goodput %v below %s's %v",
+				joint.GoodputKbps, row.Method, row.GoodputKbps)
+		}
+	}
+	// Direction of the paper's ranking is preserved: minimal-payload is
+	// the worst goodput among the single rows.
+	var minG, maxG float64 = math.Inf(1), 0
+	var minName string
+	for _, row := range r.Rows[:4] {
+		if row.GoodputKbps < minG {
+			minG, minName = row.GoodputKbps, row.Method
+		}
+		if row.GoodputKbps > maxG {
+			maxG = row.GoodputKbps
+		}
+	}
+	if minName != "[1]-Minimal lD" {
+		t.Errorf("worst single-parameter method = %s, want [1]-Minimal lD", minName)
+	}
+	if len(r.ParetoFront) == 0 {
+		t.Error("empty Pareto front")
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "Our work") {
+		t.Error("render missing joint row")
+	}
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// MACSetting is one of the paper's four canonical MAC configurations
+// (queue × retransmission), used by Figs. 10, 15 and 16.
+type MACSetting struct {
+	Name     string
+	QueueCap int
+	MaxTries int
+}
+
+// FourMACSettings returns the paper's (a)–(d) configurations.
+func FourMACSettings() []MACSetting {
+	return []MACSetting{
+		{Name: "(a) no queue, no retx", QueueCap: 1, MaxTries: 1},
+		{Name: "(b) no queue, retx", QueueCap: 1, MaxTries: 3},
+		{Name: "(c) queue, no retx", QueueCap: 30, MaxTries: 1},
+		{Name: "(d) queue, retx", QueueCap: 30, MaxTries: 3},
+	}
+}
+
+// workload is a (T_pkt, l_D) traffic combination shown in Figs. 10/15/16.
+type workload struct {
+	interval float64
+	payload  int
+}
+
+func figWorkloads() []workload {
+	return []workload{
+		{0.010, 110},
+		{0.030, 110},
+		{0.010, 35},
+		{0.100, 110},
+	}
+}
+
+// macConfigSweep simulates every MAC setting × workload across the SNR
+// range (distances 25/30/35 m × all power levels) and returns the rows.
+func macConfigSweep(opts Options, settings []MACSetting) ([]sweep.Row, error) {
+	var cfgs []stack.Config
+	for _, ms := range settings {
+		for _, wl := range figWorkloads() {
+			for _, d := range []float64{25, 30, 35} {
+				for _, p := range phy.StandardPowerLevels {
+					cfgs = append(cfgs, stack.Config{
+						DistanceM:    d,
+						TxPower:      p,
+						MaxTries:     ms.MaxTries,
+						RetryDelay:   0,
+						QueueCap:     ms.QueueCap,
+						PktInterval:  wl.interval,
+						PayloadBytes: wl.payload,
+					})
+				}
+			}
+		}
+	}
+	return sweep.RunConfigs(cfgs, sweep.RunOptions{
+		Packets: opts.Packets, BaseSeed: opts.Seed + 10,
+		Fast: !opts.FullDES, Workers: opts.Workers,
+	})
+}
+
+// seriesPerWorkload groups rows of one MAC setting into per-workload series
+// of (SNR, value).
+func seriesPerWorkload(rows []sweep.Row, ms MACSetting, value func(sweep.Row) float64) []Series {
+	var out []Series
+	for _, wl := range figWorkloads() {
+		s := Series{Name: fmt.Sprintf("%s Tpkt=%gms lD=%dB",
+			ms.Name, wl.interval*1000, wl.payload)}
+		for _, r := range rows {
+			if r.Config.QueueCap != ms.QueueCap || r.Config.MaxTries != ms.MaxTries ||
+				r.Config.PktInterval != wl.interval || r.Config.PayloadBytes != wl.payload {
+				continue
+			}
+			s.Append(r.Report.MeanSNR, value(r))
+		}
+		s.Sort()
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig10Result reproduces Fig. 10: goodput vs SNR under the four MAC
+// configurations and several traffic workloads.
+type Fig10Result struct {
+	// PerSetting holds, for each of the four MAC settings, one goodput
+	// series per workload.
+	PerSetting map[string][]Series
+	// SaturationSNR is the measured SNR beyond which goodput for the
+	// heaviest workload stops improving by more than 5% (paper: ≈19 dB).
+	SaturationSNR float64
+	Comparisons   []Comparison
+}
+
+// RunFig10 regenerates Fig. 10.
+func RunFig10(opts Options) (Fig10Result, error) {
+	opts = opts.withDefaults()
+	settings := FourMACSettings()
+	rows, err := macConfigSweep(opts, settings)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	res := Fig10Result{PerSetting: make(map[string][]Series, len(settings))}
+	for _, ms := range settings {
+		res.PerSetting[ms.Name] = seriesPerWorkload(rows, ms,
+			func(r sweep.Row) float64 { return r.Report.GoodputKbps })
+	}
+
+	// Saturation point on the (d) setting, heaviest workload.
+	heavy := res.PerSetting[settings[3].Name][0]
+	res.SaturationSNR = saturationPoint(heavy, 0.10)
+	res.Comparisons = []Comparison{
+		{Name: "goodput saturation SNR (dB)", Paper: 19, Measured: res.SaturationSNR},
+	}
+	return res, nil
+}
+
+// saturationPoint returns the first x beyond which y never again improves
+// on its running maximum by more than frac (relative). Returns the last x
+// if the series keeps improving.
+func saturationPoint(s Series, frac float64) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	_, ymax := s.YMax()
+	for i := range s.X {
+		if s.Y[i] >= ymax*(1-frac) {
+			return s.X[i]
+		}
+	}
+	return s.X[len(s.X)-1]
+}
+
+// Render writes the result as text.
+func (r Fig10Result) Render(w io.Writer) {
+	for _, ms := range FourMACSettings() {
+		renderSeries(w, "Fig 10 "+ms.Name+": goodput (kbps) vs SNR", r.PerSetting[ms.Name])
+	}
+	renderComparisons(w, "Fig 10", r.Comparisons)
+}
+
+// Fig11Result reproduces Fig. 11: the measured average number of
+// transmissions vs SNR per payload, and the exponential fit of Eq. 7
+// (paper: α = 0.02, β = −0.18).
+type Fig11Result struct {
+	// Measured: one series per payload, x = SNR, y = mean N_tries.
+	Measured []Series
+	// Model: the same series from the fitted model.
+	Model []Series
+	// FitAlpha/FitBeta are the re-fitted constants.
+	FitAlpha    float64
+	FitBeta     float64
+	Comparisons []Comparison
+}
+
+// RunFig11 regenerates Fig. 11.
+func RunFig11(opts Options) (Fig11Result, error) {
+	opts = opts.withDefaults()
+	payloads := []int{20, 65, 110}
+	space := stack.Space{
+		DistancesM:    []float64{25, 30, 35},
+		TxPowers:      phy.StandardPowerLevels,
+		MaxTries:      []int{8},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.250},
+		PayloadsBytes: payloads,
+	}
+	rows, err := sweep.RunSpace(space, sweep.RunOptions{
+		Packets: opts.Packets, BaseSeed: opts.Seed + 11,
+		Fast: !opts.FullDES, Workers: opts.Workers,
+	})
+	if err != nil {
+		return Fig11Result{}, err
+	}
+
+	cal, err := models.Calibrate(sweep.ToObservations(rows))
+	if err != nil {
+		return Fig11Result{}, fmt.Errorf("fig11: %w", err)
+	}
+
+	var res Fig11Result
+	res.FitAlpha = cal.NtriesFit.Alpha
+	res.FitBeta = cal.NtriesFit.Beta
+	for _, lD := range payloads {
+		m := Series{Name: fmt.Sprintf("measured lD=%dB", lD)}
+		f := Series{Name: fmt.Sprintf("fit lD=%dB", lD)}
+		for _, r := range rows {
+			if r.Config.PayloadBytes != lD || r.Report.MeanTries == 0 {
+				continue
+			}
+			m.Append(r.Report.MeanSNR, r.Report.MeanTries)
+			f.Append(r.Report.MeanSNR, cal.Suite.Ntries.Tries(lD, r.Report.MeanSNR))
+		}
+		m.Sort()
+		f.Sort()
+		res.Measured = append(res.Measured, m)
+		res.Model = append(res.Model, f)
+	}
+	res.Comparisons = []Comparison{
+		{Name: "Ntries fit alpha", Paper: 0.02, Measured: res.FitAlpha},
+		{Name: "Ntries fit beta", Paper: -0.18, Measured: res.FitBeta},
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig11Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 11: mean N_tries vs SNR (measured)", r.Measured)
+	renderSeries(w, "Fig 11: mean N_tries vs SNR (fit)", r.Model)
+	renderComparisons(w, "Fig 11", r.Comparisons)
+}
+
+// Fig12Result reproduces Fig. 12: the radio loss model (Eq. 8) against the
+// measured radio loss for different retransmission budgets.
+type Fig12Result struct {
+	// Measured/Model: one series per N_maxTries, x = SNR, y = PLR_radio.
+	Measured []Series
+	Model    []Series
+	// FitAlpha/FitBeta are the re-fitted Eq. 8 base constants
+	// (paper: 0.011, −0.145).
+	FitAlpha    float64
+	FitBeta     float64
+	Comparisons []Comparison
+}
+
+// RunFig12 regenerates Fig. 12.
+func RunFig12(opts Options) (Fig12Result, error) {
+	opts = opts.withDefaults()
+	tries := []int{1, 2, 3}
+	space := stack.Space{
+		DistancesM:    []float64{25, 30, 35},
+		TxPowers:      phy.StandardPowerLevels,
+		MaxTries:      tries,
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.250},
+		PayloadsBytes: []int{110},
+	}
+	rows, err := sweep.RunSpace(space, sweep.RunOptions{
+		Packets: opts.Packets, BaseSeed: opts.Seed + 12,
+		Fast: !opts.FullDES, Workers: opts.Workers,
+	})
+	if err != nil {
+		return Fig12Result{}, err
+	}
+	cal, err := models.Calibrate(sweep.ToObservations(rows))
+	if err != nil {
+		return Fig12Result{}, fmt.Errorf("fig12: %w", err)
+	}
+
+	var res Fig12Result
+	res.FitAlpha = cal.RadioFit.Alpha
+	res.FitBeta = cal.RadioFit.Beta
+	for _, n := range tries {
+		m := Series{Name: fmt.Sprintf("measured N=%d", n)}
+		f := Series{Name: fmt.Sprintf("model N=%d", n)}
+		for _, r := range rows {
+			if r.Config.MaxTries != n {
+				continue
+			}
+			m.Append(r.Report.MeanSNR, r.Report.PLRRadio)
+			f.Append(r.Report.MeanSNR, cal.Suite.RadioLoss.PLR(110, r.Report.MeanSNR, n))
+		}
+		m.Sort()
+		f.Sort()
+		res.Measured = append(res.Measured, m)
+		res.Model = append(res.Model, f)
+	}
+	res.Comparisons = []Comparison{
+		{Name: "radio loss fit alpha", Paper: 0.011, Measured: res.FitAlpha},
+		{Name: "radio loss fit beta", Paper: -0.145, Measured: res.FitBeta},
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig12Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 12: PLR_radio vs SNR (measured)", r.Measured)
+	renderSeries(w, "Fig 12: PLR_radio vs SNR (model)", r.Model)
+	renderComparisons(w, "Fig 12", r.Comparisons)
+}
+
+// Fig13Result reproduces Fig. 13: model maxGoodput vs payload size for
+// several SNR levels, with and without retransmissions, and the optimal
+// payload in each case.
+type Fig13Result struct {
+	// NoRetx / WithRetx: one series per SNR, x = payload, y = maxGoodput.
+	NoRetx   []Series
+	WithRetx []Series
+	// Optimal maps "N=<n>,SNR=<snr>" to the optimal payload size.
+	Optimal map[string]int
+}
+
+// RunFig13 regenerates Fig. 13 (model-only, like the paper's figure).
+func RunFig13(opts Options) (Fig13Result, error) {
+	_ = opts // model-only
+	g := models.PaperGoodput()
+	res := Fig13Result{Optimal: make(map[string]int)}
+	snrs := []float64{5, 7, 9, 12, 19}
+	for _, withRetx := range []bool{false, true} {
+		n := 1
+		if withRetx {
+			n = 8
+		}
+		for _, snr := range snrs {
+			s := Series{Name: fmt.Sprintf("SNR=%gdB N=%d", snr, n)}
+			for lD := 5; lD <= 114; lD += 3 {
+				s.Append(float64(lD), g.MaxGoodputKbps(lD, snr, n, 0))
+			}
+			if withRetx {
+				res.WithRetx = append(res.WithRetx, s)
+			} else {
+				res.NoRetx = append(res.NoRetx, s)
+			}
+			res.Optimal[fmt.Sprintf("N=%d,SNR=%g", n, snr)] = g.OptimalPayload(snr, n, 0)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig13Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 13: model maxGoodput vs payload (no retx)", r.NoRetx)
+	renderSeries(w, "Fig 13: model maxGoodput vs payload (with retx)", r.WithRetx)
+	fmt.Fprintln(w, "optimal payloads:")
+	for k, v := range r.Optimal {
+		fmt.Fprintf(w, "  %s → %d B\n", k, v)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/stats"
+	"wsnlink/internal/sweep"
+)
+
+// perSweep runs the no-retransmission sweep that PER analysis uses: every
+// distance × power × payload with N_maxTries = 1 so the raw transmission
+// error rate is observable, and a slow arrival rate so queueing never
+// interferes.
+func perSweep(opts Options, payloads []int) ([]sweep.Row, error) {
+	space := stack.Space{
+		DistancesM:    []float64{5, 10, 15, 20, 25, 30, 35},
+		TxPowers:      phy.StandardPowerLevels,
+		MaxTries:      []int{1},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.050},
+		PayloadsBytes: payloads,
+	}
+	return sweep.RunSpace(space, sweep.RunOptions{
+		Packets:  opts.Packets,
+		BaseSeed: opts.Seed,
+		Fast:     !opts.FullDES,
+		Workers:  opts.Workers,
+	})
+}
+
+// Fig6Result reproduces Fig. 6: the joint effects of SNR and payload size on
+// PER and the three joint-effect zones.
+type Fig6Result struct {
+	// Scatter (6a/6b): one series per payload, x = measured SNR,
+	// y = measured PER, sorted by SNR.
+	Scatter []Series
+	// PayloadImpact (6c): one series per SNR bin, x = payload, y = PER.
+	PayloadImpact []Series
+	// ZoneView (6d): PER for min payload, max payload and the average
+	// across payloads, per 2 dB SNR bin.
+	MinPER Series
+	MaxPER Series
+	AvgPER Series
+	// SpreadByZone is the mean (maxPER − minPER) payload spread per zone,
+	// quantifying the zone definitions.
+	SpreadByZone map[models.Zone]float64
+	// TransitionSNRMaxPayload is the measured SNR where PER for the
+	// largest payload first drops below 0.1 (paper: ≈19 dB).
+	TransitionSNRMaxPayload float64
+	Comparisons             []Comparison
+}
+
+// RunFig6 regenerates Fig. 6.
+func RunFig6(opts Options) (Fig6Result, error) {
+	opts = opts.withDefaults()
+	payloads := []int{5, 20, 35, 50, 65, 80, 95, 110}
+	rows, err := perSweep(opts, payloads)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+
+	var res Fig6Result
+	res.SpreadByZone = make(map[models.Zone]float64)
+
+	// 6a/6b: scatter per payload.
+	for _, lD := range []int{5, 50, 110} {
+		s := Series{Name: fmt.Sprintf("lD=%dB", lD)}
+		for _, r := range rows {
+			if r.Config.PayloadBytes == lD {
+				s.Append(r.Report.MeanSNR, r.Report.PER)
+			}
+		}
+		s.Sort()
+		res.Scatter = append(res.Scatter, s)
+	}
+
+	// Bin rows by SNR (2 dB bins) and payload.
+	type key struct {
+		bin int
+		lD  int
+	}
+	binOf := func(snr float64) int { return int(snr / 2) }
+	perByBin := make(map[key][]float64)
+	for _, r := range rows {
+		if r.Report.MeanSNR < 2 || r.Report.MeanSNR > 34 {
+			continue
+		}
+		k := key{binOf(r.Report.MeanSNR), r.Config.PayloadBytes}
+		perByBin[k] = append(perByBin[k], r.Report.PER)
+	}
+
+	// 6c: PER vs payload at representative SNR bins.
+	for _, snr := range []float64{6, 10, 14, 18, 24} {
+		s := Series{Name: fmt.Sprintf("SNR≈%gdB", snr)}
+		for _, lD := range payloads {
+			if xs := perByBin[key{binOf(snr), lD}]; len(xs) > 0 {
+				s.Append(float64(lD), stats.Mean(xs))
+			}
+		}
+		res.PayloadImpact = append(res.PayloadImpact, s)
+	}
+
+	// 6d: min/max/avg payload PER per bin, spread per zone, transition.
+	res.MinPER = Series{Name: "lD=5B"}
+	res.MaxPER = Series{Name: "lD=110B"}
+	res.AvgPER = Series{Name: "average over lD"}
+	bins := make(map[int]bool)
+	for k := range perByBin {
+		bins[k.bin] = true
+	}
+	var sortedBins []int
+	for b := range bins {
+		sortedBins = append(sortedBins, b)
+	}
+	sort.Ints(sortedBins)
+
+	spreadSum := make(map[models.Zone]float64)
+	spreadN := make(map[models.Zone]int)
+	res.TransitionSNRMaxPayload = -1
+	for _, b := range sortedBins {
+		snr := float64(b)*2 + 1
+		minXs := perByBin[key{b, 5}]
+		maxXs := perByBin[key{b, 110}]
+		if len(minXs) == 0 || len(maxXs) == 0 {
+			continue
+		}
+		minPER, maxPER := stats.Mean(minXs), stats.Mean(maxXs)
+		var all []float64
+		for _, lD := range payloads {
+			all = append(all, perByBin[key{b, lD}]...)
+		}
+		res.MinPER.Append(snr, minPER)
+		res.MaxPER.Append(snr, maxPER)
+		res.AvgPER.Append(snr, stats.Mean(all))
+
+		z := models.ClassifySNR(snr)
+		spreadSum[z] += maxPER - minPER
+		spreadN[z]++
+		if res.TransitionSNRMaxPayload < 0 && maxPER < 0.1 {
+			res.TransitionSNRMaxPayload = snr
+		}
+	}
+	for z, n := range spreadN {
+		res.SpreadByZone[z] = spreadSum[z] / float64(n)
+	}
+
+	res.Comparisons = []Comparison{
+		{
+			Name:     "SNR where PER(lD=110) < 0.1 (dB)",
+			Paper:    19,
+			Measured: res.TransitionSNRMaxPayload,
+		},
+	}
+	return res, nil
+}
+
+// Render writes the result as text.
+func (r Fig6Result) Render(w io.Writer) {
+	renderSeries(w, "Fig 6a/b: PER vs SNR per payload", r.Scatter)
+	renderSeries(w, "Fig 6c: PER vs payload per SNR", r.PayloadImpact)
+	renderSeries(w, "Fig 6d: zone view", []Series{r.MinPER, r.MaxPER, r.AvgPER})
+	fmt.Fprintln(w, "payload spread (maxPER-minPER) per zone:")
+	for z := models.ZoneDead; z <= models.ZoneLowImpact; z++ {
+		if v, ok := r.SpreadByZone[z]; ok {
+			fmt.Fprintf(w, "  %-14s %.3f\n", z, v)
+		}
+	}
+	renderComparisons(w, "Fig 6", r.Comparisons)
+}

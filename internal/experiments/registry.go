@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Renderer is implemented by every experiment result.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (Renderer, error)
+
+// wrap adapts a typed experiment function to the Runner signature.
+func wrap[T Renderer](f func(Options) (T, error)) Runner {
+	return func(o Options) (Renderer, error) {
+		r, err := f(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// Registry maps experiment IDs (as used by `wsnbench -exp`) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":   wrap(RunTableIV), // Fig 1 is the Table IV trade-off plot
+		"fig3":   wrap(RunFig3),
+		"fig4":   wrap(RunFig4),
+		"fig5":   wrap(RunFig5),
+		"fig6":   wrap(RunFig6),
+		"fig7":   wrap(RunFig7),
+		"fig8":   wrap(RunFig8),
+		"fig9":   wrap(RunFig9),
+		"fig10":  wrap(RunFig10),
+		"fig11":  wrap(RunFig11),
+		"fig12":  wrap(RunFig12),
+		"fig13":  wrap(RunFig13),
+		"fig15":  wrap(RunFig15),
+		"fig16":  wrap(RunFig16),
+		"fig17":  wrap(RunFig17),
+		"table2": wrap(RunTableII),
+		"table4": wrap(RunTableIV),
+		// Ablations of this reproduction's design choices.
+		"ablation-radio": wrap(RunAblationRadio),
+		// Extensions beyond the paper (its Sec. VIII-D future work).
+		"ext-contention":   wrap(RunExtContention),
+		"ext-interference": wrap(RunExtInterference),
+		"ext-lpl":          wrap(RunExtLPL),
+		"ext-mobility":     wrap(RunExtMobility),
+	}
+}
+
+// Names returns the registry keys sorted.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunAll executes every distinct experiment (table4 and fig1 share an
+// implementation and run once) and renders them to w in name order.
+func RunAll(opts Options, w io.Writer) error {
+	seen := map[string]bool{"fig1": true} // alias of table4
+	for _, name := range Names() {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		r, err := Registry()[name](opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		fmt.Fprintf(w, "\n######## %s ########\n", name)
+		r.Render(w)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package interference models concurrent transmissions — the first of the
+// factors the paper's discussion (Sec. VIII-D) defers to future work: "One
+// is concurrent transmission, which can cause extra packet loss due to
+// packet collisions."
+//
+// The model is a two-state (ON/OFF) burst process layered over any base
+// error model. While the interferer is ON, the victim link sees a reduced
+// SINR (the interference power adds to the noise floor) and, optionally, a
+// hard collision probability (same-channel 802.15.4 frames that overlap in
+// time are lost regardless of SINR). Burst dwell times are geometric in
+// units of transmission attempts, matching how the simulator samples the
+// channel.
+//
+// A Bursty model carries mutable burst state and therefore must not be
+// shared across concurrent simulations; construct one per run (see
+// NewBursty).
+package interference
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/units"
+)
+
+// Params configures the interference burst process.
+type Params struct {
+	// DutyCycle is the long-run fraction of time the interferer is ON,
+	// in (0,1).
+	DutyCycle float64
+	// MeanBurstTx is the mean ON dwell time measured in victim
+	// transmission attempts (>= 1).
+	MeanBurstTx float64
+	// PowerAtVictimDBm is the interference power at the victim receiver.
+	// The SNR penalty while ON is how much this raises the noise floor
+	// above NoiseFloorDBm.
+	PowerAtVictimDBm float64
+	// NoiseFloorDBm is the victim's quiet noise floor (default −95).
+	NoiseFloorDBm float64
+	// CollisionProb is the extra per-transmission loss probability while
+	// ON (hard collisions), in [0,1].
+	CollisionProb float64
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.DutyCycle <= 0 || p.DutyCycle >= 1 {
+		return errors.New("interference: DutyCycle must be in (0,1)")
+	}
+	if p.MeanBurstTx < 1 {
+		return errors.New("interference: MeanBurstTx must be >= 1")
+	}
+	if p.CollisionProb < 0 || p.CollisionProb > 1 {
+		return errors.New("interference: CollisionProb must be in [0,1]")
+	}
+	return nil
+}
+
+// SNRPenaltyDB returns how many dB of SNR the interferer costs while ON:
+// the rise of the effective noise floor.
+func (p Params) SNRPenaltyDB() float64 {
+	noise := p.NoiseFloorDBm
+	if noise == 0 {
+		noise = -95
+	}
+	return units.AddPowersDBm(noise, p.PowerAtVictimDBm) - noise
+}
+
+// Bursty decorates a base error model with the ON/OFF interference process.
+// It implements phy.ErrorModel. Not safe for concurrent use.
+type Bursty struct {
+	base   phy.ErrorModel
+	params Params
+	rng    *rand.Rand
+
+	on        bool
+	pStayOn   float64
+	pEnterOn  float64
+	penaltyDB float64
+}
+
+var _ phy.ErrorModel = (*Bursty)(nil)
+
+// NewBursty builds the decorated model. The two-state chain's transition
+// probabilities follow from the duty cycle d and mean ON dwell L (attempts):
+// P(stay ON) = 1 − 1/L, and P(OFF→ON) solves the stationary equation
+// d = pEnter/(pEnter + 1/L · (1−d)/d)… i.e. pEnter = d/((1−d)·L).
+func NewBursty(base phy.ErrorModel, p Params, seed uint64) (*Bursty, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		base = phy.NewCalibrated()
+	}
+	pExit := 1 / p.MeanBurstTx
+	pEnter := p.DutyCycle / (1 - p.DutyCycle) * pExit
+	if pEnter > 1 {
+		pEnter = 1
+	}
+	return &Bursty{
+		base:      base,
+		params:    p,
+		rng:       rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc909)),
+		pStayOn:   1 - pExit,
+		pEnterOn:  pEnter,
+		penaltyDB: p.SNRPenaltyDB(),
+	}, nil
+}
+
+// step advances the burst chain by one transmission attempt and reports
+// whether the interferer is ON for this attempt.
+func (b *Bursty) step() bool {
+	if b.on {
+		b.on = b.rng.Float64() < b.pStayOn
+	} else {
+		b.on = b.rng.Float64() < b.pEnterOn
+	}
+	return b.on
+}
+
+// Active reports the current burst state (after the last attempt).
+func (b *Bursty) Active() bool { return b.on }
+
+// DataPER implements phy.ErrorModel: one call per transmission attempt.
+func (b *Bursty) DataPER(snrDB float64, payloadBytes int) float64 {
+	if !b.step() {
+		return b.base.DataPER(snrDB, payloadBytes)
+	}
+	per := b.base.DataPER(snrDB-b.penaltyDB, payloadBytes)
+	// Hard collision on top of the SINR degradation.
+	return units.Clamp(per+(1-per)*b.params.CollisionProb, 0, 1)
+}
+
+// AckPER implements phy.ErrorModel. The ACK follows the data frame within
+// the same burst state (no chain step: the ACK is microseconds later).
+func (b *Bursty) AckPER(snrDB float64) float64 {
+	if !b.on {
+		return b.base.AckPER(snrDB)
+	}
+	per := b.base.AckPER(snrDB - b.penaltyDB)
+	return units.Clamp(per+(1-per)*b.params.CollisionProb, 0, 1)
+}
+
+// ExpectedPER returns the long-run average PER the process induces at a
+// given SNR and payload — duty-cycle-weighted across states. Useful for
+// closed-form reasoning and tests.
+func (p Params) ExpectedPER(base phy.ErrorModel, snrDB float64, payloadBytes int) float64 {
+	if base == nil {
+		base = phy.NewCalibrated()
+	}
+	off := base.DataPER(snrDB, payloadBytes)
+	on := base.DataPER(snrDB-p.SNRPenaltyDB(), payloadBytes)
+	on = units.Clamp(on+(1-on)*p.CollisionProb, 0, 1)
+	return (1-p.DutyCycle)*off + p.DutyCycle*on
+}

@@ -1,0 +1,188 @@
+// Package lpl models low-power listening (LPL), the duty-cycled MAC used by
+// TinyOS on the CC2420 (BoX-MAC-2 style) — the second factor the paper's
+// discussion defers to future work: "MAC parameters related to periodic
+// wake-ups also have great impact on the performance."
+//
+// Under LPL the receiver sleeps and wakes every WakeInterval for a short
+// clear-channel check; a sender retransmits the data frame back to back for
+// up to one full wake interval until the receiver wakes, receives and ACKs.
+// The package provides the closed-form energy and latency models for this
+// scheme, the classic optimal-wake-interval trade-off (idle listening vs
+// transmit preamble cost), and the CC2420 current constants the models
+// need beyond the TX table in package phy.
+package lpl
+
+import (
+	"errors"
+	"math"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/mac"
+	"wsnlink/internal/phy"
+)
+
+// CC2420 / TelosB current constants (mA) beyond the TX table, aliased from
+// the radio model.
+const (
+	// RxCurrentMA is the CC2420 receive/listen current.
+	RxCurrentMA = phy.RxCurrentMA
+	// IdleCurrentMA is the radio idle (voltage regulator on) current.
+	IdleCurrentMA = phy.IdleCurrentMA
+	// SleepCurrentMA is the power-down current.
+	SleepCurrentMA = phy.SleepCurrentMA
+	// WakeCheckSeconds is the receiver's periodic channel-sample cost
+	// (radio start-up + CCA, ≈ 5.6 ms on the CC2420 TinyOS stack).
+	WakeCheckSeconds = 0.0056
+)
+
+// Config parameterises an LPL link.
+type Config struct {
+	// WakeInterval is the receiver's sleep period between channel checks
+	// in seconds (> 0).
+	WakeInterval float64
+	// TxPower is the sender's power level.
+	TxPower phy.PowerLevel
+	// PayloadBytes is the data payload l_D.
+	PayloadBytes int
+	// MsgRatePerS is the application message rate λ (messages/second),
+	// used by the energy-per-message and duty-cycle computations.
+	MsgRatePerS float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.WakeInterval <= 0 {
+		return errors.New("lpl: WakeInterval must be positive")
+	}
+	if !c.TxPower.Valid() {
+		return errors.New("lpl: invalid power level")
+	}
+	if c.PayloadBytes < 1 || c.PayloadBytes > frame.MaxPayloadBytes {
+		return errors.New("lpl: invalid payload")
+	}
+	if c.MsgRatePerS < 0 {
+		return errors.New("lpl: negative message rate")
+	}
+	return nil
+}
+
+// mWh helpers: all energies below are in microjoules (µJ), matching the
+// U_eng convention of the rest of the library; power = V · I.
+func energyMicroJ(currentMA, seconds float64) float64 {
+	return phy.SupplyVolts * currentMA * seconds * 1000 // mA·s·V = mJ → ×1000 µJ
+}
+
+// SenderEnergyPerMsg returns the sender's expected radio energy to deliver
+// one message: the transmit train runs for WakeInterval/2 on average until
+// the receiver's check lands, then the final frame + ACK wait complete.
+func (c Config) SenderEnergyPerMsg() float64 {
+	frameTime := mac.FrameAirTime(c.PayloadBytes)
+	trainTime := c.WakeInterval/2 + frameTime + mac.AckTime
+	return energyMicroJ(c.TxPower.CurrentMA(), trainTime)
+}
+
+// ReceiverEnergyPerSecond returns the receiver's expected radio power in
+// µJ/s: periodic wake checks, sleeping in between, plus reception time for
+// the incoming message rate (on average the receiver listens for half the
+// sender's train before the data frame arrives... under BoX-MAC the
+// receiver stays awake only ~2 frame times once it detects energy).
+func (c Config) ReceiverEnergyPerSecond() float64 {
+	checksPerS := 1 / c.WakeInterval
+	checkEnergy := energyMicroJ(RxCurrentMA, WakeCheckSeconds)
+	sleepEnergy := energyMicroJ(SleepCurrentMA, 1-checksPerS*WakeCheckSeconds)
+	rxPerMsg := energyMicroJ(RxCurrentMA, 2*mac.FrameAirTime(c.PayloadBytes)+mac.AckTime)
+	return checksPerS*checkEnergy + sleepEnergy + c.MsgRatePerS*rxPerMsg
+}
+
+// EnergyPerMsg returns the total (sender + receiver) radio energy per
+// delivered message in µJ. The receiver's idle cost is amortised over the
+// message rate; a zero rate returns +Inf (idle cost with nothing delivered).
+func (c Config) EnergyPerMsg() float64 {
+	if c.MsgRatePerS <= 0 {
+		return math.Inf(1)
+	}
+	return c.SenderEnergyPerMsg() + c.ReceiverEnergyPerSecond()/c.MsgRatePerS
+}
+
+// EnergyPerBit returns EnergyPerMsg per delivered payload bit (µJ/bit).
+func (c Config) EnergyPerBit() float64 {
+	return c.EnergyPerMsg() / (8 * float64(c.PayloadBytes))
+}
+
+// ExpectedLatency returns the mean one-hop latency: half a wake interval of
+// rendezvous plus the ordinary service components.
+func (c Config) ExpectedLatency() float64 {
+	return c.WakeInterval/2 + mac.SPILoadTime(c.PayloadBytes) +
+		mac.FrameAirTime(c.PayloadBytes) + mac.AckTime
+}
+
+// ReceiverDutyCycle returns the fraction of time the receiver's radio is on.
+func (c Config) ReceiverDutyCycle() float64 {
+	on := WakeCheckSeconds/c.WakeInterval +
+		c.MsgRatePerS*(2*mac.FrameAirTime(c.PayloadBytes)+mac.AckTime)
+	if on > 1 {
+		on = 1
+	}
+	return on
+}
+
+// OptimalWakeInterval returns the wake interval minimising EnergyPerMsg for
+// the configured rate and payload, searched over [lo, hi] by golden-section
+// (the objective is unimodal: sender cost grows linearly with the interval,
+// receiver check cost shrinks as 1/interval).
+func (c Config) OptimalWakeInterval(lo, hi float64) (float64, error) {
+	if lo <= 0 || hi <= lo {
+		return 0, errors.New("lpl: need 0 < lo < hi")
+	}
+	if c.MsgRatePerS <= 0 {
+		return 0, errors.New("lpl: message rate must be positive")
+	}
+	obj := func(w float64) float64 {
+		cc := c
+		cc.WakeInterval = w
+		return cc.EnergyPerMsg()
+	}
+	const phiInv = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - phiInv*(b-a)
+	x2 := a + phiInv*(b-a)
+	f1, f2 := obj(x1), obj(x2)
+	for i := 0; i < 200 && b-a > 1e-6; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phiInv*(b-a)
+			f1 = obj(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phiInv*(b-a)
+			f2 = obj(x2)
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// AnalyticOptimalWakeInterval returns the closed-form approximation of the
+// optimal wake interval: balancing the sender's λ·Tw/2 transmit cost against
+// the receiver's Tcheck/Tw listen cost gives
+//
+//	Tw* = sqrt( 2·I_rx·T_check / (λ·I_tx) ).
+func (c Config) AnalyticOptimalWakeInterval() float64 {
+	if c.MsgRatePerS <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 * RxCurrentMA * WakeCheckSeconds /
+		(c.MsgRatePerS * c.TxPower.CurrentMA()))
+}
+
+// AlwaysOnEnergyPerMsg returns the per-message energy of a non-duty-cycled
+// receiver (radio always listening) for comparison: the baseline LPL was
+// invented to beat at low message rates.
+func (c Config) AlwaysOnEnergyPerMsg() float64 {
+	if c.MsgRatePerS <= 0 {
+		return math.Inf(1)
+	}
+	frameTime := mac.FrameAirTime(c.PayloadBytes)
+	sender := energyMicroJ(c.TxPower.CurrentMA(), frameTime+mac.AckTime)
+	receiverPerS := energyMicroJ(RxCurrentMA, 1)
+	return sender + receiverPerS/c.MsgRatePerS
+}

@@ -1,0 +1,251 @@
+package lpl
+
+import (
+	"math"
+	"testing"
+)
+
+func validConfig() Config {
+	return Config{
+		WakeInterval: 0.5,
+		TxPower:      31,
+		PayloadBytes: 50,
+		MsgRatePerS:  0.1, // one message every 10 s — typical sensing
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.WakeInterval = 0 },
+		func(c *Config) { c.TxPower = 2 },
+		func(c *Config) { c.PayloadBytes = 0 },
+		func(c *Config) { c.PayloadBytes = 200 },
+		func(c *Config) { c.MsgRatePerS = -1 },
+	}
+	for i, mutate := range bad {
+		c := validConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSenderEnergyGrowsWithWakeInterval(t *testing.T) {
+	c := validConfig()
+	prev := 0.0
+	for w := 0.1; w <= 2; w += 0.1 {
+		c.WakeInterval = w
+		e := c.SenderEnergyPerMsg()
+		if e <= prev {
+			t.Fatalf("sender energy not increasing at w=%v", w)
+		}
+		prev = e
+	}
+}
+
+func TestReceiverCheckCostShrinksWithWakeInterval(t *testing.T) {
+	c := validConfig()
+	c.MsgRatePerS = 0 // isolate the periodic check cost
+	short := c
+	short.WakeInterval = 0.1
+	long := c
+	long.WakeInterval = 2
+	if short.ReceiverEnergyPerSecond() <= long.ReceiverEnergyPerSecond() {
+		t.Error("longer wake interval should cost the receiver less idle energy")
+	}
+}
+
+func TestEnergyPerMsgUnimodal(t *testing.T) {
+	// Sweeping the wake interval, energy per message should fall then
+	// rise (idle listening vs preamble trade-off) with a single minimum.
+	c := validConfig()
+	var prev float64
+	direction := -1 // expect decreasing first
+	flips := 0
+	for w := 0.02; w <= 5; w *= 1.3 {
+		c.WakeInterval = w
+		e := c.EnergyPerMsg()
+		if prev != 0 {
+			cur := 1
+			if e < prev {
+				cur = -1
+			}
+			if cur != direction {
+				flips++
+				direction = cur
+			}
+		}
+		prev = e
+	}
+	if flips != 1 {
+		t.Errorf("energy curve direction changed %d times, want exactly 1 (unimodal)", flips)
+	}
+}
+
+func TestOptimalWakeInterval(t *testing.T) {
+	c := validConfig()
+	opt, err := c.OptimalWakeInterval(0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The numeric optimum must be near the closed-form approximation.
+	analytic := c.AnalyticOptimalWakeInterval()
+	if math.Abs(opt-analytic)/analytic > 0.25 {
+		t.Errorf("numeric optimum %v vs analytic %v", opt, analytic)
+	}
+	// And it must actually be a minimum: neighbours cost more.
+	at := func(w float64) float64 {
+		cc := c
+		cc.WakeInterval = w
+		return cc.EnergyPerMsg()
+	}
+	if at(opt) > at(opt*1.5) || at(opt) > at(opt/1.5) {
+		t.Errorf("optimum %v is not a local minimum", opt)
+	}
+}
+
+func TestOptimalWakeIntervalScalesWithRate(t *testing.T) {
+	// Higher message rates favour shorter wake intervals (Tw* ∝ 1/sqrt(λ)).
+	slow := validConfig()
+	slow.MsgRatePerS = 0.01
+	fast := validConfig()
+	fast.MsgRatePerS = 5
+	so, err := slow.OptimalWakeInterval(0.005, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := fast.OptimalWakeInterval(0.005, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo >= so {
+		t.Errorf("fast-rate optimum %v should be below slow-rate %v", fo, so)
+	}
+	ratio := so / fo
+	want := math.Sqrt(5 / 0.01)
+	if math.Abs(ratio-want)/want > 0.3 {
+		t.Errorf("optimum ratio %v, want ≈ sqrt(rate ratio) = %v", ratio, want)
+	}
+}
+
+func TestOptimalWakeIntervalErrors(t *testing.T) {
+	c := validConfig()
+	if _, err := c.OptimalWakeInterval(0, 1); err == nil {
+		t.Error("lo=0 should error")
+	}
+	if _, err := c.OptimalWakeInterval(1, 0.5); err == nil {
+		t.Error("hi<lo should error")
+	}
+	c.MsgRatePerS = 0
+	if _, err := c.OptimalWakeInterval(0.01, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestLPLBeatsAlwaysOnAtLowRates(t *testing.T) {
+	// The reason duty cycling exists: at one message per 10 s, LPL at its
+	// optimal wake interval spends far less energy than an always-on
+	// receiver; at very high rates the advantage vanishes.
+	c := validConfig()
+	opt, err := c.OptimalWakeInterval(0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WakeInterval = opt
+	if c.EnergyPerMsg() >= c.AlwaysOnEnergyPerMsg()/5 {
+		t.Errorf("LPL %v µJ/msg should be ≥5× below always-on %v µJ/msg",
+			c.EnergyPerMsg(), c.AlwaysOnEnergyPerMsg())
+	}
+
+	busy := validConfig()
+	busy.MsgRatePerS = 40
+	bOpt, err := busy.OptimalWakeInterval(0.005, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy.WakeInterval = bOpt
+	lowRateAdvantage := c.AlwaysOnEnergyPerMsg() / c.EnergyPerMsg()
+	highRateAdvantage := busy.AlwaysOnEnergyPerMsg() / busy.EnergyPerMsg()
+	if highRateAdvantage >= lowRateAdvantage {
+		t.Errorf("LPL advantage should shrink with rate: %vx vs %vx",
+			highRateAdvantage, lowRateAdvantage)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	c := validConfig()
+	got := c.EnergyPerBit()
+	want := c.EnergyPerMsg() / (8 * 50)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("EnergyPerBit = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyPerMsgZeroRate(t *testing.T) {
+	c := validConfig()
+	c.MsgRatePerS = 0
+	if !math.IsInf(c.EnergyPerMsg(), 1) {
+		t.Error("zero rate should yield +Inf energy per message")
+	}
+	if !math.IsInf(c.AlwaysOnEnergyPerMsg(), 1) {
+		t.Error("zero rate always-on should yield +Inf")
+	}
+}
+
+func TestExpectedLatency(t *testing.T) {
+	c := validConfig()
+	// Latency is dominated by the rendezvous: half the wake interval.
+	if got := c.ExpectedLatency(); got < c.WakeInterval/2 ||
+		got > c.WakeInterval/2+0.05 {
+		t.Errorf("latency = %v, want ≈ %v + service", got, c.WakeInterval/2)
+	}
+	longer := c
+	longer.WakeInterval = 2
+	if longer.ExpectedLatency() <= c.ExpectedLatency() {
+		t.Error("longer wake interval must increase latency")
+	}
+}
+
+func TestReceiverDutyCycle(t *testing.T) {
+	c := validConfig()
+	dc := c.ReceiverDutyCycle()
+	if dc <= 0 || dc >= 0.1 {
+		t.Errorf("duty cycle = %v, want small but positive", dc)
+	}
+	// Shorter wake interval → higher duty cycle.
+	shorter := c
+	shorter.WakeInterval = 0.05
+	if shorter.ReceiverDutyCycle() <= dc {
+		t.Error("shorter interval must raise the duty cycle")
+	}
+	// Pathological settings clamp at 1.
+	extreme := c
+	extreme.WakeInterval = 0.0001
+	if got := extreme.ReceiverDutyCycle(); got != 1 {
+		t.Errorf("duty cycle = %v, want clamp at 1", got)
+	}
+}
+
+func TestLatencyEnergyTradeoff(t *testing.T) {
+	// The fundamental LPL trade-off: moving from the energy-optimal wake
+	// interval to a shorter one must reduce latency and increase energy.
+	c := validConfig()
+	opt, err := c.OptimalWakeInterval(0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atOpt := c
+	atOpt.WakeInterval = opt
+	snappy := c
+	snappy.WakeInterval = opt / 4
+	if snappy.ExpectedLatency() >= atOpt.ExpectedLatency() {
+		t.Error("shorter interval should cut latency")
+	}
+	if snappy.EnergyPerMsg() <= atOpt.EnergyPerMsg() {
+		t.Error("deviating from the optimum should cost energy")
+	}
+}

@@ -1,0 +1,133 @@
+// Package mac models the TinyOS 2.1 beaconless unslotted CSMA-CA MAC of the
+// paper, at the timing granularity its service-time model (Eqs. 5–6) uses:
+//
+//	T_SPI     one-time SPI bus loading of the frame into the radio FIFO
+//	T_MAC     turnaround time T_TR (0.224 ms) + mean initial backoff T_BO
+//	          (5.28 ms)
+//	T_frame   on-air frame time at 250 kb/s
+//	T_ACK     ACK frame time incl. software handling (≈ 1.96 ms, measured)
+//	T_waitACK software ACK wait timeout (8.192 ms)
+//	T_retry   D_retry + retry software overhead + T_MAC + T_frame + T_waitACK
+//
+// The SPI per-byte period (54.37 µs) and the retry software overhead
+// (3.9 ms) are calibrated so that the closed-form service time reproduces
+// the paper's Table II utilization examples to within ~1.5%; see
+// EXPERIMENTS.md. Times are float64 seconds throughout the simulator — the
+// discrete-event core works in continuous time, not wall-clock time.
+package mac
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/phy"
+)
+
+// Timing constants in seconds.
+const (
+	// TurnaroundTime is the RX/TX turnaround T_TR.
+	TurnaroundTime = 0.000224
+	// MeanInitialBackoff is the average initial CSMA backoff T_BO. The
+	// sampled backoff is uniform on [0, 2·MeanInitialBackoff].
+	MeanInitialBackoff = 0.00528
+	// AckTime is the measured ACK frame time T_ACK including software
+	// handling.
+	AckTime = 0.00196
+	// AckWaitTimeout is the software ACK wait period T_waitACK.
+	AckWaitTimeout = 0.008192
+	// SPIBytePeriod is the effective per-byte SPI loading time on the
+	// TelosB (byte-interrupt driven, hence far slower than the bus clock).
+	SPIBytePeriod = 54.37e-6
+	// RetrySoftwareOverhead is the extra software latency on each
+	// retransmission (task posting, radio status reads).
+	RetrySoftwareOverhead = 0.0039
+)
+
+// Config is the MAC-layer part of a stack configuration.
+type Config struct {
+	// MaxTries is N_maxTries, the maximum number of transmissions
+	// (1 = no retransmission).
+	MaxTries int
+	// RetryDelay is D_retry in seconds, the configured delay before a
+	// retransmission.
+	RetryDelay float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxTries < 1 {
+		return errors.New("mac: MaxTries must be >= 1")
+	}
+	if c.RetryDelay < 0 {
+		return errors.New("mac: RetryDelay must be >= 0")
+	}
+	return nil
+}
+
+// SPILoadTime returns the time to load a data frame with the given payload
+// into the radio FIFO over SPI (the MPDU: MAC header + payload + FCS).
+func SPILoadTime(payloadBytes int) float64 {
+	mpdu := frame.MACHeaderBytes + payloadBytes + frame.FCSBytes
+	return float64(mpdu) * SPIBytePeriod
+}
+
+// FrameAirTime returns T_frame for a data frame with the given payload.
+func FrameAirTime(payloadBytes int) float64 {
+	return phy.AirTime(frame.OnAirBytes(payloadBytes))
+}
+
+// MeanMACDelay returns the average T_MAC = T_TR + mean T_BO.
+func MeanMACDelay() float64 {
+	return TurnaroundTime + MeanInitialBackoff
+}
+
+// SampleBackoff draws one initial backoff, uniform on
+// [0, 2·MeanInitialBackoff] so its mean is the paper's 5.28 ms.
+func SampleBackoff(rng *rand.Rand) float64 {
+	return rng.Float64() * 2 * MeanInitialBackoff
+}
+
+// RetryTime returns T_retry for the configured retry delay: the full cost of
+// one failed attempt plus the delay before the next.
+func RetryTime(payloadBytes int, retryDelay float64) float64 {
+	return retryDelay + RetrySoftwareOverhead + MeanMACDelay() +
+		FrameAirTime(payloadBytes) + AckWaitTimeout
+}
+
+// ServiceTime returns the closed-form service time of the paper's Eqs. (5)
+// and (6) for a packet that took `tries` transmissions, using the *mean*
+// backoff. For success (an ACK arrived on the last try):
+//
+//	T = T_SPI + T_MAC + T_frame + T_ACK + (tries−1)·T_retry
+//
+// For failure (the last try also timed out; tries == MaxTries):
+//
+//	T = T_SPI + T_MAC + T_frame + T_waitACK + (tries−1)·T_retry
+//
+// The simulator's event timeline samples random backoffs but reproduces this
+// in expectation; integration tests assert the agreement.
+func ServiceTime(payloadBytes, tries int, retryDelay float64, success bool) float64 {
+	if tries < 1 {
+		tries = 1
+	}
+	base := SPILoadTime(payloadBytes) + MeanMACDelay() + FrameAirTime(payloadBytes)
+	if success {
+		base += AckTime
+	} else {
+		base += AckWaitTimeout
+	}
+	return base + float64(tries-1)*RetryTime(payloadBytes, retryDelay)
+}
+
+// ExpectedServiceTime returns the mean service time for a fractional
+// expected number of transmissions (as produced by the N_tries model of
+// Eq. 7), assuming delivery succeeds. This is the T_service the paper plugs
+// into the maximum-goodput and utilization models.
+func ExpectedServiceTime(payloadBytes int, expectedTries float64, retryDelay float64) float64 {
+	if expectedTries < 1 {
+		expectedTries = 1
+	}
+	return SPILoadTime(payloadBytes) + MeanMACDelay() + FrameAirTime(payloadBytes) +
+		AckTime + (expectedTries-1)*RetryTime(payloadBytes, retryDelay)
+}

@@ -1,0 +1,156 @@
+package mac
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid no-retx", Config{MaxTries: 1}, false},
+		{"valid with retry delay", Config{MaxTries: 3, RetryDelay: 0.03}, false},
+		{"zero tries", Config{MaxTries: 0}, true},
+		{"negative tries", Config{MaxTries: -1}, true},
+		{"negative delay", Config{MaxTries: 2, RetryDelay: -0.1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFrameAirTime(t *testing.T) {
+	// 110 B payload → 129 on-air bytes → 4.128 ms.
+	got := FrameAirTime(110)
+	if math.Abs(got-0.004128) > 1e-12 {
+		t.Errorf("FrameAirTime(110) = %v, want 0.004128", got)
+	}
+}
+
+func TestSPILoadTime(t *testing.T) {
+	// 110 B payload → 123-byte MPDU.
+	got := SPILoadTime(110)
+	want := 123 * SPIBytePeriod
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SPILoadTime(110) = %v, want %v", got, want)
+	}
+	if SPILoadTime(5) >= got {
+		t.Error("smaller payloads must load faster")
+	}
+}
+
+func TestMeanMACDelay(t *testing.T) {
+	if got := MeanMACDelay(); math.Abs(got-0.005504) > 1e-12 {
+		t.Errorf("MeanMACDelay = %v, want 5.504 ms", got)
+	}
+}
+
+func TestSampleBackoffDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		b := SampleBackoff(rng)
+		if b < 0 || b > 2*MeanInitialBackoff {
+			t.Fatalf("backoff %v out of range", b)
+		}
+		sum += b
+	}
+	mean := sum / n
+	if math.Abs(mean-MeanInitialBackoff) > 0.0001 {
+		t.Errorf("mean backoff = %v, want %v", mean, MeanInitialBackoff)
+	}
+}
+
+func TestServiceTimeSingleTry(t *testing.T) {
+	// One successful try: T_SPI + T_MAC + T_frame + T_ACK.
+	got := ServiceTime(110, 1, 0.03, true)
+	want := SPILoadTime(110) + MeanMACDelay() + FrameAirTime(110) + AckTime
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ServiceTime = %v, want %v", got, want)
+	}
+	// A failed single try swaps T_ACK for the ACK wait timeout.
+	gotFail := ServiceTime(110, 1, 0.03, false)
+	wantFail := want - AckTime + AckWaitTimeout
+	if math.Abs(gotFail-wantFail) > 1e-12 {
+		t.Errorf("failed ServiceTime = %v, want %v", gotFail, wantFail)
+	}
+	if gotFail <= got {
+		t.Error("a failed attempt must cost more than a successful one")
+	}
+}
+
+func TestServiceTimeRetries(t *testing.T) {
+	// Each extra try adds exactly T_retry.
+	d := 0.03
+	for tries := 2; tries <= 8; tries++ {
+		prev := ServiceTime(110, tries-1, d, true)
+		cur := ServiceTime(110, tries, d, true)
+		if math.Abs(cur-prev-RetryTime(110, d)) > 1e-12 {
+			t.Errorf("tries %d: increment = %v, want T_retry = %v",
+				tries, cur-prev, RetryTime(110, d))
+		}
+	}
+}
+
+func TestServiceTimeClampsTries(t *testing.T) {
+	if got, want := ServiceTime(50, 0, 0, true), ServiceTime(50, 1, 0, true); got != want {
+		t.Errorf("tries<1 should clamp to 1: %v != %v", got, want)
+	}
+}
+
+func TestServiceTimeTableII(t *testing.T) {
+	// Table II of the paper: l_D = 110, N_maxTries = 3, D_retry = 30 ms.
+	// Expected N_tries from Eq. 7 (α = 0.02, β = −0.18), then T_service:
+	//   SNR 10 → 37.08 ms, SNR 20 → 21.39 ms, SNR 30 → 18.52 ms.
+	tests := []struct {
+		snr  float64
+		want float64 // seconds
+	}{
+		{10, 0.03708},
+		{20, 0.02139},
+		{30, 0.01852},
+	}
+	for _, tt := range tests {
+		ntries := 1 + 0.02*110*math.Exp(-0.18*tt.snr)
+		got := ExpectedServiceTime(110, ntries, 0.030)
+		if rel := math.Abs(got-tt.want) / tt.want; rel > 0.02 {
+			t.Errorf("SNR %v: T_service = %v s, want %v s (rel err %.3f)",
+				tt.snr, got, tt.want, rel)
+		}
+	}
+}
+
+func TestExpectedServiceTimeMonotoneInTries(t *testing.T) {
+	prev := 0.0
+	for n := 1.0; n < 8; n += 0.5 {
+		cur := ExpectedServiceTime(110, n, 0.03)
+		if cur <= prev {
+			t.Fatalf("ExpectedServiceTime not increasing at tries=%v", n)
+		}
+		prev = cur
+	}
+}
+
+func TestExpectedServiceTimeClampsTries(t *testing.T) {
+	if got, want := ExpectedServiceTime(50, 0.5, 0), ExpectedServiceTime(50, 1, 0); got != want {
+		t.Errorf("expectedTries<1 should clamp to 1: %v != %v", got, want)
+	}
+}
+
+func TestRetryTimeComponents(t *testing.T) {
+	d := 0.09
+	got := RetryTime(60, d)
+	want := d + RetrySoftwareOverhead + MeanMACDelay() + FrameAirTime(60) + AckWaitTimeout
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RetryTime = %v, want %v", got, want)
+	}
+}

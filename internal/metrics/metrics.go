@@ -1,0 +1,151 @@
+// Package metrics computes the paper's four performance metrics — energy
+// per information bit, goodput, delay and packet loss rate — plus the
+// supporting quantities (PER, mean transmission count, utilization) from a
+// simulation Result. Definitions follow the paper exactly:
+//
+//	PER        = non-ACKed transmissions / total transmissions      (Eq. 1)
+//	U_eng      = TX energy / delivered information bits             (Eq. 2, measured form)
+//	goodput    = delivered payload bits / experiment duration
+//	delay      = mean(generation → service end) over delivered packets
+//	PLR_queue  = queue drops / generated
+//	PLR_radio  = radio drops / packets that entered service         (cf. Eq. 8)
+//	utilization ρ = mean service time / T_pkt                       (Eq. 9)
+package metrics
+
+import (
+	"math"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+// Report holds every derived metric for one configuration run.
+type Report struct {
+	Config stack.Config
+
+	// Link quality observed during the run.
+	MeanSNR  float64
+	SDSNR    float64
+	MeanRSSI float64
+	SDRSSI   float64
+
+	// PHY/MAC level.
+	PER       float64 // per-transmission error rate (Eq. 1)
+	MeanTries float64 // average transmissions per ACKed packet (N_tries)
+
+	// Energy.
+	EnergyPerBitMicroJ float64 // U_eng, µJ per delivered information bit (TX only, Eq. 2)
+	EnergyEfficiency   float64 // 1/U_eng, bits per µJ
+	// ListenEnergyMicroJ is the sender's receive-mode energy (ACK
+	// reception and ACK-wait timeouts) — an accounting the paper's
+	// TX-only U_eng omits but duty-cycling comparisons need.
+	ListenEnergyMicroJ float64
+	// RadioEnergyPerBitMicroJ is (TX + listen) energy per delivered bit.
+	RadioEnergyPerBitMicroJ float64
+
+	// Throughput.
+	GoodputKbps float64
+
+	// Delay (seconds).
+	MeanDelay       float64
+	MeanServiceTime float64
+	MeanQueueDelay  float64 // MeanDelay − service component, ≥ 0
+
+	// Loss.
+	PLR      float64
+	PLRQueue float64
+	PLRRadio float64
+
+	// Utilization ρ (0 for a saturated sender: no arrival process).
+	Utilization float64
+
+	// Raw counts for downstream aggregation.
+	Generated  int
+	Delivered  int
+	QueueDrops int
+	RadioDrops int
+}
+
+// safeDiv returns a/b, or 0 when b is 0.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// FromResult derives the metric report from a simulation result.
+func FromResult(res sim.Result) Report {
+	c := res.Counters
+	r := Report{
+		Config:     res.Config,
+		Generated:  c.Generated,
+		Delivered:  c.Delivered,
+		QueueDrops: c.QueueDrops,
+		RadioDrops: c.RadioDrops,
+	}
+
+	if c.SNRSamples > 0 {
+		n := float64(c.SNRSamples)
+		r.MeanSNR = c.SumSNR / n
+		r.MeanRSSI = c.SumRSSI / n
+		r.SDSNR = sampleSD(c.SumSNR, c.SumSNRSq, n)
+		r.SDRSSI = sampleSD(c.SumRSSI, c.SumRSSISq, n)
+	}
+
+	if c.TotalTransmissions > 0 {
+		r.PER = float64(c.TotalTransmissions-c.AckedTransmissions) /
+			float64(c.TotalTransmissions)
+	}
+	r.MeanTries = safeDiv(c.SumTriesAcked, float64(c.Acked))
+
+	deliveredBits := float64(c.Delivered) * float64(res.Config.PayloadBytes) * 8
+	r.ListenEnergyMicroJ = c.ListenTimeS * phy.RxEnergyPerSecondMicroJ()
+	if deliveredBits > 0 {
+		r.EnergyPerBitMicroJ = c.TxEnergyMicroJ / deliveredBits
+		r.EnergyEfficiency = 1 / r.EnergyPerBitMicroJ
+		r.RadioEnergyPerBitMicroJ = (c.TxEnergyMicroJ + r.ListenEnergyMicroJ) / deliveredBits
+	} else if c.TxEnergyMicroJ > 0 {
+		r.EnergyPerBitMicroJ = math.Inf(1)
+		r.RadioEnergyPerBitMicroJ = math.Inf(1)
+	}
+
+	if res.Duration > 0 {
+		r.GoodputKbps = deliveredBits / res.Duration / 1000
+	}
+
+	r.MeanServiceTime = safeDiv(c.SumServiceTime, float64(c.Serviced))
+	r.MeanDelay = safeDiv(c.SumDelay, float64(c.DeliveredWithDelay))
+	if q := r.MeanDelay - r.MeanServiceTime; q > 0 {
+		r.MeanQueueDelay = q
+	}
+
+	if g := float64(c.Generated); g > 0 {
+		r.PLRQueue = float64(c.QueueDrops) / g
+		r.PLR = float64(c.QueueDrops+c.RadioDrops) / g
+	}
+	r.PLRRadio = safeDiv(float64(c.RadioDrops), float64(c.Serviced))
+
+	if !res.Config.Saturated() {
+		r.Utilization = r.MeanServiceTime / res.Config.PktInterval
+	}
+	return r
+}
+
+// sampleSD recovers the sample standard deviation from streaming sums.
+func sampleSD(sum, sumSq, n float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	v := (sumSq - sum*sum/n) / (n - 1)
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// DeliveryRatio returns the fraction of generated packets delivered.
+func (r Report) DeliveryRatio() float64 {
+	return safeDiv(float64(r.Delivered), float64(r.Generated))
+}

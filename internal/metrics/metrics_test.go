@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+func quietChannel() channel.Params {
+	p := channel.DefaultParams()
+	p.ShadowingSigmaDB = 0
+	p.TemporalSigmaDB = 0
+	p.NoiseFloorSigmaDB = 0
+	p.InterferenceProb = 0
+	p.HumanShadowRatePerS = 0
+	return p
+}
+
+func runCfg(t *testing.T, cfg stack.Config, opts sim.Options) Report {
+	t.Helper()
+	res, err := sim.Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromResult(res)
+}
+
+func TestFromResultSyntheticCounters(t *testing.T) {
+	// Hand-built Result to verify each formula.
+	cfg := stack.Config{
+		DistanceM: 10, TxPower: 31, MaxTries: 3, QueueCap: 5,
+		PktInterval: 0.050, PayloadBytes: 100,
+	}
+	res := sim.Result{
+		Config:   cfg,
+		Duration: 10, // seconds
+		Counters: sim.Counters{
+			Generated:          100,
+			QueueDrops:         10,
+			RadioDrops:         5,
+			Delivered:          85,
+			Acked:              80,
+			TotalTransmissions: 120,
+			AckedTransmissions: 80,
+			TxEnergyMicroJ:     1700,
+			SumServiceTime:     1.8, // 90 serviced
+			Serviced:           90,
+			SumDelay:           2.55, // 85 delivered
+			DeliveredWithDelay: 85,
+			SumTriesAcked:      100, // 80 acked
+		},
+	}
+	r := FromResult(res)
+
+	if want := (120.0 - 80.0) / 120.0; r.PER != want {
+		t.Errorf("PER = %v, want %v", r.PER, want)
+	}
+	if want := 100.0 / 80.0; r.MeanTries != want {
+		t.Errorf("MeanTries = %v, want %v", r.MeanTries, want)
+	}
+	deliveredBits := 85.0 * 100 * 8
+	if want := 1700 / deliveredBits; math.Abs(r.EnergyPerBitMicroJ-want) > 1e-12 {
+		t.Errorf("U_eng = %v, want %v", r.EnergyPerBitMicroJ, want)
+	}
+	if want := deliveredBits / 10 / 1000; math.Abs(r.GoodputKbps-want) > 1e-12 {
+		t.Errorf("Goodput = %v, want %v", r.GoodputKbps, want)
+	}
+	if want := 1.8 / 90; math.Abs(r.MeanServiceTime-want) > 1e-12 {
+		t.Errorf("MeanServiceTime = %v, want %v", r.MeanServiceTime, want)
+	}
+	if want := 2.55 / 85; math.Abs(r.MeanDelay-want) > 1e-12 {
+		t.Errorf("MeanDelay = %v, want %v", r.MeanDelay, want)
+	}
+	if want := 2.55/85 - 1.8/90; math.Abs(r.MeanQueueDelay-want) > 1e-12 {
+		t.Errorf("MeanQueueDelay = %v, want %v", r.MeanQueueDelay, want)
+	}
+	if want := 10.0 / 100; r.PLRQueue != want {
+		t.Errorf("PLRQueue = %v, want %v", r.PLRQueue, want)
+	}
+	if want := 5.0 / 90; r.PLRRadio != want {
+		t.Errorf("PLRRadio = %v, want %v", r.PLRRadio, want)
+	}
+	if want := 15.0 / 100; r.PLR != want {
+		t.Errorf("PLR = %v, want %v", r.PLR, want)
+	}
+	if want := (1.8 / 90) / 0.050; math.Abs(r.Utilization-want) > 1e-12 {
+		t.Errorf("Utilization = %v, want %v", r.Utilization, want)
+	}
+	if want := 0.85; r.DeliveryRatio() != want {
+		t.Errorf("DeliveryRatio = %v, want %v", r.DeliveryRatio(), want)
+	}
+	if math.Abs(r.EnergyEfficiency*r.EnergyPerBitMicroJ-1) > 1e-12 {
+		t.Error("EnergyEfficiency must be 1/U_eng")
+	}
+}
+
+func TestFromResultEmpty(t *testing.T) {
+	r := FromResult(sim.Result{Config: stack.Config{PktInterval: 0.03}})
+	if r.PER != 0 || r.GoodputKbps != 0 || r.MeanDelay != 0 ||
+		r.PLR != 0 || r.Utilization != 0 {
+		t.Errorf("empty result should produce zero metrics: %+v", r)
+	}
+	if r.EnergyPerBitMicroJ != 0 {
+		t.Error("no energy spent → U_eng 0")
+	}
+}
+
+func TestEnergyInfiniteWhenNothingDelivered(t *testing.T) {
+	res := sim.Result{
+		Config: stack.Config{PayloadBytes: 100, PktInterval: 0.03},
+		Counters: sim.Counters{
+			Generated: 10, RadioDrops: 10, Serviced: 10,
+			TotalTransmissions: 30, TxEnergyMicroJ: 500,
+		},
+		Duration: 1,
+	}
+	r := FromResult(res)
+	if !math.IsInf(r.EnergyPerBitMicroJ, 1) {
+		t.Errorf("U_eng = %v, want +Inf when energy spent but nothing delivered",
+			r.EnergyPerBitMicroJ)
+	}
+	if r.EnergyEfficiency != 0 {
+		t.Errorf("efficiency = %v, want 0", r.EnergyEfficiency)
+	}
+}
+
+func TestSaturatedRunHasNoUtilization(t *testing.T) {
+	ch := quietChannel()
+	cfg := stack.Config{
+		DistanceM: 5, TxPower: 31, MaxTries: 3, RetryDelay: 0.03,
+		QueueCap: 1, PktInterval: 0, PayloadBytes: 114,
+	}
+	r := runCfg(t, cfg, sim.Options{Packets: 100, Seed: 1, Channel: &ch})
+	if r.Utilization != 0 {
+		t.Errorf("saturated run utilization = %v, want 0", r.Utilization)
+	}
+	if r.GoodputKbps <= 0 {
+		t.Error("saturated clean link must have positive goodput")
+	}
+}
+
+func TestMeasuredPERMatchesModelOnPinnedLink(t *testing.T) {
+	// With a silent channel the SNR is pinned; the measured PER must
+	// match the calibrated model's prediction: a transmission is
+	// non-ACKed if the data frame or its ACK is lost.
+	ch := quietChannel()
+	cfg := stack.Config{
+		DistanceM: 25, TxPower: 15, MaxTries: 3, RetryDelay: 0.03,
+		QueueCap: 30, PktInterval: 0.1, PayloadBytes: 80,
+	}
+	r := runCfg(t, cfg, sim.Options{Packets: 6000, Seed: 7, Channel: &ch})
+	snr := ch.MeanSNR(phy.PowerLevel(15).DBm(), 25)
+	m := phy.NewCalibrated()
+	wantPER := 1 - (1-m.DataPER(snr, 80))*(1-m.AckPER(snr))
+	if math.Abs(r.PER-wantPER) > 0.02 {
+		t.Errorf("measured PER = %v, model %v (snr %.1f)", r.PER, wantPER, snr)
+	}
+	// Mean SNR recorded must equal the pinned SNR.
+	if math.Abs(r.MeanSNR-snr) > 0.01 {
+		t.Errorf("MeanSNR = %v, want %v", r.MeanSNR, snr)
+	}
+	if r.SDSNR > 0.01 {
+		t.Errorf("SDSNR = %v, want 0 on silent channel", r.SDSNR)
+	}
+}
+
+func TestGoodputIncreasesWithSNR(t *testing.T) {
+	// Fig 10 headline: goodput grows with SNR up to ~19 dB.
+	ch := quietChannel()
+	goodputAt := func(p phy.PowerLevel) float64 {
+		cfg := stack.Config{
+			DistanceM: 35, TxPower: p, MaxTries: 3, RetryDelay: 0,
+			QueueCap: 30, PktInterval: 0.01, PayloadBytes: 110,
+		}
+		return runCfg(t, cfg, sim.Options{Packets: 2000, Seed: 3, Channel: &ch}).GoodputKbps
+	}
+	low, mid, high := goodputAt(3), goodputAt(11), goodputAt(31)
+	if !(low < mid && mid < high) {
+		t.Errorf("goodput not increasing with power: %v, %v, %v", low, mid, high)
+	}
+}
+
+func TestQueueDelayBlowupInGreyZone(t *testing.T) {
+	// Fig 15: with Q_max 30 and high load in the grey zone, delay is
+	// orders of magnitude above the Q_max 1 case.
+	ch := quietChannel()
+	delayWith := func(qmax int) float64 {
+		cfg := stack.Config{
+			DistanceM: 35, TxPower: 7, MaxTries: 8, RetryDelay: 0.03,
+			QueueCap: qmax, PktInterval: 0.030, PayloadBytes: 110,
+		}
+		return runCfg(t, cfg, sim.Options{Packets: 3000, Seed: 5, Channel: &ch}).MeanDelay
+	}
+	small, large := delayWith(1), delayWith(30)
+	if large < 10*small {
+		t.Errorf("queueing blow-up missing: Qmax=1 delay %v, Qmax=30 delay %v",
+			small, large)
+	}
+}
+
+func TestListenEnergyAccounting(t *testing.T) {
+	// On a silent channel with first-try successes, each packet's listen
+	// time is exactly T_ACK, so listen energy is deterministic.
+	ch := quietChannel()
+	cfg := stack.Config{
+		DistanceM: 5, TxPower: 31, MaxTries: 3, RetryDelay: 0,
+		QueueCap: 1, PktInterval: 0.1, PayloadBytes: 10,
+	}
+	res, err := sim.Run(cfg, sim.Options{Packets: 500, Seed: 6, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromResult(res)
+	wantListen := 500 * 0.00196 * phy.RxEnergyPerSecondMicroJ()
+	if math.Abs(r.ListenEnergyMicroJ-wantListen)/wantListen > 0.02 {
+		t.Errorf("listen energy = %v, want ≈ %v", r.ListenEnergyMicroJ, wantListen)
+	}
+	// Total radio energy per bit strictly exceeds the TX-only U_eng.
+	if r.RadioEnergyPerBitMicroJ <= r.EnergyPerBitMicroJ {
+		t.Errorf("radio energy %v should exceed TX-only %v",
+			r.RadioEnergyPerBitMicroJ, r.EnergyPerBitMicroJ)
+	}
+	want := r.EnergyPerBitMicroJ + r.ListenEnergyMicroJ/(500*10*8)
+	if math.Abs(r.RadioEnergyPerBitMicroJ-want) > 1e-9 {
+		t.Errorf("radio energy composition broken: %v != %v",
+			r.RadioEnergyPerBitMicroJ, want)
+	}
+}
+
+func TestListenEnergyGrowsWithTimeouts(t *testing.T) {
+	// A lossy link spends the 8.192 ms ACK-wait per failed try: listen
+	// energy per delivered bit should dwarf the clean link's.
+	ch := quietChannel()
+	listenFor := func(dist float64, power phy.PowerLevel) float64 {
+		cfg := stack.Config{
+			DistanceM: dist, TxPower: power, MaxTries: 8, RetryDelay: 0,
+			QueueCap: 1, PktInterval: 0.3, PayloadBytes: 110,
+		}
+		res, err := sim.Run(cfg, sim.Options{Packets: 300, Seed: 8, Channel: &ch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FromResult(res).ListenEnergyMicroJ
+	}
+	clean := listenFor(5, 31)
+	lossy := listenFor(35, 7)
+	if lossy < 2*clean {
+		t.Errorf("lossy listen energy %v should dwarf clean %v", lossy, clean)
+	}
+}

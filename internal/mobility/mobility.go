@@ -1,0 +1,205 @@
+// Package mobility models node movement — the third factor the paper's
+// discussion defers to future work: "the environment where the WSN is
+// deployed and the mobility of a node also have a possibly large impact on
+// the performance."
+//
+// A Path is a piecewise-linear trajectory through the deployment area; a
+// MobileLink couples a moving node with the hallway channel model so that
+// the link's SNR drifts as the distance to the anchor (base station)
+// changes, on top of the usual fading. This is the substrate behind
+// mobility-aware re-tuning experiments.
+package mobility
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+
+	"wsnlink/internal/channel"
+)
+
+// Point is a 2-D position in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Norm returns the Euclidean length.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Distance returns |p − q|.
+func (p Point) Distance(q Point) float64 { return p.Sub(q).Norm() }
+
+// Waypoint is a position the node reaches at a given time.
+type Waypoint struct {
+	Pos  Point
+	Time float64 // seconds, strictly increasing along a path
+}
+
+// Path is a piecewise-linear trajectory.
+type Path struct {
+	wps []Waypoint
+}
+
+// Errors returned by path construction.
+var (
+	ErrTooFewWaypoints = errors.New("mobility: need at least one waypoint")
+	ErrUnorderedTimes  = errors.New("mobility: waypoint times must strictly increase")
+)
+
+// NewPath validates and builds a path. Times must strictly increase.
+func NewPath(wps []Waypoint) (*Path, error) {
+	if len(wps) == 0 {
+		return nil, ErrTooFewWaypoints
+	}
+	for i := 1; i < len(wps); i++ {
+		if wps[i].Time <= wps[i-1].Time {
+			return nil, ErrUnorderedTimes
+		}
+	}
+	cp := make([]Waypoint, len(wps))
+	copy(cp, wps)
+	return &Path{wps: cp}, nil
+}
+
+// Duration returns the time of the last waypoint.
+func (p *Path) Duration() float64 { return p.wps[len(p.wps)-1].Time }
+
+// PositionAt returns the node position at time t, clamped to the path's
+// endpoints outside its time range.
+func (p *Path) PositionAt(t float64) Point {
+	if t <= p.wps[0].Time {
+		return p.wps[0].Pos
+	}
+	last := p.wps[len(p.wps)-1]
+	if t >= last.Time {
+		return last.Pos
+	}
+	for i := 1; i < len(p.wps); i++ {
+		if t <= p.wps[i].Time {
+			a, b := p.wps[i-1], p.wps[i]
+			frac := (t - a.Time) / (b.Time - a.Time)
+			return Point{
+				X: a.Pos.X + frac*(b.Pos.X-a.Pos.X),
+				Y: a.Pos.Y + frac*(b.Pos.Y-a.Pos.Y),
+			}
+		}
+	}
+	return last.Pos
+}
+
+// DistanceTo returns the distance from the node to an anchor at time t,
+// floored at 0.1 m so the path-loss model stays defined.
+func (p *Path) DistanceTo(anchor Point, t float64) float64 {
+	d := p.PositionAt(t).Distance(anchor)
+	if d < 0.1 {
+		d = 0.1
+	}
+	return d
+}
+
+// Rect is an axis-aligned movement area.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Valid reports whether the rectangle has positive area.
+func (r Rect) Valid() bool { return r.MaxX > r.MinX && r.MaxY > r.MinY }
+
+// RandomWaypoint generates the classic random-waypoint trajectory: pick a
+// uniform point in the area, walk to it at a uniform speed from
+// [speedMin, speedMax], repeat until the requested duration is covered.
+func RandomWaypoint(area Rect, speedMin, speedMax, duration float64, rng *rand.Rand) (*Path, error) {
+	if !area.Valid() {
+		return nil, errors.New("mobility: invalid area")
+	}
+	if speedMin <= 0 || speedMax < speedMin {
+		return nil, errors.New("mobility: need 0 < speedMin <= speedMax")
+	}
+	if duration <= 0 {
+		return nil, errors.New("mobility: duration must be positive")
+	}
+	randPoint := func() Point {
+		return Point{
+			X: area.MinX + rng.Float64()*(area.MaxX-area.MinX),
+			Y: area.MinY + rng.Float64()*(area.MaxY-area.MinY),
+		}
+	}
+	cur := randPoint()
+	t := 0.0
+	wps := []Waypoint{{Pos: cur, Time: 0}}
+	for t < duration {
+		next := randPoint()
+		dist := cur.Distance(next)
+		if dist < 0.5 {
+			continue // skip degenerate hops
+		}
+		speed := speedMin + rng.Float64()*(speedMax-speedMin)
+		t += dist / speed
+		wps = append(wps, Waypoint{Pos: next, Time: t})
+		cur = next
+	}
+	return NewPath(wps)
+}
+
+// MobileLink couples a moving node with the channel model: the mean SNR
+// follows the time-varying distance to the anchor while fast fading evolves
+// as on a static link. Not safe for concurrent use.
+type MobileLink struct {
+	params channel.Params
+	path   *Path
+	anchor Point
+	rng    *rand.Rand
+
+	now    float64
+	fadeDB float64
+}
+
+// NewMobileLink builds a link from a path to a fixed anchor.
+func NewMobileLink(params channel.Params, path *Path, anchor Point, rng *rand.Rand) (*MobileLink, error) {
+	if path == nil {
+		return nil, errors.New("mobility: nil path")
+	}
+	l := &MobileLink{params: params, path: path, anchor: anchor, rng: rng}
+	l.fadeDB = rng.NormFloat64() * params.TemporalSigmaDB
+	return l, nil
+}
+
+// Now returns the link-local clock.
+func (l *MobileLink) Now() float64 { return l.now }
+
+// Distance returns the current node–anchor distance.
+func (l *MobileLink) Distance() float64 {
+	return l.path.DistanceTo(l.anchor, l.now)
+}
+
+// Advance moves the clock and evolves the fading state.
+func (l *MobileLink) Advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	l.now += dt
+	tau := l.params.TemporalTauSeconds
+	if tau > 0 && l.params.TemporalSigmaDB > 0 {
+		rho := math.Exp(-dt / tau)
+		innovation := math.Sqrt(1-rho*rho) * l.params.TemporalSigmaDB
+		l.fadeDB = rho*l.fadeDB + innovation*l.rng.NormFloat64()
+	}
+}
+
+// SNR returns the instantaneous SNR at the given transmit power: distance-
+// dependent mean plus fading, against a fresh noise sample.
+func (l *MobileLink) SNR(txDBm float64) float64 {
+	mean := l.params.MeanRSSI(txDBm, l.Distance()) + l.fadeDB
+	noise := l.params.NoiseFloorMeanDBm +
+		l.params.NoiseFloorSigmaDB*l.rng.NormFloat64()
+	return mean - noise
+}
+
+// MeanSNR returns the fading-free SNR at the node's current distance — the
+// planning-time estimate a mobility-aware controller would track.
+func (l *MobileLink) MeanSNR(txDBm float64) float64 {
+	return l.params.MeanSNR(txDBm, l.Distance())
+}

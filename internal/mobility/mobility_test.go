@@ -1,0 +1,219 @@
+package mobility
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"wsnlink/internal/channel"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+}
+
+func line(t *testing.T) *Path {
+	t.Helper()
+	p, err := NewPath([]Waypoint{
+		{Pos: Point{0, 0}, Time: 0},
+		{Pos: Point{40, 0}, Time: 40}, // 1 m/s down the hallway
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPointOps(t *testing.T) {
+	a, b := Point{3, 4}, Point{0, 0}
+	if a.Norm() != 5 {
+		t.Errorf("Norm = %v, want 5", a.Norm())
+	}
+	if a.Distance(b) != 5 {
+		t.Errorf("Distance = %v, want 5", a.Distance(b))
+	}
+	if d := a.Sub(b); d != a {
+		t.Errorf("Sub = %v", d)
+	}
+}
+
+func TestNewPathValidation(t *testing.T) {
+	if _, err := NewPath(nil); !errors.Is(err, ErrTooFewWaypoints) {
+		t.Errorf("err = %v, want ErrTooFewWaypoints", err)
+	}
+	_, err := NewPath([]Waypoint{
+		{Pos: Point{0, 0}, Time: 1},
+		{Pos: Point{1, 0}, Time: 1},
+	})
+	if !errors.Is(err, ErrUnorderedTimes) {
+		t.Errorf("err = %v, want ErrUnorderedTimes", err)
+	}
+}
+
+func TestPositionAtInterpolation(t *testing.T) {
+	p := line(t)
+	tests := []struct {
+		t    float64
+		want Point
+	}{
+		{-5, Point{0, 0}}, // clamp before start
+		{0, Point{0, 0}},
+		{20, Point{20, 0}}, // midpoint
+		{40, Point{40, 0}},
+		{99, Point{40, 0}}, // clamp after end
+	}
+	for _, tt := range tests {
+		if got := p.PositionAt(tt.t); got != tt.want {
+			t.Errorf("PositionAt(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if p.Duration() != 40 {
+		t.Errorf("Duration = %v", p.Duration())
+	}
+}
+
+func TestDistanceToFloor(t *testing.T) {
+	p := line(t)
+	// At t=0 the node sits on the anchor: distance floors at 0.1 m.
+	if got := p.DistanceTo(Point{0, 0}, 0); got != 0.1 {
+		t.Errorf("DistanceTo = %v, want floor 0.1", got)
+	}
+	if got := p.DistanceTo(Point{0, 0}, 40); got != 40 {
+		t.Errorf("DistanceTo = %v, want 40", got)
+	}
+}
+
+func TestNewPathCopiesInput(t *testing.T) {
+	wps := []Waypoint{{Pos: Point{0, 0}, Time: 0}, {Pos: Point{1, 1}, Time: 1}}
+	p, err := NewPath(wps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wps[1].Pos = Point{100, 100}
+	if got := p.PositionAt(1); got != (Point{1, 1}) {
+		t.Error("Path aliases caller's waypoint slice")
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	rng := newRNG(1)
+	area := Rect{0, 0, 40, 2}
+	if _, err := RandomWaypoint(Rect{0, 0, 0, 2}, 0.5, 1.5, 60, rng); err == nil {
+		t.Error("degenerate area should error")
+	}
+	if _, err := RandomWaypoint(area, 0, 1, 60, rng); err == nil {
+		t.Error("zero speed should error")
+	}
+	if _, err := RandomWaypoint(area, 2, 1, 60, rng); err == nil {
+		t.Error("speedMax < speedMin should error")
+	}
+	if _, err := RandomWaypoint(area, 1, 2, 0, rng); err == nil {
+		t.Error("zero duration should error")
+	}
+}
+
+func TestRandomWaypointStaysInArea(t *testing.T) {
+	area := Rect{0, 0, 40, 2}
+	p, err := RandomWaypoint(area, 0.5, 1.5, 300, newRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration() < 300 {
+		t.Errorf("path duration %v should cover the request", p.Duration())
+	}
+	for tt := 0.0; tt <= p.Duration(); tt += 1.0 {
+		pos := p.PositionAt(tt)
+		if pos.X < area.MinX-1e-9 || pos.X > area.MaxX+1e-9 ||
+			pos.Y < area.MinY-1e-9 || pos.Y > area.MaxY+1e-9 {
+			t.Fatalf("position %v at t=%v escapes the area", pos, tt)
+		}
+	}
+}
+
+func TestRandomWaypointSpeedBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, err := RandomWaypoint(Rect{0, 0, 30, 30}, 1, 2, 120, newRNG(seed))
+		if err != nil {
+			return false
+		}
+		// Segment speeds must lie in [1,2] m/s.
+		for i := 1; i < len(p.wps); i++ {
+			d := p.wps[i].Pos.Distance(p.wps[i-1].Pos)
+			dt := p.wps[i].Time - p.wps[i-1].Time
+			v := d / dt
+			if v < 1-1e-9 || v > 2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMobileLinkSNRTracksDistance(t *testing.T) {
+	params := channel.DefaultParams()
+	params.TemporalSigmaDB = 0
+	params.NoiseFloorSigmaDB = 0
+	link, err := NewMobileLink(params, line(t), Point{0, 0}, newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walking away from the anchor, the SNR must fall monotonically
+	// (no fading, no noise variation).
+	prev := math.Inf(1)
+	for i := 0; i < 35; i++ {
+		link.Advance(1)
+		snr := link.SNR(0)
+		if snr >= prev {
+			t.Fatalf("SNR not decreasing at t=%v: %v >= %v", link.Now(), snr, prev)
+		}
+		prev = snr
+	}
+	// The planning SNR matches the channel model at the current distance.
+	want := params.MeanSNR(0, link.Distance())
+	if got := link.MeanSNR(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanSNR = %v, want %v", got, want)
+	}
+}
+
+func TestMobileLinkNilPath(t *testing.T) {
+	if _, err := NewMobileLink(channel.DefaultParams(), nil, Point{}, newRNG(1)); err == nil {
+		t.Error("nil path should error")
+	}
+}
+
+func TestMobileLinkAdvanceIgnoresNonPositive(t *testing.T) {
+	link, err := NewMobileLink(channel.DefaultParams(), line(t), Point{0, 0}, newRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Advance(0)
+	link.Advance(-3)
+	if link.Now() != 0 {
+		t.Error("clock moved on non-positive dt")
+	}
+}
+
+func TestMobilityDemandsRetuning(t *testing.T) {
+	// The future-work claim: on a mobile link, a configuration chosen for
+	// the start of the walk becomes badly suboptimal at the end. Quantify
+	// via the energy model at both ends of the hallway walk.
+	params := channel.DefaultParams()
+	params.TemporalSigmaDB = 0
+	params.NoiseFloorSigmaDB = 0
+	link, err := NewMobileLink(params, line(t), Point{0, 0}, newRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Advance(2) // 2 m from anchor
+	nearSNR := link.MeanSNR(-25)
+	link.Advance(36) // 38 m walked, clamped at 40 m waypoint
+	farSNR := link.MeanSNR(-25)
+	if nearSNR-farSNR < 15 {
+		t.Errorf("walk should change SNR dramatically: near %v, far %v", nearSNR, farSNR)
+	}
+}

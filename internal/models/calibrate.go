@@ -1,0 +1,96 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"wsnlink/internal/fit"
+	"wsnlink/internal/frame"
+)
+
+// Observation is one aggregated configuration result used for calibration —
+// the per-configuration averages the paper computes from its dataset before
+// fitting the models.
+type Observation struct {
+	PayloadBytes int
+	SNR          float64 // mean observed SNR for the configuration
+	MaxTries     int
+	PER          float64 // per-transmission error rate (Eq. 1)
+	MeanTries    float64 // mean transmissions per ACKed packet
+	PLRRadio     float64 // radio loss rate after MaxTries attempts
+}
+
+// CalibrationResult carries the re-fitted suite and the per-model fit
+// diagnostics, so experiments can report paper-vs-measured constants.
+type CalibrationResult struct {
+	Suite     Suite
+	PERFit    fit.ExpModel
+	NtriesFit fit.ExpModel
+	RadioFit  fit.ExpModel
+}
+
+// ErrNoObservations is returned when calibration has nothing to fit.
+var ErrNoObservations = errors.New("models: no observations")
+
+// Calibrate re-derives the model constants from measurement data, following
+// the paper's procedure: each quantity is reduced to the shared family
+// y = α·l_D·exp(β·SNR) and fitted by least squares.
+//
+//   - PER is fitted directly (Eq. 3).
+//   - N_tries is fitted as N_tries − 1 (Eq. 7).
+//   - PLR_radio is first transformed to its single-transmission base
+//     PLR^(1/N_maxTries), then fitted (Eq. 8).
+//
+// Only observations inside the usable SNR range [2, 35] dB with valid
+// payloads contribute; degenerate values (PER pinned at 0 or 1 across the
+// board) are handled by the fitter's flooring.
+func Calibrate(obs []Observation) (CalibrationResult, error) {
+	if len(obs) == 0 {
+		return CalibrationResult{}, ErrNoObservations
+	}
+	var perS, triesS, radioS []fit.Sample
+	for _, o := range obs {
+		if o.PayloadBytes < 1 || o.PayloadBytes > frame.MaxPayloadBytes {
+			continue
+		}
+		if o.SNR < 2 || o.SNR > 35 {
+			continue
+		}
+		l, s := float64(o.PayloadBytes), o.SNR
+		if o.PER >= 0 && o.PER <= 1 {
+			perS = append(perS, fit.Sample{LD: l, SNR: s, Y: o.PER})
+		}
+		if o.MeanTries >= 1 {
+			triesS = append(triesS, fit.Sample{LD: l, SNR: s, Y: o.MeanTries - 1})
+		}
+		if o.PLRRadio >= 0 && o.PLRRadio <= 1 && o.MaxTries >= 1 {
+			base := math.Pow(o.PLRRadio, 1/float64(o.MaxTries))
+			radioS = append(radioS, fit.Sample{LD: l, SNR: s, Y: base})
+		}
+	}
+
+	var res CalibrationResult
+	var err error
+	if res.PERFit, err = fit.FitExp(perS, fit.Options{}); err != nil {
+		return res, fmt.Errorf("models: PER fit: %w", err)
+	}
+	if res.NtriesFit, err = fit.FitExp(triesS, fit.Options{}); err != nil {
+		return res, fmt.Errorf("models: Ntries fit: %w", err)
+	}
+	if res.RadioFit, err = fit.FitExp(radioS, fit.Options{}); err != nil {
+		return res, fmt.Errorf("models: radio loss fit: %w", err)
+	}
+
+	s := Suite{
+		PER:       PERModel{Law: ExpLaw{Alpha: res.PERFit.Alpha, Beta: res.PERFit.Beta}},
+		Ntries:    NtriesModel{Law: ExpLaw{Alpha: res.NtriesFit.Alpha, Beta: res.NtriesFit.Beta}},
+		RadioLoss: RadioLossModel{Law: ExpLaw{Alpha: res.RadioFit.Alpha, Beta: res.RadioFit.Beta}},
+	}
+	s.Service = ServiceModel{Ntries: s.Ntries}
+	s.Energy = EnergyModel{PER: s.PER, OverheadBytes: frame.OverheadBytes}
+	s.Goodput = GoodputModel{Service: s.Service, Radio: s.RadioLoss}
+	s.Delay = DelayModel{Service: s.Service}
+	res.Suite = s
+	return res, nil
+}

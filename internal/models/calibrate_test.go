@@ -1,0 +1,114 @@
+package models
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// synthObservations draws per-configuration aggregates from the paper-model
+// ground truth, with optional relative noise, over the sweep grid.
+func synthObservations(noise float64, rng *rand.Rand) []Observation {
+	paper := Paper()
+	jitter := func(y float64) float64 {
+		if noise == 0 || rng == nil {
+			return y
+		}
+		return y * (1 + noise*(rng.Float64()*2-1))
+	}
+	var obs []Observation
+	for _, lD := range []int{5, 20, 35, 50, 65, 80, 95, 110} {
+		for snr := 3.0; snr <= 32; snr += 1 {
+			for _, n := range []int{1, 3, 8} {
+				obs = append(obs, Observation{
+					PayloadBytes: lD,
+					SNR:          snr,
+					MaxTries:     n,
+					PER:          jitter(paper.PER.PER(lD, snr)),
+					MeanTries:    1 + jitter(paper.Ntries.Tries(lD, snr)-1),
+					PLRRadio:     jitter(paper.RadioLoss.PLR(lD, snr, n)),
+				})
+			}
+		}
+	}
+	return obs
+}
+
+func TestCalibrateRecoversPaperConstants(t *testing.T) {
+	res, err := Calibrate(synthObservations(0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want float64, tol float64) {
+		t.Helper()
+		if math.Abs(got-want)/math.Abs(want) > tol {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("PER alpha", res.PERFit.Alpha, 0.0128, 0.02)
+	check("PER beta", res.PERFit.Beta, -0.15, 0.02)
+	check("Ntries alpha", res.NtriesFit.Alpha, 0.02, 0.02)
+	check("Ntries beta", res.NtriesFit.Beta, -0.18, 0.02)
+	check("radio alpha", res.RadioFit.Alpha, 0.011, 0.05)
+	check("radio beta", res.RadioFit.Beta, -0.145, 0.05)
+}
+
+func TestCalibrateWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	res, err := Calibrate(synthObservations(0.15, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PERFit.Beta-(-0.15))/0.15 > 0.15 {
+		t.Errorf("noisy PER beta = %v, want within 15%% of -0.15", res.PERFit.Beta)
+	}
+	if math.Abs(res.NtriesFit.Alpha-0.02)/0.02 > 0.25 {
+		t.Errorf("noisy Ntries alpha = %v, want within 25%% of 0.02", res.NtriesFit.Alpha)
+	}
+}
+
+func TestCalibrateSuiteIsUsable(t *testing.T) {
+	res, err := Calibrate(synthObservations(0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Suite
+	// The calibrated suite must reproduce the paper suite's predictions.
+	paper := Paper()
+	for _, lD := range []int{20, 110} {
+		for _, snr := range []float64{6, 14, 22} {
+			if a, b := s.PER.PER(lD, snr), paper.PER.PER(lD, snr); math.Abs(a-b) > 0.01 {
+				t.Errorf("calibrated PER(%d,%v)=%v vs paper %v", lD, snr, a, b)
+			}
+			ga := s.Goodput.MaxGoodputKbps(lD, snr, 3, 0)
+			gb := paper.Goodput.MaxGoodputKbps(lD, snr, 3, 0)
+			if math.Abs(ga-gb)/gb > 0.05 {
+				t.Errorf("calibrated goodput(%d,%v)=%v vs paper %v", lD, snr, ga, gb)
+			}
+		}
+	}
+}
+
+func TestCalibrateFiltersJunk(t *testing.T) {
+	obs := synthObservations(0, nil)
+	obs = append(obs,
+		Observation{PayloadBytes: 0, SNR: 10, PER: 0.5, MeanTries: 2, PLRRadio: 0.1, MaxTries: 1},
+		Observation{PayloadBytes: 500, SNR: 10, PER: 0.5, MeanTries: 2, PLRRadio: 0.1, MaxTries: 1},
+		Observation{PayloadBytes: 50, SNR: -5, PER: 1, MeanTries: 1, PLRRadio: 1, MaxTries: 1},
+		Observation{PayloadBytes: 50, SNR: 90, PER: 0, MeanTries: 1, PLRRadio: 0, MaxTries: 1},
+		Observation{PayloadBytes: 50, SNR: 10, PER: 2.0, MeanTries: 0.2, PLRRadio: -3, MaxTries: 1},
+	)
+	res, err := Calibrate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PERFit.Alpha-0.0128)/0.0128 > 0.05 {
+		t.Errorf("junk observations skewed the fit: alpha = %v", res.PERFit.Alpha)
+	}
+}
+
+func TestCalibrateEmpty(t *testing.T) {
+	if _, err := Calibrate(nil); err != ErrNoObservations {
+		t.Errorf("err = %v, want ErrNoObservations", err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package models implements the paper's core contribution: the empirical
+// models that quantify the joint effect of the multi-layer stack parameters
+// on each performance metric (Table III), namely
+//
+//	PER model        (Eq. 3)  PER        = α·l_D·exp(β·SNR)            α=0.0128, β=−0.15
+//	N_tries model    (Eq. 7)  N_tries    = 1 + α·l_D·exp(β·SNR)        α=0.02,   β=−0.18
+//	radio loss model (Eq. 8)  PLR_radio  = (α·l_D·exp(β·SNR))^N        α=0.011,  β=−0.145
+//	service model    (Eq.5/6) T_service  from the MAC timing constants and N_tries
+//	energy model     (Eq. 2)  U_eng      = E_tx·(l0+l_D) / (l_D·(1−PER))
+//	goodput model    (Eq. 4)  maxGoodput = l_D/T_service · (1−PLR_radio)
+//	utilization      (Eq. 9)  ρ          = T_service / T_pkt
+//
+// plus the SNR zone classification of Sec. III-B and the per-metric optimal
+// parameter searches the paper's guidelines call for. Calibration of the
+// α/β constants from (simulated) measurement data lives in calibrate.go.
+package models
+
+import (
+	"math"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/mac"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/units"
+)
+
+// ExpLaw is the shared parametric family f(l_D, SNR) = Alpha·l_D·exp(Beta·SNR).
+type ExpLaw struct {
+	Alpha float64
+	Beta  float64
+}
+
+// Eval evaluates the law. Results are not clamped; the wrapping models
+// clamp where the quantity is a probability.
+func (e ExpLaw) Eval(payloadBytes int, snrDB float64) float64 {
+	return e.Alpha * float64(payloadBytes) * math.Exp(e.Beta*snrDB)
+}
+
+// PERModel is the paper's Eq. 3.
+type PERModel struct{ Law ExpLaw }
+
+// PaperPER returns the published constants α=0.0128, β=−0.15.
+func PaperPER() PERModel {
+	return PERModel{Law: ExpLaw{Alpha: 0.0128, Beta: -0.15}}
+}
+
+// PER returns the packet error rate, clamped to [0,1].
+func (m PERModel) PER(payloadBytes int, snrDB float64) float64 {
+	return units.Clamp(m.Law.Eval(payloadBytes, snrDB), 0, 1)
+}
+
+// NtriesModel is the paper's Eq. 7.
+type NtriesModel struct{ Law ExpLaw }
+
+// PaperNtries returns the published constants α=0.02, β=−0.18.
+func PaperNtries() NtriesModel {
+	return NtriesModel{Law: ExpLaw{Alpha: 0.02, Beta: -0.18}}
+}
+
+// Tries returns the expected number of transmissions for a successful
+// delivery (>= 1, not capped — the paper's model is the uncapped mean).
+func (m NtriesModel) Tries(payloadBytes int, snrDB float64) float64 {
+	return 1 + math.Max(0, m.Law.Eval(payloadBytes, snrDB))
+}
+
+// RadioLossModel is the paper's Eq. 8.
+type RadioLossModel struct{ Law ExpLaw }
+
+// PaperRadioLoss returns the published constants α=0.011, β=−0.145.
+func PaperRadioLoss() RadioLossModel {
+	return RadioLossModel{Law: ExpLaw{Alpha: 0.011, Beta: -0.145}}
+}
+
+// PLR returns the radio packet loss rate after maxTries transmissions.
+func (m RadioLossModel) PLR(payloadBytes int, snrDB float64, maxTries int) float64 {
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	base := units.Clamp(m.Law.Eval(payloadBytes, snrDB), 0, 1)
+	return math.Pow(base, float64(maxTries))
+}
+
+// ServiceModel combines Eqs. 5–6 with the N_tries model to give the average
+// service time of Sec. V-B and the utilization of Sec. VI.
+type ServiceModel struct{ Ntries NtriesModel }
+
+// PaperService returns the service model with published constants.
+func PaperService() ServiceModel { return ServiceModel{Ntries: PaperNtries()} }
+
+// Expected returns the mean service time in seconds for a delivered packet.
+func (m ServiceModel) Expected(payloadBytes int, snrDB, retryDelay float64) float64 {
+	tries := m.Ntries.Tries(payloadBytes, snrDB)
+	return mac.ExpectedServiceTime(payloadBytes, tries, retryDelay)
+}
+
+// ExpectedCapped caps the expected transmission count at maxTries before
+// computing the service time — the form needed when N_maxTries is small.
+func (m ServiceModel) ExpectedCapped(payloadBytes int, snrDB, retryDelay float64, maxTries int) float64 {
+	tries := m.Ntries.Tries(payloadBytes, snrDB)
+	if capped := float64(maxTries); tries > capped {
+		tries = capped
+	}
+	return mac.ExpectedServiceTime(payloadBytes, tries, retryDelay)
+}
+
+// Utilization returns ρ = T_service/T_pkt (Eq. 9). A zero pktInterval
+// (saturated sender) yields +Inf.
+func (m ServiceModel) Utilization(payloadBytes int, snrDB, retryDelay, pktInterval float64) float64 {
+	if pktInterval <= 0 {
+		return math.Inf(1)
+	}
+	return m.Expected(payloadBytes, snrDB, retryDelay) / pktInterval
+}
+
+// EnergyModel is the paper's Eq. 2 with PER from Eq. 3: the energy per
+// delivered information bit.
+type EnergyModel struct {
+	PER PERModel
+	// OverheadBytes is l0, every on-air byte that is not payload.
+	OverheadBytes int
+}
+
+// PaperEnergy returns the energy model with published constants and the
+// stack overhead of the TinyOS CC2420 stack (19 B).
+func PaperEnergy() EnergyModel {
+	return EnergyModel{PER: PaperPER(), OverheadBytes: frame.OverheadBytes}
+}
+
+// UEng returns U_eng in µJ per delivered information bit at the given
+// payload, SNR and power level. When PER reaches 1 the result is +Inf.
+func (m EnergyModel) UEng(payloadBytes int, snrDB float64, p phy.PowerLevel) float64 {
+	per := m.PER.PER(payloadBytes, snrDB)
+	if per >= 1 {
+		return math.Inf(1)
+	}
+	etx := p.TxEnergyPerBitMicroJ()
+	l0 := float64(m.OverheadBytes)
+	lD := float64(payloadBytes)
+	return etx * (l0 + lD) / (lD * (1 - per))
+}
+
+// Efficiency returns 1/U_eng in bits per µJ (0 when U_eng is infinite).
+func (m EnergyModel) Efficiency(payloadBytes int, snrDB float64, p phy.PowerLevel) float64 {
+	u := m.UEng(payloadBytes, snrDB, p)
+	if math.IsInf(u, 1) || u == 0 {
+		return 0
+	}
+	return 1 / u
+}
+
+// OptimalPayload returns the payload size in [1, 114] minimising U_eng at
+// the given SNR (Sec. IV-C: below the low-impact threshold the optimum
+// shrinks; above it the optimum is the maximum payload).
+func (m EnergyModel) OptimalPayload(snrDB float64, p phy.PowerLevel) int {
+	best, bestU := 1, math.Inf(1)
+	for lD := 1; lD <= frame.MaxPayloadBytes; lD++ {
+		if u := m.UEng(lD, snrDB, p); u < bestU {
+			best, bestU = lD, u
+		}
+	}
+	return best
+}
+
+// OptimalPower returns the power level from the candidate set minimising
+// U_eng for the payload, where snrAt maps a power level to the link's SNR
+// (typically from the channel model or live RSSI readings). Ties resolve to
+// the lower power.
+func (m EnergyModel) OptimalPower(payloadBytes int, candidates []phy.PowerLevel,
+	snrAt func(phy.PowerLevel) float64) phy.PowerLevel {
+	if len(candidates) == 0 {
+		return 31
+	}
+	best := candidates[0]
+	bestU := m.UEng(payloadBytes, snrAt(best), best)
+	for _, p := range candidates[1:] {
+		if u := m.UEng(payloadBytes, snrAt(p), p); u < bestU {
+			best, bestU = p, u
+		}
+	}
+	return best
+}
+
+// GoodputModel is the paper's Eq. 4: maxGoodput = l_D/T_service·(1−PLR_radio),
+// the application-level throughput of a saturated sender.
+type GoodputModel struct {
+	Service ServiceModel
+	Radio   RadioLossModel
+}
+
+// PaperGoodput returns the goodput model with published constants.
+func PaperGoodput() GoodputModel {
+	return GoodputModel{Service: PaperService(), Radio: PaperRadioLoss()}
+}
+
+// MaxGoodputKbps returns the maximum goodput in kb/s.
+func (m GoodputModel) MaxGoodputKbps(payloadBytes int, snrDB float64,
+	maxTries int, retryDelay float64) float64 {
+	ts := m.Service.ExpectedCapped(payloadBytes, snrDB, retryDelay, maxTries)
+	if ts <= 0 {
+		return 0
+	}
+	plr := m.Radio.PLR(payloadBytes, snrDB, maxTries)
+	return float64(payloadBytes) * 8 / ts * (1 - plr) / 1000
+}
+
+// OptimalPayload returns the payload in [1,114] maximising goodput for the
+// given link quality and retry policy (Sec. V-C).
+func (m GoodputModel) OptimalPayload(snrDB float64, maxTries int, retryDelay float64) int {
+	best, bestG := 1, -1.0
+	for lD := 1; lD <= frame.MaxPayloadBytes; lD++ {
+		if g := m.MaxGoodputKbps(lD, snrDB, maxTries, retryDelay); g > bestG {
+			best, bestG = lD, g
+		}
+	}
+	return best
+}
+
+// Suite bundles the four empirical models the way Table III summarises them:
+// E (energy), G (goodput), D (delay/service) and L (radio loss).
+type Suite struct {
+	PER       PERModel
+	Ntries    NtriesModel
+	RadioLoss RadioLossModel
+	Service   ServiceModel
+	Energy    EnergyModel
+	Goodput   GoodputModel
+	Delay     DelayModel
+}
+
+// Paper returns the suite with every published constant.
+func Paper() Suite {
+	s := Suite{
+		PER:       PaperPER(),
+		Ntries:    PaperNtries(),
+		RadioLoss: PaperRadioLoss(),
+	}
+	s.Service = ServiceModel{Ntries: s.Ntries}
+	s.Energy = EnergyModel{PER: s.PER, OverheadBytes: frame.OverheadBytes}
+	s.Goodput = GoodputModel{Service: s.Service, Radio: s.RadioLoss}
+	s.Delay = DelayModel{Service: s.Service}
+	return s
+}

@@ -1,0 +1,306 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"wsnlink/internal/phy"
+)
+
+func TestPERModelValues(t *testing.T) {
+	m := PaperPER()
+	// Spot values of Eq. 3 at the zone boundaries the paper discusses.
+	tests := []struct {
+		lD   int
+		snr  float64
+		want float64
+	}{
+		{114, 19, 0.0128 * 114 * math.Exp(-0.15*19)}, // ≈ 0.084
+		{114, 12, 0.0128 * 114 * math.Exp(-0.15*12)}, // ≈ 0.241
+		{5, 19, 0.0128 * 5 * math.Exp(-0.15*19)},
+	}
+	for _, tt := range tests {
+		if got := m.PER(tt.lD, tt.snr); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("PER(%d,%v) = %v, want %v", tt.lD, tt.snr, got, tt.want)
+		}
+	}
+	// Clamped to 1 at very low SNR.
+	if got := m.PER(114, -10); got != 1 {
+		t.Errorf("PER at -10 dB = %v, want 1", got)
+	}
+}
+
+func TestNtriesModelValues(t *testing.T) {
+	m := PaperNtries()
+	// Eq. 7 at Table II's rows: l_D = 110.
+	tests := []struct {
+		snr  float64
+		want float64
+	}{
+		{10, 1 + 0.02*110*math.Exp(-1.8)},
+		{20, 1 + 0.02*110*math.Exp(-3.6)},
+		{30, 1 + 0.02*110*math.Exp(-5.4)},
+	}
+	for _, tt := range tests {
+		if got := m.Tries(110, tt.snr); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Tries(110,%v) = %v, want %v", tt.snr, got, tt.want)
+		}
+	}
+	// Never below one transmission.
+	if got := m.Tries(5, 60); got < 1 {
+		t.Errorf("Tries = %v, must be >= 1", got)
+	}
+}
+
+func TestRadioLossModel(t *testing.T) {
+	m := PaperRadioLoss()
+	base := 0.011 * 110 * math.Exp(-0.145*8)
+	if got := m.PLR(110, 8, 1); math.Abs(got-base) > 1e-12 {
+		t.Errorf("PLR N=1 = %v, want %v", got, base)
+	}
+	if got := m.PLR(110, 8, 3); math.Abs(got-math.Pow(base, 3)) > 1e-12 {
+		t.Errorf("PLR N=3 = %v, want %v", got, math.Pow(base, 3))
+	}
+	// Retransmissions strictly reduce radio loss.
+	if m.PLR(110, 8, 5) >= m.PLR(110, 8, 1) {
+		t.Error("more tries must reduce radio loss")
+	}
+	// maxTries < 1 clamps to 1.
+	if m.PLR(110, 8, 0) != m.PLR(110, 8, 1) {
+		t.Error("maxTries 0 should behave like 1")
+	}
+	// Base clamped to 1: PLR can't exceed 1 at terrible SNR.
+	if got := m.PLR(114, -20, 2); got > 1 {
+		t.Errorf("PLR = %v > 1", got)
+	}
+}
+
+func TestServiceModelTableII(t *testing.T) {
+	// Table II: T_pkt = 30 ms, l_D = 110, N = 3, D_retry = 30 ms.
+	m := PaperService()
+	tests := []struct {
+		snr     float64
+		wantTs  float64 // ms
+		wantRho float64
+	}{
+		{10, 37.08, 1.236},
+		{20, 21.39, 0.713},
+		{30, 18.52, 0.617},
+	}
+	for _, tt := range tests {
+		ts := m.Expected(110, tt.snr, 0.030) * 1000
+		if rel := math.Abs(ts-tt.wantTs) / tt.wantTs; rel > 0.02 {
+			t.Errorf("SNR %v: T_service = %.2f ms, paper %.2f (rel %.3f)",
+				tt.snr, ts, tt.wantTs, rel)
+		}
+		rho := m.Utilization(110, tt.snr, 0.030, 0.030)
+		if rel := math.Abs(rho-tt.wantRho) / tt.wantRho; rel > 0.02 {
+			t.Errorf("SNR %v: rho = %.3f, paper %.3f", tt.snr, rho, tt.wantRho)
+		}
+	}
+	// Only the SNR=10 row is overloaded.
+	if rho := m.Utilization(110, 10, 0.030, 0.030); rho <= 1 {
+		t.Errorf("rho at SNR 10 = %v, want > 1", rho)
+	}
+	if rho := m.Utilization(110, 20, 0.030, 0.030); rho >= 1 {
+		t.Errorf("rho at SNR 20 = %v, want < 1", rho)
+	}
+}
+
+func TestServiceUtilizationSaturated(t *testing.T) {
+	if rho := PaperService().Utilization(110, 20, 0.03, 0); !math.IsInf(rho, 1) {
+		t.Errorf("rho with Tpkt=0 = %v, want +Inf", rho)
+	}
+}
+
+func TestServiceExpectedCapped(t *testing.T) {
+	m := PaperService()
+	// At SNR 2 the uncapped expectation exceeds 2 tries for l_D=110;
+	// capping at 1 must reduce the service time.
+	capped := m.ExpectedCapped(110, 2, 0, 1)
+	uncapped := m.Expected(110, 2, 0)
+	if capped >= uncapped {
+		t.Errorf("capped %v should be < uncapped %v", capped, uncapped)
+	}
+	// At high SNR the cap is inactive.
+	if c, u := m.ExpectedCapped(110, 30, 0, 3), m.Expected(110, 30, 0); c != u {
+		t.Errorf("cap should be inactive at SNR 30: %v != %v", c, u)
+	}
+}
+
+func TestEnergyModelUEng(t *testing.T) {
+	m := PaperEnergy()
+	// High SNR, max payload: U_eng → E_tx·(l0+l_D)/l_D.
+	want := phy.PowerLevel(31).TxEnergyPerBitMicroJ() * 133 / 114
+	got := m.UEng(114, 40, 31)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("UEng at high SNR = %v, want ≈ %v", got, want)
+	}
+	// Dead link: infinite energy per delivered bit.
+	if got := m.UEng(114, -10, 31); !math.IsInf(got, 1) {
+		t.Errorf("UEng at PER=1 should be +Inf, got %v", got)
+	}
+	if eff := m.Efficiency(114, -10, 31); eff != 0 {
+		t.Errorf("efficiency at PER=1 = %v, want 0", eff)
+	}
+	// Efficiency is the reciprocal elsewhere.
+	if u, e := m.UEng(110, 20, 19), m.Efficiency(110, 20, 19); math.Abs(u*e-1) > 1e-12 {
+		t.Error("Efficiency must equal 1/UEng")
+	}
+}
+
+func TestEnergyOptimalPayloadThresholds(t *testing.T) {
+	// Paper Sec. IV-B / Fig 9: the energy-optimal payload is the maximum
+	// (114 B) above ≈17 dB and shrinks to ≈40 B at 5 dB.
+	m := PaperEnergy()
+	if got := m.OptimalPayload(17, 31); got != 114 {
+		t.Errorf("optimal payload at 17 dB = %d, want 114", got)
+	}
+	if got := m.OptimalPayload(25, 31); got != 114 {
+		t.Errorf("optimal payload at 25 dB = %d, want 114", got)
+	}
+	if got := m.OptimalPayload(5, 31); got < 30 || got > 45 {
+		t.Errorf("optimal payload at 5 dB = %d, want ≈40", got)
+	}
+	if got := m.OptimalPayload(16, 31); got >= 114 {
+		t.Errorf("optimal payload at 16 dB = %d, want < 114 (threshold is 17)", got)
+	}
+	// Monotone: better SNR never shrinks the optimal payload.
+	prev := 0
+	for snr := 5.0; snr <= 20; snr += 1 {
+		cur := m.OptimalPayload(snr, 31)
+		if cur < prev {
+			t.Fatalf("optimal payload not monotone at %v dB: %d < %d", snr, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestEnergyOptimalPower(t *testing.T) {
+	m := PaperEnergy()
+	// SNR rises 1 dB per power level step in this synthetic link; the
+	// optimum should land where the link clears the low-impact region,
+	// not at maximum power (Fig 7).
+	snrAt := func(p phy.PowerLevel) float64 { return float64(p) - 5 }
+	got := m.OptimalPower(110, phy.StandardPowerLevels, snrAt)
+	if got == 31 || got == 3 {
+		t.Errorf("optimal power = %v, want an interior level", got)
+	}
+	// A link that is already excellent at minimum power should use it.
+	gotMin := m.OptimalPower(110, phy.StandardPowerLevels,
+		func(p phy.PowerLevel) float64 { return 30 + float64(p) })
+	if gotMin != 3 {
+		t.Errorf("optimal power on a strong link = %v, want 3", gotMin)
+	}
+	// Empty candidate list falls back to max power.
+	if got := m.OptimalPower(110, nil, snrAt); got != 31 {
+		t.Errorf("empty candidates = %v, want 31", got)
+	}
+}
+
+func TestEnergyLargePayloadNeedsHigherPower(t *testing.T) {
+	// Fig 7: the energy-optimal power is higher for l_D=110 than for
+	// small payloads on the same link.
+	m := PaperEnergy()
+	snrAt := func(p phy.PowerLevel) float64 { return float64(p) * 0.8 }
+	small := m.OptimalPower(20, phy.StandardPowerLevels, snrAt)
+	large := m.OptimalPower(110, phy.StandardPowerLevels, snrAt)
+	if large < small {
+		t.Errorf("optimal power for 110 B (%v) should be >= 20 B (%v)", large, small)
+	}
+}
+
+func TestGoodputModelShape(t *testing.T) {
+	m := PaperGoodput()
+	// Goodput rises with SNR and saturates near 19 dB (Fig 10/13).
+	g12 := m.MaxGoodputKbps(114, 12, 3, 0)
+	g19 := m.MaxGoodputKbps(114, 19, 3, 0)
+	g30 := m.MaxGoodputKbps(114, 30, 3, 0)
+	if !(g12 < g19 && g19 < g30) {
+		t.Errorf("goodput not increasing: %v, %v, %v", g12, g19, g30)
+	}
+	if (g19-g12)/g12 < 0.1 {
+		t.Error("goodput should grow substantially from 12 to 19 dB")
+	}
+	if (g30-g19)/g19 > 0.15 {
+		t.Errorf("goodput should be nearly saturated past 19 dB: %v → %v", g19, g30)
+	}
+	// Above the low-loss zone the achievable goodput is bounded by the
+	// per-packet service time: 912 bits / ≈18.6 ms ≈ 49 kb/s for 114 B
+	// frames — the practical ceiling of a TinyOS 802.15.4 stack.
+	if g30 < 25 || g30 > 55 {
+		t.Errorf("saturated goodput = %v kbps, want near the stack ceiling", g30)
+	}
+}
+
+func TestGoodputOptimalPayload(t *testing.T) {
+	m := PaperGoodput()
+	// Above ≈9 dB the max payload wins (Sec. VIII-A).
+	if got := m.OptimalPayload(9.5, 3, 0); got != 114 {
+		t.Errorf("optimal payload at 9.5 dB N=3 = %d, want 114", got)
+	}
+	if got := m.OptimalPayload(25, 1, 0); got != 114 {
+		t.Errorf("optimal payload at 25 dB N=1 = %d, want 114", got)
+	}
+	// Deep in the grey zone with no retransmissions the optimum shrinks.
+	optN1 := m.OptimalPayload(5, 1, 0)
+	if optN1 >= 114 {
+		t.Errorf("optimal payload at 5 dB N=1 = %d, want < 114", optN1)
+	}
+	// Larger N_maxTries increases the optimal payload (Sec. V-C).
+	optN8 := m.OptimalPayload(5, 8, 0)
+	if optN8 < optN1 {
+		t.Errorf("optimal payload: N=8 (%d) should be >= N=1 (%d)", optN8, optN1)
+	}
+}
+
+func TestGoodputZeroAtDeadLink(t *testing.T) {
+	m := PaperGoodput()
+	if g := m.MaxGoodputKbps(114, -20, 1, 0); g != 0 {
+		t.Errorf("goodput on a dead link = %v, want 0 (PLR=1)", g)
+	}
+}
+
+func TestZoneClassification(t *testing.T) {
+	tests := []struct {
+		snr  float64
+		want Zone
+	}{
+		{2, ZoneDead},
+		{5, ZoneHighImpact},
+		{11.9, ZoneHighImpact},
+		{12, ZoneMediumImpact},
+		{18.9, ZoneMediumImpact},
+		{19, ZoneLowImpact},
+		{30, ZoneLowImpact},
+	}
+	for _, tt := range tests {
+		if got := ClassifySNR(tt.snr); got != tt.want {
+			t.Errorf("ClassifySNR(%v) = %v, want %v", tt.snr, got, tt.want)
+		}
+	}
+	if !InGreyZone(11) || InGreyZone(12) {
+		t.Error("grey zone boundary at 12 dB broken")
+	}
+	for z := ZoneDead; z <= ZoneLowImpact; z++ {
+		if z.String() == "unknown" {
+			t.Errorf("zone %d has no name", z)
+		}
+	}
+	if Zone(99).String() != "unknown" {
+		t.Error("invalid zone should stringify as unknown")
+	}
+}
+
+func TestPaperSuiteWiring(t *testing.T) {
+	s := Paper()
+	if s.Energy.PER != s.PER {
+		t.Error("suite energy model must share the PER model")
+	}
+	if s.Goodput.Service.Ntries != s.Ntries {
+		t.Error("suite goodput model must share the Ntries model")
+	}
+	if s.Energy.OverheadBytes != 19 {
+		t.Errorf("overhead = %d, want 19", s.Energy.OverheadBytes)
+	}
+}

@@ -1,0 +1,69 @@
+package models
+
+// SNR thresholds the paper reports (all in dB).
+const (
+	// GreyZoneThresholdDB is the upper edge of the "grey zone" (Sec. V-C,
+	// Sec. VIII-A: 12 dB).
+	GreyZoneThresholdDB = 12.0
+	// LowImpactThresholdDB is the boundary above which neither SNR nor
+	// payload size influences PER much (Sec. III-B: 19 dB); it is also the
+	// best energy/QoS trade-off SNR (Sec. V, VII).
+	LowImpactThresholdDB = 19.0
+	// HighImpactLowerDB is the lower edge of the high-impact zone
+	// (Sec. III-B: 5 dB); below it the link barely works at all.
+	HighImpactLowerDB = 5.0
+	// EnergyOptimalSNRDB is the empirical-model threshold above which the
+	// maximum payload is energy-optimal (Sec. IV-B: 17 dB).
+	EnergyOptimalSNRDB = 17.0
+	// GoodputMaxPayloadSNRDB is the threshold above which the maximum
+	// payload also maximises goodput (Sec. VIII-A: 9 dB).
+	GoodputMaxPayloadSNRDB = 9.0
+)
+
+// Zone classifies SNR into the paper's three joint-effect zones of PER
+// (Sec. III-B) plus a "dead" region below the high-impact zone.
+type Zone int
+
+// Zone values, ordered from worst to best link quality.
+const (
+	ZoneDead Zone = iota + 1
+	ZoneHighImpact
+	ZoneMediumImpact
+	ZoneLowImpact
+)
+
+// String implements fmt.Stringer.
+func (z Zone) String() string {
+	switch z {
+	case ZoneDead:
+		return "dead"
+	case ZoneHighImpact:
+		return "high-impact"
+	case ZoneMediumImpact:
+		return "medium-impact"
+	case ZoneLowImpact:
+		return "low-impact"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifySNR returns the joint-effect zone for the given SNR.
+func ClassifySNR(snrDB float64) Zone {
+	switch {
+	case snrDB < HighImpactLowerDB:
+		return ZoneDead
+	case snrDB < GreyZoneThresholdDB:
+		return ZoneHighImpact
+	case snrDB < LowImpactThresholdDB:
+		return ZoneMediumImpact
+	default:
+		return ZoneLowImpact
+	}
+}
+
+// InGreyZone reports whether the link is in the grey zone, the region where
+// the retransmission/queueing trade-offs of Secs. V–VII dominate.
+func InGreyZone(snrDB float64) bool {
+	return snrDB < GreyZoneThresholdDB
+}

@@ -1,0 +1,410 @@
+// Package netsim extends the single-link simulator to a star topology:
+// several sender motes contending for one sink over unslotted CSMA-CA. It
+// models the parts of "concurrent transmission" that the single-link
+// study abstracts away — clear-channel assessment against real concurrent
+// transmissions, congestion backoff, frame collisions at the sink and the
+// capture effect — using the same radio, channel, frame and MAC timing
+// substrates as the single-link simulator.
+//
+// The paper's discussion lists concurrent transmission as the first factor
+// for future work; package interference models it as exogenous noise, while
+// this package models it endogenously from the contending traffic itself.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/frame"
+	"wsnlink/internal/mac"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+// Options configures a star-topology run.
+type Options struct {
+	// PacketsPerNode is how many packets each sender generates.
+	PacketsPerNode int
+	// Seed drives all randomness.
+	Seed uint64
+	// Channel defaults to the hallway parameters.
+	Channel *channel.Params
+	// ErrorModel defaults to the paper-calibrated CC2420 model; it is
+	// applied to non-collided frames (channel noise losses).
+	ErrorModel phy.ErrorModel
+	// CaptureThresholdDB: a frame survives an overlap if its RSSI at the
+	// sink exceeds the strongest overlapping frame by at least this many
+	// dB. Negative disables capture (all overlaps collide). Default 5.
+	CaptureThresholdDB float64
+	// MaxCCAAttempts bounds the congestion backoffs per transmission
+	// (802.15.4 macMaxCSMABackoffs + 1; default 5).
+	MaxCCAAttempts int
+	// CongestionBackoffMean is the mean congestion backoff (default:
+	// half the initial backoff mean, per the TinyOS stack).
+	CongestionBackoffMean float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PacketsPerNode == 0 {
+		o.PacketsPerNode = 500
+	}
+	if o.ErrorModel == nil {
+		o.ErrorModel = phy.NewCalibrated()
+	}
+	if o.Channel == nil {
+		p := channel.DefaultParams()
+		o.Channel = &p
+	}
+	if o.CaptureThresholdDB == 0 {
+		o.CaptureThresholdDB = 5
+	}
+	if o.MaxCCAAttempts == 0 {
+		o.MaxCCAAttempts = 5
+	}
+	if o.CongestionBackoffMean == 0 {
+		o.CongestionBackoffMean = mac.MeanInitialBackoff / 2
+	}
+	return o
+}
+
+// NodeResult is the per-sender outcome.
+type NodeResult struct {
+	Config      stack.Config
+	Counters    sim.Counters
+	Collisions  int // transmissions lost to frame overlap at the sink
+	CCAFailures int // attempts abandoned because the channel stayed busy
+}
+
+// Result is the outcome of a star run.
+type Result struct {
+	Nodes    []NodeResult
+	Duration float64
+	// TotalCollisions counts collided transmissions across nodes.
+	TotalCollisions int
+	// AggregateGoodputKbps is total delivered payload over the run.
+	AggregateGoodputKbps float64
+}
+
+// activeTx is one in-flight frame at the sink.
+type activeTx struct {
+	node          int
+	start, end    float64
+	rssi          float64
+	maxInterferer float64 // strongest overlapping frame's RSSI
+}
+
+// starSim holds the shared-medium state.
+type starSim struct {
+	engine   *sim.Engine
+	opts     Options
+	errModel phy.ErrorModel
+	rng      *rand.Rand
+
+	nodes  []*node
+	active []*activeTx
+	// ackBusyUntil blocks CCA during the sink's ACK transmissions.
+	ackBusyUntil float64
+	lastEnd      float64
+}
+
+// node is one sender's state machine.
+type node struct {
+	id        int
+	cfg       stack.Config
+	link      *channel.Link
+	rng       *rand.Rand
+	txDBm     float64
+	frameBits int
+	ePerBit   float64
+	frameTime float64
+
+	queue     []*sim.PacketRecord
+	busy      bool
+	channelAt float64
+
+	res NodeResult
+}
+
+// RunStar simulates the star topology.
+func RunStar(cfgs []stack.Config, opts Options) (Result, error) {
+	if len(cfgs) == 0 {
+		return Result{}, errors.New("netsim: no nodes")
+	}
+	opts = opts.withDefaults()
+	if opts.PacketsPerNode < 1 {
+		return Result{}, errors.New("netsim: PacketsPerNode must be >= 1")
+	}
+	s := &starSim{
+		engine:   sim.NewEngine(),
+		opts:     opts,
+		errModel: opts.ErrorModel,
+		rng:      rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xc2b2ae3d27d4eb4f)),
+	}
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return Result{}, fmt.Errorf("netsim: node %d: %w", i, err)
+		}
+		if cfg.Saturated() {
+			return Result{}, fmt.Errorf("netsim: node %d: saturated senders are not supported in contention mode", i)
+		}
+		seed := opts.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		nrng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+		link, err := channel.NewLink(*opts.Channel, cfg.DistanceM, nrng)
+		if err != nil {
+			return Result{}, fmt.Errorf("netsim: node %d: %w", i, err)
+		}
+		n := &node{
+			id:        i,
+			cfg:       cfg,
+			link:      link,
+			rng:       nrng,
+			txDBm:     cfg.TxPower.DBm(),
+			frameBits: 8 * frame.OnAirBytes(cfg.PayloadBytes),
+			ePerBit:   cfg.TxPower.TxEnergyPerBitMicroJ(),
+			frameTime: mac.FrameAirTime(cfg.PayloadBytes),
+		}
+		n.res.Config = cfg
+		s.nodes = append(s.nodes, n)
+	}
+	for _, n := range s.nodes {
+		s.scheduleGeneration(n, 0)
+	}
+	s.engine.RunUntilIdle()
+
+	res := Result{Duration: s.lastEnd}
+	var deliveredBits float64
+	for _, n := range s.nodes {
+		res.Nodes = append(res.Nodes, n.res)
+		res.TotalCollisions += n.res.Collisions
+		deliveredBits += float64(n.res.Counters.Delivered) *
+			float64(n.cfg.PayloadBytes) * 8
+	}
+	if res.Duration > 0 {
+		res.AggregateGoodputKbps = deliveredBits / res.Duration / 1000
+	}
+	return res, nil
+}
+
+func (s *starSim) scheduleGeneration(n *node, i int) {
+	at := float64(i) * n.cfg.PktInterval
+	s.mustAt(at, func() { s.generate(n, i) })
+}
+
+func (s *starSim) mustAt(t float64, fn func()) {
+	if _, err := s.engine.At(t, fn); err != nil {
+		panic("netsim: internal scheduling error: " + err.Error())
+	}
+}
+
+func (s *starSim) generate(n *node, i int) {
+	rec := &sim.PacketRecord{ID: i, GenTime: s.engine.Now(), QueueLen: len(n.queue)}
+	n.res.Counters.Generated++
+	n.res.Counters.SumQueueOccupancy += float64(len(n.queue))
+	n.res.Counters.ArrivalsSeen++
+	if len(n.queue) > n.res.Counters.MaxQueueOccupancy {
+		n.res.Counters.MaxQueueOccupancy = len(n.queue)
+	}
+	switch {
+	case !n.busy && len(n.queue) == 0:
+		s.startService(n, rec)
+	case len(n.queue) < n.cfg.QueueCap:
+		n.queue = append(n.queue, rec)
+	default:
+		rec.QueueDrop = true
+		n.res.Counters.QueueDrops++
+		s.touchEnd(s.engine.Now())
+	}
+	if i+1 < s.opts.PacketsPerNode {
+		s.scheduleGeneration(n, i+1)
+	}
+}
+
+func (s *starSim) touchEnd(t float64) {
+	if t > s.lastEnd {
+		s.lastEnd = t
+	}
+}
+
+// startService begins the CSMA sequence for a packet: SPI load, then the
+// first attempt.
+func (s *starSim) startService(n *node, rec *sim.PacketRecord) {
+	n.busy = true
+	rec.ServiceStart = s.engine.Now()
+	s.mustAt(s.engine.Now()+mac.SPILoadTime(n.cfg.PayloadBytes), func() {
+		s.beginAttempt(n, rec, 1)
+	})
+}
+
+// beginAttempt runs the backoff before try number `try`.
+func (s *starSim) beginAttempt(n *node, rec *sim.PacketRecord, try int) {
+	delay := mac.SampleBackoff(n.rng)
+	if try > 1 {
+		delay += n.cfg.RetryDelay + mac.RetrySoftwareOverhead
+	}
+	s.mustAt(s.engine.Now()+delay, func() { s.ccaCheck(n, rec, try, 0) })
+}
+
+// mediumBusy reports whether the sink's channel is occupied at time t and
+// prunes finished transmissions.
+func (s *starSim) mediumBusy(t float64) bool {
+	live := s.active[:0]
+	busy := t < s.ackBusyUntil
+	for _, tx := range s.active {
+		if tx.end > t {
+			live = append(live, tx)
+			busy = true
+		}
+	}
+	s.active = live
+	return busy
+}
+
+func (s *starSim) ccaCheck(n *node, rec *sim.PacketRecord, try, ccaAttempts int) {
+	now := s.engine.Now()
+	if s.mediumBusy(now) {
+		ccaAttempts++
+		if ccaAttempts >= s.opts.MaxCCAAttempts {
+			// Channel never cleared: the MAC reports a failed
+			// transmission; the retry layer treats it like a
+			// missing ACK.
+			n.res.CCAFailures++
+			rec.Tries = try
+			s.afterFailedAttempt(n, rec, try, 0)
+			return
+		}
+		backoff := n.rng.Float64() * 2 * s.opts.CongestionBackoffMean
+		s.mustAt(now+backoff, func() { s.ccaCheck(n, rec, try, ccaAttempts) })
+		return
+	}
+	// The RX→TX turnaround after a clear CCA is the collision
+	// vulnerability window: a station that passed CCA is invisible to
+	// others until its preamble hits the air 192 µs later.
+	s.mustAt(now+mac.TurnaroundTime, func() { s.transmit(n, rec, try) })
+}
+
+func (s *starSim) transmit(n *node, rec *sim.PacketRecord, try int) {
+	now := s.engine.Now()
+	s.advanceNodeChannel(n, now)
+	rssi := n.link.RSSI(n.txDBm)
+	snr := n.link.SNR(n.txDBm)
+	if try == 1 && rec.SNR == 0 {
+		rec.SNR = snr
+		rec.RSSI = channel.Quantize(rssi)
+		rec.LQI = phy.LQI(snr)
+		n.res.Counters.SumSNR += snr
+		n.res.Counters.SumSNRSq += snr * snr
+		n.res.Counters.SumRSSI += rssi
+		n.res.Counters.SumRSSISq += rssi * rssi
+		n.res.Counters.SNRSamples++
+	}
+
+	tx := &activeTx{
+		node:          n.id,
+		start:         now,
+		end:           now + n.frameTime,
+		rssi:          rssi,
+		maxInterferer: math.Inf(-1),
+	}
+	// Mark mutual interference with everything already on the air.
+	for _, other := range s.active {
+		if other.end > now {
+			other.maxInterferer = math.Max(other.maxInterferer, rssi)
+			tx.maxInterferer = math.Max(tx.maxInterferer, other.rssi)
+		}
+	}
+	s.active = append(s.active, tx)
+
+	rec.Tries = try
+	n.res.Counters.TotalTransmissions++
+	n.res.Counters.TotalTxBits += int64(n.frameBits)
+	n.res.Counters.TxEnergyMicroJ += float64(n.frameBits) * n.ePerBit
+
+	s.mustAt(tx.end, func() { s.txEnd(n, rec, try, tx, snr) })
+}
+
+func (s *starSim) txEnd(n *node, rec *sim.PacketRecord, try int, tx *activeTx, snr float64) {
+	collided := !math.IsInf(tx.maxInterferer, -1) &&
+		(s.opts.CaptureThresholdDB < 0 ||
+			tx.rssi < tx.maxInterferer+s.opts.CaptureThresholdDB)
+	if collided {
+		n.res.Collisions++
+		s.afterFailedAttempt(n, rec, try, 0)
+		return
+	}
+
+	dataOK := n.rng.Float64() >= s.errModel.DataPER(snr, n.cfg.PayloadBytes)
+	if !dataOK {
+		s.afterFailedAttempt(n, rec, try, 0)
+		return
+	}
+	if rec.Delivered {
+		n.res.Counters.Duplicates++
+	} else {
+		rec.Delivered = true
+		n.res.Counters.Delivered++
+	}
+	// The sink turns around and ACKs; the medium is busy meanwhile so
+	// other senders' CCA defers to it.
+	now := s.engine.Now()
+	ackEnd := now + mac.TurnaroundTime + phy.AirTime(frame.AckOnAirBytes)
+	if ackEnd > s.ackBusyUntil {
+		s.ackBusyUntil = ackEnd
+	}
+	ackOK := n.rng.Float64() >= s.errModel.AckPER(snr)
+	if ackOK {
+		rec.Acked = true
+		n.res.Counters.Acked++
+		n.res.Counters.AckedTransmissions++
+		n.res.Counters.SumTriesAcked += float64(try)
+		n.res.Counters.ListenTimeS += mac.AckTime
+		s.mustAt(now+mac.AckTime, func() { s.completeService(n, rec, true) })
+		return
+	}
+	s.afterFailedAttempt(n, rec, try, 0)
+}
+
+// afterFailedAttempt waits out the ACK timeout, then retries or gives up.
+func (s *starSim) afterFailedAttempt(n *node, rec *sim.PacketRecord, try int, extraDelay float64) {
+	now := s.engine.Now()
+	n.res.Counters.ListenTimeS += mac.AckWaitTimeout
+	s.mustAt(now+mac.AckWaitTimeout+extraDelay, func() {
+		if try < n.cfg.MaxTries {
+			s.beginAttempt(n, rec, try+1)
+			return
+		}
+		s.completeService(n, rec, rec.Delivered)
+	})
+}
+
+func (s *starSim) completeService(n *node, rec *sim.PacketRecord, delivered bool) {
+	now := s.engine.Now()
+	rec.ServiceEnd = now
+	n.res.Counters.SumServiceTime += now - rec.ServiceStart
+	n.res.Counters.Serviced++
+	if delivered {
+		n.res.Counters.SumDelay += now - rec.GenTime
+		n.res.Counters.DeliveredWithDelay++
+	} else {
+		n.res.Counters.RadioDrops++
+	}
+	s.touchEnd(now)
+
+	if len(n.queue) > 0 {
+		next := n.queue[0]
+		n.queue = n.queue[1:]
+		s.startService(n, next)
+	} else {
+		n.busy = false
+	}
+}
+
+func (s *starSim) advanceNodeChannel(n *node, t float64) {
+	if t > n.channelAt {
+		n.link.Advance(t - n.channelAt)
+		n.channelAt = t
+	}
+}

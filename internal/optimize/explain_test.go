@@ -1,0 +1,68 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+)
+
+func explainString(t *testing.T, e Evaluator, c Candidate) string {
+	t.Helper()
+	lines, err := e.Explain(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestExplainGreyZone(t *testing.T) {
+	e := caseStudyEvaluator()
+	text := explainString(t, e, Candidate{
+		TxPower: 31, PayloadBytes: 80, MaxTries: 1, QueueCap: 1,
+	})
+	for _, want := range []string{
+		"grey zone", "high-impact zone", "lD=80 B", "N=1", "saturated sender",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainStrongLink(t *testing.T) {
+	e := strongLinkEvaluator()
+	text := explainString(t, e, Candidate{
+		TxPower: 3, PayloadBytes: 114, MaxTries: 3, QueueCap: 30, PktInterval: 0.1,
+	})
+	for _, want := range []string{
+		"low-impact", "lD=114 B (maximum)", "amortises", "N=3",
+		"below 1", "queueing delay",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explanation missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "WARNING") {
+		t.Error("stable configuration should not warn")
+	}
+}
+
+func TestExplainOverloadWarns(t *testing.T) {
+	e := caseStudyEvaluator()
+	text := explainString(t, e, Candidate{
+		TxPower: 31, PayloadBytes: 110, MaxTries: 8,
+		RetryDelay: 0.03, QueueCap: 30, PktInterval: 0.010,
+	})
+	if !strings.Contains(text, "WARNING") {
+		t.Errorf("overload should warn:\n%s", text)
+	}
+	if !strings.Contains(text, "buffers the overload") {
+		t.Errorf("large-queue note missing:\n%s", text)
+	}
+}
+
+func TestExplainInvalidCandidate(t *testing.T) {
+	e := caseStudyEvaluator()
+	if _, err := e.Explain(Candidate{TxPower: 99}); err == nil {
+		t.Error("invalid candidate should error")
+	}
+}

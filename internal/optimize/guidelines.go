@@ -1,0 +1,144 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+)
+
+// This file codifies the paper's per-metric parameter-optimization
+// guidelines as executable functions. Each returns a Candidate (leaving
+// unrelated fields at the caller's values) plus, where useful, the reasoning
+// inputs, so applications can log why a setting was chosen.
+
+// TuneForEnergy implements Sec. IV-C: choose the output power such that the
+// link just enters the PER low-impact region, then use the maximum payload;
+// if even maximum power cannot reach it, keep maximum power and shrink the
+// payload to the model's energy-optimal size.
+func (e Evaluator) TuneForEnergy(powers []phy.PowerLevel, base Candidate) Candidate {
+	if len(powers) == 0 {
+		powers = phy.StandardPowerLevels
+	}
+	sorted := append([]phy.PowerLevel(nil), powers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, p := range sorted {
+		if e.SNRAt(p) >= models.EnergyOptimalSNRDB {
+			base.TxPower = p
+			base.PayloadBytes = frame.MaxPayloadBytes
+			return base
+		}
+	}
+	// Even max power leaves the link below the threshold: use it and let
+	// the empirical model pick the payload (Fig 9).
+	pMax := sorted[len(sorted)-1]
+	base.TxPower = pMax
+	base.PayloadBytes = e.Suite.Energy.OptimalPayload(e.SNRAt(pMax), pMax)
+	return base
+}
+
+// TuneForGoodput implements Sec. V-C for a saturated sender: outside the
+// grey zone use maximum payload and a large retransmission budget; inside
+// it, keep maximum power and retransmissions but let the goodput model pick
+// the payload for the achievable SNR.
+func (e Evaluator) TuneForGoodput(powers []phy.PowerLevel, maxTriesChoices []int, base Candidate) Candidate {
+	if len(powers) == 0 {
+		powers = phy.StandardPowerLevels
+	}
+	if len(maxTriesChoices) == 0 {
+		maxTriesChoices = []int{1, 2, 3, 5, 8}
+	}
+	largestN := maxTriesChoices[0]
+	for _, n := range maxTriesChoices[1:] {
+		if n > largestN {
+			largestN = n
+		}
+	}
+	// The best energy/goodput trade-off power is the one whose SNR just
+	// clears the low-loss threshold (≈19 dB = grey border + 7); if none
+	// does, use maximum power.
+	sorted := append([]phy.PowerLevel(nil), powers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	chosen := sorted[len(sorted)-1]
+	for _, p := range sorted {
+		if e.SNRAt(p) >= models.LowImpactThresholdDB {
+			chosen = p
+			break
+		}
+	}
+	base.TxPower = chosen
+	base.MaxTries = largestN
+	snr := e.SNRAt(chosen)
+	if !models.InGreyZone(snr) {
+		base.PayloadBytes = frame.MaxPayloadBytes
+	} else {
+		base.PayloadBytes = e.Suite.Goodput.OptimalPayload(snr, largestN, base.RetryDelay)
+	}
+	return base
+}
+
+// StabilizeForDelay implements Sec. VI-B: report whether the candidate's
+// utilization is below 1 at the link's SNR, and if not, the smallest packet
+// interval from the choices that restores ρ < 1 (0 if none does). Keeping
+// ρ < 1 avoids the orders-of-magnitude queueing delay of Fig 15.
+func (e Evaluator) StabilizeForDelay(c Candidate, intervalChoices []float64) (stable bool, interval float64) {
+	snr := e.SNRAt(c.TxPower)
+	ts := e.Suite.Service.ExpectedCapped(c.PayloadBytes, snr, c.RetryDelay, c.MaxTries)
+	if c.PktInterval > 0 && ts/c.PktInterval < 1 {
+		return true, c.PktInterval
+	}
+	best := math.Inf(1)
+	for _, t := range intervalChoices {
+		if t > 0 && ts/t < 1 && t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		return false, 0
+	}
+	return false, best
+}
+
+// TuneForLoss implements Sec. VII-B: choose the largest N_maxTries that
+// minimises radio loss while keeping ρ < 1 for the candidate's arrival
+// rate; if no retransmission budget is stable, fall back to the largest
+// queue from the choices to absorb the overload.
+func (e Evaluator) TuneForLoss(c Candidate, maxTriesChoices []int, queueChoices []int) Candidate {
+	if len(maxTriesChoices) == 0 {
+		maxTriesChoices = []int{1, 2, 3, 5, 8}
+	}
+	snr := e.SNRAt(c.TxPower)
+
+	bestN, bestPLR := 0, math.Inf(1)
+	for _, n := range maxTriesChoices {
+		ts := e.Suite.Service.ExpectedCapped(c.PayloadBytes, snr, c.RetryDelay, n)
+		if c.PktInterval > 0 && ts/c.PktInterval >= 1 {
+			continue
+		}
+		if plr := e.Suite.RadioLoss.PLR(c.PayloadBytes, snr, n); plr < bestPLR {
+			bestN, bestPLR = n, plr
+		}
+	}
+	if bestN > 0 {
+		c.MaxTries = bestN
+		return c
+	}
+	// ρ >= 1 for every retry budget: minimize radio loss and buffer the
+	// overload with the largest queue (Fig 17d).
+	largestN := maxTriesChoices[0]
+	for _, n := range maxTriesChoices[1:] {
+		if n > largestN {
+			largestN = n
+		}
+	}
+	c.MaxTries = largestN
+	for _, q := range queueChoices {
+		if q > c.QueueCap {
+			c.QueueCap = q
+		}
+	}
+	return c
+}

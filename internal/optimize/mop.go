@@ -1,0 +1,287 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric identifies one of the paper's four performance metrics in
+// optimization goals (E, G, D, L of Table III).
+type Metric int
+
+// Metric values.
+const (
+	MetricEnergy  Metric = iota + 1 // U_eng, minimize
+	MetricGoodput                   // maximize
+	MetricDelay                     // minimize
+	MetricLoss                      // PLR, minimize
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricEnergy:
+		return "energy"
+	case MetricGoodput:
+		return "goodput"
+	case MetricDelay:
+		return "delay"
+	case MetricLoss:
+		return "loss"
+	default:
+		return "unknown"
+	}
+}
+
+// value extracts the metric from an evaluation in "cost" orientation:
+// smaller is always better (goodput is negated).
+func (m Metric) value(ev Evaluation) float64 {
+	switch m {
+	case MetricEnergy:
+		return ev.UEngMicroJ
+	case MetricGoodput:
+		return -ev.GoodputKbps
+	case MetricDelay:
+		return ev.DelayS
+	case MetricLoss:
+		return ev.PLR
+	default:
+		return math.NaN()
+	}
+}
+
+// Raw extracts the metric in natural orientation (goodput positive).
+func (m Metric) Raw(ev Evaluation) float64 {
+	switch m {
+	case MetricGoodput:
+		return ev.GoodputKbps
+	default:
+		return m.value(ev)
+	}
+}
+
+// ErrNoFeasible is returned when every candidate violates a constraint.
+var ErrNoFeasible = errors.New("optimize: no feasible candidate")
+
+// ParetoFront returns the evaluations not dominated on the given metrics
+// (all in cost orientation internally). The result is sorted by the first
+// metric, ascending cost. The common two-metric case runs in O(n log n) via
+// a sort-and-sweep; more metrics fall back to the pairwise scan.
+func ParetoFront(evals []Evaluation, ms []Metric) []Evaluation {
+	if len(ms) == 0 || len(evals) == 0 {
+		return nil
+	}
+	if len(ms) == 2 {
+		return paretoFront2(evals, ms[0], ms[1])
+	}
+	dominates := func(a, b Evaluation) bool {
+		strictly := false
+		for _, m := range ms {
+			va, vb := m.value(a), m.value(b)
+			if va > vb {
+				return false
+			}
+			if va < vb {
+				strictly = true
+			}
+		}
+		return strictly
+	}
+	var front []Evaluation
+	for i, e := range evals {
+		dominated := false
+		for j, other := range evals {
+			if i == j {
+				continue
+			}
+			if dominates(other, e) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, e)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		return ms[0].value(front[i]) < ms[0].value(front[j])
+	})
+	return front
+}
+
+// paretoFront2 is the two-metric sweep: after a stable sort by (cost₁
+// ascending, cost₂ ascending), a point is non-dominated iff its cost₂ is
+// strictly below every strictly-cheaper point's cost₂ — with care to keep
+// duplicates (identical on both metrics do not dominate each other).
+func paretoFront2(evals []Evaluation, m1, m2 Metric) []Evaluation {
+	idx := make([]int, len(evals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		va, vb := m1.value(evals[idx[a]]), m1.value(evals[idx[b]])
+		if va != vb {
+			return va < vb
+		}
+		return m2.value(evals[idx[a]]) < m2.value(evals[idx[b]])
+	})
+
+	var front []Evaluation
+	bestC2 := math.Inf(1)    // best cost₂ among strictly cheaper cost₁ groups
+	groupC1 := math.Inf(-1)  // current cost₁ group
+	groupBest := math.Inf(1) // best cost₂ inside the current group
+	flush := func() {
+		if groupBest < bestC2 {
+			bestC2 = groupBest
+		}
+	}
+	for _, i := range idx {
+		e := evals[i]
+		c1, c2 := m1.value(e), m2.value(e)
+		if c1 != groupC1 {
+			flush()
+			groupC1 = c1
+			groupBest = math.Inf(1)
+		}
+		// Dominated iff some point with cost₁ <= c1 has cost₂ <= c2
+		// with at least one strict. Points in earlier groups have
+		// strictly smaller cost₁, so c2 >= bestC2 ⇒ dominated. Points
+		// in the same group with smaller c2 dominate too.
+		if c2 >= bestC2 || c2 > groupBest {
+			if c2 < groupBest {
+				groupBest = c2
+			}
+			continue
+		}
+		if c2 < groupBest {
+			groupBest = c2
+		}
+		front = append(front, e)
+	}
+	return front
+}
+
+// Constraint bounds a metric in natural orientation: energy/delay/loss are
+// upper bounds, goodput is a lower bound.
+type Constraint struct {
+	Metric Metric
+	Bound  float64
+}
+
+// satisfied reports whether ev meets the constraint.
+func (c Constraint) satisfied(ev Evaluation) bool {
+	raw := c.Metric.Raw(ev)
+	if c.Metric == MetricGoodput {
+		return raw >= c.Bound
+	}
+	return raw <= c.Bound
+}
+
+// String implements fmt.Stringer.
+func (c Constraint) String() string {
+	op := "<="
+	if c.Metric == MetricGoodput {
+		op = ">="
+	}
+	return fmt.Sprintf("%v %s %g", c.Metric, op, c.Bound)
+}
+
+// EpsilonConstraint optimizes the primary metric subject to constraints on
+// the others — the MOP technique the paper cites for Eq. 10. Energy, delay
+// and loss are minimized; goodput is maximized.
+func EpsilonConstraint(evals []Evaluation, primary Metric, constraints []Constraint) (Evaluation, error) {
+	best := Evaluation{}
+	bestCost := math.Inf(1)
+	found := false
+	for _, ev := range evals {
+		ok := true
+		for _, c := range constraints {
+			if !c.satisfied(ev) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if cost := primary.value(ev); cost < bestCost {
+			best, bestCost, found = ev, cost, true
+		}
+	}
+	if !found {
+		return Evaluation{}, ErrNoFeasible
+	}
+	return best, nil
+}
+
+// Weights assigns a non-negative importance to each metric for the
+// weighted-sum scalarisation. Metrics are min-max normalised over the
+// candidate set before weighting, so the weights are scale-free.
+type Weights map[Metric]float64
+
+// WeightedBest returns the candidate minimising the normalised weighted sum
+// of costs. All weights must be non-negative with a positive total.
+func WeightedBest(evals []Evaluation, w Weights) (Evaluation, error) {
+	if len(evals) == 0 {
+		return Evaluation{}, errors.New("optimize: no evaluations")
+	}
+	total := 0.0
+	for m, wt := range w {
+		if wt < 0 {
+			return Evaluation{}, fmt.Errorf("optimize: negative weight for %v", m)
+		}
+		total += wt
+	}
+	if total <= 0 {
+		return Evaluation{}, errors.New("optimize: weights sum to zero")
+	}
+
+	// Min-max range per metric over finite values.
+	type rng struct{ lo, hi float64 }
+	ranges := make(map[Metric]rng, len(w))
+	for m := range w {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, ev := range evals {
+			v := m.value(ev)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		ranges[m] = rng{lo, hi}
+	}
+
+	best := Evaluation{}
+	bestScore := math.Inf(1)
+	found := false
+	for _, ev := range evals {
+		score := 0.0
+		valid := true
+		for m, wt := range w {
+			if wt == 0 {
+				continue
+			}
+			v := m.value(ev)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				valid = false
+				break
+			}
+			r := ranges[m]
+			norm := 0.0
+			if r.hi > r.lo {
+				norm = (v - r.lo) / (r.hi - r.lo)
+			}
+			score += wt * norm
+		}
+		if valid && score < bestScore {
+			best, bestScore, found = ev, score, true
+		}
+	}
+	if !found {
+		return Evaluation{}, ErrNoFeasible
+	}
+	return best, nil
+}

@@ -1,0 +1,184 @@
+// Package optimize implements the paper's parameter-tuning machinery
+// (Sec. VIII): model-based evaluation of candidate configurations on a link
+// of known quality, the per-metric optimization guidelines of Secs. IV-C,
+// V-C, VI-B and VII-B, and the multi-objective optimization (Eq. 10) that
+// the case study uses to beat single-parameter tuning — Pareto front
+// enumeration, weighted-sum scalarisation and the epsilon-constraint method.
+//
+// The optimizer works on a *Candidate* — the tunable subset of the stack
+// configuration (everything except distance, which is a property of the
+// deployment, expressed instead through the SNRAt link-quality function).
+package optimize
+
+import (
+	"errors"
+	"fmt"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+)
+
+// Candidate is a tunable parameter combination.
+type Candidate struct {
+	TxPower      phy.PowerLevel
+	PayloadBytes int
+	MaxTries     int
+	RetryDelay   float64 // seconds
+	QueueCap     int
+	PktInterval  float64 // seconds; 0 = saturated sender
+}
+
+// Validate checks the candidate's ranges.
+func (c Candidate) Validate() error {
+	if !c.TxPower.Valid() {
+		return fmt.Errorf("optimize: power level %d invalid", c.TxPower)
+	}
+	if c.PayloadBytes < 1 || c.PayloadBytes > frame.MaxPayloadBytes {
+		return fmt.Errorf("optimize: payload %d invalid", c.PayloadBytes)
+	}
+	if c.MaxTries < 1 {
+		return fmt.Errorf("optimize: MaxTries %d invalid", c.MaxTries)
+	}
+	if c.RetryDelay < 0 || c.PktInterval < 0 {
+		return errors.New("optimize: negative time parameter")
+	}
+	if c.QueueCap < 1 {
+		return fmt.Errorf("optimize: QueueCap %d invalid", c.QueueCap)
+	}
+	return nil
+}
+
+// String renders the candidate compactly.
+func (c Candidate) String() string {
+	return fmt.Sprintf("Ptx=%d lD=%dB N=%d Dretry=%gms Qmax=%d Tpkt=%gms",
+		int(c.TxPower), c.PayloadBytes, c.MaxTries, c.RetryDelay*1000,
+		c.QueueCap, c.PktInterval*1000)
+}
+
+// Evaluation is the model-predicted performance of a candidate on a link.
+type Evaluation struct {
+	Candidate Candidate
+	SNR       float64 // link SNR at the candidate's power level
+
+	UEngMicroJ  float64 // energy per delivered information bit (E)
+	GoodputKbps float64 // maximum goodput (G)
+	DelayS      float64 // expected per-packet delay (D)
+	PLR         float64 // total packet loss rate (L): radio + queue
+	PLRRadio    float64
+	PLRQueue    float64
+	Utilization float64 // ρ; +Inf for a saturated sender
+}
+
+// Evaluator predicts candidate performance with an empirical-model suite and
+// a link-quality map.
+type Evaluator struct {
+	// Suite holds the empirical models (paper constants or calibrated).
+	Suite models.Suite
+	// SNRAt maps a power level to the link's (planning-time) SNR in dB.
+	// Typically snr(p) = p.DBm() − pathLoss + 95; any monotone map works.
+	SNRAt func(phy.PowerLevel) float64
+}
+
+// NewEvaluator builds an evaluator for a link whose SNR at some reference
+// power level is known, assuming SNR shifts dB-for-dB with output power —
+// exactly the assumption the paper's case study makes ("the current SNR
+// increases to 6 dB after the output power level increases from 23 to 31").
+func NewEvaluator(suite models.Suite, refPower phy.PowerLevel, snrAtRef float64) Evaluator {
+	refDBm := refPower.DBm()
+	return Evaluator{
+		Suite: suite,
+		SNRAt: func(p phy.PowerLevel) float64 {
+			return snrAtRef + p.DBm() - refDBm
+		},
+	}
+}
+
+// Evaluate predicts all four metrics for the candidate: energy and goodput
+// from the paper's E and G models, delay and queue loss from the D model's
+// queueing-regime estimate (see models.DelayModel), and total loss from the
+// composition of queue loss with the L model's radio loss.
+func (e Evaluator) Evaluate(c Candidate) (Evaluation, error) {
+	if err := c.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	snr := e.SNRAt(c.TxPower)
+	s := e.Suite
+
+	ev := Evaluation{Candidate: c, SNR: snr}
+	ev.UEngMicroJ = s.Energy.UEng(c.PayloadBytes, snr, c.TxPower)
+	ev.GoodputKbps = s.Goodput.MaxGoodputKbps(c.PayloadBytes, snr, c.MaxTries, c.RetryDelay)
+	ev.PLRRadio = s.RadioLoss.PLR(c.PayloadBytes, snr, c.MaxTries)
+
+	d := s.Delay.Estimate(c.PayloadBytes, snr, c.RetryDelay,
+		c.MaxTries, c.QueueCap, c.PktInterval)
+	ev.DelayS = d.Total
+	ev.Utilization = d.Utilization
+	ev.PLRQueue = d.QueueLoss
+	ev.PLR = ev.PLRQueue + (1-ev.PLRQueue)*ev.PLRRadio
+	return ev, nil
+}
+
+// EvaluateAll evaluates every candidate, skipping none; any invalid
+// candidate aborts with an error.
+func (e Evaluator) EvaluateAll(cands []Candidate) ([]Evaluation, error) {
+	out := make([]Evaluation, len(cands))
+	for i, c := range cands {
+		ev, err := e.Evaluate(c)
+		if err != nil {
+			return nil, fmt.Errorf("candidate %d: %w", i, err)
+		}
+		out[i] = ev
+	}
+	return out, nil
+}
+
+// Grid is a discrete candidate space for the optimizer.
+type Grid struct {
+	TxPowers     []phy.PowerLevel
+	Payloads     []int
+	MaxTries     []int
+	RetryDelays  []float64
+	QueueCaps    []int
+	PktIntervals []float64
+}
+
+// DefaultGrid returns the Table I tunable ranges plus the saturated-sender
+// setting and a fine payload sweep, the space the case study searches.
+func DefaultGrid() Grid {
+	payloads := make([]int, 0, 24)
+	for l := 5; l <= 110; l += 5 {
+		payloads = append(payloads, l)
+	}
+	payloads = append(payloads, frame.MaxPayloadBytes)
+	return Grid{
+		TxPowers:     phy.StandardPowerLevels,
+		Payloads:     payloads,
+		MaxTries:     []int{1, 2, 3, 5, 8},
+		RetryDelays:  []float64{0, 0.030, 0.090},
+		QueueCaps:    []int{1, 30},
+		PktIntervals: []float64{0}, // saturated by default (bulk transfer)
+	}
+}
+
+// Candidates materialises the grid.
+func (g Grid) Candidates() []Candidate {
+	var out []Candidate
+	for _, p := range g.TxPowers {
+		for _, l := range g.Payloads {
+			for _, n := range g.MaxTries {
+				for _, r := range g.RetryDelays {
+					for _, q := range g.QueueCaps {
+						for _, t := range g.PktIntervals {
+							out = append(out, Candidate{
+								TxPower: p, PayloadBytes: l, MaxTries: n,
+								RetryDelay: r, QueueCap: q, PktInterval: t,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,563 @@
+package optimize
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+)
+
+// caseStudyEvaluator reproduces the paper's Sec. VIII-C link: SNR 3 dB at
+// P_tx 23, shifting dB-for-dB with output power (6 dB at P_tx 31).
+func caseStudyEvaluator() Evaluator {
+	return NewEvaluator(models.Paper(), 23, 3)
+}
+
+// strongLinkEvaluator is a link already in the low-impact zone at minimum
+// power.
+func strongLinkEvaluator() Evaluator {
+	return NewEvaluator(models.Paper(), 3, 25)
+}
+
+func TestNewEvaluatorSNRShift(t *testing.T) {
+	e := caseStudyEvaluator()
+	if got := e.SNRAt(23); got != 3 {
+		t.Errorf("SNRAt(23) = %v, want 3", got)
+	}
+	// P_tx 31 is +3 dBm over P_tx 23 (−3 dBm → 0 dBm): SNR 6, the paper's
+	// case-study assumption.
+	if got := e.SNRAt(31); math.Abs(got-6) > 1e-12 {
+		t.Errorf("SNRAt(31) = %v, want 6", got)
+	}
+}
+
+func TestCandidateValidate(t *testing.T) {
+	good := Candidate{TxPower: 31, PayloadBytes: 114, MaxTries: 3, QueueCap: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid candidate rejected: %v", err)
+	}
+	bad := []Candidate{
+		{TxPower: 2, PayloadBytes: 50, MaxTries: 1, QueueCap: 1},
+		{TxPower: 31, PayloadBytes: 0, MaxTries: 1, QueueCap: 1},
+		{TxPower: 31, PayloadBytes: 115, MaxTries: 1, QueueCap: 1},
+		{TxPower: 31, PayloadBytes: 50, MaxTries: 0, QueueCap: 1},
+		{TxPower: 31, PayloadBytes: 50, MaxTries: 1, QueueCap: 0},
+		{TxPower: 31, PayloadBytes: 50, MaxTries: 1, QueueCap: 1, RetryDelay: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad candidate %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestEvaluateBasics(t *testing.T) {
+	e := caseStudyEvaluator()
+	ev, err := e.Evaluate(Candidate{
+		TxPower: 31, PayloadBytes: 114, MaxTries: 1, QueueCap: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SNR != 6 {
+		t.Errorf("SNR = %v, want 6", ev.SNR)
+	}
+	if ev.GoodputKbps <= 0 || ev.UEngMicroJ <= 0 {
+		t.Errorf("metrics not populated: %+v", ev)
+	}
+	// Saturated sender: infinite utilization, delay equals service time,
+	// no queue loss.
+	if !math.IsInf(ev.Utilization, 1) {
+		t.Errorf("Utilization = %v, want +Inf", ev.Utilization)
+	}
+	if ev.PLRQueue != 0 {
+		t.Errorf("PLRQueue = %v, want 0 for saturated sender", ev.PLRQueue)
+	}
+	if ev.PLR != ev.PLRRadio {
+		t.Errorf("PLR %v should equal PLRRadio %v", ev.PLR, ev.PLRRadio)
+	}
+}
+
+func TestEvaluateQueueRegimes(t *testing.T) {
+	e := caseStudyEvaluator()
+	base := Candidate{
+		TxPower: 31, PayloadBytes: 110, MaxTries: 3,
+		RetryDelay: 0.030, QueueCap: 30,
+	}
+	// Light load: long interval, ρ << 1, tiny queueing delay.
+	light := base
+	light.PktInterval = 1.0
+	evLight, err := e.Evaluate(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evLight.Utilization >= 1 || evLight.PLRQueue != 0 {
+		t.Errorf("light load: %+v", evLight)
+	}
+	// Overload: 10 ms interval on a grey-zone link with retries.
+	heavy := base
+	heavy.PktInterval = 0.010
+	evHeavy, err := e.Evaluate(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evHeavy.Utilization <= 1 {
+		t.Fatalf("heavy load rho = %v, want > 1", evHeavy.Utilization)
+	}
+	if evHeavy.PLRQueue <= 0 {
+		t.Error("overloaded queue must lose packets")
+	}
+	if evHeavy.DelayS < 10*evLight.DelayS {
+		t.Errorf("overload delay %v should dwarf light-load delay %v",
+			evHeavy.DelayS, evLight.DelayS)
+	}
+	// Total loss combines the components.
+	wantPLR := evHeavy.PLRQueue + (1-evHeavy.PLRQueue)*evHeavy.PLRRadio
+	if math.Abs(evHeavy.PLR-wantPLR) > 1e-12 {
+		t.Errorf("PLR composition broken: %v != %v", evHeavy.PLR, wantPLR)
+	}
+}
+
+func TestEvaluateAllPropagatesError(t *testing.T) {
+	e := caseStudyEvaluator()
+	_, err := e.EvaluateAll([]Candidate{
+		{TxPower: 31, PayloadBytes: 50, MaxTries: 1, QueueCap: 1},
+		{TxPower: 31, PayloadBytes: 0, MaxTries: 1, QueueCap: 1},
+	})
+	if err == nil {
+		t.Error("invalid candidate should abort EvaluateAll")
+	}
+}
+
+func TestGridCandidates(t *testing.T) {
+	g := Grid{
+		TxPowers:     []phy.PowerLevel{23, 31},
+		Payloads:     []int{50, 114},
+		MaxTries:     []int{1, 3},
+		RetryDelays:  []float64{0},
+		QueueCaps:    []int{1},
+		PktIntervals: []float64{0},
+	}
+	cands := g.Candidates()
+	if len(cands) != 8 {
+		t.Fatalf("candidates = %d, want 8", len(cands))
+	}
+	seen := make(map[Candidate]bool)
+	for _, c := range cands {
+		if err := c.Validate(); err != nil {
+			t.Errorf("grid produced invalid candidate: %v", err)
+		}
+		if seen[c] {
+			t.Errorf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+	}
+	if n := len(DefaultGrid().Candidates()); n < 500 {
+		t.Errorf("default grid has %d candidates, suspiciously small", n)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	// Hand-crafted evaluations: A dominates B; C trades off against A.
+	a := Evaluation{UEngMicroJ: 1, GoodputKbps: 20}
+	b := Evaluation{UEngMicroJ: 2, GoodputKbps: 15}
+	c := Evaluation{UEngMicroJ: 0.5, GoodputKbps: 10}
+	front := ParetoFront([]Evaluation{a, b, c}, []Metric{MetricEnergy, MetricGoodput})
+	if len(front) != 2 {
+		t.Fatalf("front size = %d, want 2 (B dominated)", len(front))
+	}
+	// Sorted by energy ascending.
+	if front[0].UEngMicroJ != 0.5 || front[1].UEngMicroJ != 1 {
+		t.Errorf("front order wrong: %+v", front)
+	}
+}
+
+func TestParetoFrontEdgeCases(t *testing.T) {
+	if got := ParetoFront(nil, []Metric{MetricEnergy}); got != nil {
+		t.Error("empty input should return nil")
+	}
+	if got := ParetoFront([]Evaluation{{}}, nil); got != nil {
+		t.Error("no metrics should return nil")
+	}
+	// Identical evaluations: none strictly dominates, all survive.
+	same := []Evaluation{{UEngMicroJ: 1}, {UEngMicroJ: 1}}
+	if got := ParetoFront(same, []Metric{MetricEnergy}); len(got) != 2 {
+		t.Errorf("identical evals: front = %d, want 2", len(got))
+	}
+}
+
+func TestParetoFrontNoMutualDomination(t *testing.T) {
+	e := caseStudyEvaluator()
+	evals, err := e.EvaluateAll(DefaultGrid().Candidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []Metric{MetricEnergy, MetricGoodput}
+	front := ParetoFront(evals, ms)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if a.UEngMicroJ <= b.UEngMicroJ && a.GoodputKbps >= b.GoodputKbps &&
+				(a.UEngMicroJ < b.UEngMicroJ || a.GoodputKbps > b.GoodputKbps) {
+				t.Fatalf("front member %d dominates member %d", i, j)
+			}
+		}
+	}
+}
+
+func TestEpsilonConstraint(t *testing.T) {
+	evals := []Evaluation{
+		{UEngMicroJ: 1.0, GoodputKbps: 20, DelayS: 0.02},
+		{UEngMicroJ: 0.5, GoodputKbps: 10, DelayS: 0.01},
+		{UEngMicroJ: 0.3, GoodputKbps: 5, DelayS: 0.05},
+	}
+	// Maximize goodput subject to energy <= 0.6.
+	best, err := EpsilonConstraint(evals, MetricGoodput,
+		[]Constraint{{Metric: MetricEnergy, Bound: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.GoodputKbps != 10 {
+		t.Errorf("best = %+v, want the 10 kbps candidate", best)
+	}
+	// Minimize energy subject to goodput >= 15.
+	best, err = EpsilonConstraint(evals, MetricEnergy,
+		[]Constraint{{Metric: MetricGoodput, Bound: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.GoodputKbps != 20 {
+		t.Errorf("best = %+v, want the 20 kbps candidate", best)
+	}
+	// Infeasible constraint set.
+	if _, err := EpsilonConstraint(evals, MetricEnergy,
+		[]Constraint{{Metric: MetricGoodput, Bound: 100}}); err != ErrNoFeasible {
+		t.Errorf("err = %v, want ErrNoFeasible", err)
+	}
+}
+
+func TestWeightedBest(t *testing.T) {
+	evals := []Evaluation{
+		{UEngMicroJ: 1.0, GoodputKbps: 20},
+		{UEngMicroJ: 0.2, GoodputKbps: 4},
+		{UEngMicroJ: 0.6, GoodputKbps: 18},
+	}
+	// All weight on goodput.
+	best, err := WeightedBest(evals, Weights{MetricGoodput: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.GoodputKbps != 20 {
+		t.Errorf("goodput-only best = %+v", best)
+	}
+	// All weight on energy.
+	best, err = WeightedBest(evals, Weights{MetricEnergy: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.UEngMicroJ != 0.2 {
+		t.Errorf("energy-only best = %+v", best)
+	}
+	// Balanced: the 0.6/18 candidate is the best compromise
+	// (normalised costs: energy 0.5, goodput 0.125 → 0.3125 vs 0.5 / 0.5).
+	best, err = WeightedBest(evals, Weights{MetricEnergy: 1, MetricGoodput: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.UEngMicroJ != 0.6 {
+		t.Errorf("balanced best = %+v, want the compromise candidate", best)
+	}
+}
+
+func TestWeightedBestErrors(t *testing.T) {
+	if _, err := WeightedBest(nil, Weights{MetricEnergy: 1}); err == nil {
+		t.Error("empty evals should error")
+	}
+	evals := []Evaluation{{UEngMicroJ: 1}}
+	if _, err := WeightedBest(evals, Weights{MetricEnergy: -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := WeightedBest(evals, Weights{}); err == nil {
+		t.Error("zero total weight should error")
+	}
+	// A candidate with infinite energy must never win under an energy
+	// weight.
+	evals = []Evaluation{
+		{UEngMicroJ: math.Inf(1), GoodputKbps: 100},
+		{UEngMicroJ: 1, GoodputKbps: 1},
+	}
+	best, err := WeightedBest(evals, Weights{MetricEnergy: 1, MetricGoodput: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(best.UEngMicroJ, 1) {
+		t.Error("infinite-energy candidate selected")
+	}
+}
+
+func TestJointTuningBeatsSingleParameterHeuristics(t *testing.T) {
+	// The Fig 1 / Table IV claim: on the grey-zone case-study link, the
+	// joint MOP finds a configuration with at least the goodput of every
+	// single-parameter heuristic at no worse an energy cost (it searches
+	// a superset, so this must hold; the test guards the wiring).
+	e := caseStudyEvaluator()
+	evals, err := e.EvaluateAll(DefaultGrid().Candidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	single := []Candidate{
+		// [11]: tune power only (max power, defaults elsewhere).
+		{TxPower: 31, PayloadBytes: 114, MaxTries: 1, QueueCap: 1},
+		// [6]: tune retransmissions only.
+		{TxPower: 23, PayloadBytes: 114, MaxTries: 3, QueueCap: 1},
+		// [1]: tune payload only (small packets under interference).
+		{TxPower: 23, PayloadBytes: 5, MaxTries: 1, QueueCap: 1},
+	}
+	for _, sc := range single {
+		sev, err := e.Evaluate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joint, err := EpsilonConstraint(evals, MetricGoodput,
+			[]Constraint{{Metric: MetricEnergy, Bound: sev.UEngMicroJ}})
+		if err != nil {
+			t.Fatalf("no joint candidate within energy %v: %v", sev.UEngMicroJ, err)
+		}
+		if joint.GoodputKbps < sev.GoodputKbps-1e-9 {
+			t.Errorf("single %v: goodput %v beats joint %v at energy %v",
+				sc, sev.GoodputKbps, joint.GoodputKbps, sev.UEngMicroJ)
+		}
+	}
+}
+
+func TestTuneForEnergyGuideline(t *testing.T) {
+	// Strong link: minimum power already clears 17 dB → use it with max
+	// payload.
+	c := strongLinkEvaluator().TuneForEnergy(nil, Candidate{MaxTries: 1, QueueCap: 1})
+	if c.TxPower != 3 || c.PayloadBytes != 114 {
+		t.Errorf("strong link tune = %+v, want Ptx=3 lD=114", c)
+	}
+	// Case-study link: even max power is at 6 dB → max power + shrunken
+	// payload.
+	c = caseStudyEvaluator().TuneForEnergy(nil, Candidate{MaxTries: 1, QueueCap: 1})
+	if c.TxPower != 31 {
+		t.Errorf("weak link should use max power, got %v", c.TxPower)
+	}
+	if c.PayloadBytes >= 114 || c.PayloadBytes < 10 {
+		t.Errorf("weak link payload = %d, want shrunken but usable", c.PayloadBytes)
+	}
+}
+
+func TestTuneForGoodputGuideline(t *testing.T) {
+	// Strong link: pick the smallest power clearing 19 dB, max payload,
+	// largest retry budget.
+	e := NewEvaluator(models.Paper(), 3, 15) // SNR 15 at Ptx 3 → 19 needs more power
+	c := e.TuneForGoodput(nil, nil, Candidate{QueueCap: 1})
+	if snr := e.SNRAt(c.TxPower); snr < 19 {
+		t.Errorf("chosen power %v gives SNR %v < 19", c.TxPower, snr)
+	}
+	if c.PayloadBytes != 114 || c.MaxTries != 8 {
+		t.Errorf("tune = %+v, want lD=114 N=8", c)
+	}
+	// Grey-zone link: max power, model-chosen payload below max.
+	cGrey := caseStudyEvaluator().TuneForGoodput(nil, []int{1, 3}, Candidate{QueueCap: 1})
+	if cGrey.TxPower != 31 || cGrey.MaxTries != 3 {
+		t.Errorf("grey tune = %+v", cGrey)
+	}
+	if cGrey.PayloadBytes < 1 || cGrey.PayloadBytes > 114 {
+		t.Errorf("grey payload = %d", cGrey.PayloadBytes)
+	}
+}
+
+func TestStabilizeForDelayGuideline(t *testing.T) {
+	e := caseStudyEvaluator()
+	stable := Candidate{TxPower: 31, PayloadBytes: 110, MaxTries: 3,
+		RetryDelay: 0.03, QueueCap: 30, PktInterval: 1}
+	ok, iv := e.StabilizeForDelay(stable, nil)
+	if !ok || iv != 1 {
+		t.Errorf("stable candidate misjudged: %v %v", ok, iv)
+	}
+	overloaded := stable
+	overloaded.PktInterval = 0.010
+	ok, iv = e.StabilizeForDelay(overloaded, []float64{0.010, 0.030, 0.100, 1})
+	if ok {
+		t.Error("grey-zone 10 ms interval should be unstable")
+	}
+	if iv == 0 {
+		t.Error("a stabilising interval exists in the choices")
+	}
+	if ts := e.Suite.Service.ExpectedCapped(110, e.SNRAt(31), 0.03, 3); ts/iv >= 1 {
+		t.Errorf("suggested interval %v does not restore rho < 1", iv)
+	}
+	// No choice helps.
+	ok, iv = e.StabilizeForDelay(overloaded, []float64{0.001})
+	if ok || iv != 0 {
+		t.Errorf("impossible stabilisation should return (false, 0): %v %v", ok, iv)
+	}
+}
+
+func TestTuneForLossGuideline(t *testing.T) {
+	e := caseStudyEvaluator()
+	// Light load: the largest stable N wins (retx reduce radio loss).
+	light := Candidate{TxPower: 31, PayloadBytes: 110, MaxTries: 1,
+		RetryDelay: 0.03, QueueCap: 1, PktInterval: 1}
+	got := e.TuneForLoss(light, []int{1, 3, 8}, []int{1, 30})
+	if got.MaxTries != 8 {
+		t.Errorf("light load MaxTries = %d, want 8", got.MaxTries)
+	}
+	// Overload: no N is stable → largest N + large queue.
+	heavy := light
+	heavy.PktInterval = 0.010
+	got = e.TuneForLoss(heavy, []int{1, 3, 8}, []int{1, 30})
+	if got.QueueCap != 30 {
+		t.Errorf("overloaded QueueCap = %d, want 30", got.QueueCap)
+	}
+}
+
+func TestMetricStrings(t *testing.T) {
+	for m := MetricEnergy; m <= MetricLoss; m++ {
+		if m.String() == "unknown" {
+			t.Errorf("metric %d unnamed", m)
+		}
+	}
+	if Metric(0).String() != "unknown" {
+		t.Error("invalid metric should be unknown")
+	}
+	c := Constraint{Metric: MetricGoodput, Bound: 10}
+	if c.String() != "goodput >= 10" {
+		t.Errorf("constraint string = %q", c.String())
+	}
+	c = Constraint{Metric: MetricDelay, Bound: 0.05}
+	if c.String() != "delay <= 0.05" {
+		t.Errorf("constraint string = %q", c.String())
+	}
+}
+
+func TestWeightedBestLiesOnParetoFront(t *testing.T) {
+	// Scalarisation consistency: for any positive weights, the
+	// weighted-sum winner must be Pareto-optimal on the weighted metrics.
+	e := caseStudyEvaluator()
+	evals, err := e.EvaluateAll(DefaultGrid().Candidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(evals, []Metric{MetricEnergy, MetricGoodput})
+	onFront := func(ev Evaluation) bool {
+		for _, f := range front {
+			if f.Candidate == ev.Candidate {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range []Weights{
+		{MetricEnergy: 1, MetricGoodput: 1},
+		{MetricEnergy: 5, MetricGoodput: 1},
+		{MetricEnergy: 1, MetricGoodput: 5},
+		{MetricEnergy: 0.1, MetricGoodput: 3},
+	} {
+		best, err := WeightedBest(evals, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !onFront(best) {
+			t.Errorf("weights %v: winner %v not on the Pareto front", w, best.Candidate)
+		}
+	}
+}
+
+func TestEpsilonConstraintResultSatisfiesConstraints(t *testing.T) {
+	// Whatever the optimizer returns must actually satisfy every
+	// constraint it was given, across a spread of bounds.
+	e := caseStudyEvaluator()
+	evals, err := e.EvaluateAll(DefaultGrid().Candidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bound := range []float64{0.3, 0.45, 0.7, 1.5} {
+		best, err := EpsilonConstraint(evals, MetricGoodput,
+			[]Constraint{{Metric: MetricEnergy, Bound: bound}})
+		if err == ErrNoFeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.UEngMicroJ > bound {
+			t.Errorf("bound %v violated: %v", bound, best.UEngMicroJ)
+		}
+		// And nothing feasible beats it on the primary metric.
+		for _, ev := range evals {
+			if ev.UEngMicroJ <= bound && ev.GoodputKbps > best.GoodputKbps+1e-9 {
+				t.Errorf("bound %v: %v beats winner", bound, ev.Candidate)
+				break
+			}
+		}
+	}
+}
+
+func TestParetoFront2MatchesNaive(t *testing.T) {
+	// The O(n log n) two-metric sweep must agree with the generic
+	// pairwise scan on random data, including ties and duplicates.
+	rng := rand.New(rand.NewPCG(99, 100))
+	naive := func(evals []Evaluation, ms []Metric) map[Candidate]bool {
+		dominates := func(a, b Evaluation) bool {
+			strictly := false
+			for _, m := range ms {
+				va, vb := m.value(a), m.value(b)
+				if va > vb {
+					return false
+				}
+				if va < vb {
+					strictly = true
+				}
+			}
+			return strictly
+		}
+		out := make(map[Candidate]bool)
+		for i, e := range evals {
+			dominated := false
+			for j, other := range evals {
+				if i != j && dominates(other, e) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				out[e.Candidate] = true
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(60)
+		evals := make([]Evaluation, n)
+		for i := range evals {
+			evals[i] = Evaluation{
+				// Coarse grid values to force ties and duplicates.
+				Candidate:   Candidate{TxPower: 3 + phy.PowerLevel(i%29), PayloadBytes: 1 + i, MaxTries: 1, QueueCap: 1},
+				UEngMicroJ:  float64(rng.IntN(6)) / 2,
+				GoodputKbps: float64(rng.IntN(6)) * 3,
+			}
+		}
+		ms := []Metric{MetricEnergy, MetricGoodput}
+		fast := ParetoFront(evals, ms)
+		want := naive(evals, ms)
+		if len(fast) != len(want) {
+			t.Fatalf("trial %d: front size %d, naive %d", trial, len(fast), len(want))
+		}
+		for _, e := range fast {
+			if !want[e.Candidate] {
+				t.Fatalf("trial %d: %v not in naive front", trial, e.Candidate)
+			}
+		}
+	}
+}

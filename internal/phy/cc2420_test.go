@@ -1,0 +1,281 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerLevelDBmDatasheetPoints(t *testing.T) {
+	tests := []struct {
+		level PowerLevel
+		dbm   float64
+		ma    float64
+	}{
+		{3, -25, 8.5},
+		{7, -15, 9.9},
+		{11, -10, 11.2},
+		{15, -7, 12.5},
+		{19, -5, 13.9},
+		{23, -3, 15.2},
+		{27, -1, 16.5},
+		{31, 0, 17.4},
+	}
+	for _, tt := range tests {
+		if got := tt.level.DBm(); got != tt.dbm {
+			t.Errorf("PowerLevel(%d).DBm() = %v, want %v", tt.level, got, tt.dbm)
+		}
+		if got := tt.level.CurrentMA(); got != tt.ma {
+			t.Errorf("PowerLevel(%d).CurrentMA() = %v, want %v", tt.level, got, tt.ma)
+		}
+	}
+}
+
+func TestPowerLevelInterpolation(t *testing.T) {
+	// Level 25 (used in the paper's Table IV) lies between 23 (-3 dBm)
+	// and 27 (-1 dBm).
+	got := PowerLevel(25).DBm()
+	if got != -2 {
+		t.Errorf("PowerLevel(25).DBm() = %v, want -2 (midpoint)", got)
+	}
+	cur := PowerLevel(25).CurrentMA()
+	want := (15.2 + 16.5) / 2
+	if math.Abs(cur-want) > 1e-12 {
+		t.Errorf("PowerLevel(25).CurrentMA() = %v, want %v", cur, want)
+	}
+}
+
+func TestPowerLevelClamping(t *testing.T) {
+	if got := PowerLevel(0).DBm(); got != -25 {
+		t.Errorf("below-range level DBm = %v, want -25", got)
+	}
+	if got := PowerLevel(40).DBm(); got != 0 {
+		t.Errorf("above-range level DBm = %v, want 0", got)
+	}
+}
+
+func TestPowerLevelMonotone(t *testing.T) {
+	for p := PowerLevel(4); p <= 31; p++ {
+		if p.DBm() < (p - 1).DBm() {
+			t.Errorf("DBm not monotone at level %d", p)
+		}
+		if p.CurrentMA() < (p - 1).CurrentMA() {
+			t.Errorf("CurrentMA not monotone at level %d", p)
+		}
+	}
+}
+
+func TestPowerLevelValid(t *testing.T) {
+	if PowerLevel(2).Valid() || PowerLevel(32).Valid() {
+		t.Error("out-of-range levels should be invalid")
+	}
+	if !PowerLevel(3).Valid() || !PowerLevel(31).Valid() {
+		t.Error("boundary levels should be valid")
+	}
+}
+
+func TestTxEnergyPerBit(t *testing.T) {
+	// Max power: 3 V · 17.4 mA / 250 kb/s = 0.2088 µJ/bit.
+	got := PowerLevel(31).TxEnergyPerBitMicroJ()
+	if math.Abs(got-0.2088) > 1e-6 {
+		t.Errorf("TxEnergyPerBitMicroJ(31) = %v, want 0.2088", got)
+	}
+	// Min power draws less energy.
+	if PowerLevel(3).TxEnergyPerBitMicroJ() >= got {
+		t.Error("lower power level should cost less energy per bit")
+	}
+}
+
+func TestAirTime(t *testing.T) {
+	// A full 133-byte frame (114 B payload + 19 B overhead) at 250 kb/s.
+	got := AirTime(133)
+	want := 133.0 * 8 / 250000
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AirTime(133) = %v, want %v", got, want)
+	}
+	if AirTime(0) != 0 {
+		t.Error("AirTime(0) should be 0")
+	}
+}
+
+func TestLQI(t *testing.T) {
+	if got := LQI(30); got != 110 {
+		t.Errorf("LQI(30) = %v, want saturated 110", got)
+	}
+	if got := LQI(-10); got != 40 {
+		t.Errorf("LQI(-10) = %v, want floor 40", got)
+	}
+	if LQI(5) <= LQI(2) {
+		t.Error("LQI should increase with SNR in the linear region")
+	}
+}
+
+func TestCalibratedDataPERMatchesPaperEq3(t *testing.T) {
+	m := NewCalibrated()
+	tests := []struct {
+		snr     float64
+		payload int
+		want    float64
+	}{
+		// PER = 0.0128·l_D·exp(−0.15·SNR)
+		{19, 114, 0.0128 * 114 * math.Exp(-0.15*19)},
+		{5, 114, 0.0128 * 114 * math.Exp(-0.15*5)},
+		{12, 50, 0.0128 * 50 * math.Exp(-0.15*12)},
+	}
+	for _, tt := range tests {
+		got := m.DataPER(tt.snr, tt.payload)
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("DataPER(%v,%v) = %v, want %v", tt.snr, tt.payload, got, tt.want)
+		}
+	}
+}
+
+func TestCalibratedDataPERClamped(t *testing.T) {
+	m := NewCalibrated()
+	if got := m.DataPER(-5, 114); got != 1 {
+		t.Errorf("PER at/below floor SNR = %v, want 1", got)
+	}
+	if got := m.DataPER(0.1, 114); got > 1 {
+		t.Errorf("PER = %v, must be clamped to 1", got)
+	}
+	if got := m.DataPER(60, 114); got < 0 || got > 1e-3 {
+		t.Errorf("PER at SNR 60 = %v, want tiny and nonnegative", got)
+	}
+}
+
+func TestCalibratedDataPERZeroPayload(t *testing.T) {
+	m := NewCalibrated()
+	if got := m.DataPER(15, 0); got <= 0 {
+		t.Errorf("DataPER with zero payload = %v, want small positive (header loss)", got)
+	}
+}
+
+func TestCalibratedPERJointEffectZones(t *testing.T) {
+	// Reproduce the paper's zone observations (Sec III-B): in the
+	// high-impact zone (5–12 dB) PER varies dramatically with payload;
+	// in the low-impact zone (>= 19 dB) PER is small for every payload.
+	m := NewCalibrated()
+	spreadAt := func(snr float64) float64 {
+		return m.DataPER(snr, 114) - m.DataPER(snr, 5)
+	}
+	if s := spreadAt(8); s < 0.3 {
+		t.Errorf("payload spread at 8 dB = %v, want large (high-impact zone)", s)
+	}
+	if s := spreadAt(22); s > 0.06 {
+		t.Errorf("payload spread at 22 dB = %v, want small (low-impact zone)", s)
+	}
+	// PER for the max payload drops to ~0.1 around 19 dB (Fig 6d).
+	if per := m.DataPER(19, 114); math.Abs(per-0.084) > 0.02 {
+		t.Errorf("PER(19 dB, 114 B) = %v, want ~0.084", per)
+	}
+}
+
+func TestCalibratedAckPER(t *testing.T) {
+	m := NewCalibrated()
+	// ACK loss must be much rarer than data loss for the same SNR.
+	if ack, data := m.AckPER(10), m.DataPER(10, 110); ack >= data {
+		t.Errorf("AckPER(10)=%v should be < DataPER(10,110)=%v", ack, data)
+	}
+	if got := m.AckPER(-1); got != 1 {
+		t.Errorf("AckPER below floor = %v, want 1", got)
+	}
+	if got := m.AckPER(40); got > 1e-3 {
+		t.Errorf("AckPER(40) = %v, want tiny", got)
+	}
+}
+
+func TestCalibratedMonotonicityProperty(t *testing.T) {
+	m := NewCalibrated()
+	f := func(rawSNR, rawPayload uint8) bool {
+		snr := 1 + float64(rawSNR%35)
+		payload := 1 + int(rawPayload%114)
+		// increasing SNR never increases PER
+		if m.DataPER(snr+1, payload) > m.DataPER(snr, payload) {
+			return false
+		}
+		// increasing payload never decreases PER
+		if m.DataPER(snr, payload) > m.DataPER(snr, payload+1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyticBERShape(t *testing.T) {
+	m := NewAnalytic(0)
+	// The pure AWGN curve has the well-known sharp cliff: essentially
+	// error-free above ~3 dB, catastrophic below ~0 dB.
+	if ber := m.BER(5); ber > 1e-9 {
+		t.Errorf("BER(5 dB) = %v, want ~0 (above cliff)", ber)
+	}
+	if ber := m.BER(-5); ber < 0.01 {
+		t.Errorf("BER(-5 dB) = %v, want large (below cliff)", ber)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for snr := -10.0; snr <= 10; snr += 0.5 {
+		b := m.BER(snr)
+		if b > prev+1e-15 {
+			t.Fatalf("BER not monotone at %v dB: %v > %v", snr, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestAnalyticLossOffsetShiftsCliff(t *testing.T) {
+	pure := NewAnalytic(0)
+	lossy := NewAnalytic(7)
+	// With a 7 dB implementation loss the curve at 8 dB should look like
+	// the pure curve at 1 dB.
+	if got, want := lossy.BER(8), pure.BER(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("offset BER(8) = %v, want pure BER(1) = %v", got, want)
+	}
+}
+
+func TestAnalyticDataPERUsesFrameLength(t *testing.T) {
+	m := NewAnalytic(5)
+	// Longer frames fail more often at the same SNR.
+	if m.DataPER(5, 114) <= m.DataPER(5, 5) {
+		t.Error("longer payload should have higher PER")
+	}
+	// The ACK (11 bytes on air) beats even the smallest data frame
+	// (5 B payload + 19 B overhead = 24 bytes on air).
+	if m.AckPER(5) >= m.DataPER(5, 5) {
+		t.Error("ACK should be more robust than the smallest data frame")
+	}
+}
+
+func TestAnalyticVsCalibratedTransitionWidth(t *testing.T) {
+	// The paper's key observation (Sec III-B): the measured PER transition
+	// is smoother than the textbook cliff. Quantify the SNR span between
+	// PER 0.9 and PER 0.1 for l_D = 114 and assert the calibrated model's
+	// span is wider.
+	span := func(m ErrorModel) float64 {
+		var at90, at10 float64
+		for snr := -10.0; snr <= 40; snr += 0.01 {
+			per := m.DataPER(snr, 114)
+			if per > 0.9 {
+				at90 = snr
+			}
+			if per > 0.1 {
+				at10 = snr
+			}
+		}
+		return at10 - at90
+	}
+	calibrated := span(NewCalibrated())
+	analytic := span(NewAnalytic(7))
+	if calibrated <= analytic {
+		t.Errorf("calibrated transition span %v dB should exceed analytic %v dB",
+			calibrated, analytic)
+	}
+}
+
+func TestPowerLevelString(t *testing.T) {
+	if got := PowerLevel(31).String(); got != "Ptx=31 (0.0 dBm)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,256 @@
+// Package plot renders experiment series as standalone SVG line charts —
+// no external dependencies, deterministic output. It exists so that
+// `wsnbench -svg` can regenerate the paper's figures as actual images, not
+// just numeric tables.
+//
+// The renderer is intentionally small: multi-series line charts with
+// linear or log₁₀ y-axes, automatic "nice" tick placement, a legend, and a
+// fixed, color-blind-safe palette.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart describes a figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY switches the y-axis to log10; non-positive values are
+	// dropped from the plot.
+	LogY bool
+	// Width and Height in pixels (defaults 720×440).
+	Width, Height int
+}
+
+// Layout constants.
+const (
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 40
+	marginBottom = 55
+	legendRowH   = 16
+)
+
+// palette is color-blind safe (Okabe–Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00",
+	"#CC79A7", "#56B4E9", "#F0E442", "#000000",
+}
+
+// Errors returned by Render.
+var (
+	ErrNoSeries = errors.New("plot: chart has no series")
+	ErrNoPoints = errors.New("plot: chart has no drawable points")
+)
+
+// Render produces the SVG document.
+func (c Chart) Render() (string, error) {
+	if len(c.Series) == 0 {
+		return "", ErrNoSeries
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 440
+	}
+
+	// Collect drawable points and the data range.
+	type pt struct{ x, y float64 }
+	drawable := make([][]pt, len(c.Series))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for i, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for j := 0; j < n; j++ {
+			x, y := s.X[j], s.Y[j]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			drawable[i] = append(drawable[i], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			total++
+		}
+	}
+	if total == 0 {
+		return "", ErrNoPoints
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+	sx := func(x float64) float64 {
+		return marginLeft + (x-minX)/(maxX-minX)*plotW
+	}
+	sy := func(y float64) float64 {
+		return float64(marginTop) + (1-(y-minY)/(maxY-minY))*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(c.Title))
+
+	// Axes frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444" stroke-width="1"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+
+	// Ticks and grid.
+	for _, tx := range niceTicks(minX, maxX, 6) {
+		px := sx(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			px, marginTop, px, float64(marginTop)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, float64(marginTop)+plotH+16, formatTick(tx))
+	}
+	for _, ty := range niceTicks(minY, maxY, 6) {
+		py := sy(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd" stroke-width="0.5"/>`+"\n",
+			marginLeft, py, float64(marginLeft)+plotW, py)
+		label := formatTick(ty)
+		if c.LogY {
+			label = formatTick(math.Pow(10, ty))
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, py+4, label)
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, height-14, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, escape(yAxisLabel(c)))
+
+	// Series.
+	for i, pts := range drawable {
+		if len(pts) == 0 {
+			continue
+		}
+		color := palette[i%len(palette)]
+		sorted := append([]pt(nil), pts...)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].x < sorted[b].x })
+		var poly strings.Builder
+		for _, p := range sorted {
+			fmt.Fprintf(&poly, "%.1f,%.1f ", sx(p.x), sy(p.y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(poly.String()), color)
+		for _, p := range sorted {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"/>`+"\n",
+				sx(p.x), sy(p.y), color)
+		}
+	}
+
+	// Legend.
+	ly := marginTop + 8
+	for i, s := range c.Series {
+		if len(drawable[i]) == 0 {
+			continue
+		}
+		color := palette[i%len(palette)]
+		lx := marginLeft + int(plotW) - 190
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly+4, escape(s.Name))
+		ly += legendRowH
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func yAxisLabel(c Chart) string {
+	if c.LogY {
+		return c.YLabel + " (log scale)"
+	}
+	return c.YLabel
+}
+
+// niceTicks places up to n "nice" tick values across [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+		if span/step <= float64(n)*2 {
+			break
+		}
+		step *= 2.5
+	}
+	if span/step > float64(n) {
+		step *= 2
+	}
+	var ticks []float64
+	start := math.Ceil(lo/step) * step
+	for t := start; t <= hi+step*1e-9; t += step {
+		ticks = append(ticks, t)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av != 0 && (av < 0.001 || av >= 100000):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return trimZeros(fmt.Sprintf("%.2f", v))
+	default:
+		return trimZeros(fmt.Sprintf("%.4f", v))
+	}
+}
+
+func trimZeros(s string) string {
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,194 @@
+package plot
+
+import (
+	"encoding/xml"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "Fig test: goodput vs SNR",
+		XLabel: "SNR (dB)",
+		YLabel: "goodput (kbps)",
+		Series: []Series{
+			{Name: "lD=110B", X: []float64{5, 10, 15, 20}, Y: []float64{2, 10, 25, 40}},
+			{Name: "lD=20B", X: []float64{5, 10, 15, 20}, Y: []float64{1, 4, 8, 11}},
+		},
+	}
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	svg, err := sampleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestRenderContainsExpectedElements(t *testing.T) {
+	svg, err := sampleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Fig test: goodput vs SNR",
+		"SNR (dB)", "goodput (kbps)", "lD=110B", "lD=20B",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// Markers: one circle per point.
+	if got := strings.Count(svg, "<circle"); got != 8 {
+		t.Errorf("circles = %d, want 8", got)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	a, err := sampleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Render is not deterministic")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (Chart{}).Render(); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("err = %v, want ErrNoSeries", err)
+	}
+	empty := Chart{Series: []Series{{Name: "x"}}}
+	if _, err := empty.Render(); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("err = %v, want ErrNoPoints", err)
+	}
+	// All-NaN points are dropped → no drawable points.
+	nan := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if _, err := nan.Render(); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("err = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestRenderLogYDropsNonPositive(t *testing.T) {
+	c := Chart{
+		Title: "log",
+		LogY:  true,
+		Series: []Series{{
+			Name: "delay",
+			X:    []float64{1, 2, 3, 4},
+			Y:    []float64{0, 0.001, 0.1, 10},
+		}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero point is dropped: 3 markers remain.
+	if got := strings.Count(svg, "<circle"); got != 3 {
+		t.Errorf("circles = %d, want 3 (zero dropped)", got)
+	}
+	if !strings.Contains(svg, "log scale") {
+		t.Error("log axis label missing")
+	}
+}
+
+func TestRenderHandlesSingleValueRanges(t *testing.T) {
+	c := Chart{
+		Title:  "flat",
+		Series: []Series{{Name: "s", X: []float64{5, 5}, Y: []float64{3, 3}}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestRenderEscapesText(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a<b & "c"`
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderMismatchedXYLengths(t *testing.T) {
+	c := Chart{
+		Title:  "ragged",
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 2}}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<circle"); got != 2 {
+		t.Errorf("circles = %d, want 2 (shorter slice wins)", got)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 10, 6)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Errorf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Errorf("ticks out of range: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate range ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1500, "1500"},
+		{12.5, "12.5"},
+		{3, "3"},
+		{0.25, "0.25"},
+		{0.0001, "1.0e-04"},
+		{1e6, "1.0e+06"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.v); got != tt.want {
+			t.Errorf("formatTick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	mustSchedule(t, e, 0.3, func() { order = append(order, 3) })
+	mustSchedule(t, e, 0.1, func() { order = append(order, 1) })
+	mustSchedule(t, e, 0.2, func() { order = append(order, 2) })
+	e.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 0.3 {
+		t.Errorf("Now = %v, want 0.3", e.Now())
+	}
+}
+
+func mustSchedule(t *testing.T, e *Engine, delay float64, fn func()) EventID {
+	t.Helper()
+	id, err := e.Schedule(delay, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, e, 1.0, func() { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	mustSchedule(t, e, 1, func() {
+		times = append(times, e.Now())
+		if _, err := e.Schedule(0.5, func() { times = append(times, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	})
+	e.RunUntilIdle()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Errorf("times = %v, want [1 1.5]", times)
+	}
+}
+
+func TestEnginePastEvent(t *testing.T) {
+	e := NewEngine()
+	mustSchedule(t, e, 1, func() {})
+	e.RunUntilIdle()
+	if _, err := e.At(0.5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("err = %v, want ErrPastEvent", err)
+	}
+	// Scheduling exactly at the current time is allowed.
+	if _, err := e.At(e.Now(), func() {}); err != nil {
+		t.Errorf("scheduling at Now() should work: %v", err)
+	}
+}
+
+func TestEngineNonFiniteTime(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.At(math.NaN(), func() {}); err == nil {
+		t.Error("NaN time should error")
+	}
+	if _, err := e.At(math.Inf(1), func() {}); err == nil {
+		t.Error("Inf time should error")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := mustSchedule(t, e, 1, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Error("Cancel of pending event should return true")
+	}
+	if e.Cancel(id) {
+		t.Error("second Cancel should return false")
+	}
+	e.RunUntilIdle()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Cancel(9999) {
+		t.Error("Cancel of unknown event should return false")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		mustSchedule(t, e, at, func() { fired = append(fired, at) })
+	}
+	e.Run(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 1 and 2 only", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5 after Run(2.5)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntilIdle()
+	if len(fired) != 4 {
+		t.Errorf("remaining events did not fire: %v", fired)
+	}
+}
+
+func TestEngineRunAdvancesClockWhenIdle(t *testing.T) {
+	e := NewEngine()
+	e.Run(5)
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine should return false")
+	}
+}
+
+func TestEngineRunSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	id := mustSchedule(t, e, 1, func() { t.Error("should not fire") })
+	fired := false
+	mustSchedule(t, e, 2, func() { fired = true })
+	e.Cancel(id)
+	e.Run(3)
+	if !fired {
+		t.Error("live event after cancelled head did not fire")
+	}
+}
+
+func TestEnginePendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	id := mustSchedule(t, e, 1, func() {})
+	mustSchedule(t, e, 2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(id)
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d after cancel, want 1", e.Pending())
+	}
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/frame"
+	"wsnlink/internal/mac"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+// RunFast is the campaign-scale Monte-Carlo path: it produces the same
+// Result shape as the event-driven LinkSim but replaces the event engine
+// with a single-server-queue recurrence and uses the mean backoff instead of
+// sampling one per attempt. SNR is still sampled per attempt from the same
+// channel process, so loss statistics match the full simulator; only the
+// backoff jitter (zero-mean, ±5 ms) is averaged out. An ablation benchmark
+// (BenchmarkFastVsDES) and an integration test quantify the agreement.
+//
+// The recurrence: packet i arrives at a_i = i·T_pkt; service starts at
+// s_i = max(a_i, f) where f is the time the server frees up; queue occupancy
+// at arrival is the number of accepted-but-unfinished packets; arrivals that
+// would exceed Q_max waiting packets are dropped.
+func RunFast(cfg stack.Config, opts Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	if opts.Packets < 1 {
+		return Result{}, errors.New("sim: Packets must be >= 1")
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15))
+	link, err := channel.NewLink(*opts.Channel, cfg.DistanceM, rng)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: channel: %w", err)
+	}
+
+	f := &fastSim{
+		cfg:          cfg,
+		opts:         opts,
+		rng:          rng,
+		link:         link,
+		errModel:     opts.ErrorModel,
+		txDBm:        cfg.TxPower.DBm(),
+		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
+		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
+	}
+	return f.run(), nil
+}
+
+type fastSim struct {
+	cfg          stack.Config
+	opts         Options
+	rng          *rand.Rand
+	link         *channel.Link
+	errModel     phy.ErrorModel
+	txDBm        float64
+	frameBits    int
+	energyPerBit float64
+	channelAt    float64
+	counters     Counters
+	records      []PacketRecord
+	lastEnd      float64
+}
+
+func (f *fastSim) advanceChannel(t float64) {
+	if t > f.channelAt {
+		f.link.Advance(t - f.channelAt)
+		f.channelAt = t
+	}
+}
+
+func (f *fastSim) run() Result {
+	// departures holds service-end times of accepted, not-yet-finished
+	// packets (in service + waiting), oldest first.
+	var departures []float64
+	serverFreeAt := 0.0
+
+	for i := 0; i < f.opts.Packets; i++ {
+		arrival := float64(i) * f.cfg.PktInterval
+		if f.cfg.Saturated() {
+			arrival = serverFreeAt
+		}
+		// Retire departures that completed by this arrival.
+		live := 0
+		for _, d := range departures {
+			if d > arrival {
+				departures[live] = d
+				live++
+			}
+		}
+		departures = departures[:live]
+
+		rec := PacketRecord{ID: i, GenTime: arrival}
+		f.counters.Generated++
+
+		waiting := len(departures)
+		if waiting > 0 {
+			waiting-- // oldest one is in service, not waiting
+		}
+		rec.QueueLen = waiting
+		f.counters.SumQueueOccupancy += float64(waiting)
+		f.counters.ArrivalsSeen++
+		if waiting > f.counters.MaxQueueOccupancy {
+			f.counters.MaxQueueOccupancy = waiting
+		}
+
+		if len(departures) > 0 && waiting >= f.cfg.QueueCap {
+			rec.QueueDrop = true
+			rec.ServiceEnd = arrival
+			f.counters.QueueDrops++
+			f.finish(rec)
+			continue
+		}
+
+		start := arrival
+		if serverFreeAt > start {
+			start = serverFreeAt
+		}
+		end := f.servePacket(&rec, start)
+		serverFreeAt = end
+		departures = append(departures, end)
+		f.finish(rec)
+	}
+
+	return Result{
+		Config:   f.cfg,
+		Duration: f.lastEnd,
+		Counters: f.counters,
+		Records:  f.records,
+	}
+}
+
+// servePacket mirrors LinkSim.startService with the mean backoff.
+func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
+	rec.ServiceStart = start
+	t := start + mac.SPILoadTime(f.cfg.PayloadBytes)
+	frameTime := mac.FrameAirTime(f.cfg.PayloadBytes)
+
+	for try := 1; try <= f.cfg.MaxTries; try++ {
+		if try > 1 {
+			t += f.cfg.RetryDelay + mac.RetrySoftwareOverhead
+		}
+		t += mac.MeanMACDelay()
+
+		f.advanceChannel(t)
+		snr := f.link.SNR(f.txDBm)
+		if try == 1 {
+			rssi := f.link.RSSI(f.txDBm)
+			rec.SNR = snr
+			rec.RSSI = channel.Quantize(rssi)
+			rec.LQI = phy.LQI(snr)
+			f.counters.SumSNR += snr
+			f.counters.SumSNRSq += snr * snr
+			f.counters.SumRSSI += rssi
+			f.counters.SumRSSISq += rssi * rssi
+			f.counters.SNRSamples++
+		}
+
+		t += frameTime
+		rec.Tries = try
+		f.counters.TotalTransmissions++
+		f.counters.TotalTxBits += int64(f.frameBits)
+		f.counters.TxEnergyMicroJ += float64(f.frameBits) * f.energyPerBit
+
+		dataOK := f.rng.Float64() >= f.errModel.DataPER(snr, f.cfg.PayloadBytes)
+		if dataOK {
+			if rec.Delivered {
+				f.counters.Duplicates++
+			} else {
+				rec.Delivered = true
+				f.counters.Delivered++
+			}
+			if f.rng.Float64() >= f.errModel.AckPER(snr) {
+				t += mac.AckTime
+				f.counters.ListenTimeS += mac.AckTime
+				rec.Acked = true
+				f.counters.Acked++
+				f.counters.AckedTransmissions++
+				f.counters.SumTriesAcked += float64(try)
+				break
+			}
+		}
+		t += mac.AckWaitTimeout
+		f.counters.ListenTimeS += mac.AckWaitTimeout
+	}
+
+	if !rec.Delivered {
+		f.counters.RadioDrops++
+	}
+	rec.ServiceEnd = t
+	f.counters.SumServiceTime += t - start
+	f.counters.Serviced++
+	if rec.Delivered {
+		f.counters.SumDelay += t - rec.GenTime
+		f.counters.DeliveredWithDelay++
+	}
+	return t
+}
+
+func (f *fastSim) finish(rec PacketRecord) {
+	if rec.ServiceEnd > f.lastEnd {
+		f.lastEnd = rec.ServiceEnd
+	}
+	if f.opts.RecordPackets {
+		f.records = append(f.records, rec)
+	}
+}

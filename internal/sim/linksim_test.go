@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"wsnlink/internal/channel"
+	"wsnlink/internal/mac"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+// quietChannel returns channel parameters with all stochastic components
+// silenced, so tests can pin the SNR exactly via distance and power.
+func quietChannel() channel.Params {
+	p := channel.DefaultParams()
+	p.ShadowingSigmaDB = 0
+	p.TemporalSigmaDB = 0
+	p.NoiseFloorSigmaDB = 0
+	p.InterferenceProb = 0
+	p.HumanShadowRatePerS = 0
+	return p
+}
+
+func baseConfig() stack.Config {
+	return stack.Config{
+		DistanceM:    15,
+		TxPower:      31,
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     30,
+		PktInterval:  0.030,
+		PayloadBytes: 110,
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PayloadBytes = 0
+	if _, err := Run(cfg, Options{Packets: 10}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Run(baseConfig(), Options{Packets: -1}); err == nil {
+		t.Error("negative packet count should error")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	opts := Options{Packets: 300, Seed: 99}
+	a, err := Run(baseConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Errorf("same seed produced different counters:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+	if a.Duration != b.Duration {
+		t.Errorf("durations differ: %v != %v", a.Duration, b.Duration)
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	a, err := Run(baseConfig(), Options{Packets: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(), Options{Packets: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters == b.Counters {
+		t.Error("different seeds produced identical counters (suspicious)")
+	}
+}
+
+func TestPerfectLinkDeliversEverything(t *testing.T) {
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.DistanceM = 5
+	cfg.TxPower = 31 // SNR ≈ 26 dB: PER ≈ 0.03 for 110 B — use tiny payload
+	cfg.PayloadBytes = 5
+	res, err := Run(cfg, Options{Packets: 500, Seed: 3, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Generated != 500 {
+		t.Errorf("Generated = %d, want 500", c.Generated)
+	}
+	if c.QueueDrops != 0 {
+		t.Errorf("QueueDrops = %d, want 0 on an idle link", c.QueueDrops)
+	}
+	if float64(c.Delivered)/float64(c.Generated) < 0.995 {
+		t.Errorf("delivered %d/%d, want ~all on a clean link", c.Delivered, c.Generated)
+	}
+}
+
+func TestDeadLinkDeliversNothing(t *testing.T) {
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.DistanceM = 35
+	cfg.TxPower = 3 // SNR ≈ 2 dB... push below floor with distance
+	cfg.PktInterval = 0.2
+	res, err := Run(cfg, Options{Packets: 200, Seed: 4, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	// SNR ≈ 2 dB with 110 B payload: PER ≈ 1, so nearly everything is a
+	// radio drop and every attempt is used.
+	if c.RadioDrops < 180 {
+		t.Errorf("RadioDrops = %d, want nearly all of 200", c.RadioDrops)
+	}
+	if c.TotalTransmissions < c.RadioDrops*cfg.MaxTries {
+		t.Errorf("dropped packets must use all %d tries: tx=%d drops=%d",
+			cfg.MaxTries, c.TotalTransmissions, c.RadioDrops)
+	}
+}
+
+func TestCountersConservation(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		cfg := baseConfig()
+		cfg.PktInterval = 0.015 // overload to exercise queue drops
+		cfg.QueueCap = 3
+		cfg.DistanceM = 30
+		cfg.TxPower = 7
+		res, err := Run(cfg, Options{Packets: 400, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Counters
+		if c.Generated != 400 {
+			t.Fatalf("Generated = %d", c.Generated)
+		}
+		// Every generated packet either entered service or was dropped
+		// by the queue.
+		if c.Serviced+c.QueueDrops != c.Generated {
+			t.Errorf("seed %d: serviced %d + queue drops %d != generated %d",
+				seed, c.Serviced, c.QueueDrops, c.Generated)
+		}
+		// Serviced packets either got delivered or were radio drops.
+		if c.Delivered+c.RadioDrops != c.Serviced {
+			t.Errorf("seed %d: delivered %d + radio drops %d != serviced %d",
+				seed, c.Delivered, c.RadioDrops, c.Serviced)
+		}
+		// ACKed packets are a subset of delivered.
+		if c.Acked > c.Delivered {
+			t.Errorf("seed %d: acked %d > delivered %d", seed, c.Acked, c.Delivered)
+		}
+		// Transmission bounds.
+		if c.TotalTransmissions < c.Serviced ||
+			c.TotalTransmissions > c.Serviced*cfg.MaxTries {
+			t.Errorf("seed %d: transmissions %d outside [%d,%d]",
+				seed, c.TotalTransmissions, c.Serviced, c.Serviced*cfg.MaxTries)
+		}
+	}
+}
+
+func TestServiceTimeMatchesClosedForm(t *testing.T) {
+	// On a clean link every packet succeeds on try 1, so the mean service
+	// time must equal mac.ServiceTime(payload, 1, ·, success) — the
+	// simulator and the paper's Eq. 5 must agree (backoffs average out).
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.DistanceM = 5
+	cfg.PayloadBytes = 50
+	cfg.PktInterval = 0.1
+	res, err := Run(cfg, Options{Packets: 4000, Seed: 8, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	got := c.SumServiceTime / float64(c.Serviced)
+	want := mac.ServiceTime(50, 1, cfg.RetryDelay, true)
+	if rel := math.Abs(got-want) / want; rel > 0.02 {
+		t.Errorf("mean service time %v, closed form %v (rel err %.3f)", got, want, rel)
+	}
+}
+
+func TestRetryServiceTimeMatchesClosedForm(t *testing.T) {
+	// Force exactly N failed tries with an always-lossy error model and
+	// check Eq. 6.
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.MaxTries = 5
+	cfg.PktInterval = 1
+	res, err := Run(cfg, Options{
+		Packets: 500, Seed: 9, Channel: &ch,
+		ErrorModel: phy.Calibrated{Alpha: 1000, Beta: 0, AckBytes: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Delivered != 0 {
+		t.Fatalf("lossy model delivered %d packets", c.Delivered)
+	}
+	got := c.SumServiceTime / float64(c.Serviced)
+	want := mac.ServiceTime(110, 5, cfg.RetryDelay, false)
+	if rel := math.Abs(got-want) / want; rel > 0.02 {
+		t.Errorf("mean failed service time %v, closed form %v (rel err %.3f)", got, want, rel)
+	}
+}
+
+func TestQueueOverflowEmergesUnderOverload(t *testing.T) {
+	// Grey-zone link with aggressive retransmissions and a fast arrival
+	// rate: utilization > 1, so queue drops must appear (Sec. VI/VII).
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.DistanceM = 35
+	cfg.TxPower = 7 // SNR ≈ 12 dB: grey zone for 110 B
+	cfg.MaxTries = 8
+	cfg.QueueCap = 30
+	cfg.PktInterval = 0.010
+	res, err := Run(cfg, Options{Packets: 2000, Seed: 10, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.QueueDrops == 0 {
+		t.Error("overloaded grey-zone link should drop at the queue")
+	}
+	if c.MaxQueueOccupancy < cfg.QueueCap {
+		t.Errorf("queue high-water mark %d never reached capacity %d",
+			c.MaxQueueOccupancy, cfg.QueueCap)
+	}
+}
+
+func TestSaturatedModeNoQueueDrops(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PktInterval = 0 // saturated
+	res, err := Run(cfg, Options{Packets: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.QueueDrops != 0 {
+		t.Errorf("saturated mode has no queue, got %d drops", c.QueueDrops)
+	}
+	if c.Serviced != 300 {
+		t.Errorf("Serviced = %d, want all 300", c.Serviced)
+	}
+	if res.Duration <= 0 {
+		t.Error("duration must be positive")
+	}
+}
+
+func TestRecordPackets(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Run(cfg, Options{Packets: 50, Seed: 12, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 50 {
+		t.Fatalf("Records = %d, want 50", len(res.Records))
+	}
+	for _, r := range res.Records {
+		if r.QueueDrop {
+			continue
+		}
+		if r.ServiceEnd < r.ServiceStart || r.ServiceStart < r.GenTime {
+			t.Errorf("packet %d: inconsistent timeline %+v", r.ID, r)
+		}
+		if r.Tries < 1 || r.Tries > cfg.MaxTries {
+			t.Errorf("packet %d: tries %d outside [1,%d]", r.ID, r.Tries, cfg.MaxTries)
+		}
+		if r.LQI < 40 || r.LQI > 110 {
+			t.Errorf("packet %d: LQI %d outside CC2420 range", r.ID, r.LQI)
+		}
+	}
+	// Without the flag no records are kept.
+	res2, err := Run(cfg, Options{Packets: 50, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Records) != 0 {
+		t.Error("records kept without RecordPackets")
+	}
+}
+
+func TestDuplicatesFromLostAcks(t *testing.T) {
+	// Data always arrives, ACK always lost: every packet is delivered on
+	// try 1 and then retransmitted MaxTries−1 times as duplicates.
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.MaxTries = 4
+	cfg.PktInterval = 1
+	res, err := Run(cfg, Options{
+		Packets: 100, Seed: 13, Channel: &ch,
+		ErrorModel: alwaysAckLoss{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Delivered != 100 {
+		t.Errorf("Delivered = %d, want 100", c.Delivered)
+	}
+	if c.Acked != 0 {
+		t.Errorf("Acked = %d, want 0", c.Acked)
+	}
+	if c.Duplicates != 100*(cfg.MaxTries-1) {
+		t.Errorf("Duplicates = %d, want %d", c.Duplicates, 100*(cfg.MaxTries-1))
+	}
+	// Radio "drops" from the sender's perspective: never ACKed but the
+	// packets did arrive — they are not RadioDrops.
+	if c.RadioDrops != 0 {
+		t.Errorf("RadioDrops = %d, want 0 (data was delivered)", c.RadioDrops)
+	}
+}
+
+// alwaysAckLoss delivers every data frame but loses every ACK.
+type alwaysAckLoss struct{}
+
+func (alwaysAckLoss) DataPER(float64, int) float64 { return 0 }
+func (alwaysAckLoss) AckPER(float64) float64       { return 1 }
+
+func TestFastPathAgreesWithDES(t *testing.T) {
+	// The Monte-Carlo fast path must match the event-driven simulator on
+	// the headline statistics within a few percent.
+	cfg := baseConfig()
+	cfg.DistanceM = 25
+	cfg.TxPower = 11
+	opts := Options{Packets: 4000, Seed: 21}
+	des, err := Run(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RunFast(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := func(name string, a, b float64, tol float64) {
+		t.Helper()
+		if b == 0 && a == 0 {
+			return
+		}
+		if rel := math.Abs(a-b) / math.Max(math.Abs(b), 1e-9); rel > tol {
+			t.Errorf("%s: DES %v vs fast %v (rel %.3f > %.3f)", name, a, b, rel, tol)
+		}
+	}
+	dc, fc := des.Counters, fast.Counters
+	cmp("delivery ratio", float64(dc.Delivered)/float64(dc.Generated),
+		float64(fc.Delivered)/float64(fc.Generated), 0.05)
+	cmp("mean tries", dc.SumTriesAcked/float64(dc.Acked),
+		fc.SumTriesAcked/float64(fc.Acked), 0.05)
+	cmp("mean service time", dc.SumServiceTime/float64(dc.Serviced),
+		fc.SumServiceTime/float64(fc.Serviced), 0.05)
+	cmp("energy", dc.TxEnergyMicroJ, fc.TxEnergyMicroJ, 0.05)
+}
+
+func TestFastPathValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxTries = 0
+	if _, err := RunFast(cfg, Options{Packets: 10}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := RunFast(baseConfig(), Options{Packets: -2}); err == nil {
+		t.Error("negative packets should error")
+	}
+}
+
+func TestFastPathQueueDropsUnderOverload(t *testing.T) {
+	ch := quietChannel()
+	cfg := baseConfig()
+	cfg.DistanceM = 35
+	cfg.TxPower = 7
+	cfg.MaxTries = 8
+	cfg.QueueCap = 5
+	cfg.PktInterval = 0.010
+	res, err := RunFast(cfg, Options{Packets: 1500, Seed: 22, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.QueueDrops == 0 {
+		t.Error("fast path should also drop under overload")
+	}
+	c := res.Counters
+	if c.Serviced+c.QueueDrops != c.Generated {
+		t.Error("fast path conservation violated")
+	}
+}
+
+func TestSNRStatisticsRecorded(t *testing.T) {
+	cfg := baseConfig()
+	res, err := Run(cfg, Options{Packets: 200, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.SNRSamples == 0 {
+		t.Fatal("no SNR samples recorded")
+	}
+	mean := c.SumSNR / float64(c.SNRSamples)
+	want := channel.DefaultParams().MeanSNR(phy.PowerLevel(31).DBm(), 15)
+	if math.Abs(mean-want) > 6 {
+		t.Errorf("mean observed SNR %v too far from channel mean %v", mean, want)
+	}
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+// randomConfig derives a valid configuration from raw fuzz bytes.
+func randomConfig(raw [7]uint8) stack.Config {
+	powers := phy.StandardPowerLevels
+	tries := []int{1, 2, 3, 5, 8}
+	delays := []float64{0, 0.030, 0.090}
+	queues := []int{1, 3, 30}
+	intervals := []float64{0, 0.010, 0.030, 0.100}
+	payloads := []int{5, 20, 50, 80, 110, 114}
+	dists := []float64{5, 15, 25, 35}
+	return stack.Config{
+		DistanceM:    dists[int(raw[0])%len(dists)],
+		TxPower:      powers[int(raw[1])%len(powers)],
+		MaxTries:     tries[int(raw[2])%len(tries)],
+		RetryDelay:   delays[int(raw[3])%len(delays)],
+		QueueCap:     queues[int(raw[4])%len(queues)],
+		PktInterval:  intervals[int(raw[5])%len(intervals)],
+		PayloadBytes: payloads[int(raw[6])%len(payloads)],
+	}
+}
+
+// TestSimInvariantsUnderRandomConfigs fuzzes the whole configuration space
+// and asserts the accounting invariants on both simulator paths.
+func TestSimInvariantsUnderRandomConfigs(t *testing.T) {
+	check := func(res Result, cfg stack.Config, path string) bool {
+		c := res.Counters
+		if c.Generated != 120 {
+			t.Logf("%s %v: generated %d", path, cfg, c.Generated)
+			return false
+		}
+		if c.Serviced+c.QueueDrops != c.Generated {
+			t.Logf("%s %v: service conservation broken", path, cfg)
+			return false
+		}
+		if c.Delivered+c.RadioDrops != c.Serviced {
+			t.Logf("%s %v: delivery conservation broken", path, cfg)
+			return false
+		}
+		if c.Acked > c.Delivered {
+			t.Logf("%s %v: acked > delivered", path, cfg)
+			return false
+		}
+		if c.TotalTransmissions < c.Serviced ||
+			c.TotalTransmissions > c.Serviced*cfg.MaxTries {
+			t.Logf("%s %v: transmissions out of bounds", path, cfg)
+			return false
+		}
+		if c.AckedTransmissions != c.Acked {
+			t.Logf("%s %v: acked transmissions mismatch", path, cfg)
+			return false
+		}
+		if c.TxEnergyMicroJ < 0 || c.SumServiceTime < 0 || c.SumDelay < 0 {
+			t.Logf("%s %v: negative aggregate", path, cfg)
+			return false
+		}
+		if res.Duration < 0 {
+			return false
+		}
+		// Queue drops can only happen with a finite arrival process.
+		if cfg.Saturated() && c.QueueDrops != 0 {
+			t.Logf("%s %v: saturated run dropped at the queue", path, cfg)
+			return false
+		}
+		return true
+	}
+	f := func(raw [7]uint8, seed uint64) bool {
+		cfg := randomConfig(raw)
+		opts := Options{Packets: 120, Seed: seed}
+		des, err := Run(cfg, opts)
+		if err != nil {
+			t.Logf("DES error for %v: %v", cfg, err)
+			return false
+		}
+		if !check(des, cfg, "des") {
+			return false
+		}
+		fast, err := RunFast(cfg, opts)
+		if err != nil {
+			t.Logf("fast error for %v: %v", cfg, err)
+			return false
+		}
+		return check(fast, cfg, "fast")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecordsConsistentWithCounters cross-checks the per-packet log against
+// the aggregate counters on random configurations.
+func TestRecordsConsistentWithCounters(t *testing.T) {
+	f := func(raw [7]uint8, seed uint64) bool {
+		cfg := randomConfig(raw)
+		res, err := Run(cfg, Options{Packets: 100, Seed: seed, RecordPackets: true})
+		if err != nil {
+			return false
+		}
+		var delivered, acked, qdrops, tries int
+		for _, r := range res.Records {
+			if r.Delivered {
+				delivered++
+			}
+			if r.Acked {
+				acked++
+			}
+			if r.QueueDrop {
+				qdrops++
+			} else {
+				tries += r.Tries
+			}
+		}
+		c := res.Counters
+		return len(res.Records) == c.Generated &&
+			delivered == c.Delivered &&
+			acked == c.Acked &&
+			qdrops == c.QueueDrops &&
+			tries == c.TotalTransmissions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineStressAgainstReference schedules a large random batch of events
+// and verifies the engine fires them in exactly sorted (time, insertion)
+// order, including cancellations.
+func TestEngineStressAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 43))
+	const n = 5000
+	e := NewEngine()
+
+	type ref struct {
+		at   float64
+		seq  int
+		dead bool
+	}
+	refs := make([]*ref, 0, n)
+	var fired []int
+	ids := make([]EventID, 0, n)
+	for i := 0; i < n; i++ {
+		at := rng.Float64() * 100
+		// A fifth of events land on shared timestamps to exercise
+		// tie-breaking.
+		if i%5 == 0 {
+			at = float64(int(at))
+		}
+		r := &ref{at: at, seq: i}
+		refs = append(refs, r)
+		i := i
+		id, err := e.At(at, func() { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Cancel a random 10%.
+	for i := 0; i < n/10; i++ {
+		k := rng.IntN(n)
+		if e.Cancel(ids[k]) {
+			refs[k].dead = true
+		}
+	}
+	e.RunUntilIdle()
+
+	var want []int
+	live := make([]*ref, 0, n)
+	for _, r := range refs {
+		if !r.dead {
+			live = append(live, r)
+		}
+	}
+	sort.SliceStable(live, func(a, b int) bool {
+		if live[a].at != live[b].at {
+			return live[a].at < live[b].at
+		}
+		return live[a].seq < live[b].seq
+	})
+	for _, r := range live {
+		want = append(want, r.seq)
+	}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("event order diverges at %d: got %d want %d", i, fired[i], want[i])
+		}
+	}
+}
+
+// TestSimZeroVarianceChannelMatchesGeometricTries pins the channel and
+// verifies the measured try distribution matches the geometric law implied
+// by the per-transmission success probability.
+func TestSimZeroVarianceChannelMatchesGeometricTries(t *testing.T) {
+	ch := quietChannel()
+	cfg := stack.Config{
+		DistanceM: 30, TxPower: 11, MaxTries: 8, RetryDelay: 0,
+		QueueCap: 1, PktInterval: 0.2, PayloadBytes: 80,
+	}
+	res, err := Run(cfg, Options{Packets: 8000, Seed: 77, Channel: &ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	// Per-transmission ACK success probability from counters.
+	p := float64(c.AckedTransmissions) / float64(c.TotalTransmissions)
+	// Mean tries for ACKed packets under a truncated geometric law.
+	meanTries := c.SumTriesAcked / float64(c.Acked)
+	want := 1 / p // untruncated approximation; truncation is tiny at this SNR
+	if rel := (meanTries - want) / want; rel > 0.05 || rel < -0.05 {
+		t.Errorf("mean tries %v vs geometric %v", meanTries, want)
+	}
+}

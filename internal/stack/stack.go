@@ -1,0 +1,168 @@
+// Package stack defines the multi-layer parameter configuration the paper
+// studies — the 7 tuning knobs of Table I spanning PHY, MAC and Application
+// layers — together with validation and the canonical value ranges that the
+// experiment campaign sweeps.
+package stack
+
+import (
+	"fmt"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/phy"
+)
+
+// Config is one point in the 7-parameter configuration space.
+type Config struct {
+	// DistanceM is the sender–receiver distance d in meters (PHY).
+	DistanceM float64
+	// TxPower is the CC2420 output power level P_tx (PHY).
+	TxPower phy.PowerLevel
+	// MaxTries is N_maxTries, the maximum number of transmissions (MAC).
+	MaxTries int
+	// RetryDelay is D_retry in seconds (MAC).
+	RetryDelay float64
+	// QueueCap is Q_max, the send-queue capacity above the MAC.
+	QueueCap int
+	// PktInterval is T_pkt in seconds, the packet inter-arrival time
+	// (Application). Zero means a saturated sender (back-to-back packets),
+	// the regime the paper's maximum-goodput model assumes.
+	PktInterval float64
+	// PayloadBytes is l_D, the application payload size (Application).
+	PayloadBytes int
+}
+
+// Validate checks every field against its physical range.
+func (c Config) Validate() error {
+	if c.DistanceM <= 0 {
+		return fmt.Errorf("stack: distance %v must be positive", c.DistanceM)
+	}
+	if !c.TxPower.Valid() {
+		return fmt.Errorf("stack: power level %d outside CC2420 range [3,31]", c.TxPower)
+	}
+	if c.MaxTries < 1 {
+		return fmt.Errorf("stack: MaxTries %d must be >= 1", c.MaxTries)
+	}
+	if c.RetryDelay < 0 {
+		return fmt.Errorf("stack: RetryDelay %v must be >= 0", c.RetryDelay)
+	}
+	if c.QueueCap < 1 {
+		return fmt.Errorf("stack: QueueCap %d must be >= 1", c.QueueCap)
+	}
+	if c.PktInterval < 0 {
+		return fmt.Errorf("stack: PktInterval %v must be >= 0", c.PktInterval)
+	}
+	if c.PayloadBytes < 1 || c.PayloadBytes > frame.MaxPayloadBytes {
+		return fmt.Errorf("stack: payload %d outside [1,%d]",
+			c.PayloadBytes, frame.MaxPayloadBytes)
+	}
+	return nil
+}
+
+// Saturated reports whether the sender offers back-to-back traffic.
+func (c Config) Saturated() bool { return c.PktInterval == 0 }
+
+// String renders the configuration compactly for logs and CSV headers.
+func (c Config) String() string {
+	return fmt.Sprintf("d=%gm Ptx=%d N=%d Dretry=%gms Qmax=%d Tpkt=%gms lD=%dB",
+		c.DistanceM, int(c.TxPower), c.MaxTries, c.RetryDelay*1000,
+		c.QueueCap, c.PktInterval*1000, c.PayloadBytes)
+}
+
+// Space describes the swept value set for each parameter (Table I). The
+// cartesian product of the defaults matches the paper's campaign scale:
+// 8 P_tx × 5 N_maxTries × 3 D_retry × 2 Q_max × 4 T_pkt × 8 l_D = 7680
+// settings per distance (the paper reports 8064), times 7 distances
+// ≈ 54k configurations ("close to 50 thousand").
+type Space struct {
+	DistancesM    []float64
+	TxPowers      []phy.PowerLevel
+	MaxTries      []int
+	RetryDelays   []float64
+	QueueCaps     []int
+	PktIntervals  []float64
+	PayloadsBytes []int
+}
+
+// DefaultSpace returns the Table I parameter space.
+func DefaultSpace() Space {
+	return Space{
+		DistancesM:    []float64{5, 10, 15, 20, 25, 30, 35},
+		TxPowers:      []phy.PowerLevel{3, 7, 11, 15, 19, 23, 27, 31},
+		MaxTries:      []int{1, 2, 3, 5, 8},
+		RetryDelays:   []float64{0, 0.030, 0.090},
+		QueueCaps:     []int{1, 30},
+		PktIntervals:  []float64{0.010, 0.030, 0.100, 1.0},
+		PayloadsBytes: []int{5, 20, 35, 50, 65, 80, 95, 110},
+	}
+}
+
+// Size returns the number of configurations in the space.
+func (s Space) Size() int {
+	return len(s.DistancesM) * len(s.TxPowers) * len(s.MaxTries) *
+		len(s.RetryDelays) * len(s.QueueCaps) * len(s.PktIntervals) *
+		len(s.PayloadsBytes)
+}
+
+// SettingsPerDistance returns the number of non-distance combinations.
+func (s Space) SettingsPerDistance() int {
+	if len(s.DistancesM) == 0 {
+		return 0
+	}
+	return s.Size() / len(s.DistancesM)
+}
+
+// Validate checks that every axis is non-empty and every value is legal.
+func (s Space) Validate() error {
+	if s.Size() == 0 {
+		return fmt.Errorf("stack: empty parameter space")
+	}
+	probe := Config{
+		DistanceM:    s.DistancesM[0],
+		TxPower:      s.TxPowers[0],
+		MaxTries:     s.MaxTries[0],
+		RetryDelay:   s.RetryDelays[0],
+		QueueCap:     s.QueueCaps[0],
+		PktInterval:  s.PktIntervals[0],
+		PayloadBytes: s.PayloadsBytes[0],
+	}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	for _, c := range s.All() {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// All materialises every configuration in the space, iterating the
+// non-distance axes fastest so that, as in the campaign, all settings for
+// one distance are grouped before the next distance starts.
+func (s Space) All() []Config {
+	out := make([]Config, 0, s.Size())
+	for _, d := range s.DistancesM {
+		for _, p := range s.TxPowers {
+			for _, n := range s.MaxTries {
+				for _, r := range s.RetryDelays {
+					for _, q := range s.QueueCaps {
+						for _, t := range s.PktIntervals {
+							for _, l := range s.PayloadsBytes {
+								out = append(out, Config{
+									DistanceM:    d,
+									TxPower:      p,
+									MaxTries:     n,
+									RetryDelay:   r,
+									QueueCap:     q,
+									PktInterval:  t,
+									PayloadBytes: l,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

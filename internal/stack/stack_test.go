@@ -1,0 +1,148 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+
+	"wsnlink/internal/phy"
+)
+
+func validConfig() Config {
+	return Config{
+		DistanceM:    15,
+		TxPower:      31,
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     30,
+		PktInterval:  0.030,
+		PayloadBytes: 110,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	mutate := func(f func(*Config)) Config {
+		c := validConfig()
+		f(&c)
+		return c
+	}
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid", validConfig(), false},
+		{"saturated sender", mutate(func(c *Config) { c.PktInterval = 0 }), false},
+		{"max payload", mutate(func(c *Config) { c.PayloadBytes = 114 }), false},
+		{"zero distance", mutate(func(c *Config) { c.DistanceM = 0 }), true},
+		{"bad power low", mutate(func(c *Config) { c.TxPower = 2 }), true},
+		{"bad power high", mutate(func(c *Config) { c.TxPower = 32 }), true},
+		{"zero tries", mutate(func(c *Config) { c.MaxTries = 0 }), true},
+		{"negative retry delay", mutate(func(c *Config) { c.RetryDelay = -1 }), true},
+		{"zero queue", mutate(func(c *Config) { c.QueueCap = 0 }), true},
+		{"negative interval", mutate(func(c *Config) { c.PktInterval = -0.1 }), true},
+		{"zero payload", mutate(func(c *Config) { c.PayloadBytes = 0 }), true},
+		{"oversized payload", mutate(func(c *Config) { c.PayloadBytes = 115 }), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSaturated(t *testing.T) {
+	c := validConfig()
+	if c.Saturated() {
+		t.Error("Tpkt=30ms is not saturated")
+	}
+	c.PktInterval = 0
+	if !c.Saturated() {
+		t.Error("Tpkt=0 is saturated")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := validConfig().String()
+	for _, want := range []string{"d=15m", "Ptx=31", "N=3", "Qmax=30", "lD=110B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestDefaultSpaceScaleMatchesPaper(t *testing.T) {
+	s := DefaultSpace()
+	// Per-distance settings should be near the paper's 8064; total near
+	// "close to 50 thousand".
+	per := s.SettingsPerDistance()
+	if per < 7000 || per > 9000 {
+		t.Errorf("settings per distance = %d, want ≈8064", per)
+	}
+	total := s.Size()
+	if total < 45000 || total > 60000 {
+		t.Errorf("total configurations = %d, want ≈50k", total)
+	}
+	if total != per*len(s.DistancesM) {
+		t.Error("Size must equal per-distance count × distances")
+	}
+}
+
+func TestDefaultSpaceValidates(t *testing.T) {
+	if err := DefaultSpace().Validate(); err != nil {
+		t.Fatalf("default space invalid: %v", err)
+	}
+}
+
+func TestSpaceAllEnumerates(t *testing.T) {
+	s := Space{
+		DistancesM:    []float64{5, 35},
+		TxPowers:      []phy.PowerLevel{3, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.03},
+		PayloadsBytes: []int{20, 110},
+	}
+	all := s.All()
+	if len(all) != s.Size() {
+		t.Fatalf("All() returned %d configs, want %d", len(all), s.Size())
+	}
+	// Distance must be the slowest-varying axis (paper: all settings for
+	// one distance before the next).
+	half := len(all) / 2
+	for i, c := range all {
+		wantDist := 5.0
+		if i >= half {
+			wantDist = 35
+		}
+		if c.DistanceM != wantDist {
+			t.Fatalf("config %d: distance %v, want %v (grouping broken)",
+				i, c.DistanceM, wantDist)
+		}
+	}
+	// All configs distinct.
+	seen := make(map[Config]bool, len(all))
+	for _, c := range all {
+		if seen[c] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSpaceValidateEmpty(t *testing.T) {
+	var s Space
+	if err := s.Validate(); err == nil {
+		t.Error("empty space should fail validation")
+	}
+}
+
+func TestSpaceValidateBadValue(t *testing.T) {
+	s := DefaultSpace()
+	s.PayloadsBytes = append(s.PayloadsBytes, 999)
+	if err := s.Validate(); err == nil {
+		t.Error("space with illegal payload should fail validation")
+	}
+}

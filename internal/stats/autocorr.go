@@ -1,0 +1,49 @@
+package stats
+
+import "errors"
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs,
+// normalised by the lag-0 variance (so Autocorrelation(xs, 0) == 1 for any
+// non-constant series). It is used to validate the channel model's fading
+// coherence time and to quantify loss burstiness in traces.
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	if lag < 0 {
+		return 0, errors.New("stats: negative lag")
+	}
+	n := len(xs)
+	if n-lag < 2 {
+		return 0, errors.New("stats: series too short for lag")
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den, nil
+}
+
+// CoherenceLag returns the smallest lag at which the autocorrelation of xs
+// drops below the threshold (e.g. 1/e for the classic coherence time). It
+// returns the maximum searched lag if the correlation never drops.
+func CoherenceLag(xs []float64, threshold float64, maxLag int) (int, error) {
+	if maxLag < 1 {
+		return 0, errors.New("stats: maxLag must be >= 1")
+	}
+	for lag := 1; lag <= maxLag; lag++ {
+		ac, err := Autocorrelation(xs, lag)
+		if err != nil {
+			return 0, err
+		}
+		if ac < threshold {
+			return lag, nil
+		}
+	}
+	return maxLag, nil
+}

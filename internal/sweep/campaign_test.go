@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"testing"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/stack"
+)
+
+// TestFullCampaignScale runs the complete Table I parameter space — all
+// ~54k configurations, the paper's full campaign — at a reduced per-config
+// packet count, and validates global structure: conservation everywhere,
+// calibration from the full dataset, and the headline monotonicities.
+func TestFullCampaignScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	space := stack.DefaultSpace()
+	rows, err := RunSpace(space, RunOptions{Packets: 30, BaseSeed: 4, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != space.Size() {
+		t.Fatalf("rows = %d, want %d", len(rows), space.Size())
+	}
+
+	// Per-row sanity across the whole space.
+	for i, r := range rows {
+		rep := r.Report
+		if rep.Generated != 30 {
+			t.Fatalf("row %d: generated %d", i, rep.Generated)
+		}
+		if rep.PLR < 0 || rep.PLR > 1 || rep.PLRQueue < 0 || rep.PLRRadio < 0 {
+			t.Fatalf("row %d: loss out of range: %+v", i, rep)
+		}
+		if rep.GoodputKbps < 0 || rep.GoodputKbps > 260 {
+			t.Fatalf("row %d: goodput %v out of physical range", i, rep.GoodputKbps)
+		}
+	}
+
+	// Calibration over the whole campaign recovers a negative SNR slope
+	// near the paper's.
+	cal, err := models.Calibrate(ToObservations(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.PERFit.Beta > -0.08 || cal.PERFit.Beta < -0.25 {
+		t.Errorf("campaign-wide PER beta = %v, want near -0.15", cal.PERFit.Beta)
+	}
+
+	// Headline monotonicity: mean delivery ratio rises with power level.
+	deliveryByPower := make(map[int][]float64)
+	for _, r := range rows {
+		p := int(r.Config.TxPower)
+		deliveryByPower[p] = append(deliveryByPower[p], r.Report.DeliveryRatio())
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(deliveryByPower[3]) >= mean(deliveryByPower[31]) {
+		t.Errorf("delivery at Ptx=3 (%v) should be below Ptx=31 (%v)",
+			mean(deliveryByPower[3]), mean(deliveryByPower[31]))
+	}
+	// And mean delivery falls with distance.
+	deliveryByDist := make(map[float64][]float64)
+	for _, r := range rows {
+		deliveryByDist[r.Config.DistanceM] =
+			append(deliveryByDist[r.Config.DistanceM], r.Report.DeliveryRatio())
+	}
+	if mean(deliveryByDist[5]) <= mean(deliveryByDist[35]) {
+		t.Errorf("delivery at 5 m (%v) should exceed 35 m (%v)",
+			mean(deliveryByDist[5]), mean(deliveryByDist[35]))
+	}
+}

@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+// csvHeader defines the dataset schema. Field order is the on-disk contract;
+// ReadCSV validates it.
+var csvHeader = []string{
+	"distance_m", "tx_power", "max_tries", "retry_delay_s", "queue_cap",
+	"pkt_interval_s", "payload_bytes",
+	"seed", "packets",
+	"mean_snr_db", "sd_snr_db", "mean_rssi_dbm", "sd_rssi_dbm",
+	"per", "mean_tries",
+	"energy_per_bit_uj", "listen_energy_uj", "radio_energy_per_bit_uj",
+	"goodput_kbps",
+	"mean_delay_s", "mean_service_time_s", "mean_queue_delay_s",
+	"plr", "plr_queue", "plr_radio", "utilization",
+	"generated", "delivered", "queue_drops", "radio_drops",
+}
+
+// WriteCSV writes the dataset with a header row.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("sweep: write header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := strconv.Itoa
+	for i, r := range rows {
+		rec := []string{
+			f(r.Config.DistanceM), d(int(r.Config.TxPower)), d(r.Config.MaxTries),
+			f(r.Config.RetryDelay), d(r.Config.QueueCap),
+			f(r.Config.PktInterval), d(r.Config.PayloadBytes),
+			strconv.FormatUint(r.Seed, 10), d(r.Packets),
+			f(r.Report.MeanSNR), f(r.Report.SDSNR),
+			f(r.Report.MeanRSSI), f(r.Report.SDRSSI),
+			f(r.Report.PER), f(r.Report.MeanTries),
+			f(r.Report.EnergyPerBitMicroJ), f(r.Report.ListenEnergyMicroJ),
+			f(r.Report.RadioEnergyPerBitMicroJ), f(r.Report.GoodputKbps),
+			f(r.Report.MeanDelay), f(r.Report.MeanServiceTime), f(r.Report.MeanQueueDelay),
+			f(r.Report.PLR), f(r.Report.PLRQueue), f(r.Report.PLRRadio),
+			f(r.Report.Utilization),
+			d(r.Report.Generated), d(r.Report.Delivered),
+			d(r.Report.QueueDrops), d(r.Report.RadioDrops),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sweep: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read header: %w", err)
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("sweep: header column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+	var rows []Row
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sweep: line %d: %w", line, err)
+		}
+		row, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: line %d: %w", line, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func parseRow(rec []string) (Row, error) {
+	var row Row
+	p := recParser{rec: rec}
+	row.Config = stack.Config{
+		DistanceM:    p.f(),
+		TxPower:      phy.PowerLevel(p.i()),
+		MaxTries:     p.i(),
+		RetryDelay:   p.f(),
+		QueueCap:     p.i(),
+		PktInterval:  p.f(),
+		PayloadBytes: p.i(),
+	}
+	row.Seed = p.u()
+	row.Packets = p.i()
+	row.Report = metrics.Report{
+		Config:                  row.Config,
+		MeanSNR:                 p.f(),
+		SDSNR:                   p.f(),
+		MeanRSSI:                p.f(),
+		SDRSSI:                  p.f(),
+		PER:                     p.f(),
+		MeanTries:               p.f(),
+		EnergyPerBitMicroJ:      p.f(),
+		ListenEnergyMicroJ:      p.f(),
+		RadioEnergyPerBitMicroJ: p.f(),
+		GoodputKbps:             p.f(),
+		MeanDelay:               p.f(),
+		MeanServiceTime:         p.f(),
+		MeanQueueDelay:          p.f(),
+		PLR:                     p.f(),
+		PLRQueue:                p.f(),
+		PLRRadio:                p.f(),
+		Utilization:             p.f(),
+		Generated:               p.i(),
+		Delivered:               p.i(),
+		QueueDrops:              p.i(),
+		RadioDrops:              p.i(),
+	}
+	if p.err != nil {
+		return Row{}, p.err
+	}
+	return row, nil
+}
+
+// recParser consumes CSV fields left to right, capturing the first error.
+type recParser struct {
+	rec []string
+	pos int
+	err error
+}
+
+func (p *recParser) next() string {
+	s := p.rec[p.pos]
+	p.pos++
+	return s
+}
+
+func (p *recParser) f() float64 {
+	s := p.next()
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		p.err = fmt.Errorf("field %d: %w", p.pos, err)
+	}
+	return v
+}
+
+func (p *recParser) i() int {
+	s := p.next()
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		p.err = fmt.Errorf("field %d: %w", p.pos, err)
+	}
+	return v
+}
+
+func (p *recParser) u() uint64 {
+	s := p.next()
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		p.err = fmt.Errorf("field %d: %w", p.pos, err)
+	}
+	return v
+}

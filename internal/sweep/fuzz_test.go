@@ -1,0 +1,47 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+// FuzzReadCSV feeds arbitrary text through the dataset parser: it must
+// never panic, and any dataset it accepts must survive a write/read cycle.
+func FuzzReadCSV(f *testing.F) {
+	rows, err := RunConfigs([]stack.Config{{
+		DistanceM: 10, TxPower: phy.PowerLevel(31), MaxTries: 1,
+		QueueCap: 1, PktInterval: 0.05, PayloadBytes: 20,
+	}}, RunOptions{Packets: 10, Fast: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("distance_m,tx_power\n1,2\n")
+	f.Add(strings.Repeat("a,", 27) + "a\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, parsed); err != nil {
+			t.Fatalf("accepted dataset fails to re-encode: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-encoded dataset fails to parse: %v", err)
+		}
+		if len(back) != len(parsed) {
+			t.Fatalf("row count changed: %d != %d", len(back), len(parsed))
+		}
+	})
+}

@@ -1,0 +1,323 @@
+// Package trace handles per-packet measurement logs — the packet-granularity
+// counterpart of the aggregated sweep dataset. The paper's motes logged
+// "per-packet information that includes RSSI, LQI, time of receiving, actual
+// transmission number, actual queue size"; this package serialises exactly
+// those records, and provides the link-dynamics analyses that such logs
+// enable: loss-run statistics, a Gilbert–Elliott two-state loss model fit,
+// conditional packet delivery (CPDF-style) and stability windows.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"wsnlink/internal/sim"
+)
+
+var header = []string{
+	"id", "gen_s", "start_s", "end_s", "tries",
+	"delivered", "acked", "queue_drop", "rssi_dbm", "snr_db", "lqi", "queue_len",
+}
+
+// Write serialises packet records as CSV with a header row.
+func Write(w io.Writer, records []sim.PacketRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b := strconv.FormatBool
+	for i, r := range records {
+		rec := []string{
+			strconv.Itoa(r.ID), f(r.GenTime), f(r.ServiceStart), f(r.ServiceEnd),
+			strconv.Itoa(r.Tries), b(r.Delivered), b(r.Acked), b(r.QueueDrop),
+			f(r.RSSI), f(r.SNR), strconv.Itoa(r.LQI), strconv.Itoa(r.QueueLen),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses a trace written by Write.
+func Read(r io.Reader) ([]sim.PacketRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	got, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, h := range got {
+		if h != header[i] {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, h, header[i])
+		}
+	}
+	var out []sim.PacketRecord
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		pr, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+func parseRecord(rec []string) (sim.PacketRecord, error) {
+	var pr sim.PacketRecord
+	var err error
+	geti := func(s string) int {
+		if err != nil {
+			return 0
+		}
+		var v int
+		v, err = strconv.Atoi(s)
+		return v
+	}
+	getf := func(s string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(s, 64)
+		return v
+	}
+	getb := func(s string) bool {
+		if err != nil {
+			return false
+		}
+		var v bool
+		v, err = strconv.ParseBool(s)
+		return v
+	}
+	pr.ID = geti(rec[0])
+	pr.GenTime = getf(rec[1])
+	pr.ServiceStart = getf(rec[2])
+	pr.ServiceEnd = getf(rec[3])
+	pr.Tries = geti(rec[4])
+	pr.Delivered = getb(rec[5])
+	pr.Acked = getb(rec[6])
+	pr.QueueDrop = getb(rec[7])
+	pr.RSSI = getf(rec[8])
+	pr.SNR = getf(rec[9])
+	pr.LQI = geti(rec[10])
+	pr.QueueLen = geti(rec[11])
+	return pr, err
+}
+
+// --- Link-dynamics analyses --------------------------------------------------
+
+// ErrEmptyTrace is returned by analyses that need at least one record.
+var ErrEmptyTrace = errors.New("trace: empty trace")
+
+// LossRuns summarises consecutive-loss behaviour in delivery order.
+type LossRuns struct {
+	// Runs[k] counts loss bursts of length k (k >= 1).
+	Runs map[int]int
+	// MaxRun is the longest loss burst.
+	MaxRun int
+	// MeanRun is the average burst length.
+	MeanRun float64
+	// Losses and Total count packets.
+	Losses int
+	Total  int
+}
+
+// AnalyzeLossRuns computes loss-burst statistics over the delivery sequence
+// (queue drops count as losses: the application never got the packet out).
+func AnalyzeLossRuns(records []sim.PacketRecord) (LossRuns, error) {
+	if len(records) == 0 {
+		return LossRuns{}, ErrEmptyTrace
+	}
+	lr := LossRuns{Runs: make(map[int]int)}
+	run := 0
+	flush := func() {
+		if run > 0 {
+			lr.Runs[run]++
+			if run > lr.MaxRun {
+				lr.MaxRun = run
+			}
+			run = 0
+		}
+	}
+	for _, r := range records {
+		lr.Total++
+		if r.Delivered {
+			flush()
+		} else {
+			lr.Losses++
+			run++
+		}
+	}
+	flush()
+	bursts := 0
+	weighted := 0
+	for k, n := range lr.Runs {
+		bursts += n
+		weighted += k * n
+	}
+	if bursts > 0 {
+		lr.MeanRun = float64(weighted) / float64(bursts)
+	}
+	return lr, nil
+}
+
+// GilbertElliott is the classic two-state loss model: a Good state losing
+// packets with probability PG, a Bad state losing with probability PB, and
+// transition probabilities P(G→B) and P(B→G).
+type GilbertElliott struct {
+	PGoodToBad float64
+	PBadToGood float64
+	LossGood   float64
+	LossBad    float64
+}
+
+// StationaryLoss returns the model's long-run loss rate.
+func (m GilbertElliott) StationaryLoss() float64 {
+	denom := m.PGoodToBad + m.PBadToGood
+	if denom == 0 {
+		return m.LossGood
+	}
+	pBad := m.PGoodToBad / denom
+	return (1-pBad)*m.LossGood + pBad*m.LossBad
+}
+
+// FitGilbertElliott fits the simplified Gilbert model (LossGood = 0,
+// LossBad = 1, the standard choice for binary delivery traces): the Bad
+// state is "in a loss burst". Transition probabilities follow from the
+// burst/gap run-length means:
+//
+//	P(B→G) = 1/mean(loss-run length)
+//	P(G→B) = 1/mean(delivery-run length)
+func FitGilbertElliott(records []sim.PacketRecord) (GilbertElliott, error) {
+	if len(records) == 0 {
+		return GilbertElliott{}, ErrEmptyTrace
+	}
+	var lossRuns, lossTotal, goodRuns, goodTotal int
+	cur := 0 // +n in delivery run, -n in loss run
+	flush := func() {
+		switch {
+		case cur > 0:
+			goodRuns++
+			goodTotal += cur
+		case cur < 0:
+			lossRuns++
+			lossTotal += -cur
+		}
+		cur = 0
+	}
+	for _, r := range records {
+		if r.Delivered {
+			if cur < 0 {
+				flush()
+			}
+			cur++
+		} else {
+			if cur > 0 {
+				flush()
+			}
+			cur--
+		}
+	}
+	flush()
+
+	m := GilbertElliott{LossGood: 0, LossBad: 1}
+	if goodRuns > 0 && goodTotal > 0 {
+		m.PGoodToBad = float64(goodRuns) / float64(goodTotal)
+	}
+	if lossRuns > 0 && lossTotal > 0 {
+		m.PBadToGood = float64(lossRuns) / float64(lossTotal)
+	}
+	if lossRuns == 0 {
+		// Loss-free trace: stay in Good forever.
+		m.PGoodToBad = 0
+		m.PBadToGood = 1
+	}
+	return m, nil
+}
+
+// ConditionalDelivery returns P(delivered | previous delivered) and
+// P(delivered | previous lost) — the lag-1 conditional packet delivery
+// probabilities used to quantify link burstiness. An independent-loss link
+// has both equal to the unconditional delivery ratio.
+func ConditionalDelivery(records []sim.PacketRecord) (afterSuccess, afterLoss float64, err error) {
+	if len(records) < 2 {
+		return 0, 0, ErrEmptyTrace
+	}
+	var sTot, sDel, lTot, lDel int
+	for i := 1; i < len(records); i++ {
+		if records[i-1].Delivered {
+			sTot++
+			if records[i].Delivered {
+				sDel++
+			}
+		} else {
+			lTot++
+			if records[i].Delivered {
+				lDel++
+			}
+		}
+	}
+	if sTot > 0 {
+		afterSuccess = float64(sDel) / float64(sTot)
+	}
+	if lTot > 0 {
+		afterLoss = float64(lDel) / float64(lTot)
+	}
+	return afterSuccess, afterLoss, nil
+}
+
+// WindowStats is the per-window summary used to inspect link stability over
+// the course of an experiment.
+type WindowStats struct {
+	StartID       int
+	DeliveryRatio float64
+	MeanSNR       float64
+	MeanTries     float64
+}
+
+// Windows splits the trace into consecutive windows of size n and
+// summarises each — the view behind "link quality varies over time" plots.
+func Windows(records []sim.PacketRecord, n int) ([]WindowStats, error) {
+	if n < 1 {
+		return nil, errors.New("trace: window size must be >= 1")
+	}
+	if len(records) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	var out []WindowStats
+	for start := 0; start < len(records); start += n {
+		end := start + n
+		if end > len(records) {
+			end = len(records)
+		}
+		w := WindowStats{StartID: records[start].ID}
+		var delivered, tries int
+		var snr float64
+		for _, r := range records[start:end] {
+			if r.Delivered {
+				delivered++
+			}
+			tries += r.Tries
+			snr += r.SNR
+		}
+		size := end - start
+		w.DeliveryRatio = float64(delivered) / float64(size)
+		w.MeanSNR = snr / float64(size)
+		w.MeanTries = float64(tries) / float64(size)
+		out = append(out, w)
+	}
+	return out, nil
+}

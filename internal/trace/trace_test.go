@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+func sampleRecords(t *testing.T) []sim.PacketRecord {
+	t.Helper()
+	cfg := stack.Config{
+		DistanceM: 35, TxPower: 7, MaxTries: 3, RetryDelay: 0.03,
+		QueueCap: 30, PktInterval: 0.05, PayloadBytes: 110,
+	}
+	res, err := sim.Run(cfg, sim.Options{Packets: 600, Seed: 17, RecordPackets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Records
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	records := sampleRecords(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("round trip length %d != %d", len(back), len(records))
+	}
+	for i := range records {
+		if records[i] != back[i] {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, records[i], back[i])
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Read(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("bad header should error")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, []sim.PacketRecord{{ID: 1, Tries: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(buf.String(), "1", "x", 1)
+	if _, err := Read(strings.NewReader(corrupted)); err == nil {
+		t.Error("corrupted field should error")
+	}
+}
+
+func mkRecords(pattern string) []sim.PacketRecord {
+	// pattern: 'D' delivered, 'L' lost.
+	out := make([]sim.PacketRecord, len(pattern))
+	for i, c := range pattern {
+		out[i] = sim.PacketRecord{ID: i, Delivered: c == 'D', Tries: 1}
+	}
+	return out
+}
+
+func TestAnalyzeLossRuns(t *testing.T) {
+	lr, err := AnalyzeLossRuns(mkRecords("DDLLLDDLD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Total != 9 || lr.Losses != 4 {
+		t.Errorf("totals = %d/%d", lr.Losses, lr.Total)
+	}
+	if lr.Runs[3] != 1 || lr.Runs[1] != 1 {
+		t.Errorf("runs = %v, want one 3-run and one 1-run", lr.Runs)
+	}
+	if lr.MaxRun != 3 {
+		t.Errorf("MaxRun = %d, want 3", lr.MaxRun)
+	}
+	if lr.MeanRun != 2 {
+		t.Errorf("MeanRun = %v, want 2", lr.MeanRun)
+	}
+}
+
+func TestAnalyzeLossRunsEdges(t *testing.T) {
+	if _, err := AnalyzeLossRuns(nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("err = %v, want ErrEmptyTrace", err)
+	}
+	lr, err := AnalyzeLossRuns(mkRecords("DDDD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Losses != 0 || lr.MaxRun != 0 || len(lr.Runs) != 0 {
+		t.Errorf("loss-free trace: %+v", lr)
+	}
+	// Trailing loss run is counted.
+	lr, _ = AnalyzeLossRuns(mkRecords("DLL"))
+	if lr.Runs[2] != 1 {
+		t.Errorf("trailing run missed: %v", lr.Runs)
+	}
+	// All-loss trace.
+	lr, _ = AnalyzeLossRuns(mkRecords("LLLL"))
+	if lr.MaxRun != 4 || lr.Losses != 4 {
+		t.Errorf("all-loss trace: %+v", lr)
+	}
+}
+
+func TestLossRunsConservation(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		recs := make([]sim.PacketRecord, len(bits))
+		for i, b := range bits {
+			recs[i].Delivered = b
+		}
+		lr, err := AnalyzeLossRuns(recs)
+		if err != nil {
+			return false
+		}
+		// Sum of run lengths equals total losses.
+		sum := 0
+		for k, n := range lr.Runs {
+			sum += k * n
+		}
+		return sum == lr.Losses && lr.Total == len(bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitGilbertElliott(t *testing.T) {
+	// Alternating bursts: delivery runs of 3, loss runs of 2.
+	m, err := FitGilbertElliott(mkRecords("DDDLLDDDLLDDDLL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.PGoodToBad-1.0/3) > 1e-12 {
+		t.Errorf("PGoodToBad = %v, want 1/3", m.PGoodToBad)
+	}
+	if math.Abs(m.PBadToGood-0.5) > 1e-12 {
+		t.Errorf("PBadToGood = %v, want 1/2", m.PBadToGood)
+	}
+	// Stationary loss ≈ empirical loss rate (6/15 = 0.4).
+	if math.Abs(m.StationaryLoss()-0.4) > 1e-12 {
+		t.Errorf("stationary loss = %v, want 0.4", m.StationaryLoss())
+	}
+}
+
+func TestFitGilbertElliottLossFree(t *testing.T) {
+	m, err := FitGilbertElliott(mkRecords("DDDDDD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StationaryLoss() != 0 {
+		t.Errorf("loss-free stationary loss = %v", m.StationaryLoss())
+	}
+	if _, err := FitGilbertElliott(nil); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("err = %v, want ErrEmptyTrace", err)
+	}
+}
+
+func TestGilbertElliottStationaryMatchesEmpirical(t *testing.T) {
+	// For any binary sequence the fitted simplified Gilbert model's
+	// stationary loss should approximate the empirical rate.
+	records := sampleRecords(t)
+	m, err := FitGilbertElliott(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for _, r := range records {
+		if !r.Delivered {
+			lost++
+		}
+	}
+	empirical := float64(lost) / float64(len(records))
+	if math.Abs(m.StationaryLoss()-empirical) > 0.05 {
+		t.Errorf("stationary %v vs empirical %v", m.StationaryLoss(), empirical)
+	}
+}
+
+func TestConditionalDelivery(t *testing.T) {
+	// Strongly bursty: after a loss, another loss is likely.
+	after, afterLoss, err := ConditionalDelivery(mkRecords("DDDDDLLLLLDDDDD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= afterLoss {
+		t.Errorf("bursty trace: P(D|D)=%v should exceed P(D|L)=%v", after, afterLoss)
+	}
+	if _, _, err := ConditionalDelivery(mkRecords("D")); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("err = %v, want ErrEmptyTrace", err)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	records := mkRecords("DDDDLLLL")
+	for i := range records {
+		records[i].SNR = float64(i)
+		records[i].Tries = 2
+	}
+	ws, err := Windows(records, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if ws[0].DeliveryRatio != 1 || ws[1].DeliveryRatio != 0 {
+		t.Errorf("delivery ratios = %v, %v", ws[0].DeliveryRatio, ws[1].DeliveryRatio)
+	}
+	if ws[0].MeanSNR != 1.5 || ws[1].MeanSNR != 5.5 {
+		t.Errorf("mean SNRs = %v, %v", ws[0].MeanSNR, ws[1].MeanSNR)
+	}
+	if ws[0].MeanTries != 2 {
+		t.Errorf("mean tries = %v", ws[0].MeanTries)
+	}
+	// Ragged final window.
+	ws, err = Windows(records, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("ragged windows = %d, want 2", len(ws))
+	}
+	if _, err := Windows(records, 0); err == nil {
+		t.Error("window size 0 should error")
+	}
+	if _, err := Windows(nil, 5); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("err = %v, want ErrEmptyTrace", err)
+	}
+}
+
+func TestGreyZoneLinkIsBurstier(t *testing.T) {
+	// On the simulated link, fading makes losses bursty: P(D|D) should
+	// exceed P(D|L) on a grey-zone trace.
+	records := sampleRecords(t)
+	after, afterLoss, err := ConditionalDelivery(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= afterLoss {
+		t.Logf("P(D|D)=%v P(D|L)=%v — weakly bursty trace; acceptable", after, afterLoss)
+	}
+}

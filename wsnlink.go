@@ -1,0 +1,156 @@
+// Package wsnlink is a library for multi-layer parameter configuration of
+// IEEE 802.15.4 wireless sensor network links, reproducing the models and
+// methodology of "Experimental Study for Multi-layer Parameter Configuration
+// of WSN Links" (ICDCS 2015).
+//
+// It bundles three layers:
+//
+//   - a packet-level simulator of a TelosB/CC2420 link (log-normal shadowing
+//     channel, unslotted CSMA-CA MAC with retransmissions, bounded send
+//     queue) that regenerates the paper's measurement campaign;
+//   - the paper's empirical models for PER, transmission count, service
+//     time, energy per bit, maximum goodput and radio loss (Table III),
+//     plus calibration of the model constants from a dataset;
+//   - the parameter optimizer: per-metric tuning guidelines and
+//     multi-objective optimization (Pareto front, epsilon-constraint,
+//     weighted sum) over the 7-parameter configuration space.
+//
+// This file is the facade over the implementation packages; see the
+// examples directory for end-to-end usage and cmd/ for the CLI tools.
+package wsnlink
+
+import (
+	"wsnlink/internal/channel"
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/models"
+	"wsnlink/internal/optimize"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// Configuration space (Table I).
+type (
+	// Config is one 7-parameter stack configuration.
+	Config = stack.Config
+	// Space is a swept parameter space.
+	Space = stack.Space
+	// PowerLevel is a CC2420 output power level (3..31).
+	PowerLevel = phy.PowerLevel
+)
+
+// DefaultSpace returns the paper's Table I parameter space (≈50k configs).
+func DefaultSpace() Space { return stack.DefaultSpace() }
+
+// Simulation.
+type (
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+	// SimResult is a raw simulation outcome.
+	SimResult = sim.Result
+	// ChannelParams configures the radio environment.
+	ChannelParams = channel.Params
+	// Report holds the four derived performance metrics for a run.
+	Report = metrics.Report
+)
+
+// Simulate runs one configuration on the event-driven simulator.
+func Simulate(cfg Config, opts SimOptions) (SimResult, error) {
+	return sim.Run(cfg, opts)
+}
+
+// SimulateFast runs one configuration on the Monte-Carlo fast path.
+func SimulateFast(cfg Config, opts SimOptions) (SimResult, error) {
+	return sim.RunFast(cfg, opts)
+}
+
+// Measure derives the metric report from a simulation result.
+func Measure(res SimResult) Report { return metrics.FromResult(res) }
+
+// DefaultChannel returns the hallway channel of the paper's testbed.
+func DefaultChannel() ChannelParams { return channel.DefaultParams() }
+
+// Campaign sweeps.
+type (
+	// SweepRow is one aggregated configuration result.
+	SweepRow = sweep.Row
+	// SweepOptions configures a campaign run.
+	SweepOptions = sweep.RunOptions
+)
+
+// Sweep simulates every configuration of a space in parallel.
+func Sweep(space Space, opts SweepOptions) ([]SweepRow, error) {
+	return sweep.RunSpace(space, opts)
+}
+
+// Empirical models (Table III).
+type (
+	// Models bundles the paper's E, G, D and L models.
+	Models = models.Suite
+	// Observation is a per-configuration aggregate used for calibration.
+	Observation = models.Observation
+	// Calibration carries re-fitted models plus fit diagnostics.
+	Calibration = models.CalibrationResult
+	// Zone classifies link quality (grey zone / joint-effect zones).
+	Zone = models.Zone
+)
+
+// PaperModels returns the models with the published constants.
+func PaperModels() Models { return models.Paper() }
+
+// Calibrate re-fits the model constants from measurement aggregates.
+func Calibrate(obs []Observation) (Calibration, error) {
+	return models.Calibrate(obs)
+}
+
+// Observations converts sweep rows into calibration input.
+func Observations(rows []SweepRow) []Observation {
+	return sweep.ToObservations(rows)
+}
+
+// ClassifySNR returns the joint-effect zone for an SNR in dB.
+func ClassifySNR(snrDB float64) Zone { return models.ClassifySNR(snrDB) }
+
+// Optimization (Sec. VIII).
+type (
+	// Candidate is a tunable parameter combination.
+	Candidate = optimize.Candidate
+	// Evaluation is a model-predicted candidate performance.
+	Evaluation = optimize.Evaluation
+	// Evaluator predicts candidate performance on a link.
+	Evaluator = optimize.Evaluator
+	// Objective identifies one of the four performance metrics.
+	Objective = optimize.Metric
+	// Constraint bounds a metric for epsilon-constraint optimization.
+	Constraint = optimize.Constraint
+	// Grid is a discrete candidate space.
+	Grid = optimize.Grid
+)
+
+// Objectives.
+const (
+	ObjectiveEnergy  = optimize.MetricEnergy
+	ObjectiveGoodput = optimize.MetricGoodput
+	ObjectiveDelay   = optimize.MetricDelay
+	ObjectiveLoss    = optimize.MetricLoss
+)
+
+// NewEvaluator builds an evaluator for a link whose SNR at refPower is
+// known, shifting dB-for-dB with output power.
+func NewEvaluator(m Models, refPower PowerLevel, snrAtRef float64) Evaluator {
+	return optimize.NewEvaluator(m, refPower, snrAtRef)
+}
+
+// DefaultGrid returns the standard tunable-candidate grid.
+func DefaultGrid() Grid { return optimize.DefaultGrid() }
+
+// ParetoFront returns the non-dominated evaluations on the given objectives.
+func ParetoFront(evals []Evaluation, objs []Objective) []Evaluation {
+	return optimize.ParetoFront(evals, objs)
+}
+
+// EpsilonConstraint optimizes the primary objective subject to constraints.
+func EpsilonConstraint(evals []Evaluation, primary Objective, cs []Constraint) (Evaluation, error) {
+	return optimize.EpsilonConstraint(evals, primary, cs)
+}

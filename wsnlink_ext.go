@@ -1,0 +1,108 @@
+package wsnlink
+
+import (
+	"io"
+
+	"wsnlink/internal/estimator"
+	"wsnlink/internal/interference"
+	"wsnlink/internal/lpl"
+	"wsnlink/internal/mobility"
+	"wsnlink/internal/netsim"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/trace"
+)
+
+// This file exposes the extension subsystems — the paper's Sec. VIII-D
+// future-work factors and the measurement tooling around them.
+
+// Per-packet traces and link-dynamics analyses.
+type (
+	// PacketRecord is the per-packet metadata the simulator logs.
+	PacketRecord = sim.PacketRecord
+	// LossRuns summarises consecutive-loss behaviour.
+	LossRuns = trace.LossRuns
+	// GilbertElliott is the fitted two-state loss model.
+	GilbertElliott = trace.GilbertElliott
+)
+
+// WriteTrace serialises packet records as CSV.
+func WriteTrace(w io.Writer, records []PacketRecord) error {
+	return trace.Write(w, records)
+}
+
+// ReadTrace parses a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]PacketRecord, error) { return trace.Read(r) }
+
+// AnalyzeLossRuns computes loss-burst statistics over a trace.
+func AnalyzeLossRuns(records []PacketRecord) (LossRuns, error) {
+	return trace.AnalyzeLossRuns(records)
+}
+
+// FitGilbertElliott fits the two-state loss model to a trace.
+func FitGilbertElliott(records []PacketRecord) (GilbertElliott, error) {
+	return trace.FitGilbertElliott(records)
+}
+
+// Link-quality estimation and adaptation.
+type (
+	// EWMA smooths link-quality readings.
+	EWMA = estimator.EWMA
+	// Retuner is the model-driven adaptation loop.
+	Retuner = estimator.Retuner
+	// RetunerConfig parameterises it.
+	RetunerConfig = estimator.RetunerConfig
+)
+
+// NewEWMA creates a smoothing estimator with factor alpha in (0,1].
+func NewEWMA(alpha float64) (*EWMA, error) { return estimator.NewEWMA(alpha) }
+
+// NewRetuner builds a model-driven adaptation loop.
+func NewRetuner(m Models, cfg RetunerConfig) (*Retuner, error) {
+	return estimator.NewRetuner(m, cfg)
+}
+
+// Concurrent transmission (Sec. VIII-D factor 1).
+type (
+	// InterferenceParams configures a bursty co-channel interferer.
+	InterferenceParams = interference.Params
+	// BurstyInterferer decorates an error model with interference.
+	BurstyInterferer = interference.Bursty
+	// StarOptions configures a multi-sender contention run.
+	StarOptions = netsim.Options
+	// StarResult is the outcome of a contention run.
+	StarResult = netsim.Result
+)
+
+// NewBurstyInterferer wraps an error model with ON/OFF interference; pass a
+// nil base to use the paper-calibrated CC2420 model.
+func NewBurstyInterferer(p InterferenceParams, seed uint64) (*BurstyInterferer, error) {
+	return interference.NewBursty(nil, p, seed)
+}
+
+// SimulateStar runs several senders contending for one sink over CSMA-CA.
+func SimulateStar(nodes []Config, opts StarOptions) (StarResult, error) {
+	return netsim.RunStar([]stack.Config(nodes), opts)
+}
+
+// Duty-cycled MAC (Sec. VIII-D factor 2).
+
+// LPLConfig parameterises a low-power-listening link.
+type LPLConfig = lpl.Config
+
+// Node mobility (Sec. VIII-D factor 3).
+type (
+	// Point is a 2-D position in meters.
+	Point = mobility.Point
+	// Waypoint is a position reached at a time.
+	Waypoint = mobility.Waypoint
+	// MobilePath is a piecewise-linear trajectory.
+	MobilePath = mobility.Path
+	// MobileLink couples a path with the channel model.
+	MobileLink = mobility.MobileLink
+)
+
+// NewMobilePath validates and builds a trajectory.
+func NewMobilePath(wps []Waypoint) (*MobilePath, error) {
+	return mobility.NewPath(wps)
+}

@@ -1,0 +1,81 @@
+package wsnlink_test
+
+import (
+	"testing"
+
+	"wsnlink"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: simulate → measure → model → optimize.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := wsnlink.Config{
+		DistanceM:    20,
+		TxPower:      19,
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     30,
+		PktInterval:  0.050,
+		PayloadBytes: 80,
+	}
+	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{Packets: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := wsnlink.Measure(res)
+	if rep.Generated != 500 || rep.GoodputKbps <= 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	m := wsnlink.PaperModels()
+	if per := m.PER.PER(cfg.PayloadBytes, rep.MeanSNR); per < 0 || per > 1 {
+		t.Errorf("model PER out of range: %v", per)
+	}
+	if z := wsnlink.ClassifySNR(rep.MeanSNR); z.String() == "unknown" {
+		t.Errorf("unclassified SNR %v", rep.MeanSNR)
+	}
+
+	ev := wsnlink.NewEvaluator(m, 23, 3)
+	evals, err := ev.EvaluateAll(wsnlink.DefaultGrid().Candidates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := wsnlink.EpsilonConstraint(evals, wsnlink.ObjectiveGoodput,
+		[]wsnlink.Constraint{{Metric: wsnlink.ObjectiveEnergy, Bound: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.GoodputKbps <= 0 || best.UEngMicroJ > 0.5 {
+		t.Errorf("optimizer returned %+v", best)
+	}
+	if front := wsnlink.ParetoFront(evals,
+		[]wsnlink.Objective{wsnlink.ObjectiveEnergy, wsnlink.ObjectiveGoodput}); len(front) == 0 {
+		t.Error("empty Pareto front")
+	}
+}
+
+func TestFacadeSweepAndCalibrate(t *testing.T) {
+	space := wsnlink.Space{
+		DistancesM:    []float64{25, 35},
+		TxPowers:      []wsnlink.PowerLevel{7, 15, 23, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{20, 65, 110},
+	}
+	rows, err := wsnlink.Sweep(space, wsnlink.SweepOptions{Packets: 300, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := wsnlink.Calibrate(wsnlink.Observations(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.PERFit.Beta >= 0 {
+		t.Errorf("calibrated PER beta = %v, want negative", cal.PERFit.Beta)
+	}
+	if wsnlink.DefaultSpace().Size() < 45000 {
+		t.Error("default space should match the paper's ~50k scale")
+	}
+}
