@@ -1,0 +1,26 @@
+# Development targets; the repository is stdlib-only Go, so everything here
+# is a thin wrapper over the go tool.
+
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine and simulator are the concurrency-heavy packages; run
+# them under the race detector.
+race:
+	$(GO) test -race ./internal/sweep ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# The full quality gate (DESIGN.md §5).
+verify: build vet test race

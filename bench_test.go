@@ -15,6 +15,7 @@ package wsnlink_test
 // the campaign-scale statistics.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -127,6 +128,36 @@ func BenchmarkSweep16(b *testing.B) {
 			Packets: 200, BaseSeed: uint64(i), Fast: true,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepStreaming measures the streaming engine on the same
+// 16-configuration space as BenchmarkSweep16. The allocation figure is the
+// interesting number: streaming holds only O(workers) rows live, so the
+// per-iteration footprint must not grow with the space size.
+func BenchmarkSweepStreaming(b *testing.B) {
+	space := stack.Space{
+		DistancesM:    []float64{25, 35},
+		TxPowers:      []wsnlink.PowerLevel{7, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{20, 110},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		err := sweep.StreamSpace(ctx, space, sweep.RunOptions{
+			Packets: 200, BaseSeed: uint64(i), Fast: true,
+		}, func(sweep.Row) error { rows++; return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != 16 {
+			b.Fatalf("rows = %d", rows)
 		}
 	}
 }

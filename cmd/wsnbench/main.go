@@ -11,22 +11,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"wsnlink/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -56,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Seed:    *seed,
 		FullDES: *fullDES,
 		Workers: *workers,
+		Context: ctx,
 	}
 	if *markdown {
 		return experiments.WriteMarkdownReport(opts, stdout)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +12,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"fig3", "fig17", "table2", "table4", "ext-lpl"} {
@@ -22,7 +24,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-exp", "table2"}, &out, &errOut); err != nil {
+	if err := run(context.Background(), []string{"-exp", "table2"}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Table II") {
@@ -35,7 +37,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig99"}, &buf, &buf); err == nil {
+	if err := run(context.Background(), []string{"-exp", "fig99"}, &buf, &buf); err == nil {
 		t.Error("unknown experiment should error")
 	}
 }
@@ -43,7 +45,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunSVGOutput(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut bytes.Buffer
-	err := run([]string{"-exp", "fig13", "-svg", dir}, &out, &errOut)
+	err := run(context.Background(), []string{"-exp", "fig13", "-svg", dir}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func TestRunSVGOutput(t *testing.T) {
 func TestRunMarkdownModelOnlySections(t *testing.T) {
 	// The markdown report runs the full harness; keep it small.
 	var out, errOut bytes.Buffer
-	err := run([]string{"-markdown", "-packets", "60"}, &out, &errOut)
+	err := run(context.Background(), []string{"-markdown", "-packets", "60"}, &out, &errOut)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,9 +86,19 @@ func TestRunMarkdownModelOnlySections(t *testing.T) {
 	}
 }
 
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, []string{"-exp", "fig7"}, &buf, &buf)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-wat"}, &buf, &buf); err == nil {
+	if err := run(context.Background(), []string{"-wat"}, &buf, &buf); err == nil {
 		t.Error("unknown flag should error")
 	}
 }
@@ -94,7 +106,7 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunDataCSVOutput(t *testing.T) {
 	dir := t.TempDir()
 	var out, errOut bytes.Buffer
-	if err := run([]string{"-exp", "fig9", "-data", dir}, &out, &errOut); err != nil {
+	if err := run(context.Background(), []string{"-exp", "fig9", "-data", dir}, &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

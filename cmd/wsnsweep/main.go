@@ -1,45 +1,63 @@
 // Command wsnsweep regenerates the measurement campaign dataset: it sweeps
-// the Table I parameter space (or a scaled subset) and writes one aggregated
-// CSV row per configuration — the synthetic counterpart of the public
-// dataset the paper released.
+// the Table I parameter space (or a scaled subset) and streams one
+// aggregated CSV row per configuration — the synthetic counterpart of the
+// public dataset the paper released.
+//
+// Rows are appended to the output as they complete, so memory stays bounded
+// regardless of campaign size. With -checkpoint the sweep records its
+// progress in a sidecar file; an interrupted run (Ctrl-C, SIGTERM, or a
+// crash) can then be continued with -resume and produces a dataset
+// byte-identical to an uninterrupted run with the same seed.
 //
 // Usage:
 //
 //	wsnsweep -out dataset.csv                   # scaled default (500 pkts/config)
 //	wsnsweep -out full.csv -packets 4500        # paper-scale statistics
 //	wsnsweep -out quick.csv -distances 35 -progress
+//	wsnsweep -out full.csv -checkpoint full.ckpt    # restartable campaign
+//	wsnsweep -out full.csv -checkpoint full.ckpt -resume   # continue it
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wsnsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("out", "dataset.csv", "output CSV path ('-' for stdout)")
-		packets   = fs.Int("packets", 500, "packets per configuration (paper: 4500)")
-		seed      = fs.Uint64("seed", 1, "base RNG seed")
-		fullDES   = fs.Bool("des", false, "use the full event-driven simulator")
-		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		progress  = fs.Bool("progress", false, "print progress to stderr")
-		distances = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
+		out        = fs.String("out", "dataset.csv", "output CSV path ('-' for stdout)")
+		packets    = fs.Int("packets", 500, "packets per configuration (paper: 4500)")
+		seed       = fs.Uint64("seed", 1, "base RNG seed")
+		fullDES    = fs.Bool("des", false, "use the full event-driven simulator")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		progress   = fs.Bool("progress", false, "print progress to stderr")
+		distances  = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
+		checkpoint = fs.String("checkpoint", "", "checkpoint sidecar path (enables restartable runs)")
+		resume     = fs.Bool("resume", false, "continue from the checkpoint (default sidecar: <out>.ckpt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,44 +75,139 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		space.DistancesM = ds
 	}
-
-	opts := sweep.RunOptions{
-		Packets:  *packets,
-		BaseSeed: *seed,
-		Fast:     !*fullDES,
-		Workers:  *workers,
+	if err := space.Validate(); err != nil {
+		return err
 	}
-	if *progress {
-		total := space.Size()
-		opts.Progress = func(done, _ int) {
-			if done%500 == 0 || done == total {
-				fmt.Fprintf(stderr, "\r%d/%d configurations", done, total)
-				if done == total {
-					fmt.Fprintln(stderr)
-				}
-			}
+	cfgs := space.All()
+
+	if *resume {
+		if *out == "-" {
+			return errors.New("-resume requires a file output, not stdout")
+		}
+		if *checkpoint == "" {
+			*checkpoint = *out + ".ckpt"
 		}
 	}
 
-	fmt.Fprintf(stderr, "sweeping %d configurations (%d per distance) x %d packets\n",
-		space.Size(), space.SettingsPerDistance(), *packets)
-	rows, err := sweep.RunSpace(space, opts)
-	if err != nil {
-		return err
+	opts := sweep.RunOptions{
+		Packets:    *packets,
+		BaseSeed:   *seed,
+		Fast:       !*fullDES,
+		Workers:    *workers,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
 	}
 
-	w := stdout
-	if *out != "-" {
+	// Open the output and position the encoder. On resume, only the
+	// checkpointed prefix of the existing CSV is trusted: the file is
+	// rewritten to exactly that prefix (a crash can leave a torn extra
+	// row), then streaming appends continue after it.
+	var enc *sweep.Encoder
+	done := 0
+	if *out == "-" {
+		enc = sweep.NewEncoder(stdout)
+		if err := enc.WriteHeader(); err != nil {
+			return err
+		}
+	} else {
+		var prefix []sweep.Row
+		if *resume {
+			ck, err := sweep.LoadCheckpoint(*checkpoint)
+			if err != nil {
+				return fmt.Errorf("load checkpoint: %w", err)
+			}
+			prefix, err = readPrefix(*out, ck.Done)
+			if err != nil {
+				return err
+			}
+			done = ck.Done
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		w = f
+		enc = sweep.NewEncoder(f)
+		if err := enc.WriteHeader(); err != nil {
+			return err
+		}
+		for _, r := range prefix {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
 	}
-	if err := sweep.WriteCSV(w, rows); err != nil {
+
+	fmt.Fprintf(stderr, "sweeping %d configurations (%d per distance) x %d packets",
+		len(cfgs), space.SettingsPerDistance(), *packets)
+	if done > 0 {
+		fmt.Fprintf(stderr, " (resuming after %d)", done)
+	}
+	fmt.Fprintln(stderr)
+
+	var counter atomic.Int64
+	counter.Store(int64(done))
+	if *progress {
+		opts.Done = &counter
+		stopProgress := make(chan struct{})
+		defer close(stopProgress)
+		go func() {
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Fprintf(stderr, "\r%d/%d configurations", counter.Load(), len(cfgs))
+				case <-stopProgress:
+					return
+				}
+			}
+		}()
+	}
+
+	err := sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+		// Flush before the engine checkpoints the row, so the CSV is
+		// always at least as long as the checkpoint says.
+		return enc.Flush()
+	})
+	if *progress {
+		fmt.Fprintln(stderr)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) && *checkpoint != "" {
+			fmt.Fprintf(stderr, "interrupted after %d rows; continue with -resume -checkpoint %s\n",
+				enc.Rows(), *checkpoint)
+		}
 		return err
 	}
-	fmt.Fprintf(stderr, "wrote %d rows to %s\n", len(rows), *out)
+	fmt.Fprintf(stderr, "wrote %d rows to %s\n", enc.Rows(), *out)
 	return nil
+}
+
+// readPrefix returns the first done rows of an existing dataset; a missing
+// file is fine when nothing was checkpointed yet.
+func readPrefix(path string, done int) ([]sweep.Row, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) && done == 0 {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadCSVHead(f, done)
+	if err != nil {
+		return nil, fmt.Errorf("existing dataset %s: %w", path, err)
+	}
+	if len(rows) < done {
+		return nil, fmt.Errorf("dataset %s has %d rows but checkpoint records %d; "+
+			"delete both to restart", path, len(rows), done)
+	}
+	return rows, nil
 }

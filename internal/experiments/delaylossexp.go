@@ -207,10 +207,7 @@ func RunFig17(opts Options) (Fig17Result, error) {
 			})
 		}
 	}
-	rows, err := sweep.RunConfigs(cfgs, sweep.RunOptions{
-		Packets: opts.Packets, BaseSeed: opts.Seed + 17,
-		Fast: !opts.FullDES, Workers: opts.Workers,
-	})
+	rows, err := sweep.RunConfigsContext(opts.ctx(), cfgs, opts.runOptions(17))
 	if err != nil {
 		return Fig17Result{}, err
 	}

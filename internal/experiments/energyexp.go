@@ -35,10 +35,7 @@ func RunFig7(opts Options) (Fig7Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: payloads,
 	}
-	rows, err := sweep.RunSpace(space, sweep.RunOptions{
-		Packets: opts.Packets, BaseSeed: opts.Seed, Fast: !opts.FullDES,
-		Workers: opts.Workers,
-	})
+	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(0))
 	if err != nil {
 		return Fig7Result{}, err
 	}
@@ -100,10 +97,7 @@ func RunFig8(opts Options) (Fig8Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: payloads,
 	}
-	rows, err := sweep.RunSpace(space, sweep.RunOptions{
-		Packets: opts.Packets, BaseSeed: opts.Seed + 8, Fast: !opts.FullDES,
-		Workers: opts.Workers,
-	})
+	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(8))
 	if err != nil {
 		return Fig8Result{}, err
 	}

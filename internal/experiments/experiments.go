@@ -7,10 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"wsnlink/internal/sweep"
 )
 
 // Options scales the underlying simulations. The defaults keep every
@@ -26,6 +29,10 @@ type Options struct {
 	FullDES bool
 	// Workers for parallel sweeps (default GOMAXPROCS).
 	Workers int
+	// Context cancels the underlying sweeps (default
+	// context.Background()); wsnbench wires SIGINT/SIGTERM here so a
+	// long experiment run shuts down gracefully.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +43,25 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// ctx returns the run context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// runOptions maps experiment options onto sweep options; seedOffset keeps
+// the per-experiment seed streams distinct.
+func (o Options) runOptions(seedOffset uint64) sweep.RunOptions {
+	return sweep.RunOptions{
+		Packets:  o.Packets,
+		BaseSeed: o.Seed + seedOffset,
+		Fast:     !o.FullDES,
+		Workers:  o.Workers,
+	}
 }
 
 // Series is one named line of (x, y) points for a figure.

@@ -64,10 +64,7 @@ func macConfigSweep(opts Options, settings []MACSetting) ([]sweep.Row, error) {
 			}
 		}
 	}
-	return sweep.RunConfigs(cfgs, sweep.RunOptions{
-		Packets: opts.Packets, BaseSeed: opts.Seed + 10,
-		Fast: !opts.FullDES, Workers: opts.Workers,
-	})
+	return sweep.RunConfigsContext(opts.ctx(), cfgs, opts.runOptions(10))
 }
 
 // seriesPerWorkload groups rows of one MAC setting into per-workload series
@@ -176,10 +173,7 @@ func RunFig11(opts Options) (Fig11Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: payloads,
 	}
-	rows, err := sweep.RunSpace(space, sweep.RunOptions{
-		Packets: opts.Packets, BaseSeed: opts.Seed + 11,
-		Fast: !opts.FullDES, Workers: opts.Workers,
-	})
+	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(11))
 	if err != nil {
 		return Fig11Result{}, err
 	}
@@ -247,10 +241,7 @@ func RunFig12(opts Options) (Fig12Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: []int{110},
 	}
-	rows, err := sweep.RunSpace(space, sweep.RunOptions{
-		Packets: opts.Packets, BaseSeed: opts.Seed + 12,
-		Fast: !opts.FullDES, Workers: opts.Workers,
-	})
+	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(12))
 	if err != nil {
 		return Fig12Result{}, err
 	}

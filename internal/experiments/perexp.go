@@ -26,12 +26,7 @@ func perSweep(opts Options, payloads []int) ([]sweep.Row, error) {
 		PktIntervals:  []float64{0.050},
 		PayloadsBytes: payloads,
 	}
-	return sweep.RunSpace(space, sweep.RunOptions{
-		Packets:  opts.Packets,
-		BaseSeed: opts.Seed,
-		Fast:     !opts.FullDES,
-		Workers:  opts.Workers,
-	})
+	return sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(0))
 }
 
 // Fig6Result reproduces Fig. 6: the joint effects of SNR and payload size on

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// countingCtx is a context whose Err starts returning context.Canceled after
+// Err has been called n times, letting tests cancel deterministically partway
+// through a run without racing a goroutine against the simulator.
+type countingCtx struct {
+	context.Context
+	calls, trigger int
+}
+
+func (c *countingCtx) Err() error {
+	c.calls++
+	if c.calls > c.trigger {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countingCtx) Done() <-chan struct{} { return nil }
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, baseConfig(), Options{Packets: 50}); !errors.Is(err, context.Canceled) {
+		t.Errorf("DES err = %v, want context.Canceled", err)
+	}
+	if _, err := RunFastContext(ctx, baseConfig(), Options{Packets: 50}); !errors.Is(err, context.Canceled) {
+		t.Errorf("fast err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	for name, runner := range map[string]func(context.Context) (Result, error){
+		"des": func(ctx context.Context) (Result, error) {
+			return RunContext(ctx, baseConfig(), Options{Packets: 200, Seed: 5})
+		},
+		"fast": func(ctx context.Context) (Result, error) {
+			return RunFastContext(ctx, baseConfig(), Options{Packets: 200, Seed: 5})
+		},
+	} {
+		ctx := &countingCtx{Context: context.Background(), trigger: 10}
+		_, err := runner(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want wrapped context.Canceled", name, err)
+		}
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	opts := Options{Packets: 200, Seed: 7}
+	plain, err := Run(baseConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := RunContext(context.Background(), baseConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ctxed) {
+		t.Error("RunContext(Background) differs from Run")
+	}
+}

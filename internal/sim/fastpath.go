@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -25,6 +26,13 @@ import (
 // at arrival is the number of accepted-but-unfinished packets; arrivals that
 // would exceed Q_max waiting packets are dropped.
 func RunFast(cfg stack.Config, opts Options) (Result, error) {
+	return RunFastContext(context.Background(), cfg, opts)
+}
+
+// RunFastContext is the context-aware fast path: cancellation and deadline
+// are checked between packets, so a canceled campaign abandons a
+// configuration after at most one packet's worth of work.
+func RunFastContext(ctx context.Context, cfg stack.Config, opts Options) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -48,7 +56,7 @@ func RunFast(cfg stack.Config, opts Options) (Result, error) {
 		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
 		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
 	}
-	return f.run(), nil
+	return f.run(ctx)
 }
 
 type fastSim struct {
@@ -73,13 +81,17 @@ func (f *fastSim) advanceChannel(t float64) {
 	}
 }
 
-func (f *fastSim) run() Result {
+func (f *fastSim) run(ctx context.Context) (Result, error) {
 	// departures holds service-end times of accepted, not-yet-finished
 	// packets (in service + waiting), oldest first.
 	var departures []float64
 	serverFreeAt := 0.0
 
 	for i := 0; i < f.opts.Packets; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("sim: fast run canceled before packet %d of %d: %w",
+				i, f.opts.Packets, err)
+		}
 		arrival := float64(i) * f.cfg.PktInterval
 		if f.cfg.Saturated() {
 			arrival = serverFreeAt
@@ -131,7 +143,7 @@ func (f *fastSim) run() Result {
 		Duration: f.lastEnd,
 		Counters: f.counters,
 		Records:  f.records,
-	}
+	}, nil
 }
 
 // servePacket mirrors LinkSim.startService with the mean backoff.

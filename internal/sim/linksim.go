@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
@@ -118,6 +119,9 @@ type LinkSim struct {
 	counters   Counters
 	records    []PacketRecord
 	lastEnd    float64
+
+	ctx     context.Context // cancellation, checked between packet generations
+	stopErr error           // first cancellation error observed
 }
 
 // NewLinkSim validates the configuration and builds a simulator.
@@ -153,31 +157,52 @@ func NewLinkSim(cfg stack.Config, opts Options) (*LinkSim, error) {
 }
 
 // Run executes the configured number of packets and returns the result.
+// It is the compatibility entry point; see RunContext for cancellation.
 func (s *LinkSim) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes the run, checking ctx between packet generations. On
+// cancellation it abandons the run and returns a zero Result with an error
+// wrapping ctx.Err(); otherwise the result is identical to Run (the checks
+// never touch the RNG, so determinism for a fixed seed is preserved).
+func (s *LinkSim) RunContext(ctx context.Context) (Result, error) {
+	s.ctx = ctx
 	if s.cfg.Saturated() {
-		s.runSaturated()
+		if err := s.runSaturated(ctx); err != nil {
+			return Result{}, err
+		}
 	} else {
 		s.scheduleGeneration(0)
 		s.engine.RunUntilIdle()
+		if s.stopErr != nil {
+			return Result{}, s.stopErr
+		}
 	}
 	return Result{
 		Config:   s.cfg,
 		Duration: s.lastEnd,
 		Counters: s.counters,
 		Records:  s.records,
-	}
+	}, nil
 }
 
 // runSaturated serves packets back to back: the application always has the
 // next packet ready, so no queueing and no queue drops occur. This is the
 // regime of the paper's maximum-goodput model.
-func (s *LinkSim) runSaturated() {
+func (s *LinkSim) runSaturated(ctx context.Context) error {
 	for i := 0; i < s.opts.Packets; i++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("sim: run canceled before packet %d of %d: %w",
+				i, s.opts.Packets, err)
+		}
 		rec := &PacketRecord{ID: i, GenTime: s.engine.Now()}
 		s.counters.Generated++
 		s.startService(rec)
 		s.engine.RunUntilIdle()
 	}
+	return nil
 }
 
 func (s *LinkSim) scheduleGeneration(i int) {
@@ -188,6 +213,17 @@ func (s *LinkSim) scheduleGeneration(i int) {
 }
 
 func (s *LinkSim) generate(i int) {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			// Stop generating; the in-flight service drains (bounded work)
+			// and RunContext reports the cancellation.
+			if s.stopErr == nil {
+				s.stopErr = fmt.Errorf("sim: run canceled before packet %d of %d: %w",
+					i, s.opts.Packets, err)
+			}
+			return
+		}
+	}
 	rec := &PacketRecord{ID: i, GenTime: s.engine.Now(), QueueLen: s.sendQ.Len()}
 	s.counters.Generated++
 	s.counters.SumQueueOccupancy += float64(s.sendQ.Len())
@@ -316,11 +352,18 @@ func (s *LinkSim) finishRecord(rec *PacketRecord) {
 	}
 }
 
-// Run is the package-level convenience: build and run in one call.
+// Run is the package-level convenience: build and run in one call. It is a
+// compatibility wrapper over RunContext with context.Background().
 func Run(cfg stack.Config, opts Options) (Result, error) {
+	return RunContext(context.Background(), cfg, opts)
+}
+
+// RunContext builds and runs one configuration, honoring ctx cancellation
+// and deadline between packet generations.
+func RunContext(ctx context.Context, cfg stack.Config, opts Options) (Result, error) {
 	s, err := NewLinkSim(cfg, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(), nil
+	return s.RunContext(ctx)
 }

@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"strconv"
+
+	"wsnlink/internal/stack"
+)
+
+// The checkpoint sidecar is a plain-text, append-only log:
+//
+//	wsnlink-checkpoint v1
+//	fingerprint <16 hex digits> configs <N>
+//	0
+//	1
+//	2
+//	...
+//
+// One index is appended per processed configuration (after its row has been
+// yielded, or after its failure was recorded under ContinueOnError), so the
+// file always describes a durably-handled prefix of the campaign. Because
+// the engine emits in input order the indices are consecutive from 0; a
+// torn trailing line from a crash is detected and discarded on load. The
+// fingerprint ties the file to the campaign identity (configurations,
+// Packets, BaseSeed, Fast) so a checkpoint cannot silently resume a
+// different sweep.
+
+const checkpointMagic = "wsnlink-checkpoint v1"
+
+// Checkpoint describes a campaign's resumable progress.
+type Checkpoint struct {
+	// Fingerprint identifies the campaign (see campaignFingerprint).
+	Fingerprint uint64
+	// Configs is the total number of configurations in the campaign.
+	Configs int
+	// Done is the length of the processed prefix: configurations
+	// [0, Done) have been handled and will be skipped on resume.
+	Done int
+}
+
+// LoadCheckpoint reads a checkpoint sidecar file written by a checkpointed
+// sweep. A trailing torn line (from a crash mid-append) is ignored.
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	ck, _, err := loadCheckpoint(path)
+	return ck, err
+}
+
+// loadCheckpoint also returns the byte offset of the end of the last valid
+// line, so resume can truncate torn trailing data before appending. Only
+// newline-terminated lines count: a torn final line is never trusted, even
+// when its prefix happens to parse.
+func loadCheckpoint(path string) (Checkpoint, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Checkpoint{}, 0, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+
+	var ck Checkpoint
+	var offset int64
+	line := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn trailing line: end of the valid prefix
+		}
+		text := string(data[:nl])
+		data = data[nl+1:]
+		line++
+		switch line {
+		case 1:
+			if text != checkpointMagic {
+				return Checkpoint{}, 0, fmt.Errorf("sweep: %s is not a checkpoint file", path)
+			}
+		case 2:
+			if _, err := fmt.Sscanf(text, "fingerprint %016x configs %d",
+				&ck.Fingerprint, &ck.Configs); err != nil {
+				return Checkpoint{}, 0, fmt.Errorf("sweep: checkpoint %s: bad header: %w", path, err)
+			}
+		default:
+			idx, err := strconv.Atoi(text)
+			if err != nil || idx != ck.Done {
+				// Corrupt or out-of-sequence entry: treat as end of the
+				// valid prefix and ignore the rest.
+				return ck, offset, nil
+			}
+			ck.Done++
+		}
+		offset += int64(nl) + 1
+	}
+	if line < 2 {
+		return Checkpoint{}, 0, fmt.Errorf("sweep: checkpoint %s: truncated header", path)
+	}
+	return ck, offset, nil
+}
+
+// campaignFingerprint hashes the campaign identity: every configuration and
+// the option knobs that change row content. (Channel and ErrorModel
+// overrides are not part of the hash; keep them stable across resumes.)
+func campaignFingerprint(cfgs []stack.Config, opts RunOptions) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	wu(uint64(len(cfgs)))
+	for _, c := range cfgs {
+		wf(c.DistanceM)
+		wu(uint64(c.TxPower))
+		wu(uint64(c.MaxTries))
+		wf(c.RetryDelay)
+		wu(uint64(c.QueueCap))
+		wf(c.PktInterval)
+		wu(uint64(c.PayloadBytes))
+	}
+	wu(uint64(opts.Packets))
+	wu(opts.BaseSeed)
+	if opts.Fast {
+		wu(1)
+	} else {
+		wu(0)
+	}
+	return h.Sum64()
+}
+
+// checkpointFile appends processed indices as the stream emits them.
+type checkpointFile struct {
+	f    *os.File
+	done int
+}
+
+// openCheckpoint creates a fresh checkpoint (resume=false, truncating any
+// previous file) or validates and reopens an existing one for appending.
+func openCheckpoint(path string, fingerprint uint64, configs int, resume bool) (*checkpointFile, error) {
+	if !resume {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+		if _, err := fmt.Fprintf(f, "%s\nfingerprint %016x configs %d\n",
+			checkpointMagic, fingerprint, configs); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+		return &checkpointFile{f: f}, nil
+	}
+
+	ck, offset, err := loadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	if ck.Fingerprint != fingerprint || ck.Configs != configs {
+		return nil, fmt.Errorf("sweep: checkpoint %s does not match this campaign "+
+			"(want fingerprint %016x over %d configs, file has %016x over %d)",
+			path, fingerprint, configs, ck.Fingerprint, ck.Configs)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	// Drop any torn trailing line before appending.
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	if _, err := f.Seek(offset, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	return &checkpointFile{f: f, done: ck.Done}, nil
+}
+
+// Done returns the processed-prefix length recorded at open time.
+func (c *checkpointFile) Done() int { return c.done }
+
+// Append records index idx as processed. The engine appends in order, so
+// idx always equals the current prefix length.
+func (c *checkpointFile) Append(idx int) error {
+	if _, err := fmt.Fprintf(c.f, "%d\n", idx); err != nil {
+		return fmt.Errorf("sweep: checkpoint append: %w", err)
+	}
+	c.done++
+	return nil
+}
+
+func (c *checkpointFile) Close() error { return c.f.Close() }

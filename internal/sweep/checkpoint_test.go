@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCheckpointFile(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.ckpt")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func header(fp uint64, configs int) string {
+	return fmt.Sprintf("%s\nfingerprint %016x configs %d\n", checkpointMagic, fp, configs)
+}
+
+func TestLoadCheckpointPrefix(t *testing.T) {
+	path := writeCheckpointFile(t, header(0xabcd, 10)+"0\n1\n2\n")
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Fingerprint != 0xabcd || ck.Configs != 10 || ck.Done != 3 {
+		t.Fatalf("checkpoint = %+v", ck)
+	}
+}
+
+func TestLoadCheckpointIgnoresTornTail(t *testing.T) {
+	// A crash mid-append leaves a final line without a newline; it must not
+	// count even when its prefix parses as the expected index.
+	path := writeCheckpointFile(t, header(1, 10)+"0\n1\n2")
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Done != 2 {
+		t.Fatalf("Done = %d, want 2 (torn '2' ignored)", ck.Done)
+	}
+}
+
+func TestLoadCheckpointStopsAtCorruptEntry(t *testing.T) {
+	path := writeCheckpointFile(t, header(1, 10)+"0\n1\nxyz\n5\n")
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Done != 2 {
+		t.Fatalf("Done = %d, want 2 (stop at corrupt entry)", ck.Done)
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	for _, body := range []string{"", "not a checkpoint\n0\n", checkpointMagic + "\n"} {
+		path := writeCheckpointFile(t, body)
+		if _, err := LoadCheckpoint(path); err == nil {
+			t.Errorf("body %q: want error", body)
+		}
+	}
+}
+
+func TestOpenCheckpointResumeTruncatesTornTail(t *testing.T) {
+	path := writeCheckpointFile(t, header(7, 10)+"0\n1\n2") // torn "2"
+	ck, err := openCheckpoint(path, 7, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Done() != 2 {
+		t.Fatalf("Done = %d, want 2", ck.Done())
+	}
+	if err := ck.Append(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Done != 3 {
+		t.Fatalf("after resume append, Done = %d, want 3", reloaded.Done)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "1\n2\n") {
+		t.Fatalf("file tail corrupted: %q", string(data))
+	}
+}
+
+func TestOpenCheckpointMismatch(t *testing.T) {
+	path := writeCheckpointFile(t, header(7, 10))
+	if _, err := openCheckpoint(path, 8, 10, true); err == nil {
+		t.Error("fingerprint mismatch should error")
+	}
+	if _, err := openCheckpoint(path, 7, 11, true); err == nil {
+		t.Error("config-count mismatch should error")
+	}
+}
+
+func TestCampaignFingerprintSensitivity(t *testing.T) {
+	cfgs := smallSpace().All()
+	base := RunOptions{Packets: 100, BaseSeed: 1, Fast: true}
+	fp := campaignFingerprint(cfgs, base)
+
+	seed := base
+	seed.BaseSeed = 2
+	if campaignFingerprint(cfgs, seed) == fp {
+		t.Error("fingerprint ignores BaseSeed")
+	}
+	pkts := base
+	pkts.Packets = 200
+	if campaignFingerprint(cfgs, pkts) == fp {
+		t.Error("fingerprint ignores Packets")
+	}
+	des := base
+	des.Fast = false
+	if campaignFingerprint(cfgs, des) == fp {
+		t.Error("fingerprint ignores Fast")
+	}
+	if campaignFingerprint(cfgs[:len(cfgs)-1], base) == fp {
+		t.Error("fingerprint ignores the configuration list")
+	}
+	// Worker count and progress plumbing must NOT change identity.
+	cosmetic := base
+	cosmetic.Workers = 13
+	cosmetic.OnRow = func(Row) {}
+	if campaignFingerprint(cfgs, cosmetic) != fp {
+		t.Error("fingerprint depends on non-identity knobs")
+	}
+}

@@ -26,41 +26,103 @@ var csvHeader = []string{
 	"generated", "delivered", "queue_drops", "radio_drops",
 }
 
-// WriteCSV writes the dataset with a header row.
-func WriteCSV(w io.Writer, rows []Row) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return fmt.Errorf("sweep: write header: %w", err)
-	}
+// rowRecord formats one row using the canonical field encoding; the output
+// is byte-stable, so re-encoding a parsed dataset reproduces it exactly.
+func rowRecord(r Row) []string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	d := strconv.Itoa
-	for i, r := range rows {
-		rec := []string{
-			f(r.Config.DistanceM), d(int(r.Config.TxPower)), d(r.Config.MaxTries),
-			f(r.Config.RetryDelay), d(r.Config.QueueCap),
-			f(r.Config.PktInterval), d(r.Config.PayloadBytes),
-			strconv.FormatUint(r.Seed, 10), d(r.Packets),
-			f(r.Report.MeanSNR), f(r.Report.SDSNR),
-			f(r.Report.MeanRSSI), f(r.Report.SDRSSI),
-			f(r.Report.PER), f(r.Report.MeanTries),
-			f(r.Report.EnergyPerBitMicroJ), f(r.Report.ListenEnergyMicroJ),
-			f(r.Report.RadioEnergyPerBitMicroJ), f(r.Report.GoodputKbps),
-			f(r.Report.MeanDelay), f(r.Report.MeanServiceTime), f(r.Report.MeanQueueDelay),
-			f(r.Report.PLR), f(r.Report.PLRQueue), f(r.Report.PLRRadio),
-			f(r.Report.Utilization),
-			d(r.Report.Generated), d(r.Report.Delivered),
-			d(r.Report.QueueDrops), d(r.Report.RadioDrops),
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("sweep: write row %d: %w", i, err)
+	return []string{
+		f(r.Config.DistanceM), d(int(r.Config.TxPower)), d(r.Config.MaxTries),
+		f(r.Config.RetryDelay), d(r.Config.QueueCap),
+		f(r.Config.PktInterval), d(r.Config.PayloadBytes),
+		strconv.FormatUint(r.Seed, 10), d(r.Packets),
+		f(r.Report.MeanSNR), f(r.Report.SDSNR),
+		f(r.Report.MeanRSSI), f(r.Report.SDRSSI),
+		f(r.Report.PER), f(r.Report.MeanTries),
+		f(r.Report.EnergyPerBitMicroJ), f(r.Report.ListenEnergyMicroJ),
+		f(r.Report.RadioEnergyPerBitMicroJ), f(r.Report.GoodputKbps),
+		f(r.Report.MeanDelay), f(r.Report.MeanServiceTime), f(r.Report.MeanQueueDelay),
+		f(r.Report.PLR), f(r.Report.PLRQueue), f(r.Report.PLRRadio),
+		f(r.Report.Utilization),
+		d(r.Report.Generated), d(r.Report.Delivered),
+		d(r.Report.QueueDrops), d(r.Report.RadioDrops),
+	}
+}
+
+// Encoder streams dataset rows to CSV one at a time — the writing half of
+// the streaming sweep pipeline. Call WriteHeader for a fresh dataset (skip
+// it when appending to an existing file on resume), Encode per row, and
+// Flush whenever the rows written so far must be durable (the streaming
+// engine checkpoints a row only after its yield returned, so flushing in
+// yield keeps the CSV ahead of the checkpoint).
+type Encoder struct {
+	cw   *csv.Writer
+	rows int
+}
+
+// NewEncoder wraps w for streaming row encoding.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{cw: csv.NewWriter(w)}
+}
+
+// WriteHeader emits the dataset schema row.
+func (e *Encoder) WriteHeader() error {
+	if err := e.cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("sweep: write header: %w", err)
+	}
+	return nil
+}
+
+// Encode appends one row.
+func (e *Encoder) Encode(r Row) error {
+	if err := e.cw.Write(rowRecord(r)); err != nil {
+		return fmt.Errorf("sweep: write row %d: %w", e.rows, err)
+	}
+	e.rows++
+	return nil
+}
+
+// Rows returns the number of rows encoded so far.
+func (e *Encoder) Rows() int { return e.rows }
+
+// Flush forces buffered rows to the underlying writer.
+func (e *Encoder) Flush() error {
+	e.cw.Flush()
+	return e.cw.Error()
+}
+
+// WriteCSV writes the dataset with a header row — the batch convenience
+// over Encoder.
+func WriteCSV(w io.Writer, rows []Row) error {
+	e := NewEncoder(w)
+	if err := e.WriteHeader(); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := e.Encode(r); err != nil {
+			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return e.Flush()
 }
 
 // ReadCSV parses a dataset written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Row, error) {
+	return readCSV(r, -1)
+}
+
+// ReadCSVHead parses at most n rows and ignores anything after them —
+// including torn trailing data. It is used to realign a dataset with its
+// checkpoint after an interrupted run, where only the checkpointed prefix
+// is trusted.
+func ReadCSVHead(r io.Reader, n int) ([]Row, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: ReadCSVHead: negative row count %d", n)
+	}
+	return readCSV(r, n)
+}
+
+func readCSV(r io.Reader, limit int) ([]Row, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
 	header, err := cr.Read()
@@ -74,6 +136,9 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 	}
 	var rows []Row
 	for line := 2; ; line++ {
+		if limit >= 0 && len(rows) == limit {
+			break
+		}
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break

@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"wsnlink/internal/stack"
+)
+
+// StreamSpace streams every configuration of the space through yield; see
+// StreamConfigs for the engine's semantics.
+func StreamSpace(ctx context.Context, space stack.Space, opts RunOptions, yield func(Row) error) error {
+	if err := space.Validate(); err != nil {
+		return err
+	}
+	return StreamConfigs(ctx, space.All(), opts, yield)
+}
+
+// StreamConfigs simulates the given configurations on a worker pool and
+// calls yield once per completed row, in input order, as results become
+// available. It is the campaign engine the batch helpers wrap.
+//
+// Memory is bounded: at most 2×Workers configurations are in flight
+// (simulating or completed-but-not-yet-emitted), independent of the space
+// size, so a full Table I campaign streams in O(workers) live rows.
+//
+// Cancellation: when ctx is canceled the workers abandon their current
+// configuration between packets and StreamConfigs returns an error wrapping
+// ctx.Err(). Rows emitted before the cancellation remain valid (and
+// checkpointed, if enabled).
+//
+// Checkpointing: with opts.Checkpoint set, each configuration index is
+// appended to the sidecar file after its row has been yielded (i.e. after
+// the caller has durably handled it). With opts.Resume, the checkpoint is
+// loaded, validated against the campaign fingerprint, and the recorded
+// prefix is skipped — the remaining rows are identical to those of an
+// uninterrupted run because per-configuration seeds depend only on
+// (BaseSeed, index).
+//
+// Determinism: for a fixed BaseSeed the emitted row sequence is identical
+// regardless of worker count, interruption, or resume.
+func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yield func(Row) error) error {
+	if len(cfgs) == 0 {
+		return errors.New("sweep: no configurations")
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return err
+	}
+	if yield == nil {
+		yield = func(Row) error { return nil }
+	}
+
+	start := 0
+	var ck *checkpointFile
+	if opts.Checkpoint != "" {
+		ck, err = openCheckpoint(opts.Checkpoint, campaignFingerprint(cfgs, opts), len(cfgs), opts.Resume)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		start = ck.Done()
+		if start >= len(cfgs) {
+			return nil // campaign already complete
+		}
+	}
+
+	// window bounds dispatched-but-not-yet-emitted configurations; with
+	// the pending reorder map this caps live rows at O(workers).
+	window := 2 * opts.Workers
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		row Row
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan outcome, opts.Workers)
+	tokens := make(chan struct{}, window)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				row, err := runOne(sctx, cfgs[i], i, opts)
+				if opts.Done != nil {
+					opts.Done.Add(1)
+				}
+				select {
+				case results <- outcome{idx: i, row: row, err: err}:
+				case <-sctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() { // dispatcher
+		defer close(jobs)
+		for i := start; i < len(cfgs); i++ {
+			select {
+			case tokens <- struct{}{}:
+			case <-sctx.Done():
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(results) }()
+
+	// The emitter: reorder out-of-order completions and yield the
+	// contiguous prefix. pending never exceeds window entries.
+	pending := make(map[int]outcome, window)
+	next := start
+	var failures []*ConfigError
+	var terminal error
+
+loop:
+	for out := range results {
+		pending[out.idx] = out
+		if opts.pendingGauge != nil {
+			opts.pendingGauge(len(pending))
+		}
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-tokens
+			if o.err != nil {
+				if errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) {
+					terminal = fmt.Errorf("sweep: canceled after %d of %d configurations: %w",
+						next, len(cfgs), o.err)
+					break loop
+				}
+				ce := &ConfigError{Index: next, Config: cfgs[next], Err: o.err}
+				if opts.ErrorPolicy == ContinueOnError {
+					failures = append(failures, ce)
+				} else {
+					terminal = ce
+					break loop
+				}
+			} else {
+				if err := yield(o.row); err != nil {
+					terminal = fmt.Errorf("sweep: yield row %d: %w", next, err)
+					break loop
+				}
+				if opts.OnRow != nil {
+					opts.OnRow(o.row)
+				}
+			}
+			if ck != nil {
+				if err := ck.Append(next); err != nil {
+					terminal = err
+					break loop
+				}
+			}
+			next++
+		}
+		if next == len(cfgs) {
+			break
+		}
+	}
+	cancel() // release dispatcher and any worker blocked on results
+
+	if terminal == nil && next < len(cfgs) {
+		// The result stream ended early without a terminal outcome; the
+		// only way that happens is external cancellation racing the
+		// workers' sctx.Done exit.
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		terminal = fmt.Errorf("sweep: canceled after %d of %d configurations: %w",
+			next, len(cfgs), err)
+	}
+	if terminal != nil {
+		return terminal
+	}
+	if len(failures) > 0 {
+		return &CampaignError{Failures: failures}
+	}
+	return nil
+}

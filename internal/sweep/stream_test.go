@@ -1,0 +1,316 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+// streamSpace is a 1200-configuration space — big enough to exercise the
+// acceptance scenario (a campaign of >= 1000 configurations interrupted and
+// resumed) while staying fast at tiny packet counts.
+func streamSpace() stack.Space {
+	return stack.Space{
+		DistancesM:    []float64{5, 10, 15, 20, 25},
+		TxPowers:      []phy.PowerLevel{3, 7, 11, 15, 19, 23, 27, 31},
+		MaxTries:      []int{1, 3, 5},
+		RetryDelays:   []float64{0.03},
+		QueueCaps:     []int{10},
+		PktIntervals:  []float64{0.05, 0.1},
+		PayloadsBytes: []int{20, 40, 60, 80, 110},
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	opts := RunOptions{Packets: 80, BaseSeed: 3, Fast: true}
+	batch, err := RunSpace(smallSpace(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Row
+	err = StreamSpace(context.Background(), smallSpace(), opts, func(r Row) error {
+		streamed = append(streamed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d rows, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i] != batch[i] {
+			t.Fatalf("row %d differs between stream and batch", i)
+		}
+	}
+}
+
+func TestStreamCancellationMidSweep(t *testing.T) {
+	space := streamSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err := StreamSpace(ctx, space, RunOptions{Packets: 60, BaseSeed: 1, Fast: true},
+		func(Row) error {
+			emitted++
+			if emitted == 5 {
+				cancel()
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatal("canceled sweep should error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if emitted < 5 || emitted >= space.Size() {
+		t.Fatalf("emitted %d rows of %d, want a partial prefix", emitted, space.Size())
+	}
+}
+
+func TestStreamAlreadyCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := StreamSpace(ctx, smallSpace(), RunOptions{Packets: 50, Fast: true}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestStreamWindowBounded(t *testing.T) {
+	const workers = 4
+	maxPending := 0
+	opts := RunOptions{
+		Packets: 3, BaseSeed: 2, Fast: true, Workers: workers,
+		pendingGauge: func(n int) { // called from the emitter goroutine only
+			if n > maxPending {
+				maxPending = n
+			}
+		},
+	}
+	if err := StreamSpace(context.Background(), streamSpace(), opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if maxPending == 0 {
+		t.Fatal("pending gauge never observed")
+	}
+	if maxPending > 2*workers {
+		t.Errorf("reorder buffer reached %d rows, want <= %d (O(workers))",
+			maxPending, 2*workers)
+	}
+}
+
+// invalidAt returns the small-space configurations with the given indices
+// made invalid (zero payload fails stack validation inside the simulator).
+func invalidAt(t *testing.T, idxs ...int) []stack.Config {
+	t.Helper()
+	cfgs := smallSpace().All()
+	for _, i := range idxs {
+		cfgs[i].PayloadBytes = 0
+	}
+	return cfgs
+}
+
+func TestFailFastReturnsCompletedPrefix(t *testing.T) {
+	const bad = 5
+	cfgs := invalidAt(t, bad)
+	rows, err := RunConfigs(cfgs, RunOptions{Packets: 40, Fast: true})
+	if err == nil {
+		t.Fatal("invalid config should error")
+	}
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *ConfigError", err, err)
+	}
+	if ce.Index != bad {
+		t.Errorf("failing index = %d, want %d", ce.Index, bad)
+	}
+	if len(rows) != bad {
+		t.Errorf("completed rows = %d, want the %d-row prefix", len(rows), bad)
+	}
+	for i, r := range rows {
+		if r.Config != cfgs[i] {
+			t.Errorf("row %d out of order", i)
+		}
+	}
+}
+
+func TestContinueOnErrorCollectsFailures(t *testing.T) {
+	cfgs := invalidAt(t, 2, 6)
+	rows, err := RunConfigs(cfgs, RunOptions{
+		Packets: 40, Fast: true, ErrorPolicy: ContinueOnError,
+	})
+	var camp *CampaignError
+	if !errors.As(err, &camp) {
+		t.Fatalf("err = %T %v, want *CampaignError", err, err)
+	}
+	if len(camp.Failures) != 2 ||
+		camp.Failures[0].Index != 2 || camp.Failures[1].Index != 6 {
+		t.Fatalf("failures = %+v, want indices 2 and 6", camp.Failures)
+	}
+	if len(rows) != len(cfgs)-2 {
+		t.Errorf("completed rows = %d, want %d", len(rows), len(cfgs)-2)
+	}
+	if !strings.Contains(err.Error(), "2 configurations failed") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+// TestStreamCheckpointResumeByteIdentical is the kill-and-resume acceptance
+// scenario: a >= 1000-configuration campaign is canceled mid-flight with
+// checkpointing enabled, then resumed; the concatenated CSV must be
+// byte-identical to an uninterrupted run with the same BaseSeed.
+func TestStreamCheckpointResumeByteIdentical(t *testing.T) {
+	space := streamSpace()
+	opts := RunOptions{Packets: 3, BaseSeed: 9, Fast: true}
+
+	var ref bytes.Buffer
+	refEnc := NewEncoder(&ref)
+	if err := refEnc.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	err := StreamSpace(context.Background(), space, opts, func(r Row) error {
+		return refEnc.Encode(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refEnc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckPath := filepath.Join(t.TempDir(), "sweep.ckpt")
+	var out bytes.Buffer
+	enc := NewEncoder(&out)
+	if err := enc.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := opts
+	interrupted.Checkpoint = ckPath
+	interrupted.Workers = 4
+	err = StreamSpace(ctx, space, interrupted, func(r Row) error {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+		if enc.Rows() == 400 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want wrapped context.Canceled", err)
+	}
+	ck, err := LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Done < 400 || ck.Done >= space.Size() {
+		t.Fatalf("checkpoint Done = %d, want a partial prefix of %d", ck.Done, space.Size())
+	}
+	if ck.Done != enc.Rows() {
+		t.Fatalf("checkpoint Done = %d but %d rows were encoded", ck.Done, enc.Rows())
+	}
+
+	resumed := opts
+	resumed.Checkpoint = ckPath
+	resumed.Resume = true
+	resumed.Workers = 7 // a different worker count must not change the rows
+	err = StreamSpace(context.Background(), space, resumed, func(r Row) error {
+		return enc.Encode(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Rows() != space.Size() {
+		t.Fatalf("resumed run ended with %d rows, want %d", enc.Rows(), space.Size())
+	}
+	if !bytes.Equal(ref.Bytes(), out.Bytes()) {
+		t.Fatal("interrupted+resumed CSV differs from the uninterrupted run")
+	}
+
+	// Resuming a completed campaign is a no-op.
+	calls := 0
+	err = StreamSpace(context.Background(), space, resumed, func(Row) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 0 {
+		t.Fatalf("resume of a finished campaign: err=%v, yields=%d, want nil and 0", err, calls)
+	}
+}
+
+func TestStreamCheckpointMismatchRejected(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "sweep.ckpt")
+	opts := RunOptions{Packets: 20, BaseSeed: 1, Fast: true, Checkpoint: ckPath}
+	if err := StreamSpace(context.Background(), smallSpace(), opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	other := opts
+	other.BaseSeed = 2 // different campaign identity
+	other.Resume = true
+	err := StreamSpace(context.Background(), smallSpace(), other, nil)
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("resume with mismatched seed: err = %v, want fingerprint mismatch", err)
+	}
+}
+
+func TestYieldErrorStopsStream(t *testing.T) {
+	sentinel := errors.New("disk full")
+	emitted := 0
+	err := StreamSpace(context.Background(), smallSpace(),
+		RunOptions{Packets: 30, Fast: true}, func(Row) error {
+			emitted++
+			if emitted == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped yield error", err)
+	}
+	if emitted != 3 {
+		t.Errorf("emitted = %d, want 3", emitted)
+	}
+}
+
+func TestReadCSVHead(t *testing.T) {
+	rows, err := RunConfigs(smallSpace().All()[:4], RunOptions{Packets: 30, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("torn,garbage,line") // trailing junk past the prefix
+	head, err := ReadCSVHead(bytes.NewReader(buf.Bytes()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) != 3 {
+		t.Fatalf("head rows = %d, want 3", len(head))
+	}
+	for i := range head {
+		if head[i].Config != rows[i].Config {
+			t.Errorf("head row %d mismatch", i)
+		}
+	}
+	if _, err := ReadCSVHead(bytes.NewReader(buf.Bytes()), -1); err == nil {
+		t.Error("negative head count should error")
+	}
+}

@@ -4,13 +4,20 @@
 // written to and read from CSV — the stand-in for the public dataset the
 // paper published — and converted into calibration observations for the
 // model-fitting pipeline.
+//
+// The core is the streaming engine (StreamSpace / StreamConfigs): a worker
+// pool that emits completed rows in input order through a yield callback,
+// holds only O(workers) rows live, honors context cancellation, and can
+// checkpoint progress to a sidecar file so an interrupted campaign resumes
+// exactly where it stopped. The batch helpers (RunSpace / RunConfigs) are
+// thin wrappers that collect the stream into a slice.
 package sweep
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
+	"sync/atomic"
 
 	"wsnlink/internal/channel"
 	"wsnlink/internal/metrics"
@@ -27,6 +34,49 @@ type Row struct {
 	Seed    uint64
 	Packets int
 }
+
+// ErrorPolicy selects how a campaign treats per-configuration failures.
+type ErrorPolicy int
+
+const (
+	// FailFast cancels outstanding work on the first failed configuration
+	// (the default). Rows completed before the failing index are still
+	// emitted/returned.
+	FailFast ErrorPolicy = iota
+	// ContinueOnError keeps sweeping past failed configurations. The run
+	// emits every row that completed and reports the failures afterwards
+	// as a *CampaignError.
+	ContinueOnError
+)
+
+// ConfigError reports one failed configuration.
+type ConfigError struct {
+	Index  int
+	Config stack.Config
+	Err    error
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sweep: config %d (%v): %v", e.Index, e.Config, e.Err)
+}
+
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// CampaignError aggregates the per-configuration failures of a
+// ContinueOnError campaign, in index order.
+type CampaignError struct {
+	Failures []*ConfigError
+}
+
+func (e *CampaignError) Error() string {
+	if len(e.Failures) == 1 {
+		return e.Failures[0].Error()
+	}
+	return fmt.Sprintf("sweep: %d configurations failed (first: %v)",
+		len(e.Failures), e.Failures[0])
+}
+
+func (e *CampaignError) Unwrap() error { return e.Failures[0] }
 
 // RunOptions configures a campaign.
 type RunOptions struct {
@@ -47,19 +97,51 @@ type RunOptions struct {
 	// ErrorModel overrides the paper-calibrated CC2420 model. It must be
 	// stateless (the provided phy models are value types).
 	ErrorModel phy.ErrorModel
-	// Progress, if set, is called after each configuration completes.
-	// It must be safe for concurrent use.
-	Progress func(done, total int)
+	// Done, if non-nil, is incremented atomically as each configuration
+	// finishes simulating (successfully or not). Poll it — e.g. from a
+	// ticker goroutine — for progress reporting; unlike a callback it
+	// never serializes the worker pool.
+	Done *atomic.Int64
+	// OnRow, if non-nil, is called for every emitted row, in input order,
+	// from the goroutine running the stream (after yield). Use it for
+	// lightweight observation; heavy work here backpressures the sweep.
+	OnRow func(Row)
+	// ErrorPolicy selects fail-fast (default) or collect-and-continue
+	// handling of per-configuration errors.
+	ErrorPolicy ErrorPolicy
+	// Checkpoint, when non-empty, names a sidecar file that records each
+	// configuration index as it is durably processed. A later run with
+	// Resume set picks up after the recorded prefix.
+	Checkpoint string
+	// Resume loads Checkpoint and skips the configurations it records as
+	// already processed. The checkpoint must match the campaign (same
+	// configurations, Packets, BaseSeed and Fast flag).
+	Resume bool
+
+	// pendingGauge, if set, observes the reorder-buffer size after each
+	// arrival (test instrumentation for the O(workers) memory bound).
+	pendingGauge func(n int)
 }
 
-func (o RunOptions) withDefaults() RunOptions {
+// withDefaults validates the option knobs and fills defaults. It is the
+// single normalization path shared by the batch and streaming modes.
+func (o RunOptions) withDefaults() (RunOptions, error) {
+	if o.Packets < 0 {
+		return o, fmt.Errorf("sweep: Packets must be >= 0, got %d", o.Packets)
+	}
 	if o.Packets == 0 {
 		o.Packets = 500
 	}
-	if o.Workers <= 0 {
+	if o.Workers < 0 {
+		return o, fmt.Errorf("sweep: Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	return o
+	if o.Resume && o.Checkpoint == "" {
+		return o, fmt.Errorf("sweep: Resume requires a Checkpoint path")
+	}
+	return o, nil
 }
 
 // configSeed derives a deterministic per-configuration seed (SplitMix64 of
@@ -71,61 +153,42 @@ func configSeed(base uint64, idx int) uint64 {
 	return z ^ z>>31
 }
 
-// RunSpace simulates every configuration in the space.
+// RunSpace simulates every configuration in the space. Compatibility
+// wrapper over RunSpaceContext with context.Background().
 func RunSpace(space stack.Space, opts RunOptions) ([]Row, error) {
+	return RunSpaceContext(context.Background(), space, opts)
+}
+
+// RunSpaceContext simulates every configuration in the space, honoring ctx.
+func RunSpaceContext(ctx context.Context, space stack.Space, opts RunOptions) ([]Row, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
-	return RunConfigs(space.All(), opts)
+	return RunConfigsContext(ctx, space.All(), opts)
 }
 
 // RunConfigs simulates the given configurations in parallel, returning rows
 // in input order. The run is deterministic for a fixed BaseSeed regardless
-// of worker count.
+// of worker count. Compatibility wrapper over RunConfigsContext.
 func RunConfigs(cfgs []stack.Config, opts RunOptions) ([]Row, error) {
-	if len(cfgs) == 0 {
-		return nil, errors.New("sweep: no configurations")
-	}
-	opts = opts.withDefaults()
-
-	rows := make([]Row, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var done int
-	var doneMu sync.Mutex
-
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				rows[i], errs[i] = runOne(cfgs[i], i, opts)
-				if opts.Progress != nil {
-					doneMu.Lock()
-					done++
-					d := done
-					doneMu.Unlock()
-					opts.Progress(d, len(cfgs))
-				}
-			}
-		}()
-	}
-	for i := range cfgs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep: config %d (%v): %w", i, cfgs[i], err)
-		}
-	}
-	return rows, nil
+	return RunConfigsContext(context.Background(), cfgs, opts)
 }
 
-func runOne(cfg stack.Config, idx int, opts RunOptions) (Row, error) {
+// RunConfigsContext collects the stream into a slice. Rows that completed
+// before an error (cancellation, a FailFast failure, or the skipped entries
+// of a ContinueOnError run) are returned alongside the non-nil error, so
+// partial work is never discarded.
+func RunConfigsContext(ctx context.Context, cfgs []stack.Config, opts RunOptions) ([]Row, error) {
+	rows := make([]Row, 0, len(cfgs))
+	err := StreamConfigs(ctx, cfgs, opts, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	return rows, err
+}
+
+// runOne simulates a single configuration at its derived seed.
+func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions) (Row, error) {
 	seed := configSeed(opts.BaseSeed, idx)
 	simOpts := sim.Options{
 		Packets:    opts.Packets,
@@ -138,9 +201,9 @@ func runOne(cfg stack.Config, idx int, opts RunOptions) (Row, error) {
 		err error
 	)
 	if opts.Fast {
-		res, err = sim.RunFast(cfg, simOpts)
+		res, err = sim.RunFastContext(ctx, cfg, simOpts)
 	} else {
-		res, err = sim.Run(cfg, simOpts)
+		res, err = sim.RunContext(ctx, cfg, simOpts)
 	}
 	if err != nil {
 		return Row{}, err

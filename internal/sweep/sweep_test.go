@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"math"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"testing"
 
 	"wsnlink/internal/models"
@@ -77,29 +77,40 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-func TestRunProgressCallback(t *testing.T) {
-	var mu sync.Mutex
-	calls := 0
-	last := 0
-	_, err := RunConfigs(smallSpace().All(), RunOptions{
+func TestRunProgressCounterAndOnRow(t *testing.T) {
+	var done atomic.Int64
+	var onRow []Row
+	rows, err := RunConfigs(smallSpace().All(), RunOptions{
 		Packets: 50, Fast: true,
-		Progress: func(done, total int) {
-			mu.Lock()
-			defer mu.Unlock()
-			calls++
-			if done > last {
-				last = done
-			}
-			if total != smallSpace().Size() {
-				t.Errorf("total = %d", total)
-			}
-		},
+		Done:  &done,
+		OnRow: func(r Row) { onRow = append(onRow, r) }, // emitter goroutine: no locking needed
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != smallSpace().Size() || last != smallSpace().Size() {
-		t.Errorf("progress calls = %d, last done = %d", calls, last)
+	if got := done.Load(); got != int64(smallSpace().Size()) {
+		t.Errorf("Done counter = %d, want %d", got, smallSpace().Size())
+	}
+	if len(onRow) != len(rows) {
+		t.Fatalf("OnRow saw %d rows, want %d", len(onRow), len(rows))
+	}
+	for i := range rows {
+		if onRow[i].Config != rows[i].Config {
+			t.Errorf("OnRow row %d out of order", i)
+		}
+	}
+}
+
+func TestRunOptionsValidation(t *testing.T) {
+	cfgs := smallSpace().All()
+	if _, err := RunConfigs(cfgs, RunOptions{Packets: -1}); err == nil {
+		t.Error("negative Packets should error")
+	}
+	if _, err := RunConfigs(cfgs, RunOptions{Workers: -2}); err == nil {
+		t.Error("negative Workers should error")
+	}
+	if _, err := RunConfigs(cfgs, RunOptions{Resume: true}); err == nil {
+		t.Error("Resume without Checkpoint should error")
 	}
 }
 

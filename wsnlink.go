@@ -20,6 +20,8 @@
 package wsnlink
 
 import (
+	"context"
+
 	"wsnlink/internal/channel"
 	"wsnlink/internal/metrics"
 	"wsnlink/internal/models"
@@ -55,12 +57,31 @@ type (
 	Report = metrics.Report
 )
 
+// SimulateContext runs one configuration on the event-driven simulator,
+// checking ctx for cancellation and deadline between packets. This is the
+// context-first entry point; Simulate is the compatibility wrapper.
+func SimulateContext(ctx context.Context, cfg Config, opts SimOptions) (SimResult, error) {
+	return sim.RunContext(ctx, cfg, opts)
+}
+
+// SimulateFastContext runs one configuration on the Monte-Carlo fast path
+// with cancellation checked between packets.
+func SimulateFastContext(ctx context.Context, cfg Config, opts SimOptions) (SimResult, error) {
+	return sim.RunFastContext(ctx, cfg, opts)
+}
+
 // Simulate runs one configuration on the event-driven simulator.
+//
+// Compatibility wrapper: equivalent to SimulateContext with
+// context.Background(). New code that may need to cancel long runs should
+// call SimulateContext.
 func Simulate(cfg Config, opts SimOptions) (SimResult, error) {
 	return sim.Run(cfg, opts)
 }
 
 // SimulateFast runs one configuration on the Monte-Carlo fast path.
+//
+// Compatibility wrapper over SimulateFastContext with context.Background().
 func SimulateFast(cfg Config, opts SimOptions) (SimResult, error) {
 	return sim.RunFast(cfg, opts)
 }
@@ -75,13 +96,61 @@ func DefaultChannel() ChannelParams { return channel.DefaultParams() }
 type (
 	// SweepRow is one aggregated configuration result.
 	SweepRow = sweep.Row
-	// SweepOptions configures a campaign run.
+	// SweepOptions configures a campaign run: scale knobs (Packets,
+	// BaseSeed, Workers, Fast), progress plumbing (Done, OnRow), the
+	// per-configuration error policy, and checkpoint/resume paths. The
+	// knobs are validated once on entry; batch and streaming modes share
+	// the same defaulting path.
 	SweepOptions = sweep.RunOptions
+	// SweepCheckpoint describes a campaign's resumable progress.
+	SweepCheckpoint = sweep.Checkpoint
+	// SweepConfigError reports one failed configuration.
+	SweepConfigError = sweep.ConfigError
+	// SweepCampaignError aggregates failures from a collect-and-continue
+	// campaign.
+	SweepCampaignError = sweep.CampaignError
 )
 
+// Error policies for SweepOptions.ErrorPolicy.
+const (
+	// SweepFailFast cancels the campaign on the first failed
+	// configuration (default).
+	SweepFailFast = sweep.FailFast
+	// SweepContinueOnError completes every runnable configuration and
+	// reports the failures afterwards as a *SweepCampaignError.
+	SweepContinueOnError = sweep.ContinueOnError
+)
+
+// SweepStream is the context-first campaign engine: it simulates every
+// configuration of the space on a worker pool and calls yield once per
+// completed row, in input order, holding only O(workers) rows in memory.
+// Cancel ctx to stop the campaign early; set opts.Checkpoint (and
+// opts.Resume on a later run) to make it restartable. For a fixed
+// opts.BaseSeed the emitted rows are identical regardless of worker count,
+// interruption, or resume.
+func SweepStream(ctx context.Context, space Space, opts SweepOptions, yield func(SweepRow) error) error {
+	return sweep.StreamSpace(ctx, space, opts, yield)
+}
+
+// SweepContext collects a campaign into a slice, honoring ctx. Rows
+// completed before an error are returned alongside the non-nil error.
+func SweepContext(ctx context.Context, space Space, opts SweepOptions) ([]SweepRow, error) {
+	return sweep.RunSpaceContext(ctx, space, opts)
+}
+
 // Sweep simulates every configuration of a space in parallel.
+//
+// Compatibility wrapper: equivalent to SweepContext with
+// context.Background(). It materializes every row, so prefer SweepStream
+// for campaign-scale spaces or when cancellation/resume matters.
 func Sweep(space Space, opts SweepOptions) ([]SweepRow, error) {
 	return sweep.RunSpace(space, opts)
+}
+
+// LoadSweepCheckpoint reads a checkpoint sidecar written by a checkpointed
+// sweep, e.g. to align an output file with the resumable prefix.
+func LoadSweepCheckpoint(path string) (SweepCheckpoint, error) {
+	return sweep.LoadCheckpoint(path)
 }
 
 // Empirical models (Table III).
