@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-json verify
+
+# Benchmarks the committed BENCH_0.json baseline tracks: sweep throughput,
+# the per-configuration fast path, and the telemetry overhead pair
+# (BenchmarkObsNilOverhead must stay at 0 allocs/op).
+BASELINE_BENCH = BenchmarkSweepStreaming|BenchmarkRunFast|BenchmarkObsNilOverhead|BenchmarkObsEnabledOverhead
 
 build:
 	$(GO) build ./...
@@ -14,13 +19,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sweep engine and simulator are the concurrency-heavy packages; run
-# them under the race detector.
+# The sweep engine, simulator and telemetry layer are the concurrency-heavy
+# packages; run them (and the CLI e2e tests) under the race detector.
 race:
-	$(GO) test -race ./internal/sweep ./internal/sim
+	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./cmd/wsnsweep
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Regenerate the committed benchmark baseline as JSON.
+bench-json:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCH)' -benchmem . ./internal/obs \
+		| /tmp/benchjson > BENCH_0.json
 
 # The full quality gate (DESIGN.md §5).
 verify: build vet test race

@@ -111,6 +111,21 @@ func BenchmarkSimFast(b *testing.B) {
 	}
 }
 
+// BenchmarkRunFast measures a single fast-path run through the public
+// facade — the per-configuration cost a campaign pays — on the same
+// workload as BenchmarkSimFast, so facade overhead is directly visible.
+func BenchmarkRunFast(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wsnlink.SimulateFast(cfg, wsnlink.SimOptions{
+			Packets: 1000, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSweep16 measures parallel sweep throughput over 16 configurations.
 func BenchmarkSweep16(b *testing.B) {
 	space := stack.Space{

@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// stable JSON document, so benchmark baselines can be committed and diffed
+// (BENCH_0.json) without scraping free-form text downstream.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_0.json
+//
+// Non-benchmark lines (PASS, ok, test log output) are ignored; the goos /
+// goarch / pkg / cpu context lines the test binary prints are carried into
+// the output so a baseline records the machine it was taken on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Pkg is the package the benchmark belongs to (from the nearest
+	// preceding "pkg:" context line; empty if none was seen).
+	Pkg        string  `json:"pkg,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are -1 when -benchmem was not in effect.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "rows/s").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Output is the document benchjson emits.
+type Output struct {
+	Schema     string      `json:"schema"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+const schema = "wsnlink-bench/v1"
+
+func main() {
+	out, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go test benchmark output and returns the document.
+func parse(r io.Reader) (Output, error) {
+	out := Output{Schema: schema}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				b.Pkg = pkg
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Output{}, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return Output{}, fmt.Errorf("no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   8.9 rows/s
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wsnlink
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunFast-8   	    2050	    585000 ns/op	  131400 B/op	      15 allocs/op
+BenchmarkSweepStreaming-8   	     126	   9500000 ns/op	 2100000 B/op	   12000 allocs/op
+PASS
+ok  	wsnlink	3.456s
+pkg: wsnlink/internal/obs
+BenchmarkObsNilOverhead   	84000000	        14.13 ns/op	       0 B/op	       0 allocs/op
+BenchmarkObsEnabledOverhead-4 	 5000000	       228.1 ns/op	       0 B/op	       0 allocs/op	     100 rows/s
+PASS
+ok  	wsnlink/internal/obs	2.1s
+`
+
+func TestParse(t *testing.T) {
+	out, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != schema {
+		t.Errorf("schema = %q", out.Schema)
+	}
+	if out.Goos != "linux" || out.Goarch != "amd64" || !strings.Contains(out.CPU, "Xeon") {
+		t.Errorf("context = %q/%q/%q", out.Goos, out.Goarch, out.CPU)
+	}
+	if len(out.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(out.Benchmarks))
+	}
+
+	rf := out.Benchmarks[0]
+	if rf.Name != "BenchmarkRunFast" || rf.Procs != 8 || rf.Pkg != "wsnlink" {
+		t.Errorf("first = %+v", rf)
+	}
+	if rf.Iterations != 2050 || rf.NsPerOp != 585000 || rf.BytesPerOp != 131400 || rf.AllocsPerOp != 15 {
+		t.Errorf("first metrics = %+v", rf)
+	}
+
+	nil_ := out.Benchmarks[2]
+	if nil_.Name != "BenchmarkObsNilOverhead" || nil_.Procs != 1 {
+		t.Errorf("no-suffix name = %+v", nil_)
+	}
+	if nil_.Pkg != "wsnlink/internal/obs" {
+		t.Errorf("pkg context not tracked across packages: %q", nil_.Pkg)
+	}
+	if nil_.AllocsPerOp != 0 || nil_.NsPerOp != 14.13 {
+		t.Errorf("nil overhead metrics = %+v", nil_)
+	}
+
+	en := out.Benchmarks[3]
+	if en.Extra["rows/s"] != 100 {
+		t.Errorf("custom metric lost: %+v", en.Extra)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("input without benchmark lines should error")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanint 12 ns/op",
+		"BenchmarkX 10 nan-value ns/op no",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted garbage", line)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"syscall"
 
 	"wsnlink/internal/experiments"
+	"wsnlink/internal/obs"
 )
 
 func main() {
@@ -35,15 +37,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
-		list     = fs.Bool("list", false, "list experiment IDs and exit")
-		packets  = fs.Int("packets", 400, "packets per configuration (paper: 4500)")
-		seed     = fs.Uint64("seed", 1, "base RNG seed")
-		fullDES  = fs.Bool("des", false, "use the full event-driven simulator instead of the fast path")
-		workers  = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		markdown = fs.Bool("markdown", false, "emit the EXPERIMENTS.md paper-vs-measured report")
-		svgDir   = fs.String("svg", "", "also write figures as SVG files into this directory")
-		dataDir  = fs.String("data", "", "also write figure data as CSV files into this directory")
+		exp        = fs.String("exp", "all", "experiment ID (see -list) or 'all'")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		packets    = fs.Int("packets", 400, "packets per configuration (paper: 4500)")
+		seed       = fs.Uint64("seed", 1, "base RNG seed")
+		fullDES    = fs.Bool("des", false, "use the full event-driven simulator instead of the fast path")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		markdown   = fs.Bool("markdown", false, "emit the EXPERIMENTS.md paper-vs-measured report")
+		svgDir     = fs.String("svg", "", "also write figures as SVG files into this directory")
+		dataDir    = fs.String("data", "", "also write figure data as CSV files into this directory")
+		metricsOut = fs.String("metrics-out", "", "write the final telemetry snapshot JSON to this path")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		FullDES: *fullDES,
 		Workers: *workers,
 		Context: ctx,
+	}
+	if *metricsOut != "" || *pprofAddr != "" {
+		opts.Obs = obs.New()
+	}
+	if *pprofAddr != "" {
+		obs.PublishExpvar("wsnbench", opts.Obs)
+		dbg, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof (telemetry: /debug/vars)\n", dbg.Addr)
+	}
+	if *metricsOut != "" {
+		// Written on every exit path: experiment telemetry is most useful
+		// exactly when a long run was interrupted partway.
+		defer func() {
+			if err := writeSnapshot(*metricsOut, opts.Obs.Snapshot()); err != nil {
+				fmt.Fprintln(stderr, "wsnbench:", err)
+			}
+		}()
 	}
 	if *markdown {
 		return experiments.WriteMarkdownReport(opts, stdout)
@@ -109,4 +134,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	r.Render(stdout)
 	return nil
+}
+
+// writeSnapshot dumps a telemetry snapshot as indented JSON.
+func writeSnapshot(path string, snap obs.Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode metrics snapshot: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -9,29 +9,39 @@
 // crash) can then be continued with -resume and produces a dataset
 // byte-identical to an uninterrupted run with the same seed.
 //
+// Observability: a completed file-backed run writes a JSON run manifest
+// (campaign fingerprint, seed, parameter space, row count, wall time and a
+// telemetry snapshot) next to the CSV; -metrics-out dumps the telemetry
+// snapshot separately (also on interruption), and -pprof serves
+// /debug/pprof and /debug/vars while the campaign runs.
+//
 // Usage:
 //
 //	wsnsweep -out dataset.csv                   # scaled default (500 pkts/config)
 //	wsnsweep -out full.csv -packets 4500        # paper-scale statistics
-//	wsnsweep -out quick.csv -distances 35 -progress
+//	wsnsweep -out quick.csv -distances 35 -powers 31 -payloads 110 -progress
 //	wsnsweep -out full.csv -checkpoint full.ckpt    # restartable campaign
 //	wsnsweep -out full.csv -checkpoint full.ckpt -resume   # continue it
+//	wsnsweep -out full.csv -pprof localhost:6060    # live profiling/telemetry
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"wsnlink/internal/obs"
+	"wsnlink/internal/phy"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
@@ -56,8 +66,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		progress   = fs.Bool("progress", false, "print progress to stderr")
 		distances  = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
+		powers     = fs.String("powers", "", "comma-separated TX power-level subset, e.g. 31")
+		payloads   = fs.String("payloads", "", "comma-separated payload-bytes subset, e.g. 20,110")
 		checkpoint = fs.String("checkpoint", "", "checkpoint sidecar path (enables restartable runs)")
 		resume     = fs.Bool("resume", false, "continue from the checkpoint (default sidecar: <out>.ckpt)")
+		manifest   = fs.String("manifest", "", "run manifest path (default: <out>.manifest.json; 'none' disables)")
+		metricsOut = fs.String("metrics-out", "", "write the final telemetry snapshot JSON to this path")
+		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address, e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,15 +80,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	space := stack.DefaultSpace()
 	if *distances != "" {
-		var ds []float64
-		for _, tok := range strings.Split(*distances, ",") {
-			d, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-			if err != nil {
-				return fmt.Errorf("bad distance %q: %w", tok, err)
-			}
-			ds = append(ds, d)
+		ds, err := parseFloats(*distances)
+		if err != nil {
+			return fmt.Errorf("bad -distances: %w", err)
 		}
 		space.DistancesM = ds
+	}
+	if *powers != "" {
+		ps, err := parseInts(*powers)
+		if err != nil {
+			return fmt.Errorf("bad -powers: %w", err)
+		}
+		space.TxPowers = space.TxPowers[:0]
+		for _, p := range ps {
+			space.TxPowers = append(space.TxPowers, phy.PowerLevel(p))
+		}
+	}
+	if *payloads != "" {
+		ls, err := parseInts(*payloads)
+		if err != nil {
+			return fmt.Errorf("bad -payloads: %w", err)
+		}
+		space.PayloadsBytes = ls
 	}
 	if err := space.Validate(); err != nil {
 		return err
@@ -88,6 +116,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			*checkpoint = *out + ".ckpt"
 		}
 	}
+	switch {
+	case *manifest == "none":
+		*manifest = ""
+	case *manifest == "" && *out != "-":
+		*manifest = *out + ".manifest.json"
+	}
 
 	opts := sweep.RunOptions{
 		Packets:    *packets,
@@ -96,6 +130,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Workers:    *workers,
 		Checkpoint: *checkpoint,
 		Resume:     *resume,
+	}
+
+	// Telemetry is armed whenever something consumes it (manifest,
+	// snapshot dump, or the live debug endpoint); otherwise the engine
+	// runs on the allocation-free nil path.
+	if *manifest != "" || *metricsOut != "" || *pprofAddr != "" {
+		opts.Metrics = obs.New()
+	}
+	var prog sweep.Progress
+	opts.Progress = &prog
+	if *pprofAddr != "" {
+		obs.PublishExpvar("wsnsweep", opts.Metrics)
+		dbg, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof (telemetry: /debug/vars)\n", dbg.Addr)
 	}
 
 	// Open the output and position the encoder. On resume, only the
@@ -148,10 +200,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stderr)
 
-	var counter atomic.Int64
-	counter.Store(int64(done))
 	if *progress {
-		opts.Done = &counter
 		stopProgress := make(chan struct{})
 		defer close(stopProgress)
 		go func() {
@@ -160,7 +209,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			for {
 				select {
 				case <-t.C:
-					fmt.Fprintf(stderr, "\r%d/%d configurations", counter.Load(), len(cfgs))
+					s := prog.Snapshot()
+					fmt.Fprintf(stderr, "\r%d/%d configurations (%d errors)",
+						s.Done, len(cfgs), s.Errors)
 				case <-stopProgress:
 					return
 				}
@@ -168,6 +219,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	wallStart := time.Now()
 	err := sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
 		if err := enc.Encode(r); err != nil {
 			return err
@@ -176,8 +228,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// always at least as long as the checkpoint says.
 		return enc.Flush()
 	})
+	wall := time.Since(wallStart)
 	if *progress {
 		fmt.Fprintln(stderr)
+	}
+	if *metricsOut != "" {
+		// Dump telemetry even for an interrupted run — partial campaigns
+		// are exactly when the stage breakdown is wanted.
+		if werr := writeSnapshot(*metricsOut, opts.Metrics.Snapshot()); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(stderr, "wsnsweep:", werr)
+			}
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
@@ -187,7 +251,107 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %d rows to %s\n", enc.Rows(), *out)
+
+	if *manifest != "" {
+		man := buildManifest(space, cfgs, opts, *resume, done, enc.Rows(), wall)
+		if err := man.WriteFile(*manifest); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote manifest to %s\n", *manifest)
+	}
 	return nil
+}
+
+// buildManifest assembles the run's reproducibility record. The volatile
+// fields (wall time, rates inside the metric snapshot) differ between
+// runs; the identity fields (fingerprint, seed, space, rows) are what a
+// kill-and-resume run must reproduce exactly.
+func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions,
+	resumed bool, resumedFrom, rows int, wall time.Duration) obs.Manifest {
+	man := obs.Manifest{
+		Schema:      obs.ManifestSchema,
+		Tool:        "wsnsweep",
+		GoVersion:   runtime.Version(),
+		Fingerprint: obs.FormatFingerprint(sweep.CampaignFingerprint(cfgs, opts)),
+		BaseSeed:    opts.BaseSeed,
+		Packets:     opts.Packets,
+		Fast:        opts.Fast,
+		Configs:     len(cfgs),
+		Rows:        rows,
+		Resumed:     resumed,
+		ResumedFrom: resumedFrom,
+		Axes:        spaceAxes(space),
+		WallTimeS:   wall.Seconds(),
+	}
+	if opts.Metrics != nil {
+		snap := opts.Metrics.Snapshot()
+		man.Metrics = &snap
+	}
+	return man
+}
+
+// spaceAxes summarizes the swept parameter space for the manifest.
+func spaceAxes(s stack.Space) []obs.Axis {
+	fs := func(vs []float64) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		return strings.Join(parts, ",")
+	}
+	is := func(vs []int) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = strconv.Itoa(v)
+		}
+		return strings.Join(parts, ",")
+	}
+	ps := make([]int, len(s.TxPowers))
+	for i, p := range s.TxPowers {
+		ps[i] = int(p)
+	}
+	return []obs.Axis{
+		{Name: "distance_m", Count: len(s.DistancesM), Values: fs(s.DistancesM)},
+		{Name: "tx_power", Count: len(s.TxPowers), Values: is(ps)},
+		{Name: "max_tries", Count: len(s.MaxTries), Values: is(s.MaxTries)},
+		{Name: "retry_delay_s", Count: len(s.RetryDelays), Values: fs(s.RetryDelays)},
+		{Name: "queue_cap", Count: len(s.QueueCaps), Values: is(s.QueueCaps)},
+		{Name: "pkt_interval_s", Count: len(s.PktIntervals), Values: fs(s.PktIntervals)},
+		{Name: "payload_bytes", Count: len(s.PayloadsBytes), Values: is(s.PayloadsBytes)},
+	}
+}
+
+// writeSnapshot dumps a telemetry snapshot as indented JSON.
+func writeSnapshot(path string, snap obs.Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode metrics snapshot: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", tok, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", tok, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // readPrefix returns the first done rows of an existing dataset; a missing

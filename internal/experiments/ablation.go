@@ -60,6 +60,7 @@ func RunAblationRadio(opts Options) (AblationRadioResult, error) {
 				}
 				r, err := sim.RunFast(cfg, sim.Options{
 					Packets: opts.Packets, Seed: opts.Seed, ErrorModel: em,
+					Obs: opts.Obs,
 				})
 				if err != nil {
 					return 0, err

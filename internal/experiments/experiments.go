@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"wsnlink/internal/obs"
 	"wsnlink/internal/sweep"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	// context.Background()); wsnbench wires SIGINT/SIGTERM here so a
 	// long experiment run shuts down gracefully.
 	Context context.Context
+	// Obs, if non-nil, receives telemetry from every sweep and
+	// simulation an experiment performs (wsnbench wires -metrics-out
+	// and -pprof here). nil disables instrumentation at zero cost.
+	Obs *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +66,7 @@ func (o Options) runOptions(seedOffset uint64) sweep.RunOptions {
 		BaseSeed: o.Seed + seedOffset,
 		Fast:     !o.FullDES,
 		Workers:  o.Workers,
+		Metrics:  o.Obs,
 	}
 }
 

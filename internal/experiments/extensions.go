@@ -67,6 +67,7 @@ func RunExtInterference(opts Options) (ExtInterferenceResult, error) {
 		}
 		r, err := sim.Run(cfg, sim.Options{
 			Packets: opts.Packets, Seed: opts.Seed, Channel: &ch, ErrorModel: jam,
+			Obs: opts.Obs,
 		})
 		if err != nil {
 			return ExtInterferenceResult{}, err

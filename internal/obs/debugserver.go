@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"time"
+)
+
+// DebugServer is a best-effort HTTP endpoint exposing the standard Go
+// diagnostics: /debug/pprof/* (CPU, heap, goroutine, ...) and /debug/vars
+// (expvar, including any PublishExpvar'd Metrics). It exists so a
+// multi-hour campaign can be profiled and watched without being restarted
+// under a profiler.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeDebug starts the diagnostics server on addr ("host:port"; ":0"
+// picks a free port) and serves in a background goroutine until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+	d := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Close stops the server and releases the port.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestManifestGolden pins the manifest byte layout. Analysis tooling diffs
+// manifests across runs, so field order, indentation and number formatting
+// are part of the on-disk contract: any diff here is a schema change and
+// must come with a ManifestSchema bump.
+func TestManifestGolden(t *testing.T) {
+	// Every field fixed; histogram/stage data built from deterministic
+	// observations so the embedded telemetry snapshot is byte-stable.
+	h := mustHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(0.02)
+	h.Observe(5)
+	w := mustHistogram(LinearBuckets(1, 1, 4))
+	w.Observe(1)
+	w.Observe(2)
+	snap := Snapshot{
+		ElapsedS:      2.5,
+		ConfigsDone:   4,
+		RowsEmitted:   4,
+		Errors:        1,
+		Packets:       1600,
+		ConfigsPerSec: 1.6,
+		RowsPerSec:    1.6,
+		PacketsPerSec: 640,
+		Window:        GaugeSnapshot{Last: 1, Max: 3},
+		ConfigWall:    h.Snapshot(),
+		WindowOcc:     w.Snapshot(),
+		Stages: []StageSnapshot{
+			{Name: "dispatch", Clock: "wall", Count: 4, Seconds: 0.001},
+			{Name: "simulate", Clock: "wall", Count: 4, Seconds: 2.4},
+			{Name: "queue", Clock: "sim", Count: 1600, Seconds: 12.75},
+		},
+	}
+	m := Manifest{
+		Schema:      ManifestSchema,
+		Tool:        "wsnsweep",
+		GoVersion:   "go1.24.0",
+		Fingerprint: FormatFingerprint(0x1f2e3d4c5b6a7988),
+		BaseSeed:    1,
+		Packets:     400,
+		Fast:        true,
+		Configs:     120,
+		Rows:        120,
+		Resumed:     false,
+		ResumedFrom: 0,
+		Axes: []Axis{
+			{Name: "distance_m", Count: 1, Values: "35"},
+			{Name: "tx_power", Count: 2, Values: "3,31"},
+			{Name: "payload_bytes", Count: 2, Values: "20,110"},
+		},
+		WallTimeS: 2.5,
+		Metrics:   &snap,
+	}
+	got, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "manifest.golden", got)
+}
+
+// compareGolden byte-compares got against testdata/<name>, rewriting the
+// file when -update is set.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update after an intended schema change)\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ManifestSchema identifies the manifest format; bump on any incompatible
+// field change (the golden-file test pins the byte layout).
+const ManifestSchema = "wsnlink-run-manifest/v1"
+
+// Axis summarizes one swept parameter axis for the manifest.
+type Axis struct {
+	Name   string `json:"name"`
+	Count  int    `json:"count"`
+	Values string `json:"values"` // comma-separated, as-given order
+}
+
+// Manifest is the reproducibility record a campaign run writes next to its
+// dataset: everything needed to re-run the campaign (fingerprint, seed,
+// scale, parameter space) plus the run's outcome and telemetry. Field
+// order and encoding are part of the on-disk contract — analysis tooling
+// diffs manifests across runs — and are locked by a golden-file test.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	Tool        string `json:"tool"`
+	GoVersion   string `json:"go_version"`
+	Fingerprint string `json:"fingerprint"` // 16 hex digits, same value as the checkpoint sidecar
+	BaseSeed    uint64 `json:"base_seed"`
+	Packets     int    `json:"packets"`
+	Fast        bool   `json:"fast"`
+	Configs     int    `json:"configs"`
+	Rows        int    `json:"rows"`
+	Resumed     bool   `json:"resumed"`
+	ResumedFrom int    `json:"resumed_from"`
+	Axes        []Axis `json:"axes,omitempty"`
+
+	WallTimeS float64   `json:"wall_time_s"`
+	Metrics   *Snapshot `json:"metrics,omitempty"`
+}
+
+// FormatFingerprint renders a campaign fingerprint the way the checkpoint
+// sidecar and the manifest spell it.
+func FormatFingerprint(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// Encode renders the manifest as indented JSON with a trailing newline.
+// The encoding is deterministic for fixed field values.
+func (m Manifest) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: encode manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the manifest atomically (temp file + rename), so a
+// crash mid-write never leaves a torn manifest next to a good dataset.
+func (m Manifest) WriteFile(path string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads and validates a manifest file.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("obs: parse manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return Manifest{}, fmt.Errorf("obs: manifest %s has schema %q, want %q",
+			path, m.Schema, ManifestSchema)
+	}
+	return m, nil
+}

@@ -9,6 +9,7 @@ import (
 	"wsnlink/internal/channel"
 	"wsnlink/internal/frame"
 	"wsnlink/internal/mac"
+	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/stack"
 )
@@ -55,6 +56,7 @@ func RunFastContext(ctx context.Context, cfg stack.Config, opts Options) (Result
 		txDBm:        cfg.TxPower.DBm(),
 		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
 		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
+		obs:          opts.Obs,
 	}
 	return f.run(ctx)
 }
@@ -72,6 +74,7 @@ type fastSim struct {
 	counters     Counters
 	records      []PacketRecord
 	lastEnd      float64
+	obs          *obs.Metrics // optional telemetry sink (nil = disabled)
 }
 
 func (f *fastSim) advanceChannel(t float64) {
@@ -108,6 +111,9 @@ func (f *fastSim) run(ctx context.Context) (Result, error) {
 
 		rec := PacketRecord{ID: i, GenTime: arrival}
 		f.counters.Generated++
+		if f.obs != nil {
+			f.obs.StageAddSim(obs.StageGenerator, 0)
+		}
 
 		waiting := len(departures)
 		if waiting > 0 {
@@ -138,6 +144,9 @@ func (f *fastSim) run(ctx context.Context) (Result, error) {
 		f.finish(rec)
 	}
 
+	if f.obs != nil {
+		f.obs.AddPackets(int64(f.counters.Generated))
+	}
 	return Result{
 		Config:   f.cfg,
 		Duration: f.lastEnd,
@@ -202,6 +211,9 @@ func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
 
 	if !rec.Delivered {
 		f.counters.RadioDrops++
+	}
+	if f.obs != nil {
+		recordPacketStages(f.obs, rec, t, frameTime)
 	}
 	rec.ServiceEnd = t
 	f.counters.SumServiceTime += t - start

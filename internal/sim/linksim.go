@@ -9,6 +9,7 @@ import (
 	"wsnlink/internal/channel"
 	"wsnlink/internal/frame"
 	"wsnlink/internal/mac"
+	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/queue"
 	"wsnlink/internal/stack"
@@ -80,6 +81,10 @@ type Options struct {
 	Channel *channel.Params
 	// RecordPackets keeps the full per-packet log in the Result.
 	RecordPackets bool
+	// Obs, if non-nil, receives pipeline telemetry: per-stage simulated
+	// time (generator → queue → MAC → channel → RX) and the packet
+	// counter. nil (the default) adds no overhead beyond a pointer test.
+	Obs *obs.Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +127,7 @@ type LinkSim struct {
 
 	ctx     context.Context // cancellation, checked between packet generations
 	stopErr error           // first cancellation error observed
+	obs     *obs.Metrics    // optional telemetry sink (nil = disabled)
 }
 
 // NewLinkSim validates the configuration and builds a simulator.
@@ -153,7 +159,29 @@ func NewLinkSim(cfg stack.Config, opts Options) (*LinkSim, error) {
 		txDBm:        cfg.TxPower.DBm(),
 		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
 		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
+		obs:          opts.Obs,
 	}, nil
+}
+
+// recordPacketStages splits one serviced packet's simulated timeline into
+// the pipeline stages: queue wait, on-air frame time (channel), receive
+// listening (ACK + ACK-wait), and the CSMA-CA remainder (SPI load,
+// backoffs, turnaround, retry delays) as MAC. end is the service-end time,
+// frameTime one frame's air time. Callers guard m != nil so the disabled
+// path costs nothing.
+func recordPacketStages(m *obs.Metrics, rec *PacketRecord, end, frameTime float64) {
+	total := end - rec.ServiceStart
+	air := float64(rec.Tries) * frameTime
+	var rx float64
+	if rec.Acked {
+		rx = mac.AckTime + float64(rec.Tries-1)*mac.AckWaitTimeout
+	} else {
+		rx = float64(rec.Tries) * mac.AckWaitTimeout
+	}
+	m.StageAddSim(obs.StageQueue, rec.ServiceStart-rec.GenTime)
+	m.StageAddSim(obs.StageChannel, air)
+	m.StageAddSim(obs.StageRX, rx)
+	m.StageAddSim(obs.StageMAC, total-air-rx)
 }
 
 // Run executes the configured number of packets and returns the result.
@@ -180,6 +208,9 @@ func (s *LinkSim) RunContext(ctx context.Context) (Result, error) {
 			return Result{}, s.stopErr
 		}
 	}
+	if s.obs != nil {
+		s.obs.AddPackets(int64(s.counters.Generated))
+	}
 	return Result{
 		Config:   s.cfg,
 		Duration: s.lastEnd,
@@ -199,6 +230,9 @@ func (s *LinkSim) runSaturated(ctx context.Context) error {
 		}
 		rec := &PacketRecord{ID: i, GenTime: s.engine.Now()}
 		s.counters.Generated++
+		if s.obs != nil {
+			s.obs.StageAddSim(obs.StageGenerator, 0)
+		}
 		s.startService(rec)
 		s.engine.RunUntilIdle()
 	}
@@ -226,6 +260,9 @@ func (s *LinkSim) generate(i int) {
 	}
 	rec := &PacketRecord{ID: i, GenTime: s.engine.Now(), QueueLen: s.sendQ.Len()}
 	s.counters.Generated++
+	if s.obs != nil {
+		s.obs.StageAddSim(obs.StageGenerator, 0)
+	}
 	s.counters.SumQueueOccupancy += float64(s.sendQ.Len())
 	s.counters.ArrivalsSeen++
 	if s.sendQ.Len() > s.counters.MaxQueueOccupancy {
@@ -317,6 +354,9 @@ func (s *LinkSim) startService(rec *PacketRecord) {
 
 	if !rec.Delivered {
 		s.counters.RadioDrops++
+	}
+	if s.obs != nil {
+		recordPacketStages(s.obs, rec, t, frameTime)
 	}
 
 	if _, err := s.engine.At(t, func() { s.completeService(rec) }); err != nil {

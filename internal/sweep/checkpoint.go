@@ -98,6 +98,13 @@ func loadCheckpoint(path string) (Checkpoint, int64, error) {
 	return ck, offset, nil
 }
 
+// CampaignFingerprint returns the campaign identity hash the checkpoint
+// sidecar records — the same value a run manifest stamps — so external
+// tooling can tie datasets, checkpoints and manifests to one campaign.
+func CampaignFingerprint(cfgs []stack.Config, opts RunOptions) uint64 {
+	return campaignFingerprint(cfgs, opts)
+}
+
 // campaignFingerprint hashes the campaign identity: every configuration and
 // the option knobs that change row content. (Channel and ErrorModel
 // overrides are not part of the hash; keep them stable across resumes.)

@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/obs"
+	"wsnlink/internal/stack"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestProgressSnapshot(t *testing.T) {
+	var prog Progress
+	opts := RunOptions{Packets: 30, BaseSeed: 1, Fast: true, Progress: &prog}
+	space := smallSpace()
+
+	// Progress visible mid-run: every yield must see a plausible snapshot.
+	seen := 0
+	err := StreamSpace(context.Background(), space, opts, func(Row) error {
+		seen++
+		s := prog.Snapshot()
+		if s.Total != int64(space.Size()) {
+			t.Errorf("mid-run Total = %d, want %d", s.Total, space.Size())
+		}
+		if s.Done < int64(seen)-1 || s.Done > s.Total {
+			t.Errorf("mid-run Done = %d with %d rows yielded", s.Done, seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Snapshot()
+	if s.Done != int64(space.Size()) || s.Errors != 0 {
+		t.Errorf("final snapshot = %+v, want Done=%d Errors=0", s, space.Size())
+	}
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", s.Remaining())
+	}
+}
+
+func TestProgressCountsErrors(t *testing.T) {
+	var prog Progress
+	cfgs := invalidAt(t, 2, 6)
+	_, err := RunConfigsContext(context.Background(), cfgs, RunOptions{
+		Packets: 30, Fast: true, ErrorPolicy: ContinueOnError, Progress: &prog,
+	})
+	var camp *CampaignError
+	if !errors.As(err, &camp) {
+		t.Fatalf("err = %T, want *CampaignError", err)
+	}
+	s := prog.Snapshot()
+	if s.Errors != 2 {
+		t.Errorf("Errors = %d, want 2", s.Errors)
+	}
+	if s.Done != int64(len(cfgs)) {
+		t.Errorf("Done = %d, want %d (failed configurations still count)", s.Done, len(cfgs))
+	}
+
+	// FailFast: the error is still counted before the run stops.
+	var prog2 Progress
+	_, err = RunConfigsContext(context.Background(), invalidAt(t, 0), RunOptions{
+		Packets: 30, Fast: true, Progress: &prog2,
+	})
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *ConfigError", err)
+	}
+	if got := prog2.Snapshot().Errors; got != 1 {
+		t.Errorf("FailFast Errors = %d, want 1", got)
+	}
+}
+
+// TestProgressResumeStartsAtPrefix checks that a resumed run's Done counter
+// starts at the checkpointed prefix, not zero.
+func TestProgressResumeStartsAtPrefix(t *testing.T) {
+	space := smallSpace()
+	ckPath := filepath.Join(t.TempDir(), "sweep.ckpt")
+	opts := RunOptions{Packets: 20, BaseSeed: 4, Fast: true, Checkpoint: ckPath}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	err := StreamSpace(ctx, space, opts, func(Row) error {
+		emitted++
+		if emitted == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	ck, err := LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prog Progress
+	resumed := opts
+	resumed.Resume = true
+	resumed.Progress = &prog
+	first := true
+	err = StreamSpace(context.Background(), space, resumed, func(Row) error {
+		if first {
+			first = false
+			if d := prog.Snapshot().Done; d < int64(ck.Done) {
+				t.Errorf("resumed Done starts at %d, want >= checkpoint prefix %d", d, ck.Done)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Snapshot().Done; got != int64(space.Size()) {
+		t.Errorf("final Done = %d, want %d", got, space.Size())
+	}
+}
+
+// TestMetricsIntegration runs a sweep with telemetry attached and checks the
+// engine-side accounting end to end: configuration and row counts, packet
+// totals, stage coverage on both clocks, and the bounded reorder window.
+func TestMetricsIntegration(t *testing.T) {
+	const workers = 4
+	m := obs.New()
+	space := streamSpace()
+	opts := RunOptions{
+		Packets: 3, BaseSeed: 2, Fast: true, Workers: workers, Metrics: m,
+	}
+	if err := StreamSpace(context.Background(), space, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	n := int64(space.Size())
+	if s.ConfigsDone != n {
+		t.Errorf("ConfigsDone = %d, want %d", s.ConfigsDone, n)
+	}
+	if s.RowsEmitted != n {
+		t.Errorf("RowsEmitted = %d, want %d", s.RowsEmitted, n)
+	}
+	if s.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", s.Errors)
+	}
+	if want := n * int64(opts.Packets); s.Packets != want {
+		t.Errorf("Packets = %d, want %d", s.Packets, want)
+	}
+	if s.ConfigWall.Count != n {
+		t.Errorf("ConfigWall.Count = %d, want %d", s.ConfigWall.Count, n)
+	}
+	if s.Window.Max > 2*workers {
+		t.Errorf("window max = %d, want <= %d (bounded reorder buffer)", s.Window.Max, 2*workers)
+	}
+	if s.WindowOcc.Count != n {
+		t.Errorf("WindowOcc.Count = %d, want %d (one observation per arrival)", s.WindowOcc.Count, n)
+	}
+	// Every wall stage must have fired; simulate covers every configuration.
+	for _, name := range []string{"dispatch", "simulate", "reorder", "yield"} {
+		st := s.Stage(name)
+		if st.Count == 0 {
+			t.Errorf("stage %s never recorded", name)
+		}
+		if st.Clock != "wall" {
+			t.Errorf("stage %s clock = %q, want wall", name, st.Clock)
+		}
+	}
+	if got := s.Stage("simulate").Count; got != n {
+		t.Errorf("simulate count = %d, want %d", got, n)
+	}
+	// Simulator-pipeline stages arrive in simulated seconds.
+	if got := s.Stage("generator").Count; got != n*int64(opts.Packets) {
+		t.Errorf("generator count = %d, want %d", got, n*int64(opts.Packets))
+	}
+	for _, name := range []string{"queue", "mac", "channel", "rx"} {
+		st := s.Stage(name)
+		if st.Count == 0 {
+			t.Errorf("stage %s never recorded", name)
+		}
+		if st.Clock != "sim" {
+			t.Errorf("stage %s clock = %q, want sim", name, st.Clock)
+		}
+	}
+	if s.StageSeconds("sim") <= 0 {
+		t.Error("simulated pipeline seconds should be positive")
+	}
+	// Checkpointing disabled: the stage exists but never fires.
+	if got := s.Stage("checkpoint").Count; got != 0 {
+		t.Errorf("checkpoint count = %d, want 0 without a checkpoint path", got)
+	}
+}
+
+// TestMetricsCheckpointStage checks the checkpoint stage fires once per row
+// when a checkpoint sidecar is configured.
+func TestMetricsCheckpointStage(t *testing.T) {
+	m := obs.New()
+	opts := RunOptions{
+		Packets: 20, BaseSeed: 1, Fast: true, Metrics: m,
+		Checkpoint: filepath.Join(t.TempDir(), "sweep.ckpt"),
+	}
+	if err := StreamSpace(context.Background(), smallSpace(), opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	n := int64(smallSpace().Size())
+	if got := m.Snapshot().Stage("checkpoint").Count; got != n {
+		t.Errorf("checkpoint count = %d, want %d", got, n)
+	}
+}
+
+// TestCSVGolden pins the dataset schema: the header row and the canonical
+// field encoding of one fully populated row. The row is hand-constructed —
+// not simulated — so this locks the encoding without also freezing the
+// simulator's numerics.
+func TestCSVGolden(t *testing.T) {
+	rows := []Row{{
+		Config: stack.Config{
+			DistanceM: 35, TxPower: 31, MaxTries: 3, RetryDelay: 0.03,
+			QueueCap: 30, PktInterval: 0.05, PayloadBytes: 110,
+		},
+		Seed:    12345678901234567890,
+		Packets: 400,
+		Report: metrics.Report{
+			MeanSNR: 12.25, SDSNR: 2.5, MeanRSSI: -82.75, SDRSSI: 3.125,
+			PER: 0.0625, MeanTries: 1.0625,
+			EnergyPerBitMicroJ: 0.21875, ListenEnergyMicroJ: 1024.5,
+			RadioEnergyPerBitMicroJ: 0.28125, GoodputKbps: 17.5,
+			MeanDelay: 0.015625, MeanServiceTime: 0.0078125, MeanQueueDelay: 0.0078125,
+			PLR: 0.0025, PLRQueue: 0.001, PLRRadio: 0.0015,
+			Utilization: 0.1575,
+			Generated:   400, Delivered: 399, QueueDrops: 0, RadioDrops: 1,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "rows.golden.csv")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("CSV encoding differs from %s — the dataset schema changed\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+
+	// The canonical encoding roundtrips byte-exactly.
+	parsed, err := ReadCSV(bytes.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := WriteCSV(&again, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again.Bytes()) {
+		t.Error("re-encoding a parsed dataset is not byte-identical")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"wsnlink/internal/obs"
 	"wsnlink/internal/stack"
 )
 
@@ -63,8 +65,14 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 		defer ck.Close()
 		start = ck.Done()
 		if start >= len(cfgs) {
+			if opts.Progress != nil {
+				opts.Progress.begin(len(cfgs), start)
+			}
 			return nil // campaign already complete
 		}
+	}
+	if opts.Progress != nil {
+		opts.Progress.begin(len(cfgs), start)
 	}
 
 	// window bounds dispatched-but-not-yet-emitted configurations; with
@@ -89,9 +97,21 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				var t0 time.Time
+				if opts.Metrics != nil {
+					t0 = time.Now()
+				}
 				row, err := runOne(sctx, cfgs[i], i, opts)
+				if opts.Metrics != nil {
+					d := time.Since(t0)
+					opts.Metrics.ObserveConfig(d)
+					opts.Metrics.StageAdd(obs.StageSimulate, d)
+				}
 				if opts.Done != nil {
 					opts.Done.Add(1)
+				}
+				if opts.Progress != nil {
+					opts.Progress.done.Add(1)
 				}
 				select {
 				case results <- outcome{idx: i, row: row, err: err}:
@@ -104,6 +124,10 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 	go func() { // dispatcher
 		defer close(jobs)
 		for i := start; i < len(cfgs); i++ {
+			var t0 time.Time
+			if opts.Metrics != nil {
+				t0 = time.Now()
+			}
 			select {
 			case tokens <- struct{}{}:
 			case <-sctx.Done():
@@ -113,6 +137,9 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 			case jobs <- i:
 			case <-sctx.Done():
 				return
+			}
+			if opts.Metrics != nil {
+				opts.Metrics.StageAdd(obs.StageDispatch, time.Since(t0))
 			}
 		}
 	}()
@@ -127,10 +154,18 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 
 loop:
 	for out := range results {
+		// arrival/sub split the emitter's own reorder bookkeeping from
+		// the time spent inside yield hooks and checkpoint appends.
+		var arrival time.Time
+		var sub time.Duration
+		if opts.Metrics != nil {
+			arrival = time.Now()
+		}
 		pending[out.idx] = out
 		if opts.pendingGauge != nil {
 			opts.pendingGauge(len(pending))
 		}
+		opts.Metrics.ObserveWindow(len(pending))
 		for {
 			o, ok := pending[next]
 			if !ok {
@@ -145,6 +180,10 @@ loop:
 					break loop
 				}
 				ce := &ConfigError{Index: next, Config: cfgs[next], Err: o.err}
+				opts.Metrics.IncErrors()
+				if opts.Progress != nil {
+					opts.Progress.errors.Add(1)
+				}
 				if opts.ErrorPolicy == ContinueOnError {
 					failures = append(failures, ce)
 				} else {
@@ -152,6 +191,10 @@ loop:
 					break loop
 				}
 			} else {
+				var y0 time.Time
+				if opts.Metrics != nil {
+					y0 = time.Now()
+				}
 				if err := yield(o.row); err != nil {
 					terminal = fmt.Errorf("sweep: yield row %d: %w", next, err)
 					break loop
@@ -159,14 +202,32 @@ loop:
 				if opts.OnRow != nil {
 					opts.OnRow(o.row)
 				}
+				if opts.Metrics != nil {
+					d := time.Since(y0)
+					sub += d
+					opts.Metrics.StageAdd(obs.StageYield, d)
+				}
+				opts.Metrics.IncRows()
 			}
 			if ck != nil {
+				var c0 time.Time
+				if opts.Metrics != nil {
+					c0 = time.Now()
+				}
 				if err := ck.Append(next); err != nil {
 					terminal = err
 					break loop
 				}
+				if opts.Metrics != nil {
+					d := time.Since(c0)
+					sub += d
+					opts.Metrics.StageAdd(obs.StageCheckpoint, d)
+				}
 			}
 			next++
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.StageAdd(obs.StageReorder, time.Since(arrival)-sub)
 		}
 		if next == len(cfgs) {
 			break

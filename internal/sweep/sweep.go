@@ -22,6 +22,7 @@ import (
 	"wsnlink/internal/channel"
 	"wsnlink/internal/metrics"
 	"wsnlink/internal/models"
+	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
@@ -101,7 +102,21 @@ type RunOptions struct {
 	// finishes simulating (successfully or not). Poll it — e.g. from a
 	// ticker goroutine — for progress reporting; unlike a callback it
 	// never serializes the worker pool.
+	//
+	// Deprecated: Progress supersedes it with a done/total/errors
+	// snapshot; Done remains for compatibility and both are updated.
 	Done *atomic.Int64
+	// Progress, if non-nil, is reset when the run starts and kept up to
+	// date atomically as configurations finish; read it with Snapshot
+	// from any goroutine.
+	Progress *Progress
+	// Metrics, if non-nil, receives engine telemetry (per-stage wall
+	// time for dispatch/simulate/reorder/yield/checkpoint, per-config
+	// wall-time histogram, reorder-window occupancy, row/error counters)
+	// and is forwarded to the simulator for pipeline stage timings. nil
+	// (the default) adds no overhead beyond pointer tests —
+	// BenchmarkObsNilOverhead pins the nil path at zero allocations.
+	Metrics *obs.Metrics
 	// OnRow, if non-nil, is called for every emitted row, in input order,
 	// from the goroutine running the stream (after yield). Use it for
 	// lightweight observation; heavy work here backpressures the sweep.
@@ -159,12 +174,13 @@ func RunSpace(space stack.Space, opts RunOptions) ([]Row, error) {
 	return RunSpaceContext(context.Background(), space, opts)
 }
 
-// RunSpaceContext simulates every configuration in the space, honoring ctx.
+// RunSpaceContext simulates every configuration in the space, honoring
+// ctx. It is the collecting wrapper over StreamSpace, sharing its
+// validation and option plumbing.
 func RunSpaceContext(ctx context.Context, space stack.Space, opts RunOptions) ([]Row, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	return RunConfigsContext(ctx, space.All(), opts)
+	rows := make([]Row, 0, space.Size())
+	err := StreamSpace(ctx, space, opts, collectInto(&rows))
+	return rows, err
 }
 
 // RunConfigs simulates the given configurations in parallel, returning rows
@@ -180,11 +196,16 @@ func RunConfigs(cfgs []stack.Config, opts RunOptions) ([]Row, error) {
 // partial work is never discarded.
 func RunConfigsContext(ctx context.Context, cfgs []stack.Config, opts RunOptions) ([]Row, error) {
 	rows := make([]Row, 0, len(cfgs))
-	err := StreamConfigs(ctx, cfgs, opts, func(r Row) error {
-		rows = append(rows, r)
-		return nil
-	})
+	err := StreamConfigs(ctx, cfgs, opts, collectInto(&rows))
 	return rows, err
+}
+
+// collectInto is the shared batch-mode yield: append every row to *dst.
+func collectInto(dst *[]Row) func(Row) error {
+	return func(r Row) error {
+		*dst = append(*dst, r)
+		return nil
+	}
 }
 
 // runOne simulates a single configuration at its derived seed.
@@ -195,6 +216,7 @@ func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions) (Ro
 		Seed:       seed,
 		Channel:    opts.Channel,
 		ErrorModel: opts.ErrorModel,
+		Obs:        opts.Metrics,
 	}
 	var (
 		res sim.Result

@@ -25,6 +25,7 @@ import (
 	"wsnlink/internal/channel"
 	"wsnlink/internal/metrics"
 	"wsnlink/internal/models"
+	"wsnlink/internal/obs"
 	"wsnlink/internal/optimize"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/sim"
@@ -151,6 +152,46 @@ func Sweep(space Space, opts SweepOptions) ([]SweepRow, error) {
 // sweep, e.g. to align an output file with the resumable prefix.
 func LoadSweepCheckpoint(path string) (SweepCheckpoint, error) {
 	return sweep.LoadCheckpoint(path)
+}
+
+// SweepFingerprint returns the campaign identity hash recorded by
+// checkpoint sidecars and run manifests: it covers every configuration of
+// the space plus the option knobs that change row content (Packets,
+// BaseSeed, Fast).
+func SweepFingerprint(space Space, opts SweepOptions) (uint64, error) {
+	if err := space.Validate(); err != nil {
+		return 0, err
+	}
+	return sweep.CampaignFingerprint(space.All(), opts), nil
+}
+
+// Observability (campaign telemetry).
+type (
+	// Metrics is the campaign telemetry hub: pass one (from NewMetrics)
+	// through SweepOptions.Metrics and/or SimOptions.Obs and poll
+	// Snapshot while the run executes. A nil *Metrics disables all
+	// instrumentation at zero cost.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a point-in-time JSON-serializable telemetry
+	// state (counters, rates, histograms, per-stage timings).
+	MetricsSnapshot = obs.Snapshot
+	// RunManifest is the reproducibility record wsnsweep writes next to
+	// a dataset: campaign fingerprint, seed, parameter space, row count,
+	// wall time and the final metric snapshot.
+	RunManifest = obs.Manifest
+	// SweepProgress is the lock-free done/total/errors counter the
+	// engine maintains when SweepOptions.Progress is set.
+	SweepProgress = sweep.Progress
+	// SweepProgressSnapshot is one atomic reading of a SweepProgress.
+	SweepProgressSnapshot = sweep.ProgressSnapshot
+)
+
+// NewMetrics returns a telemetry hub with the standard bucket layout.
+func NewMetrics() *Metrics { return obs.New() }
+
+// ReadRunManifest loads and validates a run manifest written by wsnsweep.
+func ReadRunManifest(path string) (RunManifest, error) {
+	return obs.ReadManifest(path)
 }
 
 // Empirical models (Table III).
