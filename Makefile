@@ -5,10 +5,10 @@ GO ?= go
 
 .PHONY: build test vet race bench bench-json verify
 
-# Benchmarks the committed BENCH_0.json baseline tracks: sweep throughput,
-# the per-configuration fast path, and the telemetry overhead pair
-# (BenchmarkObsNilOverhead must stay at 0 allocs/op).
-BASELINE_BENCH = BenchmarkSweepStreaming|BenchmarkRunFast|BenchmarkObsNilOverhead|BenchmarkObsEnabledOverhead
+# Benchmarks the committed BENCH_1.json baseline tracks: sweep throughput,
+# the per-configuration fast path, and the telemetry/tracing overhead pairs
+# (the two Nil benchmarks must stay at 0 allocs/op).
+BASELINE_BENCH = BenchmarkSweepStreaming|BenchmarkRunFast|BenchmarkObsNilOverhead|BenchmarkObsEnabledOverhead|BenchmarkTraceNilOverhead|BenchmarkTraceEnabledOverhead
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ bench:
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCH)' -benchmem . ./internal/obs \
-		| /tmp/benchjson > BENCH_0.json
+		| /tmp/benchjson > BENCH_1.json
 
 # The full quality gate (DESIGN.md §5).
 verify: build vet test race

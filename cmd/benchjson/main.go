@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench -benchmem` text output into a
 // stable JSON document, so benchmark baselines can be committed and diffed
-// (BENCH_0.json) without scraping free-form text downstream.
+// (BENCH_1.json) without scraping free-form text downstream.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_0.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_1.json
 //
 // Non-benchmark lines (PASS, ok, test log output) are ignored; the goos /
 // goarch / pkg / cpu context lines the test binary prints are carried into

@@ -12,8 +12,11 @@
 // Observability: a completed file-backed run writes a JSON run manifest
 // (campaign fingerprint, seed, parameter space, row count, wall time and a
 // telemetry snapshot) next to the CSV; -metrics-out dumps the telemetry
-// snapshot separately (also on interruption), and -pprof serves
-// /debug/pprof and /debug/vars while the campaign runs.
+// snapshot separately (also on interruption), -pprof serves /debug/pprof,
+// /debug/vars and the live /debug/campaign dashboard while the campaign
+// runs, and -trace-out records per-packet lifecycle events to a Perfetto-
+// loadable Chrome trace (or NDJSON, by extension), sampled with
+// -trace-sample.
 //
 // Usage:
 //
@@ -23,6 +26,7 @@
 //	wsnsweep -out full.csv -checkpoint full.ckpt    # restartable campaign
 //	wsnsweep -out full.csv -checkpoint full.ckpt -resume   # continue it
 //	wsnsweep -out full.csv -pprof localhost:6060    # live profiling/telemetry
+//	wsnsweep -out full.csv -trace-out full.trace.json -trace-sample 16
 package main
 
 import (
@@ -59,20 +63,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out        = fs.String("out", "dataset.csv", "output CSV path ('-' for stdout)")
-		packets    = fs.Int("packets", 500, "packets per configuration (paper: 4500)")
-		seed       = fs.Uint64("seed", 1, "base RNG seed")
-		fullDES    = fs.Bool("des", false, "use the full event-driven simulator")
-		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		progress   = fs.Bool("progress", false, "print progress to stderr")
-		distances  = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
-		powers     = fs.String("powers", "", "comma-separated TX power-level subset, e.g. 31")
-		payloads   = fs.String("payloads", "", "comma-separated payload-bytes subset, e.g. 20,110")
-		checkpoint = fs.String("checkpoint", "", "checkpoint sidecar path (enables restartable runs)")
-		resume     = fs.Bool("resume", false, "continue from the checkpoint (default sidecar: <out>.ckpt)")
-		manifest   = fs.String("manifest", "", "run manifest path (default: <out>.manifest.json; 'none' disables)")
-		metricsOut = fs.String("metrics-out", "", "write the final telemetry snapshot JSON to this path")
-		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address, e.g. localhost:6060")
+		out         = fs.String("out", "dataset.csv", "output CSV path ('-' for stdout)")
+		packets     = fs.Int("packets", 500, "packets per configuration (paper: 4500)")
+		seed        = fs.Uint64("seed", 1, "base RNG seed")
+		fullDES     = fs.Bool("des", false, "use the full event-driven simulator")
+		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		progress    = fs.Bool("progress", false, "print progress to stderr")
+		distances   = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
+		powers      = fs.String("powers", "", "comma-separated TX power-level subset, e.g. 31")
+		payloads    = fs.String("payloads", "", "comma-separated payload-bytes subset, e.g. 20,110")
+		checkpoint  = fs.String("checkpoint", "", "checkpoint sidecar path (enables restartable runs)")
+		resume      = fs.Bool("resume", false, "continue from the checkpoint (default sidecar: <out>.ckpt)")
+		manifest    = fs.String("manifest", "", "run manifest path (default: <out>.manifest.json; 'none' disables)")
+		metricsOut  = fs.String("metrics-out", "", "write the final telemetry snapshot JSON to this path")
+		pprofAddr   = fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/campaign on this address, e.g. localhost:6060")
+		traceOut    = fs.String("trace-out", "", "write per-packet lifecycle trace here (.json = Chrome trace, .ndjson = NDJSON)")
+		traceSample = fs.Int("trace-sample", 1, "trace every Nth configuration (with -trace-out)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,30 +130,47 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	opts := sweep.RunOptions{
-		Packets:    *packets,
-		BaseSeed:   *seed,
-		Fast:       !*fullDES,
-		Workers:    *workers,
-		Checkpoint: *checkpoint,
-		Resume:     *resume,
+		Packets:     *packets,
+		BaseSeed:    *seed,
+		Fast:        !*fullDES,
+		Workers:     *workers,
+		Checkpoint:  *checkpoint,
+		Resume:      *resume,
+		TraceSample: *traceSample,
 	}
 
 	// Telemetry is armed whenever something consumes it (manifest,
 	// snapshot dump, or the live debug endpoint); otherwise the engine
-	// runs on the allocation-free nil path.
+	// runs on the allocation-free nil path. Same for the event tracer:
+	// without -trace-out every emission site stays a nil pointer test.
 	if *manifest != "" || *metricsOut != "" || *pprofAddr != "" {
 		opts.Metrics = obs.New()
+	}
+	if *traceOut != "" {
+		opts.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
 	var prog sweep.Progress
 	opts.Progress = &prog
 	if *pprofAddr != "" {
 		obs.PublishExpvar("wsnsweep", opts.Metrics)
+		fp := obs.FormatFingerprint(sweep.CampaignFingerprint(cfgs, opts))
+		obs.PublishCampaign(func() obs.CampaignStatus {
+			ps := prog.Snapshot()
+			return obs.CampaignStatus{
+				Campaign: fp,
+				Done:     ps.Done,
+				Total:    ps.Total,
+				Errors:   ps.Errors,
+				Metrics:  opts.Metrics.Snapshot(),
+				Trace:    opts.Tracer.Stats(),
+			}
+		})
 		dbg, err := obs.ServeDebug(*pprofAddr)
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof (telemetry: /debug/vars)\n", dbg.Addr)
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/campaign (pprof: /debug/pprof, telemetry: /debug/vars)\n", dbg.Addr)
 	}
 
 	// Open the output and position the encoder. On resume, only the
@@ -243,6 +266,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if *traceOut != "" {
+		// Same for the lifecycle trace: an interrupted campaign's events
+		// are often the reason it is being debugged.
+		if werr := writeTraceFile(*traceOut, opts.Tracer, stderr); werr != nil {
+			if err == nil {
+				err = werr
+			} else {
+				fmt.Fprintln(stderr, "wsnsweep:", werr)
+			}
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
 			fmt.Fprintf(stderr, "interrupted after %d rows; continue with -resume -checkpoint %s\n",
@@ -253,7 +287,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "wrote %d rows to %s\n", enc.Rows(), *out)
 
 	if *manifest != "" {
-		man := buildManifest(space, cfgs, opts, *resume, done, enc.Rows(), wall)
+		man := buildManifest(space, cfgs, opts, *resume, done, enc.Rows(), wall, *traceOut)
 		if err := man.WriteFile(*manifest); err != nil {
 			return err
 		}
@@ -267,7 +301,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 // runs; the identity fields (fingerprint, seed, space, rows) are what a
 // kill-and-resume run must reproduce exactly.
 func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions,
-	resumed bool, resumedFrom, rows int, wall time.Duration) obs.Manifest {
+	resumed bool, resumedFrom, rows int, wall time.Duration, tracePath string) obs.Manifest {
 	man := obs.Manifest{
 		Schema:      obs.ManifestSchema,
 		Tool:        "wsnsweep",
@@ -287,7 +321,38 @@ func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions
 		snap := opts.Metrics.Snapshot()
 		man.Metrics = &snap
 	}
+	if opts.Tracer != nil {
+		st := opts.Tracer.Stats()
+		man.TracePath = tracePath
+		man.TraceSample = opts.TraceSample
+		man.TraceEvents = st.Events
+		man.TraceDropped = st.Dropped
+	}
 	return man
+}
+
+// writeTraceFile exports the collected lifecycle events, picking the format
+// from the path extension (see obs.WriteTrace).
+func writeTraceFile(path string, tr *obs.Tracer, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := tr.Events()
+	if err := obs.WriteTrace(f, path, events); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(stderr, "wrote %d trace events to %s (%d evicted from the ring; raise -trace-sample)\n",
+			len(events), path, d)
+	} else {
+		fmt.Fprintf(stderr, "wrote %d trace events to %s\n", len(events), path)
+	}
+	return nil
 }
 
 // spaceAxes summarizes the swept parameter space for the manifest.

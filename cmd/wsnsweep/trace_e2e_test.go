@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/obs"
+)
+
+// TestRunTraceOutChrome: -trace-out with a .json path must leave behind a
+// schema-valid Chrome trace whose stats are stamped into the run manifest.
+func TestRunTraceOutChrome(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	trc := filepath.Join(dir, "ds.trace.json")
+	var discard bytes.Buffer
+	err := run(context.Background(), tinyGrid("-out", out, "-trace-out", trc),
+		&discard, &discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace doc = unit %q, %d events", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+
+	man, err := obs.ReadManifest(out + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.TracePath != trc {
+		t.Errorf("manifest trace path = %q, want %q", man.TracePath, trc)
+	}
+	if man.TraceSample != 1 {
+		t.Errorf("manifest trace sample = %d, want 1", man.TraceSample)
+	}
+	if man.TraceEvents == 0 {
+		t.Error("manifest records zero trace events")
+	}
+}
+
+// TestRunTraceOutNDJSONSampled: the .ndjson extension selects the streaming
+// format and -trace-sample restricts tracing to every Nth configuration.
+func TestRunTraceOutNDJSONSampled(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	trc := filepath.Join(dir, "ds.ndjson")
+	var discard bytes.Buffer
+	err := run(context.Background(), tinyGrid(
+		"-out", out, "-trace-out", trc, "-trace-sample", "4",
+	), &discard, &discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var ev struct {
+			Kind   string `json:"kind"`
+			Config int    `json:"config"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines+1, err)
+		}
+		if ev.Config%4 != 0 {
+			t.Fatalf("line %d: config %d traced despite -trace-sample 4", lines+1, ev.Config)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no NDJSON trace lines")
+	}
+	man, err := obs.ReadManifest(out + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.TraceSample != 4 || man.TraceEvents != lines {
+		t.Errorf("manifest sample/events = %d/%d, want 4/%d", man.TraceSample, man.TraceEvents, lines)
+	}
+}
+
+// TestRunWithoutTraceLeavesManifestClean: no -trace-out → no trace fields.
+func TestRunWithoutTraceLeavesManifestClean(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	var discard bytes.Buffer
+	if err := run(context.Background(), tinyGrid("-out", out), &discard, &discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("trace_path")) {
+		t.Error("untraced run stamped trace fields into the manifest")
+	}
+}
+
+// TestRunPprofAnnouncesCampaignDashboard: -pprof must bring up the debug
+// server with the campaign dashboard registered and say where it lives.
+func TestRunPprofAnnouncesCampaignDashboard(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ds.csv")
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), tinyGrid("-out", out, "-pprof", "127.0.0.1:0"),
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "/debug/campaign") {
+		t.Errorf("stderr does not announce the campaign dashboard:\n%s", stderr.String())
+	}
+}

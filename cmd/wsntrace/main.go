@@ -1,12 +1,20 @@
 // Command wsntrace analyses a per-packet trace: loss-burst statistics, a
 // Gilbert–Elliott loss-model fit, conditional delivery probabilities and
 // per-window link stability. Traces come from `wsntrace -generate` or any
-// CSV in the trace schema.
+// CSV in the trace schema; `-in -` reads the CSV from stdin so traces can
+// be piped straight out of a testbed collector.
+//
+// With -events the generator additionally records the full per-packet
+// lifecycle (enqueue, backoff, CCA, TX attempts, ACK timeouts, delivery or
+// loss) and exports it as a Chrome trace_event file (load in Perfetto or
+// chrome://tracing) or NDJSON, chosen by extension.
 //
 // Usage:
 //
 //	wsntrace -generate -d 35 -power 7 -packets 4500 -out link.trace
 //	wsntrace -in link.trace
+//	gzip -dc link.trace.gz | wsntrace -in -
+//	wsntrace -generate -events link.trace.json   # lifecycle spans for Perfetto
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
@@ -22,19 +31,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "wsntrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsntrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		generate = fs.Bool("generate", false, "simulate a link and write its trace")
-		in       = fs.String("in", "", "trace CSV to analyse")
+		in       = fs.String("in", "", "trace CSV to analyse ('-' for stdin)")
 		out      = fs.String("out", "link.trace", "output path for -generate")
+		events   = fs.String("events", "", "also write lifecycle events here (-generate; .json = Chrome trace, .ndjson = NDJSON)")
 		dist     = fs.Float64("d", 35, "distance in meters (-generate)")
 		power    = fs.Int("power", 7, "power level (-generate)")
 		payload  = fs.Int("payload", 110, "payload bytes (-generate)")
@@ -45,6 +55,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *events != "" && !*generate {
+		return fmt.Errorf("-events requires -generate")
 	}
 
 	if *generate {
@@ -57,9 +70,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			PktInterval:  0.050,
 			PayloadBytes: *payload,
 		}
-		res, err := sim.Run(cfg, sim.Options{
-			Packets: *packets, Seed: *seed, RecordPackets: true,
-		})
+		simOpts := sim.Options{Packets: *packets, Seed: *seed, RecordPackets: true}
+		var tracer *obs.Tracer
+		if *events != "" {
+			// A single-link run has no campaign fingerprint; seed the span
+			// namespace with the RNG seed so re-running the same command
+			// reproduces the same span IDs.
+			tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+			simOpts.Trace = tracer.Span(*seed, 0)
+		}
+		res, err := sim.Run(cfg, simOpts)
 		if err != nil {
 			return err
 		}
@@ -72,6 +92,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %d records to %s (%v)\n", len(res.Records), *out, cfg)
+		if tracer != nil {
+			ef, err := os.Create(*events)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteTrace(ef, *events, tracer.Events()); err != nil {
+				ef.Close()
+				return fmt.Errorf("write events: %w", err)
+			}
+			if err := ef.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %d lifecycle events to %s\n", tracer.Len(), *events)
+		}
 		if *in == "" {
 			*in = *out
 		}
@@ -80,12 +114,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("nothing to do: pass -in or -generate")
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
+	var src io.Reader
+	if *in == "-" {
+		src = stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
 	}
-	defer f.Close()
-	records, err := trace.Read(f)
+	records, err := trace.Read(src)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,7 +14,7 @@ func TestRunGenerateAndAnalyse(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	err := run([]string{
 		"-generate", "-d", "35", "-power", "7", "-packets", "600", "-out", out,
-	}, &stdout, &stderr)
+	}, nil, &stdout, &stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,11 +32,11 @@ func TestRunGenerateAndAnalyse(t *testing.T) {
 func TestRunAnalyseExisting(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "t.trace")
 	var buf bytes.Buffer
-	if err := run([]string{"-generate", "-packets", "200", "-out", out}, &buf, &buf); err != nil {
+	if err := run([]string{"-generate", "-packets", "200", "-out", out}, nil, &buf, &buf); err != nil {
 		t.Fatal(err)
 	}
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-in", out, "-window", "50"}, &stdout, &stderr); err != nil {
+	if err := run([]string{"-in", out, "-window", "50"}, nil, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(stdout.String(), "trace: 200 packets") {
@@ -46,23 +48,130 @@ func TestRunAnalyseExisting(t *testing.T) {
 	}
 }
 
+// TestRunAnalyseStdin pipes a generated trace through -in -: the analysis
+// must match a file-based run of the same trace byte for byte.
+func TestRunAnalyseStdin(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	var buf bytes.Buffer
+	if err := run([]string{"-generate", "-packets", "200", "-out", out}, nil, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, fromStdin, stderr bytes.Buffer
+	if err := run([]string{"-in", out}, nil, &fromFile, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", "-"}, bytes.NewReader(data), &fromStdin, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.String() != fromStdin.String() {
+		t.Errorf("stdin analysis differs from file analysis:\n%s\nvs\n%s",
+			fromStdin.String(), fromFile.String())
+	}
+}
+
+func TestRunStdinBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-in", "-"}, strings.NewReader("not,a,trace\n"), &buf, &buf); err == nil {
+		t.Error("malformed stdin trace should error")
+	}
+}
+
+// TestRunGenerateEvents: -events writes a loadable lifecycle trace next to
+// the packet CSV, in the format picked by the extension.
+func TestRunGenerateEvents(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "link.trace")
+	ev := filepath.Join(dir, "link.trace.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-generate", "-packets", "150", "-out", out, "-events", ev,
+	}, nil, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "lifecycle events to "+ev) {
+		t.Errorf("no events announcement:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("events file is not valid JSON: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "n" {
+			kinds[e.Name] = true
+		}
+	}
+	for _, want := range []string{"tx_attempt"} {
+		if !kinds[want] {
+			t.Errorf("events file missing %q instants (saw %v)", want, kinds)
+		}
+	}
+}
+
+// TestRunGenerateEventsDeterministic: the same command line yields the same
+// events file, span IDs included (the seed doubles as the span namespace).
+func TestRunGenerateEventsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	read := func(name string) []byte {
+		t.Helper()
+		out := filepath.Join(dir, name+".trace")
+		ev := filepath.Join(dir, name+".ndjson")
+		var buf bytes.Buffer
+		err := run([]string{
+			"-generate", "-packets", "100", "-seed", "21", "-out", out, "-events", ev,
+		}, nil, &buf, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(read("a"), read("b")) {
+		t.Error("re-running the same generation changed the events file")
+	}
+}
+
+func TestRunEventsRequiresGenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-events", "x.json", "-in", "t.trace"}, nil, &buf, &buf); err == nil {
+		t.Error("-events without -generate should error")
+	}
+}
+
 func TestRunNothingToDo(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(nil, &buf, &buf); err == nil {
+	if err := run(nil, nil, &buf, &buf); err == nil {
 		t.Error("no -in and no -generate should error")
 	}
 }
 
 func TestRunMissingInput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-in", "/no/such/trace.csv"}, &buf, &buf); err == nil {
+	if err := run([]string{"-in", "/no/such/trace.csv"}, nil, &buf, &buf); err == nil {
 		t.Error("missing input should error")
 	}
 }
 
 func TestRunBadGenerateConfig(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-generate", "-payload", "999"}, &buf, &buf); err == nil {
+	if err := run([]string{"-generate", "-payload", "999"}, nil, &buf, &buf); err == nil {
 		t.Error("invalid payload should error")
 	}
 }

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CampaignStatus is the point-in-time view of a running campaign served by
+// /debug/campaign. The obs package cannot see the sweep engine (the import
+// points the other way), so the binary that owns both supplies a provider
+// function assembling this struct from sweep.Progress, Metrics and Tracer
+// snapshots.
+type CampaignStatus struct {
+	// Campaign names the run, conventionally the hex campaign fingerprint
+	// that also keys the checkpoint sidecar and the trace span namespace.
+	Campaign string `json:"campaign,omitempty"`
+	// Done/Total/Errors mirror sweep.ProgressSnapshot.
+	Done   int64 `json:"done"`
+	Total  int64 `json:"total"`
+	Errors int64 `json:"errors"`
+	// Metrics is the full telemetry snapshot (rates, stage breakdown).
+	Metrics Snapshot `json:"metrics"`
+	// Trace reports the event ring, zero when tracing is off.
+	Trace TraceStats `json:"trace"`
+}
+
+// campaignProvider is the installed status source. Handlers are registered
+// on http.DefaultServeMux at most once (mux registration panics on
+// duplicates); re-publishing swaps the provider, mirroring PublishExpvar.
+var (
+	campaignMu       sync.Mutex
+	campaignOnce     bool
+	campaignProvider atomic.Pointer[func() CampaignStatus]
+)
+
+// campaignStreamInterval is the SSE refresh cadence (a var so tests can
+// tighten it).
+var campaignStreamInterval = time.Second
+
+// PublishCampaign installs fn as the live status source for the
+// /debug/campaign dashboard, /debug/campaign/stream (SSE, one JSON status
+// per tick) and /debug/campaign/status.json. It registers the handlers on
+// http.DefaultServeMux the first time and is idempotent after that —
+// later calls only swap the provider. Pass nil to unpublish (the endpoints
+// then answer 503).
+func PublishCampaign(fn func() CampaignStatus) {
+	campaignMu.Lock()
+	defer campaignMu.Unlock()
+	if fn == nil {
+		campaignProvider.Store(nil)
+		return
+	}
+	campaignProvider.Store(&fn)
+	if campaignOnce {
+		return
+	}
+	campaignOnce = true
+	http.HandleFunc("/debug/campaign", serveCampaignPage)
+	http.HandleFunc("/debug/campaign/status.json", serveCampaignStatus)
+	http.HandleFunc("/debug/campaign/stream", serveCampaignStream)
+}
+
+// loadCampaign returns the current status, or false when no provider is
+// installed.
+func loadCampaign() (CampaignStatus, bool) {
+	fn := campaignProvider.Load()
+	if fn == nil {
+		return CampaignStatus{}, false
+	}
+	return (*fn)(), true
+}
+
+func serveCampaignStatus(w http.ResponseWriter, _ *http.Request) {
+	st, ok := loadCampaign()
+	if !ok {
+		http.Error(w, "no campaign published", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st) //nolint:errcheck // best-effort debug endpoint
+}
+
+// serveCampaignStream pushes one status JSON per tick as a server-sent
+// event until the client disconnects. The first event is sent immediately
+// so the dashboard paints without waiting a full interval.
+func serveCampaignStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	send := func() bool {
+		st, ok := loadCampaign()
+		if !ok {
+			return false
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		fl.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	tick := time.NewTicker(campaignStreamInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}
+
+func serveCampaignPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, campaignPageHTML)
+}
+
+// campaignPageHTML is the dashboard: a static page whose script subscribes
+// to /debug/campaign/stream and re-renders on every event. Stdlib only, no
+// external assets, so it works on an air-gapped testbed host.
+const campaignPageHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>wsnlink campaign</title>
+<style>
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem;max-width:60rem;color:#222}
+h1{font-size:1.2rem} h2{font-size:1rem;margin-top:1.5rem}
+.bar{background:#eee;border-radius:4px;height:1.4rem;overflow:hidden}
+.bar>div{background:#2b7;height:100%;width:0;transition:width .3s}
+table{border-collapse:collapse;margin-top:.5rem}
+td,th{padding:.15rem .8rem;text-align:right;border-bottom:1px solid #eee}
+th{text-align:left} .mono{font-family:ui-monospace,monospace}
+#err{color:#b22}
+.hist{display:flex;align-items:flex-end;gap:2px;height:3rem}
+.hist>div{background:#59d;width:8px;min-height:1px}
+</style></head><body>
+<h1>wsnlink campaign <span id="fp" class="mono"></span></h1>
+<div class="bar"><div id="prog"></div></div>
+<p><span id="counts">waiting for data…</span> <span id="err"></span></p>
+<h2>Rates</h2>
+<table><tr><th>configs/s</th><th>rows/s</th><th>packets/s</th><th>elapsed</th></tr>
+<tr class="mono"><td id="cps"></td><td id="rps"></td><td id="pps"></td><td id="el"></td></tr></table>
+<h2>Trace ring</h2>
+<table><tr><th>events</th><th>dropped</th><th>capacity</th></tr>
+<tr class="mono"><td id="tev"></td><td id="tdr"></td><td id="tcap"></td></tr></table>
+<h2>Per-configuration wall time</h2>
+<div id="wall" class="hist"></div>
+<h2>Stages</h2>
+<table id="stages"><tr><th>stage</th><th>clock</th><th>count</th><th>seconds</th></tr></table>
+<script>
+const $=id=>document.getElementById(id);
+function fmt(x){return x>=100?x.toFixed(0):x>=1?x.toFixed(1):x.toPrecision(2)}
+function render(s){
+  $("fp").textContent=s.campaign||"";
+  const pct=s.total>0?100*s.done/s.total:0;
+  $("prog").style.width=pct.toFixed(1)+"%";
+  $("counts").textContent=s.done+" / "+s.total+" configurations ("+pct.toFixed(1)+"%)";
+  $("err").textContent=s.errors>0?s.errors+" errors":"";
+  const m=s.metrics;
+  $("cps").textContent=fmt(m.configs_per_sec);$("rps").textContent=fmt(m.rows_per_sec);
+  $("pps").textContent=fmt(m.packets_per_sec);$("el").textContent=fmt(m.elapsed_s)+" s";
+  $("tev").textContent=s.trace.events;$("tdr").textContent=s.trace.dropped;$("tcap").textContent=s.trace.capacity;
+  const wall=$("wall");wall.replaceChildren();
+  const counts=(m.config_wall_s&&m.config_wall_s.counts)||[];
+  const max=Math.max(1,...counts);
+  for(const c of counts){const d=document.createElement("div");d.style.height=(100*c/max)+"%";d.title=c;wall.append(d)}
+  const tbl=$("stages");while(tbl.rows.length>1)tbl.deleteRow(1);
+  for(const st of m.stages||[]){const r=tbl.insertRow();
+    r.insertCell().textContent=st.name;r.insertCell().textContent=st.clock;
+    r.insertCell().textContent=st.count;r.insertCell().textContent=fmt(st.seconds);
+    r.cells[0].style.textAlign="left"}
+}
+new EventSource("/debug/campaign/stream").onmessage=e=>render(JSON.parse(e.data));
+</script></body></html>
+`

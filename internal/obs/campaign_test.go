@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func campaignTestStatus() CampaignStatus {
+	return CampaignStatus{
+		Campaign: "0x00000000deadbeef",
+		Done:     3, Total: 8,
+		Metrics: Snapshot{RowsEmitted: 3},
+		Trace:   TraceStats{Events: 42, Capacity: 64},
+	}
+}
+
+func TestCampaignStatusJSON(t *testing.T) {
+	PublishCampaign(campaignTestStatus)
+	defer PublishCampaign(nil)
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr + "/debug/campaign/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status.json: %s", resp.Status)
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	want := campaignTestStatus()
+	if st.Campaign != want.Campaign || st.Done != want.Done || st.Total != want.Total ||
+		st.Metrics.RowsEmitted != want.Metrics.RowsEmitted || st.Trace != want.Trace {
+		t.Errorf("round-tripped status = %+v", st)
+	}
+}
+
+func TestCampaignPageServed(t *testing.T) {
+	PublishCampaign(campaignTestStatus)
+	defer PublishCampaign(nil)
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr + "/debug/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/campaign: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!doctype html>", "/debug/campaign/stream", "EventSource"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("dashboard page missing %q", want)
+		}
+	}
+}
+
+func TestCampaignStream(t *testing.T) {
+	old := campaignStreamInterval
+	campaignStreamInterval = 10 * time.Millisecond
+	defer func() { campaignStreamInterval = old }()
+	PublishCampaign(campaignTestStatus)
+	defer PublishCampaign(nil)
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr + "/debug/campaign/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	for sc.Scan() && events < 3 {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+		var st CampaignStatus
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			t.Fatalf("SSE payload not JSON: %v", err)
+		}
+		if st.Total != 8 {
+			t.Fatalf("SSE status = %+v", st)
+		}
+		events++
+	}
+	if events < 3 {
+		t.Fatalf("saw %d SSE events, want 3", events)
+	}
+}
+
+func TestCampaignUnpublished(t *testing.T) {
+	PublishCampaign(campaignTestStatus) // ensure handlers are registered
+	PublishCampaign(nil)
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr + "/debug/campaign/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unpublished status.json: %s, want 503", resp.Status)
+	}
+}
+
+// TestPublishCampaignIdempotent: repeated publication must not panic
+// (DefaultServeMux rejects duplicate patterns) and must rebind the source.
+func TestPublishCampaignIdempotent(t *testing.T) {
+	defer PublishCampaign(nil)
+	PublishCampaign(func() CampaignStatus { return CampaignStatus{Total: 1} })
+	PublishCampaign(func() CampaignStatus { return CampaignStatus{Total: 2} })
+	st, ok := loadCampaign()
+	if !ok || st.Total != 2 {
+		t.Errorf("provider not rebound: %+v ok=%v", st, ok)
+	}
+}

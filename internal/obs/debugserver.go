@@ -33,9 +33,10 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	return d, nil
 }
 
-// Close stops the server and releases the port.
+// Close stops the server and releases the port. It is safe on a nil
+// receiver, on a zero DebugServer, and when called more than once.
 func (d *DebugServer) Close() error {
-	if d == nil {
+	if d == nil || d.srv == nil {
 		return nil
 	}
 	return d.srv.Close()

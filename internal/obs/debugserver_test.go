@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebugVarsReachable(t *testing.T) {
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Addr == "" || strings.HasSuffix(d.Addr, ":0") {
+		t.Fatalf("Addr = %q, want a concrete bound address", d.Addr)
+	}
+
+	m := New()
+	m.IncRows()
+	PublishExpvar("debugserver_test_metrics", m)
+
+	resp, err := http.Get("http://" + d.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/vars: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "debugserver_test_metrics") {
+		t.Errorf("/debug/vars missing published metrics:\n%s", body)
+	}
+}
+
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.256.256.256:0"); err == nil {
+		t.Error("unresolvable address should error")
+	}
+}
+
+func TestDebugServerCloseSafety(t *testing.T) {
+	var nilServer *DebugServer
+	if err := nilServer.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if err := (&DebugServer{}).Close(); err != nil {
+		t.Errorf("zero-value Close = %v", err)
+	}
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("first Close = %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	// The port must be released: a request now fails.
+	if _, err := http.Get("http://" + d.Addr + "/debug/vars"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

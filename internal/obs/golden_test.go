@@ -60,8 +60,12 @@ func TestManifestGolden(t *testing.T) {
 			{Name: "tx_power", Count: 2, Values: "3,31"},
 			{Name: "payload_bytes", Count: 2, Values: "20,110"},
 		},
-		WallTimeS: 2.5,
-		Metrics:   &snap,
+		TracePath:    "dataset.trace.json",
+		TraceSample:  2,
+		TraceEvents:  4096,
+		TraceDropped: 17,
+		WallTimeS:    2.5,
+		Metrics:      &snap,
 	}
 	got, err := m.Encode()
 	if err != nil {

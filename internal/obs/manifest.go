@@ -36,6 +36,15 @@ type Manifest struct {
 	ResumedFrom int    `json:"resumed_from"`
 	Axes        []Axis `json:"axes,omitempty"`
 
+	// Trace* record the per-packet lifecycle trace written alongside the
+	// dataset; all omitted when tracing was off. TraceDropped counts events
+	// evicted from the bounded ring (nonzero means the file is a suffix of
+	// the campaign, not the whole of it).
+	TracePath    string `json:"trace_path,omitempty"`
+	TraceSample  int    `json:"trace_sample,omitempty"` // every Nth configuration traced
+	TraceEvents  int    `json:"trace_events,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+
 	WallTimeS float64   `json:"wall_time_s"`
 	Metrics   *Snapshot `json:"metrics,omitempty"`
 }

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventKindNames(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind should be unknown")
+	}
+	wantTerminal := map[EventKind]bool{EvQueueDrop: true, EvDelivered: true, EvLost: true}
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if k.Terminal() != wantTerminal[k] {
+			t.Errorf("kind %v Terminal = %v, want %v", k, k.Terminal(), wantTerminal[k])
+		}
+	}
+}
+
+func TestPacketSpanIDDeterministicAndDistinct(t *testing.T) {
+	const fp = 0xdeadbeefcafef00d
+	if PacketSpanID(fp, 3, 7) != PacketSpanID(fp, 3, 7) {
+		t.Fatal("span ID not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for cfg := 0; cfg < 50; cfg++ {
+		for pkt := 0; pkt < 50; pkt++ {
+			id := PacketSpanID(fp, cfg, pkt)
+			if seen[id] {
+				t.Fatalf("span ID collision at config %d packet %d", cfg, pkt)
+			}
+			seen[id] = true
+		}
+	}
+	if PacketSpanID(fp, 0, 1) == PacketSpanID(fp^1, 0, 1) {
+		t.Error("span ID ignores fingerprint")
+	}
+}
+
+// TestSpanEmitMatchesPacketSpanID ties the hot-path derivation inside
+// SpanContext.Emit to the exported PacketSpanID formula external tooling
+// may reimplement.
+func TestSpanEmitMatchesPacketSpanID(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.Span(42, 7)
+	sp.Emit(EvEnqueue, 1.5, 9, 0, 0, 0, 0)
+	ev := tr.Events()[0]
+	if want := PacketSpanID(42, 7, 9); ev.Span != want {
+		t.Errorf("Emit span = %#x, want PacketSpanID = %#x", ev.Span, want)
+	}
+	if ev.Config != 7 || ev.Packet != 9 || ev.TimeS != 1.5 || ev.Kind != EvEnqueue {
+		t.Errorf("event fields = %+v", ev)
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Span(1, 0)
+	for i := 0; i < 10; i++ {
+		sp.Emit(EvTxAttempt, float64(i), i, 1, 0, 0, 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (bounded)", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := int32(6 + i); ev.Packet != want {
+			t.Errorf("event %d packet = %d, want %d (oldest evicted first)", i, ev.Packet, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Events != 4 || st.Dropped != 6 || st.Capacity != 4 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.Span(1, 2); sp != nil {
+		t.Error("nil Tracer.Span should be nil")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil Tracer accessors should be zero")
+	}
+	if tr.Stats() != (TraceStats{}) {
+		t.Error("nil Tracer.Stats should be zero")
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	if got := tr.Stats().Capacity; got != DefaultTraceCapacity {
+		t.Errorf("default capacity = %d, want %d", got, DefaultTraceCapacity)
+	}
+}
+
+// TestTracerConcurrentEmit hammers one tracer from many goroutines (the
+// sweep's worker-pool shape) — run under -race by `make race`.
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(cfg int) {
+			defer wg.Done()
+			sp := tr.Span(99, cfg)
+			for i := 0; i < 500; i++ {
+				sp.Emit(EvTxAttempt, float64(i), i, 1, -3, -88, 60)
+				_ = tr.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 8*500 {
+		t.Errorf("retained+dropped = %d, want %d", got, 8*500)
+	}
+}
+
+// traceSequence is one packet's worth of emission sites exactly as the
+// simulator issues them, including the per-site nil guard the engines use.
+// The nil benchmark and zero-alloc test run this to price the disabled path.
+func traceSequence(sp *SpanContext) {
+	if sp != nil {
+		sp.Emit(EvEnqueue, 0, 1, 0, 0, 0, 0)
+	}
+	for try := 1; try <= 3; try++ {
+		if sp != nil {
+			sp.Emit(EvBackoff, 0.001, 1, try, 0, 0, 0)
+		}
+		if sp != nil {
+			sp.Emit(EvCCA, 0.006, 1, try, 0, 0, 0)
+		}
+		if sp != nil {
+			sp.Emit(EvTxAttempt, 0.006, 1, try, 4.2, -88.5, 61)
+		}
+		if sp != nil {
+			sp.Emit(EvAckTimeout, 0.018, 1, try, 0, 0, 0)
+		}
+	}
+	if sp != nil {
+		sp.Emit(EvLost, 0.05, 1, 3, 0, 0, 0)
+	}
+}
+
+// TestTraceNilZeroAlloc pins the disabled-tracing contract: a nil
+// *SpanContext behind the simulator's guards must not allocate.
+func TestTraceNilZeroAlloc(t *testing.T) {
+	var sp *SpanContext
+	if got := testing.AllocsPerRun(1000, func() { traceSequence(sp) }); got != 0 {
+		t.Errorf("nil trace path allocates %.1f times per packet, want 0", got)
+	}
+}
+
+// TestTraceEnabledZeroAlloc: the enabled path is also allocation-free — the
+// ring slab is allocated once at NewTracer, so tracing a campaign's steady
+// state never touches the heap.
+func TestTraceEnabledZeroAlloc(t *testing.T) {
+	sp := NewTracer(1<<12).Span(7, 0)
+	if got := testing.AllocsPerRun(1000, func() { traceSequence(sp) }); got != 0 {
+		t.Errorf("enabled trace path allocates %.1f times per packet, want 0", got)
+	}
+}
+
+// BenchmarkTraceNilOverhead prices the tracing call sites with tracing
+// disabled — the cost every untraced packet pays. Must report 0 allocs/op;
+// it sits alongside BenchmarkObsNilOverhead in the committed baseline.
+func BenchmarkTraceNilOverhead(b *testing.B) {
+	var sp *SpanContext
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		traceSequence(sp)
+	}
+}
+
+// BenchmarkTraceEnabledOverhead is the marginal cost of tracing one packet
+// (14 events through the mutex-guarded ring).
+func BenchmarkTraceEnabledOverhead(b *testing.B) {
+	sp := NewTracer(1<<16).Span(7, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		traceSequence(sp)
+	}
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace exporters. Two formats:
+//
+//   - Chrome trace_event JSON (WriteChromeTrace): loads directly in
+//     Perfetto (ui.perfetto.dev) and chrome://tracing. Each packet is an
+//     async-nestable span (ph "b"/"e") keyed by its deterministic span ID;
+//     lifecycle steps are nested instants (ph "n"); each configuration is a
+//     process (pid = configuration index) with a process_name metadata
+//     record. Simulated seconds map to trace microseconds.
+//
+//   - NDJSON (WriteTraceNDJSON): one self-contained JSON object per event
+//     per line, for jq/scripted analysis and streaming ingestion.
+//
+// Both outputs are byte-deterministic for a fixed event sequence; the
+// Chrome layout is locked by a golden test (testdata/trace_chrome.golden).
+
+// chromeTS renders simulated seconds as trace microseconds with nanosecond
+// resolution — fixed-point so the golden bytes are stable.
+func chromeTS(timeS float64) string {
+	return strconv.FormatFloat(timeS*1e6, 'f', 3, 64)
+}
+
+// fmtF renders a float arg compactly and deterministically.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// spanHex spells a span ID the way both exporters and the docs do.
+func spanHex(id uint64) string { return fmt.Sprintf("0x%016x", id) }
+
+// WriteChromeTrace writes events (in emission order, as returned by
+// Tracer.Events) as a Chrome trace_event JSON object. Spans whose begin
+// event was overwritten by the ring buffer are exported as orphan instants
+// only, so the file stays well-formed after wrap-around.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+
+	first := true
+	sep := func() {
+		if first {
+			first = false
+		} else {
+			bw.WriteString(",")
+		}
+		bw.WriteString("\n")
+	}
+
+	// One process_name metadata record per configuration, at first sight.
+	namedPids := map[int32]bool{}
+	open := map[uint64]bool{} // spans whose "b" made it into this export
+	for _, ev := range events {
+		if !namedPids[ev.Config] {
+			namedPids[ev.Config] = true
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"config %d"}}`,
+				ev.Config, ev.Config)
+		}
+		id := spanHex(ev.Span)
+		if ev.Kind == EvEnqueue {
+			open[ev.Span] = true
+			sep()
+			fmt.Fprintf(bw, `{"ph":"b","cat":"packet","name":"pkt %d","id":"%s","pid":%d,"tid":0,"ts":%s}`,
+				ev.Packet, id, ev.Config, chromeTS(ev.TimeS))
+			continue
+		}
+		sep()
+		fmt.Fprintf(bw, `{"ph":"n","cat":"packet","name":"%s","id":"%s","pid":%d,"tid":0,"ts":%s,"args":{%s}}`,
+			ev.Kind, id, ev.Config, chromeTS(ev.TimeS), chromeArgs(ev))
+		if ev.Kind.Terminal() && open[ev.Span] {
+			delete(open, ev.Span)
+			sep()
+			fmt.Fprintf(bw, `{"ph":"e","cat":"packet","name":"pkt %d","id":"%s","pid":%d,"tid":0,"ts":%s,"args":{"tries":%d,"outcome":"%s"}}`,
+				ev.Packet, id, ev.Config, chromeTS(ev.TimeS), ev.Try, ev.Kind)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// chromeArgs renders the args payload of one instant: always the packet and
+// attempt, plus the channel state a tx_attempt sampled.
+func chromeArgs(ev Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `"packet":%d,"try":%d`, ev.Packet, ev.Try)
+	if ev.Kind == EvTxAttempt {
+		fmt.Fprintf(&b, `,"snr_db":%s`, fmtF(float64(ev.SNR)))
+		if ev.Try == 1 {
+			fmt.Fprintf(&b, `,"rssi_dbm":%s,"lqi":%d`, fmtF(float64(ev.RSSI)), ev.LQI)
+		}
+	}
+	return b.String()
+}
+
+// ndjsonEvent is the one-line-per-event schema: self-contained, so a line
+// can be filtered in isolation (jq 'select(.kind=="tx_attempt")').
+type ndjsonEvent struct {
+	TimeS   float64  `json:"t_s"`
+	Kind    string   `json:"kind"`
+	Span    string   `json:"span"`
+	Config  int32    `json:"config"`
+	Packet  int32    `json:"packet"`
+	Try     uint8    `json:"try,omitempty"`
+	SNRdB   *float64 `json:"snr_db,omitempty"`
+	RSSIdBm *float64 `json:"rssi_dbm,omitempty"`
+	LQI     *int16   `json:"lqi,omitempty"`
+}
+
+// WriteTraceNDJSON writes one JSON object per event per line.
+func WriteTraceNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, ev := range events {
+		line := ndjsonEvent{
+			TimeS:  ev.TimeS,
+			Kind:   ev.Kind.String(),
+			Span:   spanHex(ev.Span),
+			Config: ev.Config,
+			Packet: ev.Packet,
+			Try:    ev.Try,
+		}
+		if ev.Kind == EvTxAttempt {
+			snr := float64(ev.SNR)
+			line.SNRdB = &snr
+			if ev.Try == 1 {
+				rssi := float64(ev.RSSI)
+				lqi := ev.LQI
+				line.RSSIdBm = &rssi
+				line.LQI = &lqi
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("obs: ndjson event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTrace dispatches on the path extension the CLIs use: ".ndjson"
+// selects the NDJSON stream, anything else the Chrome trace_event JSON.
+func WriteTrace(w io.Writer, path string, events []Event) error {
+	if strings.HasSuffix(path, ".ndjson") {
+		return WriteTraceNDJSON(w, events)
+	}
+	return WriteChromeTrace(w, events)
+}

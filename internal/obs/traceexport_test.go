@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exportFixture is a deterministic two-config event sequence covering every
+// kind: config 0 packet 0 delivered on try 2, config 0 packet 1 queue-
+// dropped, config 3 packet 0 lost after one try.
+func exportFixture() []Event {
+	tr := NewTracer(64)
+	const fp = 0x1f2e3d4c5b6a7988
+	c0 := tr.Span(fp, 0)
+	c3 := tr.Span(fp, 3)
+
+	c0.Emit(EvEnqueue, 0, 0, 0, 0, 0, 0)
+	c0.Emit(EvBackoff, 0.000524, 0, 1, 0, 0, 0)
+	c0.Emit(EvCCA, 0.006028, 0, 1, 0, 0, 0)
+	c0.Emit(EvTxAttempt, 0.006028, 0, 1, 4.25, -88.5, 61)
+	c0.Emit(EvAckTimeout, 0.017984, 0, 1, 0, 0, 0)
+	c0.Emit(EvEnqueue, 0.05, 1, 0, 0, 0, 0)
+	c0.Emit(EvQueueDrop, 0.05, 1, 0, 0, 0, 0)
+	c3.Emit(EvEnqueue, 0, 0, 0, 0, 0, 0)
+	c3.Emit(EvTxAttempt, 0.0061, 0, 1, -1.5, -94, 48)
+	c0.Emit(EvBackoff, 0.048, 0, 2, 0, 0, 0)
+	c0.Emit(EvTxAttempt, 0.0535, 0, 2, 4.1, 0, 0)
+	c0.Emit(EvRxDecode, 0.0572, 0, 2, 0, 0, 0)
+	c0.Emit(EvDelivered, 0.0592, 0, 2, 0, 0, 0)
+	c3.Emit(EvLost, 0.0181, 0, 1, 0, 0, 0)
+	return tr.Events()
+}
+
+// TestChromeTraceGolden pins the exporter's byte layout: the file is an
+// on-disk contract (Perfetto users archive traces next to datasets), so any
+// diff is a deliberate schema change.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "trace_chrome.golden", buf.Bytes())
+}
+
+// chromeEvent is the schema subset the validity test checks.
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	ID   string         `json:"id"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Ts   *float64       `json:"ts"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChromeTraceSchemaValid parses the export as JSON and checks the
+// trace_event invariants Perfetto relies on: every record has a phase,
+// pid/tid, a timestamp (except metadata), and span begins/ends balance.
+func TestChromeTraceSchemaValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, exportFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	begins := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing ph/pid/tid: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				t.Errorf("event %d: unexpected metadata %q", i, ev.Name)
+			}
+		case "b":
+			begins[ev.ID]++
+			if ev.Ts == nil {
+				t.Errorf("event %d: span begin without ts", i)
+			}
+		case "e":
+			begins[ev.ID]--
+		case "n":
+			if ev.Ts == nil || ev.Args == nil {
+				t.Errorf("event %d: instant without ts/args", i)
+			}
+		default:
+			t.Errorf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	for id, n := range begins {
+		if n != 0 {
+			t.Errorf("span %s has %+d unbalanced begin/end", id, n)
+		}
+	}
+}
+
+// TestChromeTraceOrphanTerminal: when ring eviction swallowed a span's
+// begin event, the exporter must not emit an unmatched "e".
+func TestChromeTraceOrphanTerminal(t *testing.T) {
+	events := []Event{
+		{TimeS: 1, Span: 42, Config: 0, Packet: 5, Try: 3, Kind: EvDelivered},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `"ph":"e"`) {
+		t.Errorf("orphan terminal produced an unmatched span end:\n%s", out)
+	}
+	if !strings.Contains(out, `"name":"delivered"`) {
+		t.Errorf("orphan terminal lost its instant:\n%s", out)
+	}
+}
+
+func TestNDJSONExport(t *testing.T) {
+	var buf bytes.Buffer
+	events := exportFixture()
+	if err := WriteTraceNDJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %d is not JSON: %v", n+1, err)
+		}
+		for _, key := range []string{"t_s", "kind", "span", "config", "packet"} {
+			if _, ok := line[key]; !ok {
+				t.Fatalf("line %d missing %q: %s", n+1, key, sc.Text())
+			}
+		}
+		kind := line["kind"].(string)
+		if _, ok := line["snr_db"]; ok != (kind == "tx_attempt") {
+			t.Errorf("line %d (%s): snr_db presence = %v", n+1, kind, ok)
+		}
+		if _, ok := line["rssi_dbm"]; ok && (kind != "tx_attempt" || line["try"].(float64) != 1) {
+			t.Errorf("line %d: rssi_dbm on %s try %v", n+1, kind, line["try"])
+		}
+		n++
+	}
+	if n != len(events) {
+		t.Errorf("ndjson lines = %d, want %d", n, len(events))
+	}
+}
+
+// TestNDJSONSpanMatchesChrome: both exporters must spell the same span ID
+// for the same event, so a packet can be cross-referenced between files.
+func TestNDJSONSpanMatchesChrome(t *testing.T) {
+	ev := exportFixture()[0]
+	var nd, ch bytes.Buffer
+	if err := WriteTraceNDJSON(&nd, []Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&ch, []Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	id := spanHex(ev.Span)
+	if !strings.Contains(nd.String(), id) || !strings.Contains(ch.String(), id) {
+		t.Errorf("span %s missing from an exporter:\nndjson: %schrome: %s", id, nd.String(), ch.String())
+	}
+}
+
+func TestWriteTraceDispatch(t *testing.T) {
+	events := exportFixture()
+	var a, b bytes.Buffer
+	if err := WriteTrace(&a, "out.ndjson", events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&b, "out.trace.json", events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(a.String(), "{\"t_s\"") {
+		t.Errorf(".ndjson did not select NDJSON: %s", a.String()[:40])
+	}
+	if !strings.HasPrefix(b.String(), "{\"displayTimeUnit\"") {
+		t.Errorf(".json did not select Chrome format: %s", b.String()[:40])
+	}
+}

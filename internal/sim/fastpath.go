@@ -57,6 +57,7 @@ func RunFastContext(ctx context.Context, cfg stack.Config, opts Options) (Result
 		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
 		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
 		obs:          opts.Obs,
+		trace:        opts.Trace,
 	}
 	return f.run(ctx)
 }
@@ -74,7 +75,8 @@ type fastSim struct {
 	counters     Counters
 	records      []PacketRecord
 	lastEnd      float64
-	obs          *obs.Metrics // optional telemetry sink (nil = disabled)
+	obs          *obs.Metrics     // optional telemetry sink (nil = disabled)
+	trace        *obs.SpanContext // optional lifecycle tracer (nil = disabled)
 }
 
 func (f *fastSim) advanceChannel(t float64) {
@@ -114,6 +116,9 @@ func (f *fastSim) run(ctx context.Context) (Result, error) {
 		if f.obs != nil {
 			f.obs.StageAddSim(obs.StageGenerator, 0)
 		}
+		if f.trace != nil {
+			f.trace.Emit(obs.EvEnqueue, arrival, rec.ID, 0, 0, 0, 0)
+		}
 
 		waiting := len(departures)
 		if waiting > 0 {
@@ -130,6 +135,9 @@ func (f *fastSim) run(ctx context.Context) (Result, error) {
 			rec.QueueDrop = true
 			rec.ServiceEnd = arrival
 			f.counters.QueueDrops++
+			if f.trace != nil {
+				f.trace.Emit(obs.EvQueueDrop, arrival, rec.ID, 0, 0, 0, 0)
+			}
 			f.finish(rec)
 			continue
 		}
@@ -165,7 +173,13 @@ func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
 		if try > 1 {
 			t += f.cfg.RetryDelay + mac.RetrySoftwareOverhead
 		}
+		if f.trace != nil {
+			f.trace.Emit(obs.EvBackoff, t, rec.ID, try, 0, 0, 0)
+		}
 		t += mac.MeanMACDelay()
+		if f.trace != nil {
+			f.trace.Emit(obs.EvCCA, t, rec.ID, try, 0, 0, 0)
+		}
 
 		f.advanceChannel(t)
 		snr := f.link.SNR(f.txDBm)
@@ -180,6 +194,9 @@ func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
 			f.counters.SumRSSISq += rssi * rssi
 			f.counters.SNRSamples++
 		}
+		if f.trace != nil {
+			f.trace.Emit(obs.EvTxAttempt, t, rec.ID, try, snr, rec.RSSI, rec.LQI)
+		}
 
 		t += frameTime
 		rec.Tries = try
@@ -189,6 +206,9 @@ func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
 
 		dataOK := f.rng.Float64() >= f.errModel.DataPER(snr, f.cfg.PayloadBytes)
 		if dataOK {
+			if f.trace != nil {
+				f.trace.Emit(obs.EvRxDecode, t, rec.ID, try, 0, 0, 0)
+			}
 			if rec.Delivered {
 				f.counters.Duplicates++
 			} else {
@@ -207,10 +227,20 @@ func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
 		}
 		t += mac.AckWaitTimeout
 		f.counters.ListenTimeS += mac.AckWaitTimeout
+		if f.trace != nil {
+			f.trace.Emit(obs.EvAckTimeout, t, rec.ID, try, 0, 0, 0)
+		}
 	}
 
 	if !rec.Delivered {
 		f.counters.RadioDrops++
+	}
+	if f.trace != nil {
+		kind := obs.EvLost
+		if rec.Delivered {
+			kind = obs.EvDelivered
+		}
+		f.trace.Emit(kind, t, rec.ID, rec.Tries, 0, 0, 0)
 	}
 	if f.obs != nil {
 		recordPacketStages(f.obs, rec, t, frameTime)

@@ -85,6 +85,11 @@ type Options struct {
 	// time (generator → queue → MAC → channel → RX) and the packet
 	// counter. nil (the default) adds no overhead beyond a pointer test.
 	Obs *obs.Metrics
+	// Trace, if non-nil, receives per-packet lifecycle events (enqueue,
+	// queue drop, backoff, CCA, TX attempt, ACK timeout, delivery/loss,
+	// RX decode) on the simulated clock. nil (the default) costs one
+	// pointer test per emission site.
+	Trace *obs.SpanContext
 }
 
 func (o Options) withDefaults() Options {
@@ -125,9 +130,10 @@ type LinkSim struct {
 	records    []PacketRecord
 	lastEnd    float64
 
-	ctx     context.Context // cancellation, checked between packet generations
-	stopErr error           // first cancellation error observed
-	obs     *obs.Metrics    // optional telemetry sink (nil = disabled)
+	ctx     context.Context  // cancellation, checked between packet generations
+	stopErr error            // first cancellation error observed
+	obs     *obs.Metrics     // optional telemetry sink (nil = disabled)
+	trace   *obs.SpanContext // optional lifecycle tracer (nil = disabled)
 }
 
 // NewLinkSim validates the configuration and builds a simulator.
@@ -160,6 +166,7 @@ func NewLinkSim(cfg stack.Config, opts Options) (*LinkSim, error) {
 		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
 		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
 		obs:          opts.Obs,
+		trace:        opts.Trace,
 	}, nil
 }
 
@@ -233,6 +240,9 @@ func (s *LinkSim) runSaturated(ctx context.Context) error {
 		if s.obs != nil {
 			s.obs.StageAddSim(obs.StageGenerator, 0)
 		}
+		if s.trace != nil {
+			s.trace.Emit(obs.EvEnqueue, rec.GenTime, rec.ID, 0, 0, 0, 0)
+		}
 		s.startService(rec)
 		s.engine.RunUntilIdle()
 	}
@@ -263,6 +273,9 @@ func (s *LinkSim) generate(i int) {
 	if s.obs != nil {
 		s.obs.StageAddSim(obs.StageGenerator, 0)
 	}
+	if s.trace != nil {
+		s.trace.Emit(obs.EvEnqueue, rec.GenTime, rec.ID, 0, 0, 0, 0)
+	}
 	s.counters.SumQueueOccupancy += float64(s.sendQ.Len())
 	s.counters.ArrivalsSeen++
 	if s.sendQ.Len() > s.counters.MaxQueueOccupancy {
@@ -275,6 +288,9 @@ func (s *LinkSim) generate(i int) {
 		rec.QueueDrop = true
 		rec.ServiceEnd = s.engine.Now()
 		s.counters.QueueDrops++
+		if s.trace != nil {
+			s.trace.Emit(obs.EvQueueDrop, rec.ServiceEnd, rec.ID, 0, 0, 0, 0)
+		}
 		s.finishRecord(rec)
 	}
 	if i+1 < s.opts.Packets {
@@ -307,7 +323,13 @@ func (s *LinkSim) startService(rec *PacketRecord) {
 		if try > 1 {
 			t += s.cfg.RetryDelay + mac.RetrySoftwareOverhead
 		}
+		if s.trace != nil {
+			s.trace.Emit(obs.EvBackoff, t, rec.ID, try, 0, 0, 0)
+		}
 		t += mac.TurnaroundTime + mac.SampleBackoff(s.rng)
+		if s.trace != nil {
+			s.trace.Emit(obs.EvCCA, t, rec.ID, try, 0, 0, 0)
+		}
 
 		s.advanceChannel(t)
 		snr := s.link.SNR(s.txDBm)
@@ -322,6 +344,9 @@ func (s *LinkSim) startService(rec *PacketRecord) {
 			s.counters.SumRSSISq += rssi * rssi
 			s.counters.SNRSamples++
 		}
+		if s.trace != nil {
+			s.trace.Emit(obs.EvTxAttempt, t, rec.ID, try, snr, rec.RSSI, rec.LQI)
+		}
 
 		t += frameTime
 		rec.Tries = try
@@ -331,6 +356,9 @@ func (s *LinkSim) startService(rec *PacketRecord) {
 
 		dataOK := s.rng.Float64() >= s.errModel.DataPER(snr, s.cfg.PayloadBytes)
 		if dataOK {
+			if s.trace != nil {
+				s.trace.Emit(obs.EvRxDecode, t, rec.ID, try, 0, 0, 0)
+			}
 			if rec.Delivered {
 				s.counters.Duplicates++
 			} else {
@@ -350,10 +378,20 @@ func (s *LinkSim) startService(rec *PacketRecord) {
 		}
 		t += mac.AckWaitTimeout
 		s.counters.ListenTimeS += mac.AckWaitTimeout
+		if s.trace != nil {
+			s.trace.Emit(obs.EvAckTimeout, t, rec.ID, try, 0, 0, 0)
+		}
 	}
 
 	if !rec.Delivered {
 		s.counters.RadioDrops++
+	}
+	if s.trace != nil {
+		kind := obs.EvLost
+		if rec.Delivered {
+			kind = obs.EvDelivered
+		}
+		s.trace.Emit(kind, t, rec.ID, rec.Tries, 0, 0, 0)
 	}
 	if s.obs != nil {
 		recordPacketStages(s.obs, rec, t, frameTime)

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+)
+
+func traceTestConfig() stack.Config {
+	return stack.Config{
+		DistanceM:    35,
+		TxPower:      phy.PowerLevel(7),
+		MaxTries:     3,
+		RetryDelay:   0.030,
+		QueueCap:     2, // small queue so drops occur
+		PktInterval:  0.010,
+		PayloadBytes: 110,
+	}
+}
+
+// checkLifecycle verifies the event stream against the run's counters:
+// every generated packet opens with enqueue and closes with exactly one
+// terminal event, every transmission produced a tx_attempt, and drops /
+// deliveries agree with the aggregate counts.
+func checkLifecycle(t *testing.T, events []obs.Event, c Counters) {
+	t.Helper()
+	perKind := map[obs.EventKind]int{}
+	terminals := map[int32]int{}
+	enqueued := map[int32]bool{}
+	for _, ev := range events {
+		perKind[ev.Kind]++
+		if ev.Kind == obs.EvEnqueue {
+			enqueued[ev.Packet] = true
+		}
+		if ev.Kind.Terminal() {
+			terminals[ev.Packet]++
+			if !enqueued[ev.Packet] {
+				t.Errorf("packet %d terminated without an enqueue event", ev.Packet)
+			}
+		}
+	}
+	if perKind[obs.EvEnqueue] != c.Generated {
+		t.Errorf("enqueue events = %d, want Generated = %d", perKind[obs.EvEnqueue], c.Generated)
+	}
+	if perKind[obs.EvTxAttempt] != c.TotalTransmissions {
+		t.Errorf("tx_attempt events = %d, want TotalTransmissions = %d",
+			perKind[obs.EvTxAttempt], c.TotalTransmissions)
+	}
+	if perKind[obs.EvBackoff] != c.TotalTransmissions || perKind[obs.EvCCA] != c.TotalTransmissions {
+		t.Errorf("backoff/cca events = %d/%d, want one per transmission (%d)",
+			perKind[obs.EvBackoff], perKind[obs.EvCCA], c.TotalTransmissions)
+	}
+	if perKind[obs.EvQueueDrop] != c.QueueDrops {
+		t.Errorf("queue_drop events = %d, want %d", perKind[obs.EvQueueDrop], c.QueueDrops)
+	}
+	if perKind[obs.EvDelivered] != c.Delivered {
+		t.Errorf("delivered events = %d, want %d", perKind[obs.EvDelivered], c.Delivered)
+	}
+	if perKind[obs.EvLost] != c.RadioDrops {
+		t.Errorf("lost events = %d, want RadioDrops = %d", perKind[obs.EvLost], c.RadioDrops)
+	}
+	if perKind[obs.EvRxDecode] != c.Delivered+c.Duplicates {
+		t.Errorf("rx_decode events = %d, want Delivered+Duplicates = %d",
+			perKind[obs.EvRxDecode], c.Delivered+c.Duplicates)
+	}
+	for pkt, n := range terminals {
+		if n != 1 {
+			t.Errorf("packet %d has %d terminal events, want 1", pkt, n)
+		}
+	}
+	if len(terminals) != c.Generated {
+		t.Errorf("packets with terminals = %d, want Generated = %d", len(terminals), c.Generated)
+	}
+}
+
+func TestLinkSimLifecycleTrace(t *testing.T) {
+	tr := obs.NewTracer(1 << 16)
+	res, err := Run(traceTestConfig(), Options{
+		Packets: 300, Seed: 5, Trace: tr.Span(0xabc, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycle(t, tr.Events(), res.Counters)
+}
+
+func TestFastPathLifecycleTrace(t *testing.T) {
+	tr := obs.NewTracer(1 << 16)
+	res, err := RunFast(traceTestConfig(), Options{
+		Packets: 300, Seed: 5, Trace: tr.Span(0xabc, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycle(t, tr.Events(), res.Counters)
+}
+
+func TestSaturatedLifecycleTrace(t *testing.T) {
+	cfg := traceTestConfig()
+	cfg.PktInterval = 0 // saturated regime
+	tr := obs.NewTracer(1 << 16)
+	res, err := Run(cfg, Options{Packets: 100, Seed: 9, Trace: tr.Span(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLifecycle(t, tr.Events(), res.Counters)
+}
+
+// TestTraceEventsChronologicalPerPacket: within one packet the simulated
+// timestamps must be non-decreasing — the exporter renders them as a span.
+func TestTraceEventsChronologicalPerPacket(t *testing.T) {
+	tr := obs.NewTracer(1 << 16)
+	if _, err := Run(traceTestConfig(), Options{Packets: 200, Seed: 3, Trace: tr.Span(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	last := map[int32]float64{}
+	for _, ev := range tr.Events() {
+		if ev.TimeS < last[ev.Packet] {
+			t.Fatalf("packet %d: event %v at %g before %g", ev.Packet, ev.Kind, ev.TimeS, last[ev.Packet])
+		}
+		last[ev.Packet] = ev.TimeS
+	}
+}
+
+// TestTraceDoesNotPerturbRun: attaching a tracer must not change the
+// simulation (tracing never touches the RNG).
+func TestTraceDoesNotPerturbRun(t *testing.T) {
+	opts := Options{Packets: 400, Seed: 11}
+	plain, err := Run(traceTestConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Trace = obs.NewTracer(1<<16).Span(7, 3)
+	traced, err := Run(traceTestConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Counters != traced.Counters || plain.Duration != traced.Duration {
+		t.Errorf("tracing changed the run:\nplain:  %+v\ntraced: %+v", plain.Counters, traced.Counters)
+	}
+}

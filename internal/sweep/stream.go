@@ -55,10 +55,15 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 		yield = func(Row) error { return nil }
 	}
 
+	// The fingerprint doubles as checkpoint identity and trace-span
+	// namespace; computing it unconditionally keeps both derivations in
+	// one place (it is microseconds over a campaign of any size).
+	fingerprint := campaignFingerprint(cfgs, opts)
+
 	start := 0
 	var ck *checkpointFile
 	if opts.Checkpoint != "" {
-		ck, err = openCheckpoint(opts.Checkpoint, campaignFingerprint(cfgs, opts), len(cfgs), opts.Resume)
+		ck, err = openCheckpoint(opts.Checkpoint, fingerprint, len(cfgs), opts.Resume)
 		if err != nil {
 			return err
 		}
@@ -101,14 +106,11 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 				if opts.Metrics != nil {
 					t0 = time.Now()
 				}
-				row, err := runOne(sctx, cfgs[i], i, opts)
+				row, err := runOne(sctx, cfgs[i], i, opts, fingerprint)
 				if opts.Metrics != nil {
 					d := time.Since(t0)
 					opts.Metrics.ObserveConfig(d)
 					opts.Metrics.StageAdd(obs.StageSimulate, d)
-				}
-				if opts.Done != nil {
-					opts.Done.Add(1)
 				}
 				if opts.Progress != nil {
 					opts.Progress.done.Add(1)

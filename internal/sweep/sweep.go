@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync/atomic"
 
 	"wsnlink/internal/channel"
 	"wsnlink/internal/metrics"
@@ -98,14 +97,6 @@ type RunOptions struct {
 	// ErrorModel overrides the paper-calibrated CC2420 model. It must be
 	// stateless (the provided phy models are value types).
 	ErrorModel phy.ErrorModel
-	// Done, if non-nil, is incremented atomically as each configuration
-	// finishes simulating (successfully or not). Poll it — e.g. from a
-	// ticker goroutine — for progress reporting; unlike a callback it
-	// never serializes the worker pool.
-	//
-	// Deprecated: Progress supersedes it with a done/total/errors
-	// snapshot; Done remains for compatibility and both are updated.
-	Done *atomic.Int64
 	// Progress, if non-nil, is reset when the run starts and kept up to
 	// date atomically as configurations finish; read it with Snapshot
 	// from any goroutine.
@@ -117,6 +108,18 @@ type RunOptions struct {
 	// (the default) adds no overhead beyond pointer tests —
 	// BenchmarkObsNilOverhead pins the nil path at zero allocations.
 	Metrics *obs.Metrics
+	// Tracer, if non-nil, receives per-packet lifecycle events from the
+	// simulator for the sampled configurations. Each traced configuration
+	// gets a span namespace derived from (campaign fingerprint,
+	// configuration index), so span IDs are byte-identical across
+	// kill-and-resume and across worker counts. nil (the default) keeps
+	// the simulator on its single-nil-check disabled path.
+	Tracer *obs.Tracer
+	// TraceSample traces every Nth configuration when Tracer is set
+	// (0 or 1 = every configuration). Sampling bounds trace volume on
+	// campaign-scale sweeps without truncating individual packet spans
+	// the way the Tracer's ring eviction would.
+	TraceSample int
 	// OnRow, if non-nil, is called for every emitted row, in input order,
 	// from the goroutine running the stream (after yield). Use it for
 	// lightweight observation; heavy work here backpressures the sweep.
@@ -153,10 +156,25 @@ func (o RunOptions) withDefaults() (RunOptions, error) {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.TraceSample < 0 {
+		return o, fmt.Errorf("sweep: TraceSample must be >= 0, got %d", o.TraceSample)
+	}
 	if o.Resume && o.Checkpoint == "" {
 		return o, fmt.Errorf("sweep: Resume requires a Checkpoint path")
 	}
 	return o, nil
+}
+
+// traceSpan returns the simulator's span context for configuration idx:
+// nil unless tracing is on and idx falls on the sample grid.
+func (o RunOptions) traceSpan(fingerprint uint64, idx int) *obs.SpanContext {
+	if o.Tracer == nil {
+		return nil
+	}
+	if o.TraceSample > 1 && idx%o.TraceSample != 0 {
+		return nil
+	}
+	return o.Tracer.Span(fingerprint, idx)
 }
 
 // configSeed derives a deterministic per-configuration seed (SplitMix64 of
@@ -208,8 +226,10 @@ func collectInto(dst *[]Row) func(Row) error {
 	}
 }
 
-// runOne simulates a single configuration at its derived seed.
-func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions) (Row, error) {
+// runOne simulates a single configuration at its derived seed. fingerprint
+// is the campaign identity hash; it seeds the deterministic trace-span
+// namespace when this configuration is sampled for tracing.
+func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions, fingerprint uint64) (Row, error) {
 	seed := configSeed(opts.BaseSeed, idx)
 	simOpts := sim.Options{
 		Packets:    opts.Packets,
@@ -217,6 +237,7 @@ func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions) (Ro
 		Channel:    opts.Channel,
 		ErrorModel: opts.ErrorModel,
 		Obs:        opts.Metrics,
+		Trace:      opts.traceSpan(fingerprint, idx),
 	}
 	var (
 		res sim.Result

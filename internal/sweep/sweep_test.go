@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"math"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"wsnlink/internal/models"
@@ -78,18 +77,18 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRunProgressCounterAndOnRow(t *testing.T) {
-	var done atomic.Int64
+	var prog Progress
 	var onRow []Row
 	rows, err := RunConfigs(smallSpace().All(), RunOptions{
 		Packets: 50, Fast: true,
-		Done:  &done,
-		OnRow: func(r Row) { onRow = append(onRow, r) }, // emitter goroutine: no locking needed
+		Progress: &prog,
+		OnRow:    func(r Row) { onRow = append(onRow, r) }, // emitter goroutine: no locking needed
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := done.Load(); got != int64(smallSpace().Size()) {
-		t.Errorf("Done counter = %d, want %d", got, smallSpace().Size())
+	if got := prog.Snapshot().Done; got != int64(smallSpace().Size()) {
+		t.Errorf("Progress.Done = %d, want %d", got, smallSpace().Size())
 	}
 	if len(onRow) != len(rows) {
 		t.Fatalf("OnRow saw %d rows, want %d", len(onRow), len(rows))

@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/stack"
+)
+
+// configEvents filters a tracer's events down to one configuration,
+// preserving emission order (per-configuration order is deterministic: one
+// worker runs a configuration start to finish).
+func configEvents(tr *obs.Tracer, cfg int) []obs.Event {
+	var out []obs.Event
+	for _, ev := range tr.Events() {
+		if ev.Config == int32(cfg) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestSweepTraceSampling(t *testing.T) {
+	cfgs := smallSpace().All() // 8 configurations
+	tr := obs.NewTracer(1 << 16)
+	if _, err := RunConfigs(cfgs, RunOptions{
+		Packets: 30, BaseSeed: 2, Fast: true,
+		Tracer: tr, TraceSample: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]bool{}
+	for _, ev := range tr.Events() {
+		seen[ev.Config] = true
+	}
+	for i := range cfgs {
+		want := i%3 == 0
+		if seen[int32(i)] != want {
+			t.Errorf("config %d traced = %v, want %v (TraceSample 3)", i, seen[int32(i)], want)
+		}
+	}
+}
+
+func TestSweepTraceSampleValidation(t *testing.T) {
+	if _, err := RunConfigs(smallSpace().All(), RunOptions{TraceSample: -1, Fast: true}); err == nil {
+		t.Error("negative TraceSample should error")
+	}
+}
+
+// TestSweepTraceSpanUsesCampaignFingerprint ties the span IDs the engine
+// emits to the public PacketSpanID(CampaignFingerprint(...), idx, pkt)
+// derivation, so external tooling can locate a packet in a trace from the
+// manifest alone.
+func TestSweepTraceSpanUsesCampaignFingerprint(t *testing.T) {
+	cfgs := smallSpace().All()
+	opts := RunOptions{Packets: 20, BaseSeed: 9, Fast: true, Tracer: obs.NewTracer(1 << 16)}
+	if _, err := RunConfigs(cfgs, opts); err != nil {
+		t.Fatal(err)
+	}
+	fp := CampaignFingerprint(cfgs, opts)
+	for _, ev := range opts.Tracer.Events() {
+		if want := obs.PacketSpanID(fp, int(ev.Config), int(ev.Packet)); ev.Span != want {
+			t.Fatalf("config %d packet %d span = %#x, want PacketSpanID = %#x",
+				ev.Config, ev.Packet, ev.Span, want)
+		}
+	}
+}
+
+// TestSweepTraceStableAcrossKillAndResume is the acceptance criterion: a
+// campaign killed partway and resumed from its checkpoint must re-emit
+// byte-identical trace spans for the configurations it processes — same
+// span IDs, same timestamps, same exported bytes.
+func TestSweepTraceStableAcrossKillAndResume(t *testing.T) {
+	cfgs := smallSpace().All()
+	base := RunOptions{Packets: 40, BaseSeed: 13, Fast: true, Workers: 2}
+	lastCfg := len(cfgs) - 1
+
+	// Reference: one uninterrupted traced run.
+	ref := base
+	ref.Tracer = obs.NewTracer(1 << 16)
+	if _, err := RunConfigs(cfgs, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel after the third yielded row, then resume.
+	ckpt := filepath.Join(t.TempDir(), "trace.ckpt")
+	interrupted := base
+	interrupted.Checkpoint = ckpt
+	interrupted.Tracer = obs.NewTracer(1 << 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	err := StreamConfigs(ctx, cfgs, interrupted, func(Row) error {
+		if rows++; rows == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("interrupted run should report cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	resumed := base
+	resumed.Checkpoint = ckpt
+	resumed.Resume = true
+	resumed.Tracer = obs.NewTracer(1 << 16)
+	if err := StreamConfigs(context.Background(), cfgs, resumed, func(Row) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The last configuration ran after the resume; its trace must match
+	// the uninterrupted run byte for byte in both export formats.
+	want := configEvents(ref.Tracer, lastCfg)
+	got := configEvents(resumed.Tracer, lastCfg)
+	if len(want) == 0 || len(got) == 0 {
+		t.Fatalf("no events for config %d (ref %d, resumed %d)", lastCfg, len(want), len(got))
+	}
+	var wantChrome, gotChrome, wantND, gotND bytes.Buffer
+	if err := obs.WriteChromeTrace(&wantChrome, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&gotChrome, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantChrome.Bytes(), gotChrome.Bytes()) {
+		t.Errorf("Chrome trace differs across kill-and-resume:\nwant:\n%s\ngot:\n%s",
+			wantChrome.Bytes(), gotChrome.Bytes())
+	}
+	if err := obs.WriteTraceNDJSON(&wantND, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteTraceNDJSON(&gotND, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantND.Bytes(), gotND.Bytes()) {
+		t.Errorf("NDJSON trace differs across kill-and-resume")
+	}
+}
+
+// TestSweepTraceDoesNotChangeRows: arming the tracer must leave the
+// dataset untouched (tracing never touches the per-configuration RNG).
+func TestSweepTraceDoesNotChangeRows(t *testing.T) {
+	cfgs := smallSpace().All()
+	plain, err := RunConfigs(cfgs, RunOptions{Packets: 30, BaseSeed: 4, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := RunConfigs(cfgs, RunOptions{
+		Packets: 30, BaseSeed: 4, Fast: true, Tracer: obs.NewTracer(1 << 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Fatalf("row %d differs with tracing enabled", i)
+		}
+	}
+}
+
+func TestSweepTraceDESPath(t *testing.T) {
+	// The full event-driven path also feeds the tracer (fastpath guard and
+	// engine wiring are separate code paths).
+	cfgs := []stack.Config{smallSpace().All()[0]}
+	tr := obs.NewTracer(1 << 14)
+	if _, err := RunConfigs(cfgs, RunOptions{Packets: 25, BaseSeed: 1, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("DES path emitted no trace events")
+	}
+}

@@ -62,6 +62,90 @@ func TestReadRejectsBadInput(t *testing.T) {
 	}
 }
 
+// writeSample serialises two well-formed records for corruption tests.
+func writeSample(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	err := Write(&buf, []sim.PacketRecord{
+		{ID: 0, GenTime: 0, Tries: 1, Delivered: true, RSSI: -88.5, SNR: 4.2, LQI: 61},
+		{ID: 1, GenTime: 0.05, Tries: 3, Delivered: false, RSSI: -94, SNR: -1.5, LQI: 48},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestReadRejectsTruncatedRow: a row cut short mid-record (the usual shape
+// of a crashed collector's last line) must fail with the line number, not
+// silently drop or misparse the tail.
+func TestReadRejectsTruncatedRow(t *testing.T) {
+	full := writeSample(t)
+	lines := strings.SplitAfter(full, "\n")
+	last := lines[len(lines)-2] // final data row (last element is "")
+	for _, cut := range []int{len(last) / 2, len(last) - 3} {
+		truncated := strings.Join(lines[:len(lines)-2], "") + last[:cut]
+		_, err := Read(strings.NewReader(truncated))
+		if err == nil {
+			t.Fatalf("truncated row (cut at %d) accepted:\n%q", cut, last[:cut])
+		}
+		if !strings.Contains(err.Error(), "line 3") {
+			t.Errorf("truncation error does not name the line: %v", err)
+		}
+	}
+}
+
+// TestReadRejectsWrongColumnCount: extra or missing columns must be caught
+// by the fixed FieldsPerRecord, including in the header.
+func TestReadRejectsWrongColumnCount(t *testing.T) {
+	full := writeSample(t)
+	if _, err := Read(strings.NewReader(full + "9,0.1,0.1,0.2\n")); err == nil {
+		t.Error("short row should error")
+	}
+	if _, err := Read(strings.NewReader(strings.TrimSuffix(full, "\n") + ",extra\n")); err == nil {
+		t.Error("long row should error")
+	}
+	header := strings.SplitAfter(full, "\n")[0]
+	if _, err := Read(strings.NewReader(strings.Replace(header, "id,", "id,bogus,", 1))); err == nil {
+		t.Error("header with an extra column should error")
+	}
+}
+
+// TestReadRejectsMalformedFields walks every column of a valid row,
+// replacing it with a token of the wrong type; each corruption must fail
+// and the error must carry the offending line.
+func TestReadRejectsMalformedFields(t *testing.T) {
+	full := writeSample(t)
+	lines := strings.Split(strings.TrimSuffix(full, "\n"), "\n")
+	row := strings.Split(lines[1], ",")
+	for col := range row {
+		bad := make([]string, len(row))
+		copy(bad, row)
+		bad[col] = "bogus"
+		in := lines[0] + "\n" + strings.Join(bad, ",") + "\n" + lines[2] + "\n"
+		_, err := Read(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("column %d corrupted to %q was accepted", col, bad[col])
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("column %d error does not name line 2: %v", col, err)
+		}
+	}
+}
+
+// TestReadHeaderOnly: a trace with no data rows is valid and empty.
+func TestReadHeaderOnly(t *testing.T) {
+	header := strings.SplitAfter(writeSample(t), "\n")[0]
+	records, err := Read(strings.NewReader(header))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Errorf("header-only trace yielded %d records", len(records))
+	}
+}
+
 func mkRecords(pattern string) []sim.PacketRecord {
 	// pattern: 'D' delivered, 'L' lost.
 	out := make([]sim.PacketRecord, len(pattern))

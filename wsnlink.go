@@ -21,6 +21,7 @@ package wsnlink
 
 import (
 	"context"
+	"io"
 
 	"wsnlink/internal/channel"
 	"wsnlink/internal/metrics"
@@ -98,7 +99,8 @@ type (
 	// SweepRow is one aggregated configuration result.
 	SweepRow = sweep.Row
 	// SweepOptions configures a campaign run: scale knobs (Packets,
-	// BaseSeed, Workers, Fast), progress plumbing (Done, OnRow), the
+	// BaseSeed, Workers, Fast), progress plumbing (Progress, OnRow),
+	// observability sinks (Metrics, Tracer, TraceSample), the
 	// per-configuration error policy, and checkpoint/resume paths. The
 	// knobs are validated once on entry; batch and streaming modes share
 	// the same defaulting path.
@@ -184,6 +186,18 @@ type (
 	SweepProgress = sweep.Progress
 	// SweepProgressSnapshot is one atomic reading of a SweepProgress.
 	SweepProgressSnapshot = sweep.ProgressSnapshot
+	// Tracer collects per-packet lifecycle events (enqueue, backoff, CCA,
+	// TX attempts, ACK timeouts, delivery/loss) into a bounded ring; pass
+	// one (from NewTracer) through SweepOptions.Tracer. A nil *Tracer
+	// disables tracing at zero cost.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded lifecycle event (simulated timestamp,
+	// span ID, configuration and packet indices, kind, try, SNR/RSSI/LQI).
+	TraceEvent = obs.Event
+	// TraceEventKind enumerates the lifecycle event kinds.
+	TraceEventKind = obs.EventKind
+	// TraceStats summarizes a Tracer's ring occupancy.
+	TraceStats = obs.TraceStats
 )
 
 // NewMetrics returns a telemetry hub with the standard bucket layout.
@@ -192,6 +206,28 @@ func NewMetrics() *Metrics { return obs.New() }
 // ReadRunManifest loads and validates a run manifest written by wsnsweep.
 func ReadRunManifest(path string) (RunManifest, error) {
 	return obs.ReadManifest(path)
+}
+
+// NewTracer returns a lifecycle-event tracer with a bounded ring of the
+// given capacity (0 = the default 262144 events); when full, the oldest
+// events are evicted and counted.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// WriteTraceEvents exports collected lifecycle events, picking the format
+// from path: a ".ndjson" suffix selects streaming NDJSON (one event per
+// line), anything else the Chrome trace_event JSON that Perfetto and
+// chrome://tracing load directly. Only path's extension is consulted — the
+// bytes go to w.
+func WriteTraceEvents(w io.Writer, path string, events []TraceEvent) error {
+	return obs.WriteTrace(w, path, events)
+}
+
+// PacketSpanID returns the deterministic trace span ID of one packet in a
+// campaign: it depends only on the campaign fingerprint (SweepFingerprint),
+// the configuration index and the packet ID, so a trace from a resumed run
+// carries the same span IDs as one from an uninterrupted run.
+func PacketSpanID(fingerprint uint64, configIndex, packetID int) uint64 {
+	return obs.PacketSpanID(fingerprint, configIndex, packetID)
 }
 
 // Empirical models (Table III).

@@ -1,6 +1,9 @@
 package wsnlink_test
 
 import (
+	"bytes"
+	"encoding/json"
+
 	"testing"
 
 	"wsnlink"
@@ -77,5 +80,51 @@ func TestFacadeSweepAndCalibrate(t *testing.T) {
 	}
 	if wsnlink.DefaultSpace().Size() < 45000 {
 		t.Error("default space should match the paper's ~50k scale")
+	}
+}
+
+// TestFacadeLifecycleTracing drives the tracing surface end to end through
+// the public API: trace a small campaign, check span determinism against
+// PacketSpanID, and export both formats.
+func TestFacadeLifecycleTracing(t *testing.T) {
+	space := wsnlink.Space{
+		DistancesM:    []float64{35},
+		TxPowers:      []wsnlink.PowerLevel{7, 31},
+		MaxTries:      []int{3},
+		RetryDelays:   []float64{0.03},
+		QueueCaps:     []int{30},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{110},
+	}
+	tr := wsnlink.NewTracer(1 << 14)
+	opts := wsnlink.SweepOptions{Packets: 40, BaseSeed: 3, Fast: true, Tracer: tr}
+	if _, err := wsnlink.Sweep(space, opts); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no trace events collected")
+	}
+	fp, err := wsnlink.SweepFingerprint(space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if want := wsnlink.PacketSpanID(fp, int(ev.Config), int(ev.Packet)); ev.Span != want {
+			t.Fatalf("span %#x != PacketSpanID %#x", ev.Span, want)
+		}
+	}
+	var chrome, ndjson bytes.Buffer
+	if err := wsnlink.WriteTraceEvents(&chrome, "t.trace.json", events); err != nil {
+		t.Fatal(err)
+	}
+	if err := wsnlink.WriteTraceEvents(&ndjson, "t.ndjson", events); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(chrome.Bytes()) {
+		t.Error("Chrome export is not valid JSON")
+	}
+	if !bytes.Contains(ndjson.Bytes(), []byte(`"kind":"tx_attempt"`)) {
+		t.Error("NDJSON export missing tx_attempt events")
 	}
 }
