@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json verify
+.PHONY: build test vet race service-e2e bench bench-json vulncheck verify
 
 # Benchmarks the committed BENCH_1.json baseline tracks: sweep throughput,
 # the per-configuration fast path, and the telemetry/tracing overhead pairs
@@ -19,13 +19,30 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sweep engine, simulator and telemetry layer are the concurrency-heavy
-# packages; run them (and the CLI e2e tests) under the race detector.
+# The sweep engine, simulator, telemetry layer and campaign service are the
+# concurrency-heavy packages; run them (and the CLI/daemon e2e tests) under
+# the race detector.
 race:
-	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./cmd/wsnsweep
+	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./internal/serve \
+		./cmd/wsnsweep ./cmd/wsnlinkd
+
+# The daemon e2e suite on its own: boots wsnlinkd on a loopback port and
+# proves cache-hit replay and kill/restart resume are byte-identical.
+service-e2e:
+	$(GO) test ./cmd/wsnlinkd/...
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Known-vulnerability scan. Soft dependency: the repo is stdlib-only, so
+# govulncheck is not required for development; CI installs it, and locally
+# the target degrades to a notice instead of failing.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # Regenerate the committed benchmark baseline as JSON.
 bench-json:
@@ -33,5 +50,5 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCH)' -benchmem . ./internal/obs \
 		| /tmp/benchjson > BENCH_1.json
 
-# The full quality gate (DESIGN.md §5).
+# The full quality gate (DESIGN.md §6).
 verify: build vet test race

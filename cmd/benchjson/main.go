@@ -19,6 +19,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"wsnlink/internal/buildinfo"
 )
 
 // Benchmark is one parsed result line.
@@ -51,6 +53,10 @@ type Output struct {
 const schema = "wsnlink-bench/v1"
 
 func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "-version" || os.Args[1] == "--version") {
+		fmt.Println("benchjson", buildinfo.Current())
+		return
+	}
 	out, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -19,7 +19,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/experiments"
 	"wsnlink/internal/obs"
 )
@@ -48,9 +50,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		dataDir    = fs.String("data", "", "also write figure data as CSV files into this directory")
 		metricsOut = fs.String("metrics-out", "", "write the final telemetry snapshot JSON to this path")
 		pprofAddr  = fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address, e.g. localhost:6060")
+		version    = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnbench", buildinfo.Current())
+		return nil
 	}
 
 	if *list {
@@ -77,6 +84,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer dbg.Close()
+		// Release the listener as soon as the run is interrupted, giving
+		// in-flight debug requests a short grace instead of holding the
+		// port until the experiment's cleanup finishes.
+		stopDbg := make(chan struct{})
+		defer close(stopDbg)
+		go func() {
+			select {
+			case <-ctx.Done():
+				shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				dbg.Shutdown(shCtx) //nolint:errcheck // best-effort diagnostics teardown
+			case <-stopDbg:
+			}
+		}()
 		fmt.Fprintf(stderr, "debug server on http://%s/debug/pprof (telemetry: /debug/vars)\n", dbg.Addr)
 	}
 	if *metricsOut != "" {

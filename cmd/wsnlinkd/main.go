@@ -1,0 +1,189 @@
+// Command wsnlinkd is the campaign service daemon: a durable job queue and
+// fingerprint-keyed result cache over the sweep engine, exposed as an
+// HTTP/JSON API.
+//
+// Campaigns are submitted as JSON specs (POST /v1/campaigns) and simulated
+// by a bounded worker pool; results stream back as NDJSON rows
+// (GET /v1/campaigns/{id}/rows) with index-based resume, so clients can
+// reconnect mid-campaign. All state lives under -data-dir: job records are
+// written with atomic renames, in-flight datasets checkpoint row by row, and
+// completed datasets are promoted into a content-addressed cache keyed by
+// the campaign fingerprint — resubmitting an identical campaign is answered
+// from disk without touching the simulator. On SIGINT/SIGTERM the daemon
+// drains: running jobs checkpoint, return to the durable queue, and the next
+// start resumes them, reproducing the exact bytes an uninterrupted run would
+// have produced.
+//
+// The standard diagnostics endpoints ride on the same listener:
+// /debug/pprof/*, /debug/vars (expvar, including the "wsnlinkd" service
+// counters) and the /debug/campaign live dashboard showing the most recent
+// active job.
+//
+// Usage:
+//
+//	wsnlinkd -addr localhost:8080 -data-dir /var/lib/wsnlinkd
+//	wsnlinkd -addr :0 -data-dir ./data -jobs 2 -job-deadline 2h
+//	curl -s localhost:8080/v1/campaigns -d '{"space":{"distances_m":[35]}}'
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"wsnlink/internal/buildinfo"
+	"wsnlink/internal/obs"
+	"wsnlink/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnlinkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnlinkd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "HTTP listen address (host:port; ':0' picks a free port)")
+		dataDir      = fs.String("data-dir", "wsnlinkd-data", "durable state directory (jobs, spool, cache, traces)")
+		jobs         = fs.Int("jobs", 1, "campaigns simulated concurrently")
+		jobWorkers   = fs.Int("job-workers", 0, "sweep workers per campaign (0 = GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 64, "max queued+running jobs before submissions get 429")
+		maxConfigs   = fs.Int("max-configs", 0, "reject campaigns larger than this many configurations (0 = unlimited)")
+		maxPackets   = fs.Int("max-packets", 0, "cap packets per configuration (0 = unlimited)")
+		jobDeadline  = fs.Duration("job-deadline", 0, "default per-job deadline (0 = none)")
+		maxDeadline  = fs.Duration("max-job-deadline", 0, "cap on per-job deadlines (0 = none)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to checkpoint in-flight jobs on shutdown")
+		version      = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnlinkd", buildinfo.Current())
+		return nil
+	}
+
+	srv, err := serve.Open(*dataDir, serve.Options{
+		Jobs:     *jobs,
+		MaxQueue: *maxQueue,
+		Limits: serve.Limits{
+			MaxConfigs:      *maxConfigs,
+			MaxPackets:      *maxPackets,
+			MaxWorkers:      *jobWorkers,
+			DefaultDeadline: *jobDeadline,
+			MaxDeadline:     *maxDeadline,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	publishDebug(srv)
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srv.Handler())
+	// pprof, expvar and the campaign dashboard register themselves on the
+	// default mux; serve them from the same listener.
+	mux.Handle("/debug/", http.DefaultServeMux)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Fprintf(stderr, "wsnlinkd %s listening on http://%s (data dir %s)\n",
+		buildinfo.Current(), ln.Addr(), *dataDir)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, checkpoint and requeue in-flight
+	// campaigns, then cut whatever streams are still attached to requeued
+	// (non-terminal) jobs — their clients resume against the next daemon.
+	fmt.Fprintln(stderr, "wsnlinkd: shutting down, checkpointing in-flight jobs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go httpSrv.Shutdown(drainCtx) //nolint:errcheck // superseded by Close below
+	drainErr := srv.Drain(drainCtx)
+	httpSrv.Close() //nolint:errcheck // listener is already down
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(stderr, "wsnlinkd: drained; queued jobs resume on next start")
+	return nil
+}
+
+// debugTarget is the server the process-wide /debug endpoints read from.
+// Registration on expvar and the default mux must happen at most once per
+// process, so restarts within one process (tests) just swap the target —
+// the same pattern obs.PublishExpvar uses.
+var (
+	debugTarget atomic.Pointer[serve.Server]
+	debugOnce   sync.Once
+)
+
+// publishDebug exposes the server's counters under the "wsnlinkd" expvar and
+// wires the /debug/campaign dashboard to the most recent active job.
+func publishDebug(s *serve.Server) {
+	debugTarget.Store(s)
+	debugOnce.Do(func() {
+		expvar.Publish("wsnlinkd", expvar.Func(func() any {
+			if cur := debugTarget.Load(); cur != nil {
+				return cur.Stats()
+			}
+			return nil
+		}))
+	})
+	obs.PublishCampaign(func() obs.CampaignStatus {
+		cur := debugTarget.Load()
+		if cur == nil {
+			return obs.CampaignStatus{}
+		}
+		jobs := cur.List()
+		// Prefer the most recently submitted non-terminal job; fall back to
+		// the last job so a finished campaign stays on the dashboard.
+		var pick *serve.JobStatus
+		for i := range jobs {
+			if !jobs[i].State.Terminal() {
+				pick = &jobs[i]
+			}
+		}
+		if pick == nil && len(jobs) > 0 {
+			pick = &jobs[len(jobs)-1]
+		}
+		if pick == nil {
+			return obs.CampaignStatus{}
+		}
+		st := obs.CampaignStatus{
+			Campaign: pick.Fingerprint,
+			Done:     pick.Done,
+			Total:    pick.Total,
+			Errors:   pick.Errors,
+		}
+		if pick.Metrics != nil {
+			st.Metrics = *pick.Metrics
+		}
+		return st
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/models"
 	"wsnlink/internal/optimize"
 	"wsnlink/internal/phy"
@@ -42,6 +43,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnopt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	version := fs.Bool("version", false, "print version and exit")
 	var (
 		snr        = fs.Float64("snr", 10, "current link SNR in dB at the reference power")
 		ref        = fs.Int("ref", 31, "reference power level the SNR was measured at")
@@ -58,6 +60,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnopt", buildinfo.Current())
+		return nil
 	}
 
 	suite := models.Paper()

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/metrics"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/sim"
@@ -31,6 +32,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	version := fs.Bool("version", false, "print version and exit")
 	var (
 		dist     = fs.Float64("d", 15, "distance in meters")
 		power    = fs.Int("power", 31, "CC2420 power level (3..31)")
@@ -46,6 +48,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnsim", buildinfo.Current())
+		return nil
 	}
 
 	cfg := stack.Config{

@@ -18,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/models"
 	"wsnlink/internal/stats"
 	"wsnlink/internal/sweep"
@@ -33,6 +34,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnstats", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	version := fs.Bool("version", false, "print version and exit")
 	var (
 		in     = fs.String("in", "", "dataset CSV (required)")
 		top    = fs.Int("top", 3, "how many top configurations to list")
@@ -40,6 +42,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnstats", buildinfo.Current())
+		return nil
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in dataset")

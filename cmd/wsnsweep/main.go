@@ -44,8 +44,10 @@ import (
 	"syscall"
 	"time"
 
+	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
+	"wsnlink/internal/serve"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
@@ -79,9 +81,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		pprofAddr   = fs.String("pprof", "", "serve /debug/pprof, /debug/vars and /debug/campaign on this address, e.g. localhost:6060")
 		traceOut    = fs.String("trace-out", "", "write per-packet lifecycle trace here (.json = Chrome trace, .ndjson = NDJSON)")
 		traceSample = fs.Int("trace-sample", 1, "trace every Nth configuration (with -trace-out)")
+		remote      = fs.String("remote", "", "run the campaign on a wsnlinkd daemon at this base URL, e.g. http://localhost:8080")
+		version     = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnsweep", buildinfo.Current())
+		return nil
 	}
 
 	space := stack.DefaultSpace()
@@ -113,6 +121,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfgs := space.All()
+
+	if *remote != "" {
+		// The daemon owns durability and telemetry for remote campaigns:
+		// its spool checkpoints every row and its /debug endpoints serve
+		// the live metrics, so the local-run observability flags have
+		// nothing to attach to.
+		if *checkpoint != "" || *resume {
+			return errors.New("-checkpoint/-resume are not valid with -remote: the daemon checkpoints server-side and streams resume by row index")
+		}
+		if *pprofAddr != "" || *metricsOut != "" || *traceOut != "" {
+			return errors.New("-pprof, -metrics-out and -trace-out are not valid with -remote: use the daemon's /debug endpoints")
+		}
+		if *manifest != "" && *manifest != "none" {
+			return errors.New("-manifest is not valid with -remote: the daemon keeps the durable job record")
+		}
+		spec := serve.CampaignSpec{
+			Space:    serve.SpaceSpecFor(space),
+			Packets:  *packets,
+			BaseSeed: *seed,
+			FullDES:  *fullDES,
+			Workers:  *workers,
+		}
+		return runRemote(ctx, *remote, spec, *out, *progress, stdout, stderr)
+	}
 
 	if *resume {
 		if *out == "-" {
@@ -170,6 +202,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer dbg.Close()
+		// Release the listener as soon as the run is interrupted, giving
+		// in-flight debug requests a short grace instead of holding the
+		// port until the sweep's cleanup finishes.
+		stopDbg := make(chan struct{})
+		defer close(stopDbg)
+		go func() {
+			select {
+			case <-ctx.Done():
+				shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				dbg.Shutdown(shCtx) //nolint:errcheck // best-effort diagnostics teardown
+			case <-stopDbg:
+			}
+		}()
 		fmt.Fprintf(stderr, "debug server on http://%s/debug/campaign (pprof: /debug/pprof, telemetry: /debug/vars)\n", dbg.Addr)
 	}
 
@@ -296,6 +342,58 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// runRemote submits the campaign to a wsnlinkd daemon and streams the rows
+// into the local output, reconnecting with index-based resume if the
+// connection drops. The daemon deduplicates by campaign fingerprint, so an
+// identical earlier campaign is served straight from its result cache.
+func runRemote(ctx context.Context, baseURL string, spec serve.CampaignSpec, out string, progress bool, stdout, stderr io.Writer) error {
+	var enc *sweep.Encoder
+	closeOut := func() error { return nil }
+	if out == "-" {
+		enc = sweep.NewEncoder(stdout)
+	} else {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		closeOut = f.Close
+		enc = sweep.NewEncoder(f)
+	}
+	if err := enc.WriteHeader(); err != nil {
+		closeOut() //nolint:errcheck // the write error wins
+		return err
+	}
+
+	total := spec.Space.Space().Size()
+	fmt.Fprintf(stderr, "submitting %d configurations x %d packets to %s\n", total, spec.Packets, baseURL)
+	st, err := serve.NewClient(baseURL).Run(ctx, spec, func(r serve.StreamedRow) error {
+		if err := enc.Encode(r.Row); err != nil {
+			return err
+		}
+		if progress && (r.Index+1)%100 == 0 {
+			fmt.Fprintf(stderr, "\r%d/%d rows", r.Index+1, total)
+		}
+		return nil
+	})
+	if progress {
+		fmt.Fprintln(stderr)
+	}
+	if ferr := enc.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := closeOut(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if st.CacheHit {
+		fmt.Fprintf(stderr, "served from the daemon's result cache (campaign %s)\n", st.Fingerprint)
+	}
+	fmt.Fprintf(stderr, "wrote %d rows to %s (job %s, fingerprint %s)\n", enc.Rows(), out, st.ID, st.Fingerprint)
+	return nil
+}
+
 // buildManifest assembles the run's reproducibility record. The volatile
 // fields (wall time, rates inside the metric snapshot) differ between
 // runs; the identity fields (fingerprint, seed, space, rows) are what a
@@ -306,6 +404,7 @@ func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions
 		Schema:      obs.ManifestSchema,
 		Tool:        "wsnsweep",
 		GoVersion:   runtime.Version(),
+		Provenance:  buildProvenance(),
 		Fingerprint: obs.FormatFingerprint(sweep.CampaignFingerprint(cfgs, opts)),
 		BaseSeed:    opts.BaseSeed,
 		Packets:     opts.Packets,
@@ -329,6 +428,22 @@ func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions
 		man.TraceDropped = st.Dropped
 	}
 	return man
+}
+
+// buildProvenance maps the binary's embedded build info onto the manifest's
+// provenance block; nil when nothing beyond the Go version is known (e.g. a
+// test binary), so such manifests simply omit the block.
+func buildProvenance() *obs.Provenance {
+	b := buildinfo.Current()
+	if b.Version == "" && b.Revision == "" {
+		return nil
+	}
+	return &obs.Provenance{
+		Version:     b.Version,
+		VCSRevision: b.Revision,
+		VCSTime:     b.Time,
+		VCSModified: b.Modified,
+	}
 }
 
 // writeTraceFile exports the collected lifecycle events, picking the format

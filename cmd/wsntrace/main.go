@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/sim"
@@ -40,6 +41,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsntrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	version := fs.Bool("version", false, "print version and exit")
 	var (
 		generate = fs.Bool("generate", false, "simulate a link and write its trace")
 		in       = fs.String("in", "", "trace CSV to analyse ('-' for stdin)")
@@ -55,6 +57,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsntrace", buildinfo.Current())
+		return nil
 	}
 	if *events != "" && !*generate {
 		return fmt.Errorf("-events requires -generate")

@@ -1,0 +1,78 @@
+// Package buildinfo exposes the binary's build provenance — module version,
+// VCS revision and dirty flag — read once from the runtime build metadata.
+// Every cmd/* binary prints it under -version, and campaign tooling stamps
+// it into run manifests so a dataset can be tied to the exact code that
+// produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build is the provenance of the running binary. Fields are empty when the
+// corresponding metadata is unavailable (e.g. a test binary, or a build
+// outside a VCS checkout).
+type Build struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Version is the main module version ("(devel)" for local builds).
+	Version string
+	// Revision is the VCS commit hash, possibly truncated.
+	Revision string
+	// Time is the VCS commit time (RFC 3339).
+	Time string
+	// Modified reports a dirty working tree at build time.
+	Modified bool
+}
+
+var (
+	once    sync.Once
+	current Build
+)
+
+// Current returns the binary's build provenance. The runtime metadata is
+// read once and cached; the call is safe from any goroutine.
+func Current() Build {
+	once.Do(func() {
+		current = Build{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		current.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				current.Revision = s.Value
+			case "vcs.time":
+				current.Time = s.Value
+			case "vcs.modified":
+				current.Modified = s.Value == "true"
+			}
+		}
+	})
+	return current
+}
+
+// String renders the provenance on one line, the way -version prints it.
+func (b Build) String() string {
+	v := b.Version
+	if v == "" {
+		v = "(unknown)"
+	}
+	s := v
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+	}
+	return fmt.Sprintf("%s %s", s, b.GoVersion)
+}

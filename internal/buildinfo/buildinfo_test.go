@@ -1,0 +1,39 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCurrentHasGoVersion(t *testing.T) {
+	b := Current()
+	if b.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", b.GoVersion, runtime.Version())
+	}
+	// Cached: two reads agree.
+	if Current() != b {
+		t.Error("Current is not stable across calls")
+	}
+}
+
+func TestStringAlwaysRenders(t *testing.T) {
+	for _, b := range []Build{
+		{},
+		{GoVersion: "go1.24.0"},
+		{GoVersion: "go1.24.0", Version: "v1.2.3"},
+		{GoVersion: "go1.24.0", Version: "(devel)",
+			Revision: "0123456789abcdef0123456789abcdef", Modified: true},
+	} {
+		s := b.String()
+		if s == "" {
+			t.Errorf("empty String for %+v", b)
+		}
+		if b.Revision != "" && !strings.Contains(s, b.Revision[:12]) {
+			t.Errorf("String %q misses truncated revision", s)
+		}
+		if b.Modified && !strings.Contains(s, "+dirty") {
+			t.Errorf("String %q misses dirty marker", s)
+		}
+	}
+}

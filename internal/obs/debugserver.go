@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -40,4 +41,15 @@ func (d *DebugServer) Close() error {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener closes immediately
+// (releasing the port) while in-flight debug requests get until ctx expires
+// to complete. Like Close it is safe on a nil receiver, on a zero
+// DebugServer, and combined with Close in either order.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Shutdown(ctx)
 }

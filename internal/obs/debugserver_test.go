@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -41,6 +42,30 @@ func TestServeDebugVarsReachable(t *testing.T) {
 func TestServeDebugBadAddr(t *testing.T) {
 	if _, err := ServeDebug("256.256.256.256:0"); err == nil {
 		t.Error("unresolvable address should error")
+	}
+}
+
+func TestDebugServerShutdown(t *testing.T) {
+	var nilServer *DebugServer
+	if err := nilServer.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown = %v", err)
+	}
+	if err := (&DebugServer{}).Shutdown(context.Background()); err != nil {
+		t.Errorf("zero-value Shutdown = %v", err)
+	}
+	d, err := ServeDebug(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown = %v", err)
+	}
+	// The port must be released and Close after Shutdown must be safe.
+	if _, err := http.Get("http://" + d.Addr + "/debug/vars"); err == nil {
+		t.Error("server still reachable after Shutdown")
+	}
+	if err := d.Close(); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Close after Shutdown = %v", err)
 	}
 }
 

@@ -8,7 +8,24 @@ import (
 
 // ManifestSchema identifies the manifest format; bump on any incompatible
 // field change (the golden-file test pins the byte layout).
-const ManifestSchema = "wsnlink-run-manifest/v1"
+//
+// v2 added the optional "provenance" block (build version / VCS revision).
+const ManifestSchema = "wsnlink-run-manifest/v2"
+
+// Provenance records the build that produced a dataset, stamped from the
+// binary's embedded build info (see internal/buildinfo): enough to find the
+// exact source revision a manifest's numbers came from.
+type Provenance struct {
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// VCSRevision is the full VCS commit hash the binary was built from.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	// VCSTime is the commit timestamp (RFC 3339).
+	VCSTime string `json:"vcs_time,omitempty"`
+	// VCSModified marks a build from a dirty working tree — the revision
+	// alone does not reproduce such a binary.
+	VCSModified bool `json:"vcs_modified,omitempty"`
+}
 
 // Axis summarizes one swept parameter axis for the manifest.
 type Axis struct {
@@ -23,18 +40,19 @@ type Axis struct {
 // order and encoding are part of the on-disk contract — analysis tooling
 // diffs manifests across runs — and are locked by a golden-file test.
 type Manifest struct {
-	Schema      string `json:"schema"`
-	Tool        string `json:"tool"`
-	GoVersion   string `json:"go_version"`
-	Fingerprint string `json:"fingerprint"` // 16 hex digits, same value as the checkpoint sidecar
-	BaseSeed    uint64 `json:"base_seed"`
-	Packets     int    `json:"packets"`
-	Fast        bool   `json:"fast"`
-	Configs     int    `json:"configs"`
-	Rows        int    `json:"rows"`
-	Resumed     bool   `json:"resumed"`
-	ResumedFrom int    `json:"resumed_from"`
-	Axes        []Axis `json:"axes,omitempty"`
+	Schema      string      `json:"schema"`
+	Tool        string      `json:"tool"`
+	GoVersion   string      `json:"go_version"`
+	Provenance  *Provenance `json:"provenance,omitempty"`
+	Fingerprint string      `json:"fingerprint"` // 16 hex digits, same value as the checkpoint sidecar
+	BaseSeed    uint64      `json:"base_seed"`
+	Packets     int         `json:"packets"`
+	Fast        bool        `json:"fast"`
+	Configs     int         `json:"configs"`
+	Rows        int         `json:"rows"`
+	Resumed     bool        `json:"resumed"`
+	ResumedFrom int         `json:"resumed_from"`
+	Axes        []Axis      `json:"axes,omitempty"`
 
 	// Trace* record the per-packet lifecycle trace written alongside the
 	// dataset; all omitted when tracing was off. TraceDropped counts events

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the typed HTTP client for a wsnlinkd daemon. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Streaming requests rely
+	// on it having no overall timeout; use per-call contexts instead.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTPClient: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON round trip and decodes the response into out (unless
+// nil). Non-2xx answers are returned as errors carrying the server's
+// message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("serve: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return responseError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: decode response: %w", err)
+	}
+	return nil
+}
+
+// responseError turns a non-2xx response into an error, preferring the
+// server's JSON error envelope.
+func responseError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e errorResponse
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("serve: %s", resp.Status)
+}
+
+// Submit submits a campaign and returns its job status (State is
+// StateDone with CacheHit set when the result cache already held it).
+func (c *Client) Submit(ctx context.Context, spec CampaignSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", spec, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/campaigns/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches the server stats and every job.
+func (c *Client) List(ctx context.Context) (ListResponse, error) {
+	var lr ListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &lr)
+	return lr, err
+}
+
+// StreamRows streams the job's rows with index > after, calling yield per
+// row in order. It returns the last index received (or after, when
+// nothing arrived) — the value to resume from on reconnect. The server ends
+// the stream when the job is terminal and fully sent; check Status to
+// distinguish done from failed.
+func (c *Client) StreamRows(ctx context.Context, id string, after int, yield func(StreamedRow) error) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/campaigns/"+id+"/rows", nil)
+	if err != nil {
+		return after, fmt.Errorf("serve: %w", err)
+	}
+	req.Header.Set(LastRowIndexHeader, strconv.Itoa(after))
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return after, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return after, responseError(resp)
+	}
+	last := after
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		row, err := parseRowLine(line)
+		if err != nil {
+			return last, err
+		}
+		if err := yield(row); err != nil {
+			return last, err
+		}
+		last = row.Index
+	}
+	if err := sc.Err(); err != nil {
+		return last, err
+	}
+	return last, nil
+}
+
+// Run submits a campaign and streams it to completion, reconnecting with
+// index-based resume when the stream drops mid-campaign. yield sees every
+// row exactly once, in order. It returns the job's terminal status; a
+// failed or canceled job is reported as an error.
+func (c *Client) Run(ctx context.Context, spec CampaignSpec, yield func(StreamedRow) error) (JobStatus, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return st, err
+	}
+	last := -1
+	stalls := 0
+	var yieldErr error
+	wrapped := func(r StreamedRow) error {
+		if err := yield(r); err != nil {
+			yieldErr = err
+			return err
+		}
+		return nil
+	}
+	for {
+		n, streamErr := c.StreamRows(ctx, st.ID, last, wrapped)
+		if yieldErr != nil {
+			return st, yieldErr
+		}
+		if n > last {
+			last = n
+			stalls = 0
+		}
+		if ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		cur, err := c.Status(ctx, st.ID)
+		if err == nil {
+			st = cur
+			switch {
+			case st.State == StateDone && last == st.Configs-1:
+				return st, nil
+			case st.State == StateFailed || st.State == StateCanceled:
+				return st, fmt.Errorf("serve: job %s %s: %s", st.ID, st.State, st.Error)
+			}
+		}
+		// Transient drop (daemon restart, network blip): reconnect and
+		// resume after the last row we hold. Give up only when repeated
+		// attempts make no progress at all.
+		stalls++
+		if stalls > 10 {
+			if streamErr == nil {
+				streamErr = fmt.Errorf("serve: stream stalled at row %d", last)
+			}
+			return st, fmt.Errorf("serve: job %s: no progress after %d attempts: %w", st.ID, stalls, streamErr)
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// LastRowIndexHeader is the resume header of the rows endpoint: the index
+// of the last row the client already holds; the stream restarts after it.
+const LastRowIndexHeader = "Last-Row-Index"
+
+// ListResponse is the GET /v1/campaigns body.
+type ListResponse struct {
+	Stats Stats       `json:"stats"`
+	Jobs  []JobStatus `json:"jobs"`
+}
+
+// errorResponse is the JSON error envelope every non-2xx answer carries.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/campaigns            submit a CampaignSpec → job status
+//	                                (200 on a cache hit, 202 otherwise)
+//	GET    /v1/campaigns            server stats + every job
+//	GET    /v1/campaigns/{id}       one job's status
+//	DELETE /v1/campaigns/{id}       cancel (in-flight work checkpoints)
+//	GET    /v1/campaigns/{id}/rows  NDJSON row stream; resumes after the
+//	                                Last-Row-Index header (or ?after=N)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/rows", s.handleRows)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad campaign spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.CacheHit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Stats: s.Stats(), Jobs: s.List()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.Status(id)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	after := -1
+	if v := r.Header.Get(LastRowIndexHeader); v != "" {
+		after, err = strconv.Atoi(v)
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		after, err = strconv.Atoi(v)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad resume index: %w", err))
+		return
+	}
+
+	fl, _ := w.(http.Flusher)
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Campaign-Id", st.ID)
+	h.Set("X-Campaign-Fingerprint", st.Fingerprint)
+	w.WriteHeader(http.StatusOK)
+	if fl != nil {
+		fl.Flush() // commit headers before the first row is ready
+	}
+
+	var buf []byte
+	s.StreamRows(r.Context(), id, after, func(index int, fields []string) error { //nolint:errcheck // the stream just ends; the client re-checks status
+		buf = appendRowJSON(buf[:0], index, fields)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return nil
+	})
+}
+
+// errStatus maps service errors onto HTTP status codes; anything
+// unrecognized is a client-side validation failure.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing left to report to this client
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

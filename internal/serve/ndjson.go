@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"wsnlink/internal/sweep"
+)
+
+// The NDJSON row wire format: one JSON object per line, an "index" field
+// followed by the dataset columns in schema order, each carrying the
+// canonical field encoding as a raw JSON number. Because the values are the
+// exact byte-stable strings the CSV dataset uses, encoding a cached dataset
+// and encoding a live run produce identical bytes — the property the
+// cache-hit e2e pins — and a decode/re-encode round trip is lossless.
+
+// fieldNames is the dataset schema, shared with the CSV layer.
+var fieldNames = sweep.FieldNames()
+
+// appendRowJSON renders one NDJSON line (including the trailing newline)
+// from a canonical record.
+func appendRowJSON(dst []byte, index int, fields []string) []byte {
+	dst = append(dst, `{"index":`...)
+	dst = strconv.AppendInt(dst, int64(index), 10)
+	for i, name := range fieldNames {
+		dst = append(dst, ',', '"')
+		dst = append(dst, name...)
+		dst = append(dst, '"', ':')
+		dst = append(dst, fields[i]...)
+	}
+	return append(dst, '}', '\n')
+}
+
+// parseRowLine decodes one NDJSON line back into a row. The canonical field
+// strings are recovered verbatim from the raw JSON values, so
+// parseRowLine(appendRowJSON(x)) == x byte-for-byte.
+func parseRowLine(line []byte) (StreamedRow, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(line, &m); err != nil {
+		return StreamedRow{}, fmt.Errorf("serve: bad row line: %w", err)
+	}
+	var out StreamedRow
+	raw, ok := m["index"]
+	if !ok {
+		return StreamedRow{}, fmt.Errorf("serve: row line has no index")
+	}
+	if err := json.Unmarshal(raw, &out.Index); err != nil {
+		return StreamedRow{}, fmt.Errorf("serve: bad row index: %w", err)
+	}
+	rec := make([]string, len(fieldNames))
+	for i, name := range fieldNames {
+		v, ok := m[name]
+		if !ok {
+			return StreamedRow{}, fmt.Errorf("serve: row line missing field %q", name)
+		}
+		rec[i] = string(v)
+	}
+	row, err := sweep.RowFromFields(rec)
+	if err != nil {
+		return StreamedRow{}, err
+	}
+	out.Row = row
+	return out, nil
+}

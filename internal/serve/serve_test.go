@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// sampleRows produces a couple of real dataset rows to exercise the wire
+// format with.
+func sampleRows(t *testing.T) []sweep.Row {
+	t.Helper()
+	sp := stack.DefaultSpace()
+	sp.DistancesM = sp.DistancesM[:1]
+	sp.TxPowers = sp.TxPowers[:1]
+	sp.MaxTries = sp.MaxTries[:1]
+	sp.RetryDelays = sp.RetryDelays[:1]
+	sp.QueueCaps = sp.QueueCaps[:1]
+	sp.PktIntervals = sp.PktIntervals[:2]
+	sp.PayloadsBytes = sp.PayloadsBytes[:1]
+	rows, err := sweep.RunSpace(sp, sweep.RunOptions{Packets: 40, Fast: true})
+	if err != nil {
+		t.Fatalf("RunSpace: %v", err)
+	}
+	return rows
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	for i, r := range sampleRows(t) {
+		fields := r.Fields()
+		line := appendRowJSON(nil, i, fields)
+		if !bytes.HasSuffix(line, []byte("}\n")) {
+			t.Fatalf("line %d not newline-terminated: %q", i, line)
+		}
+		got, err := parseRowLine(bytes.TrimSuffix(line, []byte("\n")))
+		if err != nil {
+			t.Fatalf("parseRowLine: %v", err)
+		}
+		if got.Index != i {
+			t.Fatalf("index = %d, want %d", got.Index, i)
+		}
+		back := got.Row.Fields()
+		if strings.Join(back, ",") != strings.Join(fields, ",") {
+			t.Fatalf("fields drifted:\n got %v\nwant %v", back, fields)
+		}
+		// Re-encoding the decoded row must reproduce the exact bytes: the
+		// property that makes cache replays byte-identical.
+		again := appendRowJSON(nil, i, back)
+		if !bytes.Equal(again, line) {
+			t.Fatalf("re-encode not byte-identical:\n got %q\nwant %q", again, line)
+		}
+	}
+}
+
+func TestParseRowLineErrors(t *testing.T) {
+	if _, err := parseRowLine([]byte("{nope")); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+	if _, err := parseRowLine([]byte(`{"distance_m":35}`)); err == nil {
+		t.Fatal("want error for missing index")
+	}
+	if _, err := parseRowLine([]byte(`{"index":0}`)); err == nil {
+		t.Fatal("want error for missing dataset fields")
+	}
+}
+
+func TestSpaceSpecDefaults(t *testing.T) {
+	sp := SpaceSpec{}.Space()
+	def := stack.DefaultSpace()
+	if sp.Size() != def.Size() {
+		t.Fatalf("empty spec size = %d, want Table I default %d", sp.Size(), def.Size())
+	}
+	sp2 := SpaceSpec{DistancesM: []float64{12.5}}.Space()
+	if len(sp2.DistancesM) != 1 || sp2.DistancesM[0] != 12.5 {
+		t.Fatalf("distance override not applied: %v", sp2.DistancesM)
+	}
+	if len(sp2.TxPowers) != len(def.TxPowers) {
+		t.Fatalf("unset axes must keep defaults")
+	}
+	round := SpaceSpecFor(sp2).Space()
+	if round.Size() != sp2.Size() {
+		t.Fatalf("SpaceSpecFor round trip: size %d != %d", round.Size(), sp2.Size())
+	}
+}
+
+func TestNormalizeFillsFingerprintDefaults(t *testing.T) {
+	norm, sp, err := (CampaignSpec{}).normalize(Limits{})
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if norm.Packets != 500 {
+		t.Fatalf("Packets = %d, want engine default 500 made explicit", norm.Packets)
+	}
+	if len(norm.Space.DistancesM) == 0 || len(norm.Space.PayloadsBytes) == 0 {
+		t.Fatal("normalize must make every axis explicit")
+	}
+	// The spec fingerprint must equal the engine's for the materialized
+	// campaign — that is what ties cache keys to checkpoint sidecars.
+	want := sweep.CampaignFingerprint(sp.All(), norm.options())
+	got, err := (CampaignSpec{}).Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	if got != want {
+		t.Fatalf("Fingerprint = %016x, want %016x", got, want)
+	}
+}
+
+func TestNormalizeAppliesLimits(t *testing.T) {
+	lim := Limits{
+		MaxWorkers:      2,
+		MaxPackets:      100,
+		MaxConfigs:      10,
+		DefaultDeadline: 3 * time.Second,
+		MaxDeadline:     5 * time.Second,
+	}
+	spec := CampaignSpec{
+		Space:   SpaceSpec{DistancesM: []float64{35}, TxPowers: []int{31}, MaxTries: []int{1}, RetryDelaysS: []float64{0.03}, QueueCaps: []int{1}, PktIntervalsS: []float64{0.05}, PayloadsBytes: []int{20}},
+		Packets: 50,
+		Workers: 64,
+	}
+	norm, _, err := spec.normalize(lim)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if norm.Workers != 2 {
+		t.Fatalf("Workers = %d, want capped to 2", norm.Workers)
+	}
+	if norm.DeadlineS != 3 {
+		t.Fatalf("DeadlineS = %v, want default 3", norm.DeadlineS)
+	}
+	spec.DeadlineS = 60
+	norm, _, err = spec.normalize(lim)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if norm.DeadlineS != 5 {
+		t.Fatalf("DeadlineS = %v, want capped to 5", norm.DeadlineS)
+	}
+
+	spec.Packets = 101
+	if _, _, err := spec.normalize(lim); err == nil {
+		t.Fatal("want packets-over-limit rejection")
+	}
+	spec.Packets = -1
+	if _, _, err := spec.normalize(lim); err == nil {
+		t.Fatal("want negative-knob rejection")
+	}
+	spec.Packets = 50
+	if _, _, err := (CampaignSpec{}).normalize(lim); err == nil {
+		t.Fatal("want configs-over-limit rejection for the full default space")
+	}
+}
+
+func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
+	base := CampaignSpec{Packets: 50, BaseSeed: 7}
+	fp := func(mut func(*CampaignSpec)) uint64 {
+		s := base
+		if mut != nil {
+			mut(&s)
+		}
+		got, err := s.Fingerprint()
+		if err != nil {
+			t.Fatalf("Fingerprint: %v", err)
+		}
+		return got
+	}
+	ref := fp(nil)
+	if fp(func(s *CampaignSpec) { s.Workers = 4 }) != ref {
+		t.Fatal("Workers must not change the fingerprint")
+	}
+	if fp(func(s *CampaignSpec) { s.DeadlineS = 9 }) != ref {
+		t.Fatal("DeadlineS must not change the fingerprint")
+	}
+	if fp(func(s *CampaignSpec) { s.TraceSample = 3 }) != ref {
+		t.Fatal("TraceSample must not change the fingerprint")
+	}
+	if fp(func(s *CampaignSpec) { s.Packets = 51 }) == ref {
+		t.Fatal("Packets must change the fingerprint")
+	}
+	if fp(func(s *CampaignSpec) { s.BaseSeed = 8 }) == ref {
+		t.Fatal("BaseSeed must change the fingerprint")
+	}
+	if fp(func(s *CampaignSpec) { s.FullDES = true }) == ref {
+		t.Fatal("FullDES must change the fingerprint")
+	}
+}
+
+func TestStoreJobRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	for _, seq := range []int{3, 1, 2} {
+		j := &Job{ID: strings.Repeat("c", 3) + string(rune('0'+seq)), Seq: seq, State: StateQueued}
+		if err := st.PutJob(j); err != nil {
+			t.Fatalf("PutJob: %v", err)
+		}
+	}
+	// A torn record (possible only through external interference) must be
+	// skipped, not kill the daemon on restart.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "jobs", "torn.json"), []byte(`{"id":"x`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := st.LoadJobs()
+	if err != nil {
+		t.Fatalf("LoadJobs: %v", err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("LoadJobs = %d jobs, want 3", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Seq != i+1 {
+			t.Fatalf("jobs not sorted by Seq: %v", []int{jobs[0].Seq, jobs[1].Seq, jobs[2].Seq})
+		}
+	}
+
+	jobs[0].State = StateDone
+	if err := st.PutJob(jobs[0]); err != nil {
+		t.Fatalf("PutJob update: %v", err)
+	}
+	again, err := st.LoadJobs()
+	if err != nil || len(again) != 3 {
+		t.Fatalf("LoadJobs after update: %v (%d jobs)", err, len(again))
+	}
+	if again[0].State != StateDone {
+		t.Fatalf("update not persisted: state %q", again[0].State)
+	}
+}
+
+func TestStorePromote(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	const fp = "00000000deadbeef"
+	if st.HasCache(fp) {
+		t.Fatal("unexpected cache entry")
+	}
+	if err := os.WriteFile(st.SpoolCSV(fp), []byte("header\nrow\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(st.SpoolCheckpoint(fp), []byte("ck"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Promote(fp); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if !st.HasCache(fp) {
+		t.Fatal("Promote did not create the cache entry")
+	}
+	if _, err := os.Stat(st.SpoolCSV(fp)); !os.IsNotExist(err) {
+		t.Fatal("Promote left the spool dataset behind")
+	}
+	if _, err := os.Stat(st.SpoolCheckpoint(fp)); !os.IsNotExist(err) {
+		t.Fatal("Promote left the checkpoint sidecar behind")
+	}
+	if err := st.Promote(fp); err == nil {
+		t.Fatal("promoting a missing spool must fail")
+	}
+}

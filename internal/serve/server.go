@@ -1,0 +1,623 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/sweep"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull: the bounded queue rejected the submission (HTTP 429).
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining: the server is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrNotFound: unknown job ID (HTTP 404).
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Jobs is the number of campaigns simulated concurrently (default 1).
+	// Each job additionally runs its own sweep worker pool, bounded by
+	// Limits.MaxWorkers.
+	Jobs int
+	// MaxQueue bounds queued-plus-running jobs; beyond it Submit returns
+	// ErrQueueFull (default 64).
+	MaxQueue int
+	// Limits are the per-submission guard rails.
+	Limits Limits
+}
+
+// jobEntry pairs a durable job record with its live run state. The record
+// and flags are guarded by Server.mu; prog/metrics/notify are themselves
+// concurrency-safe.
+type jobEntry struct {
+	job        *Job
+	cancel     context.CancelFunc
+	userCancel bool // DELETE requested: finish as canceled
+	requeue    bool // drain requested: finish back to queued
+	ready      bool // spool prepared; streamers may open it
+	prog       sweep.Progress
+	metrics    *obs.Metrics
+	notify     *notifier
+}
+
+// Server is the campaign service: a durable FIFO job queue, a bounded pool
+// of campaign runners over the sweep engine, and a fingerprint-keyed result
+// cache. It is the transport-independent core; http.go adapts it to REST
+// and cmd/wsnlinkd wraps it in a daemon.
+type Server struct {
+	store *Store
+	opts  Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	order    []*jobEntry // submission order (Seq ascending)
+	seq      int
+	draining bool
+
+	wake  chan struct{}
+	wg    sync.WaitGroup // scheduler
+	jobWG sync.WaitGroup // running jobs
+
+	submitted, completed, failed, canceled atomic.Int64
+	cacheHits, cacheMisses                 atomic.Int64
+}
+
+// Open loads (or initializes) the data directory and starts the scheduler.
+// Jobs found in state "running" were in flight when a previous daemon died;
+// they are requeued and resume from their checkpoint sidecar.
+func Open(dir string, opts Options) (*Server, error) {
+	store, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 1
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 64
+	}
+	s := &Server{
+		store: store,
+		opts:  opts,
+		jobs:  make(map[string]*jobEntry),
+		wake:  make(chan struct{}, 1),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	jobs, err := store.LoadJobs()
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range jobs {
+		if j.State == StateRunning {
+			j.State = StateQueued
+			if err := store.PutJob(j); err != nil {
+				return nil, err
+			}
+		}
+		e := &jobEntry{job: j, notify: newNotifier()}
+		s.jobs[j.ID] = e
+		s.order = append(s.order, e)
+		if j.Seq > s.seq {
+			s.seq = j.Seq
+		}
+	}
+
+	s.wg.Add(1)
+	go s.schedule()
+	s.kick()
+	return s, nil
+}
+
+// Store exposes the underlying data directory (read-only use: tests and the
+// daemon's diagnostics).
+func (s *Server) Store() *Store { return s.store }
+
+// kick nudges the scheduler without blocking.
+func (s *Server) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Submit validates and enqueues a campaign. When the result cache already
+// holds the campaign's dataset the job completes immediately as a cache
+// hit, without ever reaching the worker pool.
+func (s *Server) Submit(spec CampaignSpec) (JobStatus, error) {
+	norm, sp, err := spec.normalize(s.opts.Limits)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	fp := obs.FormatFingerprint(sweep.CampaignFingerprint(sp.All(), norm.options()))
+	now := time.Now().UnixMilli()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	active := 0
+	for _, e := range s.order {
+		if !e.job.State.Terminal() {
+			active++
+		}
+	}
+	if active >= s.opts.MaxQueue {
+		return JobStatus{}, ErrQueueFull
+	}
+	s.seq++
+	j := &Job{
+		ID:          fmt.Sprintf("c%06d", s.seq),
+		Seq:         s.seq,
+		State:       StateQueued,
+		Spec:        norm,
+		Fingerprint: fp,
+		Configs:     sp.Size(),
+		CreatedMs:   now,
+	}
+	if s.store.HasCache(fp) {
+		j.State = StateDone
+		j.CacheHit = true
+		j.FinishedMs = now
+	}
+	if err := s.store.PutJob(j); err != nil {
+		s.seq--
+		return JobStatus{}, err
+	}
+	e := &jobEntry{job: j, notify: newNotifier()}
+	s.jobs[j.ID] = e
+	s.order = append(s.order, e)
+	s.submitted.Add(1)
+	if j.CacheHit {
+		s.cacheHits.Add(1)
+		s.completed.Add(1)
+	} else {
+		s.kick()
+	}
+	return s.statusLocked(e), nil
+}
+
+// Status returns a job's live status.
+func (s *Server) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(e), nil
+}
+
+// List returns every known job in submission order.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, e := range s.order {
+		out = append(out, s.statusLocked(e))
+	}
+	return out
+}
+
+// Stats returns the server-level counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Submitted:   s.submitted.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Canceled:    s.canceled.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+	}
+	s.mu.Lock()
+	for _, e := range s.order {
+		switch e.job.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		}
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Cancel stops a job. A queued job is canceled in place; a running job's
+// context is canceled and the job transitions asynchronously (its rows so
+// far stay checkpointed in the spool). Terminal jobs are returned as-is.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	e, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	var cancel context.CancelFunc
+	switch e.job.State {
+	case StateQueued:
+		e.job.State = StateCanceled
+		e.job.Error = "canceled"
+		e.job.FinishedMs = time.Now().UnixMilli()
+		s.canceled.Add(1)
+		s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
+	case StateRunning:
+		e.userCancel = true
+		cancel = e.cancel
+	}
+	st := s.statusLocked(e)
+	s.mu.Unlock()
+	e.notify.Broadcast()
+	if cancel != nil {
+		cancel()
+	}
+	return st, nil
+}
+
+// Drain gracefully shuts the server down: no new submissions, no new
+// scheduling, in-flight jobs are canceled (their checkpoints make them
+// resumable) and returned to the queue, which persists on disk for the next
+// daemon start. Drain returns when every runner has stopped, or when ctx
+// expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	var cancels []context.CancelFunc
+	for _, e := range s.order {
+		if e.job.State == StateRunning && e.cancel != nil {
+			e.requeue = true
+			cancels = append(cancels, e.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	stopped := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(stopped)
+	}()
+	var err error
+	select {
+	case <-stopped:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancel()
+	s.wg.Wait()
+	return err
+}
+
+// schedule is the queue pump: every wake-up it starts as many runnable jobs
+// as the concurrency limit allows.
+func (s *Server) schedule() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.wake:
+		}
+		s.startRunnable()
+	}
+}
+
+// startRunnable picks queued jobs in FIFO order. A job whose fingerprint is
+// already running stays queued (single-flight: the duplicate is answered
+// from the cache once the original completes); a job whose result appeared
+// in the cache meanwhile completes on the spot as a cache hit.
+func (s *Server) startRunnable() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	for {
+		running := 0
+		activeFP := make(map[string]bool)
+		for _, e := range s.order {
+			if e.job.State == StateRunning {
+				running++
+				activeFP[e.job.Fingerprint] = true
+			}
+		}
+		if running >= s.opts.Jobs {
+			return
+		}
+		var pick *jobEntry
+		for _, e := range s.order {
+			if e.job.State != StateQueued || activeFP[e.job.Fingerprint] {
+				continue
+			}
+			if s.store.HasCache(e.job.Fingerprint) {
+				e.job.State = StateDone
+				e.job.CacheHit = true
+				e.job.FinishedMs = time.Now().UnixMilli()
+				s.cacheHits.Add(1)
+				s.completed.Add(1)
+				s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
+				e.notify.Broadcast()
+				continue
+			}
+			pick = e
+			break
+		}
+		if pick == nil {
+			return
+		}
+		s.startLocked(pick)
+	}
+}
+
+// startLocked transitions a job to running and launches its runner.
+func (s *Server) startLocked(e *jobEntry) {
+	e.job.State = StateRunning
+	e.job.StartedMs = time.Now().UnixMilli()
+	e.userCancel, e.requeue, e.ready = false, false, false
+	var ctx context.Context
+	if d := e.job.Spec.DeadlineS; d > 0 {
+		ctx, e.cancel = context.WithTimeout(s.ctx, time.Duration(d*float64(time.Second)))
+	} else {
+		ctx, e.cancel = context.WithCancel(s.ctx)
+	}
+	e.metrics = obs.New()
+	s.cacheMisses.Add(1)
+	s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
+	s.jobWG.Add(1)
+	go s.runJob(e, ctx)
+}
+
+// runJob executes one campaign and records its outcome.
+func (s *Server) runJob(e *jobEntry, ctx context.Context) {
+	defer s.jobWG.Done()
+	err := s.executeJob(e, ctx)
+	s.finishJob(e, err)
+	s.kick()
+}
+
+// executeJob streams the campaign into the spool dataset (resuming from any
+// checkpoint an earlier attempt left) and promotes it into the cache on
+// completion.
+func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
+	spec := e.job.Spec // immutable after Submit
+	sp := spec.Space.Space()
+	cfgs := sp.All()
+	opts := spec.options()
+	opts.Metrics = e.metrics
+	opts.Progress = &e.prog
+	opts.OnRow = func(sweep.Row) { e.notify.Broadcast() }
+
+	fingerprint := sweep.CampaignFingerprint(cfgs, opts)
+	fp := obs.FormatFingerprint(fingerprint)
+	if fp != e.job.Fingerprint {
+		return fmt.Errorf("serve: internal: fingerprint drift (%s vs %s)", fp, e.job.Fingerprint)
+	}
+	if spec.TraceSample > 0 {
+		opts.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+
+	f, enc, resume, done, err := prepareSpool(s.store, fp, fingerprint, len(cfgs))
+	if err != nil {
+		return err
+	}
+	opts.Checkpoint = s.store.SpoolCheckpoint(fp)
+	opts.Resume = resume
+
+	s.mu.Lock()
+	e.job.ResumedFrom = done
+	e.ready = true
+	s.mu.Unlock()
+	e.notify.Broadcast()
+
+	streamErr := sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+		// Flush before the engine checkpoints the row, so the spool CSV
+		// is always at least as long as the checkpoint claims.
+		return enc.Flush()
+	})
+	closeErr := f.Close()
+
+	if opts.Tracer != nil {
+		// Best-effort: an interrupted campaign's trace is often exactly
+		// what is wanted; never let trace IO mask the run outcome.
+		tracePath := s.store.TracePath(e.job.ID)
+		if werr := writeTrace(tracePath, opts.Tracer); werr == nil {
+			s.mu.Lock()
+			e.job.TracePath = tracePath
+			s.mu.Unlock()
+		}
+	}
+
+	if streamErr != nil {
+		return streamErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	return s.store.Promote(fp)
+}
+
+// finishJob applies the terminal (or requeued) state and persists it.
+func (s *Server) finishJob(e *jobEntry, err error) {
+	s.mu.Lock()
+	now := time.Now().UnixMilli()
+	if e.cancel != nil {
+		e.cancel() // release the deadline timer
+	}
+	switch {
+	case err == nil:
+		e.job.State = StateDone
+		e.job.Error = ""
+		e.job.FinishedMs = now
+		s.completed.Add(1)
+	case e.userCancel:
+		e.job.State = StateCanceled
+		e.job.Error = "canceled"
+		e.job.FinishedMs = now
+		s.canceled.Add(1)
+	case e.requeue:
+		// Drain: back to the queue, checkpoint on disk, no terminal
+		// timestamp — the next daemon start resumes it.
+		e.job.State = StateQueued
+		e.job.Error = ""
+		e.ready = false
+	case errors.Is(err, context.DeadlineExceeded):
+		e.job.State = StateFailed
+		e.job.Error = "job deadline exceeded (checkpoint kept; resubmit to resume): " + err.Error()
+		e.job.FinishedMs = now
+		s.failed.Add(1)
+	default:
+		e.job.State = StateFailed
+		e.job.Error = err.Error()
+		e.job.FinishedMs = now
+		s.failed.Add(1)
+	}
+	s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
+	s.mu.Unlock()
+	e.notify.Broadcast()
+}
+
+// statusLocked assembles the live view. Callers hold s.mu.
+func (s *Server) statusLocked(e *jobEntry) JobStatus {
+	st := JobStatus{Job: *e.job}
+	st.Total = int64(e.job.Configs)
+	ps := e.prog.Snapshot()
+	switch {
+	case e.job.State == StateDone:
+		st.Done = st.Total
+	case ps.Total > 0: // the engine ran (or is running) in this process
+		st.Done, st.Errors = ps.Done, ps.Errors
+	default: // queued/requeued: the checkpointed prefix is what's durable
+		st.Done = int64(e.job.ResumedFrom)
+	}
+	if e.metrics != nil {
+		snap := e.metrics.Snapshot()
+		st.Metrics = &snap
+	}
+	return st
+}
+
+// prepareSpool opens the spool dataset positioned after the checkpointed
+// prefix. With a valid sidecar the existing CSV is rewritten to exactly the
+// checkpointed rows (a crash can leave a torn extra row) and the run
+// resumes; any corrupt or mismatched leftovers are discarded and the
+// campaign starts fresh.
+func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (*os.File, *sweep.Encoder, bool, int, error) {
+	csvPath := store.SpoolCSV(fp)
+	ckptPath := store.SpoolCheckpoint(fp)
+
+	resume := false
+	var prefix []sweep.Row
+	ck, err := sweep.LoadCheckpoint(ckptPath)
+	switch {
+	case err == nil && ck.Fingerprint == fingerprint && ck.Configs == configs:
+		rows, rerr := readSpoolPrefix(csvPath, ck.Done)
+		if rerr == nil {
+			resume = true
+			prefix = rows
+		} else {
+			store.DropSpool(fp) // unusable dataset: start over
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// fresh campaign
+	default:
+		// corrupt or foreign sidecar: start over
+		store.DropSpool(fp)
+	}
+
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return nil, nil, false, 0, err
+	}
+	enc := sweep.NewEncoder(f)
+	if err := enc.WriteHeader(); err != nil {
+		f.Close()
+		return nil, nil, false, 0, err
+	}
+	for _, r := range prefix {
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			return nil, nil, false, 0, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		f.Close()
+		return nil, nil, false, 0, err
+	}
+	return f, enc, resume, len(prefix), nil
+}
+
+// readSpoolPrefix returns the first done rows of the spool dataset; a
+// missing file is fine when nothing was checkpointed yet.
+func readSpoolPrefix(path string, done int) ([]sweep.Row, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) && done == 0 {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadCSVHead(f, done)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < done {
+		return nil, fmt.Errorf("serve: spool %s has %d rows, checkpoint records %d", path, len(rows), done)
+	}
+	return rows, nil
+}
+
+// writeTrace exports a job's lifecycle events as a Chrome trace.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, path, tr.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// notifier is a broadcast edge: Wait returns a channel closed by the next
+// Broadcast. Row appends and state transitions broadcast on it, waking any
+// number of streamers without polling.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newNotifier() *notifier { return &notifier{ch: make(chan struct{})} }
+
+// Wait returns the current generation's channel.
+func (n *notifier) Wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch
+}
+
+// Broadcast wakes every waiter and opens a new generation.
+func (n *notifier) Broadcast() {
+	n.mu.Lock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.mu.Unlock()
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is the service's durable state under one data directory:
+//
+//	<dir>/jobs/<id>.json   job records (atomic rename writes)
+//	<dir>/spool/<fp>.csv   in-progress dataset, appended row by row
+//	<dir>/spool/<fp>.ckpt  the sweep engine's checkpoint sidecar
+//	<dir>/cache/<fp>.csv   completed datasets, keyed by campaign fingerprint
+//	<dir>/traces/<id>.trace.json  optional per-job lifecycle traces
+//
+// Spool files are keyed by fingerprint, not job ID, so a restarted daemon —
+// or a resubmission of a failed campaign — resumes from whatever prefix any
+// earlier attempt left behind. Completion promotes the spool dataset into
+// the cache with an atomic rename; cache presence alone therefore implies a
+// complete, validated dataset.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (or reopens) the data directory layout.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{"jobs", "spool", "cache", "traces"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: open store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+// SpoolCSV returns the in-progress dataset path for a campaign.
+func (s *Store) SpoolCSV(fp string) string {
+	return filepath.Join(s.dir, "spool", fp+".csv")
+}
+
+// SpoolCheckpoint returns the checkpoint sidecar path for a campaign.
+func (s *Store) SpoolCheckpoint(fp string) string {
+	return filepath.Join(s.dir, "spool", fp+".ckpt")
+}
+
+// CachePath returns the completed-dataset path for a campaign fingerprint.
+func (s *Store) CachePath(fp string) string {
+	return filepath.Join(s.dir, "cache", fp+".csv")
+}
+
+// TracePath returns the lifecycle-trace path for a job.
+func (s *Store) TracePath(id string) string {
+	return filepath.Join(s.dir, "traces", id+".trace.json")
+}
+
+// HasCache reports whether a completed dataset exists for the fingerprint.
+func (s *Store) HasCache(fp string) bool {
+	_, err := os.Stat(s.CachePath(fp))
+	return err == nil
+}
+
+// PutJob persists a job record atomically (temp file + rename), so a crash
+// mid-write never leaves a torn record.
+func (s *Store) PutJob(j *Job) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encode job %s: %w", j.ID, err)
+	}
+	path := s.jobPath(j.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// LoadJobs reads every persisted job record, sorted by submission sequence.
+// Unreadable or torn records are skipped (the atomic writes make them
+// possible only through external interference), not fatal: the daemon must
+// come back up with whatever part of the queue survived.
+func (s *Store) LoadJobs() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: load jobs: %w", err)
+	}
+	var jobs []*Job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", e.Name()))
+		if err != nil {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil || j.ID == "" {
+			continue
+		}
+		jobs = append(jobs, &j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].Seq < jobs[k].Seq })
+	return jobs, nil
+}
+
+// Promote moves a completed spool dataset into the result cache (atomic
+// rename) and drops the now-redundant checkpoint sidecar.
+func (s *Store) Promote(fp string) error {
+	if err := os.Rename(s.SpoolCSV(fp), s.CachePath(fp)); err != nil {
+		return fmt.Errorf("serve: promote %s: %w", fp, err)
+	}
+	if err := os.Remove(s.SpoolCheckpoint(fp)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("serve: promote %s: %w", fp, err)
+	}
+	return nil
+}
+
+// DropSpool removes a campaign's spool dataset and checkpoint (used when a
+// corrupt or mismatched sidecar forces a fresh start).
+func (s *Store) DropSpool(fp string) {
+	os.Remove(s.SpoolCSV(fp))
+	os.Remove(s.SpoolCheckpoint(fp))
+}

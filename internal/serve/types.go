@@ -1,0 +1,262 @@
+// Package serve is the campaign service layer: a durable job queue, a
+// bounded worker pool running the sweep engine, a fingerprint-keyed result
+// cache, and the HTTP/JSON API + typed client the wsnlinkd daemon exposes.
+//
+// A campaign is submitted as a CampaignSpec (parameter space + run knobs),
+// identified by the same campaign fingerprint the checkpoint sidecars and
+// run manifests record, and executed at most once: identical resubmissions
+// are answered from the content-addressed result cache without touching the
+// simulator. Results stream as NDJSON rows with index-based resume, so a
+// client can reconnect mid-campaign and continue exactly where it stopped.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// SpaceSpec is the wire form of a swept parameter space. Every omitted
+// (empty) axis falls back to the corresponding Table I default, so the
+// smallest valid spec is `{}` — the paper's full campaign.
+type SpaceSpec struct {
+	DistancesM    []float64 `json:"distances_m,omitempty"`
+	TxPowers      []int     `json:"tx_powers,omitempty"`
+	MaxTries      []int     `json:"max_tries,omitempty"`
+	RetryDelaysS  []float64 `json:"retry_delays_s,omitempty"`
+	QueueCaps     []int     `json:"queue_caps,omitempty"`
+	PktIntervalsS []float64 `json:"pkt_intervals_s,omitempty"`
+	PayloadsBytes []int     `json:"payloads_bytes,omitempty"`
+}
+
+// Space materializes the spec, filling omitted axes from the Table I
+// defaults.
+func (s SpaceSpec) Space() stack.Space {
+	sp := stack.DefaultSpace()
+	if len(s.DistancesM) > 0 {
+		sp.DistancesM = s.DistancesM
+	}
+	if len(s.TxPowers) > 0 {
+		sp.TxPowers = make([]phy.PowerLevel, len(s.TxPowers))
+		for i, p := range s.TxPowers {
+			sp.TxPowers[i] = phy.PowerLevel(p)
+		}
+	}
+	if len(s.MaxTries) > 0 {
+		sp.MaxTries = s.MaxTries
+	}
+	if len(s.RetryDelaysS) > 0 {
+		sp.RetryDelays = s.RetryDelaysS
+	}
+	if len(s.QueueCaps) > 0 {
+		sp.QueueCaps = s.QueueCaps
+	}
+	if len(s.PktIntervalsS) > 0 {
+		sp.PktIntervals = s.PktIntervalsS
+	}
+	if len(s.PayloadsBytes) > 0 {
+		sp.PayloadsBytes = s.PayloadsBytes
+	}
+	return sp
+}
+
+// SpaceSpecFor converts a materialized space back to its wire form (every
+// axis explicit).
+func SpaceSpecFor(sp stack.Space) SpaceSpec {
+	powers := make([]int, len(sp.TxPowers))
+	for i, p := range sp.TxPowers {
+		powers[i] = int(p)
+	}
+	return SpaceSpec{
+		DistancesM:    sp.DistancesM,
+		TxPowers:      powers,
+		MaxTries:      sp.MaxTries,
+		RetryDelaysS:  sp.RetryDelays,
+		QueueCaps:     sp.QueueCaps,
+		PktIntervalsS: sp.PktIntervals,
+		PayloadsBytes: sp.PayloadsBytes,
+	}
+}
+
+// CampaignSpec is a campaign job submission. The identity knobs (Space,
+// Packets, BaseSeed, FullDES) determine the campaign fingerprint and thus
+// the cache key; the execution knobs (Workers, DeadlineS, TraceSample) only
+// shape how the job runs.
+type CampaignSpec struct {
+	Space SpaceSpec `json:"space"`
+	// Packets per configuration (0 = the engine default of 500).
+	Packets int `json:"packets,omitempty"`
+	// BaseSeed seeds the per-configuration RNGs.
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	// FullDES selects the event-driven simulator instead of the default
+	// Monte-Carlo fast path (mirrors wsnsweep -des).
+	FullDES bool `json:"full_des,omitempty"`
+	// Workers is the job's sweep parallelism (0 = server default; always
+	// capped by the server's per-job limit).
+	Workers int `json:"workers,omitempty"`
+	// DeadlineS bounds the job's run time in seconds (0 = the server
+	// default; capped by the server maximum). An expired job fails but
+	// keeps its checkpoint, so resubmitting the same spec resumes it.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+	// TraceSample enables per-packet lifecycle tracing of every Nth
+	// configuration (0 = off); the trace file lands in the daemon's data
+	// directory and its path is reported in the job status.
+	TraceSample int `json:"trace_sample,omitempty"`
+}
+
+// Limits are the server-side guard rails applied to every submission.
+type Limits struct {
+	// MaxConfigs rejects spaces larger than this many configurations
+	// (0 = unlimited).
+	MaxConfigs int
+	// MaxPackets caps Packets per configuration (0 = unlimited).
+	MaxPackets int
+	// MaxWorkers caps a job's sweep parallelism (0 = GOMAXPROCS).
+	MaxWorkers int
+	// DefaultDeadline applies when a spec sets none; MaxDeadline caps
+	// what a spec may ask for (both 0 = none).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+}
+
+// normalize validates the spec against the limits and fills the defaults
+// that participate in the campaign fingerprint, so the cache key computed
+// here always matches what the sweep engine stamps into the checkpoint
+// sidecar.
+func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
+	sp := c.Space.Space()
+	if err := sp.Validate(); err != nil {
+		return c, sp, err
+	}
+	if lim.MaxConfigs > 0 && sp.Size() > lim.MaxConfigs {
+		return c, sp, fmt.Errorf("serve: space has %d configurations, server limit is %d",
+			sp.Size(), lim.MaxConfigs)
+	}
+	if c.Packets < 0 || c.TraceSample < 0 || c.Workers < 0 || c.DeadlineS < 0 {
+		return c, sp, fmt.Errorf("serve: negative knob in spec")
+	}
+	if c.Packets == 0 {
+		c.Packets = 500 // the sweep engine default; fixed here so it hashes
+	}
+	if lim.MaxPackets > 0 && c.Packets > lim.MaxPackets {
+		return c, sp, fmt.Errorf("serve: %d packets/config exceeds server limit %d",
+			c.Packets, lim.MaxPackets)
+	}
+	if lim.MaxWorkers > 0 && (c.Workers == 0 || c.Workers > lim.MaxWorkers) {
+		c.Workers = lim.MaxWorkers
+	}
+	if c.DeadlineS == 0 {
+		c.DeadlineS = lim.DefaultDeadline.Seconds()
+	}
+	if max := lim.MaxDeadline.Seconds(); max > 0 && (c.DeadlineS == 0 || c.DeadlineS > max) {
+		c.DeadlineS = max
+	}
+	// Explicit axes make the stored spec self-describing even if the
+	// Table I defaults ever change.
+	c.Space = SpaceSpecFor(sp)
+	return c, sp, nil
+}
+
+// options maps the spec onto engine options (checkpoint plumbing is added
+// by the job runner).
+func (c CampaignSpec) options() sweep.RunOptions {
+	return sweep.RunOptions{
+		Packets:     c.Packets,
+		BaseSeed:    c.BaseSeed,
+		Fast:        !c.FullDES,
+		Workers:     c.Workers,
+		TraceSample: c.TraceSample,
+	}
+}
+
+// Fingerprint returns the campaign identity hash of a normalized spec —
+// the cache key, and the value the job's checkpoint sidecar records.
+func (c CampaignSpec) Fingerprint() (uint64, error) {
+	norm, sp, err := c.normalize(Limits{})
+	if err != nil {
+		return 0, err
+	}
+	return sweep.CampaignFingerprint(sp.All(), norm.options()), nil
+}
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a worker slot (also the state a
+	// drained in-flight job returns to, with its checkpoint on disk).
+	StateQueued JobState = "queued"
+	// StateRunning: a worker is streaming the campaign.
+	StateRunning JobState = "running"
+	// StateDone: the full dataset is in the result cache.
+	StateDone JobState = "done"
+	// StateFailed: the run errored or exceeded its deadline. The spool
+	// checkpoint survives, so resubmitting the same spec resumes it.
+	StateFailed JobState = "failed"
+	// StateCanceled: canceled via DELETE.
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is the durable job record the store persists (one JSON file per job,
+// written atomically).
+type Job struct {
+	ID    string       `json:"id"`
+	Seq   int          `json:"seq"`
+	State JobState     `json:"state"`
+	Spec  CampaignSpec `json:"spec"`
+	// Fingerprint is the campaign identity (16 hex digits) — the result
+	// cache key, matching the checkpoint sidecar and run manifests.
+	Fingerprint string `json:"fingerprint"`
+	Configs     int    `json:"configs"`
+	// CacheHit marks a job answered from the result cache without
+	// simulating.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// ResumedFrom is the checkpoint prefix the latest run continued after.
+	ResumedFrom int    `json:"resumed_from,omitempty"`
+	Error       string `json:"error,omitempty"`
+	TracePath   string `json:"trace_path,omitempty"`
+	CreatedMs   int64  `json:"created_unix_ms"`
+	StartedMs   int64  `json:"started_unix_ms,omitempty"`
+	FinishedMs  int64  `json:"finished_unix_ms,omitempty"`
+}
+
+// JobStatus is the live view of a job: the durable record plus progress
+// counters and, while the server that ran it is alive, a telemetry
+// snapshot.
+type JobStatus struct {
+	Job
+	Done    int64         `json:"done"`
+	Total   int64         `json:"total"`
+	Errors  int64         `json:"errors"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Stats are the server-level counters (also exported via expvar by the
+// daemon).
+type Stats struct {
+	Submitted   int64 `json:"submitted"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Queued      int64 `json:"queued"`
+	Running     int64 `json:"running"`
+}
+
+// StreamedRow is one decoded row from a campaign's NDJSON stream.
+type StreamedRow struct {
+	// Index is the row's position in the campaign (0-based, dense).
+	Index int
+	// Row is the decoded dataset row.
+	Row sweep.Row
+}

@@ -26,6 +26,30 @@ var csvHeader = []string{
 	"generated", "delivered", "queue_drops", "radio_drops",
 }
 
+// FieldNames returns the dataset column names in schema order — the same
+// identifiers the CSV header and the campaign service's NDJSON rows use.
+// The returned slice is a copy; callers may keep or mutate it.
+func FieldNames() []string {
+	out := make([]string, len(csvHeader))
+	copy(out, csvHeader)
+	return out
+}
+
+// Fields renders the row's canonical field encoding, aligned with
+// FieldNames. The encoding is byte-stable: RowFromFields followed by Fields
+// reproduces the input exactly, which is what lets the service stream
+// cached results byte-identically to live ones.
+func (r Row) Fields() []string { return rowRecord(r) }
+
+// RowFromFields parses one canonical record (as produced by Fields or read
+// from a dataset CSV).
+func RowFromFields(rec []string) (Row, error) {
+	if len(rec) != len(csvHeader) {
+		return Row{}, fmt.Errorf("sweep: record has %d fields, want %d", len(rec), len(csvHeader))
+	}
+	return parseRow(rec)
+}
+
 // rowRecord formats one row using the canonical field encoding; the output
 // is byte-stable, so re-encoding a parsed dataset reproduces it exactly.
 func rowRecord(r Row) []string {

@@ -29,6 +29,7 @@ import (
 	"wsnlink/internal/obs"
 	"wsnlink/internal/optimize"
 	"wsnlink/internal/phy"
+	"wsnlink/internal/serve"
 	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
@@ -166,6 +167,31 @@ func SweepFingerprint(space Space, opts SweepOptions) (uint64, error) {
 	}
 	return sweep.CampaignFingerprint(space.All(), opts), nil
 }
+
+// Campaign service. A wsnlinkd daemon (cmd/wsnlinkd) queues campaigns
+// durably, caches completed datasets by campaign fingerprint, and streams
+// rows over HTTP; these aliases are its typed client surface.
+type (
+	// CampaignClient talks to a wsnlinkd daemon.
+	CampaignClient = serve.Client
+	// CampaignSpec is a campaign submission: the parameter space plus the
+	// identity knobs (Packets, BaseSeed, FullDES) that determine the
+	// campaign fingerprint, and execution knobs (Workers, DeadlineS,
+	// TraceSample).
+	CampaignSpec = serve.CampaignSpec
+	// CampaignSpaceSpec is the wire form of a swept space; empty axes
+	// fall back to the Table I defaults.
+	CampaignSpaceSpec = serve.SpaceSpec
+	// CampaignJob is a job's live status as reported by the daemon.
+	CampaignJob = serve.JobStatus
+	// CampaignRow is one decoded row from a campaign's NDJSON stream.
+	CampaignRow = serve.StreamedRow
+)
+
+// NewCampaignClient returns a client for the wsnlinkd daemon at baseURL,
+// e.g. "http://localhost:8080". Use Run to submit-and-stream a campaign
+// with automatic reconnect, or Submit/Status/StreamRows for finer control.
+func NewCampaignClient(baseURL string) *CampaignClient { return serve.NewClient(baseURL) }
 
 // Observability (campaign telemetry).
 type (

@@ -2,8 +2,12 @@ package wsnlink_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"wsnlink"
@@ -80,6 +84,92 @@ func TestFacadeSweepAndCalibrate(t *testing.T) {
 	}
 	if wsnlink.DefaultSpace().Size() < 45000 {
 		t.Error("default space should match the paper's ~50k scale")
+	}
+}
+
+// TestFacadeSweepStreamCancelMidYield cancels a streaming sweep from
+// inside its own yield callback: the error must be context.Canceled, and
+// the rows seen before cancellation must be an exact in-order prefix of
+// the uninterrupted campaign.
+func TestFacadeSweepStreamCancelMidYield(t *testing.T) {
+	space := wsnlink.Space{
+		DistancesM:    []float64{25, 35},
+		TxPowers:      []wsnlink.PowerLevel{7, 15, 23, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0.03},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{20, 110},
+	}
+	opts := wsnlink.SweepOptions{Packets: 60, BaseSeed: 11, Fast: true}
+	all, err := wsnlink.SweepContext(context.Background(), space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != space.Size() {
+		t.Fatalf("reference run yielded %d rows, want %d", len(all), space.Size())
+	}
+
+	const stopAfter = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []wsnlink.SweepRow
+	err = wsnlink.SweepStream(ctx, space, opts, func(r wsnlink.SweepRow) error {
+		got = append(got, r)
+		if len(got) == stopAfter {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SweepStream after mid-yield cancel returned %v, want context.Canceled", err)
+	}
+	if len(got) < stopAfter || len(got) >= len(all) {
+		t.Fatalf("got %d rows after canceling at row %d (campaign has %d)",
+			len(got), stopAfter, len(all))
+	}
+	for i, r := range got {
+		if r.Config != all[i].Config || r.Seed != all[i].Seed {
+			t.Fatalf("row %d is not the campaign's row %d: %+v vs %+v",
+				i, i, r.Config, all[i].Config)
+		}
+	}
+}
+
+// TestFacadeLoadSweepCheckpointErrors pins the failure modes callers
+// branch on: a missing sidecar is os.ErrNotExist (first run, nothing to
+// resume), while corrupt or foreign files fail loudly instead of silently
+// resuming from index zero.
+func TestFacadeLoadSweepCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := wsnlink.LoadSweepCheckpoint(filepath.Join(dir, "absent.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing sidecar: got %v, want os.ErrNotExist", err)
+	}
+
+	foreign := filepath.Join(dir, "foreign.ckpt")
+	if err := os.WriteFile(foreign, []byte("distance,power,payload\n35,7,20\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wsnlink.LoadSweepCheckpoint(foreign); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("foreign file: got %v, want a not-a-checkpoint error", err)
+	}
+
+	truncated := filepath.Join(dir, "truncated.ckpt")
+	if err := os.WriteFile(truncated, []byte("wsnlink-checkpoint v1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := wsnlink.LoadSweepCheckpoint(truncated)
+	if err == nil || !strings.Contains(err.Error(), "truncated header") {
+		t.Fatalf("magic-only file: got %v, want truncated-header error", err)
+	}
+
+	badHeader := filepath.Join(dir, "badheader.ckpt")
+	if err := os.WriteFile(badHeader, []byte("wsnlink-checkpoint v1\nfingerprint zz configs x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wsnlink.LoadSweepCheckpoint(badHeader); err == nil || !strings.Contains(err.Error(), "bad header") {
+		t.Fatalf("corrupt header: got %v, want bad-header error", err)
 	}
 }
 
