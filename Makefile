@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-e2e bench bench-json vulncheck verify
+.PHONY: build test vet race service-e2e validate bench bench-json vulncheck verify
 
 # Benchmarks the committed BENCH_1.json baseline tracks: sweep throughput,
 # the per-configuration fast path, and the telemetry/tracing overhead pairs
@@ -44,6 +44,16 @@ vulncheck:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
+# The validation harness (DESIGN.md §7): analytic oracles + metamorphic
+# laws across three distinct base seeds, plus one pass on the full DES
+# engine. Deterministic — a red verdict reproduces with the same seed.
+validate:
+	$(GO) build -o /tmp/wsnvalid ./cmd/wsnvalid
+	/tmp/wsnvalid -seed 1 -q -out /tmp/wsnvalid-1.json
+	/tmp/wsnvalid -seed 2 -q -out /tmp/wsnvalid-2.json
+	/tmp/wsnvalid -seed 3 -q -out /tmp/wsnvalid-3.json
+	/tmp/wsnvalid -seed 1 -des -seeds 16 -packets 500 -q
+
 # Regenerate the committed benchmark baseline as JSON.
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
@@ -51,4 +61,4 @@ bench-json:
 		| /tmp/benchjson > BENCH_1.json
 
 # The full quality gate (DESIGN.md §6).
-verify: build vet test race
+verify: build vet test race validate

@@ -1,0 +1,101 @@
+// Command wsnvalid runs the cross-layer validation suite — analytic
+// oracles on a quiet channel plus metamorphic monotonicity laws through the
+// sweep engine — and emits a deterministic JSON verdict manifest
+// (wsnlink-valid-report/v1).
+//
+// The verdict is a pure function of the flags: same seed, same suite, same
+// bytes. CI runs it across several base seeds (`make validate`); a failed
+// check exits 1, usage errors exit 2.
+//
+// Usage:
+//
+//	wsnvalid [-seed N] [-seeds N] [-packets N] [-des] [-out report.json] [-q]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"wsnlink/internal/buildinfo"
+	"wsnlink/internal/valid"
+)
+
+// errChecksFailed marks a completed run whose verdict is fail (exit 1).
+var errChecksFailed = errors.New("validation checks failed")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errChecksFailed):
+		os.Exit(1)
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "wsnvalid:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnvalid", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed    = fs.Uint64("seed", 1, "base seed driving every simulation in the suite")
+		seeds   = fs.Int("seeds", 0, "seed-paired replicas per metamorphic law (0 = default 64)")
+		packets = fs.Int("packets", 0, "packets per simulated configuration (0 = default 2000)")
+		des     = fs.Bool("des", false, "exercise the event-driven simulator instead of the fast path")
+		out     = fs.String("out", "", "write the JSON verdict manifest to this path")
+		quiet   = fs.Bool("q", false, "print only the verdict line")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnvalid", buildinfo.Current())
+		return nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, err := valid.Run(ctx, valid.Options{
+		BaseSeed: *seed,
+		Seeds:    *seeds,
+		Packets:  *packets,
+		FullDES:  *des,
+	})
+	if err != nil {
+		return err
+	}
+
+	if !*quiet {
+		for _, c := range report.Checks {
+			status := "ok  "
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(stdout, "%s [%-5s] %s: %s\n", status, c.Layer, c.Name, c.Detail)
+		}
+	}
+	if *out != "" {
+		if err := valid.WriteReport(*out, report); err != nil {
+			return err
+		}
+	}
+	if report.Pass {
+		fmt.Fprintf(stdout, "PASS: %d checks (seed %d, %d packets, des=%v)\n",
+			len(report.Checks), report.BaseSeed, report.Packets, report.FullDES)
+		return nil
+	}
+	fmt.Fprintf(stdout, "FAIL: %d of %d checks failed (seed %d)\n",
+		report.Failed, len(report.Checks), report.BaseSeed)
+	return errChecksFailed
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/valid"
+)
+
+func TestRunWritesManifestAndPasses(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-seed", "2", "-seeds", "8", "-packets", "300", "-q", "-out", out}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS:") {
+		t.Fatalf("stdout missing verdict line: %q", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r valid.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if r.Schema != valid.ReportSchema || !r.Pass || r.BaseSeed != 2 {
+		t.Fatalf("manifest = schema %q pass %v seed %d", r.Schema, r.Pass, r.BaseSeed)
+	}
+}
+
+func TestRunPrintsChecksByDefault(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-seeds", "4", "-packets", "100"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "oracle/") || !strings.Contains(stdout.String(), "metamorphic/") {
+		t.Fatalf("stdout missing per-check lines: %q", stdout.String())
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-version"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "wsnvalid") {
+		t.Fatalf("version output %q", stdout.String())
+	}
+}

@@ -1,0 +1,152 @@
+package estimator
+
+import (
+	"testing"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/phy"
+)
+
+func newTestRetuner(t *testing.T, cfg RetunerConfig) *Retuner {
+	t.Helper()
+	r, err := NewRetuner(models.Paper(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRetunerValidation(t *testing.T) {
+	cases := []RetunerConfig{
+		{Alpha: -0.1},
+		{Alpha: 1.5},
+		{DeadbandDB: -1},
+		{CooldownSamples: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewRetuner(models.Paper(), cfg); err == nil {
+			t.Errorf("case %d (%+v): want error", i, cfg)
+		}
+	}
+}
+
+// TestRetunerCooldownGatesFirstCalibration: the loop must not act on the
+// estimate before it has settled for a full cooldown window.
+func TestRetunerCooldownGatesFirstCalibration(t *testing.T) {
+	r := newTestRetuner(t, RetunerConfig{CooldownSamples: 8})
+	for i := 0; i < 7; i++ {
+		if r.Observe(25) {
+			t.Fatalf("retuned at sample %d, before the cooldown elapsed", i)
+		}
+	}
+	// On a strong link (25 dB at max power) the first calibration must back
+	// the power off from the max-power default.
+	if !r.Observe(25) {
+		t.Fatal("first calibration did not fire once the cooldown elapsed")
+	}
+	if p, _ := r.Current(); p >= 31 {
+		t.Fatalf("power %d after calibrating on a 25 dB link; want below max", p)
+	}
+}
+
+// TestRetunerTracksChannelCollapse: a large SNR drop must re-tune back to
+// max power, and the counter must record the change.
+func TestRetunerTracksChannelCollapse(t *testing.T) {
+	r := newTestRetuner(t, RetunerConfig{CooldownSamples: 4, DeadbandDB: 2})
+	for i := 0; i < 32; i++ {
+		r.Observe(25)
+	}
+	pHigh, _ := r.Current()
+	if pHigh >= 31 {
+		t.Fatalf("power %d on a 25 dB link; want below max", pHigh)
+	}
+	base := r.Retunes()
+
+	// The channel collapses: readings at the current (reduced) power drop
+	// near the decoding floor. The smoothed estimate converges over several
+	// cooldown windows, possibly through intermediate configurations.
+	for i := 0; i < 128; i++ {
+		r.Observe(-5)
+	}
+	if p, _ := r.Current(); p != 31 {
+		t.Fatalf("power %d after collapse, want max (31)", p)
+	}
+	if r.Retunes() <= base {
+		t.Fatal("retune counter did not advance")
+	}
+}
+
+// TestRetunerCooldownAfterRetune: right after a change, even a gross drift
+// must wait out the cooldown — the anti-thrash property, sample-exact.
+func TestRetunerCooldownAfterRetune(t *testing.T) {
+	const cooldown = 16
+	r := newTestRetuner(t, RetunerConfig{CooldownSamples: cooldown, DeadbandDB: 2})
+	for i := 0; i < 4*cooldown; i++ {
+		r.Observe(25)
+	}
+	// Force one retune with a collapse, then immediately swing back up.
+	retuned := false
+	for i := 0; i < 8*cooldown && !retuned; i++ {
+		retuned = r.Observe(-5)
+	}
+	if !retuned {
+		t.Fatal("setup: no retune on collapse")
+	}
+	for i := 0; i < cooldown-1; i++ {
+		if r.Observe(30) {
+			t.Fatalf("retuned %d samples after the last change; cooldown is %d", i+1, cooldown)
+		}
+	}
+}
+
+// TestRetunerNormalisesForPowerChanges: an SNR shift caused purely by the
+// retuner's own power change must not read as channel drift. After settling
+// on a strong link, feeding exactly the power-adjusted readings (same
+// channel, lower output power) must cause no further retunes.
+func TestRetunerNormalisesForPowerChanges(t *testing.T) {
+	r := newTestRetuner(t, RetunerConfig{CooldownSamples: 4, DeadbandDB: 2})
+	const atMax = 25.0
+	channelSNR := func() float64 {
+		p, _ := r.Current()
+		return atMax + p.DBm() - phy.PowerLevel(31).DBm()
+	}
+	for i := 0; i < 16; i++ {
+		r.Observe(channelSNR())
+	}
+	base := r.Retunes()
+	if base == 0 {
+		t.Fatal("setup: first calibration never fired")
+	}
+	for i := 0; i < 64; i++ {
+		if r.Observe(channelSNR()) {
+			t.Fatalf("power-induced SNR shift read as drift at sample %d", i)
+		}
+	}
+	if r.Retunes() != base {
+		t.Fatalf("retunes %d → %d on a static channel", base, r.Retunes())
+	}
+}
+
+// TestRetunerEvaluateMatchesCurrent: the evaluation must describe the
+// configuration the retuner actually holds, with physically sane numbers.
+func TestRetunerEvaluateMatchesCurrent(t *testing.T) {
+	r := newTestRetuner(t, RetunerConfig{CooldownSamples: 4})
+	for i := 0; i < 16; i++ {
+		r.Observe(20)
+	}
+	ev, err := r.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ld := r.Current()
+	if ev.Candidate.TxPower != p || ev.Candidate.PayloadBytes != ld {
+		t.Fatalf("evaluation is for (%d,%d), current config is (%d,%d)",
+			ev.Candidate.TxPower, ev.Candidate.PayloadBytes, p, ld)
+	}
+	if ev.PLR < 0 || ev.PLR > 1 {
+		t.Fatalf("PLR %v outside [0,1]", ev.PLR)
+	}
+	if ev.UEngMicroJ <= 0 || ev.GoodputKbps <= 0 || ev.DelayS <= 0 {
+		t.Fatalf("non-positive prediction: E=%v G=%v D=%v", ev.UEngMicroJ, ev.GoodputKbps, ev.DelayS)
+	}
+}

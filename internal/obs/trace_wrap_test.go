@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// chromeDoc is the slice of the trace_event schema these tests inspect.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Ph   string `json:"ph"`
+		ID   string `json:"id"`
+		Name string `json:"name"`
+		Pid  int    `json:"pid"`
+	} `json:"traceEvents"`
+}
+
+// TestTracerWrapUnderConcurrentEmitters drives a deliberately tiny ring from
+// many goroutines so eviction constantly swallows span begins, then checks
+// the exporters still produce well-formed output: every span "e" is preceded
+// by its "b", and the event ledger (retained + dropped) stays exact.
+func TestTracerWrapUnderConcurrentEmitters(t *testing.T) {
+	const (
+		capacity = 64
+		workers  = 8
+		packets  = 100
+		perSpan  = 5 // enqueue, backoff, cca, tx_attempt, delivered
+	)
+	tr := NewTracer(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(cfg int) {
+			defer wg.Done()
+			sp := tr.Span(7, cfg)
+			for p := 0; p < packets; p++ {
+				ts := float64(p)
+				sp.Emit(EvEnqueue, ts, p, 0, 0, 0, 0)
+				sp.Emit(EvBackoff, ts+0.001, p, 1, 0, 0, 0)
+				sp.Emit(EvCCA, ts+0.002, p, 1, 0, 0, 0)
+				sp.Emit(EvTxAttempt, ts+0.003, p, 1, 4.5, -88, 60)
+				sp.Emit(EvDelivered, ts+0.004, p, 1, 0, 0, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := uint64(workers * packets * perSpan)
+	if tr.Len() != capacity {
+		t.Fatalf("Len = %d, want full ring (%d)", tr.Len(), capacity)
+	}
+	if got := uint64(tr.Len()) + tr.Dropped(); got != total {
+		t.Fatalf("retained+dropped = %d, want %d", got, total)
+	}
+	evs := tr.Events()
+	if len(evs) != capacity {
+		t.Fatalf("Events() returned %d, want %d", len(evs), capacity)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export after wrap is not valid JSON: %v", err)
+	}
+	open := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "b":
+			open[ev.ID] = true
+		case "e":
+			if !open[ev.ID] {
+				t.Fatalf("event %d: span end %s without a begin", i, ev.ID)
+			}
+			delete(open, ev.ID)
+		}
+	}
+
+	buf.Reset()
+	if err := WriteTraceNDJSON(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("ndjson line after wrap is not valid JSON: %v\nline: %s", err, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracerWrapOrphansTerminal forces the exact eviction the exporter's
+// orphan path exists for: a span's enqueue is overwritten while its terminal
+// survives, so the export must carry the terminal as an instant with neither
+// a "b" nor an "e" for that span.
+func TestTracerWrapOrphansTerminal(t *testing.T) {
+	const capacity = 16
+	tr := NewTracer(capacity)
+	victim := tr.Span(7, 0)
+	filler := tr.Span(7, 1)
+
+	const pkt = 777
+	victim.Emit(EvEnqueue, 0, pkt, 0, 0, 0, 0)
+	for i := 0; i < capacity; i++ {
+		filler.Emit(EvBackoff, float64(i), i, 1, 0, 0, 0)
+	}
+	victim.Emit(EvDelivered, 99, pkt, 1, 0, 0, 0)
+
+	span := PacketSpanID(7, 0, pkt)
+	sawEnqueue := false
+	for _, ev := range tr.Events() {
+		if ev.Span == span && ev.Kind == EvEnqueue {
+			sawEnqueue = true
+		}
+	}
+	if sawEnqueue {
+		t.Fatal("setup: the victim's enqueue survived the wrap")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	id := spanHex(span)
+	sawInstant := false
+	for _, ev := range doc.TraceEvents {
+		if ev.ID != id {
+			continue
+		}
+		switch ev.Ph {
+		case "b", "e":
+			t.Fatalf("orphaned span exported a %q record", ev.Ph)
+		case "n":
+			if ev.Name == "delivered" {
+				sawInstant = true
+			}
+		}
+	}
+	if !sawInstant {
+		t.Fatal("orphaned terminal lost its instant record")
+	}
+}

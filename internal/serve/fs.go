@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// file is the subset of *os.File the store and runner touch. Returning an
+// interface (rather than *os.File) lets a fault-injecting filesystem wrap
+// handles with torn-write or error-at-Nth-byte behavior while production
+// code keeps the plain os implementation.
+type file interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+}
+
+// fsOps abstracts every filesystem call behind the durable store so tests
+// can inject deterministic faults — an error on the Nth write, a torn write
+// into a spool or job file, a failing rename — and prove the durability
+// claims (requeue-on-crash, byte-identical cache replay) hold under them,
+// not just on the happy path.
+type fsOps interface {
+	MkdirAll(path string, perm os.FileMode) error
+	Create(name string) (file, error)
+	Open(name string) (file, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// osFS is the production fsOps: the real filesystem, call for call.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Create(name string) (file, error)             { return os.Create(name) }
+func (osFS) Open(name string) (file, error)               { return os.Open(name) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"wsnlink/internal/sweep"
+)
+
+// fuzzLimits bounds the fuzzed spaces so a hostile spec cannot make the
+// target materialize millions of configurations; the default `{}` campaign
+// (53 760 configs) stays comfortably inside.
+var fuzzLimits = Limits{
+	MaxConfigs:      1 << 17,
+	MaxPackets:      1 << 20,
+	MaxWorkers:      64,
+	DefaultDeadline: time.Minute,
+	MaxDeadline:     time.Hour,
+}
+
+// FuzzCampaignSpecJSON feeds arbitrary JSON through the submission path:
+// decoding must never panic, and any spec that normalizes must normalize
+// idempotently with a stable campaign fingerprint — otherwise a resubmitted
+// job could miss its own cache entry.
+func FuzzCampaignSpecJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"space":{"distances_m":[5,30],"tx_powers":[3,31]},"packets":60,"base_seed":7}`))
+	f.Add([]byte(`{"space":{"max_tries":[1,8],"queue_caps":[1,30]},"full_des":true,"workers":2,"deadline_s":1.5}`))
+	f.Add([]byte(`{"packets":-1}`))
+	f.Add([]byte(`{"space":{"payloads_bytes":[0]}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec CampaignSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		norm, sp, err := spec.normalize(fuzzLimits)
+		if err != nil {
+			return
+		}
+		again, sp2, err := norm.normalize(fuzzLimits)
+		if err != nil {
+			t.Fatalf("normalized spec fails to re-normalize: %v", err)
+		}
+		if !reflect.DeepEqual(again, norm) {
+			t.Fatalf("normalize not idempotent:\n 1st: %+v\n 2nd: %+v", norm, again)
+		}
+		fp1 := sweep.CampaignFingerprint(sp.All(), norm.options())
+		fp2 := sweep.CampaignFingerprint(sp2.All(), again.options())
+		if fp1 != fp2 {
+			t.Fatalf("fingerprint drift across normalization: %x vs %x", fp1, fp2)
+		}
+	})
+}
+
+// FuzzNDJSONRows feeds arbitrary bytes through the row-stream decoder: it
+// must never panic, and any line it accepts must re-encode to a canonical
+// line that round-trips byte-for-byte from then on.
+func FuzzNDJSONRows(f *testing.F) {
+	norm, sp, err := quickSpec().normalize(Limits{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rows, err := sweep.RunConfigs(sp.All(), norm.options())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(appendRowJSON(nil, 0, rows[0].Fields()))
+	f.Add(appendRowJSON(nil, len(rows)-1, rows[len(rows)-1].Fields()))
+	f.Add([]byte(`{"index":0}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := parseRowLine(data)
+		if err != nil {
+			return
+		}
+		enc := appendRowJSON(nil, sr.Index, sr.Row.Fields())
+		back, err := parseRowLine(enc)
+		if err != nil {
+			t.Fatalf("canonical line fails to parse: %v\nline: %s", err, enc)
+		}
+		enc2 := appendRowJSON(nil, back.Index, back.Row.Fields())
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding unstable:\n 1st: %s\n 2nd: %s", enc, enc2)
+		}
+	})
+}

@@ -107,10 +107,10 @@ func (s *Server) StreamRows(ctx context.Context, id string, after int, send func
 
 // openResult opens a campaign's dataset: the live spool while the job runs
 // (or after a failure), the cache once promoted.
-func openResult(store *Store, fp string) (*os.File, error) {
-	f, err := os.Open(store.SpoolCSV(fp))
+func openResult(store *Store, fp string) (file, error) {
+	f, err := store.fs.Open(store.SpoolCSV(fp))
 	if errors.Is(err, os.ErrNotExist) {
-		return os.Open(store.CachePath(fp))
+		return store.fs.Open(store.CachePath(fp))
 	}
 	return f, err
 }
@@ -119,7 +119,7 @@ func openResult(store *Store, fp string) (*os.File, error) {
 // A partial trailing line is carried over until its newline arrives;
 // *os.File keeps returning fresh data on reads past a previous EOF.
 type lineTailer struct {
-	f   *os.File
+	f   file
 	buf []byte
 }
 

@@ -79,7 +79,12 @@ type Server struct {
 // Jobs found in state "running" were in flight when a previous daemon died;
 // they are requeued and resume from their checkpoint sidecar.
 func Open(dir string, opts Options) (*Server, error) {
-	store, err := OpenStore(dir)
+	return openFS(dir, opts, osFS{})
+}
+
+// openFS is Open with an injectable filesystem (fault-injection tests).
+func openFS(dir string, opts Options, fsys fsOps) (*Server, error) {
+	store, err := openStoreFS(dir, fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +442,7 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 		// Best-effort: an interrupted campaign's trace is often exactly
 		// what is wanted; never let trace IO mask the run outcome.
 		tracePath := s.store.TracePath(e.job.ID)
-		if werr := writeTrace(tracePath, opts.Tracer); werr == nil {
+		if werr := writeTrace(s.store.fs, tracePath, opts.Tracer); werr == nil {
 			s.mu.Lock()
 			e.job.TracePath = tracePath
 			s.mu.Unlock()
@@ -518,7 +523,7 @@ func (s *Server) statusLocked(e *jobEntry) JobStatus {
 // checkpointed rows (a crash can leave a torn extra row) and the run
 // resumes; any corrupt or mismatched leftovers are discarded and the
 // campaign starts fresh.
-func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (*os.File, *sweep.Encoder, bool, int, error) {
+func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (file, *sweep.Encoder, bool, int, error) {
 	csvPath := store.SpoolCSV(fp)
 	ckptPath := store.SpoolCheckpoint(fp)
 
@@ -527,7 +532,7 @@ func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (*os
 	ck, err := sweep.LoadCheckpoint(ckptPath)
 	switch {
 	case err == nil && ck.Fingerprint == fingerprint && ck.Configs == configs:
-		rows, rerr := readSpoolPrefix(csvPath, ck.Done)
+		rows, rerr := readSpoolPrefix(store, csvPath, ck.Done)
 		if rerr == nil {
 			resume = true
 			prefix = rows
@@ -541,7 +546,7 @@ func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (*os
 		store.DropSpool(fp)
 	}
 
-	f, err := os.Create(csvPath)
+	f, err := store.fs.Create(csvPath)
 	if err != nil {
 		return nil, nil, false, 0, err
 	}
@@ -565,8 +570,8 @@ func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (*os
 
 // readSpoolPrefix returns the first done rows of the spool dataset; a
 // missing file is fine when nothing was checkpointed yet.
-func readSpoolPrefix(path string, done int) ([]sweep.Row, error) {
-	f, err := os.Open(path)
+func readSpoolPrefix(store *Store, path string, done int) ([]sweep.Row, error) {
+	f, err := store.fs.Open(path)
 	if errors.Is(err, os.ErrNotExist) && done == 0 {
 		return nil, nil
 	}
@@ -585,8 +590,8 @@ func readSpoolPrefix(path string, done int) ([]sweep.Row, error) {
 }
 
 // writeTrace exports a job's lifecycle events as a Chrome trace.
-func writeTrace(path string, tr *obs.Tracer) error {
-	f, err := os.Create(path)
+func writeTrace(fsys fsOps, path string, tr *obs.Tracer) error {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"wsnlink/internal/sweep"
+)
+
+// randSpec draws a spec from a mix of valid and boundary values so a decent
+// fraction survives normalization while the rest exercises the error paths.
+func randSpec(rng *rand.Rand) CampaignSpec {
+	// ~8% of drawn values are invalid, so most specs normalize cleanly
+	// while the error paths still see traffic.
+	pick := func(valid, invalid []float64) []float64 {
+		n := rng.IntN(3)
+		out := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.IntN(12) == 0 {
+				out = append(out, invalid[rng.IntN(len(invalid))])
+			} else {
+				out = append(out, valid[rng.IntN(len(valid))])
+			}
+		}
+		return out
+	}
+	pickInt := func(valid, invalid []int) []int {
+		n := rng.IntN(3)
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if rng.IntN(12) == 0 {
+				out = append(out, invalid[rng.IntN(len(invalid))])
+			} else {
+				out = append(out, valid[rng.IntN(len(valid))])
+			}
+		}
+		return out
+	}
+	return CampaignSpec{
+		Space: SpaceSpec{
+			DistancesM:    pick([]float64{1, 5, 30, 45}, []float64{-2, 0}),
+			TxPowers:      pickInt([]int{3, 11, 31}, []int{0, 99}),
+			MaxTries:      pickInt([]int{1, 3, 8}, []int{0, -1}),
+			RetryDelaysS:  pick([]float64{0, 0.03, 0.27}, []float64{-0.1}),
+			QueueCaps:     pickInt([]int{1, 30}, []int{0}),
+			PktIntervalsS: pick([]float64{0, 0.05, 1}, []float64{-1}),
+			PayloadsBytes: pickInt([]int{5, 50, 110}, []int{0, 200}),
+		},
+		Packets:     rng.IntN(4) * 250,
+		BaseSeed:    rng.Uint64N(10),
+		FullDES:     rng.IntN(2) == 0,
+		Workers:     rng.IntN(5),
+		DeadlineS:   float64(rng.IntN(3)),
+		TraceSample: rng.IntN(3),
+	}
+}
+
+func randLimits(rng *rand.Rand) Limits {
+	return Limits{
+		MaxConfigs:      []int{0, 1 << 17}[rng.IntN(2)],
+		MaxPackets:      []int{0, 1 << 12}[rng.IntN(2)],
+		MaxWorkers:      []int{0, 3}[rng.IntN(2)],
+		DefaultDeadline: []time.Duration{0, time.Minute}[rng.IntN(2)],
+		MaxDeadline:     []time.Duration{0, time.Hour}[rng.IntN(2)],
+	}
+}
+
+// TestNormalizeRoundTrip is the property the cache keying rests on: for any
+// accepted spec, normalization is idempotent under the same limits, and the
+// campaign fingerprint survives a store/reload round trip of the normalized
+// spec. A violation would let a resubmitted job miss its own cache entry.
+func TestNormalizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2026, 8))
+	accepted := 0
+	for i := 0; i < 500; i++ {
+		spec, lim := randSpec(rng), randLimits(rng)
+		norm, sp, err := spec.normalize(lim)
+		if err != nil {
+			continue
+		}
+		accepted++
+		again, sp2, err := norm.normalize(lim)
+		if err != nil {
+			t.Fatalf("case %d: re-normalize failed: %v\nspec: %+v", i, err, norm)
+		}
+		if !reflect.DeepEqual(again, norm) {
+			t.Fatalf("case %d: normalize not idempotent:\n 1st: %+v\n 2nd: %+v", i, norm, again)
+		}
+		fp1 := sweep.CampaignFingerprint(sp.All(), norm.options())
+		fp2 := sweep.CampaignFingerprint(sp2.All(), again.options())
+		if fp1 != fp2 {
+			t.Fatalf("case %d: fingerprint drift %x vs %x", i, fp1, fp2)
+		}
+	}
+	// The generator must actually exercise the property, not only the
+	// rejection paths.
+	if accepted < 50 {
+		t.Fatalf("only %d/500 specs accepted; generator too hostile", accepted)
+	}
+}
+
+// TestNormalizeFillsDefaults pins the exact defaults that participate in the
+// fingerprint.
+func TestNormalizeFillsDefaults(t *testing.T) {
+	norm, sp, err := CampaignSpec{}.normalize(Limits{
+		MaxWorkers: 4, DefaultDeadline: 30 * time.Second, MaxDeadline: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Packets != 500 {
+		t.Fatalf("Packets = %d, want engine default 500", norm.Packets)
+	}
+	if norm.Workers != 4 {
+		t.Fatalf("Workers = %d, want capped to 4", norm.Workers)
+	}
+	if norm.DeadlineS != 30 {
+		t.Fatalf("DeadlineS = %v, want default 30", norm.DeadlineS)
+	}
+	if sp.Size() != 53760 {
+		t.Fatalf("default space has %d configs, want the Table I campaign (53760)", sp.Size())
+	}
+	// Every axis must come back explicit so the stored record is
+	// self-describing.
+	ss := norm.Space
+	if len(ss.DistancesM) == 0 || len(ss.TxPowers) == 0 || len(ss.MaxTries) == 0 ||
+		len(ss.RetryDelaysS) == 0 || len(ss.QueueCaps) == 0 ||
+		len(ss.PktIntervalsS) == 0 || len(ss.PayloadsBytes) == 0 {
+		t.Fatalf("normalized space has implicit axes: %+v", ss)
+	}
+}

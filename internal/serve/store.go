@@ -25,16 +25,22 @@ import (
 // complete, validated dataset.
 type Store struct {
 	dir string
+	fs  fsOps
 }
 
 // OpenStore creates (or reopens) the data directory layout.
 func OpenStore(dir string) (*Store, error) {
+	return openStoreFS(dir, osFS{})
+}
+
+// openStoreFS is OpenStore with an injectable filesystem (fault tests).
+func openStoreFS(dir string, fsys fsOps) (*Store, error) {
 	for _, sub := range []string{"jobs", "spool", "cache", "traces"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fsys.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("serve: open store: %w", err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
@@ -66,7 +72,7 @@ func (s *Store) TracePath(id string) string {
 
 // HasCache reports whether a completed dataset exists for the fingerprint.
 func (s *Store) HasCache(fp string) bool {
-	_, err := os.Stat(s.CachePath(fp))
+	_, err := s.fs.Stat(s.CachePath(fp))
 	return err == nil
 }
 
@@ -79,11 +85,11 @@ func (s *Store) PutJob(j *Job) error {
 	}
 	path := s.jobPath(j.ID)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("serve: write job %s: %w", j.ID, err)
 	}
 	return nil
@@ -94,7 +100,7 @@ func (s *Store) PutJob(j *Job) error {
 // possible only through external interference), not fatal: the daemon must
 // come back up with whatever part of the queue survived.
 func (s *Store) LoadJobs() ([]*Job, error) {
-	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, "jobs"))
 	if err != nil {
 		return nil, fmt.Errorf("serve: load jobs: %w", err)
 	}
@@ -103,7 +109,7 @@ func (s *Store) LoadJobs() ([]*Job, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, "jobs", e.Name()))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, "jobs", e.Name()))
 		if err != nil {
 			continue
 		}
@@ -120,10 +126,10 @@ func (s *Store) LoadJobs() ([]*Job, error) {
 // Promote moves a completed spool dataset into the result cache (atomic
 // rename) and drops the now-redundant checkpoint sidecar.
 func (s *Store) Promote(fp string) error {
-	if err := os.Rename(s.SpoolCSV(fp), s.CachePath(fp)); err != nil {
+	if err := s.fs.Rename(s.SpoolCSV(fp), s.CachePath(fp)); err != nil {
 		return fmt.Errorf("serve: promote %s: %w", fp, err)
 	}
-	if err := os.Remove(s.SpoolCheckpoint(fp)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := s.fs.Remove(s.SpoolCheckpoint(fp)); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("serve: promote %s: %w", fp, err)
 	}
 	return nil
@@ -132,6 +138,6 @@ func (s *Store) Promote(fp string) error {
 // DropSpool removes a campaign's spool dataset and checkpoint (used when a
 // corrupt or mismatched sidecar forces a fresh start).
 func (s *Store) DropSpool(fp string) {
-	os.Remove(s.SpoolCSV(fp))
-	os.Remove(s.SpoolCheckpoint(fp))
+	s.fs.Remove(s.SpoolCSV(fp))
+	s.fs.Remove(s.SpoolCheckpoint(fp))
 }

@@ -6,6 +6,7 @@ package stack
 
 import (
 	"fmt"
+	"math"
 
 	"wsnlink/internal/frame"
 	"wsnlink/internal/phy"
@@ -96,11 +97,26 @@ func DefaultSpace() Space {
 	}
 }
 
-// Size returns the number of configurations in the space.
+// Size returns the number of configurations in the space. The product
+// saturates at math.MaxInt instead of overflowing, so size limits applied
+// to untrusted specs (the campaign service caps submissions by Size) cannot
+// be bypassed by axes whose product wraps around.
 func (s Space) Size() int {
-	return len(s.DistancesM) * len(s.TxPowers) * len(s.MaxTries) *
-		len(s.RetryDelays) * len(s.QueueCaps) * len(s.PktIntervals) *
-		len(s.PayloadsBytes)
+	size := 1
+	for _, n := range []int{
+		len(s.DistancesM), len(s.TxPowers), len(s.MaxTries),
+		len(s.RetryDelays), len(s.QueueCaps), len(s.PktIntervals),
+		len(s.PayloadsBytes),
+	} {
+		if n == 0 {
+			return 0
+		}
+		if size > math.MaxInt/n {
+			return math.MaxInt
+		}
+		size *= n
+	}
+	return size
 }
 
 // SettingsPerDistance returns the number of non-distance combinations.
@@ -112,6 +128,11 @@ func (s Space) SettingsPerDistance() int {
 }
 
 // Validate checks that every axis is non-empty and every value is legal.
+// It validates axis by axis — O(sum of axis lengths), never materialising
+// the cartesian product — so an adversarially large space is rejected (or
+// accepted) without allocating Size() configurations. Config.Validate
+// checks each field independently, so per-axis probing covers exactly the
+// configurations All would produce.
 func (s Space) Validate() error {
 	if s.Size() == 0 {
 		return fmt.Errorf("stack: empty parameter space")
@@ -128,7 +149,51 @@ func (s Space) Validate() error {
 	if err := probe.Validate(); err != nil {
 		return err
 	}
-	for _, c := range s.All() {
+	for _, d := range s.DistancesM {
+		c := probe
+		c.DistanceM = d
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.TxPowers {
+		c := probe
+		c.TxPower = p
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, n := range s.MaxTries {
+		c := probe
+		c.MaxTries = n
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.RetryDelays {
+		c := probe
+		c.RetryDelay = r
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, q := range s.QueueCaps {
+		c := probe
+		c.QueueCap = q
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, t := range s.PktIntervals {
+		c := probe
+		c.PktInterval = t
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, l := range s.PayloadsBytes {
+		c := probe
+		c.PayloadBytes = l
 		if err := c.Validate(); err != nil {
 			return err
 		}

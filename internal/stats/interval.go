@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Confidence machinery for the validation harness: the Wilson score
+// interval bounds an observed proportion against an analytic probability,
+// and the Hoeffding bound turns a seed-averaged metric difference into a
+// deterministic pass/fail margin. Both are closed-form, so a validation
+// verdict is a pure function of the (seeded, deterministic) sample — there
+// is no resampling step that could flake.
+
+// WilsonInterval is a confidence interval for a binomial proportion.
+type WilsonInterval struct {
+	Lo, Hi float64
+	// Center is the Wilson midpoint (the shrunk point estimate).
+	Center float64
+}
+
+// Wilson returns the Wilson score interval for successes out of trials at
+// the given z (standard-normal quantile; z=5 keeps the two-sided miss
+// probability below 6e-7 per check). It returns an error for trials < 1 or
+// successes outside [0, trials].
+func Wilson(successes, trials int, z float64) (WilsonInterval, error) {
+	if trials < 1 {
+		return WilsonInterval{}, errors.New("stats: Wilson needs trials >= 1")
+	}
+	if successes < 0 || successes > trials {
+		return WilsonInterval{}, errors.New("stats: Wilson successes outside [0, trials]")
+	}
+	if z <= 0 {
+		return WilsonInterval{}, errors.New("stats: Wilson needs z > 0")
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	w := WilsonInterval{
+		Lo:     math.Max(0, center-half),
+		Hi:     math.Min(1, center+half),
+		Center: center,
+	}
+	// At the degenerate proportions the bounds are exactly 0 and 1
+	// analytically ((1+z²/n)/(1+z²/n) at p = 1); pin them so rounding
+	// cannot exclude an exact analytic probability of 0 or 1.
+	if successes == 0 {
+		w.Lo = 0
+	}
+	if successes == trials {
+		w.Hi = 1
+	}
+	return w, nil
+}
+
+// Contains reports whether p lies inside the interval.
+func (w WilsonInterval) Contains(p float64) bool {
+	return p >= w.Lo && p <= w.Hi
+}
+
+// HoeffdingMargin returns the deviation t such that the mean of n
+// independent samples, each confined to a range of the given width, exceeds
+// its expectation by more than t with probability at most alpha:
+//
+//	P(mean - E[mean] >= t) <= exp(-2 n t² / width²) = alpha
+//	⇒ t = width · sqrt(ln(1/alpha) / (2 n))
+//
+// The validation suite uses it to turn a seed-averaged metamorphic
+// difference into a verdict: a monotonicity law is declared violated only
+// when the mean difference breaches the margin, which under the law has
+// probability ≤ alpha over the seed draw — and the seeds are fixed, so the
+// verdict itself is fully deterministic.
+func HoeffdingMargin(n int, width, alpha float64) (float64, error) {
+	if n < 1 {
+		return 0, errors.New("stats: HoeffdingMargin needs n >= 1")
+	}
+	if width <= 0 {
+		return 0, errors.New("stats: HoeffdingMargin needs width > 0")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return 0, errors.New("stats: HoeffdingMargin needs alpha in (0,1)")
+	}
+	return width * math.Sqrt(math.Log(1/alpha)/(2*float64(n))), nil
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestWilsonBasics(t *testing.T) {
+	if _, err := Wilson(1, 0, 2); err == nil {
+		t.Fatal("want error for zero trials")
+	}
+	if _, err := Wilson(-1, 10, 2); err == nil {
+		t.Fatal("want error for negative successes")
+	}
+	if _, err := Wilson(11, 10, 2); err == nil {
+		t.Fatal("want error for successes > trials")
+	}
+	if _, err := Wilson(5, 10, 0); err == nil {
+		t.Fatal("want error for z <= 0")
+	}
+
+	w, err := Wilson(50, 100, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Textbook value: 50/100 at 95% → roughly [0.404, 0.596].
+	if math.Abs(w.Lo-0.404) > 0.005 || math.Abs(w.Hi-0.596) > 0.005 {
+		t.Fatalf("Wilson(50,100,1.96) = [%v,%v], want ≈[0.404,0.596]", w.Lo, w.Hi)
+	}
+	if !w.Contains(0.5) || w.Contains(0.7) {
+		t.Fatalf("containment wrong for [%v,%v]", w.Lo, w.Hi)
+	}
+
+	// Degenerate proportions stay inside [0,1].
+	w0, _ := Wilson(0, 20, 3)
+	wn, _ := Wilson(20, 20, 3)
+	if w0.Lo != 0 || w0.Hi <= 0 || w0.Hi >= 1 {
+		t.Fatalf("Wilson(0,20) = [%v,%v]", w0.Lo, w0.Hi)
+	}
+	if wn.Hi != 1 || wn.Lo >= 1 || wn.Lo <= 0 {
+		t.Fatalf("Wilson(20,20) = [%v,%v]", wn.Lo, wn.Hi)
+	}
+	// The degenerate intervals must contain their exact analytic
+	// endpoint — rounding in (1+z²/n)/(1+z²/n) must not exclude p = 1.
+	if !w0.Contains(0) || !wn.Contains(1) {
+		t.Fatal("degenerate Wilson intervals must contain 0 and 1 exactly")
+	}
+}
+
+// TestWilsonCoverage draws binomial samples at known p and checks the
+// interval covers p at least as often as its nominal level promises.
+func TestWilsonCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	const trials, reps = 400, 2000
+	const z = 3 // two-sided miss ≈ 0.0027
+	for _, p := range []float64{0.05, 0.3, 0.7} {
+		misses := 0
+		for r := 0; r < reps; r++ {
+			k := 0
+			for i := 0; i < trials; i++ {
+				if rng.Float64() < p {
+					k++
+				}
+			}
+			w, err := Wilson(k, trials, z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w.Contains(p) {
+				misses++
+			}
+		}
+		// Allow double the nominal miss rate for sampling slack.
+		if frac := float64(misses) / reps; frac > 2*0.0027 {
+			t.Fatalf("p=%v: miss rate %v exceeds 2×nominal", p, frac)
+		}
+	}
+}
+
+func TestHoeffdingMargin(t *testing.T) {
+	if _, err := HoeffdingMargin(0, 1, 0.01); err == nil {
+		t.Fatal("want error for n < 1")
+	}
+	if _, err := HoeffdingMargin(10, 0, 0.01); err == nil {
+		t.Fatal("want error for width <= 0")
+	}
+	if _, err := HoeffdingMargin(10, 1, 0); err == nil {
+		t.Fatal("want error for alpha <= 0")
+	}
+	if _, err := HoeffdingMargin(10, 1, 1); err == nil {
+		t.Fatal("want error for alpha >= 1")
+	}
+
+	got, err := HoeffdingMargin(200, 1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(math.Log(1e6) / 400)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("margin = %v, want %v", got, want)
+	}
+
+	// More samples shrink the margin; wider range grows it.
+	m1, _ := HoeffdingMargin(100, 1, 1e-6)
+	m2, _ := HoeffdingMargin(400, 1, 1e-6)
+	if m2 >= m1 {
+		t.Fatalf("margin did not shrink with n: %v → %v", m1, m2)
+	}
+	m3, _ := HoeffdingMargin(100, 2, 1e-6)
+	if m3 != 2*m1 {
+		t.Fatalf("margin not linear in width: %v vs 2×%v", m3, m1)
+	}
+}

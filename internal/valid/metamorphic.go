@@ -1,0 +1,186 @@
+package valid
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/mac"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/stats"
+	"wsnlink/internal/sweep"
+)
+
+// metaAlpha is the per-law false-alarm probability over the seed draw. The
+// seeds themselves are fixed by Options.BaseSeed, so the verdict is
+// deterministic; alpha only sizes the margin the fixed sample must breach
+// before a law is declared violated.
+const metaAlpha = 1e-6
+
+// law is one metamorphic relation: simulate base and derived configurations
+// over seed-paired replicas and require the mean metric difference
+// (derived − base) to respect the stated direction within a Hoeffding
+// margin for the metric's per-replica range.
+type law struct {
+	name    string
+	layer   string
+	base    stack.Config
+	derived stack.Config
+	metric  func(sweep.Row) float64
+	// increasing: derived − base must be ≥ −margin (non-decreasing);
+	// otherwise ≤ +margin (non-increasing).
+	increasing bool
+	// width bounds one replica's |metric difference| (the Hoeffding
+	// range).
+	width float64
+	// detail describes the relation for the report.
+	detail string
+}
+
+// laws returns the monotonicity relations the paper's observations imply.
+// All run saturated on a single-slot queue so the metric is driven by the
+// radio, not by arrival-process interactions.
+func laws() []law {
+	// Shared link: the lossy 30 m regime where parameter changes have
+	// visible effect (at short range every configuration succeeds and the
+	// laws hold trivially).
+	base := stack.Config{DistanceM: 30, TxPower: 11, MaxTries: 3, RetryDelay: 0.03,
+		QueueCap: 1, PktInterval: 0, PayloadBytes: 50}
+
+	morePower := base
+	morePower.TxPower = 27
+
+	oneTry := base
+	oneTry.MaxTries = 1
+	manyTries := base
+	manyTries.MaxTries = 8
+
+	smallPay := stack.Config{DistanceM: 20, TxPower: 23, MaxTries: 3, RetryDelay: 0.03,
+		QueueCap: 1, PktInterval: 0, PayloadBytes: 20}
+	bigPay := smallPay
+	bigPay.PayloadBytes = 110
+
+	// Per-replica bounds for the unbounded-looking metrics. Delay on a
+	// saturated single-slot queue is one service time, at most the failed
+	// full-retry walk plus maximal (2× mean) backoff on every try.
+	maxDelay := mac.ServiceTime(manyTries.PayloadBytes, manyTries.MaxTries, manyTries.RetryDelay, false) +
+		float64(manyTries.MaxTries)*mac.MeanInitialBackoff
+	// Energy per generated packet is at most a full MaxTries walk of the
+	// larger frame at the configured power.
+	maxPktEnergy := float64(bigPay.MaxTries) * float64(8*frame.OnAirBytes(bigPay.PayloadBytes)) *
+		bigPay.TxPower.TxEnergyPerBitMicroJ()
+
+	return []law{
+		{
+			name: "power-per", layer: "phy",
+			base: base, derived: morePower,
+			metric:     func(r sweep.Row) float64 { return r.Report.PER },
+			increasing: false, width: 1,
+			detail: "higher TX power must not increase PER at fixed distance",
+		},
+		{
+			name: "retries-loss", layer: "mac",
+			base: oneTry, derived: manyTries,
+			metric:     func(r sweep.Row) float64 { return r.Report.PLR },
+			increasing: false, width: 1,
+			detail: "more MAC retries must not increase packet loss",
+		},
+		{
+			name: "retries-delay", layer: "mac",
+			base: oneTry, derived: manyTries,
+			metric:     func(r sweep.Row) float64 { return r.Report.MeanDelay },
+			increasing: true, width: 2 * maxDelay,
+			detail: "more MAC retries must not decrease delivery delay",
+		},
+		{
+			name: "payload-energy", layer: "app",
+			base: smallPay, derived: bigPay,
+			metric:     txEnergyPerGenerated,
+			increasing: true, width: 2 * maxPktEnergy,
+			detail: "larger payloads must not decrease TX energy per generated packet",
+		},
+	}
+}
+
+// txEnergyPerGenerated reconstructs the sender's TX energy per generated
+// packet from the report (energy/bit × delivered bits ÷ generated). A run
+// that delivered nothing contributes 0 — acceptable for the laws here,
+// which operate where delivery is common.
+func txEnergyPerGenerated(r sweep.Row) float64 {
+	if r.Report.Delivered == 0 || r.Report.Generated == 0 {
+		return 0
+	}
+	deliveredBits := float64(r.Report.Delivered) * float64(r.Config.PayloadBytes) * 8
+	return r.Report.EnergyPerBitMicroJ * deliveredBits / float64(r.Report.Generated)
+}
+
+// runMetamorphic evaluates every law over Options.Seeds seed-paired
+// replicas, simulated through the sweep engine on the full stochastic
+// channel. Replica i of the base and derived sweeps run under the same
+// engine-derived seed (same BaseSeed, same index), so the channel draws are
+// coupled and the difference isolates the parameter change.
+func runMetamorphic(ctx context.Context, opts Options) ([]Check, error) {
+	var checks []Check
+	for _, l := range laws() {
+		baseRows, err := sweepReplicas(ctx, l.base, opts)
+		if err != nil {
+			return nil, fmt.Errorf("law %s (base): %w", l.name, err)
+		}
+		derivedRows, err := sweepReplicas(ctx, l.derived, opts)
+		if err != nil {
+			return nil, fmt.Errorf("law %s (derived): %w", l.name, err)
+		}
+		margin, err := stats.HoeffdingMargin(opts.Seeds, l.width, metaAlpha)
+		if err != nil {
+			return nil, fmt.Errorf("law %s: %w", l.name, err)
+		}
+		meanDiff := 0.0
+		for i := range baseRows {
+			meanDiff += l.metric(derivedRows[i]) - l.metric(baseRows[i])
+		}
+		meanDiff /= float64(opts.Seeds)
+
+		pass := meanDiff <= margin
+		if l.increasing {
+			pass = meanDiff >= -margin
+		}
+		dir := "non-increasing"
+		if l.increasing {
+			dir = "non-decreasing"
+		}
+		checks = append(checks, Check{
+			Name:  "metamorphic/" + l.name,
+			Layer: l.layer,
+			Pass:  pass,
+			Detail: fmt.Sprintf("%s: mean diff %.6g over %d seed pairs, %s within margin %.6g",
+				l.detail, meanDiff, opts.Seeds, dir, margin),
+		})
+	}
+	return checks, nil
+}
+
+// sweepReplicas runs one configuration Options.Seeds times through the
+// sweep engine. The engine derives replica i's simulation seed from
+// (BaseSeed, i), which is what pairs the base and derived sweeps.
+func sweepReplicas(ctx context.Context, cfg stack.Config, opts Options) ([]sweep.Row, error) {
+	cfgs := make([]stack.Config, opts.Seeds)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	rows, err := sweep.RunConfigsContext(ctx, cfgs, sweep.RunOptions{
+		Packets:  opts.Packets,
+		BaseSeed: opts.BaseSeed,
+		Fast:     !opts.FullDES,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != opts.Seeds {
+		return nil, fmt.Errorf("sweep returned %d rows, want %d", len(rows), opts.Seeds)
+	}
+	if math.IsNaN(rows[0].Report.PER) {
+		return nil, fmt.Errorf("sweep produced NaN metrics")
+	}
+	return rows, nil
+}

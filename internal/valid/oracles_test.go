@@ -1,0 +1,102 @@
+package valid
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+)
+
+func TestTruncGeomMean(t *testing.T) {
+	if got := truncGeomMean(1, 5); got != 1 {
+		t.Fatalf("q=1: %v, want 1", got)
+	}
+	// Untruncated geometric mean is 1/q; with a deep cap they agree.
+	if got := truncGeomMean(0.5, 60); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("q=0.5 deep cap: %v, want 2", got)
+	}
+	// Hand-computed m=2, q=0.5: (1·0.5 + 2·0.25)/0.75 = 4/3.
+	if got := truncGeomMean(0.5, 2); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("q=0.5 m=2: %v, want 4/3", got)
+	}
+}
+
+// oracleRun simulates one honest quiet-channel run for tampering tests.
+func oracleRun(t *testing.T) (stack.Config, phy.ErrorModel, float64, sim.Result) {
+	t.Helper()
+	// The no-retransmission configuration: with MaxTries = 1 the ACK
+	// binomial reflects the PER model directly (deep retry caps push the
+	// packet-level ack probability to ~1 for any plausible model).
+	cfg := oracleConfigs()[2]
+	model := phy.NewCalibrated()
+	params := QuietParams()
+	res, err := sim.RunFast(cfg, sim.Options{
+		Packets: 2000, Seed: 11, ErrorModel: model, Channel: &params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, model, params.MeanSNR(cfg.TxPower.DBm(), cfg.DistanceM), res
+}
+
+func failedNames(checks []Check) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range checks {
+		if !c.Pass {
+			out[strings.SplitN(c.Name, "/", 3)[1]] = true
+		}
+	}
+	return out
+}
+
+// TestCheckRunHonest: an untampered run passes every oracle.
+func TestCheckRunHonest(t *testing.T) {
+	cfg, model, snr, res := oracleRun(t)
+	if failed := failedNames(checkRun("t", cfg, model, snr, res, Options{})); len(failed) != 0 {
+		t.Fatalf("honest run failed checks: %v", failed)
+	}
+}
+
+// TestCheckRunCatchesTampering: each corruption must trip the oracle that
+// guards the corrupted quantity — the checks are not vacuous.
+func TestCheckRunCatchesTampering(t *testing.T) {
+	cfg, model, snr, res := oracleRun(t)
+
+	t.Run("energy", func(t *testing.T) {
+		r := res
+		r.Counters.TxEnergyMicroJ *= 1.01
+		failed := failedNames(checkRun("t", cfg, model, snr, r, Options{}))
+		if !failed["tx-energy-datasheet"] {
+			t.Fatalf("1%% TX energy drift not caught; failed = %v", failed)
+		}
+	})
+	t.Run("service-time", func(t *testing.T) {
+		r := res
+		r.Counters.SumServiceTime *= 1.001
+		failed := failedNames(checkRun("t", cfg, model, snr, r, Options{}))
+		if !failed["service-time"] {
+			t.Fatalf("0.1%% service-time drift not caught; failed = %v", failed)
+		}
+	})
+	t.Run("wrong-error-model", func(t *testing.T) {
+		// Claiming a model four times as lossy as the one that actually
+		// ran must break the binomial oracles.
+		lying := phy.NewCalibrated()
+		lying.Alpha *= 4
+		failed := failedNames(checkRun("t", cfg, lying, snr, res, Options{}))
+		if !failed["ack-binomial"] && !failed["delivery-binomial"] {
+			t.Fatalf("wrong PER model not caught; failed = %v", failed)
+		}
+	})
+	t.Run("lost-packets", func(t *testing.T) {
+		r := res
+		r.Counters.Generated += 5
+		failed := failedNames(checkRun("t", cfg, model, snr, r, Options{}))
+		if !failed["invariants"] {
+			t.Fatalf("packet-conservation break not caught; failed = %v", failed)
+		}
+	})
+}

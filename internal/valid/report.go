@@ -1,0 +1,26 @@
+package valid
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteReport persists the verdict manifest as indented JSON via a
+// temp-file rename, so a crash mid-write never leaves a torn manifest —
+// the same discipline as the run manifests and job records.
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("valid: encode report: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("valid: write report: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("valid: write report: %w", err)
+	}
+	return nil
+}

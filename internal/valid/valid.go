@@ -1,0 +1,141 @@
+// Package valid is the cross-layer correctness harness: it checks the
+// simulator and campaign pipeline against independent analytic oracles and
+// metamorphic laws, producing a deterministic machine-readable verdict.
+//
+// Three layers of evidence, orthogonal to the per-package unit tests:
+//
+//   - Analytic oracles (oracles.go): on a quiet channel the per-attempt
+//     success probability is a closed-form function of the configuration, so
+//     packet outcomes are exact binomials, the transmission count is a
+//     truncated geometric, service time has a closed form from the MAC
+//     timing model, and radio energy follows E = state_time × state_current
+//     × supply voltage from the CC2420 datasheet constants. The simulator's
+//     counters must agree — binomials within a Wilson interval at z = 5
+//     (two-sided miss probability < 6e-7 per check), identities exactly.
+//
+//   - Metamorphic laws (metamorphic.go): on the full stochastic channel,
+//     monotonicity relations the paper's models imply (more TX power ⇒ PER
+//     non-increasing; more retries ⇒ loss non-increasing, delay
+//     non-decreasing; larger payload ⇒ energy per packet non-decreasing)
+//     are checked over seed-paired sweeps through the sweep engine, with a
+//     Hoeffding-bound margin on the mean difference.
+//
+//   - Fault injection lives with the service (internal/serve fault tests);
+//     this package covers the simulation stack.
+//
+// Every check is a pure function of the seeded sample: the seeds are fixed
+// inputs, so the verdict is fully deterministic — reruns cannot flake. The
+// statistical bounds only choose how much disagreement the fixed sample is
+// allowed before the verdict is "fail"; the miss probabilities (< 1e-6 per
+// check over the seed draw) bound how often an unlucky seed choice would
+// have produced a false alarm.
+package valid
+
+import (
+	"context"
+	"fmt"
+
+	"wsnlink/internal/channel"
+)
+
+// Options configures a validation run.
+type Options struct {
+	// BaseSeed drives every simulation in the suite; two runs with equal
+	// Options produce byte-identical Reports.
+	BaseSeed uint64
+	// Seeds is the number of seed-paired replicas per metamorphic law
+	// (default 64).
+	Seeds int
+	// Packets per simulated configuration (default 2000).
+	Packets int
+	// FullDES exercises the event-driven simulator instead of the fast
+	// path. Oracle tolerances widen where the sampled backoff jitters
+	// around the closed-form mean.
+	FullDES bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds == 0 {
+		o.Seeds = 64
+	}
+	if o.Packets == 0 {
+		o.Packets = 2000
+	}
+	return o
+}
+
+// Check is one verdict: an oracle comparison or a metamorphic law.
+type Check struct {
+	// Name identifies the check, e.g. "oracle/ack-binomial/calibrated/cfg2".
+	Name string `json:"name"`
+	// Layer is the stack layer the check exercises: phy, mac, app, or
+	// cross (multi-layer identities and laws).
+	Layer string `json:"layer"`
+	Pass  bool   `json:"pass"`
+	// Detail states observed vs expected with the tolerance applied.
+	Detail string `json:"detail"`
+}
+
+// Report is the validation verdict manifest (schema ReportSchema).
+type Report struct {
+	Schema   string  `json:"schema"`
+	BaseSeed uint64  `json:"base_seed"`
+	Seeds    int     `json:"seeds"`
+	Packets  int     `json:"packets"`
+	FullDES  bool    `json:"full_des"`
+	Pass     bool    `json:"pass"`
+	Failed   int     `json:"failed"`
+	Checks   []Check `json:"checks"`
+}
+
+// ReportSchema identifies the verdict manifest format.
+const ReportSchema = "wsnlink-valid-report/v1"
+
+// Run executes the full suite — analytic oracles, then metamorphic laws —
+// and assembles the verdict. The error return is for infrastructure
+// failures (a simulation that refuses to run, cancellation); a failed check
+// is not an error, it is a Report with Pass == false.
+func Run(ctx context.Context, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	r := Report{
+		Schema:   ReportSchema,
+		BaseSeed: opts.BaseSeed,
+		Seeds:    opts.Seeds,
+		Packets:  opts.Packets,
+		FullDES:  opts.FullDES,
+	}
+	oracle, err := runOracles(ctx, opts)
+	if err != nil {
+		return Report{}, fmt.Errorf("valid: oracles: %w", err)
+	}
+	r.Checks = append(r.Checks, oracle...)
+	meta, err := runMetamorphic(ctx, opts)
+	if err != nil {
+		return Report{}, fmt.Errorf("valid: metamorphic: %w", err)
+	}
+	r.Checks = append(r.Checks, meta...)
+
+	r.Pass = true
+	for _, c := range r.Checks {
+		if !c.Pass {
+			r.Failed++
+			r.Pass = false
+		}
+	}
+	return r, nil
+}
+
+// QuietParams returns the hallway channel with every stochastic component
+// switched off: no location shadowing, no fast fading, no noise-floor
+// spread, no interference mixture, no human-shadowing bursts. On a quiet
+// channel the SNR of every attempt equals Params.MeanSNR(txDBm, distance)
+// exactly, which is what makes closed-form oracles possible.
+func QuietParams() channel.Params {
+	p := channel.DefaultParams()
+	p.ShadowingSigmaDB = 0
+	p.TemporalSigmaDB = 0
+	p.NoiseFloorSigmaDB = 0
+	p.InterferenceProb = 0
+	p.HumanShadowRatePerS = 0
+	return p
+}

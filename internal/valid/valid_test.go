@@ -1,0 +1,126 @@
+package valid
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wsnlink/internal/channel"
+)
+
+// testOptions keeps unit-test runs quick; `make validate` exercises the
+// full defaults.
+func testOptions(seed uint64) Options {
+	return Options{BaseSeed: seed, Seeds: 16, Packets: 600}
+}
+
+// TestRunPassesAcrossSeeds is the suite's own tier-1 gate: distinct base
+// seeds must all produce a clean verdict on both simulator paths.
+func TestRunPassesAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		r, err := Run(context.Background(), testOptions(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.Pass {
+			for _, c := range r.Checks {
+				if !c.Pass {
+					t.Errorf("seed %d: %s: %s", seed, c.Name, c.Detail)
+				}
+			}
+			t.Fatalf("seed %d: %d checks failed", seed, r.Failed)
+		}
+	}
+	opts := testOptions(1)
+	opts.FullDES = true
+	r, err := Run(context.Background(), opts)
+	if err != nil || !r.Pass {
+		t.Fatalf("DES path: pass=%v err=%v", r.Pass, err)
+	}
+}
+
+// TestRunIsDeterministic: equal options, equal verdicts, check for check.
+func TestRunIsDeterministic(t *testing.T) {
+	a, err := Run(context.Background(), testOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), testOptions(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs with equal options produced different reports")
+	}
+}
+
+// TestQuietParamsFreezeTheChannel: on the quiet channel every sample equals
+// the closed-form mean — the property all oracles rest on.
+func TestQuietParamsFreezeTheChannel(t *testing.T) {
+	p := QuietParams()
+	rng := rand.New(rand.NewPCG(42, 43))
+	link, err := channel.NewLink(p, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.MeanSNR(0, 30)
+	for i := 0; i < 50; i++ {
+		link.Advance(0.01)
+		if got := link.SNR(0); got != want {
+			t.Fatalf("sample %d: SNR %v != mean %v on quiet channel", i, got, want)
+		}
+	}
+}
+
+// TestSweepReplicasArePaired: replica i of two different configurations
+// must receive the same engine-derived seed — the coupling the metamorphic
+// laws' difference statistics rely on.
+func TestSweepReplicasArePaired(t *testing.T) {
+	opts := Options{BaseSeed: 5, Seeds: 6, Packets: 50}
+	all := laws()
+	a, err := sweepReplicas(context.Background(), all[0].base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sweepReplicas(context.Background(), all[0].derived, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed {
+			t.Fatalf("replica %d: base seed %d != derived seed %d", i, a[i].Seed, b[i].Seed)
+		}
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	r, err := Run(context.Background(), Options{BaseSeed: 1, Seeds: 4, Packets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	if back.Schema != ReportSchema {
+		t.Fatalf("schema %q, want %q", back.Schema, ReportSchema)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Fatal("manifest round-trip lost information")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+}
