@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-e2e validate bench bench-json vulncheck verify
+.PHONY: build test vet race service-e2e validate bench bench-json bench-check vulncheck verify
 
-# Benchmarks the committed BENCH_1.json baseline tracks: sweep throughput,
-# the per-configuration fast path, and the telemetry/tracing overhead pairs
-# (the two Nil benchmarks must stay at 0 allocs/op).
-BASELINE_BENCH = BenchmarkSweepStreaming|BenchmarkRunFast|BenchmarkObsNilOverhead|BenchmarkObsEnabledOverhead|BenchmarkTraceNilOverhead|BenchmarkTraceEnabledOverhead
+# Benchmarks the committed BENCH_2.json baseline tracks: the batch kernel
+# (the configs_per_sec headline), sweep throughput, the per-configuration
+# fast path, and the telemetry/tracing overhead pairs (the Nil benchmarks
+# and the batch kernel must stay at 0 allocs/op).
+BASELINE_BENCH = BenchmarkRunBatch|BenchmarkSweepStreaming|BenchmarkRunFast|BenchmarkObsNilOverhead|BenchmarkObsEnabledOverhead|BenchmarkTraceNilOverhead|BenchmarkTraceEnabledOverhead
 
 build:
 	$(GO) build ./...
@@ -58,7 +59,14 @@ validate:
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCH)' -benchmem . ./internal/obs \
-		| /tmp/benchjson > BENCH_1.json
+		| /tmp/benchjson > BENCH_2.json
+
+# Regression gate: rerun the batch kernel benchmark and fail if its
+# configs/s throughput dropped more than 20% below the committed baseline.
+bench-check:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench 'BenchmarkRunBatch' -benchmem . \
+		| /tmp/benchjson -baseline BENCH_2.json > /dev/null
 
 # The full quality gate (DESIGN.md §6).
 verify: build vet test race validate

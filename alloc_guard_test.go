@@ -1,0 +1,57 @@
+package wsnlink_test
+
+// Allocation guards for the hot paths the committed baseline pins at
+// 0 allocs/op (BENCH_2.json): a benchmark only reports its allocation
+// count, so these tests make a regression fail `go test` rather than
+// merely drift the baseline. Skipped under the race detector, whose
+// instrumentation perturbs sync.Pool reuse and allocates on its own.
+
+import (
+	"context"
+	"testing"
+
+	"wsnlink"
+)
+
+func TestSimulateSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pin runs in regular builds")
+	}
+	cfg := benchConfig()
+	opts := wsnlink.SimOptions{Packets: 60, Seed: 1}
+	ctx := context.Background()
+	if _, err := wsnlink.Simulate(ctx, cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		if _, err := wsnlink.Simulate(ctx, cfg, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("Simulate (fast engine) steady state allocates %v times per call, want 0", got)
+	}
+}
+
+func TestSimulateBatchSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pin runs in regular builds")
+	}
+	cfgs := batchBenchConfigs(16)
+	seeds := make([]uint64, len(cfgs))
+	for i := range seeds {
+		seeds[i] = wsnlink.DeriveSeed(1, i)
+	}
+	arena := wsnlink.NewSimBatchArena()
+	opts := wsnlink.SimBatchOptions{Packets: 60, Seeds: seeds, Arena: arena}
+	ctx := context.Background()
+	if _, _, err := wsnlink.SimulateBatch(ctx, cfgs, opts); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		if _, _, err := wsnlink.SimulateBatch(ctx, cfgs, opts); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("SimulateBatch steady state allocates %v times per call, want 0", got)
+	}
+}

@@ -1,19 +1,27 @@
 // Command benchjson converts `go test -bench -benchmem` text output into a
 // stable JSON document, so benchmark baselines can be committed and diffed
-// (BENCH_1.json) without scraping free-form text downstream.
+// (BENCH_2.json) without scraping free-form text downstream.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_1.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_2.json
+//	go test -run '^$' -bench BenchmarkRunBatch -benchmem . | benchjson -baseline BENCH_2.json
 //
 // Non-benchmark lines (PASS, ok, test log output) are ignored; the goos /
 // goarch / pkg / cpu context lines the test binary prints are carried into
 // the output so a baseline records the machine it was taken on.
+//
+// The document carries a configs_per_sec headline — the batch kernel's
+// throughput, lifted from BenchmarkRunBatch's configs/s metric. With
+// -baseline the tool additionally compares the fresh BenchmarkRunBatch
+// against the committed baseline and exits nonzero when throughput has
+// regressed by more than 20%, which is the CI regression gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -43,17 +51,32 @@ type Benchmark struct {
 
 // Output is the document benchjson emits.
 type Output struct {
-	Schema     string      `json:"schema"`
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Schema string `json:"schema"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// ConfigsPerSec is the headline campaign throughput: the configs/s
+	// metric of BenchmarkRunBatch (0 when that benchmark was not run).
+	ConfigsPerSec float64     `json:"configs_per_sec,omitempty"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
 }
 
 const schema = "wsnlink-bench/v1"
 
+// headlineBench is the benchmark whose configs/s metric becomes the
+// document headline and the -baseline regression gate.
+const headlineBench = "BenchmarkRunBatch"
+
+// regressionTolerance is the fraction of baseline throughput a fresh run
+// may lose before -baseline fails the build.
+const regressionTolerance = 0.20
+
 func main() {
-	if len(os.Args) > 1 && (os.Args[1] == "-version" || os.Args[1] == "--version") {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "committed baseline JSON to gate against: fail if "+headlineBench+" configs/s regresses >20%")
+	version := fs.Bool("version", false, "print version and exit")
+	fs.Parse(os.Args[1:])
+	if *version {
 		fmt.Println("benchjson", buildinfo.Current())
 		return
 	}
@@ -68,6 +91,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		if err := checkBaseline(out, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s within %.0f%% of %s\n",
+			headlineBench, 100*regressionTolerance, *baseline)
+	}
+}
+
+// checkBaseline compares the fresh headline throughput against the
+// committed baseline document.
+func checkBaseline(fresh Output, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseRate := base.ConfigsPerSec
+	if baseRate == 0 {
+		return fmt.Errorf("%s has no configs_per_sec headline (rerun make bench-json)", path)
+	}
+	if fresh.ConfigsPerSec == 0 {
+		return fmt.Errorf("input has no %s result to gate on", headlineBench)
+	}
+	floor := baseRate * (1 - regressionTolerance)
+	if fresh.ConfigsPerSec < floor {
+		return fmt.Errorf("%s regressed: %.0f configs/s vs baseline %.0f (floor %.0f)",
+			headlineBench, fresh.ConfigsPerSec, baseRate, floor)
+	}
+	return nil
 }
 
 // parse consumes go test benchmark output and returns the document.
@@ -100,6 +157,11 @@ func parse(r io.Reader) (Output, error) {
 	}
 	if len(out.Benchmarks) == 0 {
 		return Output{}, fmt.Errorf("no benchmark lines found in input")
+	}
+	for _, b := range out.Benchmarks {
+		if b.Name == headlineBench {
+			out.ConfigsPerSec = b.Extra["configs/s"]
+		}
 	}
 	return out, nil
 }

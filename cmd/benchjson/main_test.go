@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,6 +13,7 @@ pkg: wsnlink
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkRunFast-8   	    2050	    585000 ns/op	  131400 B/op	      15 allocs/op
 BenchmarkSweepStreaming-8   	     126	   9500000 ns/op	 2100000 B/op	   12000 allocs/op
+BenchmarkRunBatch-8   	     750	   1678871 ns/op	     38121 configs/s	       0 B/op	       0 allocs/op
 PASS
 ok  	wsnlink	3.456s
 pkg: wsnlink/internal/obs
@@ -31,8 +34,11 @@ func TestParse(t *testing.T) {
 	if out.Goos != "linux" || out.Goarch != "amd64" || !strings.Contains(out.CPU, "Xeon") {
 		t.Errorf("context = %q/%q/%q", out.Goos, out.Goarch, out.CPU)
 	}
-	if len(out.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(out.Benchmarks))
+	if len(out.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(out.Benchmarks))
+	}
+	if out.ConfigsPerSec != 38121 {
+		t.Errorf("configs_per_sec headline = %g, want 38121 (from %s)", out.ConfigsPerSec, headlineBench)
 	}
 
 	rf := out.Benchmarks[0]
@@ -43,7 +49,7 @@ func TestParse(t *testing.T) {
 		t.Errorf("first metrics = %+v", rf)
 	}
 
-	nil_ := out.Benchmarks[2]
+	nil_ := out.Benchmarks[3]
 	if nil_.Name != "BenchmarkObsNilOverhead" || nil_.Procs != 1 {
 		t.Errorf("no-suffix name = %+v", nil_)
 	}
@@ -54,7 +60,7 @@ func TestParse(t *testing.T) {
 		t.Errorf("nil overhead metrics = %+v", nil_)
 	}
 
-	en := out.Benchmarks[3]
+	en := out.Benchmarks[4]
 	if en.Extra["rows/s"] != 100 {
 		t.Errorf("custom metric lost: %+v", en.Extra)
 	}
@@ -76,4 +82,71 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 			t.Errorf("parseLine(%q) accepted garbage", line)
 		}
 	}
+}
+
+// TestHeadlineAbsentWithoutRunBatch: the headline is omitted (zero) when the
+// input has no BenchmarkRunBatch line, rather than invented from another
+// benchmark's metrics.
+func TestHeadlineAbsentWithoutRunBatch(t *testing.T) {
+	out, err := parse(strings.NewReader(
+		"BenchmarkRunFast-8 100 1000 ns/op 0 B/op 0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ConfigsPerSec != 0 {
+		t.Errorf("configs_per_sec = %g, want 0 without %s", out.ConfigsPerSec, headlineBench)
+	}
+}
+
+// TestCheckBaseline covers the CI regression gate: within tolerance passes,
+// a >20% throughput loss fails, and malformed baselines are loud errors.
+func TestCheckBaseline(t *testing.T) {
+	writeBaseline := func(t *testing.T, body string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "bench.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeBaseline(t, `{"schema":"wsnlink-bench/v1","configs_per_sec":38000,"benchmarks":[]}`)
+
+	for _, tc := range []struct {
+		name    string
+		rate    float64
+		wantErr bool
+	}{
+		{"faster", 45000, false},
+		{"equal", 38000, false},
+		{"within tolerance", 31000, false}, // floor is 30400
+		{"at floor", 30400, false},
+		{"regressed", 30000, true},
+		{"collapsed", 100, true},
+		{"missing headline", 0, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkBaseline(Output{ConfigsPerSec: tc.rate}, base)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("checkBaseline(%g) err = %v, wantErr %v", tc.rate, err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("baseline without headline", func(t *testing.T) {
+		stale := writeBaseline(t, `{"schema":"wsnlink-bench/v1","benchmarks":[]}`)
+		if err := checkBaseline(Output{ConfigsPerSec: 38000}, stale); err == nil {
+			t.Error("baseline lacking configs_per_sec should error")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if err := checkBaseline(Output{ConfigsPerSec: 38000}, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+			t.Error("missing baseline file should error")
+		}
+	})
+	t.Run("corrupt json", func(t *testing.T) {
+		bad := writeBaseline(t, "{not json")
+		if err := checkBaseline(Output{ConfigsPerSec: 38000}, bad); err == nil {
+			t.Error("corrupt baseline should error")
+		}
+	})
 }

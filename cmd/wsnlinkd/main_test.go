@@ -49,6 +49,11 @@ func slowSpec() serve.CampaignSpec {
 		Packets:  100000,
 		BaseSeed: 7,
 		Workers:  1,
+		// One config per kernel call: rows (and checkpoint appends) land
+		// one at a time, so the kill below can hit a strict mid-campaign
+		// prefix. The resumed/reference runs inherit the same spec, and
+		// batch size is not part of the campaign fingerprint.
+		BatchSize: 1,
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,7 +94,7 @@ func TestRunWithCalibration(t *testing.T) {
 		PktIntervals:  []float64{0.05},
 		PayloadsBytes: []int{20, 65, 110},
 	}
-	rows, err := sweep.RunSpace(space, sweep.RunOptions{Packets: 400, Fast: true})
+	rows, err := sweep.RunSpace(context.Background(), space, sweep.RunOptions{Packets: 400})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -64,15 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		PayloadBytes: *payload,
 	}
 	opts := sim.Options{Packets: *packets, Seed: *seed, RecordPackets: *logPkts}
-	var (
-		res sim.Result
-		err error
-	)
-	if *fast {
-		res, err = sim.RunFast(cfg, opts)
-	} else {
-		res, err = sim.Run(cfg, opts)
+	if !*fast {
+		opts.Engine = sim.EngineDES
 	}
+	res, err := sim.Simulate(context.Background(), cfg, opts)
 	if err != nil {
 		return err
 	}

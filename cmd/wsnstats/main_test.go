@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,7 +24,7 @@ func writeDataset(t *testing.T) string {
 		PktIntervals:  []float64{0.030, 0.250},
 		PayloadsBytes: []int{20, 110},
 	}
-	rows, err := sweep.RunSpace(space, sweep.RunOptions{Packets: 300, Fast: true})
+	rows, err := sweep.RunSpace(context.Background(), space, sweep.RunOptions{Packets: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

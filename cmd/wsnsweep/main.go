@@ -48,6 +48,7 @@ import (
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/serve"
+	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
@@ -69,7 +70,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		packets     = fs.Int("packets", 500, "packets per configuration (paper: 4500)")
 		seed        = fs.Uint64("seed", 1, "base RNG seed")
 		fullDES     = fs.Bool("des", false, "use the full event-driven simulator")
+		crn         = fs.Bool("crn", false, "common random numbers: run every configuration under the same derived seed")
 		workers     = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		batchSize   = fs.Int("batch", 0, "configurations per batch-kernel call on the fast engine (0 = default 64)")
 		progress    = fs.Bool("progress", false, "print progress to stderr")
 		distances   = fs.String("distances", "", "comma-separated distance subset, e.g. 5,35")
 		powers      = fs.String("powers", "", "comma-separated TX power-level subset, e.g. 31")
@@ -137,11 +140,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return errors.New("-manifest is not valid with -remote: the daemon keeps the durable job record")
 		}
 		spec := serve.CampaignSpec{
-			Space:    serve.SpaceSpecFor(space),
-			Packets:  *packets,
-			BaseSeed: *seed,
-			FullDES:  *fullDES,
-			Workers:  *workers,
+			Space:     serve.SpaceSpecFor(space),
+			Packets:   *packets,
+			BaseSeed:  *seed,
+			FullDES:   *fullDES,
+			CRN:       *crn,
+			Workers:   *workers,
+			BatchSize: *batchSize,
 		}
 		return runRemote(ctx, *remote, spec, *out, *progress, stdout, stderr)
 	}
@@ -164,11 +169,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	opts := sweep.RunOptions{
 		Packets:     *packets,
 		BaseSeed:    *seed,
-		Fast:        !*fullDES,
+		CRN:         *crn,
 		Workers:     *workers,
+		BatchSize:   *batchSize,
 		Checkpoint:  *checkpoint,
 		Resume:      *resume,
 		TraceSample: *traceSample,
+	}
+	if *fullDES {
+		opts.Engine = sim.EngineDES
 	}
 
 	// Telemetry is armed whenever something consumes it (manifest,
@@ -408,7 +417,7 @@ func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions
 		Fingerprint: obs.FormatFingerprint(sweep.CampaignFingerprint(cfgs, opts)),
 		BaseSeed:    opts.BaseSeed,
 		Packets:     opts.Packets,
-		Fast:        opts.Fast,
+		Fast:        opts.Engine == sim.EngineFast,
 		Configs:     len(cfgs),
 		Rows:        rows,
 		Resumed:     resumed,

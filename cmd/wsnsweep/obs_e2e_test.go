@@ -174,8 +174,11 @@ func TestRunManifestSurvivesInterruptAndResume(t *testing.T) {
 			}
 		}
 	}()
+	// -batch 1 emits rows one at a time so the cancel lands mid-campaign;
+	// the resume below runs at the default batch size and must still
+	// produce a byte-identical dataset (batch size is not identity).
 	err = run(ctx, tinyGrid(
-		"-out", part, "-checkpoint", ck, "-metrics-out", partMetrics,
+		"-out", part, "-checkpoint", ck, "-metrics-out", partMetrics, "-batch", "1",
 	), &discard, &discard)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)

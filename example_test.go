@@ -1,6 +1,7 @@
 package wsnlink_test
 
 import (
+	"context"
 	"fmt"
 
 	"wsnlink"
@@ -18,7 +19,7 @@ func ExampleSimulate() {
 		PktInterval:  0.030,
 		PayloadBytes: 110,
 	}
-	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{Packets: 4500, Seed: 42})
+	res, err := wsnlink.Simulate(context.Background(), cfg, wsnlink.SimOptions{Packets: 4500, Seed: 42})
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -69,7 +70,7 @@ func ExampleFitGilbertElliott() {
 		DistanceM: 35, TxPower: 7, MaxTries: 1, QueueCap: 1,
 		PktInterval: 0.05, PayloadBytes: 110,
 	}
-	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{
+	res, err := wsnlink.Simulate(context.Background(), cfg, wsnlink.SimOptions{
 		Packets: 2000, Seed: 3, RecordPackets: true,
 	})
 	if err != nil {

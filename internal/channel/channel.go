@@ -118,6 +118,12 @@ type Link struct {
 	distM  float64
 	rng    *rand.Rand
 
+	// pathLossDB caches Params.PathLossDB(distM): the deterministic loss
+	// is a pure function of the construction inputs, and computing the
+	// log10 once per link (instead of once per RSSI sample) is one of the
+	// batch kernel's larger savings.
+	pathLossDB float64
+
 	locShadowDB float64 // fixed location shadowing (log-normal draw)
 	fadeDB      float64 // AR(1) temporal fading state
 	now         float64 // link-local clock, seconds
@@ -126,19 +132,43 @@ type Link struct {
 	shadowDepthDB float64
 	shadowUntil   float64
 	nextShadowAt  float64
+
+	// fadeMemo caches the AR(1) step coefficients (rho, innovation sigma)
+	// keyed by the exact dt bits. Attempt spacings within a configuration
+	// repeat from a handful of timing sums, so the exp+sqrt pair is
+	// computed once per distinct spacing instead of once per attempt. The
+	// cached values are the same float64s the direct formula produces, so
+	// trajectories are bit-identical with and without the memo.
+	fadeMemo struct {
+		dt, rho, inn [4]float64
+		n, next      int
+	}
 }
 
 // NewLink creates a link at the given distance. The location shadowing is
 // drawn once at construction, as in a fixed-position experiment.
 func NewLink(p Params, distM float64, rng *rand.Rand) (*Link, error) {
-	if distM <= 0 {
-		return nil, ErrBadDistance
+	l := &Link{}
+	if err := l.Reset(p, distM, rng); err != nil {
+		return nil, err
 	}
-	l := &Link{params: p, distM: distM, rng: rng}
+	return l, nil
+}
+
+// Reset re-initialises the link in place, exactly as NewLink constructs a
+// fresh one: the same validation and the same construction-time draws from
+// rng, in the same order. It exists so arena-style callers (the batch
+// simulation kernel) can reuse one Link allocation across configurations
+// and still get byte-identical trajectories to a freshly built link.
+func (l *Link) Reset(p Params, distM float64, rng *rand.Rand) error {
+	if distM <= 0 {
+		return ErrBadDistance
+	}
+	*l = Link{params: p, distM: distM, rng: rng, pathLossDB: p.PathLossDB(distM)}
 	l.locShadowDB = rng.NormFloat64() * p.ShadowingSigmaDB
 	l.fadeDB = rng.NormFloat64() * p.TemporalSigmaDB
 	l.scheduleNextShadow()
-	return l, nil
+	return nil
 }
 
 // Distance returns the link distance in meters.
@@ -166,10 +196,8 @@ func (l *Link) Advance(dt float64) {
 	}
 	l.now += dt
 	// AR(1) / Ornstein-Uhlenbeck update with correlation time tau.
-	tau := l.params.TemporalTauSeconds
-	if tau > 0 && l.params.TemporalSigmaDB > 0 {
-		rho := math.Exp(-dt / tau)
-		innovation := math.Sqrt(1-rho*rho) * l.params.TemporalSigmaDB
+	if l.params.TemporalTauSeconds > 0 && l.params.TemporalSigmaDB > 0 {
+		rho, innovation := l.fadeStep(dt)
 		l.fadeDB = rho*l.fadeDB + innovation*l.rng.NormFloat64()
 	}
 	// Human-shadowing bursts.
@@ -186,11 +214,37 @@ func (l *Link) Advance(dt float64) {
 	}
 }
 
+// fadeStep returns (rho, innovation sigma) for an AR(1) step of dt seconds,
+// memoised on the exact dt bits. Cache entries hold the very float64s the
+// direct formula yields, so the memo never changes a trajectory.
+func (l *Link) fadeStep(dt float64) (rho, inn float64) {
+	m := &l.fadeMemo
+	for i := 0; i < m.n; i++ {
+		if m.dt[i] == dt {
+			return m.rho[i], m.inn[i]
+		}
+	}
+	rho = math.Exp(-dt / l.params.TemporalTauSeconds)
+	inn = math.Sqrt(1-rho*rho) * l.params.TemporalSigmaDB
+	i := m.next
+	if m.n < len(m.dt) {
+		i = m.n
+		m.n++
+	} else {
+		m.next++
+		if m.next == len(m.dt) {
+			m.next = 0
+		}
+	}
+	m.dt[i], m.rho[i], m.inn[i] = dt, rho, inn
+	return rho, inn
+}
+
 // RSSI returns the instantaneous received signal strength in dBm for a
 // transmission at txDBm, clamped at the CC2420 sensitivity from below the
 // way the chip reports it.
 func (l *Link) RSSI(txDBm float64) float64 {
-	rssi := l.params.MeanRSSI(txDBm, l.distM) + l.locShadowDB + l.fadeDB
+	rssi := (txDBm - l.pathLossDB) + l.locShadowDB + l.fadeDB
 	if l.shadowActive {
 		rssi -= l.shadowDepthDB
 	}
@@ -211,6 +265,16 @@ func (l *Link) NoiseFloorDBm() float64 {
 // RSSI against a fresh noise-floor sample.
 func (l *Link) SNR(txDBm float64) float64 {
 	return l.RSSI(txDBm) - l.NoiseFloorDBm()
+}
+
+// Sample returns one coherent (RSSI, SNR) observation: the SNR is the
+// returned RSSI against a fresh noise-floor sample. It draws from the RNG in
+// the same order as RSSI followed by SNR would, while computing the RSSI
+// only once — the simulation kernels use it on first transmission attempts,
+// where both readings are recorded.
+func (l *Link) Sample(txDBm float64) (rssi, snr float64) {
+	rssi = l.RSSI(txDBm)
+	return rssi, rssi - l.NoiseFloorDBm()
 }
 
 // ConstantNoiseSNR returns the SNR computed against the constant average

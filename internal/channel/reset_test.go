@@ -1,0 +1,88 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestResetMatchesNewLink: a reused Link reset in place must behave exactly
+// like a freshly constructed one — same construction draws, same trajectory.
+func TestResetMatchesNewLink(t *testing.T) {
+	p := DefaultParams()
+	for _, dist := range []float64{5, 25, 35} {
+		fresh, err := NewLink(p, dist, newRNG(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused := &Link{}
+		// Dirty the reused link first so Reset has real state to clear.
+		if err := reused.Reset(p, 7, newRNG(9)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			reused.Advance(0.05)
+			reused.SNR(-5)
+		}
+		if err := reused.Reset(p, dist, newRNG(42)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			dt := 0.001 * float64(1+i%7)
+			fresh.Advance(dt)
+			reused.Advance(dt)
+			fr, fs := fresh.Sample(-5)
+			rr, rs := reused.Sample(-5)
+			if fr != rr || fs != rs {
+				t.Fatalf("dist %v step %d: fresh (%v,%v) != reused (%v,%v)",
+					dist, i, fr, fs, rr, rs)
+			}
+		}
+	}
+	if _, err := NewLink(p, 0, newRNG(1)); err == nil {
+		t.Fatal("NewLink accepted non-positive distance")
+	}
+	if err := (&Link{}).Reset(p, -1, newRNG(1)); err == nil {
+		t.Fatal("Reset accepted non-positive distance")
+	}
+}
+
+// TestFadeStepMemoExact: the memoised AR(1) coefficients must be the exact
+// float64s of the direct formula, including after cache eviction (more
+// distinct spacings than memo slots).
+func TestFadeStepMemoExact(t *testing.T) {
+	p := DefaultParams()
+	l, err := NewLink(p, 20, newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dts := []float64{0.004, 0.0196, 0.030, 0.0082, 0.1, 0.25, 0.004, 0.030}
+	for round := 0; round < 3; round++ {
+		for _, dt := range dts {
+			rho, inn := l.fadeStep(dt)
+			wantRho := math.Exp(-dt / p.TemporalTauSeconds)
+			wantInn := math.Sqrt(1-wantRho*wantRho) * p.TemporalSigmaDB
+			if rho != wantRho || inn != wantInn {
+				t.Fatalf("dt %v: got (%v,%v), want (%v,%v)", dt, rho, inn, wantRho, wantInn)
+			}
+		}
+	}
+}
+
+// TestSampleMatchesSNRDrawOrder: Sample must consume the RNG exactly like
+// RSSI-then-SNR computed separately, and return the same values.
+func TestSampleMatchesSNRDrawOrder(t *testing.T) {
+	p := DefaultParams()
+	a, _ := NewLink(p, 30, newRNG(11))
+	b, _ := NewLink(p, 30, newRNG(11))
+	for i := 0; i < 300; i++ {
+		a.Advance(0.01)
+		b.Advance(0.01)
+		gotRSSI, gotSNR := a.Sample(-3)
+		wantRSSI := b.RSSI(-3)
+		wantSNR := wantRSSI - b.NoiseFloorDBm()
+		if gotRSSI != wantRSSI || gotSNR != wantSNR {
+			t.Fatalf("step %d: Sample (%v,%v) != separate (%v,%v)",
+				i, gotRSSI, gotSNR, wantRSSI, wantSNR)
+		}
+	}
+}

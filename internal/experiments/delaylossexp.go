@@ -207,7 +207,7 @@ func RunFig17(opts Options) (Fig17Result, error) {
 			})
 		}
 	}
-	rows, err := sweep.RunConfigsContext(opts.ctx(), cfgs, opts.runOptions(17))
+	rows, err := sweep.RunConfigs(opts.ctx(), cfgs, opts.runOptions(17))
 	if err != nil {
 		return Fig17Result{}, err
 	}

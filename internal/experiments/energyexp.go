@@ -35,7 +35,7 @@ func RunFig7(opts Options) (Fig7Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: payloads,
 	}
-	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(0))
+	rows, err := sweep.RunSpace(opts.ctx(), space, opts.runOptions(0))
 	if err != nil {
 		return Fig7Result{}, err
 	}
@@ -97,7 +97,7 @@ func RunFig8(opts Options) (Fig8Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: payloads,
 	}
-	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(8))
+	rows, err := sweep.RunSpace(opts.ctx(), space, opts.runOptions(8))
 	if err != nil {
 		return Fig8Result{}, err
 	}

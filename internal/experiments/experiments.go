@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"wsnlink/internal/obs"
+	"wsnlink/internal/sim"
 	"wsnlink/internal/sweep"
 )
 
@@ -61,13 +62,16 @@ func (o Options) ctx() context.Context {
 // runOptions maps experiment options onto sweep options; seedOffset keeps
 // the per-experiment seed streams distinct.
 func (o Options) runOptions(seedOffset uint64) sweep.RunOptions {
-	return sweep.RunOptions{
+	opts := sweep.RunOptions{
 		Packets:  o.Packets,
 		BaseSeed: o.Seed + seedOffset,
-		Fast:     !o.FullDES,
 		Workers:  o.Workers,
 		Metrics:  o.Obs,
 	}
+	if o.FullDES {
+		opts.Engine = sim.EngineDES
+	}
+	return opts
 }
 
 // Series is one named line of (x, y) points for a figure.

@@ -64,7 +64,7 @@ func macConfigSweep(opts Options, settings []MACSetting) ([]sweep.Row, error) {
 			}
 		}
 	}
-	return sweep.RunConfigsContext(opts.ctx(), cfgs, opts.runOptions(10))
+	return sweep.RunConfigs(opts.ctx(), cfgs, opts.runOptions(10))
 }
 
 // seriesPerWorkload groups rows of one MAC setting into per-workload series
@@ -173,7 +173,7 @@ func RunFig11(opts Options) (Fig11Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: payloads,
 	}
-	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(11))
+	rows, err := sweep.RunSpace(opts.ctx(), space, opts.runOptions(11))
 	if err != nil {
 		return Fig11Result{}, err
 	}
@@ -241,7 +241,7 @@ func RunFig12(opts Options) (Fig12Result, error) {
 		PktIntervals:  []float64{0.250},
 		PayloadsBytes: []int{110},
 	}
-	rows, err := sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(12))
+	rows, err := sweep.RunSpace(opts.ctx(), space, opts.runOptions(12))
 	if err != nil {
 		return Fig12Result{}, err
 	}

@@ -26,7 +26,7 @@ func perSweep(opts Options, payloads []int) ([]sweep.Row, error) {
 		PktIntervals:  []float64{0.050},
 		PayloadsBytes: payloads,
 	}
-	return sweep.RunSpaceContext(opts.ctx(), space, opts.runOptions(0))
+	return sweep.RunSpace(opts.ctx(), space, opts.runOptions(0))
 }
 
 // Fig6Result reproduces Fig. 6: the joint effects of SNR and payload size on

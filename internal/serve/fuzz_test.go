@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -64,7 +65,7 @@ func FuzzNDJSONRows(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	rows, err := sweep.RunConfigs(sp.All(), norm.options())
+	rows, err := sweep.RunConfigs(context.Background(), sp.All(), norm.options())
 	if err != nil {
 		f.Fatal(err)
 	}

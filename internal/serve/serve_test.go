@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +25,7 @@ func sampleRows(t *testing.T) []sweep.Row {
 	sp.QueueCaps = sp.QueueCaps[:1]
 	sp.PktIntervals = sp.PktIntervals[:2]
 	sp.PayloadsBytes = sp.PayloadsBytes[:1]
-	rows, err := sweep.RunSpace(sp, sweep.RunOptions{Packets: 40, Fast: true})
+	rows, err := sweep.RunSpace(context.Background(), sp, sweep.RunOptions{Packets: 40})
 	if err != nil {
 		t.Fatalf("RunSpace: %v", err)
 	}

@@ -56,7 +56,7 @@ func refLines(t *testing.T, spec CampaignSpec) []string {
 	if err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	rows, err := sweep.RunConfigs(sp.All(), norm.options())
+	rows, err := sweep.RunConfigs(context.Background(), sp.All(), norm.options())
 	if err != nil {
 		t.Fatalf("RunConfigs: %v", err)
 	}

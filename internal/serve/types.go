@@ -16,6 +16,7 @@ import (
 
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
+	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
@@ -83,9 +84,9 @@ func SpaceSpecFor(sp stack.Space) SpaceSpec {
 }
 
 // CampaignSpec is a campaign job submission. The identity knobs (Space,
-// Packets, BaseSeed, FullDES) determine the campaign fingerprint and thus
-// the cache key; the execution knobs (Workers, DeadlineS, TraceSample) only
-// shape how the job runs.
+// Packets, BaseSeed, FullDES, CRN) determine the campaign fingerprint and
+// thus the cache key; the execution knobs (Workers, BatchSize, DeadlineS,
+// TraceSample) only shape how the job runs.
 type CampaignSpec struct {
 	Space SpaceSpec `json:"space"`
 	// Packets per configuration (0 = the engine default of 500).
@@ -95,9 +96,17 @@ type CampaignSpec struct {
 	// FullDES selects the event-driven simulator instead of the default
 	// Monte-Carlo fast path (mirrors wsnsweep -des).
 	FullDES bool `json:"full_des,omitempty"`
+	// CRN runs every configuration under the same derived seed
+	// (common-random-numbers pairing; mirrors wsnsweep -crn). It changes
+	// row content, so it is part of the campaign identity.
+	CRN bool `json:"crn,omitempty"`
 	// Workers is the job's sweep parallelism (0 = server default; always
 	// capped by the server's per-job limit).
 	Workers int `json:"workers,omitempty"`
+	// BatchSize is the fast-engine block size per batch-kernel call
+	// (0 = engine default). Pure execution knob: it never changes rows,
+	// so it is not part of the fingerprint.
+	BatchSize int `json:"batch_size,omitempty"`
 	// DeadlineS bounds the job's run time in seconds (0 = the server
 	// default; capped by the server maximum). An expired job fails but
 	// keeps its checkpoint, so resubmitting the same spec resumes it.
@@ -164,13 +173,18 @@ func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
 // options maps the spec onto engine options (checkpoint plumbing is added
 // by the job runner).
 func (c CampaignSpec) options() sweep.RunOptions {
-	return sweep.RunOptions{
+	opts := sweep.RunOptions{
 		Packets:     c.Packets,
 		BaseSeed:    c.BaseSeed,
-		Fast:        !c.FullDES,
+		CRN:         c.CRN,
 		Workers:     c.Workers,
+		BatchSize:   c.BatchSize,
 		TraceSample: c.TraceSample,
 	}
+	if c.FullDES {
+		opts.Engine = sim.EngineDES
+	}
+	return opts
 }
 
 // Fingerprint returns the campaign identity hash of a normalized spec —

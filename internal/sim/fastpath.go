@@ -3,14 +3,8 @@ package sim
 import (
 	"context"
 	"errors"
-	"fmt"
-	"math/rand/v2"
+	"sync"
 
-	"wsnlink/internal/channel"
-	"wsnlink/internal/frame"
-	"wsnlink/internal/mac"
-	"wsnlink/internal/obs"
-	"wsnlink/internal/phy"
 	"wsnlink/internal/stack"
 )
 
@@ -26,9 +20,18 @@ import (
 // s_i = max(a_i, f) where f is the time the server frees up; queue occupancy
 // at arrival is the number of accepted-but-unfinished packets; arrivals that
 // would exceed Q_max waiting packets are dropped.
+//
+// The implementation is the batch kernel (see RunBatch) run over a single
+// pooled lane, so a steady state of repeated calls allocates nothing and a
+// single-config run is identical to the same configuration inside a batch.
 func RunFast(cfg stack.Config, opts Options) (Result, error) {
 	return RunFastContext(context.Background(), cfg, opts)
 }
+
+// fastLanePool recycles single-lane arenas across RunFastContext calls;
+// after warm-up the fast path performs zero steady-state allocations
+// (TestRunFastZeroAlloc pins this).
+var fastLanePool = sync.Pool{New: func() any { return NewBatchArena() }}
 
 // RunFastContext is the context-aware fast path: cancellation and deadline
 // are checked between packets, so a canceled campaign abandons a
@@ -41,225 +44,12 @@ func RunFastContext(ctx context.Context, cfg stack.Config, opts Options) (Result
 	if opts.Packets < 1 {
 		return Result{}, errors.New("sim: Packets must be >= 1")
 	}
-	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x9e3779b97f4a7c15))
-	link, err := channel.NewLink(*opts.Channel, cfg.DistanceM, rng)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: channel: %w", err)
+	a := fastLanePool.Get().(*BatchArena)
+	defer fastLanePool.Put(a)
+	l := a.lane(0)
+	if err := l.reset(&a.tables, cfg, opts.Seed, opts.Packets,
+		opts.Channel, opts.ErrorModel, opts.RecordPackets, opts.Obs, opts.Trace); err != nil {
+		return Result{}, err
 	}
-
-	f := &fastSim{
-		cfg:          cfg,
-		opts:         opts,
-		rng:          rng,
-		link:         link,
-		errModel:     opts.ErrorModel,
-		txDBm:        cfg.TxPower.DBm(),
-		frameBits:    8 * frame.OnAirBytes(cfg.PayloadBytes),
-		energyPerBit: cfg.TxPower.TxEnergyPerBitMicroJ(),
-		obs:          opts.Obs,
-		trace:        opts.Trace,
-	}
-	return f.run(ctx)
-}
-
-type fastSim struct {
-	cfg          stack.Config
-	opts         Options
-	rng          *rand.Rand
-	link         *channel.Link
-	errModel     phy.ErrorModel
-	txDBm        float64
-	frameBits    int
-	energyPerBit float64
-	channelAt    float64
-	counters     Counters
-	records      []PacketRecord
-	lastEnd      float64
-	obs          *obs.Metrics     // optional telemetry sink (nil = disabled)
-	trace        *obs.SpanContext // optional lifecycle tracer (nil = disabled)
-}
-
-func (f *fastSim) advanceChannel(t float64) {
-	if t > f.channelAt {
-		f.link.Advance(t - f.channelAt)
-		f.channelAt = t
-	}
-}
-
-func (f *fastSim) run(ctx context.Context) (Result, error) {
-	// departures holds service-end times of accepted, not-yet-finished
-	// packets (in service + waiting), oldest first.
-	var departures []float64
-	serverFreeAt := 0.0
-
-	for i := 0; i < f.opts.Packets; i++ {
-		if err := ctx.Err(); err != nil {
-			return Result{}, fmt.Errorf("sim: fast run canceled before packet %d of %d: %w",
-				i, f.opts.Packets, err)
-		}
-		arrival := float64(i) * f.cfg.PktInterval
-		if f.cfg.Saturated() {
-			arrival = serverFreeAt
-		}
-		// Retire departures that completed by this arrival.
-		live := 0
-		for _, d := range departures {
-			if d > arrival {
-				departures[live] = d
-				live++
-			}
-		}
-		departures = departures[:live]
-
-		rec := PacketRecord{ID: i, GenTime: arrival}
-		f.counters.Generated++
-		if f.obs != nil {
-			f.obs.StageAddSim(obs.StageGenerator, 0)
-		}
-		if f.trace != nil {
-			f.trace.Emit(obs.EvEnqueue, arrival, rec.ID, 0, 0, 0, 0)
-		}
-
-		waiting := len(departures)
-		if waiting > 0 {
-			waiting-- // oldest one is in service, not waiting
-		}
-		rec.QueueLen = waiting
-		f.counters.SumQueueOccupancy += float64(waiting)
-		f.counters.ArrivalsSeen++
-		if waiting > f.counters.MaxQueueOccupancy {
-			f.counters.MaxQueueOccupancy = waiting
-		}
-
-		if len(departures) > 0 && waiting >= f.cfg.QueueCap {
-			rec.QueueDrop = true
-			rec.ServiceEnd = arrival
-			f.counters.QueueDrops++
-			if f.trace != nil {
-				f.trace.Emit(obs.EvQueueDrop, arrival, rec.ID, 0, 0, 0, 0)
-			}
-			f.finish(rec)
-			continue
-		}
-
-		start := arrival
-		if serverFreeAt > start {
-			start = serverFreeAt
-		}
-		end := f.servePacket(&rec, start)
-		serverFreeAt = end
-		departures = append(departures, end)
-		f.finish(rec)
-	}
-
-	if f.obs != nil {
-		f.obs.AddPackets(int64(f.counters.Generated))
-	}
-	return Result{
-		Config:   f.cfg,
-		Duration: f.lastEnd,
-		Counters: f.counters,
-		Records:  f.records,
-	}, nil
-}
-
-// servePacket mirrors LinkSim.startService with the mean backoff.
-func (f *fastSim) servePacket(rec *PacketRecord, start float64) float64 {
-	rec.ServiceStart = start
-	t := start + mac.SPILoadTime(f.cfg.PayloadBytes)
-	frameTime := mac.FrameAirTime(f.cfg.PayloadBytes)
-
-	for try := 1; try <= f.cfg.MaxTries; try++ {
-		if try > 1 {
-			t += f.cfg.RetryDelay + mac.RetrySoftwareOverhead
-		}
-		if f.trace != nil {
-			f.trace.Emit(obs.EvBackoff, t, rec.ID, try, 0, 0, 0)
-		}
-		t += mac.MeanMACDelay()
-		if f.trace != nil {
-			f.trace.Emit(obs.EvCCA, t, rec.ID, try, 0, 0, 0)
-		}
-
-		f.advanceChannel(t)
-		snr := f.link.SNR(f.txDBm)
-		if try == 1 {
-			rssi := f.link.RSSI(f.txDBm)
-			rec.SNR = snr
-			rec.RSSI = channel.Quantize(rssi)
-			rec.LQI = phy.LQI(snr)
-			f.counters.SumSNR += snr
-			f.counters.SumSNRSq += snr * snr
-			f.counters.SumRSSI += rssi
-			f.counters.SumRSSISq += rssi * rssi
-			f.counters.SNRSamples++
-		}
-		if f.trace != nil {
-			f.trace.Emit(obs.EvTxAttempt, t, rec.ID, try, snr, rec.RSSI, rec.LQI)
-		}
-
-		t += frameTime
-		rec.Tries = try
-		f.counters.TotalTransmissions++
-		f.counters.TotalTxBits += int64(f.frameBits)
-		f.counters.TxEnergyMicroJ += float64(f.frameBits) * f.energyPerBit
-
-		dataOK := f.rng.Float64() >= f.errModel.DataPER(snr, f.cfg.PayloadBytes)
-		if dataOK {
-			if f.trace != nil {
-				f.trace.Emit(obs.EvRxDecode, t, rec.ID, try, 0, 0, 0)
-			}
-			if rec.Delivered {
-				f.counters.Duplicates++
-			} else {
-				rec.Delivered = true
-				f.counters.Delivered++
-			}
-			if f.rng.Float64() >= f.errModel.AckPER(snr) {
-				t += mac.AckTime
-				f.counters.ListenTimeS += mac.AckTime
-				rec.Acked = true
-				f.counters.Acked++
-				f.counters.AckedTransmissions++
-				f.counters.SumTriesAcked += float64(try)
-				break
-			}
-		}
-		t += mac.AckWaitTimeout
-		f.counters.ListenTimeS += mac.AckWaitTimeout
-		if f.trace != nil {
-			f.trace.Emit(obs.EvAckTimeout, t, rec.ID, try, 0, 0, 0)
-		}
-	}
-
-	if !rec.Delivered {
-		f.counters.RadioDrops++
-	}
-	if f.trace != nil {
-		kind := obs.EvLost
-		if rec.Delivered {
-			kind = obs.EvDelivered
-		}
-		f.trace.Emit(kind, t, rec.ID, rec.Tries, 0, 0, 0)
-	}
-	if f.obs != nil {
-		recordPacketStages(f.obs, rec, t, frameTime)
-	}
-	rec.ServiceEnd = t
-	f.counters.SumServiceTime += t - start
-	f.counters.Serviced++
-	if rec.Delivered {
-		f.counters.SumDelay += t - rec.GenTime
-		f.counters.DeliveredWithDelay++
-	}
-	return t
-}
-
-func (f *fastSim) finish(rec PacketRecord) {
-	if rec.ServiceEnd > f.lastEnd {
-		f.lastEnd = rec.ServiceEnd
-	}
-	if f.opts.RecordPackets {
-		f.records = append(f.records, rec)
-	}
+	return l.run(ctx)
 }

@@ -75,6 +75,11 @@ type Options struct {
 	Packets int
 	// Seed drives all randomness (channel, backoffs, losses).
 	Seed uint64
+	// Engine selects the simulator Simulate dispatches to: the
+	// Monte-Carlo fast path (EngineFast, the zero value) or the full
+	// event-driven simulator (EngineDES). The explicit entry points
+	// (RunContext, RunFastContext, RunBatch) ignore it.
+	Engine EngineKind
 	// ErrorModel defaults to the paper-calibrated CC2420 model.
 	ErrorModel phy.ErrorModel
 	// Channel defaults to the hallway parameters.
@@ -92,16 +97,23 @@ type Options struct {
 	Trace *obs.SpanContext
 }
 
+// Shared defaults: materialized once so the per-run default path performs no
+// allocations (boxing a Calibrated into the ErrorModel interface and taking
+// the address of fresh Params both allocate). Both values are read-only.
+var (
+	defaultErrorModel    phy.ErrorModel = phy.NewCalibrated()
+	defaultChannelParams                = channel.DefaultParams()
+)
+
 func (o Options) withDefaults() Options {
 	if o.Packets == 0 {
 		o.Packets = 4500
 	}
 	if o.ErrorModel == nil {
-		o.ErrorModel = phy.NewCalibrated()
+		o.ErrorModel = defaultErrorModel
 	}
 	if o.Channel == nil {
-		p := channel.DefaultParams()
-		o.Channel = &p
+		o.Channel = &defaultChannelParams
 	}
 	return o
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation perturbs sync.Pool and allocation behavior, so the
+// zero-alloc pins only run in regular test builds.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"wsnlink/internal/models"
@@ -16,7 +17,7 @@ func TestFullCampaignScale(t *testing.T) {
 		t.Skip("full campaign skipped in -short mode")
 	}
 	space := stack.DefaultSpace()
-	rows, err := RunSpace(space, RunOptions{Packets: 30, BaseSeed: 4, Fast: true})
+	rows, err := RunSpace(context.Background(), space, RunOptions{Packets: 30, BaseSeed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

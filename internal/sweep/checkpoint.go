@@ -9,6 +9,7 @@ import (
 	"os"
 	"strconv"
 
+	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 )
 
@@ -27,8 +28,10 @@ import (
 // the engine emits in input order the indices are consecutive from 0; a
 // torn trailing line from a crash is detected and discarded on load. The
 // fingerprint ties the file to the campaign identity (configurations,
-// Packets, BaseSeed, Fast) so a checkpoint cannot silently resume a
-// different sweep.
+// Packets, BaseSeed, Engine, CRN) so a checkpoint cannot silently resume a
+// different sweep. Execution knobs — Workers, BatchSize — are not identity:
+// they never change row content, so a campaign may resume with different
+// parallelism or blocking.
 
 const checkpointMagic = "wsnlink-checkpoint v1"
 
@@ -128,10 +131,17 @@ func campaignFingerprint(cfgs []stack.Config, opts RunOptions) uint64 {
 	}
 	wu(uint64(opts.Packets))
 	wu(opts.BaseSeed)
-	if opts.Fast {
-		wu(1)
-	} else {
+	// The engine hashes to the byte the old Fast flag wrote (fast=1, DES=0)
+	// so fingerprints of existing checkpoints remain valid; the CRN word is
+	// appended only when pairing is on, for the same reason. BatchSize and
+	// Workers are deliberately absent — they never change row content.
+	if opts.Engine == sim.EngineDES {
 		wu(0)
+	} else {
+		wu(1)
+	}
+	if opts.CRN {
+		wu(0x43524e) // "CRN"
 	}
 	return h.Sum64()
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wsnlink/internal/sim"
 )
 
 func writeCheckpointFile(t *testing.T, body string) string {
@@ -108,7 +110,7 @@ func TestOpenCheckpointMismatch(t *testing.T) {
 
 func TestCampaignFingerprintSensitivity(t *testing.T) {
 	cfgs := smallSpace().All()
-	base := RunOptions{Packets: 100, BaseSeed: 1, Fast: true}
+	base := RunOptions{Packets: 100, BaseSeed: 1}
 	fp := campaignFingerprint(cfgs, base)
 
 	seed := base
@@ -122,9 +124,14 @@ func TestCampaignFingerprintSensitivity(t *testing.T) {
 		t.Error("fingerprint ignores Packets")
 	}
 	des := base
-	des.Fast = false
+	des.Engine = sim.EngineDES
 	if campaignFingerprint(cfgs, des) == fp {
-		t.Error("fingerprint ignores Fast")
+		t.Error("fingerprint ignores Engine")
+	}
+	crn := base
+	crn.CRN = true
+	if campaignFingerprint(cfgs, crn) == fp {
+		t.Error("fingerprint ignores CRN")
 	}
 	if campaignFingerprint(cfgs[:len(cfgs)-1], base) == fp {
 		t.Error("fingerprint ignores the configuration list")

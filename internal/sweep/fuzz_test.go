@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -12,10 +13,10 @@ import (
 // FuzzReadCSV feeds arbitrary text through the dataset parser: it must
 // never panic, and any dataset it accepts must survive a write/read cycle.
 func FuzzReadCSV(f *testing.F) {
-	rows, err := RunConfigs([]stack.Config{{
+	rows, err := RunConfigs(context.Background(), []stack.Config{{
 		DistanceM: 10, TxPower: phy.PowerLevel(31), MaxTries: 1,
 		QueueCap: 1, PktInterval: 0.05, PayloadBytes: 20,
-	}}, RunOptions{Packets: 10, Fast: true})
+	}}, RunOptions{Packets: 10})
 	if err != nil {
 		f.Fatal(err)
 	}

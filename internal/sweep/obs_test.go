@@ -18,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestProgressSnapshot(t *testing.T) {
 	var prog Progress
-	opts := RunOptions{Packets: 30, BaseSeed: 1, Fast: true, Progress: &prog}
+	opts := RunOptions{Packets: 30, BaseSeed: 1, Progress: &prog}
 	space := smallSpace()
 
 	// Progress visible mid-run: every yield must see a plausible snapshot.
@@ -49,8 +49,8 @@ func TestProgressSnapshot(t *testing.T) {
 func TestProgressCountsErrors(t *testing.T) {
 	var prog Progress
 	cfgs := invalidAt(t, 2, 6)
-	_, err := RunConfigsContext(context.Background(), cfgs, RunOptions{
-		Packets: 30, Fast: true, ErrorPolicy: ContinueOnError, Progress: &prog,
+	_, err := RunConfigs(context.Background(), cfgs, RunOptions{
+		Packets: 30, ErrorPolicy: ContinueOnError, Progress: &prog,
 	})
 	var camp *CampaignError
 	if !errors.As(err, &camp) {
@@ -66,8 +66,8 @@ func TestProgressCountsErrors(t *testing.T) {
 
 	// FailFast: the error is still counted before the run stops.
 	var prog2 Progress
-	_, err = RunConfigsContext(context.Background(), invalidAt(t, 0), RunOptions{
-		Packets: 30, Fast: true, Progress: &prog2,
+	_, err = RunConfigs(context.Background(), invalidAt(t, 0), RunOptions{
+		Packets: 30, Progress: &prog2,
 	})
 	var ce *ConfigError
 	if !errors.As(err, &ce) {
@@ -83,7 +83,7 @@ func TestProgressCountsErrors(t *testing.T) {
 func TestProgressResumeStartsAtPrefix(t *testing.T) {
 	space := smallSpace()
 	ckPath := filepath.Join(t.TempDir(), "sweep.ckpt")
-	opts := RunOptions{Packets: 20, BaseSeed: 4, Fast: true, Checkpoint: ckPath}
+	opts := RunOptions{Packets: 20, BaseSeed: 4, Checkpoint: ckPath}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -133,7 +133,10 @@ func TestMetricsIntegration(t *testing.T) {
 	m := obs.New()
 	space := streamSpace()
 	opts := RunOptions{
-		Packets: 3, BaseSeed: 2, Fast: true, Workers: workers, Metrics: m,
+		// BatchSize 1 keeps the strict O(workers) window bound and exact
+		// per-config stage timings; TestMetricsIntegrationBatch covers the
+		// blocked path's accounting.
+		Packets: 3, BaseSeed: 2, Workers: workers, BatchSize: 1, Metrics: m,
 	}
 	if err := StreamSpace(context.Background(), space, opts, nil); err != nil {
 		t.Fatal(err)
@@ -201,7 +204,7 @@ func TestMetricsIntegration(t *testing.T) {
 func TestMetricsCheckpointStage(t *testing.T) {
 	m := obs.New()
 	opts := RunOptions{
-		Packets: 20, BaseSeed: 1, Fast: true, Metrics: m,
+		Packets: 20, BaseSeed: 1, Metrics: m,
 		Checkpoint: filepath.Join(t.TempDir(), "sweep.ckpt"),
 	}
 	if err := StreamSpace(context.Background(), smallSpace(), opts, nil); err != nil {
@@ -271,5 +274,39 @@ func TestCSVGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got, again.Bytes()) {
 		t.Error("re-encoding a parsed dataset is not byte-identical")
+	}
+}
+
+// TestMetricsIntegrationBatch checks that block dispatch (the default
+// BatchSize) keeps the engine-side accounting per configuration: one
+// ObserveConfig and one simulate-stage entry per config, rows and windows
+// observed per arrival, window bounded by the token window.
+func TestMetricsIntegrationBatch(t *testing.T) {
+	const workers = 4
+	m := obs.New()
+	space := streamSpace()
+	opts := RunOptions{Packets: 3, BaseSeed: 2, Workers: workers, Metrics: m}
+	if err := StreamSpace(context.Background(), space, opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	n := int64(space.Size())
+	if s.ConfigsDone != n {
+		t.Errorf("ConfigsDone = %d, want %d", s.ConfigsDone, n)
+	}
+	if s.RowsEmitted != n {
+		t.Errorf("RowsEmitted = %d, want %d", s.RowsEmitted, n)
+	}
+	if s.ConfigWall.Count != n {
+		t.Errorf("ConfigWall.Count = %d, want %d", s.ConfigWall.Count, n)
+	}
+	if got := s.Stage("simulate").Count; got != n {
+		t.Errorf("simulate count = %d, want %d", got, n)
+	}
+	if s.WindowOcc.Count != n {
+		t.Errorf("WindowOcc.Count = %d, want %d", s.WindowOcc.Count, n)
+	}
+	if bound := int64(2 * workers * DefaultBatchSize); s.Window.Max > bound {
+		t.Errorf("window max = %d, want <= %d (token window)", s.Window.Max, bound)
 	}
 }

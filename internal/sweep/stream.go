@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"wsnlink/internal/metrics"
 	"wsnlink/internal/obs"
+	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 )
 
@@ -24,9 +26,17 @@ func StreamSpace(ctx context.Context, space stack.Space, opts RunOptions, yield 
 // calls yield once per completed row, in input order, as results become
 // available. It is the campaign engine the batch helpers wrap.
 //
-// Memory is bounded: at most 2×Workers configurations are in flight
-// (simulating or completed-but-not-yet-emitted), independent of the space
-// size, so a full Table I campaign streams in O(workers) live rows.
+// Workers pull configuration *blocks*, not single configurations: on the
+// fast engine each worker runs sim.RunBatch over BatchSize configurations
+// with a per-worker arena, so lookup tables, channel state, and result
+// storage are reused and the steady state allocates nothing. Blocking is
+// invisible in the output — rows are emitted per configuration, in input
+// order, with content independent of BatchSize.
+//
+// Memory is bounded: at most 2×Workers×BatchSize configurations are in
+// flight (simulating or completed-but-not-yet-emitted), independent of the
+// space size, so a full Table I campaign streams in O(Workers×BatchSize)
+// live rows.
 //
 // Cancellation: when ctx is canceled the workers abandon their current
 // configuration between packets and StreamConfigs returns an error wrapping
@@ -80,9 +90,12 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 		opts.Progress.begin(len(cfgs), start)
 	}
 
-	// window bounds dispatched-but-not-yet-emitted configurations; with
-	// the pending reorder map this caps live rows at O(workers).
-	window := 2 * opts.Workers
+	// window bounds dispatched-but-not-yet-emitted configurations, in
+	// config units; with the pending reorder map this caps live rows at
+	// O(Workers×BatchSize). Tokens are acquired per configuration (a block
+	// acquires one per member) and released per emitted row, so block and
+	// single dispatch share the same accounting.
+	window := 2 * opts.Workers * opts.BatchSize
 
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -92,7 +105,7 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 		row Row
 		err error
 	}
-	jobs := make(chan int)
+	jobs := make(chan int) // block start indices; block = [i, i+BatchSize)∩[0,len)
 	results := make(chan outcome, opts.Workers)
 	tokens := make(chan struct{}, window)
 
@@ -101,39 +114,117 @@ func StreamConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions, yi
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			// Per-worker batch state, allocated once on first block: the
+			// kernel arena (lanes, lookup tables, result storage) and the
+			// seed scratch buffer.
+			var arena *sim.BatchArena
+			var seeds []uint64
+			for bstart := range jobs {
+				n := len(cfgs) - bstart
+				if n > opts.BatchSize {
+					n = opts.BatchSize
+				}
+				if opts.BatchSize == 1 {
+					var t0 time.Time
+					if opts.Metrics != nil {
+						t0 = time.Now()
+					}
+					row, err := runOne(sctx, cfgs[bstart], bstart, opts, fingerprint)
+					if opts.Metrics != nil {
+						d := time.Since(t0)
+						opts.Metrics.ObserveConfig(d)
+						opts.Metrics.StageAdd(obs.StageSimulate, d)
+					}
+					if opts.Progress != nil {
+						opts.Progress.done.Add(1)
+					}
+					select {
+					case results <- outcome{idx: bstart, row: row, err: err}:
+					case <-sctx.Done():
+						return
+					}
+					continue
+				}
+				if arena == nil {
+					arena = sim.NewBatchArena()
+					seeds = make([]uint64, opts.BatchSize)
+				}
+				for j := 0; j < n; j++ {
+					seeds[j] = opts.seedFor(bstart + j)
+				}
 				var t0 time.Time
 				if opts.Metrics != nil {
 					t0 = time.Now()
 				}
-				row, err := runOne(sctx, cfgs[i], i, opts, fingerprint)
+				bopts := sim.BatchOptions{
+					Packets:    opts.Packets,
+					Seeds:      seeds[:n],
+					Channel:    opts.Channel,
+					ErrorModel: opts.ErrorModel,
+					Obs:        opts.Metrics,
+					Arena:      arena,
+				}
+				if opts.Tracer != nil {
+					base := bstart
+					bopts.TraceFor = func(j int) *obs.SpanContext {
+						return opts.traceSpan(fingerprint, base+j)
+					}
+				}
+				res, lerrs, berr := sim.RunBatch(sctx, cfgs[bstart:bstart+n], bopts)
 				if opts.Metrics != nil {
-					d := time.Since(t0)
-					opts.Metrics.ObserveConfig(d)
-					opts.Metrics.StageAdd(obs.StageSimulate, d)
+					// Per-config durations inside a block are not observable
+					// individually; attribute the block evenly so counts and
+					// totals match the per-config path.
+					per := time.Since(t0) / time.Duration(n)
+					for j := 0; j < n; j++ {
+						opts.Metrics.ObserveConfig(per)
+						opts.Metrics.StageAdd(obs.StageSimulate, per)
+					}
 				}
-				if opts.Progress != nil {
-					opts.Progress.done.Add(1)
-				}
-				select {
-				case results <- outcome{idx: i, row: row, err: err}:
-				case <-sctx.Done():
-					return
+				for j := 0; j < n; j++ {
+					out := outcome{idx: bstart + j}
+					switch {
+					case berr != nil:
+						out.err = berr
+					case lerrs != nil && lerrs[j] != nil:
+						out.err = lerrs[j]
+					default:
+						out.row = Row{
+							Config:  cfgs[out.idx],
+							Report:  metrics.FromResult(res[j]),
+							Seed:    seeds[j],
+							Packets: opts.Packets,
+						}
+					}
+					if opts.Progress != nil {
+						opts.Progress.done.Add(1)
+					}
+					select {
+					case results <- out:
+					case <-sctx.Done():
+						return
+					}
 				}
 			}
 		}()
 	}
-	go func() { // dispatcher
+	go func() { // dispatcher: one token per config, one send per block
 		defer close(jobs)
-		for i := start; i < len(cfgs); i++ {
+		for i := start; i < len(cfgs); i += opts.BatchSize {
+			n := len(cfgs) - i
+			if n > opts.BatchSize {
+				n = opts.BatchSize
+			}
 			var t0 time.Time
 			if opts.Metrics != nil {
 				t0 = time.Now()
 			}
-			select {
-			case tokens <- struct{}{}:
-			case <-sctx.Done():
-				return
+			for j := 0; j < n; j++ {
+				select {
+				case tokens <- struct{}{}:
+				case <-sctx.Done():
+					return
+				}
 			}
 			select {
 			case jobs <- i:

@@ -28,8 +28,8 @@ func streamSpace() stack.Space {
 }
 
 func TestStreamMatchesBatch(t *testing.T) {
-	opts := RunOptions{Packets: 80, BaseSeed: 3, Fast: true}
-	batch, err := RunSpace(smallSpace(), opts)
+	opts := RunOptions{Packets: 80, BaseSeed: 3}
+	batch, err := RunSpace(context.Background(), smallSpace(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestStreamCancellationMidSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	emitted := 0
-	err := StreamSpace(ctx, space, RunOptions{Packets: 60, BaseSeed: 1, Fast: true},
+	err := StreamSpace(ctx, space, RunOptions{Packets: 60, BaseSeed: 1},
 		func(Row) error {
 			emitted++
 			if emitted == 5 {
@@ -78,7 +78,7 @@ func TestStreamCancellationMidSweep(t *testing.T) {
 func TestStreamAlreadyCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := StreamSpace(ctx, smallSpace(), RunOptions{Packets: 50, Fast: true}, nil)
+	err := StreamSpace(ctx, smallSpace(), RunOptions{Packets: 50}, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
@@ -88,7 +88,7 @@ func TestStreamWindowBounded(t *testing.T) {
 	const workers = 4
 	maxPending := 0
 	opts := RunOptions{
-		Packets: 3, BaseSeed: 2, Fast: true, Workers: workers,
+		Packets: 3, BaseSeed: 2, Workers: workers, BatchSize: 1,
 		pendingGauge: func(n int) { // called from the emitter goroutine only
 			if n > maxPending {
 				maxPending = n
@@ -107,6 +107,32 @@ func TestStreamWindowBounded(t *testing.T) {
 	}
 }
 
+// TestStreamWindowBoundedBatch: with block dispatch the reorder buffer is
+// bounded by the token window, 2×Workers×BatchSize, independent of the
+// campaign size.
+func TestStreamWindowBoundedBatch(t *testing.T) {
+	const workers, batch = 4, 8
+	maxPending := 0
+	opts := RunOptions{
+		Packets: 3, BaseSeed: 2, Workers: workers, BatchSize: batch,
+		pendingGauge: func(n int) {
+			if n > maxPending {
+				maxPending = n
+			}
+		},
+	}
+	if err := StreamSpace(context.Background(), streamSpace(), opts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if maxPending == 0 {
+		t.Fatal("pending gauge never observed")
+	}
+	if maxPending > 2*workers*batch {
+		t.Errorf("reorder buffer reached %d rows, want <= %d (O(workers×batch))",
+			maxPending, 2*workers*batch)
+	}
+}
+
 // invalidAt returns the small-space configurations with the given indices
 // made invalid (zero payload fails stack validation inside the simulator).
 func invalidAt(t *testing.T, idxs ...int) []stack.Config {
@@ -121,7 +147,7 @@ func invalidAt(t *testing.T, idxs ...int) []stack.Config {
 func TestFailFastReturnsCompletedPrefix(t *testing.T) {
 	const bad = 5
 	cfgs := invalidAt(t, bad)
-	rows, err := RunConfigs(cfgs, RunOptions{Packets: 40, Fast: true})
+	rows, err := RunConfigs(context.Background(), cfgs, RunOptions{Packets: 40})
 	if err == nil {
 		t.Fatal("invalid config should error")
 	}
@@ -144,8 +170,8 @@ func TestFailFastReturnsCompletedPrefix(t *testing.T) {
 
 func TestContinueOnErrorCollectsFailures(t *testing.T) {
 	cfgs := invalidAt(t, 2, 6)
-	rows, err := RunConfigs(cfgs, RunOptions{
-		Packets: 40, Fast: true, ErrorPolicy: ContinueOnError,
+	rows, err := RunConfigs(context.Background(), cfgs, RunOptions{
+		Packets: 40, ErrorPolicy: ContinueOnError,
 	})
 	var camp *CampaignError
 	if !errors.As(err, &camp) {
@@ -169,7 +195,7 @@ func TestContinueOnErrorCollectsFailures(t *testing.T) {
 // byte-identical to an uninterrupted run with the same BaseSeed.
 func TestStreamCheckpointResumeByteIdentical(t *testing.T) {
 	space := streamSpace()
-	opts := RunOptions{Packets: 3, BaseSeed: 9, Fast: true}
+	opts := RunOptions{Packets: 3, BaseSeed: 9}
 
 	var ref bytes.Buffer
 	refEnc := NewEncoder(&ref)
@@ -256,7 +282,7 @@ func TestStreamCheckpointResumeByteIdentical(t *testing.T) {
 
 func TestStreamCheckpointMismatchRejected(t *testing.T) {
 	ckPath := filepath.Join(t.TempDir(), "sweep.ckpt")
-	opts := RunOptions{Packets: 20, BaseSeed: 1, Fast: true, Checkpoint: ckPath}
+	opts := RunOptions{Packets: 20, BaseSeed: 1, Checkpoint: ckPath}
 	if err := StreamSpace(context.Background(), smallSpace(), opts, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +299,7 @@ func TestYieldErrorStopsStream(t *testing.T) {
 	sentinel := errors.New("disk full")
 	emitted := 0
 	err := StreamSpace(context.Background(), smallSpace(),
-		RunOptions{Packets: 30, Fast: true}, func(Row) error {
+		RunOptions{Packets: 30}, func(Row) error {
 			emitted++
 			if emitted == 3 {
 				return sentinel
@@ -289,7 +315,7 @@ func TestYieldErrorStopsStream(t *testing.T) {
 }
 
 func TestReadCSVHead(t *testing.T) {
-	rows, err := RunConfigs(smallSpace().All()[:4], RunOptions{Packets: 30, Fast: true})
+	rows, err := RunConfigs(context.Background(), smallSpace().All()[:4], RunOptions{Packets: 30})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,13 +85,30 @@ type RunOptions struct {
 	// statistics stable; pass 4500 to reproduce the campaign scale.
 	Packets int
 	// BaseSeed seeds the per-configuration RNGs; each configuration gets
-	// a distinct deterministic seed derived from it.
+	// a distinct deterministic seed derived from it (unless CRN pairs
+	// them).
 	BaseSeed uint64
 	// Workers is the parallelism (default: GOMAXPROCS).
 	Workers int
-	// Fast selects the Monte-Carlo fast path instead of the full
-	// event-driven simulator.
-	Fast bool
+	// Engine selects the simulator: the Monte-Carlo fast path
+	// (sim.EngineFast, the zero value — the campaign default) or the
+	// full event-driven simulator (sim.EngineDES).
+	Engine sim.EngineKind
+	// BatchSize is how many configurations a worker pulls per batch-
+	// kernel call on the fast engine (default 64; 1 disables blocking;
+	// the DES engine always runs per-config). Blocking is pure
+	// scheduling: row content is identical for every batch size —
+	// TestStreamBatchSizesRowIdentical pins it — but live rows grow to
+	// O(Workers × BatchSize).
+	BatchSize int
+	// CRN enables common-random-numbers pairing: every configuration of
+	// the campaign runs under the same derived seed instead of a
+	// per-index one, so cross-configuration contrasts share their
+	// channel randomness and need fewer packets for the same confidence.
+	// Absolute per-row noise is unchanged; only the coupling differs.
+	// CRN changes row content, so it is part of the campaign
+	// fingerprint.
+	CRN bool
 	// Channel overrides the hallway parameters.
 	Channel *channel.Params
 	// ErrorModel overrides the paper-calibrated CC2420 model. It must be
@@ -133,7 +150,8 @@ type RunOptions struct {
 	Checkpoint string
 	// Resume loads Checkpoint and skips the configurations it records as
 	// already processed. The checkpoint must match the campaign (same
-	// configurations, Packets, BaseSeed and Fast flag).
+	// configurations, Packets, BaseSeed, Engine and CRN setting;
+	// BatchSize and Workers are execution knobs and may differ).
 	Resume bool
 
 	// pendingGauge, if set, observes the reorder-buffer size after each
@@ -156,6 +174,15 @@ func (o RunOptions) withDefaults() (RunOptions, error) {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.BatchSize < 0 {
+		return o, fmt.Errorf("sweep: BatchSize must be >= 0, got %d", o.BatchSize)
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.Engine == sim.EngineDES {
+		o.BatchSize = 1 // the event-driven engine has no batch kernel
+	}
 	if o.TraceSample < 0 {
 		return o, fmt.Errorf("sweep: TraceSample must be >= 0, got %d", o.TraceSample)
 	}
@@ -177,42 +204,37 @@ func (o RunOptions) traceSpan(fingerprint uint64, idx int) *obs.SpanContext {
 	return o.Tracer.Span(fingerprint, idx)
 }
 
-// configSeed derives a deterministic per-configuration seed (SplitMix64 of
-// the index mixed with the base seed).
-func configSeed(base uint64, idx int) uint64 {
-	z := base + uint64(idx)*0x9e3779b97f4a7c15
-	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
-	z = (z ^ z>>27) * 0x94d049bb133111eb
-	return z ^ z>>31
+// DefaultBatchSize is the fast-engine block size when RunOptions.BatchSize
+// is zero: large enough to amortize kernel-table reuse and channel pulls,
+// small enough that the reorder buffer stays modest.
+const DefaultBatchSize = 64
+
+// seedFor derives the deterministic seed for configuration idx: SplitMix64
+// of the index mixed with BaseSeed (sim.DeriveSeed), or — under CRN
+// pairing — the index-0 seed shared by every configuration.
+func (o RunOptions) seedFor(idx int) uint64 {
+	if o.CRN {
+		idx = 0
+	}
+	return sim.DeriveSeed(o.BaseSeed, idx)
 }
 
-// RunSpace simulates every configuration in the space. Compatibility
-// wrapper over RunSpaceContext with context.Background().
-func RunSpace(space stack.Space, opts RunOptions) ([]Row, error) {
-	return RunSpaceContext(context.Background(), space, opts)
-}
-
-// RunSpaceContext simulates every configuration in the space, honoring
-// ctx. It is the collecting wrapper over StreamSpace, sharing its
-// validation and option plumbing.
-func RunSpaceContext(ctx context.Context, space stack.Space, opts RunOptions) ([]Row, error) {
+// RunSpace simulates every configuration in the space, honoring ctx. It is
+// the collecting wrapper over StreamSpace, sharing its validation and
+// option plumbing.
+func RunSpace(ctx context.Context, space stack.Space, opts RunOptions) ([]Row, error) {
 	rows := make([]Row, 0, space.Size())
 	err := StreamSpace(ctx, space, opts, collectInto(&rows))
 	return rows, err
 }
 
 // RunConfigs simulates the given configurations in parallel, returning rows
-// in input order. The run is deterministic for a fixed BaseSeed regardless
-// of worker count. Compatibility wrapper over RunConfigsContext.
-func RunConfigs(cfgs []stack.Config, opts RunOptions) ([]Row, error) {
-	return RunConfigsContext(context.Background(), cfgs, opts)
-}
-
-// RunConfigsContext collects the stream into a slice. Rows that completed
-// before an error (cancellation, a FailFast failure, or the skipped entries
-// of a ContinueOnError run) are returned alongside the non-nil error, so
-// partial work is never discarded.
-func RunConfigsContext(ctx context.Context, cfgs []stack.Config, opts RunOptions) ([]Row, error) {
+// in input order; the run is deterministic for a fixed BaseSeed regardless
+// of worker count or batch size. Rows that completed before an error
+// (cancellation, a FailFast failure, or the skipped entries of a
+// ContinueOnError run) are returned alongside the non-nil error, so partial
+// work is never discarded.
+func RunConfigs(ctx context.Context, cfgs []stack.Config, opts RunOptions) ([]Row, error) {
 	rows := make([]Row, 0, len(cfgs))
 	err := StreamConfigs(ctx, cfgs, opts, collectInto(&rows))
 	return rows, err
@@ -230,7 +252,7 @@ func collectInto(dst *[]Row) func(Row) error {
 // is the campaign identity hash; it seeds the deterministic trace-span
 // namespace when this configuration is sampled for tracing.
 func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions, fingerprint uint64) (Row, error) {
-	seed := configSeed(opts.BaseSeed, idx)
+	seed := opts.seedFor(idx)
 	simOpts := sim.Options{
 		Packets:    opts.Packets,
 		Seed:       seed,
@@ -243,10 +265,10 @@ func runOne(ctx context.Context, cfg stack.Config, idx int, opts RunOptions, fin
 		res sim.Result
 		err error
 	)
-	if opts.Fast {
-		res, err = sim.RunFastContext(ctx, cfg, simOpts)
-	} else {
+	if opts.Engine == sim.EngineDES {
 		res, err = sim.RunContext(ctx, cfg, simOpts)
+	} else {
+		res, err = sim.RunFastContext(ctx, cfg, simOpts)
 	}
 	if err != nil {
 		return Row{}, err

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func smallSpace() stack.Space {
 }
 
 func TestRunSpace(t *testing.T) {
-	rows, err := RunSpace(smallSpace(), RunOptions{Packets: 150, BaseSeed: 1, Fast: true})
+	rows, err := RunSpace(context.Background(), smallSpace(), RunOptions{Packets: 150, BaseSeed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,10 +49,10 @@ func TestRunSpace(t *testing.T) {
 func TestRunSpaceRejectsInvalid(t *testing.T) {
 	s := smallSpace()
 	s.PayloadsBytes = []int{0}
-	if _, err := RunSpace(s, RunOptions{}); err == nil {
+	if _, err := RunSpace(context.Background(), s, RunOptions{}); err == nil {
 		t.Error("invalid space should error")
 	}
-	if _, err := RunConfigs(nil, RunOptions{}); err == nil {
+	if _, err := RunConfigs(context.Background(), nil, RunOptions{}); err == nil {
 		t.Error("empty configs should error")
 	}
 }
@@ -59,13 +60,13 @@ func TestRunSpaceRejectsInvalid(t *testing.T) {
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	cfgs := smallSpace().All()
 	opts := func(workers int) RunOptions {
-		return RunOptions{Packets: 120, BaseSeed: 7, Workers: workers, Fast: true}
+		return RunOptions{Packets: 120, BaseSeed: 7, Workers: workers}
 	}
-	seq, err := RunConfigs(cfgs, opts(1))
+	seq, err := RunConfigs(context.Background(), cfgs, opts(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunConfigs(cfgs, opts(8))
+	par, err := RunConfigs(context.Background(), cfgs, opts(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +80,8 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestRunProgressCounterAndOnRow(t *testing.T) {
 	var prog Progress
 	var onRow []Row
-	rows, err := RunConfigs(smallSpace().All(), RunOptions{
-		Packets: 50, Fast: true,
+	rows, err := RunConfigs(context.Background(), smallSpace().All(), RunOptions{
+		Packets:  50,
 		Progress: &prog,
 		OnRow:    func(r Row) { onRow = append(onRow, r) }, // emitter goroutine: no locking needed
 	})
@@ -102,30 +103,38 @@ func TestRunProgressCounterAndOnRow(t *testing.T) {
 
 func TestRunOptionsValidation(t *testing.T) {
 	cfgs := smallSpace().All()
-	if _, err := RunConfigs(cfgs, RunOptions{Packets: -1}); err == nil {
+	if _, err := RunConfigs(context.Background(), cfgs, RunOptions{Packets: -1}); err == nil {
 		t.Error("negative Packets should error")
 	}
-	if _, err := RunConfigs(cfgs, RunOptions{Workers: -2}); err == nil {
+	if _, err := RunConfigs(context.Background(), cfgs, RunOptions{Workers: -2}); err == nil {
 		t.Error("negative Workers should error")
 	}
-	if _, err := RunConfigs(cfgs, RunOptions{Resume: true}); err == nil {
+	if _, err := RunConfigs(context.Background(), cfgs, RunOptions{Resume: true}); err == nil {
 		t.Error("Resume without Checkpoint should error")
 	}
 }
 
 func TestConfigSeedsDistinct(t *testing.T) {
+	opts := RunOptions{BaseSeed: 42}
 	seen := make(map[uint64]bool)
 	for i := 0; i < 10000; i++ {
-		s := configSeed(42, i)
+		s := opts.seedFor(i)
 		if seen[s] {
 			t.Fatalf("duplicate seed at index %d", i)
 		}
 		seen[s] = true
 	}
+	// Under CRN pairing every configuration shares the index-0 seed.
+	opts.CRN = true
+	for i := 0; i < 100; i++ {
+		if opts.seedFor(i) != opts.seedFor(0) {
+			t.Fatalf("CRN seed differs at index %d", i)
+		}
+	}
 }
 
 func TestCSVRoundTrip(t *testing.T) {
-	rows, err := RunSpace(smallSpace(), RunOptions{Packets: 100, BaseSeed: 3, Fast: true})
+	rows, err := RunSpace(context.Background(), smallSpace(), RunOptions{Packets: 100, BaseSeed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,10 +177,10 @@ func TestReadCSVRejectsBadHeader(t *testing.T) {
 
 func TestReadCSVRejectsBadField(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := RunConfigs([]stack.Config{{
+	rows, err := RunConfigs(context.Background(), []stack.Config{{
 		DistanceM: 10, TxPower: 31, MaxTries: 1, QueueCap: 1,
 		PktInterval: 0.05, PayloadBytes: 20,
-	}}, RunOptions{Packets: 20, Fast: true})
+	}}, RunOptions{Packets: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +194,7 @@ func TestReadCSVRejectsBadField(t *testing.T) {
 }
 
 func TestToObservations(t *testing.T) {
-	rows, err := RunSpace(smallSpace(), RunOptions{Packets: 200, BaseSeed: 5, Fast: true})
+	rows, err := RunSpace(context.Background(), smallSpace(), RunOptions{Packets: 200, BaseSeed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +224,7 @@ func TestSweepCalibrationPipeline(t *testing.T) {
 		PktIntervals:  []float64{0.05},
 		PayloadsBytes: []int{5, 35, 65, 95, 110},
 	}
-	rows, err := RunSpace(space, RunOptions{Packets: 1500, BaseSeed: 11, Fast: true})
+	rows, err := RunSpace(context.Background(), space, RunOptions{Packets: 1500, BaseSeed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"wsnlink/internal/obs"
+	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 )
 
@@ -27,8 +28,8 @@ func configEvents(tr *obs.Tracer, cfg int) []obs.Event {
 func TestSweepTraceSampling(t *testing.T) {
 	cfgs := smallSpace().All() // 8 configurations
 	tr := obs.NewTracer(1 << 16)
-	if _, err := RunConfigs(cfgs, RunOptions{
-		Packets: 30, BaseSeed: 2, Fast: true,
+	if _, err := RunConfigs(context.Background(), cfgs, RunOptions{
+		Packets: 30, BaseSeed: 2,
 		Tracer: tr, TraceSample: 3,
 	}); err != nil {
 		t.Fatal(err)
@@ -46,7 +47,7 @@ func TestSweepTraceSampling(t *testing.T) {
 }
 
 func TestSweepTraceSampleValidation(t *testing.T) {
-	if _, err := RunConfigs(smallSpace().All(), RunOptions{TraceSample: -1, Fast: true}); err == nil {
+	if _, err := RunConfigs(context.Background(), smallSpace().All(), RunOptions{TraceSample: -1}); err == nil {
 		t.Error("negative TraceSample should error")
 	}
 }
@@ -57,8 +58,8 @@ func TestSweepTraceSampleValidation(t *testing.T) {
 // manifest alone.
 func TestSweepTraceSpanUsesCampaignFingerprint(t *testing.T) {
 	cfgs := smallSpace().All()
-	opts := RunOptions{Packets: 20, BaseSeed: 9, Fast: true, Tracer: obs.NewTracer(1 << 16)}
-	if _, err := RunConfigs(cfgs, opts); err != nil {
+	opts := RunOptions{Packets: 20, BaseSeed: 9, Tracer: obs.NewTracer(1 << 16)}
+	if _, err := RunConfigs(context.Background(), cfgs, opts); err != nil {
 		t.Fatal(err)
 	}
 	fp := CampaignFingerprint(cfgs, opts)
@@ -76,13 +77,13 @@ func TestSweepTraceSpanUsesCampaignFingerprint(t *testing.T) {
 // span IDs, same timestamps, same exported bytes.
 func TestSweepTraceStableAcrossKillAndResume(t *testing.T) {
 	cfgs := smallSpace().All()
-	base := RunOptions{Packets: 40, BaseSeed: 13, Fast: true, Workers: 2}
+	base := RunOptions{Packets: 40, BaseSeed: 13, Workers: 2}
 	lastCfg := len(cfgs) - 1
 
 	// Reference: one uninterrupted traced run.
 	ref := base
 	ref.Tracer = obs.NewTracer(1 << 16)
-	if _, err := RunConfigs(cfgs, ref); err != nil {
+	if _, err := RunConfigs(context.Background(), cfgs, ref); err != nil {
 		t.Fatal(err)
 	}
 
@@ -148,12 +149,12 @@ func TestSweepTraceStableAcrossKillAndResume(t *testing.T) {
 // dataset untouched (tracing never touches the per-configuration RNG).
 func TestSweepTraceDoesNotChangeRows(t *testing.T) {
 	cfgs := smallSpace().All()
-	plain, err := RunConfigs(cfgs, RunOptions{Packets: 30, BaseSeed: 4, Fast: true})
+	plain, err := RunConfigs(context.Background(), cfgs, RunOptions{Packets: 30, BaseSeed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	traced, err := RunConfigs(cfgs, RunOptions{
-		Packets: 30, BaseSeed: 4, Fast: true, Tracer: obs.NewTracer(1 << 16),
+	traced, err := RunConfigs(context.Background(), cfgs, RunOptions{
+		Packets: 30, BaseSeed: 4, Tracer: obs.NewTracer(1 << 16),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +171,9 @@ func TestSweepTraceDESPath(t *testing.T) {
 	// engine wiring are separate code paths).
 	cfgs := []stack.Config{smallSpace().All()[0]}
 	tr := obs.NewTracer(1 << 14)
-	if _, err := RunConfigs(cfgs, RunOptions{Packets: 25, BaseSeed: 1, Tracer: tr}); err != nil {
+	if _, err := RunConfigs(context.Background(), cfgs, RunOptions{
+		Packets: 25, BaseSeed: 1, Engine: sim.EngineDES, Tracer: tr,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() == 0 {

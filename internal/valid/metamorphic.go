@@ -7,6 +7,7 @@ import (
 
 	"wsnlink/internal/frame"
 	"wsnlink/internal/mac"
+	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/stats"
 	"wsnlink/internal/sweep"
@@ -168,11 +169,14 @@ func sweepReplicas(ctx context.Context, cfg stack.Config, opts Options) ([]sweep
 	for i := range cfgs {
 		cfgs[i] = cfg
 	}
-	rows, err := sweep.RunConfigsContext(ctx, cfgs, sweep.RunOptions{
+	ropts := sweep.RunOptions{
 		Packets:  opts.Packets,
 		BaseSeed: opts.BaseSeed,
-		Fast:     !opts.FullDES,
-	})
+	}
+	if opts.FullDES {
+		ropts.Engine = sim.EngineDES
+	}
+	rows, err := sweep.RunConfigs(ctx, cfgs, ropts)
 	if err != nil {
 		return nil, err
 	}

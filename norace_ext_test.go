@@ -1,0 +1,5 @@
+//go:build !race
+
+package wsnlink_test
+
+const raceEnabled = false

@@ -50,41 +50,87 @@ func DefaultSpace() Space { return stack.DefaultSpace() }
 
 // Simulation.
 type (
-	// SimOptions configures a simulation run.
+	// SimOptions configures a simulation run; its Engine field selects the
+	// simulator for Simulate (EngineFast, the zero value, by default).
 	SimOptions = sim.Options
 	// SimResult is a raw simulation outcome.
 	SimResult = sim.Result
+	// SimBatchOptions configures a SimulateBatch call: packets, explicit
+	// per-configuration seeds (or a BaseSeed to derive them), channel and
+	// error-model overrides, and an optional reusable arena.
+	SimBatchOptions = sim.BatchOptions
+	// SimBatchArena is the reusable scratch state of the batch kernel;
+	// allocate one with NewSimBatchArena and pass it through
+	// SimBatchOptions.Arena to make repeated SimulateBatch calls
+	// allocation-free.
+	SimBatchArena = sim.BatchArena
+	// EngineKind selects a simulator engine for SimOptions.Engine and
+	// SweepOptions.Engine.
+	EngineKind = sim.EngineKind
 	// ChannelParams configures the radio environment.
 	ChannelParams = channel.Params
 	// Report holds the four derived performance metrics for a run.
 	Report = metrics.Report
 )
 
-// SimulateContext runs one configuration on the event-driven simulator,
-// checking ctx for cancellation and deadline between packets. This is the
-// context-first entry point; Simulate is the compatibility wrapper.
+// Simulator engines.
+const (
+	// EngineFast is the Monte-Carlo fast path (the default): identical
+	// loss statistics, backoff jitter averaged out, orders of magnitude
+	// faster. Campaign-scale work should use it.
+	EngineFast = sim.EngineFast
+	// EngineDES is the full event-driven simulator: every backoff is
+	// sampled, every event is played through the event heap.
+	EngineDES = sim.EngineDES
+)
+
+// Simulate runs one configuration, honoring ctx for cancellation and
+// deadline between packets. The engine is selected by opts.Engine:
+// EngineFast (the zero value) or EngineDES. This is the single entry point
+// the deprecated Simulate* variants collapse into.
+func Simulate(ctx context.Context, cfg Config, opts SimOptions) (SimResult, error) {
+	return sim.Simulate(ctx, cfg, opts)
+}
+
+// SimulateBatch runs many configurations through the batch kernel in one
+// call: lookup tables are computed once, per-lane state is reused from the
+// optional arena, and configuration i runs exactly as a single Simulate
+// call with the same seed would (row-identical; the equivalence is pinned
+// by tests). Per-configuration failures land in errs (nil when every lane
+// succeeded) without disturbing the other lanes; err reports malformed
+// batch options. The returned results are valid until the next call that
+// reuses the same arena.
+func SimulateBatch(ctx context.Context, cfgs []Config, opts SimBatchOptions) (results []SimResult, errs []error, err error) {
+	return sim.RunBatch(ctx, cfgs, opts)
+}
+
+// NewSimBatchArena returns an empty batch arena for SimBatchOptions.Arena.
+func NewSimBatchArena() *SimBatchArena { return sim.NewBatchArena() }
+
+// DeriveSeed returns the deterministic per-configuration seed a campaign
+// assigns to index idx under a base seed — the same derivation the sweep
+// engine uses, so hand-rolled SimulateBatch calls can reproduce (or pair
+// with) a sweep's rows exactly.
+func DeriveSeed(base uint64, idx int) uint64 { return sim.DeriveSeed(base, idx) }
+
+// SimulateContext runs one configuration on the event-driven simulator.
+//
+// Deprecated: call Simulate with opts.Engine = EngineDES.
 func SimulateContext(ctx context.Context, cfg Config, opts SimOptions) (SimResult, error) {
 	return sim.RunContext(ctx, cfg, opts)
 }
 
-// SimulateFastContext runs one configuration on the Monte-Carlo fast path
-// with cancellation checked between packets.
+// SimulateFastContext runs one configuration on the Monte-Carlo fast path.
+//
+// Deprecated: call Simulate (EngineFast is the default engine).
 func SimulateFastContext(ctx context.Context, cfg Config, opts SimOptions) (SimResult, error) {
 	return sim.RunFastContext(ctx, cfg, opts)
 }
 
-// Simulate runs one configuration on the event-driven simulator.
+// SimulateFast runs one configuration on the Monte-Carlo fast path without
+// cancellation.
 //
-// Compatibility wrapper: equivalent to SimulateContext with
-// context.Background(). New code that may need to cancel long runs should
-// call SimulateContext.
-func Simulate(cfg Config, opts SimOptions) (SimResult, error) {
-	return sim.Run(cfg, opts)
-}
-
-// SimulateFast runs one configuration on the Monte-Carlo fast path.
-//
-// Compatibility wrapper over SimulateFastContext with context.Background().
+// Deprecated: call Simulate with context.Background().
 func SimulateFast(cfg Config, opts SimOptions) (SimResult, error) {
 	return sim.RunFast(cfg, opts)
 }
@@ -99,12 +145,12 @@ func DefaultChannel() ChannelParams { return channel.DefaultParams() }
 type (
 	// SweepRow is one aggregated configuration result.
 	SweepRow = sweep.Row
-	// SweepOptions configures a campaign run: scale knobs (Packets,
-	// BaseSeed, Workers, Fast), progress plumbing (Progress, OnRow),
-	// observability sinks (Metrics, Tracer, TraceSample), the
-	// per-configuration error policy, and checkpoint/resume paths. The
-	// knobs are validated once on entry; batch and streaming modes share
-	// the same defaulting path.
+	// SweepOptions configures a campaign run: identity knobs (Packets,
+	// BaseSeed, Engine, CRN), execution knobs (Workers, BatchSize),
+	// progress plumbing (Progress, OnRow), observability sinks (Metrics,
+	// Tracer, TraceSample), the per-configuration error policy, and
+	// checkpoint/resume paths. The knobs are validated once on entry;
+	// batch and streaming modes share the same defaulting path.
 	SweepOptions = sweep.RunOptions
 	// SweepCheckpoint describes a campaign's resumable progress.
 	SweepCheckpoint = sweep.Checkpoint
@@ -136,19 +182,20 @@ func SweepStream(ctx context.Context, space Space, opts SweepOptions, yield func
 	return sweep.StreamSpace(ctx, space, opts, yield)
 }
 
-// SweepContext collects a campaign into a slice, honoring ctx. Rows
-// completed before an error are returned alongside the non-nil error.
-func SweepContext(ctx context.Context, space Space, opts SweepOptions) ([]SweepRow, error) {
-	return sweep.RunSpaceContext(ctx, space, opts)
+// Sweep simulates every configuration of a space in parallel and collects
+// the rows, honoring ctx. Rows completed before an error are returned
+// alongside the non-nil error. It materializes every row, so prefer
+// SweepStream for campaign-scale spaces or when cancellation/resume
+// matters.
+func Sweep(ctx context.Context, space Space, opts SweepOptions) ([]SweepRow, error) {
+	return sweep.RunSpace(ctx, space, opts)
 }
 
-// Sweep simulates every configuration of a space in parallel.
+// SweepContext collects a campaign into a slice, honoring ctx.
 //
-// Compatibility wrapper: equivalent to SweepContext with
-// context.Background(). It materializes every row, so prefer SweepStream
-// for campaign-scale spaces or when cancellation/resume matters.
-func Sweep(space Space, opts SweepOptions) ([]SweepRow, error) {
-	return sweep.RunSpace(space, opts)
+// Deprecated: call Sweep, which is now context-first.
+func SweepContext(ctx context.Context, space Space, opts SweepOptions) ([]SweepRow, error) {
+	return sweep.RunSpace(ctx, space, opts)
 }
 
 // LoadSweepCheckpoint reads a checkpoint sidecar written by a checkpointed
@@ -160,7 +207,8 @@ func LoadSweepCheckpoint(path string) (SweepCheckpoint, error) {
 // SweepFingerprint returns the campaign identity hash recorded by
 // checkpoint sidecars and run manifests: it covers every configuration of
 // the space plus the option knobs that change row content (Packets,
-// BaseSeed, Fast).
+// BaseSeed, Engine, CRN). Execution knobs (Workers, BatchSize) are not
+// hashed.
 func SweepFingerprint(space Space, opts SweepOptions) (uint64, error) {
 	if err := space.Validate(); err != nil {
 		return 0, err
@@ -175,9 +223,9 @@ type (
 	// CampaignClient talks to a wsnlinkd daemon.
 	CampaignClient = serve.Client
 	// CampaignSpec is a campaign submission: the parameter space plus the
-	// identity knobs (Packets, BaseSeed, FullDES) that determine the
-	// campaign fingerprint, and execution knobs (Workers, DeadlineS,
-	// TraceSample).
+	// identity knobs (Packets, BaseSeed, FullDES, CRN) that determine the
+	// campaign fingerprint, and execution knobs (Workers, BatchSize,
+	// DeadlineS, TraceSample).
 	CampaignSpec = serve.CampaignSpec
 	// CampaignSpaceSpec is the wire form of a swept space; empty axes
 	// fall back to the Table I defaults.

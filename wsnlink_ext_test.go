@@ -2,6 +2,7 @@ package wsnlink_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"wsnlink"
@@ -12,7 +13,7 @@ func TestFacadeTraceRoundTrip(t *testing.T) {
 		DistanceM: 30, TxPower: 11, MaxTries: 3, QueueCap: 10,
 		PktInterval: 0.05, PayloadBytes: 80,
 	}
-	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{
+	res, err := wsnlink.Simulate(context.Background(), cfg, wsnlink.SimOptions{
 		Packets: 300, Seed: 2, RecordPackets: true,
 	})
 	if err != nil {

@@ -25,7 +25,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		PktInterval:  0.050,
 		PayloadBytes: 80,
 	}
-	res, err := wsnlink.Simulate(cfg, wsnlink.SimOptions{Packets: 500, Seed: 5})
+	res, err := wsnlink.Simulate(context.Background(), cfg, wsnlink.SimOptions{Packets: 500, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFacadeSweepAndCalibrate(t *testing.T) {
 		PktIntervals:  []float64{0.05},
 		PayloadsBytes: []int{20, 65, 110},
 	}
-	rows, err := wsnlink.Sweep(space, wsnlink.SweepOptions{Packets: 300, Fast: true})
+	rows, err := wsnlink.Sweep(context.Background(), space, wsnlink.SweepOptions{Packets: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestFacadeSweepStreamCancelMidYield(t *testing.T) {
 		PktIntervals:  []float64{0.05},
 		PayloadsBytes: []int{20, 110},
 	}
-	opts := wsnlink.SweepOptions{Packets: 60, BaseSeed: 11, Fast: true}
+	opts := wsnlink.SweepOptions{Packets: 60, BaseSeed: 11}
 	all, err := wsnlink.SweepContext(context.Background(), space, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -187,8 +187,8 @@ func TestFacadeLifecycleTracing(t *testing.T) {
 		PayloadsBytes: []int{110},
 	}
 	tr := wsnlink.NewTracer(1 << 14)
-	opts := wsnlink.SweepOptions{Packets: 40, BaseSeed: 3, Fast: true, Tracer: tr}
-	if _, err := wsnlink.Sweep(space, opts); err != nil {
+	opts := wsnlink.SweepOptions{Packets: 40, BaseSeed: 3, Tracer: tr}
+	if _, err := wsnlink.Sweep(context.Background(), space, opts); err != nil {
 		t.Fatal(err)
 	}
 	events := tr.Events()
