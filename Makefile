@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-e2e validate bench bench-json bench-check vulncheck verify
+.PHONY: build test vet race service-e2e validate validate-scenarios bench bench-json bench-check vulncheck verify
 
 # Benchmarks the committed BENCH_2.json baseline tracks: the batch kernel
 # (the configs_per_sec headline), sweep throughput, the per-configuration
@@ -20,11 +20,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sweep engine, simulator, telemetry layer and campaign service are the
-# concurrency-heavy packages; run them (and the CLI/daemon e2e tests) under
-# the race detector.
+# The sweep engine, simulators (link and the scenario family), telemetry
+# layer and campaign service are the concurrency-heavy packages; run them
+# (and the CLI/daemon e2e tests) under the race detector.
 race:
 	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./internal/serve \
+		./internal/scenario ./internal/netsim ./internal/interference \
+		./internal/lpl ./internal/mobility \
 		./cmd/wsnsweep ./cmd/wsnlinkd
 
 # The daemon e2e suite on its own: boots wsnlinkd on a loopback port and
@@ -55,6 +57,14 @@ validate:
 	/tmp/wsnvalid -seed 3 -q -out /tmp/wsnvalid-3.json
 	/tmp/wsnvalid -seed 1 -des -seeds 16 -packets 500 -q
 
+# The scenario extension of the validation harness: star/link exactness,
+# shared-medium conservation, goodput bounds and scenario metamorphic laws
+# across two base seeds (DESIGN.md §8).
+validate-scenarios:
+	$(GO) build -o /tmp/wsnvalid ./cmd/wsnvalid
+	/tmp/wsnvalid -scenarios -seed 1 -q -out /tmp/wsnvalid-scn-1.json
+	/tmp/wsnvalid -scenarios -seed 2 -q -out /tmp/wsnvalid-scn-2.json
+
 # Regenerate the committed benchmark baseline as JSON.
 bench-json:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
@@ -69,4 +79,4 @@ bench-check:
 		| /tmp/benchjson -baseline BENCH_2.json > /dev/null
 
 # The full quality gate (DESIGN.md §6).
-verify: build vet test race validate
+verify: build vet test race validate validate-scenarios

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wsnlink/internal/obs"
+	"wsnlink/internal/scenario"
 	"wsnlink/internal/serve"
 	"wsnlink/internal/sweep"
 )
@@ -318,6 +319,123 @@ func TestDaemonKillRestartResume(t *testing.T) {
 	if n := bytes.Count(resumed, []byte("\n")); n != st.Configs {
 		t.Fatalf("resumed stream has %d rows, want %d", n, st.Configs)
 	}
+}
+
+// TestDaemonStarScenarioResumeAndCacheReplay is the scenario-campaign e2e:
+// a star (non-link) campaign submitted to the daemon runs under the scenario
+// row schema, survives a mid-campaign kill with a fingerprint-matched
+// checkpoint, resumes byte-identically after restart, and replays
+// byte-identically from the result cache on resubmission.
+func TestDaemonStarScenarioResumeAndCacheReplay(t *testing.T) {
+	dir := t.TempDir()
+	spec := slowSpec()
+	spec.Packets = 8000
+	spec.Scenario = "star"
+	spec.Star = &scenario.StarParams{Nodes: 4}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	d1 := startDaemon(t, dir)
+	c1 := serve.NewClient(d1.url)
+	st, err := c1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Kill mid-campaign, watching the checkpoint sidecar on disk (see
+	// TestDaemonKillRestartResume for why not over HTTP).
+	store, err := serve.OpenStore(dir)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	ckPath := store.SpoolCheckpoint(st.Fingerprint)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if ck, err := sweep.LoadCheckpoint(ckPath); err == nil && ck.Done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for mid-campaign checkpoint progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d1.stop()
+
+	ck, err := sweep.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after kill: %v", err)
+	}
+	if obs.FormatFingerprint(ck.Fingerprint) != st.Fingerprint {
+		t.Fatalf("checkpoint fingerprint %016x does not match job %s", ck.Fingerprint, st.Fingerprint)
+	}
+	if ck.Done == 0 || ck.Done >= st.Configs {
+		t.Fatalf("checkpoint Done = %d, want a strict mid-campaign prefix of %d", ck.Done, st.Configs)
+	}
+
+	// Restart on the same data directory: the star campaign resumes itself.
+	d2 := startDaemon(t, dir)
+	c2 := serve.NewClient(d2.url)
+	fin := waitJob(t, c2, st.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone }, "resumed star campaign")
+	if fin.ResumedFrom == 0 {
+		t.Fatalf("restart did not resume from the checkpoint: %+v", fin.Job)
+	}
+	resumed := rawScenarioRows(t, d2.url, st.ID, "star")
+
+	// Reference: the same star campaign on a fresh daemon, never interrupted.
+	d3 := startDaemon(t, t.TempDir())
+	c3 := serve.NewClient(d3.url)
+	ref, err := c3.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit reference: %v", err)
+	}
+	waitJob(t, c3, ref.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone }, "reference star campaign")
+	fresh := rawScenarioRows(t, d3.url, ref.ID, "star")
+	if !bytes.Equal(resumed, fresh) {
+		t.Fatalf("resumed star dataset is not byte-identical to an uninterrupted run (%d vs %d bytes)",
+			len(resumed), len(fresh))
+	}
+
+	// Resubmission answers from the cache — no simulation — with identical
+	// bytes: the cache-replay proof for a non-link scenario.
+	second, err := c2.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !second.CacheHit || second.State != serve.StateDone {
+		t.Fatalf("resubmission must be a completed cache hit, got %+v", second.Job)
+	}
+	if second.StartedMs != 0 {
+		t.Fatal("cache hit must not have invoked the simulator")
+	}
+	replay := rawScenarioRows(t, d2.url, second.ID, "star")
+	if !bytes.Equal(resumed, replay) {
+		t.Fatalf("cache replay is not byte-identical (%d vs %d bytes)", len(resumed), len(replay))
+	}
+	if n := bytes.Count(replay, []byte(`"scenario":"star"`)); n != st.Configs {
+		t.Fatalf("stream tags %d rows as star, campaign has %d configurations", n, st.Configs)
+	}
+}
+
+// rawScenarioRows fetches a finished scenario job's NDJSON stream and checks
+// the scenario response header.
+func rawScenarioRows(t *testing.T, baseURL, id, kind string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/campaigns/" + id + "/rows")
+	if err != nil {
+		t.Fatalf("GET rows: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET rows: %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Campaign-Scenario"); got != kind {
+		t.Fatalf("X-Campaign-Scenario = %q, want %q", got, kind)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read rows: %v", err)
+	}
+	return data
 }
 
 // TestDaemonClientRunReconnects drives Client.Run against a daemon and

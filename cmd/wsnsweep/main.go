@@ -47,6 +47,7 @@ import (
 	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
+	"wsnlink/internal/scenario"
 	"wsnlink/internal/serve"
 	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
@@ -86,6 +87,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		traceSample = fs.Int("trace-sample", 1, "trace every Nth configuration (with -trace-out)")
 		remote      = fs.String("remote", "", "run the campaign on a wsnlinkd daemon at this base URL, e.g. http://localhost:8080")
 		version     = fs.Bool("version", false, "print version and exit")
+
+		scenarioKind = fs.String("scenario", "", "campaign scenario: link (default), star, interference, lpl, mobility")
+		nodes        = fs.Int("nodes", 0, "star: contending senders (0 = default 2)")
+		wakeInterval = fs.Float64("wake-interval", 0, "lpl: receiver wake interval in seconds (0 = default 0.25)")
+		interfDuty   = fs.Float64("interference-duty", 0, "interference: interferer ON fraction (0 = default 0.2)")
+		interfPower  = fs.Float64("interference-power", 0, "interference: interferer power at the victim in dBm (0 = default -80)")
+		speedMax     = fs.Float64("speed-max", 0, "mobility: maximum leg speed in m/s (0 = default 1.5)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +133,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	cfgs := space.All()
 
+	scn, err := buildScenarioSpec(*scenarioKind, *nodes, *wakeInterval, *interfDuty, *interfPower, *speedMax)
+	if err != nil {
+		return err
+	}
+
 	if *remote != "" {
 		// The daemon owns durability and telemetry for remote campaigns:
 		// its spool checkpoints every row and its /debug endpoints serve
@@ -147,8 +160,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			CRN:       *crn,
 			Workers:   *workers,
 			BatchSize: *batchSize,
+			Scenario:  string(scn.Kind),
+			Star:      scn.Star, Interference: scn.Interference,
+			LPL: scn.LPL, Mobility: scn.Mobility,
 		}
-		return runRemote(ctx, *remote, spec, *out, *progress, stdout, stderr)
+		return runRemote(ctx, *remote, spec, scn.Kind, *out, *progress, stdout, stderr)
 	}
 
 	if *resume {
@@ -194,7 +210,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	opts.Progress = &prog
 	if *pprofAddr != "" {
 		obs.PublishExpvar("wsnsweep", opts.Metrics)
-		fp := obs.FormatFingerprint(sweep.CampaignFingerprint(cfgs, opts))
+		fp := obs.FormatFingerprint(campaignFP(scn, cfgs, opts))
 		obs.PublishCampaign(func() obs.CampaignStatus {
 			ps := prog.Snapshot()
 			return obs.CampaignStatus{
@@ -228,26 +244,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "debug server on http://%s/debug/campaign (pprof: /debug/pprof, telemetry: /debug/vars)\n", dbg.Addr)
 	}
 
-	// Open the output and position the encoder. On resume, only the
+	// Open the output and position the codec. On resume, only the
 	// checkpointed prefix of the existing CSV is trusted: the file is
 	// rewritten to exactly that prefix (a crash can leave a torn extra
-	// row), then streaming appends continue after it.
-	var enc *sweep.Encoder
+	// row), then streaming appends continue after it. The codec picks the
+	// dataset schema — legacy 30-column link CSV, byte-for-byte unchanged,
+	// or the wider scenario schema for the other kinds.
+	codec := newCampaignCodec(scn)
 	done := 0
 	if *out == "-" {
-		enc = sweep.NewEncoder(stdout)
-		if err := enc.WriteHeader(); err != nil {
+		codec.Bind(stdout)
+		if err := codec.WriteHeader(); err != nil {
 			return err
 		}
 	} else {
-		var prefix []sweep.Row
 		if *resume {
 			ck, err := sweep.LoadCheckpoint(*checkpoint)
 			if err != nil {
 				return fmt.Errorf("load checkpoint: %w", err)
 			}
-			prefix, err = readPrefix(*out, ck.Done)
-			if err != nil {
+			// Read the trusted prefix before os.Create truncates the file.
+			if err := codec.ReadPrefix(*out, ck.Done); err != nil {
 				return err
 			}
 			done = ck.Done
@@ -257,16 +274,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		enc = sweep.NewEncoder(f)
-		if err := enc.WriteHeader(); err != nil {
+		codec.Bind(f)
+		if err := codec.WriteHeader(); err != nil {
 			return err
 		}
-		for _, r := range prefix {
-			if err := enc.Encode(r); err != nil {
-				return err
-			}
-		}
-		if err := enc.Flush(); err != nil {
+		if err := codec.WritePrefix(); err != nil {
 			return err
 		}
 	}
@@ -298,14 +310,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	wallStart := time.Now()
-	err := sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
-		if err := enc.Encode(r); err != nil {
-			return err
-		}
-		// Flush before the engine checkpoints the row, so the CSV is
-		// always at least as long as the checkpoint says.
-		return enc.Flush()
-	})
+	err = codec.Stream(ctx, cfgs, opts)
 	wall := time.Since(wallStart)
 	if *progress {
 		fmt.Fprintln(stderr)
@@ -335,14 +340,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		if errors.Is(err, context.Canceled) && *checkpoint != "" {
 			fmt.Fprintf(stderr, "interrupted after %d rows; continue with -resume -checkpoint %s\n",
-				enc.Rows(), *checkpoint)
+				codec.Rows(), *checkpoint)
 		}
 		return err
 	}
-	fmt.Fprintf(stderr, "wrote %d rows to %s\n", enc.Rows(), *out)
+	fmt.Fprintf(stderr, "wrote %d rows to %s\n", codec.Rows(), *out)
 
 	if *manifest != "" {
-		man := buildManifest(space, cfgs, opts, *resume, done, enc.Rows(), wall, *traceOut)
+		man := buildManifest(scn, space, cfgs, opts, *resume, done, codec.Rows(), wall, *traceOut)
 		if err := man.WriteFile(*manifest); err != nil {
 			return err
 		}
@@ -355,20 +360,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 // into the local output, reconnecting with index-based resume if the
 // connection drops. The daemon deduplicates by campaign fingerprint, so an
 // identical earlier campaign is served straight from its result cache.
-func runRemote(ctx context.Context, baseURL string, spec serve.CampaignSpec, out string, progress bool, stdout, stderr io.Writer) error {
-	var enc *sweep.Encoder
+// Link campaigns land in the legacy CSV schema; other scenario kinds land
+// in the scenario schema, matching a local run of the same spec.
+func runRemote(ctx context.Context, baseURL string, spec serve.CampaignSpec, kind scenario.Kind, out string, progress bool, stdout, stderr io.Writer) error {
+	var w io.Writer = stdout
 	closeOut := func() error { return nil }
-	if out == "-" {
-		enc = sweep.NewEncoder(stdout)
-	} else {
+	if out != "-" {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		closeOut = f.Close
-		enc = sweep.NewEncoder(f)
+		w = f
 	}
-	if err := enc.WriteHeader(); err != nil {
+	var (
+		writeHeader func() error
+		encodeRow   func(serve.StreamedRow) error
+		flush       func() error
+		rows        func() int
+	)
+	if kind == scenario.KindLink {
+		enc := sweep.NewEncoder(w)
+		writeHeader = enc.WriteHeader
+		encodeRow = func(r serve.StreamedRow) error { return enc.Encode(r.Row) }
+		flush, rows = enc.Flush, enc.Rows
+	} else {
+		enc := sweep.NewScenarioEncoder(w)
+		writeHeader = enc.WriteHeader
+		encodeRow = func(r serve.StreamedRow) error { return enc.Encode(r.ScenarioRow()) }
+		flush, rows = enc.Flush, enc.Rows
+	}
+	if err := writeHeader(); err != nil {
 		closeOut() //nolint:errcheck // the write error wins
 		return err
 	}
@@ -376,7 +398,7 @@ func runRemote(ctx context.Context, baseURL string, spec serve.CampaignSpec, out
 	total := spec.Space.Space().Size()
 	fmt.Fprintf(stderr, "submitting %d configurations x %d packets to %s\n", total, spec.Packets, baseURL)
 	st, err := serve.NewClient(baseURL).Run(ctx, spec, func(r serve.StreamedRow) error {
-		if err := enc.Encode(r.Row); err != nil {
+		if err := encodeRow(r); err != nil {
 			return err
 		}
 		if progress && (r.Index+1)%100 == 0 {
@@ -387,7 +409,7 @@ func runRemote(ctx context.Context, baseURL string, spec serve.CampaignSpec, out
 	if progress {
 		fmt.Fprintln(stderr)
 	}
-	if ferr := enc.Flush(); err == nil {
+	if ferr := flush(); err == nil {
 		err = ferr
 	}
 	if cerr := closeOut(); err == nil {
@@ -399,31 +421,211 @@ func runRemote(ctx context.Context, baseURL string, spec serve.CampaignSpec, out
 	if st.CacheHit {
 		fmt.Fprintf(stderr, "served from the daemon's result cache (campaign %s)\n", st.Fingerprint)
 	}
-	fmt.Fprintf(stderr, "wrote %d rows to %s (job %s, fingerprint %s)\n", enc.Rows(), out, st.ID, st.Fingerprint)
+	fmt.Fprintf(stderr, "wrote %d rows to %s (job %s, fingerprint %s)\n", rows(), out, st.ID, st.Fingerprint)
 	return nil
+}
+
+// buildScenarioSpec maps the scenario CLI flags onto a normalized
+// scenario.Spec. A parameter block is attached only when one of its flags
+// was set, so Normalize both fills the remaining defaults and rejects
+// flags that don't belong to the selected kind (e.g. -nodes with
+// -scenario lpl).
+func buildScenarioSpec(kind string, nodes int, wake, duty, power, speedMax float64) (scenario.Spec, error) {
+	s := scenario.Spec{Kind: scenario.Kind(kind)}
+	if nodes != 0 {
+		s.Star = &scenario.StarParams{Nodes: nodes}
+	}
+	if wake != 0 {
+		s.LPL = &scenario.LPLParams{WakeIntervalS: wake}
+	}
+	if duty != 0 || power != 0 {
+		s.Interference = &scenario.InterferenceParams{DutyCycle: duty, PowerAtVictimDBm: power}
+	}
+	if speedMax != 0 {
+		s.Mobility = &scenario.MobilityParams{SpeedMaxMPS: speedMax}
+	}
+	if err := s.Normalize(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return s, nil
+}
+
+// campaignFP is the scenario-aware campaign identity: link campaigns keep
+// the legacy link fingerprint (existing checkpoints and daemon cache
+// entries stay valid), other kinds hash the scenario namespace. Either way
+// it matches the fingerprint the engine stamps into the checkpoint sidecar.
+func campaignFP(scn scenario.Spec, cfgs []stack.Config, opts sweep.RunOptions) uint64 {
+	if scn.Kind == scenario.KindLink {
+		return sweep.CampaignFingerprint(cfgs, opts)
+	}
+	fp, err := sweep.ScenarioFingerprint(scn, cfgs, opts)
+	if err != nil {
+		// scn was normalized at flag parsing and Normalize is idempotent.
+		panic("wsnsweep: fingerprint spec: " + err.Error())
+	}
+	return fp
+}
+
+// scenarioParams renders the active parameter block as canonical JSON for
+// the manifest; nil for link campaigns, which have no block.
+func scenarioParams(scn scenario.Spec) json.RawMessage {
+	var v any
+	switch {
+	case scn.Star != nil:
+		v = scn.Star
+	case scn.Interference != nil:
+		v = scn.Interference
+	case scn.LPL != nil:
+		v = scn.LPL
+	case scn.Mobility != nil:
+		v = scn.Mobility
+	default:
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// campaignCodec abstracts the dataset schema over the two row shapes so
+// run() streams, resumes and counts rows without caring which simulator
+// family produced them. ReadPrefix must be called before the output file
+// is truncated; Bind attaches the destination writer.
+type campaignCodec interface {
+	Bind(w io.Writer)
+	WriteHeader() error
+	ReadPrefix(path string, done int) error
+	WritePrefix() error
+	Stream(ctx context.Context, cfgs []stack.Config, opts sweep.RunOptions) error
+	Rows() int
+}
+
+// newCampaignCodec picks the schema for the campaign: the link kind keeps
+// the legacy CSV (and the legacy checkpoint fingerprint inside
+// StreamConfigs); every other kind streams the scenario schema.
+func newCampaignCodec(scn scenario.Spec) campaignCodec {
+	if scn.Kind == scenario.KindLink {
+		return &linkCodec{}
+	}
+	return &scenarioCodec{spec: scn}
+}
+
+// linkCodec streams the legacy 30-column link dataset.
+type linkCodec struct {
+	enc    *sweep.Encoder
+	prefix []sweep.Row
+}
+
+func (c *linkCodec) Bind(w io.Writer)   { c.enc = sweep.NewEncoder(w) }
+func (c *linkCodec) WriteHeader() error { return c.enc.WriteHeader() }
+func (c *linkCodec) Rows() int          { return c.enc.Rows() }
+
+func (c *linkCodec) ReadPrefix(path string, done int) error {
+	rows, err := readPrefix(path, done)
+	if err != nil {
+		return err
+	}
+	c.prefix = rows
+	return nil
+}
+
+func (c *linkCodec) WritePrefix() error {
+	for _, r := range c.prefix {
+		if err := c.enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return c.enc.Flush()
+}
+
+func (c *linkCodec) Stream(ctx context.Context, cfgs []stack.Config, opts sweep.RunOptions) error {
+	return sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
+		if err := c.enc.Encode(r); err != nil {
+			return err
+		}
+		// Flush before the engine checkpoints the row, so the CSV is
+		// always at least as long as the checkpoint says.
+		return c.enc.Flush()
+	})
+}
+
+// scenarioCodec streams the scenario dataset schema (scenario column, link
+// columns, network columns) with the same resume contract as linkCodec.
+type scenarioCodec struct {
+	spec   scenario.Spec
+	enc    *sweep.ScenarioEncoder
+	prefix []scenario.Row
+}
+
+func (c *scenarioCodec) Bind(w io.Writer)   { c.enc = sweep.NewScenarioEncoder(w) }
+func (c *scenarioCodec) WriteHeader() error { return c.enc.WriteHeader() }
+func (c *scenarioCodec) Rows() int          { return c.enc.Rows() }
+
+func (c *scenarioCodec) ReadPrefix(path string, done int) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) && done == 0 {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadScenarioCSVHead(f, done)
+	if err != nil {
+		return fmt.Errorf("existing dataset %s: %w", path, err)
+	}
+	if len(rows) < done {
+		return fmt.Errorf("dataset %s has %d rows but checkpoint records %d; "+
+			"delete both to restart", path, len(rows), done)
+	}
+	c.prefix = rows
+	return nil
+}
+
+func (c *scenarioCodec) WritePrefix() error {
+	for _, r := range c.prefix {
+		if err := c.enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return c.enc.Flush()
+}
+
+func (c *scenarioCodec) Stream(ctx context.Context, cfgs []stack.Config, opts sweep.RunOptions) error {
+	return sweep.StreamScenarios(ctx, c.spec, cfgs, opts, func(r scenario.Row) error {
+		if err := c.enc.Encode(r); err != nil {
+			return err
+		}
+		// Same flush-before-checkpoint ordering as the link path.
+		return c.enc.Flush()
+	})
 }
 
 // buildManifest assembles the run's reproducibility record. The volatile
 // fields (wall time, rates inside the metric snapshot) differ between
 // runs; the identity fields (fingerprint, seed, space, rows) are what a
 // kill-and-resume run must reproduce exactly.
-func buildManifest(space stack.Space, cfgs []stack.Config, opts sweep.RunOptions,
+func buildManifest(scn scenario.Spec, space stack.Space, cfgs []stack.Config, opts sweep.RunOptions,
 	resumed bool, resumedFrom, rows int, wall time.Duration, tracePath string) obs.Manifest {
 	man := obs.Manifest{
-		Schema:      obs.ManifestSchema,
-		Tool:        "wsnsweep",
-		GoVersion:   runtime.Version(),
-		Provenance:  buildProvenance(),
-		Fingerprint: obs.FormatFingerprint(sweep.CampaignFingerprint(cfgs, opts)),
-		BaseSeed:    opts.BaseSeed,
-		Packets:     opts.Packets,
-		Fast:        opts.Engine == sim.EngineFast,
-		Configs:     len(cfgs),
-		Rows:        rows,
-		Resumed:     resumed,
-		ResumedFrom: resumedFrom,
-		Axes:        spaceAxes(space),
-		WallTimeS:   wall.Seconds(),
+		Schema:         obs.ManifestSchema,
+		Tool:           "wsnsweep",
+		GoVersion:      runtime.Version(),
+		Provenance:     buildProvenance(),
+		Fingerprint:    obs.FormatFingerprint(campaignFP(scn, cfgs, opts)),
+		Scenario:       string(scn.Kind),
+		ScenarioParams: scenarioParams(scn),
+		BaseSeed:       opts.BaseSeed,
+		Packets:        opts.Packets,
+		Fast:           opts.Engine == sim.EngineFast,
+		Configs:        len(cfgs),
+		Rows:           rows,
+		Resumed:        resumed,
+		ResumedFrom:    resumedFrom,
+		Axes:           spaceAxes(space),
+		WallTimeS:      wall.Seconds(),
 	}
 	if opts.Metrics != nil {
 		snap := opts.Metrics.Snapshot()

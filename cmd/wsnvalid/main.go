@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	wsnvalid [-seed N] [-seeds N] [-packets N] [-des] [-out report.json] [-q]
+//	wsnvalid [-seed N] [-seeds N] [-packets N] [-des] [-scenarios] [-out report.json] [-q]
 package main
 
 import (
@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seeds   = fs.Int("seeds", 0, "seed-paired replicas per metamorphic law (0 = default 64)")
 		packets = fs.Int("packets", 0, "packets per simulated configuration (0 = default 2000)")
 		des     = fs.Bool("des", false, "exercise the event-driven simulator instead of the fast path")
+		scen    = fs.Bool("scenarios", false, "extend the suite to the scenario engine (star/interference/LPL oracles and laws)")
 		out     = fs.String("out", "", "write the JSON verdict manifest to this path")
 		quiet   = fs.Bool("q", false, "print only the verdict line")
 		version = fs.Bool("version", false, "print version and exit")
@@ -67,10 +68,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer stop()
 
 	report, err := valid.Run(ctx, valid.Options{
-		BaseSeed: *seed,
-		Seeds:    *seeds,
-		Packets:  *packets,
-		FullDES:  *des,
+		BaseSeed:  *seed,
+		Seeds:     *seeds,
+		Packets:   *packets,
+		FullDES:   *des,
+		Scenarios: *scen,
 	})
 	if err != nil {
 		return err

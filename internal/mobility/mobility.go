@@ -189,6 +189,13 @@ func (l *MobileLink) Advance(dt float64) {
 	}
 }
 
+// RSSI returns the instantaneous received signal strength at the given
+// transmit power: the distance-dependent mean plus the fading state. It
+// draws nothing from the RNG.
+func (l *MobileLink) RSSI(txDBm float64) float64 {
+	return l.params.MeanRSSI(txDBm, l.Distance()) + l.fadeDB
+}
+
 // SNR returns the instantaneous SNR at the given transmit power: distance-
 // dependent mean plus fading, against a fresh noise sample.
 func (l *MobileLink) SNR(txDBm float64) float64 {

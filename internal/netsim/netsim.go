@@ -12,6 +12,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +47,12 @@ type Options struct {
 	// CongestionBackoffMean is the mean congestion backoff (default:
 	// half the initial backoff mean, per the TinyOS stack).
 	CongestionBackoffMean float64
+	// NodeSeeds, when non-empty, gives each node's RNG seed explicitly
+	// (len must equal len(cfgs)). When empty, node 0 seeds with Seed
+	// itself and node i>0 with sim.DeriveSeed(Seed, i), so a one-node
+	// star replays the exact RNG stream of the single-link simulator
+	// under the same seed.
+	NodeSeeds []uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -102,13 +109,15 @@ type starSim struct {
 	engine   *sim.Engine
 	opts     Options
 	errModel phy.ErrorModel
-	rng      *rand.Rand
 
 	nodes  []*node
 	active []*activeTx
 	// ackBusyUntil blocks CCA during the sink's ACK transmissions.
 	ackBusyUntil float64
 	lastEnd      float64
+
+	ctx     context.Context // cancellation, checked between generations
+	stopErr error           // first cancellation error observed
 }
 
 // node is one sender's state machine.
@@ -131,6 +140,15 @@ type node struct {
 
 // RunStar simulates the star topology.
 func RunStar(cfgs []stack.Config, opts Options) (Result, error) {
+	return RunStarContext(context.Background(), cfgs, opts)
+}
+
+// RunStarContext simulates the star topology, checking ctx between packet
+// generations (the same granularity as the single-link simulator): on
+// cancellation it abandons the run and returns a zero Result with an error
+// wrapping ctx.Err(). The checks never touch a node RNG, so determinism for
+// a fixed seed is preserved.
+func RunStarContext(ctx context.Context, cfgs []stack.Config, opts Options) (Result, error) {
 	if len(cfgs) == 0 {
 		return Result{}, errors.New("netsim: no nodes")
 	}
@@ -138,11 +156,15 @@ func RunStar(cfgs []stack.Config, opts Options) (Result, error) {
 	if opts.PacketsPerNode < 1 {
 		return Result{}, errors.New("netsim: PacketsPerNode must be >= 1")
 	}
+	if len(opts.NodeSeeds) != 0 && len(opts.NodeSeeds) != len(cfgs) {
+		return Result{}, fmt.Errorf("netsim: NodeSeeds has %d entries for %d nodes",
+			len(opts.NodeSeeds), len(cfgs))
+	}
 	s := &starSim{
 		engine:   sim.NewEngine(),
 		opts:     opts,
 		errModel: opts.ErrorModel,
-		rng:      rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xc2b2ae3d27d4eb4f)),
+		ctx:      ctx,
 	}
 	for i, cfg := range cfgs {
 		if err := cfg.Validate(); err != nil {
@@ -151,8 +173,12 @@ func RunStar(cfgs []stack.Config, opts Options) (Result, error) {
 		if cfg.Saturated() {
 			return Result{}, fmt.Errorf("netsim: node %d: saturated senders are not supported in contention mode", i)
 		}
-		seed := opts.Seed + uint64(i+1)*0x9e3779b97f4a7c15
-		nrng := rand.New(rand.NewPCG(seed, seed^0x2545f4914f6cdd1d))
+		seed := nodeSeed(opts, i)
+		// The PCG stream constants match sim.NewLinkSim exactly: node i
+		// replays the same backoff/channel/loss draws a single-link run
+		// with this seed would, which is what makes the one-node star a
+		// bit-exact superset of the link simulator.
+		nrng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 		link, err := channel.NewLink(*opts.Channel, cfg.DistanceM, nrng)
 		if err != nil {
 			return Result{}, fmt.Errorf("netsim: node %d: %w", i, err)
@@ -174,6 +200,9 @@ func RunStar(cfgs []stack.Config, opts Options) (Result, error) {
 		s.scheduleGeneration(n, 0)
 	}
 	s.engine.RunUntilIdle()
+	if s.stopErr != nil {
+		return Result{}, s.stopErr
+	}
 
 	res := Result{Duration: s.lastEnd}
 	var deliveredBits float64
@@ -189,6 +218,19 @@ func RunStar(cfgs []stack.Config, opts Options) (Result, error) {
 	return res, nil
 }
 
+// nodeSeed returns node i's RNG seed: explicit when NodeSeeds is set,
+// otherwise the run seed for node 0 (single-link compatibility) and a
+// splitmix64 derivation for the rest.
+func nodeSeed(opts Options, i int) uint64 {
+	if len(opts.NodeSeeds) != 0 {
+		return opts.NodeSeeds[i]
+	}
+	if i == 0 {
+		return opts.Seed
+	}
+	return sim.DeriveSeed(opts.Seed, i)
+}
+
 func (s *starSim) scheduleGeneration(n *node, i int) {
 	at := float64(i) * n.cfg.PktInterval
 	s.mustAt(at, func() { s.generate(n, i) })
@@ -201,6 +243,17 @@ func (s *starSim) mustAt(t float64, fn func()) {
 }
 
 func (s *starSim) generate(n *node, i int) {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			// Stop generating; in-flight services drain (bounded
+			// work) and RunStarContext reports the cancellation.
+			if s.stopErr == nil {
+				s.stopErr = fmt.Errorf("netsim: run canceled before node %d packet %d of %d: %w",
+					n.id, i, s.opts.PacketsPerNode, err)
+			}
+			return
+		}
+	}
 	rec := &sim.PacketRecord{ID: i, GenTime: s.engine.Now(), QueueLen: len(n.queue)}
 	n.res.Counters.Generated++
 	n.res.Counters.SumQueueOccupancy += float64(len(n.queue))
@@ -239,13 +292,20 @@ func (s *starSim) startService(n *node, rec *sim.PacketRecord) {
 	})
 }
 
-// beginAttempt runs the backoff before try number `try`.
+// beginAttempt runs the backoff before try number `try`. The CCA instant
+// and the transmit instant are both computed here, with the exact float64
+// groupings of sim.LinkSim's procedural timeline (base + (retry+overhead),
+// then base + (turnaround + backoff)), so an uncontended transmission lands
+// on the identical timestamp the single-link simulator would produce.
 func (s *starSim) beginAttempt(n *node, rec *sim.PacketRecord, try int) {
-	delay := mac.SampleBackoff(n.rng)
+	base := s.engine.Now()
 	if try > 1 {
-		delay += n.cfg.RetryDelay + mac.RetrySoftwareOverhead
+		base += n.cfg.RetryDelay + mac.RetrySoftwareOverhead
 	}
-	s.mustAt(s.engine.Now()+delay, func() { s.ccaCheck(n, rec, try, 0) })
+	b := mac.SampleBackoff(n.rng)
+	ccaAt := base + b
+	txAt := base + (mac.TurnaroundTime + b)
+	s.mustAt(ccaAt, func() { s.ccaCheck(n, rec, try, 0, txAt) })
 }
 
 // mediumBusy reports whether the sink's channel is occupied at time t and
@@ -263,7 +323,11 @@ func (s *starSim) mediumBusy(t float64) bool {
 	return busy
 }
 
-func (s *starSim) ccaCheck(n *node, rec *sim.PacketRecord, try, ccaAttempts int) {
+// ccaCheck samples the medium at the CCA instant. txAt is the precomputed
+// transmit instant for an immediately clear channel; after any congestion
+// backoff the transmit time is recomputed from the engine clock (txAt < 0
+// marks that path — exact link equivalence only needs the uncontended case).
+func (s *starSim) ccaCheck(n *node, rec *sim.PacketRecord, try, ccaAttempts int, txAt float64) {
 	now := s.engine.Now()
 	if s.mediumBusy(now) {
 		ccaAttempts++
@@ -277,13 +341,16 @@ func (s *starSim) ccaCheck(n *node, rec *sim.PacketRecord, try, ccaAttempts int)
 			return
 		}
 		backoff := n.rng.Float64() * 2 * s.opts.CongestionBackoffMean
-		s.mustAt(now+backoff, func() { s.ccaCheck(n, rec, try, ccaAttempts) })
+		s.mustAt(now+backoff, func() { s.ccaCheck(n, rec, try, ccaAttempts, -1) })
 		return
 	}
 	// The RX→TX turnaround after a clear CCA is the collision
 	// vulnerability window: a station that passed CCA is invisible to
 	// others until its preamble hits the air 192 µs later.
-	s.mustAt(now+mac.TurnaroundTime, func() { s.transmit(n, rec, try) })
+	if txAt < now {
+		txAt = now + mac.TurnaroundTime
+	}
+	s.mustAt(txAt, func() { s.transmit(n, rec, try) })
 }
 
 func (s *starSim) transmit(n *node, rec *sim.PacketRecord, try int) {

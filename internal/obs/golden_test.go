@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -48,6 +49,9 @@ func TestManifestGolden(t *testing.T) {
 		Tool:        "wsnsweep",
 		GoVersion:   "go1.24.0",
 		Fingerprint: FormatFingerprint(0x1f2e3d4c5b6a7988),
+		Scenario:    "star",
+		ScenarioParams: json.RawMessage(
+			`{"nodes":3,"capture_threshold_db":5,"max_cca_attempts":5}`),
 		BaseSeed:    1,
 		Packets:     400,
 		Fast:        true,

@@ -10,7 +10,9 @@ import (
 // field change (the golden-file test pins the byte layout).
 //
 // v2 added the optional "provenance" block (build version / VCS revision).
-const ManifestSchema = "wsnlink-run-manifest/v2"
+// v3 added the scenario provenance pair ("scenario" kind + its normalized
+// parameter block) for scenario-polymorphic campaigns.
+const ManifestSchema = "wsnlink-run-manifest/v3"
 
 // Provenance records the build that produced a dataset, stamped from the
 // binary's embedded build info (see internal/buildinfo): enough to find the
@@ -45,14 +47,21 @@ type Manifest struct {
 	GoVersion   string      `json:"go_version"`
 	Provenance  *Provenance `json:"provenance,omitempty"`
 	Fingerprint string      `json:"fingerprint"` // 16 hex digits, same value as the checkpoint sidecar
-	BaseSeed    uint64      `json:"base_seed"`
-	Packets     int         `json:"packets"`
-	Fast        bool        `json:"fast"`
-	Configs     int         `json:"configs"`
-	Rows        int         `json:"rows"`
-	Resumed     bool        `json:"resumed"`
-	ResumedFrom int         `json:"resumed_from"`
-	Axes        []Axis      `json:"axes,omitempty"`
+	// Scenario is the campaign's scenario kind ("link", "star", …); empty
+	// means a legacy link campaign. ScenarioParams carries the normalized
+	// parameter block as canonical JSON — together with the fingerprint it
+	// pins exactly which simulator configuration produced the rows. The
+	// field is opaque to this package (the scenario layer sits above obs).
+	Scenario       string          `json:"scenario,omitempty"`
+	ScenarioParams json.RawMessage `json:"scenario_params,omitempty"`
+	BaseSeed       uint64          `json:"base_seed"`
+	Packets        int             `json:"packets"`
+	Fast           bool            `json:"fast"`
+	Configs        int             `json:"configs"`
+	Rows           int             `json:"rows"`
+	Resumed        bool            `json:"resumed"`
+	ResumedFrom    int             `json:"resumed_from"`
+	Axes           []Axis          `json:"axes,omitempty"`
 
 	// Trace* record the per-packet lifecycle trace written alongside the
 	// dataset; all omitted when tracing was off. TraceDropped counts events

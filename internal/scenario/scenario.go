@@ -1,0 +1,355 @@
+// Package scenario unifies the repository's simulators behind one
+// campaign-facing abstraction. A Spec names which simulator a campaign
+// drives — the single link (package sim), the contending star topology
+// (package netsim), the bursty-interference link (package interference),
+// the duty-cycled LPL link (package lpl) or the random-waypoint mobile
+// link (package mobility) — together with the scenario-specific parameter
+// block. Every scenario maps one stack.Config plus one seed to one Row
+// with deterministic seeding, so the sweep engine's checkpoint/resume,
+// content-addressed caching and CRN pairing extend to all of them.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/stack"
+)
+
+// Kind names a scenario family.
+type Kind string
+
+// The scenario kinds a campaign can name.
+const (
+	// KindLink is the paper's single sender→receiver link.
+	KindLink Kind = "link"
+	// KindStar is the multi-sender star topology with CSMA contention.
+	KindStar Kind = "star"
+	// KindInterference is the single link under a bursty co-channel
+	// interferer.
+	KindInterference Kind = "interference"
+	// KindLPL is the duty-cycled low-power-listening link (closed-form
+	// deterministic model).
+	KindLPL Kind = "lpl"
+	// KindMobility is a random-waypoint mobile sender against a fixed
+	// anchor.
+	KindMobility Kind = "mobility"
+)
+
+// Kinds returns every scenario kind in canonical order.
+func Kinds() []Kind {
+	return []Kind{KindLink, KindStar, KindInterference, KindLPL, KindMobility}
+}
+
+// UnknownKindError reports a scenario name outside the Kinds set.
+type UnknownKindError struct {
+	Name string
+}
+
+func (e *UnknownKindError) Error() string {
+	return fmt.Sprintf("scenario: unknown kind %q (want one of %v)", e.Name, Kinds())
+}
+
+// ParseKind resolves a scenario name. The empty string is the link
+// scenario, preserving pre-scenario campaign specs. Unknown names return
+// an *UnknownKindError.
+func ParseKind(name string) (Kind, error) {
+	if name == "" {
+		return KindLink, nil
+	}
+	for _, k := range Kinds() {
+		if Kind(name) == k {
+			return k, nil
+		}
+	}
+	return "", &UnknownKindError{Name: name}
+}
+
+// StarParams configures the star-topology scenario: Nodes identical
+// senders (each running the row's stack.Config with its own derived seed)
+// contending for one sink.
+type StarParams struct {
+	// Nodes is the sender count (default 2; 1 reproduces the single
+	// link exactly).
+	Nodes int `json:"nodes,omitempty"`
+	// CaptureThresholdDB configures the sink's capture effect (default
+	// 5 dB; negative disables capture so every overlap collides).
+	CaptureThresholdDB float64 `json:"capture_threshold_db,omitempty"`
+	// MaxCCAAttempts bounds congestion backoffs per transmission
+	// (default 5).
+	MaxCCAAttempts int `json:"max_cca_attempts,omitempty"`
+}
+
+// InterferenceParams configures the bursty co-channel interferer layered
+// over the calibrated error model (see package interference).
+type InterferenceParams struct {
+	// DutyCycle is the long-run ON fraction (default 0.2).
+	DutyCycle float64 `json:"duty_cycle,omitempty"`
+	// MeanBurstTx is the mean ON dwell in victim attempts (default 4).
+	MeanBurstTx float64 `json:"mean_burst_tx,omitempty"`
+	// PowerAtVictimDBm is the interference power at the victim receiver
+	// (default −80 dBm).
+	PowerAtVictimDBm float64 `json:"power_at_victim_dbm,omitempty"`
+	// CollisionProb is the extra per-transmission loss while ON
+	// (default 0 — SINR degradation only).
+	CollisionProb float64 `json:"collision_prob,omitempty"`
+}
+
+// LPLParams configures the low-power-listening scenario.
+type LPLParams struct {
+	// WakeIntervalS is the receiver's sleep period between channel
+	// checks in seconds (default 0.25).
+	WakeIntervalS float64 `json:"wake_interval_s,omitempty"`
+}
+
+// MobilityParams configures the random-waypoint scenario. The row's
+// DistanceM is ignored: the trajectory through the area determines the
+// node–anchor distance (the anchor sits at the area origin).
+type MobilityParams struct {
+	// AreaXM × AreaYM is the movement area in meters (default the
+	// paper's 40 m × 2 m hallway).
+	AreaXM float64 `json:"area_x_m,omitempty"`
+	AreaYM float64 `json:"area_y_m,omitempty"`
+	// SpeedMinMPS and SpeedMaxMPS bound the uniform leg speed
+	// (default 0.5–1.5 m/s, walking pace).
+	SpeedMinMPS float64 `json:"speed_min_mps,omitempty"`
+	SpeedMaxMPS float64 `json:"speed_max_mps,omitempty"`
+}
+
+// Spec selects a scenario kind and its parameter block. Exactly the
+// active kind's block may be present (Normalize fills it with defaults
+// when absent); the zero Spec normalizes to the link scenario.
+type Spec struct {
+	Kind         Kind                `json:"kind,omitempty"`
+	Star         *StarParams         `json:"star,omitempty"`
+	Interference *InterferenceParams `json:"interference,omitempty"`
+	LPL          *LPLParams          `json:"lpl,omitempty"`
+	Mobility     *MobilityParams     `json:"mobility,omitempty"`
+}
+
+// LinkSpec returns the normalized single-link spec.
+func LinkSpec() Spec { return Spec{Kind: KindLink} }
+
+// StarSpec returns a normalized star spec with the given node count.
+func StarSpec(nodes int) Spec {
+	s := Spec{Kind: KindStar, Star: &StarParams{Nodes: nodes}}
+	if err := s.Normalize(); err != nil {
+		panic("scenario: StarSpec: " + err.Error())
+	}
+	return s
+}
+
+// Normalize resolves the kind (empty → link), rejects unknown kinds with
+// an *UnknownKindError, requires that only the active kind's parameter
+// block is present, fills the active block's zero fields with the
+// documented defaults and validates the result. Normalize is idempotent:
+// a normalized spec normalizes to itself.
+func (s *Spec) Normalize() error {
+	kind, err := ParseKind(string(s.Kind))
+	if err != nil {
+		return err
+	}
+	s.Kind = kind
+	if s.Star != nil && kind != KindStar {
+		return fmt.Errorf("scenario: star parameters given for kind %q", kind)
+	}
+	if s.Interference != nil && kind != KindInterference {
+		return fmt.Errorf("scenario: interference parameters given for kind %q", kind)
+	}
+	if s.LPL != nil && kind != KindLPL {
+		return fmt.Errorf("scenario: lpl parameters given for kind %q", kind)
+	}
+	if s.Mobility != nil && kind != KindMobility {
+		return fmt.Errorf("scenario: mobility parameters given for kind %q", kind)
+	}
+	switch kind {
+	case KindStar:
+		if s.Star == nil {
+			s.Star = &StarParams{}
+		}
+		p := s.Star
+		if p.Nodes == 0 {
+			p.Nodes = 2
+		}
+		if p.CaptureThresholdDB == 0 {
+			p.CaptureThresholdDB = 5
+		}
+		if p.MaxCCAAttempts == 0 {
+			p.MaxCCAAttempts = 5
+		}
+		if p.Nodes < 1 {
+			return fmt.Errorf("scenario: star nodes %d must be >= 1", p.Nodes)
+		}
+		if p.Nodes > maxStarNodes {
+			return fmt.Errorf("scenario: star nodes %d exceeds limit %d", p.Nodes, maxStarNodes)
+		}
+		if p.MaxCCAAttempts < 1 {
+			return fmt.Errorf("scenario: star max_cca_attempts %d must be >= 1", p.MaxCCAAttempts)
+		}
+	case KindInterference:
+		if s.Interference == nil {
+			s.Interference = &InterferenceParams{}
+		}
+		p := s.Interference
+		if p.DutyCycle == 0 {
+			p.DutyCycle = 0.2
+		}
+		if p.MeanBurstTx == 0 {
+			p.MeanBurstTx = 4
+		}
+		if p.PowerAtVictimDBm == 0 {
+			p.PowerAtVictimDBm = -80
+		}
+		if err := p.params().Validate(); err != nil {
+			return err
+		}
+	case KindLPL:
+		if s.LPL == nil {
+			s.LPL = &LPLParams{}
+		}
+		p := s.LPL
+		if p.WakeIntervalS == 0 {
+			p.WakeIntervalS = 0.25
+		}
+		if p.WakeIntervalS < 0 {
+			return fmt.Errorf("scenario: lpl wake_interval_s %v must be positive", p.WakeIntervalS)
+		}
+	case KindMobility:
+		if s.Mobility == nil {
+			s.Mobility = &MobilityParams{}
+		}
+		p := s.Mobility
+		if p.AreaXM == 0 {
+			p.AreaXM = 40
+		}
+		if p.AreaYM == 0 {
+			p.AreaYM = 2
+		}
+		if p.SpeedMinMPS == 0 {
+			p.SpeedMinMPS = 0.5
+		}
+		if p.SpeedMaxMPS == 0 {
+			p.SpeedMaxMPS = 1.5
+		}
+		if p.AreaXM < 0 || p.AreaYM < 0 {
+			return fmt.Errorf("scenario: mobility area %g×%g m must be positive", p.AreaXM, p.AreaYM)
+		}
+		if p.SpeedMinMPS <= 0 || p.SpeedMaxMPS < p.SpeedMinMPS {
+			return fmt.Errorf("scenario: mobility speeds need 0 < min <= max, got [%g,%g]",
+				p.SpeedMinMPS, p.SpeedMaxMPS)
+		}
+	}
+	return nil
+}
+
+// maxStarNodes bounds a star campaign's per-row cost: simulated work grows
+// with Nodes × Packets, and untrusted campaign specs pass through here.
+const maxStarNodes = 256
+
+// Validate reports whether the spec is already in normalized form.
+func (s Spec) Validate() error {
+	c := s
+	if err := c.Normalize(); err != nil {
+		return err
+	}
+	if !specEqual(c, s) {
+		return fmt.Errorf("scenario: spec for kind %q is not normalized", s.Kind)
+	}
+	return nil
+}
+
+func specEqual(a, b Spec) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch {
+	case (a.Star == nil) != (b.Star == nil),
+		(a.Interference == nil) != (b.Interference == nil),
+		(a.LPL == nil) != (b.LPL == nil),
+		(a.Mobility == nil) != (b.Mobility == nil):
+		return false
+	}
+	if a.Star != nil && *a.Star != *b.Star {
+		return false
+	}
+	if a.Interference != nil && *a.Interference != *b.Interference {
+		return false
+	}
+	if a.LPL != nil && *a.LPL != *b.LPL {
+		return false
+	}
+	if a.Mobility != nil && *a.Mobility != *b.Mobility {
+		return false
+	}
+	return true
+}
+
+// HashWords returns the spec's canonical fingerprint encoding: a fixed-
+// length word sequence per kind (a kind tag followed by the parameter
+// block's fields in declaration order, floats as IEEE-754 bits). The
+// campaign fingerprint folds these words in, so two campaigns differing
+// only in a scenario parameter never share a cache entry. The link kind
+// returns nil: it has no parameter block, and the campaign fingerprint
+// distinguishes kinds by name.
+func (s Spec) HashWords() []uint64 {
+	f := math.Float64bits
+	switch s.Kind {
+	case KindStar:
+		p := s.Star
+		return []uint64{1, uint64(p.Nodes), f(p.CaptureThresholdDB), uint64(p.MaxCCAAttempts)}
+	case KindInterference:
+		p := s.Interference
+		return []uint64{2, f(p.DutyCycle), f(p.MeanBurstTx), f(p.PowerAtVictimDBm), f(p.CollisionProb)}
+	case KindLPL:
+		return []uint64{3, f(s.LPL.WakeIntervalS)}
+	case KindMobility:
+		p := s.Mobility
+		return []uint64{4, f(p.AreaXM), f(p.AreaYM), f(p.SpeedMinMPS), f(p.SpeedMaxMPS)}
+	}
+	return nil
+}
+
+// NetStats carries the per-scenario row columns that have no single-link
+// counterpart. Fields outside a row's scenario are zero.
+type NetStats struct {
+	// Nodes is the sender count (1 for every non-star scenario).
+	Nodes int
+	// OfferedLoadPPS is the aggregate application offered load in
+	// packets/second (Nodes / PktInterval; 0 for a saturated sender).
+	OfferedLoadPPS float64
+	// AggGoodputKbps is total delivered payload over the run across all
+	// nodes.
+	AggGoodputKbps float64
+	// CollisionRate is collided transmissions per transmission (star).
+	CollisionRate float64
+	// CCAFailRate is abandoned-CCA attempts per serviced packet (star).
+	CCAFailRate float64
+	// DutyCycle is the receiver radio-on fraction (LPL).
+	DutyCycle float64
+	// WakeIntervalS echoes the LPL wake interval.
+	WakeIntervalS float64
+	// LatencyS is the LPL expected one-hop latency.
+	LatencyS float64
+	// InterfererDuty echoes the interferer's ON fraction.
+	InterfererDuty float64
+	// SNRPenaltyDB is the SNR cost while the interferer is ON.
+	SNRPenaltyDB float64
+	// SpeedMPS is the mobile node's mean leg speed.
+	SpeedMPS float64
+	// MeanDistanceM is the mean node–anchor distance sampled at packet
+	// service times (mobility).
+	MeanDistanceM float64
+}
+
+// Row is one scenario campaign result: the link-row fields (config, seed,
+// packets, derived metric report) plus the scenario tag and NetStats.
+type Row struct {
+	Scenario Kind
+	Config   stack.Config
+	Seed     uint64
+	// Packets is per node for the star scenario.
+	Packets int
+	Report  metrics.Report
+	Net     NetStats
+}

@@ -1,0 +1,350 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wsnlink/internal/stack"
+)
+
+func testConfig() stack.Config {
+	return stack.Config{
+		DistanceM:    25,
+		TxPower:      11,
+		MaxTries:     5,
+		RetryDelay:   0.03,
+		QueueCap:     5,
+		PktInterval:  0.05,
+		PayloadBytes: 50,
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(string(k))
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %q, %v", k, got, err)
+		}
+	}
+	if got, err := ParseKind(""); err != nil || got != KindLink {
+		t.Fatalf("ParseKind(\"\") = %q, %v, want link", got, err)
+	}
+	_, err := ParseKind("mesh")
+	var uk *UnknownKindError
+	if !errors.As(err, &uk) {
+		t.Fatalf("ParseKind(\"mesh\") err = %v, want *UnknownKindError", err)
+	}
+	if uk.Name != "mesh" {
+		t.Fatalf("UnknownKindError.Name = %q, want \"mesh\"", uk.Name)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Kind: KindLink},
+		{Kind: KindStar},
+		{Kind: KindStar, Star: &StarParams{Nodes: 7}},
+		{Kind: KindInterference, Interference: &InterferenceParams{DutyCycle: 0.4}},
+		{Kind: KindLPL, LPL: &LPLParams{WakeIntervalS: 0.5}},
+		{Kind: KindMobility},
+	}
+	for _, s := range specs {
+		once := s
+		if err := once.Normalize(); err != nil {
+			t.Fatalf("Normalize(%+v): %v", s, err)
+		}
+		twice := once
+		if err := twice.Normalize(); err != nil {
+			t.Fatalf("second Normalize(%+v): %v", once, err)
+		}
+		if !specEqual(once, twice) {
+			t.Fatalf("Normalize not idempotent: %+v vs %+v", once, twice)
+		}
+		if err := once.Validate(); err != nil {
+			t.Fatalf("normalized spec fails Validate: %v", err)
+		}
+	}
+}
+
+func TestNormalizeRejectsMismatchedBlocks(t *testing.T) {
+	cases := []Spec{
+		{Kind: KindLink, Star: &StarParams{}},
+		{Kind: KindStar, LPL: &LPLParams{}},
+		{Kind: KindLPL, Interference: &InterferenceParams{}},
+		{Kind: KindInterference, Mobility: &MobilityParams{}},
+	}
+	for _, s := range cases {
+		c := s
+		if err := c.Normalize(); err == nil {
+			t.Fatalf("Normalize(%+v) accepted a foreign parameter block", s)
+		}
+	}
+	bad := Spec{Kind: "ring"}
+	err := bad.Normalize()
+	var uk *UnknownKindError
+	if !errors.As(err, &uk) {
+		t.Fatalf("Normalize(kind=ring) err = %v, want *UnknownKindError", err)
+	}
+}
+
+func TestNormalizeRejectsBadParams(t *testing.T) {
+	cases := []Spec{
+		{Kind: KindStar, Star: &StarParams{Nodes: -2}},
+		{Kind: KindStar, Star: &StarParams{Nodes: maxStarNodes + 1}},
+		{Kind: KindInterference, Interference: &InterferenceParams{DutyCycle: 1.5}},
+		{Kind: KindLPL, LPL: &LPLParams{WakeIntervalS: -1}},
+		{Kind: KindMobility, Mobility: &MobilityParams{SpeedMinMPS: 2, SpeedMaxMPS: 1}},
+	}
+	for _, s := range cases {
+		c := s
+		if err := c.Normalize(); err == nil {
+			t.Fatalf("Normalize(%+v) accepted invalid parameters", s)
+		}
+	}
+}
+
+func TestHashWordsDistinguishParams(t *testing.T) {
+	a := StarSpec(2)
+	b := StarSpec(3)
+	wa, wb := a.HashWords(), b.HashWords()
+	if len(wa) != len(wb) {
+		t.Fatalf("star HashWords lengths differ: %d vs %d", len(wa), len(wb))
+	}
+	same := true
+	for i := range wa {
+		if wa[i] != wb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("star specs with different node counts share HashWords")
+	}
+	if LinkSpec().HashWords() != nil {
+		t.Fatal("link spec should have no parameter words")
+	}
+}
+
+// TestRunDeterministic: every scenario kind is a pure function of
+// (spec, config, seed).
+func TestRunDeterministic(t *testing.T) {
+	cfg := testConfig()
+	specs := map[string]Spec{
+		"link":         LinkSpec(),
+		"star":         StarSpec(3),
+		"interference": {Kind: KindInterference},
+		"lpl":          {Kind: KindLPL},
+		"mobility":     {Kind: KindMobility},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			opts := RunOptions{Packets: 120, Seed: 42}
+			a, err := Run(context.Background(), spec, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(context.Background(), spec, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("same seed produced different rows:\n%+v\n%+v", a, b)
+			}
+			if a.Scenario == "" {
+				t.Fatal("row missing scenario kind")
+			}
+			if a.Report.Generated == 0 {
+				t.Fatal("row generated no packets")
+			}
+		})
+	}
+}
+
+// TestSingleNodeStarEqualsLink pins the tentpole exactness claim at the
+// scenario layer: a one-node star row equals the link row (full DES) in
+// every numeric field — same seed stream, same event timeline, same
+// aggregate grouping. Only the scenario tag and star-default NetStats
+// fields may differ.
+func TestSingleNodeStarEqualsLink(t *testing.T) {
+	cfg := testConfig()
+	for _, seed := range []uint64{1, 7, 99} {
+		opts := RunOptions{Packets: 200, Seed: seed, FullDES: true}
+		link, err := Run(context.Background(), LinkSpec(), cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		star, err := Run(context.Background(), StarSpec(1), cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if star.Report != link.Report {
+			t.Fatalf("seed %d: 1-node star report differs from link report:\nstar: %+v\nlink: %+v",
+				seed, star.Report, link.Report)
+		}
+		if star.Net.AggGoodputKbps != link.Net.AggGoodputKbps {
+			t.Fatalf("seed %d: aggregate goodput %v != %v",
+				seed, star.Net.AggGoodputKbps, link.Net.AggGoodputKbps)
+		}
+		if star.Net.Nodes != 1 || link.Net.Nodes != 1 {
+			t.Fatalf("seed %d: node counts %d/%d, want 1/1", seed, star.Net.Nodes, link.Net.Nodes)
+		}
+	}
+}
+
+// TestStarContentionDegradesPerNode: more contending senders cannot raise
+// per-node goodput; with several nodes collisions must appear.
+func TestStarContentionDegradesPerNode(t *testing.T) {
+	cfg := testConfig()
+	cfg.PktInterval = 0.02 // load the channel so contention matters
+	perNode := func(nodes int) float64 {
+		row, err := Run(context.Background(), StarSpec(nodes), cfg,
+			RunOptions{Packets: 300, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row.Net.AggGoodputKbps / float64(nodes)
+	}
+	g1, g8 := perNode(1), perNode(8)
+	if g8 > g1*1.02 { // 2% slack for sampling noise
+		t.Fatalf("per-node goodput rose under contention: 1 node %v, 8 nodes %v", g1, g8)
+	}
+	row8, err := Run(context.Background(), StarSpec(8), cfg,
+		RunOptions{Packets: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row8.Net.CollisionRate <= 0 {
+		t.Fatal("8-node loaded star saw no collisions")
+	}
+}
+
+// TestInterferenceRaisesPER: layering the bursty interferer over the
+// calibrated model cannot reduce the packet error rate.
+func TestInterferenceRaisesPER(t *testing.T) {
+	cfg := testConfig()
+	cfg.DistanceM = 30 // marginal link so SINR degradation is visible
+	base, err := Run(context.Background(), LinkSpec(), cfg,
+		RunOptions{Packets: 400, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Kind: KindInterference,
+		Interference: &InterferenceParams{DutyCycle: 0.6, PowerAtVictimDBm: -72}}
+	hit, err := Run(context.Background(), spec, cfg,
+		RunOptions{Packets: 400, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Report.PER < base.Report.PER {
+		t.Fatalf("interference lowered PER: %v -> %v", base.Report.PER, hit.Report.PER)
+	}
+	if hit.Net.SNRPenaltyDB <= 0 {
+		t.Fatalf("SNR penalty %v, want > 0", hit.Net.SNRPenaltyDB)
+	}
+	if hit.Net.InterfererDuty != 0.6 {
+		t.Fatalf("interferer duty %v, want 0.6", hit.Net.InterfererDuty)
+	}
+}
+
+// TestLPLMonotoneLaws: the closed-form LPL model obeys its exact laws —
+// longer wake intervals cannot raise receiver duty cycle and cannot lower
+// expected latency.
+func TestLPLMonotoneLaws(t *testing.T) {
+	cfg := testConfig()
+	at := func(w float64) Row {
+		row, err := Run(context.Background(),
+			Spec{Kind: KindLPL, LPL: &LPLParams{WakeIntervalS: w}}, cfg,
+			RunOptions{Packets: 100, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	prev := at(0.05)
+	for _, w := range []float64{0.1, 0.25, 0.5, 1.0} {
+		cur := at(w)
+		if cur.Net.DutyCycle > prev.Net.DutyCycle {
+			t.Fatalf("wake %v: duty cycle rose %v -> %v", w, prev.Net.DutyCycle, cur.Net.DutyCycle)
+		}
+		if cur.Net.LatencyS < prev.Net.LatencyS {
+			t.Fatalf("wake %v: latency fell %v -> %v", w, prev.Net.LatencyS, cur.Net.LatencyS)
+		}
+		prev = cur
+	}
+	if at(0.25) != at(0.25) {
+		t.Fatal("LPL rows are not deterministic")
+	}
+}
+
+func TestLPLRejectsSaturated(t *testing.T) {
+	cfg := testConfig()
+	cfg.PktInterval = 0
+	if _, err := Run(context.Background(), Spec{Kind: KindLPL}, cfg,
+		RunOptions{Packets: 10, Seed: 1}); err == nil {
+		t.Fatal("saturated LPL row should be rejected")
+	}
+	if _, err := Run(context.Background(), Spec{Kind: KindMobility}, cfg,
+		RunOptions{Packets: 10, Seed: 1}); err == nil {
+		t.Fatal("saturated mobility row should be rejected")
+	}
+}
+
+// TestMobilityRowShape: the mobility row walks the area and reports a
+// sensible mean distance and conserved packet counts.
+func TestMobilityRowShape(t *testing.T) {
+	cfg := testConfig()
+	row, err := Run(context.Background(), Spec{Kind: KindMobility}, cfg,
+		RunOptions{Packets: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Net.MeanDistanceM <= 0 || row.Net.MeanDistanceM > 45 {
+		t.Fatalf("mean distance %v m outside the 40x2 m area's plausible range", row.Net.MeanDistanceM)
+	}
+	if row.Net.SpeedMPS != 1.0 {
+		t.Fatalf("mean speed %v, want 1.0 for default [0.5,1.5]", row.Net.SpeedMPS)
+	}
+	if row.Report.Generated != 300 {
+		t.Fatalf("generated %d, want 300", row.Report.Generated)
+	}
+	if row.Report.Delivered+row.Report.RadioDrops != row.Report.Generated {
+		t.Fatalf("packet conservation violated: %d delivered + %d dropped != %d generated",
+			row.Report.Delivered, row.Report.RadioDrops, row.Report.Generated)
+	}
+	if row.Report.MeanRSSI >= 0 || row.Report.MeanRSSI < -120 {
+		t.Fatalf("mean RSSI %v dBm implausible", row.Report.MeanRSSI)
+	}
+}
+
+// TestRunCancellation: every packet-driven scenario observes mid-run
+// cancellation.
+func TestRunCancellation(t *testing.T) {
+	cfg := testConfig()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spec := range []Spec{LinkSpec(), StarSpec(2), {Kind: KindInterference}, {Kind: KindMobility}} {
+		if _, err := Run(ctx, spec, cfg, RunOptions{Packets: 5000, Seed: 1}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("kind %q: err = %v, want wrapped context.Canceled", spec.Kind, err)
+		}
+	}
+}
+
+// TestStarReportConsistency cross-checks the summed star report against
+// the per-node results.
+func TestStarReportConsistency(t *testing.T) {
+	cfg := testConfig()
+	row, err := Run(context.Background(), StarSpec(4), cfg, RunOptions{Packets: 150, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Report.Generated != 4*150 {
+		t.Fatalf("generated %d, want %d", row.Report.Generated, 4*150)
+	}
+	if row.Report.Delivered <= 0 {
+		t.Fatal("star delivered nothing on a short link")
+	}
+	if row.Net.OfferedLoadPPS != 4/cfg.PktInterval {
+		t.Fatalf("offered load %v, want %v", row.Net.OfferedLoadPPS, 4/cfg.PktInterval)
+	}
+}

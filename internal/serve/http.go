@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"wsnlink/internal/scenario"
 )
 
 // LastRowIndexHeader is the resume header of the rows endpoint: the index
@@ -103,19 +105,27 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 	}
 
 	fl, _ := w.(http.Flusher)
+	scenarioJob := st.Spec.ScenarioKind() != scenario.KindLink
 	h := w.Header()
 	h.Set("Content-Type", "application/x-ndjson")
 	h.Set("Cache-Control", "no-store")
 	h.Set("X-Campaign-Id", st.ID)
 	h.Set("X-Campaign-Fingerprint", st.Fingerprint)
+	if scenarioJob {
+		h.Set("X-Campaign-Scenario", string(st.Spec.ScenarioKind()))
+	}
 	w.WriteHeader(http.StatusOK)
 	if fl != nil {
 		fl.Flush() // commit headers before the first row is ready
 	}
 
+	appendRow := appendRowJSON
+	if scenarioJob {
+		appendRow = appendScenarioRowJSON
+	}
 	var buf []byte
 	s.StreamRows(r.Context(), id, after, func(index int, fields []string) error { //nolint:errcheck // the stream just ends; the client re-checks status
-		buf = appendRowJSON(buf[:0], index, fields)
+		buf = appendRow(buf[:0], index, fields)
 		if _, err := w.Write(buf); err != nil {
 			return err
 		}

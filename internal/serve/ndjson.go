@@ -15,8 +15,13 @@ import (
 // and encoding a live run produce identical bytes — the property the
 // cache-hit e2e pins — and a decode/re-encode round trip is lossless.
 
-// fieldNames is the dataset schema, shared with the CSV layer.
-var fieldNames = sweep.FieldNames()
+// fieldNames is the dataset schema, shared with the CSV layer;
+// scenarioFieldNames is the wider scenario schema (its first column,
+// "scenario", is a string and travels JSON-quoted).
+var (
+	fieldNames         = sweep.FieldNames()
+	scenarioFieldNames = sweep.ScenarioFieldNames()
+)
 
 // appendRowJSON renders one NDJSON line (including the trailing newline)
 // from a canonical record.
@@ -32,8 +37,28 @@ func appendRowJSON(dst []byte, index int, fields []string) []byte {
 	return append(dst, '}', '\n')
 }
 
-// parseRowLine decodes one NDJSON line back into a row. The canonical field
-// strings are recovered verbatim from the raw JSON values, so
+// appendScenarioRowJSON renders one scenario NDJSON line. Every column but
+// the scenario tag carries the canonical numeric encoding verbatim; the
+// tag itself is a JSON string.
+func appendScenarioRowJSON(dst []byte, index int, fields []string) []byte {
+	dst = append(dst, `{"index":`...)
+	dst = strconv.AppendInt(dst, int64(index), 10)
+	for i, name := range scenarioFieldNames {
+		dst = append(dst, ',', '"')
+		dst = append(dst, name...)
+		dst = append(dst, '"', ':')
+		if i == 0 { // the scenario kind is a string
+			dst = strconv.AppendQuote(dst, fields[i])
+			continue
+		}
+		dst = append(dst, fields[i]...)
+	}
+	return append(dst, '}', '\n')
+}
+
+// parseRowLine decodes one NDJSON line back into a row, detecting the
+// scenario schema by its "scenario" field. The canonical field strings are
+// recovered verbatim from the raw JSON values, so
 // parseRowLine(appendRowJSON(x)) == x byte-for-byte.
 func parseRowLine(line []byte) (StreamedRow, error) {
 	var m map[string]json.RawMessage
@@ -47,6 +72,33 @@ func parseRowLine(line []byte) (StreamedRow, error) {
 	}
 	if err := json.Unmarshal(raw, &out.Index); err != nil {
 		return StreamedRow{}, fmt.Errorf("serve: bad row index: %w", err)
+	}
+	if _, scenarioRow := m["scenario"]; scenarioRow {
+		rec := make([]string, len(scenarioFieldNames))
+		for i, name := range scenarioFieldNames {
+			v, ok := m[name]
+			if !ok {
+				return StreamedRow{}, fmt.Errorf("serve: row line missing field %q", name)
+			}
+			if i == 0 {
+				var kind string
+				if err := json.Unmarshal(v, &kind); err != nil {
+					return StreamedRow{}, fmt.Errorf("serve: bad scenario tag: %w", err)
+				}
+				rec[i] = kind
+				continue
+			}
+			rec[i] = string(v)
+		}
+		row, err := sweep.ScenarioRowFromFields(rec)
+		if err != nil {
+			return StreamedRow{}, err
+		}
+		out.Row = sweep.Row{Config: row.Config, Report: row.Report,
+			Seed: row.Seed, Packets: row.Packets}
+		out.Scenario = row.Scenario
+		out.Net = row.Net
+		return out, nil
 	}
 	rec := make([]string, len(fieldNames))
 	for i, name := range fieldNames {

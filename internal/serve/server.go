@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"wsnlink/internal/obs"
+	"wsnlink/internal/scenario"
 	"wsnlink/internal/sweep"
 )
 
@@ -147,7 +148,11 @@ func (s *Server) Submit(spec CampaignSpec) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
-	fp := obs.FormatFingerprint(sweep.CampaignFingerprint(sp.All(), norm.options()))
+	fingerprint, err := norm.fingerprint(sp.All())
+	if err != nil {
+		return JobStatus{}, err
+	}
+	fp := obs.FormatFingerprint(fingerprint)
 	now := time.Now().UnixMilli()
 
 	s.mu.Lock()
@@ -396,7 +401,9 @@ func (s *Server) runJob(e *jobEntry, ctx context.Context) {
 
 // executeJob streams the campaign into the spool dataset (resuming from any
 // checkpoint an earlier attempt left) and promotes it into the cache on
-// completion.
+// completion. The scenario kind picks the engine entry point and the spool
+// schema; everything else — checkpoint sidecar, resume, promotion, tracing
+// — is shared.
 func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	spec := e.job.Spec // immutable after Submit
 	sp := spec.Space.Space()
@@ -406,7 +413,16 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	opts.Progress = &e.prog
 	opts.OnRow = func(sweep.Row) { e.notify.Broadcast() }
 
-	fingerprint := sweep.CampaignFingerprint(cfgs, opts)
+	scn, err := spec.ScenarioSpec()
+	if err != nil {
+		return err
+	}
+	link := scn.Kind == scenario.KindLink
+
+	fingerprint, err := spec.fingerprint(cfgs)
+	if err != nil {
+		return err
+	}
 	fp := obs.FormatFingerprint(fingerprint)
 	if fp != e.job.Fingerprint {
 		return fmt.Errorf("serve: internal: fingerprint drift (%s vs %s)", fp, e.job.Fingerprint)
@@ -415,9 +431,46 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 		opts.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
 
-	f, enc, resume, done, err := prepareSpool(s.store, fp, fingerprint, len(cfgs))
-	if err != nil {
-		return err
+	var (
+		f      file
+		resume bool
+		done   int
+		stream func(context.Context) error
+	)
+	if link {
+		var enc *sweep.Encoder
+		f, enc, resume, done, err = prepareSpool(s.store, fp, fingerprint, len(cfgs))
+		if err != nil {
+			return err
+		}
+		stream = func(ctx context.Context) error {
+			return sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
+				if err := enc.Encode(r); err != nil {
+					return err
+				}
+				// Flush before the engine checkpoints the row, so the spool
+				// CSV is always at least as long as the checkpoint claims.
+				return enc.Flush()
+			})
+		}
+	} else {
+		var enc *sweep.ScenarioEncoder
+		f, enc, resume, done, err = prepareScenarioSpool(s.store, fp, fingerprint, len(cfgs))
+		if err != nil {
+			return err
+		}
+		stream = func(ctx context.Context) error {
+			return sweep.StreamScenarios(ctx, scn, cfgs, opts, func(r scenario.Row) error {
+				if err := enc.Encode(r); err != nil {
+					return err
+				}
+				if err := enc.Flush(); err != nil {
+					return err
+				}
+				e.notify.Broadcast() // scenario rows bypass opts.OnRow
+				return nil
+			})
+		}
 	}
 	opts.Checkpoint = s.store.SpoolCheckpoint(fp)
 	opts.Resume = resume
@@ -428,14 +481,7 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	s.mu.Unlock()
 	e.notify.Broadcast()
 
-	streamErr := sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
-		if err := enc.Encode(r); err != nil {
-			return err
-		}
-		// Flush before the engine checkpoints the row, so the spool CSV
-		// is always at least as long as the checkpoint claims.
-		return enc.Flush()
-	})
+	streamErr := stream(ctx)
 	closeErr := f.Close()
 
 	if opts.Tracer != nil {
@@ -566,6 +612,73 @@ func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (fil
 		return nil, nil, false, 0, err
 	}
 	return f, enc, resume, len(prefix), nil
+}
+
+// prepareScenarioSpool is prepareSpool for the scenario row schema: same
+// checkpoint sidecar realignment, scenario codec.
+func prepareScenarioSpool(store *Store, fp string, fingerprint uint64, configs int) (file, *sweep.ScenarioEncoder, bool, int, error) {
+	csvPath := store.SpoolCSV(fp)
+	ckptPath := store.SpoolCheckpoint(fp)
+
+	resume := false
+	var prefix []scenario.Row
+	ck, err := sweep.LoadCheckpoint(ckptPath)
+	switch {
+	case err == nil && ck.Fingerprint == fingerprint && ck.Configs == configs:
+		rows, rerr := readScenarioSpoolPrefix(store, csvPath, ck.Done)
+		if rerr == nil {
+			resume = true
+			prefix = rows
+		} else {
+			store.DropSpool(fp) // unusable dataset: start over
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// fresh campaign
+	default:
+		// corrupt or foreign sidecar: start over
+		store.DropSpool(fp)
+	}
+
+	f, err := store.fs.Create(csvPath)
+	if err != nil {
+		return nil, nil, false, 0, err
+	}
+	enc := sweep.NewScenarioEncoder(f)
+	if err := enc.WriteHeader(); err != nil {
+		f.Close()
+		return nil, nil, false, 0, err
+	}
+	for _, r := range prefix {
+		if err := enc.Encode(r); err != nil {
+			f.Close()
+			return nil, nil, false, 0, err
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		f.Close()
+		return nil, nil, false, 0, err
+	}
+	return f, enc, resume, len(prefix), nil
+}
+
+// readScenarioSpoolPrefix is readSpoolPrefix for the scenario schema.
+func readScenarioSpoolPrefix(store *Store, path string, done int) ([]scenario.Row, error) {
+	f, err := store.fs.Open(path)
+	if errors.Is(err, os.ErrNotExist) && done == 0 {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := sweep.ReadScenarioCSVHead(f, done)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < done {
+		return nil, fmt.Errorf("serve: spool %s has %d rows, checkpoint records %d", path, len(rows), done)
+	}
+	return rows, nil
 }
 
 // readSpoolPrefix returns the first done rows of the spool dataset; a

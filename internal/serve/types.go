@@ -16,6 +16,7 @@ import (
 
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
+	"wsnlink/internal/scenario"
 	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
@@ -100,6 +101,19 @@ type CampaignSpec struct {
 	// (common-random-numbers pairing; mirrors wsnsweep -crn). It changes
 	// row content, so it is part of the campaign identity.
 	CRN bool `json:"crn,omitempty"`
+	// Scenario selects the simulator family: "link" (or empty, the
+	// default), "star", "interference", "lpl" or "mobility". Non-link
+	// campaigns stream the wider scenario row schema (see
+	// sweep.ScenarioFieldNames) and hash into a separate fingerprint
+	// namespace. Unknown names are rejected at submission.
+	Scenario string `json:"scenario,omitempty"`
+	// Exactly the active scenario's parameter block may be set; omitted
+	// fields take the documented defaults. The blocks are part of the
+	// campaign identity.
+	Star         *scenario.StarParams         `json:"star,omitempty"`
+	Interference *scenario.InterferenceParams `json:"interference,omitempty"`
+	LPL          *scenario.LPLParams          `json:"lpl,omitempty"`
+	Mobility     *scenario.MobilityParams     `json:"mobility,omitempty"`
 	// Workers is the job's sweep parallelism (0 = server default; always
 	// capped by the server's per-job limit).
 	Workers int `json:"workers,omitempty"`
@@ -167,7 +181,78 @@ func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
 	// Explicit axes make the stored spec self-describing even if the
 	// Table I defaults ever change.
 	c.Space = SpaceSpecFor(sp)
+	// Normalize the scenario selection the same way: the stored spec
+	// carries the resolved kind and a fully defaulted parameter block, so
+	// the fingerprint computed here matches the engine's. Unknown kinds
+	// surface as *scenario.UnknownKindError.
+	scn := c.scenarioSpecRaw()
+	if err := scn.Normalize(); err != nil {
+		return c, sp, err
+	}
+	c.Scenario = string(scn.Kind)
+	c.Star, c.Interference, c.LPL, c.Mobility =
+		scn.Star, scn.Interference, scn.LPL, scn.Mobility
 	return c, sp, nil
+}
+
+// scenarioSpecRaw assembles the scenario selection without normalizing,
+// deep-copying the parameter blocks so Normalize never mutates the
+// caller's spec through the shared pointers.
+func (c CampaignSpec) scenarioSpecRaw() scenario.Spec {
+	s := scenario.Spec{Kind: scenario.Kind(c.Scenario)}
+	if c.Star != nil {
+		v := *c.Star
+		s.Star = &v
+	}
+	if c.Interference != nil {
+		v := *c.Interference
+		s.Interference = &v
+	}
+	if c.LPL != nil {
+		v := *c.LPL
+		s.LPL = &v
+	}
+	if c.Mobility != nil {
+		v := *c.Mobility
+		s.Mobility = &v
+	}
+	return s
+}
+
+// ScenarioSpec returns the campaign's normalized scenario spec; unknown
+// kinds surface as *scenario.UnknownKindError.
+func (c CampaignSpec) ScenarioSpec() (scenario.Spec, error) {
+	s := c.scenarioSpecRaw()
+	if err := s.Normalize(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return s, nil
+}
+
+// ScenarioKind returns the campaign's scenario kind. Unvalidated or
+// unknown names map to the link kind — stored specs were validated at
+// submission, so this is only a rendering fallback.
+func (c CampaignSpec) ScenarioKind() scenario.Kind {
+	k, err := scenario.ParseKind(c.Scenario)
+	if err != nil {
+		return scenario.KindLink
+	}
+	return k
+}
+
+// fingerprint dispatches the campaign identity hash by scenario kind: link
+// campaigns keep the legacy fingerprint (existing caches, checkpoints and
+// manifests stay valid); every other kind hashes through the scenario
+// namespace, parameter block included.
+func (c CampaignSpec) fingerprint(cfgs []stack.Config) (uint64, error) {
+	scn, err := c.ScenarioSpec()
+	if err != nil {
+		return 0, err
+	}
+	if scn.Kind == scenario.KindLink {
+		return sweep.CampaignFingerprint(cfgs, c.options()), nil
+	}
+	return sweep.ScenarioFingerprint(scn, cfgs, c.options())
 }
 
 // options maps the spec onto engine options (checkpoint plumbing is added
@@ -194,7 +279,7 @@ func (c CampaignSpec) Fingerprint() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return sweep.CampaignFingerprint(sp.All(), norm.options()), nil
+	return norm.fingerprint(sp.All())
 }
 
 // JobState is a job's lifecycle state.
@@ -271,6 +356,25 @@ type Stats struct {
 type StreamedRow struct {
 	// Index is the row's position in the campaign (0-based, dense).
 	Index int
-	// Row is the decoded dataset row.
+	// Row is the decoded dataset row (the link-schema columns, which every
+	// scenario row also carries).
 	Row sweep.Row
+	// Scenario is the row's scenario kind for scenario campaigns, empty
+	// for link campaigns streamed over the legacy schema.
+	Scenario scenario.Kind
+	// Net holds the scenario network columns (zero for legacy rows).
+	Net scenario.NetStats
+}
+
+// ScenarioRow reassembles the full scenario row from a scenario campaign's
+// streamed row.
+func (r StreamedRow) ScenarioRow() scenario.Row {
+	return scenario.Row{
+		Scenario: r.Scenario,
+		Config:   r.Row.Config,
+		Seed:     r.Row.Seed,
+		Packets:  r.Row.Packets,
+		Report:   r.Row.Report,
+		Net:      r.Net,
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"wsnlink/internal/metrics"
@@ -219,6 +220,11 @@ func parseRow(rec []string) (Row, error) {
 	}
 	if p.err != nil {
 		return Row{}, p.err
+	}
+	// EnergyEfficiency is derived (1/U_eng) and not a schema column;
+	// restore it so a decoded row equals the simulated one.
+	if e := row.Report.EnergyPerBitMicroJ; e > 0 && !math.IsInf(e, 1) {
+		row.Report.EnergyEfficiency = 1 / e
 	}
 	return row, nil
 }

@@ -1,0 +1,396 @@
+package valid
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"wsnlink/internal/frame"
+	"wsnlink/internal/netsim"
+	"wsnlink/internal/scenario"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/stats"
+	"wsnlink/internal/sweep"
+)
+
+// The scenario suite extends the harness to the multi-node/multi-condition
+// simulators behind the scenario engine, with the same three-tier structure:
+// exact oracles where a closed relation exists (a single-node star IS the
+// link simulator; LPL is closed-form), conservation identities on every
+// counter set, and seed-paired metamorphic laws through the sweep engine.
+
+// starLinkConfigs spans the regimes the star≡link identity must hold in:
+// clean and lossy links, shallow and deep retries. All paced — the shared
+// medium has no saturated mode (a saturated sender would hold the channel
+// forever).
+func starLinkConfigs() []stack.Config {
+	return []stack.Config{
+		{DistanceM: 10, TxPower: 31, MaxTries: 3, RetryDelay: 0.03, QueueCap: 1, PktInterval: 0.05, PayloadBytes: 110},
+		{DistanceM: 30, TxPower: 11, MaxTries: 8, RetryDelay: 0, QueueCap: 1, PktInterval: 0.03, PayloadBytes: 50},
+		{DistanceM: 25, TxPower: 11, MaxTries: 5, RetryDelay: 0.03, QueueCap: 5, PktInterval: 0.05, PayloadBytes: 50},
+	}
+}
+
+// starContentionConfig is the paced multi-sender regime the star oracles and
+// laws run in: fast enough arrivals that eight senders contend visibly.
+func starContentionConfig() stack.Config {
+	return stack.Config{DistanceM: 25, TxPower: 11, MaxTries: 5, RetryDelay: 0.03,
+		QueueCap: 5, PktInterval: 0.02, PayloadBytes: 50}
+}
+
+// runScenarios executes the scenario-engine oracle and law suite.
+func runScenarios(ctx context.Context, opts Options) ([]Check, error) {
+	var checks []Check
+
+	// Star ≡ link exactness: a one-node star must reproduce the single-link
+	// DES run bit for bit — same RNG stream, same event timing, so the
+	// derived metric report is equal as a struct, not merely close. This is
+	// the strongest oracle the star simulator has: every divergence in
+	// seeding, CCA handling, or accounting breaks it.
+	for ci, cfg := range starLinkConfigs() {
+		ropts := scenario.RunOptions{
+			Packets: opts.Packets,
+			Seed:    splitmix64(opts.BaseSeed ^ 0x5354 ^ uint64(ci)),
+			FullDES: true, // the star simulator is event-driven; compare like with like
+		}
+		linkRow, err := scenario.Run(ctx, scenario.LinkSpec(), cfg, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("star-link cfg %d (link): %w", ci, err)
+		}
+		starRow, err := scenario.Run(ctx, scenario.StarSpec(1), cfg, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("star-link cfg %d (star): %w", ci, err)
+		}
+		checks = append(checks, checkStarLinkExact(fmt.Sprintf("cfg%d", ci), linkRow, starRow))
+	}
+
+	// Per-node conservation and the aggregate goodput identity on a real
+	// multi-node star.
+	cfg := starContentionConfig()
+	nodes := make([]stack.Config, 8)
+	for i := range nodes {
+		nodes[i] = cfg
+	}
+	res, err := netsim.RunStarContext(ctx, nodes, netsim.Options{
+		PacketsPerNode: opts.Packets,
+		Seed:           splitmix64(opts.BaseSeed ^ 0x636f6e73),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("star conservation run: %w", err)
+	}
+	checks = append(checks, checkStarConservation("star8", nodes, res)...)
+
+	// Offered-load bound through the scenario engine: aggregate goodput can
+	// never exceed what the applications offered.
+	starRow, err := scenario.Run(ctx, scenario.StarSpec(8), cfg, scenario.RunOptions{
+		Packets: opts.Packets,
+		Seed:    splitmix64(opts.BaseSeed ^ 0x626e64),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("star goodput run: %w", err)
+	}
+	checks = append(checks, checkGoodputBound("star8", starRow))
+
+	// Conservation through the mobility engine (the only scenario whose
+	// packet accounting does not flow through sim.Counters.CheckInvariants).
+	mobRow, err := scenario.Run(ctx, scenario.Spec{Kind: scenario.KindMobility}, cfg, scenario.RunOptions{
+		Packets: opts.Packets,
+		Seed:    splitmix64(opts.BaseSeed ^ 0x6d6f62),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mobility run: %w", err)
+	}
+	checks = append(checks, checkRowConservation("mobility", mobRow))
+
+	// Seed-paired metamorphic laws over the scenario sweep engine.
+	for _, l := range scenarioLaws() {
+		baseRows, err := scenarioReplicas(ctx, l.baseSpec, l.baseCfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("law %s (base): %w", l.name, err)
+		}
+		derivedRows, err := scenarioReplicas(ctx, l.derivedSpec, l.derivedCfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("law %s (derived): %w", l.name, err)
+		}
+		c, err := evalScenarioLaw(l, baseRows, derivedRows, opts)
+		if err != nil {
+			return nil, fmt.Errorf("law %s: %w", l.name, err)
+		}
+		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
+// checkStarLinkExact is the exact identity verdict for one configuration.
+func checkStarLinkExact(tag string, link, star scenario.Row) Check {
+	pass := link.Report == star.Report
+	detail := "one-node star reproduces the link DES report exactly"
+	if !pass {
+		detail = fmt.Sprintf("reports diverge: link %+v vs star %+v", link.Report, star.Report)
+	}
+	return Check{Name: "oracle/star-link-exact/" + tag, Layer: "net", Pass: pass, Detail: detail}
+}
+
+// checkStarConservation verifies every node's counting identities and the
+// aggregate goodput identity (Σ delivered payload bits / duration). The
+// single-link CheckInvariants is deliberately NOT reused: under contention a
+// serviced packet can be abandoned at CCA without ever transmitting, so the
+// SNR-sample and listen-time identities of the point-to-point MAC do not
+// apply. What remains exact on a shared medium is checked here.
+func checkStarConservation(tag string, cfgs []stack.Config, res netsim.Result) []Check {
+	var out []Check
+	pass, detail := true, fmt.Sprintf("all %d nodes conserve packets", len(res.Nodes))
+	for i, n := range res.Nodes {
+		if err := starNodeInvariants(cfgs[i], n); err != nil {
+			pass, detail = false, fmt.Sprintf("node %d: %v", i, err)
+			break
+		}
+	}
+	out = append(out, Check{Name: "oracle/star-conservation/" + tag, Layer: "net", Pass: pass, Detail: detail})
+
+	var bits float64
+	for _, n := range res.Nodes {
+		bits += float64(n.Counters.Delivered) * float64(n.Config.PayloadBytes) * 8
+	}
+	want := 0.0
+	if res.Duration > 0 {
+		want = bits / res.Duration / 1000
+	}
+	out = append(out, Check{
+		Name:  "oracle/star-goodput-identity/" + tag,
+		Layer: "net",
+		Pass:  closeRel(res.AggregateGoodputKbps, want),
+		Detail: fmt.Sprintf("aggregate goodput %.6f kbps vs Σ delivered bits / duration = %.6f kbps",
+			res.AggregateGoodputKbps, want),
+	})
+	return out
+}
+
+// starNodeInvariants is the shared-medium subset of the simulator's
+// conservation laws, exact for every star node regardless of contention.
+func starNodeInvariants(cfg stack.Config, n netsim.NodeResult) error {
+	c := n.Counters
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("netsim: invariant violated: "+format, args...)
+	}
+	for _, v := range []struct {
+		name  string
+		value int
+	}{
+		{"Generated", c.Generated}, {"QueueDrops", c.QueueDrops},
+		{"RadioDrops", c.RadioDrops}, {"Delivered", c.Delivered},
+		{"Acked", c.Acked}, {"Serviced", c.Serviced},
+		{"TotalTransmissions", c.TotalTransmissions},
+		{"Collisions", n.Collisions}, {"CCAFailures", n.CCAFailures},
+	} {
+		if v.value < 0 {
+			return fail("%s = %d is negative", v.name, v.value)
+		}
+	}
+	if c.Generated != c.QueueDrops+c.Serviced {
+		return fail("Generated %d != QueueDrops %d + Serviced %d",
+			c.Generated, c.QueueDrops, c.Serviced)
+	}
+	if c.RadioDrops != c.Serviced-c.Delivered {
+		return fail("RadioDrops %d != Serviced %d - Delivered %d",
+			c.RadioDrops, c.Serviced, c.Delivered)
+	}
+	if c.Acked > c.Delivered {
+		return fail("Acked %d > Delivered %d", c.Acked, c.Delivered)
+	}
+	if c.AckedTransmissions != c.Acked {
+		return fail("AckedTransmissions %d != Acked %d", c.AckedTransmissions, c.Acked)
+	}
+	// CCA abandonment can leave a serviced packet with zero transmissions,
+	// so only the upper bound of the link simulator's attempt law survives.
+	if c.TotalTransmissions > c.Serviced*cfg.MaxTries {
+		return fail("TotalTransmissions %d > Serviced %d × MaxTries %d",
+			c.TotalTransmissions, c.Serviced, cfg.MaxTries)
+	}
+	if n.Collisions > c.TotalTransmissions {
+		return fail("Collisions %d > TotalTransmissions %d", n.Collisions, c.TotalTransmissions)
+	}
+	frameBits := int64(8 * frame.OnAirBytes(cfg.PayloadBytes))
+	if c.TotalTxBits != int64(c.TotalTransmissions)*frameBits {
+		return fail("TotalTxBits %d != TotalTransmissions %d × frame bits %d",
+			c.TotalTxBits, c.TotalTransmissions, frameBits)
+	}
+	wantTxE := float64(c.TotalTxBits) * cfg.TxPower.TxEnergyPerBitMicroJ()
+	if d := math.Abs(c.TxEnergyMicroJ - wantTxE); d > 1e-12 && d > 1e-9*wantTxE {
+		return fail("TxEnergyMicroJ %v != TotalTxBits × energy/bit = %v",
+			c.TxEnergyMicroJ, wantTxE)
+	}
+	if c.MaxQueueOccupancy > cfg.QueueCap {
+		return fail("MaxQueueOccupancy %d > QueueCap %d", c.MaxQueueOccupancy, cfg.QueueCap)
+	}
+	return nil
+}
+
+// checkGoodputBound: delivered payload rate cannot exceed the offered load
+// (goodput saturation law; holds for any paced scenario row). A finite run
+// generates its Packets packets over only (Packets−1) inter-arrival gaps, so
+// the in-run offered rate exceeds the steady-state rate by Packets/(Packets−1)
+// — the bound carries that correction.
+func checkGoodputBound(tag string, r scenario.Row) Check {
+	offeredKbps := r.Net.OfferedLoadPPS * float64(r.Config.PayloadBytes) * 8 / 1000
+	bound := offeredKbps
+	if r.Packets > 1 {
+		bound *= float64(r.Packets) / float64(r.Packets-1)
+	}
+	pass := r.Config.Saturated() || r.Net.AggGoodputKbps <= bound*(1+1e-9)
+	return Check{
+		Name:  "oracle/goodput-bound/" + tag,
+		Layer: "net",
+		Pass:  pass,
+		Detail: fmt.Sprintf("aggregate goodput %.4f kbps vs offered-load bound %.4f kbps",
+			r.Net.AggGoodputKbps, bound),
+	}
+}
+
+// checkRowConservation: generated packets are fully accounted for by
+// delivery, queue drops, and radio drops.
+func checkRowConservation(tag string, r scenario.Row) Check {
+	rep := r.Report
+	pass := rep.Delivered+rep.QueueDrops+rep.RadioDrops == rep.Generated
+	return Check{
+		Name:  "oracle/packet-conservation/" + tag,
+		Layer: "net",
+		Pass:  pass,
+		Detail: fmt.Sprintf("generated %d = delivered %d + queue drops %d + radio drops %d",
+			rep.Generated, rep.Delivered, rep.QueueDrops, rep.RadioDrops),
+	}
+}
+
+// scenLaw is one metamorphic relation across scenario parameters: the base
+// and derived sides may change the scenario spec, the link configuration, or
+// both. width 0 marks an exact law (closed-form scenario): the direction
+// must hold with zero margin on every replica mean.
+type scenLaw struct {
+	name, layer           string
+	baseSpec, derivedSpec scenario.Spec
+	baseCfg, derivedCfg   stack.Config
+	metric                func(scenario.Row) float64
+	increasing            bool
+	width                 float64
+	detail                string
+}
+
+// scenarioLaws returns the monotonicity relations the scenario models imply.
+func scenarioLaws() []scenLaw {
+	contention := starContentionConfig()
+	paced := contention
+	paced.PktInterval = 0.05
+
+	lossy := stack.Config{DistanceM: 30, TxPower: 11, MaxTries: 3, RetryDelay: 0.03,
+		QueueCap: 1, PktInterval: 0, PayloadBytes: 50}
+
+	calm := scenario.Spec{Kind: scenario.KindInterference,
+		Interference: &scenario.InterferenceParams{DutyCycle: 0.05, PowerAtVictimDBm: -72}}
+	noisy := scenario.Spec{Kind: scenario.KindInterference,
+		Interference: &scenario.InterferenceParams{DutyCycle: 0.6, PowerAtVictimDBm: -72}}
+
+	shortWake := scenario.Spec{Kind: scenario.KindLPL, LPL: &scenario.LPLParams{WakeIntervalS: 0.1}}
+	longWake := scenario.Spec{Kind: scenario.KindLPL, LPL: &scenario.LPLParams{WakeIntervalS: 1.0}}
+
+	// One replica's per-node goodput is at most the per-node offered load.
+	maxPerNode := float64(contention.PayloadBytes) * 8 / contention.PktInterval / 1000
+
+	return []scenLaw{
+		{
+			name: "star-nodes-goodput", layer: "net",
+			baseSpec: scenario.StarSpec(2), derivedSpec: scenario.StarSpec(8),
+			baseCfg: contention, derivedCfg: contention,
+			metric: func(r scenario.Row) float64 {
+				return r.Net.AggGoodputKbps / float64(r.Net.Nodes)
+			},
+			increasing: false, width: 2 * maxPerNode,
+			detail: "more contending senders must not increase per-node goodput",
+		},
+		{
+			name: "interference-per", layer: "net",
+			baseSpec: calm, derivedSpec: noisy,
+			baseCfg: lossy, derivedCfg: lossy,
+			metric:     func(r scenario.Row) float64 { return r.Report.PER },
+			increasing: true, width: 1,
+			detail: "a busier interferer must not decrease PER",
+		},
+		{
+			name: "lpl-duty", layer: "net",
+			baseSpec: shortWake, derivedSpec: longWake,
+			baseCfg: paced, derivedCfg: paced,
+			metric:     func(r scenario.Row) float64 { return r.Net.DutyCycle },
+			increasing: false, width: 0,
+			detail: "a longer wake interval must not increase the receiver duty cycle (exact)",
+		},
+		{
+			name: "lpl-latency", layer: "net",
+			baseSpec: shortWake, derivedSpec: longWake,
+			baseCfg: paced, derivedCfg: paced,
+			metric:     func(r scenario.Row) float64 { return r.Net.LatencyS },
+			increasing: true, width: 0,
+			detail: "a longer wake interval must not decrease one-hop latency (exact)",
+		},
+	}
+}
+
+// evalScenarioLaw turns one law's paired replica rows into a verdict.
+func evalScenarioLaw(l scenLaw, baseRows, derivedRows []scenario.Row, opts Options) (Check, error) {
+	margin := 0.0
+	if l.width > 0 {
+		m, err := stats.HoeffdingMargin(opts.Seeds, l.width, metaAlpha)
+		if err != nil {
+			return Check{}, err
+		}
+		margin = m
+	}
+	meanDiff := 0.0
+	for i := range baseRows {
+		meanDiff += l.metric(derivedRows[i]) - l.metric(baseRows[i])
+	}
+	meanDiff /= float64(opts.Seeds)
+
+	pass := meanDiff <= margin
+	if l.increasing {
+		pass = meanDiff >= -margin
+	}
+	dir := "non-increasing"
+	if l.increasing {
+		dir = "non-decreasing"
+	}
+	return Check{
+		Name:  "metamorphic/" + l.name,
+		Layer: l.layer,
+		Pass:  pass,
+		Detail: fmt.Sprintf("%s: mean diff %.6g over %d seed pairs, %s within margin %.6g",
+			l.detail, meanDiff, opts.Seeds, dir, margin),
+	}, nil
+}
+
+// scenarioReplicas runs one (spec, config) pair Options.Seeds times through
+// the scenario sweep engine. Replica i's seed derives from (BaseSeed, i)
+// regardless of the spec, which pairs the base and derived sweeps.
+func scenarioReplicas(ctx context.Context, spec scenario.Spec, cfg stack.Config, opts Options) ([]scenario.Row, error) {
+	cfgs := make([]stack.Config, opts.Seeds)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	ropts := sweep.RunOptions{
+		Packets:  opts.Packets,
+		BaseSeed: opts.BaseSeed,
+	}
+	if opts.FullDES {
+		ropts.Engine = sim.EngineDES
+	}
+	rows, err := sweep.RunScenarios(ctx, spec, cfgs, ropts)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != opts.Seeds {
+		return nil, fmt.Errorf("scenario sweep returned %d rows, want %d", len(rows), opts.Seeds)
+	}
+	if math.IsNaN(rows[0].Report.PER) {
+		return nil, fmt.Errorf("scenario sweep produced NaN metrics")
+	}
+	return rows, nil
+}

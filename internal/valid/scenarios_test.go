@@ -1,0 +1,206 @@
+package valid
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"wsnlink/internal/netsim"
+	"wsnlink/internal/scenario"
+	"wsnlink/internal/stack"
+)
+
+// starNodes returns n identical contention-regime node configurations.
+func starNodes(n int) []stack.Config {
+	out := make([]stack.Config, n)
+	for i := range out {
+		out[i] = starContentionConfig()
+	}
+	return out
+}
+
+// scenarioTestOptions keeps the scenario suite quick in unit tests;
+// `make validate-scenarios` runs the full defaults.
+func scenarioTestOptions(seed uint64) Options {
+	return Options{BaseSeed: seed, Seeds: 8, Packets: 300, Scenarios: true}
+}
+
+// TestScenarioSuitePassesAcrossSeeds: the extended suite must produce a
+// clean verdict, and the scenario checks must actually be present.
+func TestScenarioSuitePassesAcrossSeeds(t *testing.T) {
+	for _, seed := range []uint64{1, 2} {
+		r, err := Run(context.Background(), scenarioTestOptions(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.Pass {
+			for _, c := range r.Checks {
+				if !c.Pass {
+					t.Errorf("seed %d: %s: %s", seed, c.Name, c.Detail)
+				}
+			}
+			t.Fatalf("seed %d: %d checks failed", seed, r.Failed)
+		}
+		if !r.Scenarios {
+			t.Fatal("report does not record the scenario suite")
+		}
+		net := 0
+		for _, c := range r.Checks {
+			if c.Layer == "net" {
+				net++
+			}
+		}
+		if net < 9 {
+			t.Fatalf("only %d net-layer checks ran; the scenario suite is missing", net)
+		}
+	}
+}
+
+// TestScenarioSuiteDeterministic: equal options, equal verdicts.
+func TestScenarioSuiteDeterministic(t *testing.T) {
+	a, err := runScenarios(context.Background(), scenarioTestOptions(9).withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runScenarios(context.Background(), scenarioTestOptions(9).withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two scenario suites with equal options produced different checks")
+	}
+}
+
+// scenarioRun produces one honest star row pair and netsim result for the
+// tampering tests below.
+func scenarioRuns(t *testing.T) (link, star scenario.Row, res netsim.Result) {
+	t.Helper()
+	cfg := starLinkConfigs()[2]
+	ropts := scenario.RunOptions{Packets: 300, Seed: 17, FullDES: true}
+	var err error
+	link, err = scenario.Run(context.Background(), scenario.LinkSpec(), cfg, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err = scenario.Run(context.Background(), scenario.StarSpec(1), cfg, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = netsim.RunStar(starNodes(4), netsim.Options{PacketsPerNode: 300, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return link, star, res
+}
+
+// TestScenarioChecksCatchTampering: each corruption must trip the check
+// guarding the corrupted quantity — the scenario oracles are not vacuous.
+func TestScenarioChecksCatchTampering(t *testing.T) {
+	link, star, res := scenarioRuns(t)
+
+	t.Run("honest", func(t *testing.T) {
+		if c := checkStarLinkExact("t", link, star); !c.Pass {
+			t.Fatalf("honest star≡link failed: %s", c.Detail)
+		}
+		for _, c := range checkStarConservation("t", starNodes(4), res) {
+			if !c.Pass {
+				t.Fatalf("honest conservation failed: %s: %s", c.Name, c.Detail)
+			}
+		}
+		if c := checkGoodputBound("t", star); !c.Pass {
+			t.Fatalf("honest goodput bound failed: %s", c.Detail)
+		}
+		if c := checkRowConservation("t", star); !c.Pass {
+			t.Fatalf("honest row conservation failed: %s", c.Detail)
+		}
+	})
+	t.Run("star-link-drift", func(t *testing.T) {
+		bad := star
+		bad.Report.MeanDelay *= 1 + 1e-12
+		if c := checkStarLinkExact("t", link, bad); c.Pass {
+			t.Fatal("a 1e-12 relative delay drift passed the exact identity")
+		}
+	})
+	t.Run("lost-packets", func(t *testing.T) {
+		bad := res
+		bad.Nodes = append([]netsim.NodeResult(nil), res.Nodes...)
+		bad.Nodes[1].Counters.Generated += 3
+		cs := checkStarConservation("t", starNodes(4), bad)
+		if cs[0].Pass {
+			t.Fatalf("broken per-node conservation not caught: %s", cs[0].Detail)
+		}
+	})
+	t.Run("inflated-goodput", func(t *testing.T) {
+		bad := res
+		bad.AggregateGoodputKbps *= 1.01
+		cs := checkStarConservation("t", starNodes(4), bad)
+		if cs[1].Pass {
+			t.Fatalf("1%% goodput inflation not caught: %s", cs[1].Detail)
+		}
+		badRow := star
+		badRow.Net.AggGoodputKbps = badRow.Net.OfferedLoadPPS*float64(badRow.Config.PayloadBytes)*8/1000 + 1
+		if c := checkGoodputBound("t", badRow); c.Pass {
+			t.Fatal("goodput above the offered load passed the bound")
+		}
+	})
+	t.Run("unaccounted-row", func(t *testing.T) {
+		bad := star
+		bad.Report.Generated++
+		if c := checkRowConservation("t", bad); c.Pass {
+			t.Fatal("an unaccounted generated packet passed row conservation")
+		}
+	})
+}
+
+// TestScenarioLawsCatchInversion: swapping the base and derived sides must
+// fail the exact LPL laws — the direction checks are not vacuous.
+func TestScenarioLawsCatchInversion(t *testing.T) {
+	opts := scenarioTestOptions(3).withDefaults()
+	for _, l := range scenarioLaws() {
+		if l.width != 0 {
+			continue // the exact laws are the ones a swap must always trip
+		}
+		base, err := scenarioReplicas(context.Background(), l.baseSpec, l.baseCfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		derived, err := scenarioReplicas(context.Background(), l.derivedSpec, l.derivedCfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := evalScenarioLaw(l, base, derived, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Pass {
+			t.Fatalf("honest law %s failed: %s", l.name, c.Detail)
+		}
+		inv, err := evalScenarioLaw(l, derived, base, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.Pass {
+			t.Fatalf("inverted law %s still passed: %s", l.name, inv.Detail)
+		}
+	}
+}
+
+// TestScenarioReplicasArePaired: replica i of two different scenario specs
+// must receive the same engine-derived seed.
+func TestScenarioReplicasArePaired(t *testing.T) {
+	opts := Options{BaseSeed: 5, Seeds: 4, Packets: 50}
+	cfg := starContentionConfig()
+	a, err := scenarioReplicas(context.Background(), scenario.StarSpec(2), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenarioReplicas(context.Background(), scenario.StarSpec(8), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed {
+			t.Fatalf("replica %d: base seed %d != derived seed %d", i, a[i].Seed, b[i].Seed)
+		}
+	}
+}

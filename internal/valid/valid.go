@@ -52,6 +52,11 @@ type Options struct {
 	// path. Oracle tolerances widen where the sampled backoff jitters
 	// around the closed-form mean.
 	FullDES bool
+	// Scenarios extends the suite to the scenario engine: star≡link
+	// exactness, per-node conservation, goodput bounds, and seed-paired
+	// monotonicity laws over the star/interference/LPL scenarios
+	// (scenarios.go).
+	Scenarios bool
 }
 
 func (o Options) withDefaults() Options {
@@ -68,8 +73,9 @@ func (o Options) withDefaults() Options {
 type Check struct {
 	// Name identifies the check, e.g. "oracle/ack-binomial/calibrated/cfg2".
 	Name string `json:"name"`
-	// Layer is the stack layer the check exercises: phy, mac, app, or
-	// cross (multi-layer identities and laws).
+	// Layer is the stack layer the check exercises: phy, mac, app, net
+	// (scenario/topology checks), or cross (multi-layer identities and
+	// laws).
 	Layer string `json:"layer"`
 	Pass  bool   `json:"pass"`
 	// Detail states observed vs expected with the tolerance applied.
@@ -78,14 +84,16 @@ type Check struct {
 
 // Report is the validation verdict manifest (schema ReportSchema).
 type Report struct {
-	Schema   string  `json:"schema"`
-	BaseSeed uint64  `json:"base_seed"`
-	Seeds    int     `json:"seeds"`
-	Packets  int     `json:"packets"`
-	FullDES  bool    `json:"full_des"`
-	Pass     bool    `json:"pass"`
-	Failed   int     `json:"failed"`
-	Checks   []Check `json:"checks"`
+	Schema   string `json:"schema"`
+	BaseSeed uint64 `json:"base_seed"`
+	Seeds    int    `json:"seeds"`
+	Packets  int    `json:"packets"`
+	FullDES  bool   `json:"full_des"`
+	// Scenarios records whether the scenario-engine suite ran.
+	Scenarios bool    `json:"scenarios,omitempty"`
+	Pass      bool    `json:"pass"`
+	Failed    int     `json:"failed"`
+	Checks    []Check `json:"checks"`
 }
 
 // ReportSchema identifies the verdict manifest format.
@@ -98,11 +106,12 @@ const ReportSchema = "wsnlink-valid-report/v1"
 func Run(ctx context.Context, opts Options) (Report, error) {
 	opts = opts.withDefaults()
 	r := Report{
-		Schema:   ReportSchema,
-		BaseSeed: opts.BaseSeed,
-		Seeds:    opts.Seeds,
-		Packets:  opts.Packets,
-		FullDES:  opts.FullDES,
+		Schema:    ReportSchema,
+		BaseSeed:  opts.BaseSeed,
+		Seeds:     opts.Seeds,
+		Packets:   opts.Packets,
+		FullDES:   opts.FullDES,
+		Scenarios: opts.Scenarios,
 	}
 	oracle, err := runOracles(ctx, opts)
 	if err != nil {
@@ -114,6 +123,13 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 		return Report{}, fmt.Errorf("valid: metamorphic: %w", err)
 	}
 	r.Checks = append(r.Checks, meta...)
+	if opts.Scenarios {
+		scen, err := runScenarios(ctx, opts)
+		if err != nil {
+			return Report{}, fmt.Errorf("valid: scenarios: %w", err)
+		}
+		r.Checks = append(r.Checks, scen...)
+	}
 
 	r.Pass = true
 	for _, c := range r.Checks {

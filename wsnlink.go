@@ -29,6 +29,7 @@ import (
 	"wsnlink/internal/obs"
 	"wsnlink/internal/optimize"
 	"wsnlink/internal/phy"
+	"wsnlink/internal/scenario"
 	"wsnlink/internal/serve"
 	"wsnlink/internal/sim"
 	"wsnlink/internal/stack"
@@ -214,6 +215,81 @@ func SweepFingerprint(space Space, opts SweepOptions) (uint64, error) {
 		return 0, err
 	}
 	return sweep.CampaignFingerprint(space.All(), opts), nil
+}
+
+// Scenario campaigns. A scenario generalizes the sweep from the paper's
+// single link to the other simulator families (star contention, bursty
+// interference, low-power listening, random-waypoint mobility); a scenario
+// campaign runs every configuration of a space through the selected
+// simulator with the sweep engine's determinism, checkpointing and
+// byte-identical resume intact.
+type (
+	// ScenarioKind names a scenario family ("link", "star", ...).
+	ScenarioKind = scenario.Kind
+	// ScenarioSpec selects a scenario kind plus its parameter block;
+	// the zero value is the plain link scenario.
+	ScenarioSpec = scenario.Spec
+	// ScenarioStarParams configures the star-contention scenario.
+	ScenarioStarParams = scenario.StarParams
+	// ScenarioInterferenceParams configures the bursty-interferer scenario.
+	ScenarioInterferenceParams = scenario.InterferenceParams
+	// ScenarioLPLParams configures the low-power-listening scenario.
+	ScenarioLPLParams = scenario.LPLParams
+	// ScenarioMobilityParams configures the random-waypoint scenario.
+	ScenarioMobilityParams = scenario.MobilityParams
+	// ScenarioRow is one scenario campaign result: the link-row fields
+	// plus the scenario tag and network-level statistics.
+	ScenarioRow = scenario.Row
+	// ScenarioNetStats holds the per-scenario network columns.
+	ScenarioNetStats = scenario.NetStats
+	// ScenarioUnknownKindError reports a scenario name outside the kinds
+	// set (use errors.As to detect it on spec validation).
+	ScenarioUnknownKindError = scenario.UnknownKindError
+)
+
+// The scenario kinds a campaign can name.
+const (
+	ScenarioLink         = scenario.KindLink
+	ScenarioStar         = scenario.KindStar
+	ScenarioInterference = scenario.KindInterference
+	ScenarioLPL          = scenario.KindLPL
+	ScenarioMobility     = scenario.KindMobility
+)
+
+// StarScenario returns a normalized star spec with the given sender count.
+func StarScenario(nodes int) ScenarioSpec { return scenario.StarSpec(nodes) }
+
+// ScenarioSweepStream runs a scenario campaign over every configuration of
+// the space, calling yield once per completed row in input order — the
+// scenario counterpart of SweepStream, sharing its seeding, worker-pool,
+// checkpoint and resume semantics (BatchSize does not apply: the batch
+// kernel is link-only).
+func ScenarioSweepStream(ctx context.Context, spec ScenarioSpec, space Space, opts SweepOptions, yield func(ScenarioRow) error) error {
+	if err := space.Validate(); err != nil {
+		return err
+	}
+	return sweep.StreamScenarios(ctx, spec, space.All(), opts, yield)
+}
+
+// ScenarioSweep collects a scenario campaign into a slice, honoring ctx;
+// rows completed before an error are returned alongside the non-nil error.
+func ScenarioSweep(ctx context.Context, spec ScenarioSpec, space Space, opts SweepOptions) ([]ScenarioRow, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	return sweep.RunScenarios(ctx, spec, space.All(), opts)
+}
+
+// ScenarioSweepFingerprint returns the campaign identity hash of a scenario
+// campaign. Scenario fingerprints occupy a namespace distinct from
+// SweepFingerprint's, so a scenario dataset never aliases a link dataset in
+// the daemon's content-addressed cache — even for the "link" kind, whose
+// rows carry the wider scenario schema.
+func ScenarioSweepFingerprint(spec ScenarioSpec, space Space, opts SweepOptions) (uint64, error) {
+	if err := space.Validate(); err != nil {
+		return 0, err
+	}
+	return sweep.ScenarioFingerprint(spec, space.All(), opts)
 }
 
 // Campaign service. A wsnlinkd daemon (cmd/wsnlinkd) queues campaigns

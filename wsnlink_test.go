@@ -218,3 +218,67 @@ func TestFacadeLifecycleTracing(t *testing.T) {
 		t.Error("NDJSON export missing tx_attempt events")
 	}
 }
+
+// TestFacadeScenarioSweep runs a star campaign through the public scenario
+// surface and pins the exactness anchor the validation suite relies on: a
+// one-node star is the single link, row for row.
+func TestFacadeScenarioSweep(t *testing.T) {
+	space := wsnlink.Space{
+		DistancesM:    []float64{25},
+		TxPowers:      []wsnlink.PowerLevel{15, 31},
+		MaxTries:      []int{3},
+		RetryDelays:   []float64{0.03},
+		QueueCaps:     []int{5},
+		PktIntervals:  []float64{0.05},
+		PayloadsBytes: []int{50},
+	}
+	opts := wsnlink.SweepOptions{Packets: 200, BaseSeed: 9, Engine: wsnlink.EngineDES}
+
+	rows, err := wsnlink.ScenarioSweep(context.Background(), wsnlink.StarScenario(3), space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != space.Size() {
+		t.Fatalf("rows = %d, want %d", len(rows), space.Size())
+	}
+	for _, r := range rows {
+		if r.Scenario != wsnlink.ScenarioStar || r.Net.Nodes != 3 {
+			t.Fatalf("row = %+v, want 3-node star", r)
+		}
+	}
+
+	// One-node star ≡ link: identical derived reports under the same seeds.
+	single, err := wsnlink.ScenarioSweep(context.Background(), wsnlink.StarScenario(1), space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := wsnlink.Sweep(context.Background(), space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range link {
+		if single[i].Report != link[i].Report {
+			t.Fatalf("config %d: 1-node star report %+v != link report %+v",
+				i, single[i].Report, link[i].Report)
+		}
+	}
+
+	// Scenario fingerprints live in their own namespace: even the link
+	// kind must not alias the legacy campaign fingerprint.
+	linkFP, err := wsnlink.SweepFingerprint(space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scnFP, err := wsnlink.ScenarioSweepFingerprint(wsnlink.ScenarioSpec{}, space, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linkFP == scnFP {
+		t.Error("scenario fingerprint namespace collides with the link namespace")
+	}
+	var uk *wsnlink.ScenarioUnknownKindError
+	_, err = wsnlink.ScenarioSweepFingerprint(wsnlink.ScenarioSpec{Kind: "mesh"}, space, opts)
+	if !errors.As(err, &uk) || uk.Name != "mesh" {
+		t.Errorf("unknown kind error = %v, want *ScenarioUnknownKindError", err)
+	}
+}
