@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-e2e validate validate-scenarios bench bench-json bench-check vulncheck verify
+.PHONY: build test vet race service-e2e validate validate-scenarios bench bench-json bench-check bench-service bench-service-baseline vulncheck verify
 
 # Benchmarks the committed BENCH_2.json baseline tracks: the batch kernel
 # (the configs_per_sec headline), sweep throughput, the per-configuration
@@ -27,7 +27,7 @@ race:
 	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./internal/serve \
 		./internal/scenario ./internal/netsim ./internal/interference \
 		./internal/lpl ./internal/mobility \
-		./cmd/wsnsweep ./cmd/wsnlinkd
+		./cmd/wsnsweep ./cmd/wsnlinkd ./cmd/wsnload
 
 # The daemon e2e suite on its own: boots wsnlinkd on a loopback port and
 # proves cache-hit replay and kill/restart resume are byte-identical.
@@ -77,6 +77,42 @@ bench-check:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench 'BenchmarkRunBatch' -benchmem . \
 		| /tmp/benchjson -baseline BENCH_2.json > /dev/null
+
+# Service benchmark knobs, shared by the baseline and the gate so both
+# measure the same workload shape.
+WSNLOAD_FLAGS = -clients 8 -duration 10s -ramp 1s
+
+# _bench-service-run boots a throwaway daemon on a free port, drives it
+# with wsnload and leaves the fresh document at /tmp/wsnload-fresh.json.
+# The daemon gets SIGTERM afterwards, so every bench run also exercises
+# the graceful drain path.
+define _bench_service_run
+	$(GO) build -o /tmp/wsnlinkd ./cmd/wsnlinkd
+	$(GO) build -o /tmp/wsnload ./cmd/wsnload
+	rm -rf /tmp/wsnload-bench-data /tmp/wsnlinkd-bench.addr
+	/tmp/wsnlinkd -addr localhost:0 -addr-file /tmp/wsnlinkd-bench.addr \
+		-data-dir /tmp/wsnload-bench-data -jobs 2 2>/tmp/wsnlinkd-bench.log & \
+		echo $$! > /tmp/wsnlinkd-bench.pid
+	for i in $$(seq 50); do [ -s /tmp/wsnlinkd-bench.addr ] && break; sleep 0.1; done
+	/tmp/wsnload -addr "$$(cat /tmp/wsnlinkd-bench.addr)" $(WSNLOAD_FLAGS) \
+		> /tmp/wsnload-fresh.json; \
+		status=$$?; kill -TERM "$$(cat /tmp/wsnlinkd-bench.pid)" 2>/dev/null; \
+		wait "$$(cat /tmp/wsnlinkd-bench.pid)" 2>/dev/null; exit $$status
+endef
+
+# Regenerate the committed service baseline (BENCH_3.json): a live daemon
+# under mixed cache-hit/miss load, headlined by submit p99 and rows/s.
+bench-service-baseline:
+	$(_bench_service_run)
+	cp /tmp/wsnload-fresh.json BENCH_3.json
+
+# Service regression gate: rerun the load harness against a fresh daemon
+# and fail when rows/s regresses >20% or submit p99 blows past 4x the
+# committed BENCH_3.json baseline.
+bench-service:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(_bench_service_run)
+	/tmp/benchjson -service-baseline BENCH_3.json < /tmp/wsnload-fresh.json
 
 # The full quality gate (DESIGN.md §6).
 verify: build vet test race validate validate-scenarios

@@ -49,7 +49,8 @@ type Benchmark struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Output is the document benchjson emits.
+// Output is the document benchjson emits. wsnload emits the same schema
+// with the service headlines filled in; the struct reads both.
 type Output struct {
 	Schema string `json:"schema"`
 	Goos   string `json:"goos,omitempty"`
@@ -57,8 +58,13 @@ type Output struct {
 	CPU    string `json:"cpu,omitempty"`
 	// ConfigsPerSec is the headline campaign throughput: the configs/s
 	// metric of BenchmarkRunBatch (0 when that benchmark was not run).
-	ConfigsPerSec float64     `json:"configs_per_sec,omitempty"`
-	Benchmarks    []Benchmark `json:"benchmarks"`
+	ConfigsPerSec float64 `json:"configs_per_sec,omitempty"`
+	// SubmitP99Ms and RowsPerSec are the service headlines a wsnload run
+	// carries (BENCH_3.json): p99 submit latency and aggregate row
+	// streaming throughput.
+	SubmitP99Ms float64     `json:"submit_p99_ms,omitempty"`
+	RowsPerSec  float64     `json:"rows_per_sec,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
 }
 
 const schema = "wsnlink-bench/v1"
@@ -71,13 +77,35 @@ const headlineBench = "BenchmarkRunBatch"
 // may lose before -baseline fails the build.
 const regressionTolerance = 0.20
 
+// p99Tolerance is how many times the baseline submit p99 a fresh service
+// run may reach before -service-baseline fails. Tail latency on shared CI
+// hardware is far noisier than throughput, hence the loose multiple.
+const p99Tolerance = 4.0
+
 func main() {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	baseline := fs.String("baseline", "", "committed baseline JSON to gate against: fail if "+headlineBench+" configs/s regresses >20%")
+	serviceBaseline := fs.String("service-baseline", "", "committed wsnload baseline JSON; stdin is a fresh wsnload document, fail on rows_per_sec regression >20% or submit p99 blowup >4x")
 	version := fs.Bool("version", false, "print version and exit")
 	fs.Parse(os.Args[1:])
 	if *version {
 		fmt.Println("benchjson", buildinfo.Current())
+		return
+	}
+	if *serviceBaseline != "" {
+		// Service mode: stdin already is a wsnlink-bench/v1 document (from
+		// wsnload), no benchmark text to parse.
+		var fresh Output
+		if err := json.NewDecoder(os.Stdin).Decode(&fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad wsnload document on stdin:", err)
+			os.Exit(1)
+		}
+		if err := checkServiceBaseline(fresh, *serviceBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: service within %.0f%% rows/s and %.0fx p99 of %s\n",
+			100*regressionTolerance, p99Tolerance, *serviceBaseline)
 		return
 	}
 	out, err := parse(os.Stdin)
@@ -99,6 +127,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %s within %.0f%% of %s\n",
 			headlineBench, 100*regressionTolerance, *baseline)
 	}
+}
+
+// checkServiceBaseline compares a fresh wsnload document against the
+// committed service baseline: row throughput may not regress beyond the
+// standard tolerance and submit p99 may not blow past its multiple.
+func checkServiceBaseline(fresh Output, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.RowsPerSec == 0 || base.SubmitP99Ms == 0 {
+		return fmt.Errorf("%s has no service headlines (rerun make bench-service-baseline)", path)
+	}
+	if fresh.RowsPerSec == 0 {
+		return fmt.Errorf("input has no rows_per_sec headline (is this a wsnload document?)")
+	}
+	floor := base.RowsPerSec * (1 - regressionTolerance)
+	if fresh.RowsPerSec < floor {
+		return fmt.Errorf("service rows/s regressed: %.0f vs baseline %.0f (floor %.0f)",
+			fresh.RowsPerSec, base.RowsPerSec, floor)
+	}
+	ceil := base.SubmitP99Ms * p99Tolerance
+	if fresh.SubmitP99Ms > ceil {
+		return fmt.Errorf("submit p99 blew up: %.2fms vs baseline %.2fms (ceiling %.2fms)",
+			fresh.SubmitP99Ms, base.SubmitP99Ms, ceil)
+	}
+	return nil
 }
 
 // checkBaseline compares the fresh headline throughput against the

@@ -150,3 +150,55 @@ func TestCheckBaseline(t *testing.T) {
 		}
 	})
 }
+
+// TestCheckServiceBaseline covers the service gate: rows/s uses the same
+// 20% tolerance, submit p99 gets a 4x ceiling, and stale baselines error.
+func TestCheckServiceBaseline(t *testing.T) {
+	writeBaseline := func(t *testing.T, body string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "bench3.json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeBaseline(t,
+		`{"schema":"wsnlink-bench/v1","submit_p99_ms":10,"rows_per_sec":5000,"benchmarks":[]}`)
+
+	for _, tc := range []struct {
+		name    string
+		rows    float64
+		p99     float64
+		wantErr bool
+	}{
+		{"faster", 6000, 8, false},
+		{"equal", 5000, 10, false},
+		{"rows at floor", 4000, 10, false},
+		{"rows regressed", 3900, 10, true},
+		{"p99 at ceiling", 5000, 40, false},
+		{"p99 blowup", 5000, 41, true},
+		{"p99 noisy but allowed", 5000, 35, false},
+		{"missing rows headline", 0, 10, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fresh := Output{RowsPerSec: tc.rows, SubmitP99Ms: tc.p99}
+			err := checkServiceBaseline(fresh, base)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("checkServiceBaseline(rows=%g, p99=%g) err = %v, wantErr %v",
+					tc.rows, tc.p99, err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("baseline without service headlines", func(t *testing.T) {
+		stale := writeBaseline(t, `{"schema":"wsnlink-bench/v1","configs_per_sec":38000,"benchmarks":[]}`)
+		if err := checkServiceBaseline(Output{RowsPerSec: 5000, SubmitP99Ms: 10}, stale); err == nil {
+			t.Error("engine-only baseline should error in service mode")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if err := checkServiceBaseline(Output{RowsPerSec: 5000}, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+			t.Error("missing baseline file should error")
+		}
+	})
+}

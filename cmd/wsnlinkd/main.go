@@ -14,16 +14,21 @@
 // start resumes them, reproducing the exact bytes an uninterrupted run would
 // have produced.
 //
-// The standard diagnostics endpoints ride on the same listener:
+// The observability surface rides on the same listener: /metrics
+// (Prometheus text exposition of the labeled service metrics), /healthz and
+// /readyz (liveness/readiness; readiness flips to 503 during a drain),
 // /debug/pprof/*, /debug/vars (expvar, including the "wsnlinkd" service
-// counters) and the /debug/campaign live dashboard showing the most recent
-// active job.
+// counters), the /debug/campaign live dashboard showing the most recent
+// active job, and the /debug/daemon service-wide telemetry panel. Lifecycle
+// events (submissions, starts, finishes, drain checkpoints) are emitted as
+// JSON structured logs on stderr.
 //
 // Usage:
 //
 //	wsnlinkd -addr localhost:8080 -data-dir /var/lib/wsnlinkd
 //	wsnlinkd -addr :0 -data-dir ./data -jobs 2 -job-deadline 2h
 //	curl -s localhost:8080/v1/campaigns -d '{"space":{"distances_m":[35]}}'
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -69,6 +75,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jobDeadline  = fs.Duration("job-deadline", 0, "default per-job deadline (0 = none)")
 		maxDeadline  = fs.Duration("max-job-deadline", 0, "cap on per-job deadlines (0 = none)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max time to checkpoint in-flight jobs on shutdown")
+		addrFile     = fs.String("addr-file", "", "write the actual listen address to this file once bound (for ':0' scripting)")
+		logLevel     = fs.String("log-level", "info", "structured log level (debug, info, warn, error)")
 		version      = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +86,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "wsnlinkd", buildinfo.Current())
 		return nil
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	logger := obs.NewLogger(stderr, level)
+	registry := obs.NewRegistry()
 
 	srv, err := serve.Open(*dataDir, serve.Options{
 		Jobs:     *jobs,
@@ -89,16 +104,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			DefaultDeadline: *jobDeadline,
 			MaxDeadline:     *maxDeadline,
 		},
+		Registry: registry,
+		Logger:   logger,
 	})
 	if err != nil {
 		return err
 	}
-	publishDebug(srv)
+	publishDebug(srv, registry)
 
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", srv.Handler())
-	// pprof, expvar and the campaign dashboard register themselves on the
-	// default mux; serve them from the same listener.
+	// The service handler carries the API plus the operational surface
+	// (/healthz, /readyz, /metrics); pprof, expvar and the dashboards
+	// register themselves on the default mux and ride the same listener.
+	mux.Handle("/", srv.Handler())
 	mux.Handle("/debug/", http.DefaultServeMux)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -108,6 +126,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	fmt.Fprintf(stderr, "wsnlinkd %s listening on http://%s (data dir %s)\n",
 		buildinfo.Current(), ln.Addr(), *dataDir)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
@@ -143,10 +167,12 @@ var (
 	debugOnce   sync.Once
 )
 
-// publishDebug exposes the server's counters under the "wsnlinkd" expvar and
-// wires the /debug/campaign dashboard to the most recent active job.
-func publishDebug(s *serve.Server) {
+// publishDebug exposes the server's counters under the "wsnlinkd" expvar,
+// wires the /debug/campaign dashboard to the most recent active job and the
+// /debug/daemon panel to the service metrics registry.
+func publishDebug(s *serve.Server, reg *obs.Registry) {
 	debugTarget.Store(s)
+	obs.PublishDaemon(reg)
 	debugOnce.Do(func() {
 		expvar.Publish("wsnlinkd", expvar.Func(func() any {
 			if cur := debugTarget.Load(); cur != nil {

@@ -1,0 +1,308 @@
+// Command wsnload is the service load generator: it drives a running
+// wsnlinkd daemon with N concurrent submit-and-stream clients over a mixed
+// cache-hit/cache-miss campaign workload and reports service-level
+// performance as a wsnlink-bench/v1 JSON document.
+//
+// Each client loops for the test duration: submit a small campaign
+// (measuring submit latency end to end), then stream its rows to completion
+// (counting row throughput). A configurable fraction of submissions reuses
+// seeds from a shared hot pool — after their first simulation those are
+// answered from the daemon's result cache, so the workload exercises both
+// the simulate path and the cache-replay path the way mixed production
+// traffic would. Client starts are spread over -ramp so connection storms
+// don't color the tail latencies.
+//
+// The emitted document carries two service headlines next to the usual
+// benchmark entries: submit_p99_ms (p99 submit latency) and rows_per_sec
+// (aggregate row streaming throughput). Committed as BENCH_3.json it is the
+// service baseline; `benchjson -service-baseline BENCH_3.json` gates fresh
+// runs against it.
+//
+// Usage:
+//
+//	wsnload -addr localhost:8080 -clients 8 -duration 10s > fresh.json
+//	benchjson -service-baseline BENCH_3.json < fresh.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wsnlink/internal/buildinfo"
+	"wsnlink/internal/serve"
+)
+
+// benchDoc mirrors the wsnlink-bench/v1 schema benchjson emits, extended
+// with the service headlines. Field names must stay in sync with benchjson
+// so the baseline gate can read both engine and service documents.
+type benchDoc struct {
+	Schema      string       `json:"schema"`
+	Goos        string       `json:"goos,omitempty"`
+	Goarch      string       `json:"goarch,omitempty"`
+	SubmitP99Ms float64      `json:"submit_p99_ms,omitempty"`
+	RowsPerSec  float64      `json:"rows_per_sec,omitempty"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	ctx := context.Background()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "wsnload:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr     string
+	clients  int
+	duration time.Duration
+	ramp     time.Duration
+	packets  int
+	hitRatio float64
+	hotSeeds int
+	seed     uint64
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("wsnload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "", "daemon address (host:port or http://host:port); required")
+	fs.IntVar(&cfg.clients, "clients", 8, "concurrent submit-and-stream clients")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "load duration (measured from the last client start)")
+	fs.DurationVar(&cfg.ramp, "ramp", 0, "spread client starts over this window")
+	fs.IntVar(&cfg.packets, "packets", 120, "packets per configuration (campaign size knob)")
+	fs.Float64Var(&cfg.hitRatio, "hit-ratio", 0.5, "fraction of submissions drawn from the hot seed pool (cache hits after first use)")
+	fs.IntVar(&cfg.hotSeeds, "hot-seeds", 4, "size of the hot seed pool")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "base seed; campaigns derive from it, so runs are comparable")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, "wsnload", buildinfo.Current())
+		return nil
+	}
+	if cfg.addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if !strings.Contains(cfg.addr, "://") {
+		cfg.addr = "http://" + cfg.addr
+	}
+	if cfg.clients <= 0 {
+		cfg.clients = 1
+	}
+
+	doc, err := drive(ctx, cfg, stderr)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// result accumulates what the client goroutines measured.
+type result struct {
+	mu        sync.Mutex
+	submitMs  []float64
+	rows      atomic.Int64
+	submits   atomic.Int64
+	cacheHits atomic.Int64
+	errs      atomic.Int64
+	lastErr   atomic.Pointer[string]
+}
+
+func (r *result) recordSubmit(d time.Duration, cacheHit bool) {
+	r.submits.Add(1)
+	if cacheHit {
+		r.cacheHits.Add(1)
+	}
+	ms := float64(d.Nanoseconds()) / 1e6
+	r.mu.Lock()
+	r.submitMs = append(r.submitMs, ms)
+	r.mu.Unlock()
+}
+
+func (r *result) recordErr(err error) {
+	r.errs.Add(1)
+	s := err.Error()
+	r.lastErr.Store(&s)
+}
+
+// campaignSpec builds one load campaign: 4 configurations, sized by the
+// packets knob, fingerprint-distinguished only by its seed — so hot seeds
+// repeat into cache hits and unique seeds force fresh simulation.
+func campaignSpec(packets int, seed uint64) serve.CampaignSpec {
+	return serve.CampaignSpec{
+		Space: serve.SpaceSpec{
+			DistancesM:    []float64{35},
+			TxPowers:      []int{31},
+			MaxTries:      []int{1, 3},
+			RetryDelaysS:  []float64{0.03},
+			QueueCaps:     []int{1},
+			PktIntervalsS: []float64{0.05},
+			PayloadsBytes: []int{20, 110},
+		},
+		Packets:  packets,
+		BaseSeed: seed,
+	}
+}
+
+// drive runs the load and assembles the document.
+func drive(ctx context.Context, cfg config, stderr io.Writer) (*benchDoc, error) {
+	var res result
+	var unique atomic.Uint64
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	fmt.Fprintf(stderr, "wsnload: %d clients against %s for %s (hit ratio %.2f, ramp %s)\n",
+		cfg.clients, cfg.addr, cfg.duration, cfg.hitRatio, cfg.ramp)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.ramp + cfg.duration)
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each client gets its own deterministic stream so reruns with
+			// the same -seed submit the same campaign sequence.
+			rng := rand.New(rand.NewPCG(cfg.seed, uint64(i)))
+			if cfg.ramp > 0 && cfg.clients > 1 {
+				delay := time.Duration(i) * cfg.ramp / time.Duration(cfg.clients-1)
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return
+				}
+			}
+			c := serve.NewClient(cfg.addr)
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				var seed uint64
+				if rng.Float64() < cfg.hitRatio {
+					seed = cfg.seed + uint64(rng.IntN(cfg.hotSeeds))
+				} else {
+					seed = cfg.seed + 1<<32 + unique.Add(1)
+				}
+				spec := campaignSpec(cfg.packets, seed)
+				t0 := time.Now()
+				st, err := c.Submit(ctx, spec)
+				if err != nil {
+					res.recordErr(err)
+					continue
+				}
+				res.recordSubmit(time.Since(t0), st.CacheHit)
+				if _, err := c.StreamRows(ctx, st.ID, -1, func(serve.StreamedRow) error {
+					res.rows.Add(1)
+					return nil
+				}); err != nil && ctx.Err() == nil {
+					res.recordErr(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	submits := res.submits.Load()
+	if submits == 0 {
+		msg := "no submissions completed"
+		if p := res.lastErr.Load(); p != nil {
+			msg += ": last error: " + *p
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	if errs := res.errs.Load(); errs > 0 {
+		p := res.lastErr.Load()
+		fmt.Fprintf(stderr, "wsnload: %d request errors (last: %s)\n", errs, *p)
+	}
+
+	res.mu.Lock()
+	lat := append([]float64(nil), res.submitMs...)
+	res.mu.Unlock()
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	rows := res.rows.Load()
+	rowsPerSec := float64(rows) / elapsed.Seconds()
+	p50, p99 := pctl(lat, 0.50), pctl(lat, 0.99)
+
+	fmt.Fprintf(stderr, "wsnload: %d submits (%d cache hits), %d rows in %s — submit p50 %.2fms p99 %.2fms, %.0f rows/s\n",
+		submits, res.cacheHits.Load(), rows, elapsed.Round(time.Millisecond), p50, p99, rowsPerSec)
+
+	doc := &benchDoc{
+		Schema:      "wsnlink-bench/v1",
+		Goos:        runtime.GOOS,
+		Goarch:      runtime.GOARCH,
+		SubmitP99Ms: p99,
+		RowsPerSec:  rowsPerSec,
+		Benchmarks: []benchEntry{
+			{
+				Name:       "ServiceSubmit",
+				Procs:      cfg.clients,
+				Iterations: submits,
+				NsPerOp:    sum / float64(len(lat)) * 1e6,
+				BytesPerOp: -1, AllocsPerOp: -1,
+				Extra: map[string]float64{
+					"p50_ms":     p50,
+					"p99_ms":     p99,
+					"cache_hits": float64(res.cacheHits.Load()),
+					"errors":     float64(res.errs.Load()),
+				},
+			},
+			{
+				Name:       "ServiceRows",
+				Procs:      cfg.clients,
+				Iterations: rows,
+				NsPerOp:    elapsed.Seconds() / float64(max64(rows, 1)) * 1e9,
+				BytesPerOp: -1, AllocsPerOp: -1,
+				Extra: map[string]float64{"rows/s": rowsPerSec},
+			},
+		},
+	}
+	return doc, nil
+}
+
+// pctl returns the q'th percentile of sorted values (exact order statistic,
+// no interpolation — the conservative choice for tail latencies).
+func pctl(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/serve"
+)
+
+// TestLoadAgainstLiveService runs the generator for a short burst against
+// an in-process campaign service and checks the emitted document: schema,
+// both headlines, and a workload that actually mixed cache hits in.
+func TestLoadAgainstLiveService(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := serve.Open(t.TempDir(), serve.Options{Jobs: 2, Registry: reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck
+	}()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	err = run(context.Background(), []string{
+		"-addr", ts.URL,
+		"-clients", "3",
+		"-duration", "2s",
+		"-ramp", "100ms",
+		"-packets", "40",
+		"-hit-ratio", "0.6",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	var doc benchDoc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not a bench document: %v\n%s", err, stdout.String())
+	}
+	if doc.Schema != "wsnlink-bench/v1" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if doc.SubmitP99Ms <= 0 {
+		t.Fatalf("submit_p99_ms = %g, want > 0", doc.SubmitP99Ms)
+	}
+	if doc.RowsPerSec <= 0 {
+		t.Fatalf("rows_per_sec = %g, want > 0", doc.RowsPerSec)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
+	}
+	var submit *benchEntry
+	for i := range doc.Benchmarks {
+		if doc.Benchmarks[i].Name == "ServiceSubmit" {
+			submit = &doc.Benchmarks[i]
+		}
+	}
+	if submit == nil || submit.Iterations == 0 {
+		t.Fatalf("no ServiceSubmit entry with iterations: %+v", doc.Benchmarks)
+	}
+	if submit.Extra["errors"] != 0 {
+		t.Fatalf("load run saw %g request errors", submit.Extra["errors"])
+	}
+	// With hit-ratio 0.6 over a multi-second run the hot seed pool must
+	// have produced at least one cache-hit submission.
+	if submit.Extra["cache_hits"] == 0 {
+		t.Error("workload produced no cache hits; hit-ratio mixing is broken")
+	}
+
+	// The daemon-side telemetry saw the same traffic.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wsnlinkd_jobs_submitted_total", "wsnlinkd_rows_streamed_total", "wsnlinkd_cache_hits_total"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("service metrics missing %s after load", want)
+		}
+	}
+}
+
+func TestRunRequiresAddr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), nil, &stdout, &stderr); err == nil {
+		t.Fatal("want error without -addr")
+	}
+}
+
+func TestPctl(t *testing.T) {
+	if got := pctl(nil, 0.99); got != 0 {
+		t.Fatalf("pctl(nil) = %g", got)
+	}
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := pctl(vals, 0.99); got != 10 {
+		t.Fatalf("p99 of 1..10 = %g, want 10", got)
+	}
+	if got := pctl(vals, 0.5); got != 6 {
+		t.Fatalf("p50 of 1..10 = %g, want 6", got)
+	}
+	if got := pctl(vals, 0); got != 1 {
+		t.Fatalf("p0 of 1..10 = %g, want 1", got)
+	}
+}

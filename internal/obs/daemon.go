@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// daemonRegistry is the registry behind the /debug/daemon panel. Handlers
+// register on http.DefaultServeMux at most once; re-publishing swaps the
+// target — the same idempotence pattern PublishExpvar and PublishCampaign
+// use, so in-process daemon restarts (tests) stay safe.
+var (
+	daemonMu       sync.Mutex
+	daemonOnce     bool
+	daemonRegistry atomic.Pointer[Registry]
+)
+
+// PublishDaemon installs reg as the source for the daemon-level telemetry
+// panel: /debug/daemon (HTML, polling) and /debug/daemon/status.json (the
+// registry Snapshot). It complements the per-campaign /debug/campaign
+// dashboard with the service-wide view — HTTP traffic, queue depth, cache
+// effectiveness, row tailers. Pass nil to unpublish (the endpoints then
+// answer 503).
+func PublishDaemon(reg *Registry) {
+	daemonMu.Lock()
+	defer daemonMu.Unlock()
+	daemonRegistry.Store(reg)
+	if daemonOnce {
+		return
+	}
+	daemonOnce = true
+	http.HandleFunc("/debug/daemon", serveDaemonPage)
+	http.HandleFunc("/debug/daemon/status.json", serveDaemonStatus)
+}
+
+func serveDaemonStatus(w http.ResponseWriter, _ *http.Request) {
+	reg := daemonRegistry.Load()
+	if reg == nil {
+		http.Error(w, "no daemon registry published", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(reg.Snapshot()) //nolint:errcheck // best-effort debug endpoint
+}
+
+func serveDaemonPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, daemonPageHTML)
+}
+
+// daemonPageHTML is the service dashboard: a static page polling
+// /debug/daemon/status.json once a second and rendering one table per
+// metric family (histograms as count/mean/p50/p99 with a spark bar).
+// Stdlib only, no external assets, like the campaign dashboard.
+const daemonPageHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>wsnlinkd daemon</title>
+<style>
+body{font:14px/1.5 system-ui,sans-serif;margin:2rem;max-width:64rem;color:#222}
+h1{font-size:1.2rem} h2{font-size:1rem;margin-top:1.2rem}
+h2 small{color:#777;font-weight:normal}
+table{border-collapse:collapse;margin-top:.3rem}
+td,th{padding:.15rem .8rem;text-align:right;border-bottom:1px solid #eee}
+th{text-align:left} .mono{font-family:ui-monospace,monospace}
+.hist{display:inline-flex;align-items:flex-end;gap:1px;height:1.2rem;vertical-align:middle}
+.hist>div{background:#59d;width:5px;min-height:1px}
+#err{color:#b22}
+</style></head><body>
+<h1>wsnlinkd daemon telemetry <span id="err"></span></h1>
+<div id="fams">waiting for data…</div>
+<script>
+const fmt=x=>x>=100?x.toFixed(0):x>=1?x.toFixed(2):x.toPrecision(2);
+function quantile(h,q){
+  if(!h||h.count===0)return 0;
+  const target=q*h.count;let cum=0;
+  for(let i=0;i<h.counts.length;i++){
+    cum+=h.counts[i];
+    if(cum>=target)return h.bounds[Math.min(i,h.bounds.length-1)];
+  }
+  return h.bounds[h.bounds.length-1];
+}
+function labelText(l){return l?Object.entries(l).map(([k,v])=>k+'="'+v+'"').join(","):"";}
+function render(fams){
+  const root=document.getElementById("fams");root.replaceChildren();
+  for(const f of fams){
+    const h2=document.createElement("h2");
+    h2.textContent=f.name+" ";
+    const small=document.createElement("small");
+    small.textContent="("+f.type+") "+(f.help||"");
+    h2.append(small);root.append(h2);
+    const tbl=document.createElement("table");
+    const hd=tbl.insertRow();
+    for(const c of (f.type==="histogram"
+        ?["labels","count","mean","p50","p99","buckets"]
+        :["labels","value","max"])){
+      const th=document.createElement("th");th.textContent=c;hd.append(th);
+    }
+    for(const s of f.series){
+      const r=tbl.insertRow();r.className="mono";
+      const lab=r.insertCell();lab.textContent=labelText(s.labels);lab.style.textAlign="left";
+      if(f.type==="histogram"){
+        const h=s.histogram;
+        r.insertCell().textContent=h.count;
+        r.insertCell().textContent=fmt(h.count?h.sum/h.count:0);
+        r.insertCell().textContent=fmt(quantile(h,0.5));
+        r.insertCell().textContent=fmt(quantile(h,0.99));
+        const cell=r.insertCell();const spark=document.createElement("div");spark.className="hist";
+        const max=Math.max(1,...h.counts);
+        for(const c of h.counts){const d=document.createElement("div");
+          d.style.height=(100*c/max)+"%";d.title=c;spark.append(d)}
+        cell.append(spark);
+      }else{
+        r.insertCell().textContent=s.value;
+        r.insertCell().textContent=f.type==="gauge"?(s.max||0):"";
+      }
+    }
+    root.append(tbl);
+  }
+}
+async function tick(){
+  try{
+    const resp=await fetch("/debug/daemon/status.json");
+    if(!resp.ok)throw new Error(resp.status);
+    render(await resp.json());
+    document.getElementById("err").textContent="";
+  }catch(e){document.getElementById("err").textContent="("+e+")"}
+}
+tick();setInterval(tick,1000);
+</script></body></html>
+`

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPublishDaemonServesSnapshotAndPage(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("d_total", "demo").With().Add(4)
+	PublishDaemon(reg)
+	t.Cleanup(func() { PublishDaemon(nil) })
+	// Idempotent re-publish must not panic on duplicate mux registration.
+	PublishDaemon(reg)
+
+	srv := httptest.NewServer(http.DefaultServeMux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/daemon/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status.json: %s", resp.Status)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal(body, &fams); err != nil {
+		t.Fatalf("status.json is not a snapshot: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Name != "d_total" || fams[0].Series[0].Value != 4 {
+		t.Fatalf("snapshot = %+v", fams)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/daemon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "wsnlinkd daemon") {
+		t.Fatal("panel page missing")
+	}
+
+	PublishDaemon(nil)
+	resp, err = http.Get(srv.URL + "/debug/daemon/status.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unpublished status.json = %s, want 503", resp.Status)
+	}
+}

@@ -71,8 +71,12 @@ func LinearBuckets(first, width float64, n int) []float64 {
 	return out
 }
 
-// Observe records one value.
+// Observe records one value. A nil *Histogram is a no-op sink, so a handle
+// resolved from a nil Registry can be used unconditionally.
 func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.buckets[i].Inc()
 	h.sum.Add(v)
@@ -82,8 +86,11 @@ func (h *Histogram) Observe(v float64) {
 // copy is a consistent histogram by construction: the total Count is
 // computed from the captured bucket counts, so count conservation
 // (Count == sum of Counts) holds for every snapshot, and each bucket count
-// is monotone in snapshot order.
+// is monotone in snapshot order. A nil receiver yields the zero snapshot.
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
 	s := HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: make([]int64, len(h.buckets)),

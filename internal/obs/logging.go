@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Canonical structured-log keys. Every log line the service layer emits
+// uses these names, so logs from the daemon, the sweep CLI and a future
+// coordinator aggregate under one schema. LogKeyClient is the
+// tenant-ready caller identity — unused until admission control lands,
+// reserved now so dashboards never have to rename a field.
+const (
+	// LogKeyJob is the service job ID (e.g. "c000042").
+	LogKeyJob = "job"
+	// LogKeyFingerprint is the 16-hex-digit campaign fingerprint.
+	LogKeyFingerprint = "fingerprint"
+	// LogKeyScenario is the scenario kind ("link", "star", ...).
+	LogKeyScenario = "scenario"
+	// LogKeyClient is the submitting client/tenant identity.
+	LogKeyClient = "client"
+)
+
+// NewLogger returns a JSON structured logger writing to w at the given
+// level — the daemon's log sink. One JSON object per line, slog's standard
+// time/level/msg envelope plus the canonical keys above.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NopLogger returns a logger that discards everything without formatting
+// it: Enabled is false for every level, so disabled call sites pay only
+// the slog front-end check. The serve layer defaults to it, keeping every
+// log call unconditional.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

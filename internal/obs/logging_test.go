@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestNewLoggerCanonicalKeys(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	log.Info("job requeued",
+		LogKeyJob, "c000042",
+		LogKeyFingerprint, "00c0ffee00c0ffee",
+		LogKeyScenario, "star",
+		LogKeyClient, "tenant-a",
+		"checkpoint", 17)
+
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("log line is not one JSON object: %v (%q)", err, buf.String())
+	}
+	for key, want := range map[string]any{
+		"msg":             "job requeued",
+		LogKeyJob:         "c000042",
+		LogKeyFingerprint: "00c0ffee00c0ffee",
+		LogKeyScenario:    "star",
+		LogKeyClient:      "tenant-a",
+		"checkpoint":      17.0,
+	} {
+		if m[key] != want {
+			t.Errorf("log[%q] = %v, want %v", key, m[key], want)
+		}
+	}
+
+	buf.Reset()
+	log.Debug("below level")
+	if buf.Len() != 0 {
+		t.Fatalf("debug line leaked through Info level: %q", buf.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	if log.Enabled(nil, slog.LevelError) { //nolint:staticcheck // nil ctx is the documented slog contract
+		t.Fatal("NopLogger must report every level disabled")
+	}
+	// Must not panic and must stay silent through derived loggers.
+	log.With("k", "v").WithGroup("g").Error("ignored")
+}

@@ -166,18 +166,6 @@ func TestBucketBuilders(t *testing.T) {
 	}
 }
 
-func equalFloats(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
 func TestQuantile(t *testing.T) {
 	h := mustHistogram([]float64{1, 2, 4, 8})
 	for _, v := range []float64{0.5, 1.5, 1.7, 3, 6} {

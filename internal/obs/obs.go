@@ -21,25 +21,58 @@ import (
 )
 
 // Counter is an atomic monotonically increasing event counter.
-// The zero value is ready to use.
+// The zero value is ready to use; a nil *Counter is a no-op sink, so a
+// handle resolved from a nil Registry can be used unconditionally.
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds n (n >= 0 for the monotone reading to hold).
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
-// Load returns the current count.
-func (c *Counter) Load() int64 { return c.v.Load() }
+// Load returns the current count (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Gauge is an atomic instantaneous value that also tracks the maximum it
-// was ever set to. The zero value is ready to use.
+// was ever set to. The zero value is ready to use; a nil *Gauge is a no-op
+// sink.
 type Gauge struct{ v, max atomic.Int64 }
 
 // Set records the current value and folds it into the running maximum.
 func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
 	g.v.Store(v)
+	g.foldMax(v)
+}
+
+// Add shifts the current value by delta (negative to decrement) and folds
+// the result into the running maximum — the in-flight/occupancy idiom.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.foldMax(g.v.Add(delta))
+}
+
+func (g *Gauge) foldMax(v int64) {
 	for {
 		m := g.max.Load()
 		if v <= m || g.max.CompareAndSwap(m, v) {
@@ -48,11 +81,21 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
-// Load returns the last value set.
-func (g *Gauge) Load() int64 { return g.v.Load() }
+// Load returns the last value set (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
 
-// Max returns the largest value ever set.
-func (g *Gauge) Max() int64 { return g.max.Load() }
+// Max returns the largest value ever set (0 for nil).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
 
 // atomicFloat accumulates float64 additions with a CAS loop.
 type atomicFloat struct{ bits atomic.Uint64 }

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -21,11 +23,30 @@ type Client struct {
 	// HTTPClient defaults to http.DefaultClient. Streaming requests rely
 	// on it having no overall timeout; use per-call contexts instead.
 	HTTPClient *http.Client
+	// MaxRetries is the retry budget for idempotent calls (GET, DELETE)
+	// hitting connection errors or 5xx answers. Row streams refill the
+	// budget whenever a reconnect makes progress, so a long campaign
+	// survives any number of spread-out drops while a hard-down daemon
+	// still fails promptly. Zero disables retries; NewClient sets 3.
+	MaxRetries int
+	// RetryBase is the first backoff delay; it doubles per consecutive
+	// failure (capped at 5s) with ±50% jitter so a fleet of clients does
+	// not reconnect in lockstep. NewClient sets 100ms.
+	RetryBase time.Duration
+
+	// jitter overrides the backoff randomization in tests.
+	jitter func(time.Duration) time.Duration
 }
 
-// NewClient returns a client for the daemon at baseURL.
+// NewClient returns a client for the daemon at baseURL with the default
+// retry policy (3 retries, 100ms base backoff).
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTPClient: http.DefaultClient}
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: http.DefaultClient,
+		MaxRetries: 3,
+		RetryBase:  100 * time.Millisecond,
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -35,21 +56,67 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one JSON round trip and decodes the response into out (unless
-// nil). Non-2xx answers are returned as errors carrying the server's
-// message.
+// backoff sleeps out the attempt'th retry delay (exponential, capped,
+// jittered) or returns early with ctx's error.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	j := c.jitter
+	if j == nil {
+		j = func(d time.Duration) time.Duration {
+			return d/2 + rand.N(d) // uniform in [0.5d, 1.5d)
+		}
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(j(d)):
+		return nil
+	}
+}
+
+// do issues one JSON call, transparently retrying idempotent methods on
+// transport errors and 5xx answers within the retry budget. POST is never
+// retried: a submit that died mid-flight may have enqueued the job.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !idempotent || attempt >= c.MaxRetries || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if berr := c.backoff(ctx, attempt); berr != nil {
+			return err
+		}
+	}
+}
+
+// doOnce is one JSON round trip, decoding the response into out (unless
+// nil). Non-2xx answers come back as *APIError.
+func (c *Client) doOnce(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
-			return fmt.Errorf("serve: encode request: %w", err)
+			return permanentError{fmt.Errorf("serve: encode request: %w", err)}
 		}
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return fmt.Errorf("serve: %w", err)
+		return permanentError{fmt.Errorf("serve: %w", err)}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -71,15 +138,52 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
-// responseError turns a non-2xx response into an error, preferring the
+// APIError is a non-2xx daemon answer: the status code plus the server's
+// JSON error message when one was sent.
+type APIError struct {
+	StatusCode int
+	Status     string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("serve: %s: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("serve: %s", e.Status)
+}
+
+// permanentError marks a failure no retry can fix (malformed request).
+type permanentError struct{ error }
+
+func (e permanentError) Unwrap() error { return e.error }
+
+// retryable classifies an error from one attempt: transport failures
+// (connection refused/reset, daemon restarting, truncated bodies) and 5xx
+// answers are worth retrying; 4xx answers and request-side failures are
+// not.
+func retryable(err error) bool {
+	var pe permanentError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode >= 500
+	}
+	return true
+}
+
+// responseError turns a non-2xx response into an *APIError, preferring the
 // server's JSON error envelope.
 func responseError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e errorResponse
+	ae := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+		ae.Message = e.Error
 	}
-	return fmt.Errorf("serve: %s", resp.Status)
+	return ae
 }
 
 // Submit submits a campaign and returns its job status (State is
@@ -116,11 +220,49 @@ func (c *Client) List(ctx context.Context) (ListResponse, error) {
 // nothing arrived) — the value to resume from on reconnect. The server ends
 // the stream when the job is terminal and fully sent; check Status to
 // distinguish done from failed.
+//
+// Dropped connections are resumed transparently: each reconnect asks for
+// rows after the last index already yielded (the same ?after= cursor any
+// external client can use), so yield still sees every row exactly once, in
+// order. Reconnects draw on the MaxRetries budget, which refills whenever
+// an attempt makes progress; a yield error is the caller's and is never
+// retried.
 func (c *Client) StreamRows(ctx context.Context, id string, after int, yield func(StreamedRow) error) (int, error) {
+	last := after
+	budget := c.MaxRetries
+	var yieldErr error
+	wrapped := func(r StreamedRow) error {
+		if err := yield(r); err != nil {
+			yieldErr = err
+			return err
+		}
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		n, err := c.streamOnce(ctx, id, last, wrapped)
+		if n > last {
+			last = n
+			budget = c.MaxRetries // progress refills the reconnect budget
+		}
+		if err == nil || yieldErr != nil || ctx.Err() != nil {
+			return last, err
+		}
+		if !retryable(err) || budget <= 0 {
+			return last, err
+		}
+		budget--
+		if berr := c.backoff(ctx, attempt); berr != nil {
+			return last, err
+		}
+	}
+}
+
+// streamOnce is one streaming connection: open, scan NDJSON, yield.
+func (c *Client) streamOnce(ctx context.Context, id string, after int, yield func(StreamedRow) error) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.BaseURL+"/v1/campaigns/"+id+"/rows", nil)
 	if err != nil {
-		return after, fmt.Errorf("serve: %w", err)
+		return after, permanentError{fmt.Errorf("serve: %w", err)}
 	}
 	req.Header.Set(LastRowIndexHeader, strconv.Itoa(after))
 	resp, err := c.httpClient().Do(req)
@@ -141,10 +283,10 @@ func (c *Client) StreamRows(ctx context.Context, id string, after int, yield fun
 		}
 		row, err := parseRowLine(line)
 		if err != nil {
-			return last, err
+			return last, permanentError{err}
 		}
 		if err := yield(row); err != nil {
-			return last, err
+			return last, permanentError{err}
 		}
 		last = row.Index
 	}

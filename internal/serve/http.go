@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"wsnlink/internal/scenario"
 )
@@ -34,14 +35,108 @@ type errorResponse struct {
 //	DELETE /v1/campaigns/{id}       cancel (in-flight work checkpoints)
 //	GET    /v1/campaigns/{id}/rows  NDJSON row stream; resumes after the
 //	                                Last-Row-Index header (or ?after=N)
+//	GET    /healthz                 liveness: 200 while the process serves
+//	GET    /readyz                  readiness: 503 once draining begins
+//	GET    /metrics                 Prometheus text exposition (503 when no
+//	                                metrics registry is configured)
+//
+// Every API route runs through the telemetry middleware (request counts by
+// status class, in-flight gauge, per-route latency); the probes and the
+// scrape endpoint stay out of their own measurements.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /v1/campaigns", s.handleList)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/campaigns/{id}/rows", s.handleRows)
+	mux.HandleFunc("POST /v1/campaigns", s.instrument("/v1/campaigns", "POST", s.handleSubmit))
+	mux.HandleFunc("GET /v1/campaigns", s.instrument("/v1/campaigns", "GET", s.handleList))
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("/v1/campaigns/{id}", "GET", s.handleStatus))
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.instrument("/v1/campaigns/{id}", "DELETE", s.handleCancel))
+	mux.HandleFunc("GET /v1/campaigns/{id}/rows", s.instrument("/v1/campaigns/{id}/rows", "GET", s.handleRows))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.opts.Registry.Handler())
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and its listener
+// answers. It stays 200 during a drain — the process is alive precisely so
+// in-flight work can checkpoint.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: it flips to 503 the moment a drain
+// begins, so load balancers route new campaigns elsewhere while the drain's
+// checkpointing finishes behind it.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// instrument wraps one route with the HTTP telemetry: request counter by
+// status class, in-flight gauge, latency histogram. With telemetry disabled
+// the handler is returned untouched — no wrapper, no recorder allocation.
+func (s *Server) instrument(route, method string, h http.HandlerFunc) http.HandlerFunc {
+	if s.tel == nil {
+		return h
+	}
+	lat := s.tel.httpLatency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.tel.httpInflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		s.tel.httpInflight.Add(-1)
+		lat.Observe(time.Since(start).Seconds())
+		s.tel.httpRequests.With(route, method, statusClass(rec.code)).Inc()
+	}
+}
+
+// statusRecorder captures the response status for the request counter. It
+// must keep implementing http.Flusher: the rows handler streams NDJSON
+// through it and flushes per row.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if fl, ok := r.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// statusClass buckets a status code into the label the request counter
+// uses; an untouched recorder means the handler wrote nothing, which the
+// net/http server sends as 200.
+func statusClass(code int) string {
+	switch {
+	case code == 0 || code/100 == 2:
+		return "2xx"
+	case code/100 == 3:
+		return "3xx"
+	case code/100 == 4:
+		return "4xx"
+	default:
+		return "5xx"
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

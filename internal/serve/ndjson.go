@@ -10,10 +10,11 @@ import (
 
 // The NDJSON row wire format: one JSON object per line, an "index" field
 // followed by the dataset columns in schema order, each carrying the
-// canonical field encoding as a raw JSON number. Because the values are the
-// exact byte-stable strings the CSV dataset uses, encoding a cached dataset
-// and encoding a live run produce identical bytes — the property the
-// cache-hit e2e pins — and a decode/re-encode round trip is lossless.
+// canonical field encoding as a raw JSON number (non-finite values, which
+// JSON numbers cannot express, travel as JSON strings). Because the values
+// are the exact byte-stable strings the CSV dataset uses, encoding a cached
+// dataset and encoding a live run produce identical bytes — the property
+// the cache-hit e2e pins — and a decode/re-encode round trip is lossless.
 
 // fieldNames is the dataset schema, shared with the CSV layer;
 // scenarioFieldNames is the wider scenario schema (its first column,
@@ -22,6 +23,19 @@ var (
 	fieldNames         = sweep.FieldNames()
 	scenarioFieldNames = sweep.ScenarioFieldNames()
 )
+
+// appendFieldJSON appends one canonical field value as a JSON value.
+// Finite numbers travel as raw JSON numbers; the non-finite encodings a
+// fully-lost configuration produces ("+Inf" energy-per-bit, "NaN" means)
+// are not valid JSON numbers and travel as JSON strings instead —
+// parseRowLine unquotes them back to the same canonical bytes.
+func appendFieldJSON(dst []byte, field string) []byte {
+	switch field {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return strconv.AppendQuote(dst, field)
+	}
+	return append(dst, field...)
+}
 
 // appendRowJSON renders one NDJSON line (including the trailing newline)
 // from a canonical record.
@@ -32,7 +46,7 @@ func appendRowJSON(dst []byte, index int, fields []string) []byte {
 		dst = append(dst, ',', '"')
 		dst = append(dst, name...)
 		dst = append(dst, '"', ':')
-		dst = append(dst, fields[i]...)
+		dst = appendFieldJSON(dst, fields[i])
 	}
 	return append(dst, '}', '\n')
 }
@@ -51,9 +65,18 @@ func appendScenarioRowJSON(dst []byte, index int, fields []string) []byte {
 			dst = strconv.AppendQuote(dst, fields[i])
 			continue
 		}
-		dst = append(dst, fields[i]...)
+		dst = appendFieldJSON(dst, fields[i])
 	}
 	return append(dst, '}', '\n')
+}
+
+// fieldFromJSON recovers one canonical field string from its raw JSON
+// value: numbers verbatim, string-quoted non-finite values unquoted.
+func fieldFromJSON(v json.RawMessage) (string, error) {
+	if len(v) > 0 && v[0] == '"' {
+		return strconv.Unquote(string(v))
+	}
+	return string(v), nil
 }
 
 // parseRowLine decodes one NDJSON line back into a row, detecting the
@@ -88,7 +111,11 @@ func parseRowLine(line []byte) (StreamedRow, error) {
 				rec[i] = kind
 				continue
 			}
-			rec[i] = string(v)
+			f, err := fieldFromJSON(v)
+			if err != nil {
+				return StreamedRow{}, fmt.Errorf("serve: bad field %q: %w", name, err)
+			}
+			rec[i] = f
 		}
 		row, err := sweep.ScenarioRowFromFields(rec)
 		if err != nil {
@@ -106,7 +133,11 @@ func parseRowLine(line []byte) (StreamedRow, error) {
 		if !ok {
 			return StreamedRow{}, fmt.Errorf("serve: row line missing field %q", name)
 		}
-		rec[i] = string(v)
+		f, err := fieldFromJSON(v)
+		if err != nil {
+			return StreamedRow{}, fmt.Errorf("serve: bad field %q: %w", name, err)
+		}
+		rec[i] = f
 	}
 	row, err := sweep.RowFromFields(rec)
 	if err != nil {

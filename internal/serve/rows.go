@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 )
 
 // StreamRows sends the campaign's rows with index > after, in order, as
@@ -21,6 +22,24 @@ func (s *Server) StreamRows(ctx context.Context, id string, after int, send func
 	s.mu.Unlock()
 	if !ok {
 		return ErrNotFound
+	}
+
+	// Tailer accounting and the per-row stream instruments. With telemetry
+	// disabled the handles are nil and the hot loop below keeps the plain
+	// send — no timing, no wrapper, zero overhead.
+	if active, rows, stalls := s.tel.tailerHandles(id); active != nil {
+		active.Add(1)
+		defer active.Add(-1)
+		inner := send
+		send = func(index int, fields []string) error {
+			start := time.Now()
+			err := inner(index, fields)
+			if time.Since(start) > tailerStallThreshold {
+				stalls.Inc()
+			}
+			rows.Inc()
+			return err
+		}
 	}
 
 	// Wait until the runner has prepared the spool (which may rewrite a

@@ -3,6 +3,8 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,6 +58,36 @@ func TestNDJSONRoundTrip(t *testing.T) {
 		if !bytes.Equal(again, line) {
 			t.Fatalf("re-encode not byte-identical:\n got %q\nwant %q", again, line)
 		}
+	}
+}
+
+// TestNDJSONNonFiniteFields pins the wire encoding of rows a fully-lost
+// configuration produces: +Inf energy-per-bit and NaN means are not valid
+// JSON numbers, so they must travel JSON-quoted — every emitted line stays
+// valid JSON — and still round-trip to the exact canonical bytes.
+func TestNDJSONNonFiniteFields(t *testing.T) {
+	r := sampleRows(t)[0]
+	r.Report.EnergyPerBitMicroJ = math.Inf(1)
+	r.Report.RadioEnergyPerBitMicroJ = math.Inf(1)
+	r.Report.MeanDelay = math.NaN()
+	fields := r.Fields()
+	line := appendRowJSON(nil, 0, fields)
+	if !json.Valid(line) {
+		t.Fatalf("non-finite row is not valid JSON: %s", line)
+	}
+	if !bytes.Contains(line, []byte(`"energy_per_bit_uj":"+Inf"`)) {
+		t.Fatalf("+Inf not string-quoted: %s", line)
+	}
+	got, err := parseRowLine(bytes.TrimSuffix(line, []byte("\n")))
+	if err != nil {
+		t.Fatalf("parseRowLine: %v", err)
+	}
+	back := got.Row.Fields()
+	if strings.Join(back, ",") != strings.Join(fields, ",") {
+		t.Fatalf("fields drifted:\n got %v\nwant %v", back, fields)
+	}
+	if again := appendRowJSON(nil, 0, back); !bytes.Equal(again, line) {
+		t.Fatalf("re-encode not byte-identical:\n got %q\nwant %q", again, line)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,14 @@ type Options struct {
 	MaxQueue int
 	// Limits are the per-submission guard rails.
 	Limits Limits
+	// Registry receives the service's labeled metric families (HTTP,
+	// queue, cache, row streaming). Nil disables telemetry entirely: the
+	// recording paths reduce to single nil checks and /metrics answers 503.
+	Registry *obs.Registry
+	// Logger receives structured lifecycle events (submissions, state
+	// transitions, drain checkpoints) with the canonical obs.LogKey*
+	// attributes. Nil discards them.
+	Logger *slog.Logger
 }
 
 // jobEntry pairs a durable job record with its live run state. The record
@@ -43,9 +52,10 @@ type Options struct {
 type jobEntry struct {
 	job        *Job
 	cancel     context.CancelFunc
-	userCancel bool // DELETE requested: finish as canceled
-	requeue    bool // drain requested: finish back to queued
-	ready      bool // spool prepared; streamers may open it
+	userCancel bool  // DELETE requested: finish as canceled
+	requeue    bool  // drain requested: finish back to queued
+	ready      bool  // spool prepared; streamers may open it
+	enqueuedMs int64 // when the job (re)entered the queue, for queue-wait
 	prog       sweep.Progress
 	metrics    *obs.Metrics
 	notify     *notifier
@@ -58,6 +68,8 @@ type jobEntry struct {
 type Server struct {
 	store *Store
 	opts  Options
+	tel   *telemetry // nil when Options.Registry is nil
+	log   *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -98,8 +110,13 @@ func openFS(dir string, opts Options, fsys fsOps) (*Server, error) {
 	s := &Server{
 		store: store,
 		opts:  opts,
+		tel:   newTelemetry(opts.Registry),
+		log:   opts.Logger,
 		jobs:  make(map[string]*jobEntry),
 		wake:  make(chan struct{}, 1),
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
@@ -107,20 +124,29 @@ func openFS(dir string, opts Options, fsys fsOps) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now().UnixMilli()
 	for _, j := range jobs {
 		if j.State == StateRunning {
 			j.State = StateQueued
 			if err := store.PutJob(j); err != nil {
 				return nil, err
 			}
+			s.log.Info("recovered in-flight job into queue",
+				obs.LogKeyJob, j.ID,
+				obs.LogKeyFingerprint, j.Fingerprint,
+				"checkpoint", j.ResumedFrom)
 		}
-		e := &jobEntry{job: j, notify: newNotifier()}
+		e := &jobEntry{job: j, enqueuedMs: now, notify: newNotifier()}
 		s.jobs[j.ID] = e
 		s.order = append(s.order, e)
 		if j.Seq > s.seq {
 			s.seq = j.Seq
 		}
 	}
+	s.mu.Lock()
+	s.queueDepthLocked()
+	s.mu.Unlock()
+	s.tel.setCacheBytes(store.CacheSize())
 
 	s.wg.Add(1)
 	go s.schedule()
@@ -188,16 +214,24 @@ func (s *Server) Submit(spec CampaignSpec) (JobStatus, error) {
 		s.seq--
 		return JobStatus{}, err
 	}
-	e := &jobEntry{job: j, notify: newNotifier()}
+	e := &jobEntry{job: j, enqueuedMs: now, notify: newNotifier()}
 	s.jobs[j.ID] = e
 	s.order = append(s.order, e)
 	s.submitted.Add(1)
+	s.tel.jobSubmitted(j.CacheHit)
 	if j.CacheHit {
 		s.cacheHits.Add(1)
 		s.completed.Add(1)
 	} else {
 		s.kick()
 	}
+	s.queueDepthLocked()
+	s.log.Info("campaign submitted",
+		obs.LogKeyJob, j.ID,
+		obs.LogKeyFingerprint, j.Fingerprint,
+		obs.LogKeyScenario, string(j.Spec.ScenarioKind()),
+		"configs", j.Configs,
+		"cache_hit", j.CacheHit)
 	return s.statusLocked(e), nil
 }
 
@@ -263,6 +297,7 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 		e.job.Error = "canceled"
 		e.job.FinishedMs = time.Now().UnixMilli()
 		s.canceled.Add(1)
+		s.queueDepthLocked()
 		s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
 	case StateRunning:
 		e.userCancel = true
@@ -293,6 +328,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	s.log.Info("drain started", "inflight", len(cancels))
 	for _, c := range cancels {
 		c()
 	}
@@ -310,6 +346,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.cancel()
 	s.wg.Wait()
 	return err
+}
+
+// Draining reports whether Drain has been initiated. The HTTP readiness
+// probe uses it to fail fast once shutdown starts.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // schedule is the queue pump: every wake-up it starts as many runnable jobs
@@ -359,7 +403,12 @@ func (s *Server) startRunnable() {
 				e.job.FinishedMs = time.Now().UnixMilli()
 				s.cacheHits.Add(1)
 				s.completed.Add(1)
+				s.tel.jobDeduped()
+				s.queueDepthLocked()
 				s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
+				s.log.Info("queued duplicate answered from cache",
+					obs.LogKeyJob, e.job.ID,
+					obs.LogKeyFingerprint, e.job.Fingerprint)
 				e.notify.Broadcast()
 				continue
 			}
@@ -386,7 +435,14 @@ func (s *Server) startLocked(e *jobEntry) {
 	}
 	e.metrics = obs.New()
 	s.cacheMisses.Add(1)
+	s.tel.jobStarted(e.job.StartedMs - e.enqueuedMs)
+	s.queueDepthLocked()
 	s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
+	s.log.Info("campaign started",
+		obs.LogKeyJob, e.job.ID,
+		obs.LogKeyFingerprint, e.job.Fingerprint,
+		obs.LogKeyScenario, string(e.job.Spec.ScenarioKind()),
+		"queued_ms", e.job.StartedMs-e.enqueuedMs)
 	s.jobWG.Add(1)
 	go s.runJob(e, ctx)
 }
@@ -501,7 +557,11 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	if closeErr != nil {
 		return closeErr
 	}
-	return s.store.Promote(fp)
+	if err := s.store.Promote(fp); err != nil {
+		return err
+	}
+	s.tel.cachePromoted(s.store.CacheSize())
+	return nil
 }
 
 // finishJob applies the terminal (or requeued) state and persists it.
@@ -528,6 +588,7 @@ func (s *Server) finishJob(e *jobEntry, err error) {
 		e.job.State = StateQueued
 		e.job.Error = ""
 		e.ready = false
+		e.enqueuedMs = now
 	case errors.Is(err, context.DeadlineExceeded):
 		e.job.State = StateFailed
 		e.job.Error = "job deadline exceeded (checkpoint kept; resubmit to resume): " + err.Error()
@@ -539,8 +600,34 @@ func (s *Server) finishJob(e *jobEntry, err error) {
 		e.job.FinishedMs = now
 		s.failed.Add(1)
 	}
+	state := e.job.State
+	requeued := state == StateQueued
+	checkpoint := e.prog.Snapshot().Done
+	s.tel.jobFinished(now-e.job.StartedMs, requeued)
+	s.queueDepthLocked()
 	s.store.PutJob(e.job) //nolint:errcheck // state change is also in memory
 	s.mu.Unlock()
+	if requeued {
+		// The drain audit trail: which jobs went back to the queue and how
+		// many rows their checkpoints hold, so an operator can verify the
+		// next daemon start resumes from exactly here.
+		s.log.Info("job requeued with checkpoint",
+			obs.LogKeyJob, e.job.ID,
+			obs.LogKeyFingerprint, e.job.Fingerprint,
+			obs.LogKeyScenario, string(e.job.Spec.ScenarioKind()),
+			"checkpoint", checkpoint)
+	} else {
+		attrs := []any{
+			obs.LogKeyJob, e.job.ID,
+			obs.LogKeyFingerprint, e.job.Fingerprint,
+			"state", string(state),
+			"run_ms", now - e.job.StartedMs,
+		}
+		if err != nil {
+			attrs = append(attrs, "error", err.Error())
+		}
+		s.log.Info("campaign finished", attrs...)
+	}
 	e.notify.Broadcast()
 }
 

@@ -76,6 +76,26 @@ func (s *Store) HasCache(fp string) bool {
 	return err == nil
 }
 
+// CacheSize returns the total on-disk size of the result cache in bytes.
+// Best-effort: entries that vanish between the listing and the stat (a
+// concurrent eviction) are skipped.
+func (s *Store) CacheSize() int64 {
+	entries, err := s.fs.ReadDir(filepath.Join(s.dir, "cache"))
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
 // PutJob persists a job record atomically (temp file + rename), so a crash
 // mid-write never leaves a torn record.
 func (s *Store) PutJob(j *Job) error {

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"time"
+
+	"wsnlink/internal/obs"
+)
+
+// tailerStallThreshold classifies a slow row delivery: a send (serialize +
+// write + flush to the client) that takes longer than this counts as a
+// tailer stall — the signal that a slow reader is holding a streamer
+// goroutine, since the spool read side never blocks.
+const tailerStallThreshold = 50 * time.Millisecond
+
+// telemetry is the server's pre-resolved metric handle set. Handles are
+// resolved once at construction so the recording paths touch only atomics —
+// no registry lock, no map lookup, no allocation. A nil *telemetry (no
+// registry configured) disables everything: the obs handles are nil and
+// every record call is a no-op branch.
+type telemetry struct {
+	// HTTP surface.
+	httpRequests *obs.CounterVec // route, method, code class
+	httpInflight *obs.Gauge
+	httpLatency  *obs.HistogramVec // route
+
+	// Job lifecycle.
+	queueDepth  *obs.Gauge
+	queueWait   *obs.Histogram
+	runDuration *obs.Histogram
+	submitted   *obs.Counter
+	deduped     *obs.Counter
+	requeued    *obs.Counter
+
+	// Result cache.
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	cachePromotes *obs.Counter
+	cacheBytes    *obs.Gauge
+
+	// Row streaming.
+	tailers      *obs.GaugeVec // job
+	rowsStreamed *obs.Counter
+	tailerStalls *obs.Counter
+}
+
+// newTelemetry registers the wsnlinkd metric families on reg and resolves
+// the fixed-label handles. A nil registry yields a nil telemetry — the
+// disabled state every call site must tolerate.
+func newTelemetry(reg *obs.Registry) *telemetry {
+	if reg == nil {
+		return nil
+	}
+	latBuckets := obs.ExpBuckets(0.0005, 4, 8) // 0.5ms .. ~8s
+	runBuckets := obs.ExpBuckets(0.01, 4, 9)   // 10ms .. ~650s
+	return &telemetry{
+		httpRequests: reg.Counter("wsnlinkd_http_requests_total",
+			"HTTP requests by route, method and status class.", "route", "method", "code"),
+		httpInflight: reg.Gauge("wsnlinkd_http_inflight_requests",
+			"HTTP requests currently being served.").With(),
+		httpLatency: reg.Histogram("wsnlinkd_http_request_seconds",
+			"HTTP request latency by route.", latBuckets, "route"),
+
+		queueDepth: reg.Gauge("wsnlinkd_jobs_queue_depth",
+			"Jobs waiting for a worker slot.").With(),
+		queueWait: reg.Histogram("wsnlinkd_job_queue_wait_seconds",
+			"Time jobs spent queued before a runner picked them up.", runBuckets).With(),
+		runDuration: reg.Histogram("wsnlinkd_job_run_seconds",
+			"Campaign run duration, start to terminal state.", runBuckets).With(),
+		submitted: reg.Counter("wsnlinkd_jobs_submitted_total",
+			"Campaign submissions accepted.").With(),
+		deduped: reg.Counter("wsnlinkd_jobs_deduped_total",
+			"Queued duplicates answered from the cache after the first runner finished.").With(),
+		requeued: reg.Counter("wsnlinkd_jobs_requeued_total",
+			"Running jobs checkpointed and returned to the queue by a drain.").With(),
+
+		cacheHits: reg.Counter("wsnlinkd_cache_hits_total",
+			"Campaigns answered from the result cache.").With(),
+		cacheMisses: reg.Counter("wsnlinkd_cache_misses_total",
+			"Campaigns that had to be simulated.").With(),
+		cachePromotes: reg.Counter("wsnlinkd_cache_promotes_total",
+			"Completed spool datasets promoted into the cache.").With(),
+		cacheBytes: reg.Gauge("wsnlinkd_cache_size_bytes",
+			"Total size of the result cache on disk.").With(),
+
+		tailers: reg.Gauge("wsnlinkd_tailers_active",
+			"Row streams currently tailing each campaign.", "job"),
+		rowsStreamed: reg.Counter("wsnlinkd_rows_streamed_total",
+			"NDJSON rows delivered across all row streams.").With(),
+		tailerStalls: reg.Counter("wsnlinkd_tailer_stalls_total",
+			"Row deliveries that blocked on a slow reader beyond the stall threshold.").With(),
+	}
+}
+
+// Every recorder below is nil-safe so call sites stay unconditional: with
+// telemetry disabled the obs handles are reached through a nil *telemetry
+// and each method returns after one branch.
+
+func (t *telemetry) jobSubmitted(cacheHit bool) {
+	if t == nil {
+		return
+	}
+	t.submitted.Inc()
+	if cacheHit {
+		t.cacheHits.Inc()
+	}
+}
+
+func (t *telemetry) jobDeduped() {
+	if t == nil {
+		return
+	}
+	t.deduped.Inc()
+	t.cacheHits.Inc()
+}
+
+func (t *telemetry) jobStarted(queuedMs int64) {
+	if t == nil {
+		return
+	}
+	t.cacheMisses.Inc()
+	if queuedMs >= 0 {
+		t.queueWait.Observe(float64(queuedMs) / 1e3)
+	}
+}
+
+func (t *telemetry) jobFinished(runMs int64, requeued bool) {
+	if t == nil {
+		return
+	}
+	if runMs >= 0 {
+		t.runDuration.Observe(float64(runMs) / 1e3)
+	}
+	if requeued {
+		t.requeued.Inc()
+	}
+}
+
+func (t *telemetry) setQueueDepth(n int64) {
+	if t == nil {
+		return
+	}
+	t.queueDepth.Set(n)
+}
+
+func (t *telemetry) cachePromoted(sizeBytes int64) {
+	if t == nil {
+		return
+	}
+	t.cachePromotes.Inc()
+	t.cacheBytes.Set(sizeBytes)
+}
+
+func (t *telemetry) setCacheBytes(n int64) {
+	if t == nil {
+		return
+	}
+	t.cacheBytes.Set(n)
+}
+
+// tailerHandles resolves the per-campaign stream instruments once per
+// stream, so the per-row path works on plain handles.
+func (t *telemetry) tailerHandles(jobID string) (active *obs.Gauge, rows, stalls *obs.Counter) {
+	if t == nil {
+		return nil, nil, nil
+	}
+	return t.tailers.With(jobID), t.rowsStreamed, t.tailerStalls
+}
+
+// queueDepthLocked recounts queued jobs and updates the depth gauge.
+// Callers hold s.mu; with telemetry disabled this is a single branch.
+func (s *Server) queueDepthLocked() {
+	if s.tel == nil {
+		return
+	}
+	var n int64
+	for _, e := range s.order {
+		if e.job.State == StateQueued {
+			n++
+		}
+	}
+	s.tel.setQueueDepth(n)
+}
