@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-e2e validate validate-scenarios bench bench-json bench-check bench-service bench-service-baseline vulncheck verify
+.PHONY: build test vet race service-e2e fabric-e2e validate validate-scenarios bench bench-json bench-check bench-service bench-service-baseline bench-fabric bench-fabric-baseline vulncheck verify
 
 # Benchmarks the committed BENCH_2.json baseline tracks: the batch kernel
 # (the configs_per_sec headline), sweep throughput, the per-configuration
@@ -26,13 +26,21 @@ test:
 race:
 	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./internal/serve \
 		./internal/scenario ./internal/netsim ./internal/interference \
-		./internal/lpl ./internal/mobility \
+		./internal/lpl ./internal/mobility ./internal/fabric \
 		./cmd/wsnsweep ./cmd/wsnlinkd ./cmd/wsnload
 
 # The daemon e2e suite on its own: boots wsnlinkd on a loopback port and
 # proves cache-hit replay and kill/restart resume are byte-identical.
 service-e2e:
 	$(GO) test ./cmd/wsnlinkd/...
+
+# The distributed-fabric e2e suite: the fabric package under the race
+# detector, then the coordinator smoke — a campaign sharded across three
+# runner processes, one SIGKILLed mid-stream, the merged output still
+# byte-identical to a single-daemon run.
+fabric-e2e:
+	$(GO) test -race ./internal/fabric
+	$(GO) test -run TestCoordinator -count=1 -v ./cmd/wsnlinkd
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -113,6 +121,51 @@ bench-service:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(_bench_service_run)
 	/tmp/benchjson -service-baseline BENCH_3.json < /tmp/wsnload-fresh.json
+
+# _bench_fabric_run boots three runner daemons plus a coordinator sharding
+# over them, drives wsnload at the coordinator with the same workload shape
+# as the single-daemon baseline, and leaves the fresh document at
+# /tmp/wsnload-fabric-fresh.json. All four daemons get SIGTERM afterwards.
+define _bench_fabric_run
+	$(GO) build -o /tmp/wsnlinkd ./cmd/wsnlinkd
+	$(GO) build -o /tmp/wsnload ./cmd/wsnload
+	rm -rf /tmp/wsnfabric-bench && mkdir -p /tmp/wsnfabric-bench
+	for i in 1 2 3; do \
+		/tmp/wsnlinkd -addr localhost:0 -addr-file /tmp/wsnfabric-bench/r$$i.addr \
+			-data-dir /tmp/wsnfabric-bench/r$$i -jobs 2 \
+			2>/tmp/wsnfabric-bench/r$$i.log & \
+		echo $$! >> /tmp/wsnfabric-bench/pids; \
+	done; \
+	for i in $$(seq 50); do \
+		[ -s /tmp/wsnfabric-bench/r1.addr ] && [ -s /tmp/wsnfabric-bench/r2.addr ] \
+			&& [ -s /tmp/wsnfabric-bench/r3.addr ] && break; sleep 0.1; \
+	done
+	/tmp/wsnlinkd -addr localhost:0 -addr-file /tmp/wsnfabric-bench/coord.addr \
+		-data-dir /tmp/wsnfabric-bench/coord -coordinator \
+		-runners "$$(cat /tmp/wsnfabric-bench/r1.addr),$$(cat /tmp/wsnfabric-bench/r2.addr),$$(cat /tmp/wsnfabric-bench/r3.addr)" \
+		2>/tmp/wsnfabric-bench/coord.log & \
+		echo $$! >> /tmp/wsnfabric-bench/pids; \
+	for i in $$(seq 50); do [ -s /tmp/wsnfabric-bench/coord.addr ] && break; sleep 0.1; done
+	/tmp/wsnload -addr "$$(cat /tmp/wsnfabric-bench/coord.addr)" $(WSNLOAD_FLAGS) \
+		> /tmp/wsnload-fabric-fresh.json; \
+		status=$$?; kill -TERM $$(cat /tmp/wsnfabric-bench/pids) 2>/dev/null; \
+		sleep 1; exit $$status
+endef
+
+# Regenerate the committed coordinator baseline (BENCH_4.json): the same
+# wsnload workload as BENCH_3, but submitted to a coordinator sharding
+# every campaign across three local runners. Comparing the two documents'
+# rows_per_sec headlines prices the fabric's merge/requeue machinery
+# against a single daemon on the same host.
+bench-fabric-baseline:
+	$(_bench_fabric_run)
+	cp /tmp/wsnload-fabric-fresh.json BENCH_4.json
+
+# Coordinator regression gate, mirroring bench-service against BENCH_4.
+bench-fabric:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(_bench_fabric_run)
+	/tmp/benchjson -service-baseline BENCH_4.json < /tmp/wsnload-fabric-fresh.json
 
 # The full quality gate (DESIGN.md §6).
 verify: build vet test race validate validate-scenarios

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"wsnlink/internal/serve"
+)
+
+// TestMain doubles the test binary as a wsnlinkd executable: with
+// WSNLINKD_TEST_DAEMON=1 in the environment it runs the daemon main loop
+// instead of the test suite. The coordinator e2e uses this to launch real
+// runner processes it can SIGKILL — killing an OS process is the only
+// honest simulation of runner loss.
+func TestMain(m *testing.M) {
+	if os.Getenv("WSNLINKD_TEST_DAEMON") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnlinkd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// procRunner is one runner daemon in its own OS process.
+type procRunner struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startRunnerProc launches the test binary as a wsnlinkd runner and waits
+// for it to publish its listen address via -addr-file.
+func startRunnerProc(t *testing.T, dir string) *procRunner {
+	t.Helper()
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(os.Args[0],
+		"-addr", "127.0.0.1:0",
+		"-data-dir", filepath.Join(dir, "data"),
+		"-addr-file", addrFile,
+		"-log-level", "error",
+	)
+	cmd.Env = append(os.Environ(), "WSNLINKD_TEST_DAEMON=1")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start runner process: %v", err)
+	}
+	r := &procRunner{cmd: cmd}
+	t.Cleanup(func() {
+		r.cmd.Process.Kill() //nolint:errcheck // may already be dead
+		r.cmd.Wait()         //nolint:errcheck // reap; exit status is irrelevant
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && bytes.Contains(data, []byte("\n")) {
+			r.url = "http://" + strings.TrimSpace(string(data))
+			return r
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("runner process never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the runner process — no drain, no checkpoint, the real
+// crash the fabric's requeue path exists for.
+func (r *procRunner) kill() {
+	r.cmd.Process.Kill() //nolint:errcheck // test kill
+}
+
+// requeueTotal sums fabric_shard_requeues_total over all label sets from a
+// Prometheus text exposition.
+func requeueTotal(t *testing.T, metricsText string) float64 {
+	t.Helper()
+	var total float64
+	for _, line := range strings.Split(metricsText, "\n") {
+		if !strings.HasPrefix(line, "fabric_shard_requeues_total{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparsable metric line %q: %v", line, err)
+		}
+		total += v
+	}
+	return total
+}
+
+// TestCoordinatorShardedCampaignSurvivesRunnerKill is the distributed-fabric
+// e2e: a campaign submitted to a coordinator daemon is sharded across three
+// runner processes; one runner hosting a live shard is SIGKILLed
+// mid-campaign; the shard requeues on a survivor from the coordinator's
+// checkpoint cursor; and the merged NDJSON stream is byte-identical to the
+// same campaign run on a plain single daemon.
+func TestCoordinatorShardedCampaignSurvivesRunnerKill(t *testing.T) {
+	spec := slowSpec()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	// Reference: uninterrupted single daemon, in-process.
+	ref := startDaemon(t, t.TempDir())
+	refClient := serve.NewClient(ref.url)
+	refSt, err := refClient.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit reference: %v", err)
+	}
+	waitJob(t, refClient, refSt.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone }, "reference campaign")
+	want := rawRows(t, ref.url, refSt.ID)
+	ref.stop()
+
+	// Fleet: three runner processes plus an in-process coordinator.
+	runners := make([]*procRunner, 3)
+	urls := make([]string, 3)
+	for i := range runners {
+		runners[i] = startRunnerProc(t, t.TempDir())
+		urls[i] = runners[i].url
+	}
+	coord := startDaemon(t, t.TempDir(),
+		"-coordinator",
+		"-runners", strings.Join(urls, ","),
+		"-probe-interval", "20ms",
+	)
+	c := serve.NewClient(coord.url)
+
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit to coordinator: %v", err)
+	}
+
+	// Kill a runner whose shard job is running and has already
+	// checkpointed a row: the kill lands strictly mid-shard, so it always
+	// interrupts an open stream. (Runner-side state, not the coordinator's
+	// merge cursor — the ordered merge can lag runner completion.)
+	var killed atomic.Bool
+	go func() {
+		rcls := make([]*serve.Client, len(runners))
+		for i, r := range runners {
+			rcls[i] = serve.NewClient(r.url)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for !time.Now().After(deadline) {
+			for i, rc := range rcls {
+				lr, err := rc.List(ctx)
+				if err != nil {
+					continue
+				}
+				for _, j := range lr.Jobs {
+					if j.State == serve.StateRunning && j.Done >= 1 {
+						runners[i].kill()
+						killed.Store(true)
+						return
+					}
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Error("campaign never made progress; no runner was killed")
+	}()
+
+	rows := 0
+	if _, err := c.StreamRows(ctx, st.ID, -1, func(r serve.StreamedRow) error {
+		if r.Index != rows {
+			t.Fatalf("row %d out of order, want %d", r.Index, rows)
+		}
+		rows++
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamRows: %v", err)
+	}
+	fin := waitJob(t, c, st.ID, func(s serve.JobStatus) bool { return s.State.Terminal() }, "sharded campaign")
+	if fin.State != serve.StateDone {
+		t.Fatalf("campaign finished %q, want done", fin.State)
+	}
+	if !killed.Load() {
+		t.Fatal("no runner was killed; the loss path went untested")
+	}
+	if rows != st.Configs {
+		t.Fatalf("streamed %d rows, want %d", rows, st.Configs)
+	}
+	got := rawRows(t, coord.url, st.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("coordinator bytes differ from single-daemon reference (%d vs %d bytes)",
+			len(got), len(want))
+	}
+
+	// The requeue is visible on the coordinator's /metrics surface.
+	resp, err := http.Get(coord.url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if total := requeueTotal(t, string(body)); total == 0 {
+		t.Fatal("no shard requeue recorded after killing a runner")
+	}
+}
+
+// TestCoordinatorFlagValidation pins the CLI contract: -runners without
+// -coordinator and -coordinator without runners are both refused.
+func TestCoordinatorFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-coordinator", "-data-dir", t.TempDir()}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-runners") {
+		t.Fatalf("coordinator without runners: err = %v", err)
+	}
+	err = run(context.Background(), []string{"-runners", "http://localhost:1", "-data-dir", t.TempDir()}, &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
+		t.Fatalf("runners without coordinator: err = %v", err)
+	}
+}

@@ -23,10 +23,23 @@
 // events (submissions, starts, finishes, drain checkpoints) are emitted as
 // JSON structured logs on stderr.
 //
+// Coordinator mode (-coordinator -runners ...) turns the daemon into the
+// head of a distributed campaign fabric: submissions arrive on the same API,
+// but instead of simulating locally the coordinator cuts each campaign into
+// contiguous fingerprint-addressed shards, farms them to the runner daemons,
+// and merges the returned streams into one in-order NDJSON stream that is
+// byte-identical to a single-daemon run. Runner loss mid-campaign is
+// tolerated: the lost shard requeues on a surviving runner and resumes from
+// the coordinator's checkpoint cursor. A shared -blob-dir (valid on both
+// coordinators and runners) adds a content-addressed cache tier the whole
+// fleet reads and publishes.
+//
 // Usage:
 //
 //	wsnlinkd -addr localhost:8080 -data-dir /var/lib/wsnlinkd
 //	wsnlinkd -addr :0 -data-dir ./data -jobs 2 -job-deadline 2h
+//	wsnlinkd -addr :8080 -data-dir ./coord -coordinator \
+//	    -runners http://r1:8080,http://r2:8080 -blob-dir /shared/blobs
 //	curl -s localhost:8080/v1/campaigns -d '{"space":{"distances_m":[35]}}'
 //	curl -s localhost:8080/metrics
 package main
@@ -42,12 +55,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"wsnlink/internal/buildinfo"
+	"wsnlink/internal/fabric"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/serve"
 )
@@ -78,6 +93,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		addrFile     = fs.String("addr-file", "", "write the actual listen address to this file once bound (for ':0' scripting)")
 		logLevel     = fs.String("log-level", "info", "structured log level (debug, info, warn, error)")
 		version      = fs.Bool("version", false, "print version and exit")
+
+		coordinator   = fs.Bool("coordinator", false, "shard campaigns across -runners instead of simulating locally")
+		runnersList   = fs.String("runners", "", "comma-separated runner daemon URLs (coordinator mode)")
+		probeInterval = fs.Duration("probe-interval", 250*time.Millisecond, "runner liveness probe period (coordinator mode)")
+		shardsPer     = fs.Int("shards-per-runner", 2, "shards planned per runner per campaign (coordinator mode)")
+		blobDir       = fs.String("blob-dir", "", "shared content-addressed cache directory (fleet-wide result tier)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +115,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	logger := obs.NewLogger(stderr, level)
 	registry := obs.NewRegistry()
 
+	var runnerURLs []string
+	for _, u := range strings.Split(*runnersList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			runnerURLs = append(runnerURLs, u)
+		}
+	}
+	var executor serve.Executor
+	if *coordinator {
+		if len(runnerURLs) == 0 {
+			return fmt.Errorf("-coordinator requires at least one runner URL in -runners")
+		}
+		fab, err := fabric.New(fabric.Options{
+			Runners:         runnerURLs,
+			ProbeInterval:   *probeInterval,
+			ShardsPerRunner: *shardsPer,
+			Metrics:         registry,
+			Logger:          logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer fab.Close()
+		executor = fab
+	} else if len(runnerURLs) > 0 {
+		return fmt.Errorf("-runners is only meaningful with -coordinator")
+	}
+	var blobs serve.BlobStore
+	if *blobDir != "" {
+		var err error
+		if blobs, err = serve.NewDirBlobStore(*blobDir); err != nil {
+			return err
+		}
+	}
+
 	srv, err := serve.Open(*dataDir, serve.Options{
 		Jobs:     *jobs,
 		MaxQueue: *maxQueue,
@@ -106,6 +164,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		},
 		Registry: registry,
 		Logger:   logger,
+		Executor: executor,
+		Blobs:    blobs,
 	})
 	if err != nil {
 		return err
@@ -124,8 +184,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	fmt.Fprintf(stderr, "wsnlinkd %s listening on http://%s (data dir %s)\n",
-		buildinfo.Current(), ln.Addr(), *dataDir)
+	mode := ""
+	if *coordinator {
+		mode = fmt.Sprintf(", coordinator over %d runners", len(runnerURLs))
+	}
+	fmt.Fprintf(stderr, "wsnlinkd %s listening on http://%s (data dir %s%s)\n",
+		buildinfo.Current(), ln.Addr(), *dataDir, mode)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			ln.Close()

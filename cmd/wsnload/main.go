@@ -18,9 +18,16 @@
 // service baseline; `benchjson -service-baseline BENCH_3.json` gates fresh
 // runs against it.
 //
+// -addr repeats (or takes a comma-separated list) to spread clients
+// round-robin across a fleet — e.g. a coordinator plus its runners, or
+// several independent daemons. The emitted document records the target
+// count as "targets" so fleet and single-daemon baselines stay
+// distinguishable.
+//
 // Usage:
 //
 //	wsnload -addr localhost:8080 -clients 8 -duration 10s > fresh.json
+//	wsnload -addr coord:8080 -addr r1:8080,r2:8080 -clients 9 > fleet.json
 //	benchjson -service-baseline BENCH_3.json < fresh.json
 package main
 
@@ -52,6 +59,7 @@ type benchDoc struct {
 	Goarch      string       `json:"goarch,omitempty"`
 	SubmitP99Ms float64      `json:"submit_p99_ms,omitempty"`
 	RowsPerSec  float64      `json:"rows_per_sec,omitempty"`
+	Targets     int          `json:"targets,omitempty"`
 	Benchmarks  []benchEntry `json:"benchmarks"`
 }
 
@@ -73,8 +81,23 @@ func main() {
 	}
 }
 
+// addrList collects -addr values: the flag repeats, and each value may
+// itself be a comma-separated list, so both styles target a fleet.
+type addrList []string
+
+func (a *addrList) String() string { return strings.Join(*a, ",") }
+
+func (a *addrList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*a = append(*a, s)
+		}
+	}
+	return nil
+}
+
 type config struct {
-	addr     string
+	addrs    addrList
 	clients  int
 	duration time.Duration
 	ramp     time.Duration
@@ -88,7 +111,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("wsnload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var cfg config
-	fs.StringVar(&cfg.addr, "addr", "", "daemon address (host:port or http://host:port); required")
+	fs.Var(&cfg.addrs, "addr", "daemon address (host:port or http://host:port); repeat or comma-separate to spread clients round-robin over a fleet; required")
 	fs.IntVar(&cfg.clients, "clients", 8, "concurrent submit-and-stream clients")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "load duration (measured from the last client start)")
 	fs.DurationVar(&cfg.ramp, "ramp", 0, "spread client starts over this window")
@@ -104,11 +127,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "wsnload", buildinfo.Current())
 		return nil
 	}
-	if cfg.addr == "" {
+	if len(cfg.addrs) == 0 {
 		return fmt.Errorf("-addr is required")
 	}
-	if !strings.Contains(cfg.addr, "://") {
-		cfg.addr = "http://" + cfg.addr
+	for i, a := range cfg.addrs {
+		if !strings.Contains(a, "://") {
+			cfg.addrs[i] = "http://" + a
+		}
 	}
 	if cfg.clients <= 0 {
 		cfg.clients = 1
@@ -177,8 +202,8 @@ func drive(ctx context.Context, cfg config, stderr io.Writer) (*benchDoc, error)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	fmt.Fprintf(stderr, "wsnload: %d clients against %s for %s (hit ratio %.2f, ramp %s)\n",
-		cfg.clients, cfg.addr, cfg.duration, cfg.hitRatio, cfg.ramp)
+	fmt.Fprintf(stderr, "wsnload: %d clients against %d target(s) [%s] for %s (hit ratio %.2f, ramp %s)\n",
+		cfg.clients, len(cfg.addrs), cfg.addrs.String(), cfg.duration, cfg.hitRatio, cfg.ramp)
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -198,7 +223,9 @@ func drive(ctx context.Context, cfg config, stderr io.Writer) (*benchDoc, error)
 					return
 				}
 			}
-			c := serve.NewClient(cfg.addr)
+			// Round-robin clients over the target fleet so multi-daemon
+			// (or coordinator + runner) topologies share the load evenly.
+			c := serve.NewClient(cfg.addrs[i%len(cfg.addrs)])
 			for time.Now().Before(deadline) && ctx.Err() == nil {
 				var seed uint64
 				if rng.Float64() < cfg.hitRatio {
@@ -260,6 +287,7 @@ func drive(ctx context.Context, cfg config, stderr io.Writer) (*benchDoc, error)
 		Goarch:      runtime.GOARCH,
 		SubmitP99Ms: p99,
 		RowsPerSec:  rowsPerSec,
+		Targets:     len(cfg.addrs),
 		Benchmarks: []benchEntry{
 			{
 				Name:       "ServiceSubmit",

@@ -89,6 +89,64 @@ func TestLoadAgainstLiveService(t *testing.T) {
 	}
 }
 
+// TestLoadRoundRobinTargets spreads clients over two daemons and checks
+// both received traffic and the document records the target count.
+func TestLoadRoundRobinTargets(t *testing.T) {
+	var servers []*serve.Server
+	var urls []string
+	for i := 0; i < 2; i++ {
+		s, err := serve.Open(t.TempDir(), serve.Options{Jobs: 2})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			s.Drain(ctx) //nolint:errcheck
+		}()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		servers = append(servers, s)
+		urls = append(urls, ts.URL)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", urls[0] + "," + urls[1], // one flag, comma-separated
+		"-clients", "4",
+		"-duration", "1s",
+		"-packets", "40",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	var doc benchDoc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not a bench document: %v\n%s", err, stdout.String())
+	}
+	if doc.Targets != 2 {
+		t.Fatalf("targets = %d, want 2", doc.Targets)
+	}
+	for i, s := range servers {
+		if st := s.Stats(); st.Submitted == 0 {
+			t.Errorf("daemon %d received no submissions; round-robin is broken", i)
+		}
+	}
+}
+
+func TestAddrListSet(t *testing.T) {
+	var a addrList
+	for _, v := range []string{"a:1, b:2", "c:3", " ,"} {
+		if err := a.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.String(); got != "a:1,b:2,c:3" {
+		t.Fatalf("addrList = %q", got)
+	}
+}
+
 func TestRunRequiresAddr(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(context.Background(), nil, &stdout, &stderr); err == nil {

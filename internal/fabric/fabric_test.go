@@ -1,0 +1,303 @@
+package fabric
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/serve"
+)
+
+// runner is one in-process wsnlinkd runner: a serve.Server behind a real
+// HTTP listener that can be killed (connections dropped, port dead) while
+// its goroutines are cleaned up at test end.
+type runner struct {
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func startRunner(t *testing.T, opts serve.Options) *runner {
+	t.Helper()
+	srv, err := serve.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("open runner: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck // test cleanup
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &runner{srv: srv, ts: ts}
+}
+
+// kill drops the runner off the network: every open connection is severed
+// and new ones are refused. The serve.Server keeps running (as a crashed
+// process's kernel would not, but an unreachable peer looks identical to
+// the coordinator).
+func (r *runner) kill() {
+	r.ts.CloseClientConnections()
+	r.ts.Close()
+}
+
+// startCoordinator wires a Fabric over the runner URLs into a fresh
+// coordinator daemon and returns the daemon's client.
+func startCoordinator(t *testing.T, urls []string, reg *obs.Registry) (*serve.Server, *serve.Client) {
+	t.Helper()
+	fab, err := New(Options{
+		Runners:         urls,
+		ProbeInterval:   20 * time.Millisecond,
+		ShardsPerRunner: 2,
+		AllDeadGrace:    10 * time.Second,
+		RetryBase:       5 * time.Millisecond,
+		Metrics:         reg,
+		Logger:          obs.NopLogger(),
+	})
+	if err != nil {
+		t.Fatalf("fabric.New: %v", err)
+	}
+	t.Cleanup(fab.Close)
+	srv, err := serve.Open(t.TempDir(), serve.Options{Executor: fab, Logger: obs.NopLogger()})
+	if err != nil {
+		t.Fatalf("open coordinator: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck // test cleanup
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, serve.NewClient(ts.URL)
+}
+
+// rawRows fetches a finished campaign's NDJSON stream as raw bytes — the
+// byte-identity oracle.
+func rawRows(t *testing.T, baseURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/campaigns/" + id + "/rows")
+	if err != nil {
+		t.Fatalf("GET rows: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET rows: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read rows: %v", err)
+	}
+	return data
+}
+
+// referenceRows runs the spec on a plain single daemon and returns its
+// NDJSON bytes.
+func referenceRows(t *testing.T, spec serve.CampaignSpec) []byte {
+	t.Helper()
+	ref := startRunner(t, serve.Options{Logger: obs.NopLogger()})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl := serve.NewClient(ref.ts.URL)
+	st, err := cl.Run(ctx, spec, func(serve.StreamedRow) error { return nil })
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return rawRows(t, ref.ts.URL, st.ID)
+}
+
+// TestFabricMergedStreamByteIdentical is the tentpole proof in miniature:
+// a campaign sharded across three runners streams, from the coordinator,
+// the exact bytes a single daemon produces for the same spec.
+func TestFabricMergedStreamByteIdentical(t *testing.T) {
+	spec := planSpec()
+	want := referenceRows(t, spec)
+
+	var urls []string
+	for i := 0; i < 3; i++ {
+		urls = append(urls, startRunner(t, serve.Options{Logger: obs.NopLogger()}).ts.URL)
+	}
+	_, cl := startCoordinator(t, urls, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rows := 0
+	st, err := cl.Run(ctx, spec, func(r serve.StreamedRow) error {
+		if r.Index != rows {
+			t.Fatalf("row %d out of order, want %d", r.Index, rows)
+		}
+		rows++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	if rows != 12 {
+		t.Fatalf("streamed %d rows, want 12", rows)
+	}
+	got := rawRows(t, cl.BaseURL, st.ID)
+	if string(got) != string(want) {
+		t.Fatalf("coordinator bytes differ from single-daemon reference:\n%q\nvs\n%q", got, want)
+	}
+}
+
+// TestFabricRunnerLossRequeues kills one runner mid-campaign: its shards
+// requeue on the survivors from the coordinator's cursor, the campaign
+// completes, the merged bytes still match a single-daemon run, and the
+// requeue is visible in the fabric metrics.
+func TestFabricRunnerLossRequeues(t *testing.T) {
+	spec := planSpec()
+	spec.Packets = 200000 // slow enough to lose a runner mid-stream
+	spec.Workers = 1
+	// One config per kernel call: runner-side progress (and the killer's
+	// mid-shard window below) advances row by row instead of jumping to
+	// done in one batch. Batch size is not part of the fingerprint.
+	spec.BatchSize = 1
+	want := referenceRows(t, spec)
+
+	var runners []*runner
+	var urls []string
+	for i := 0; i < 3; i++ {
+		r := startRunner(t, serve.Options{Logger: obs.NopLogger()})
+		runners = append(runners, r)
+		urls = append(urls, r.ts.URL)
+	}
+	metrics := obs.NewRegistry()
+	srv, cl := startCoordinator(t, urls, metrics)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	var killed atomic.Bool
+	go func() {
+		rcls := make([]*serve.Client, len(runners))
+		for i, r := range runners {
+			rcls[i] = serve.NewClient(r.ts.URL)
+		}
+		deadline := time.Now().Add(time.Minute)
+		for !time.Now().After(deadline) {
+			// Kill a runner whose shard job is running and has already
+			// checkpointed a row: the kill lands strictly mid-shard, so
+			// it always interrupts an open stream and forces a requeue.
+			// (Runner-side state, not the coordinator's merge cursor —
+			// the ordered merge can lag runner completion arbitrarily.)
+			for i, rc := range rcls {
+				lr, err := rc.List(ctx)
+				if err != nil {
+					continue
+				}
+				for _, j := range lr.Jobs {
+					if j.State == serve.StateRunning && j.Done >= 1 {
+						runners[i].kill()
+						killed.Store(true)
+						return
+					}
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Error("campaign never made progress; runner was not killed")
+	}()
+
+	rows := 0
+	if _, err := cl.StreamRows(ctx, st.ID, -1, func(r serve.StreamedRow) error {
+		if r.Index != rows {
+			t.Fatalf("row %d out of order, want %d", r.Index, rows)
+		}
+		rows++
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamRows: %v", err)
+	}
+	if fin, err := srv.Status(st.ID); err != nil || fin.State != serve.StateDone {
+		t.Fatalf("job finished %v (err %v), want done", fin.State, err)
+	}
+	if !killed.Load() {
+		t.Fatal("runner survived the whole campaign; loss path untested")
+	}
+	if rows != 12 {
+		t.Fatalf("streamed %d rows, want 12", rows)
+	}
+	got := rawRows(t, cl.BaseURL, st.ID)
+	if string(got) != string(want) {
+		t.Fatal("merged bytes after runner loss differ from single-daemon reference")
+	}
+
+	requeues := int64(0)
+	for _, fam := range metrics.Snapshot() {
+		if fam.Name == "fabric_shard_requeues_total" {
+			for _, s := range fam.Series {
+				requeues += s.Value
+			}
+		}
+	}
+	if requeues == 0 {
+		t.Fatal("no shard requeue recorded after killing a runner")
+	}
+}
+
+// TestRegistryLivenessAndRevival pins the probe loop: a draining runner
+// drops out of rotation, a failure report marks a runner down immediately,
+// and a runner that comes back is revived without re-registration.
+func TestRegistryLivenessAndRevival(t *testing.T) {
+	up := atomic.Bool{}
+	up.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && up.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer flaky.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+
+	g := NewRegistry([]string{flaky.URL, dead.URL}, 10*time.Millisecond, obs.NopLogger(), nil)
+	g.Start()
+	defer g.Close()
+
+	r, ok := g.PickAlive(0)
+	if !ok || r.URL() != flaky.URL {
+		t.Fatalf("PickAlive = %v/%v, want the flaky runner", r, ok)
+	}
+	if _, ok := g.PickAlive(1); !ok {
+		t.Fatal("round-robin scan missed the only live runner")
+	}
+
+	g.ReportFailure(r)
+	if r.Alive() {
+		t.Fatal("runner still alive right after ReportFailure")
+	}
+
+	// The prober revives it: /readyz still answers 200.
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never revived the healthy runner")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	up.Store(false)
+	for r.Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never noticed the runner draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := g.PickAlive(0); ok {
+		t.Fatal("every runner is down yet PickAlive found one")
+	}
+}

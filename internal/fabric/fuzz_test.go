@@ -1,0 +1,47 @@
+package fabric
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzShardPlanJSON mirrors serve's FuzzCampaignSpecJSON for the shard
+// plan wire format: decoding arbitrary JSON must never panic, and any plan
+// that normalizes must normalize idempotently with stable shard and
+// campaign fingerprints — otherwise a coordinator re-reading a plan could
+// dispatch shards that miss the runners' content-addressed caches.
+func FuzzShardPlanJSON(f *testing.F) {
+	for _, shards := range []int{1, 3, 5} {
+		p, err := PlanShards(planSpec(), shards)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"shards":[{"spec":{}}]}`))
+	f.Add([]byte(`{"shards":[{"offset":1,"count":2,"spec":{"shard_offset":1,"shard_count":2}}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Plan
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := p.Normalize(); err != nil {
+			return
+		}
+		again := Plan{Campaign: p.Campaign, Configs: p.Configs,
+			Shards: append([]Shard(nil), p.Shards...)}
+		if err := again.Normalize(); err != nil {
+			t.Fatalf("normalized plan fails to re-normalize: %v", err)
+		}
+		if !reflect.DeepEqual(again, p) {
+			t.Fatalf("normalize not idempotent:\n 1st: %+v\n 2nd: %+v", p, again)
+		}
+	})
+}

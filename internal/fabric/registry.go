@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"wsnlink/internal/serve"
+)
+
+// Runner is one wsnlinkd daemon the coordinator can dispatch shards to.
+type Runner struct {
+	url    string
+	client *serve.Client
+	alive  atomic.Bool
+}
+
+// URL returns the runner's base URL.
+func (r *Runner) URL() string { return r.url }
+
+// Client returns the runner's typed campaign client.
+func (r *Runner) Client() *serve.Client { return r.client }
+
+// Alive reports the last probe verdict: true while the runner answered its
+// most recent /readyz probe with 200.
+func (r *Runner) Alive() bool { return r.alive.Load() }
+
+// Registry tracks runner liveness by probing each runner's /readyz
+// endpoint on a fixed interval. A runner is alive while the probe answers
+// 200; a draining or dead runner drops out, and a restarted runner is
+// revived automatically by the next sweep — no manual re-registration.
+// Dispatch failures reported via ReportFailure mark the runner down
+// immediately (faster than waiting out a probe interval) and trigger an
+// out-of-band re-probe.
+type Registry struct {
+	runners  []*Runner
+	interval time.Duration
+	probe    *http.Client
+	log      *slog.Logger
+	onState  func(r *Runner, alive bool)
+	poke     chan *Runner
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// NewRegistry builds a registry over the given runner base URLs. interval
+// is the probe period (<= 0 selects 250ms); onState, when non-nil, is
+// invoked on every liveness transition. Call Start to begin probing.
+func NewRegistry(urls []string, interval time.Duration, log *slog.Logger, onState func(*Runner, bool)) *Registry {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	if log == nil {
+		log = slog.Default()
+	}
+	g := &Registry{
+		interval: interval,
+		probe:    &http.Client{Timeout: 2 * time.Second},
+		log:      log,
+		onState:  onState,
+		poke:     make(chan *Runner, len(urls)),
+	}
+	for _, u := range urls {
+		u = strings.TrimRight(u, "/")
+		g.runners = append(g.runners, &Runner{url: u, client: serve.NewClient(u)})
+	}
+	return g
+}
+
+// Runners returns every configured runner, alive or not, in registration
+// order.
+func (g *Registry) Runners() []*Runner { return g.runners }
+
+// Start probes every runner once, synchronously — so callers can pick a
+// live runner immediately after Start returns — then begins the periodic
+// probe loop.
+func (g *Registry) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	g.cancel = cancel
+	g.done = make(chan struct{})
+	g.sweep(ctx)
+	go g.loop(ctx)
+}
+
+// Close stops the probe loop. The registry stays readable; liveness just
+// freezes.
+func (g *Registry) Close() {
+	if g.cancel != nil {
+		g.cancel()
+		<-g.done
+	}
+}
+
+func (g *Registry) loop(ctx context.Context) {
+	defer close(g.done)
+	t := time.NewTicker(g.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case r := <-g.poke:
+			g.probeOne(ctx, r)
+		case <-t.C:
+			g.sweep(ctx)
+		}
+	}
+}
+
+func (g *Registry) sweep(ctx context.Context) {
+	for _, r := range g.runners {
+		g.probeOne(ctx, r)
+	}
+}
+
+func (g *Registry) probeOne(ctx context.Context, r *Runner) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/readyz", nil)
+	if err != nil {
+		g.setAlive(r, false)
+		return
+	}
+	resp, err := g.probe.Do(req)
+	alive := false
+	if err == nil {
+		resp.Body.Close()
+		alive = resp.StatusCode == http.StatusOK
+	}
+	g.setAlive(r, alive)
+}
+
+func (g *Registry) setAlive(r *Runner, alive bool) {
+	if r.alive.Swap(alive) == alive {
+		return
+	}
+	if alive {
+		g.log.Info("fabric runner up", "runner", r.url)
+	} else {
+		g.log.Warn("fabric runner down", "runner", r.url)
+	}
+	if g.onState != nil {
+		g.onState(r, alive)
+	}
+}
+
+// ReportFailure marks a runner down after a dispatch failure, without
+// waiting for the prober to notice, and asks for an out-of-band re-probe so
+// a transient blip revives it quickly.
+func (g *Registry) ReportFailure(r *Runner) {
+	if r.alive.Swap(false) {
+		g.log.Warn("fabric runner down", "runner", r.url, "cause", "dispatch failure")
+		if g.onState != nil {
+			g.onState(r, false)
+		}
+	}
+	select {
+	case g.poke <- r:
+	default: // a re-probe is already queued
+	}
+}
+
+// PickAlive returns an alive runner, scanning round-robin from start (so
+// consecutive shard indices land on different runners), or false when every
+// runner is down.
+func (g *Registry) PickAlive(start int) (*Runner, bool) {
+	n := len(g.runners)
+	if n == 0 {
+		return nil, false
+	}
+	if start < 0 {
+		start = -start
+	}
+	for i := 0; i < n; i++ {
+		r := g.runners[(start+i)%n]
+		if r.Alive() {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// WaitAlive blocks until some runner is alive, ctx is done, or grace
+// elapses — the coordinator's tolerance for a whole-fleet outage (e.g.
+// every runner mid-restart) before a campaign is failed.
+func (g *Registry) WaitAlive(ctx context.Context, start int, grace time.Duration) (*Runner, bool) {
+	deadline := time.Now().Add(grace)
+	for {
+		if r, ok := g.PickAlive(start); ok {
+			return r, true
+		}
+		if time.Now().After(deadline) {
+			return nil, false
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case <-time.After(g.interval / 4):
+		}
+	}
+}

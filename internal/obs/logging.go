@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"io"
 	"log/slog"
 )
@@ -20,7 +22,34 @@ const (
 	LogKeyScenario = "scenario"
 	// LogKeyClient is the submitting client/tenant identity.
 	LogKeyClient = "client"
+	// LogKeyRequestID is the X-Request-ID correlation token: one value
+	// follows a logical call through client retries, route middleware and
+	// coordinator→runner hops.
+	LogKeyRequestID = "request_id"
 )
+
+// requestIDKey is the context key carrying a request's correlation ID.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's correlation ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewRequestID mints a fresh correlation ID: 8 random bytes, hex-encoded.
+// Collision resistance only needs to span a log-retention window, so 64
+// bits keeps the IDs short enough to read in a terminal.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
 
 // NewLogger returns a JSON structured logger writing to w at the given
 // level — the daemon's log sink. One JSON object per line, slog's standard

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"wsnlink/internal/obs"
 )
 
 // Client is the typed HTTP client for a wsnlinkd daemon. The zero value is
@@ -84,10 +86,21 @@ func (c *Client) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
+// requestCtx ensures ctx carries a correlation ID, minting one when the
+// caller brought none. One logical call keeps one ID across every retry
+// and reconnect, so the server-side log shows the retries as one story.
+func requestCtx(ctx context.Context) context.Context {
+	if obs.RequestID(ctx) != "" {
+		return ctx
+	}
+	return obs.WithRequestID(ctx, obs.NewRequestID())
+}
+
 // do issues one JSON call, transparently retrying idempotent methods on
 // transport errors and 5xx answers within the retry budget. POST is never
 // retried: a submit that died mid-flight may have enqueued the job.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	ctx = requestCtx(ctx)
 	idempotent := method == http.MethodGet || method == http.MethodDelete
 	for attempt := 0; ; attempt++ {
 		err := c.doOnce(ctx, method, path, body, out)
@@ -121,6 +134,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body, out any)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(RequestIDHeader, rid)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -139,11 +155,12 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body, out any)
 }
 
 // APIError is a non-2xx daemon answer: the status code plus the server's
-// JSON error message when one was sent.
+// JSON error message and request correlation ID when they were sent.
 type APIError struct {
 	StatusCode int
 	Status     string
 	Message    string
+	RequestID  string
 }
 
 func (e *APIError) Error() string {
@@ -179,9 +196,16 @@ func retryable(err error) bool {
 func responseError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e errorResponse
-	ae := &APIError{StatusCode: resp.StatusCode, Status: resp.Status}
+	ae := &APIError{
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		RequestID:  resp.Header.Get(RequestIDHeader),
+	}
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
 		ae.Message = e.Error
+		if e.RequestID != "" {
+			ae.RequestID = e.RequestID
+		}
 	}
 	return ae
 }
@@ -228,6 +252,7 @@ func (c *Client) List(ctx context.Context) (ListResponse, error) {
 // an attempt makes progress; a yield error is the caller's and is never
 // retried.
 func (c *Client) StreamRows(ctx context.Context, id string, after int, yield func(StreamedRow) error) (int, error) {
+	ctx = requestCtx(ctx) // one ID across every reconnect of this stream
 	last := after
 	budget := c.MaxRetries
 	var yieldErr error
@@ -265,6 +290,9 @@ func (c *Client) streamOnce(ctx context.Context, id string, after int, yield fun
 		return after, permanentError{fmt.Errorf("serve: %w", err)}
 	}
 	req.Header.Set(LastRowIndexHeader, strconv.Itoa(after))
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set(RequestIDHeader, rid)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return after, err

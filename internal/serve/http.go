@@ -8,12 +8,20 @@ import (
 	"strconv"
 	"time"
 
+	"wsnlink/internal/obs"
 	"wsnlink/internal/scenario"
 )
 
 // LastRowIndexHeader is the resume header of the rows endpoint: the index
 // of the last row the client already holds; the stream restarts after it.
 const LastRowIndexHeader = "Last-Row-Index"
+
+// RequestIDHeader carries the request correlation ID. The middleware takes
+// the caller's value (or mints one), echoes it on the response, stashes it
+// in the request context for log lines, and stamps it into error
+// envelopes — so a coordinator→runner hop is traceable end to end with one
+// grep.
+const RequestIDHeader = "X-Request-ID"
 
 // ListResponse is the GET /v1/campaigns body.
 type ListResponse struct {
@@ -22,8 +30,11 @@ type ListResponse struct {
 }
 
 // errorResponse is the JSON error envelope every non-2xx answer carries.
+// RequestID echoes the request's correlation ID so a failure report can be
+// matched to the server-side log line without the response headers.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
@@ -76,15 +87,26 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// instrument wraps one route with the HTTP telemetry: request counter by
-// status class, in-flight gauge, latency histogram. With telemetry disabled
-// the handler is returned untouched — no wrapper, no recorder allocation.
+// instrument wraps one route with request-ID propagation and, when a
+// registry is configured, the HTTP telemetry: request counter by status
+// class, in-flight gauge, latency histogram. The request-ID half always
+// runs — correlation must not depend on metrics being enabled.
 func (s *Server) instrument(route, method string, h http.HandlerFunc) http.HandlerFunc {
-	if s.tel == nil {
-		return h
+	var lat *obs.Histogram
+	if s.tel != nil {
+		lat = s.tel.httpLatency.With(route)
 	}
-	lat := s.tel.httpLatency.With(route)
 	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
+		if s.tel == nil {
+			h(w, r)
+			return
+		}
 		start := time.Now()
 		s.tel.httpInflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
@@ -147,7 +169,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad campaign spec: %w", err))
 		return
 	}
-	st, err := s.Submit(spec)
+	st, err := s.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, errStatus(err), err)
 		return
@@ -254,6 +276,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // nothing left to report to this client
 }
 
+// writeError renders the error envelope, echoing the correlation ID the
+// middleware already stamped on the response headers.
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	writeJSON(w, code, errorResponse{
+		Error:     err.Error(),
+		RequestID: w.Header().Get(RequestIDHeader),
+	})
 }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wsnlink/internal/obs"
+)
+
+// TestRequestIDPropagation pins the correlation contract: a caller-sent
+// X-Request-ID is echoed on the response and stamped into error
+// envelopes; a caller without one gets a server-minted ID; and the typed
+// client mints and sends one per logical call, surfacing it on APIError.
+func TestRequestIDPropagation(t *testing.T) {
+	s := openServer(t, t.TempDir(), Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Caller-supplied ID echoes back, even on errors, with the envelope
+	// carrying it too.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/campaigns/nope", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "trace-me-42" {
+		t.Fatalf("echoed request ID = %q, want trace-me-42", got)
+	}
+	var envelope errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.RequestID != "trace-me-42" {
+		t.Fatalf("error envelope request_id = %q, want trace-me-42", envelope.RequestID)
+	}
+
+	// No caller ID: the middleware mints one.
+	resp2, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get(RequestIDHeader) == "" {
+		t.Fatal("server did not mint a request ID")
+	}
+
+	// The typed client propagates a context ID and surfaces it on errors.
+	cl := NewClient(ts.URL)
+	ctx := obs.WithRequestID(context.Background(), "client-ctx-7")
+	_, err = cl.Status(ctx, "nope")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Status error = %v, want *APIError", err)
+	}
+	if ae.RequestID != "client-ctx-7" {
+		t.Fatalf("APIError.RequestID = %q, want client-ctx-7", ae.RequestID)
+	}
+
+	// Without a context ID the client mints one per call.
+	_, err = cl.Status(context.Background(), "nope")
+	if !errors.As(err, &ae) || ae.RequestID == "" {
+		t.Fatalf("client did not mint a request ID (err %v)", err)
+	}
+}

@@ -44,6 +44,15 @@ type Options struct {
 	// transitions, drain checkpoints) with the canonical obs.LogKey*
 	// attributes. Nil discards them.
 	Logger *slog.Logger
+	// Executor, when set, produces campaign rows instead of the local
+	// sweep engines — the coordinator mode plugs the distributed fabric in
+	// here. Queueing, spooling, checkpointing, streaming and caching are
+	// unchanged.
+	Executor Executor
+	// Blobs, when set, is the shared cache tier: promoted datasets are
+	// published into it and cache lookups fall back to it, so a fleet of
+	// runners shares one content-addressed result set.
+	Blobs BlobStore
 }
 
 // jobEntry pairs a durable job record with its live run state. The record
@@ -101,6 +110,7 @@ func openFS(dir string, opts Options, fsys fsOps) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	store.blobs = opts.Blobs
 	if opts.Jobs <= 0 {
 		opts.Jobs = 1
 	}
@@ -170,11 +180,17 @@ func (s *Server) kick() {
 // holds the campaign's dataset the job completes immediately as a cache
 // hit, without ever reaching the worker pool.
 func (s *Server) Submit(spec CampaignSpec) (JobStatus, error) {
+	return s.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with a caller context: its correlation ID (if any)
+// is attached to the submission log line, tying the HTTP hop to the job.
+func (s *Server) SubmitCtx(ctx context.Context, spec CampaignSpec) (JobStatus, error) {
 	norm, sp, err := spec.normalize(s.opts.Limits)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	fingerprint, err := norm.fingerprint(sp.All())
+	fingerprint, err := norm.fingerprint(norm.shardConfigs(sp))
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -202,13 +218,14 @@ func (s *Server) Submit(spec CampaignSpec) (JobStatus, error) {
 		State:       StateQueued,
 		Spec:        norm,
 		Fingerprint: fp,
-		Configs:     sp.Size(),
+		Configs:     norm.configCount(sp),
 		CreatedMs:   now,
 	}
-	if s.store.HasCache(fp) {
+	if hit, fetched := s.store.EnsureCached(fp); hit {
 		j.State = StateDone
 		j.CacheHit = true
 		j.FinishedMs = now
+		s.tel.blobFetched(fetched)
 	}
 	if err := s.store.PutJob(j); err != nil {
 		s.seq--
@@ -226,12 +243,17 @@ func (s *Server) Submit(spec CampaignSpec) (JobStatus, error) {
 		s.kick()
 	}
 	s.queueDepthLocked()
-	s.log.Info("campaign submitted",
+	attrs := []any{
 		obs.LogKeyJob, j.ID,
 		obs.LogKeyFingerprint, j.Fingerprint,
 		obs.LogKeyScenario, string(j.Spec.ScenarioKind()),
 		"configs", j.Configs,
-		"cache_hit", j.CacheHit)
+		"cache_hit", j.CacheHit,
+	}
+	if rid := obs.RequestID(ctx); rid != "" {
+		attrs = append(attrs, obs.LogKeyRequestID, rid)
+	}
+	s.log.Info("campaign submitted", attrs...)
 	return s.statusLocked(e), nil
 }
 
@@ -397,7 +419,8 @@ func (s *Server) startRunnable() {
 			if e.job.State != StateQueued || activeFP[e.job.Fingerprint] {
 				continue
 			}
-			if s.store.HasCache(e.job.Fingerprint) {
+			if hit, fetched := s.store.EnsureCached(e.job.Fingerprint); hit {
+				s.tel.blobFetched(fetched)
 				e.job.State = StateDone
 				e.job.CacheHit = true
 				e.job.FinishedMs = time.Now().UnixMilli()
@@ -463,7 +486,7 @@ func (s *Server) runJob(e *jobEntry, ctx context.Context) {
 func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	spec := e.job.Spec // immutable after Submit
 	sp := spec.Space.Space()
-	cfgs := sp.All()
+	cfgs := spec.shardConfigs(sp)
 	opts := spec.options()
 	opts.Metrics = e.metrics
 	opts.Progress = &e.prog
@@ -482,6 +505,9 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	fp := obs.FormatFingerprint(fingerprint)
 	if fp != e.job.Fingerprint {
 		return fmt.Errorf("serve: internal: fingerprint drift (%s vs %s)", fp, e.job.Fingerprint)
+	}
+	if s.opts.Executor != nil {
+		return s.executeRemote(ctx, e, spec, scn, cfgs, fingerprint, fp)
 	}
 	if spec.TraceSample > 0 {
 		opts.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
@@ -560,8 +586,26 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	if err := s.store.Promote(fp); err != nil {
 		return err
 	}
+	s.publishPromoted(fp)
 	s.tel.cachePromoted(s.store.CacheSize())
 	return nil
+}
+
+// publishPromoted copies a freshly promoted dataset into the shared blob
+// tier, best-effort: the local result is complete and served either way,
+// so a blob-store outage is logged, counted, and otherwise ignored.
+func (s *Server) publishPromoted(fp string) {
+	if s.opts.Blobs == nil {
+		return
+	}
+	if err := s.store.PublishCache(fp); err != nil {
+		s.tel.blobPublishFailed()
+		s.log.Warn("blob publish failed",
+			obs.LogKeyFingerprint, fp,
+			"error", err.Error())
+		return
+	}
+	s.tel.blobPublished()
 }
 
 // finishJob applies the terminal (or requeued) state and persists it.

@@ -26,6 +26,9 @@ import (
 type Store struct {
 	dir string
 	fs  fsOps
+	// blobs, when set, is the shared cache tier behind the local cache:
+	// EnsureCached falls back to it and PublishCache copies into it.
+	blobs BlobStore
 }
 
 // OpenStore creates (or reopens) the data directory layout.

@@ -37,6 +37,11 @@ type telemetry struct {
 	cachePromotes *obs.Counter
 	cacheBytes    *obs.Gauge
 
+	// Shared blob tier.
+	blobFetches       *obs.Counter
+	blobPublishes     *obs.Counter
+	blobPublishErrors *obs.Counter
+
 	// Row streaming.
 	tailers      *obs.GaugeVec // job
 	rowsStreamed *obs.Counter
@@ -81,6 +86,13 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 			"Completed spool datasets promoted into the cache.").With(),
 		cacheBytes: reg.Gauge("wsnlinkd_cache_size_bytes",
 			"Total size of the result cache on disk.").With(),
+
+		blobFetches: reg.Counter("wsnlinkd_blob_fetches_total",
+			"Datasets pulled from the shared blob tier into the local cache.").With(),
+		blobPublishes: reg.Counter("wsnlinkd_blob_publishes_total",
+			"Promoted datasets published into the shared blob tier.").With(),
+		blobPublishErrors: reg.Counter("wsnlinkd_blob_publish_errors_total",
+			"Blob publishes that failed (the local result still serves).").With(),
 
 		tailers: reg.Gauge("wsnlinkd_tailers_active",
 			"Row streams currently tailing each campaign.", "job"),
@@ -155,6 +167,27 @@ func (t *telemetry) setCacheBytes(n int64) {
 		return
 	}
 	t.cacheBytes.Set(n)
+}
+
+func (t *telemetry) blobFetched(fetched bool) {
+	if t == nil || !fetched {
+		return
+	}
+	t.blobFetches.Inc()
+}
+
+func (t *telemetry) blobPublished() {
+	if t == nil {
+		return
+	}
+	t.blobPublishes.Inc()
+}
+
+func (t *telemetry) blobPublishFailed() {
+	if t == nil {
+		return
+	}
+	t.blobPublishErrors.Inc()
 }
 
 // tailerHandles resolves the per-campaign stream instruments once per

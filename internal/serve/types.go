@@ -129,6 +129,17 @@ type CampaignSpec struct {
 	// configuration (0 = off); the trace file lands in the daemon's data
 	// directory and its path is reported in the job status.
 	TraceSample int `json:"trace_sample,omitempty"`
+	// ShardOffset/ShardCount restrict the campaign to the contiguous
+	// configuration window [ShardOffset, ShardOffset+ShardCount) of the
+	// space's row-major enumeration. Row i of a shard is byte-identical to
+	// row ShardOffset+i of the unsharded campaign (seeds derive from the
+	// global index; CRN pairs on global index 0), which is what lets a
+	// coordinator split one campaign across runners and merge the streams
+	// losslessly. ShardCount == 0 means the whole space and requires
+	// ShardOffset == 0. Both are identity knobs: a nonzero offset enters
+	// the fingerprint, so shards are content-addressed like any campaign.
+	ShardOffset int `json:"shard_offset,omitempty"`
+	ShardCount  int `json:"shard_count,omitempty"`
 }
 
 // Limits are the server-side guard rails applied to every submission.
@@ -155,9 +166,23 @@ func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
 	if err := sp.Validate(); err != nil {
 		return c, sp, err
 	}
-	if lim.MaxConfigs > 0 && sp.Size() > lim.MaxConfigs {
-		return c, sp, fmt.Errorf("serve: space has %d configurations, server limit is %d",
-			sp.Size(), lim.MaxConfigs)
+	if c.ShardOffset < 0 || c.ShardCount < 0 {
+		return c, sp, fmt.Errorf("serve: negative shard window in spec")
+	}
+	if c.ShardCount == 0 && c.ShardOffset != 0 {
+		return c, sp, fmt.Errorf("serve: shard_offset %d requires shard_count", c.ShardOffset)
+	}
+	// The end-of-window check is phrased subtraction-first so a hostile
+	// offset+count sum cannot wrap around Size()'s MaxInt saturation.
+	if c.ShardCount > 0 && (c.ShardCount > sp.Size() || c.ShardOffset > sp.Size()-c.ShardCount) {
+		return c, sp, fmt.Errorf("serve: shard [%d,%d) exceeds the %d-configuration space",
+			c.ShardOffset, c.ShardOffset+c.ShardCount, sp.Size())
+	}
+	// The config limit guards the work a job performs, so it applies to
+	// the shard window, not the parent space it is cut from.
+	if lim.MaxConfigs > 0 && c.configCount(sp) > lim.MaxConfigs {
+		return c, sp, fmt.Errorf("serve: campaign has %d configurations, server limit is %d",
+			c.configCount(sp), lim.MaxConfigs)
 	}
 	if c.Packets < 0 || c.TraceSample < 0 || c.Workers < 0 || c.DeadlineS < 0 {
 		return c, sp, fmt.Errorf("serve: negative knob in spec")
@@ -193,6 +218,35 @@ func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
 	c.Star, c.Interference, c.LPL, c.Mobility =
 		scn.Star, scn.Interference, scn.LPL, scn.Mobility
 	return c, sp, nil
+}
+
+// configCount returns the number of configurations the campaign covers:
+// the shard window, or the whole space.
+func (c CampaignSpec) configCount(sp stack.Space) int {
+	if c.ShardCount > 0 {
+		return c.ShardCount
+	}
+	return sp.Size()
+}
+
+// shardConfigs materializes the configurations the campaign covers, in
+// global enumeration order. normalize has validated the window bounds.
+// Sharded campaigns materialize only their window, so a shard job stays
+// O(window) even when cut from a space far larger than the server would
+// accept whole.
+func (c CampaignSpec) shardConfigs(sp stack.Space) []stack.Config {
+	if c.ShardCount == 0 {
+		return sp.All()
+	}
+	return sp.Slice(c.ShardOffset, c.ShardOffset+c.ShardCount)
+}
+
+// Normalized returns the spec with every identity default made explicit —
+// the form the server stores and hashes — validated against lim. The shard
+// planner uses it to cut windows from an already-normalized parent spec.
+func (c CampaignSpec) Normalized(lim Limits) (CampaignSpec, error) {
+	norm, _, err := c.normalize(lim)
+	return norm, err
 }
 
 // scenarioSpecRaw assembles the scenario selection without normalizing,
@@ -265,6 +319,7 @@ func (c CampaignSpec) options() sweep.RunOptions {
 		Workers:     c.Workers,
 		BatchSize:   c.BatchSize,
 		TraceSample: c.TraceSample,
+		IndexOffset: c.ShardOffset,
 	}
 	if c.FullDES {
 		opts.Engine = sim.EngineDES
@@ -279,7 +334,7 @@ func (c CampaignSpec) Fingerprint() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return norm.fingerprint(sp.All())
+	return norm.fingerprint(norm.shardConfigs(sp))
 }
 
 // JobState is a job's lifecycle state.

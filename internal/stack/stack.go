@@ -201,6 +201,41 @@ func (s Space) Validate() error {
 	return nil
 }
 
+// At returns the configuration at row-major index i of the enumeration All
+// produces, without materialising the space. It panics when i is out of
+// [0, Size()), like a slice index.
+func (s Space) At(i int) Config {
+	if i < 0 || i >= s.Size() {
+		panic(fmt.Sprintf("stack: config index %d out of range [0,%d)", i, s.Size()))
+	}
+	var c Config
+	pick := func(n int) int {
+		k := i % n
+		i /= n
+		return k
+	}
+	// Fastest-iterating axis first, mirroring All's loop nesting.
+	c.PayloadBytes = s.PayloadsBytes[pick(len(s.PayloadsBytes))]
+	c.PktInterval = s.PktIntervals[pick(len(s.PktIntervals))]
+	c.QueueCap = s.QueueCaps[pick(len(s.QueueCaps))]
+	c.RetryDelay = s.RetryDelays[pick(len(s.RetryDelays))]
+	c.MaxTries = s.MaxTries[pick(len(s.MaxTries))]
+	c.TxPower = s.TxPowers[pick(len(s.TxPowers))]
+	c.DistanceM = s.DistancesM[pick(len(s.DistancesM))]
+	return c
+}
+
+// Slice materialises the contiguous window [lo, hi) of the enumeration —
+// All()[lo:hi] without allocating the full space, which is what lets a
+// shard of an arbitrarily large campaign stay O(window).
+func (s Space) Slice(lo, hi int) []Config {
+	out := make([]Config, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, s.At(i))
+	}
+	return out
+}
+
 // All materialises every configuration in the space, iterating the
 // non-distance axes fastest so that, as in the campaign, all settings for
 // one distance are grouped before the next distance starts.

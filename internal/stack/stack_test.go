@@ -146,3 +146,36 @@ func TestSpaceValidateBadValue(t *testing.T) {
 		t.Error("space with illegal payload should fail validation")
 	}
 }
+
+// TestSpaceAtSliceMatchAll pins the indexed enumeration against All: At(i)
+// must reproduce All()[i] for every index, and Slice must be All()[lo:hi]
+// without materialising the rest — the contract shard windows rely on.
+func TestSpaceAtSliceMatchAll(t *testing.T) {
+	s := DefaultSpace()
+	all := s.All()
+	for _, i := range []int{0, 1, 7, 8, len(all) / 2, len(all) - 2, len(all) - 1} {
+		if got := s.At(i); got != all[i] {
+			t.Fatalf("At(%d) = %+v, want %+v", i, got, all[i])
+		}
+	}
+	lo, hi := len(all)/3, len(all)/3+17
+	win := s.Slice(lo, hi)
+	if len(win) != hi-lo {
+		t.Fatalf("Slice materialised %d configs, want %d", len(win), hi-lo)
+	}
+	for i, c := range win {
+		if c != all[lo+i] {
+			t.Fatalf("Slice[%d] = %+v, want All[%d] = %+v", i, c, lo+i, all[lo+i])
+		}
+	}
+	for _, bad := range []int{-1, len(all)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", bad)
+				}
+			}()
+			s.At(bad)
+		}()
+	}
+}

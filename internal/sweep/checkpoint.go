@@ -143,6 +143,15 @@ func campaignFingerprint(cfgs []stack.Config, opts RunOptions) uint64 {
 	if opts.CRN {
 		wu(0x43524e) // "CRN"
 	}
+	// A shard offset changes row content (seeds derive from the global
+	// index), so it is identity — but the word is appended only when the
+	// offset is nonzero so every pre-shard fingerprint stays valid, and a
+	// shard that happens to cover the whole space at offset 0 shares the
+	// unsharded campaign's cache entry.
+	if opts.IndexOffset > 0 {
+		wu(0x5348415244) // "SHARD"
+		wu(uint64(opts.IndexOffset))
+	}
 	return h.Sum64()
 }
 
@@ -207,3 +216,32 @@ func (c *checkpointFile) Append(idx int) error {
 }
 
 func (c *checkpointFile) Close() error { return c.f.Close() }
+
+// CheckpointWriter is the exported handle over the checkpoint sidecar for
+// executors that produce rows outside this package's engines — the
+// distributed coordinator merges runner streams and must checkpoint each
+// merged row with exactly the semantics the local engine uses, so a
+// campaign can move between local and distributed execution mid-flight.
+type CheckpointWriter struct {
+	f *checkpointFile
+}
+
+// OpenCheckpointWriter creates (resume=false) or validates and reopens
+// (resume=true) the checkpoint sidecar at path for the campaign identified
+// by fingerprint over configs configurations.
+func OpenCheckpointWriter(path string, fingerprint uint64, configs int, resume bool) (*CheckpointWriter, error) {
+	f, err := openCheckpoint(path, fingerprint, configs, resume)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointWriter{f: f}, nil
+}
+
+// Done returns the processed-prefix length recorded at open time.
+func (w *CheckpointWriter) Done() int { return w.f.Done() }
+
+// Append records index idx as durably processed; indices must be appended
+// consecutively from Done().
+func (w *CheckpointWriter) Append(idx int) error { return w.f.Append(idx) }
+
+func (w *CheckpointWriter) Close() error { return w.f.Close() }

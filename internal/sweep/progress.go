@@ -52,3 +52,17 @@ func (p *Progress) begin(total, done int) {
 	p.done.Store(int64(done))
 	p.errors.Store(0)
 }
+
+// Begin initializes the counters for a run resuming after done of total
+// configurations. It is the exported entry point for executors that drive
+// a campaign outside this package's engines (the engines call it
+// themselves when RunOptions.Progress is set).
+func (p *Progress) Begin(total, done int) { p.begin(total, done) }
+
+// MarkDone counts one configuration as handled.
+func (p *Progress) MarkDone() { p.done.Add(1) }
+
+// MarkError counts one configuration as failed. Like the engine, failed
+// configurations are counted by Done separately (call MarkDone too if the
+// failure consumed a slot in the campaign).
+func (p *Progress) MarkError() { p.errors.Add(1) }

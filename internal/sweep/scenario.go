@@ -69,6 +69,10 @@ func scenarioFingerprint(spec scenario.Spec, cfgs []stack.Config, opts RunOption
 	if opts.CRN {
 		wu(0x43524e) // "CRN"
 	}
+	if opts.IndexOffset > 0 { // shard identity, appended only when sharded
+		wu(0x5348415244) // "SHARD"
+		wu(uint64(opts.IndexOffset))
+	}
 	return h.Sum64()
 }
 

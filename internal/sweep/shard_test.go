@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestShardOffsetRowsMatchFullCampaign is the sharding correctness proof:
+// running configs [off, off+n) of a campaign with IndexOffset=off produces
+// rows identical to rows [off, off+n) of the full campaign, for every
+// contiguous split — because per-row seeds depend on the global index, not
+// the slice position. This is what lets a coordinator farm contiguous
+// shards to runners and merge streams byte-identical to a local run.
+func TestShardOffsetRowsMatchFullCampaign(t *testing.T) {
+	cfgs := smallSpace().All() // 16 configs
+	base := RunOptions{Packets: 60, BaseSeed: 9}
+
+	full, err := RunConfigs(context.Background(), cfgs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, split := range [][2]int{{0, 16}, {0, 7}, {7, 6}, {13, 3}, {15, 1}} {
+		off, n := split[0], split[1]
+		opts := base
+		opts.IndexOffset = off
+		rows, err := RunConfigs(context.Background(), cfgs[off:off+n], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rows, full[off:off+n]) {
+			t.Fatalf("shard [%d,%d): rows differ from full campaign slice", off, off+n)
+		}
+	}
+}
+
+// TestShardOffsetCRNPairsGlobally pins that CRN pairing ignores the shard
+// offset: every row of every shard runs under the parent campaign's
+// index-0 seed, so paired contrasts hold across shard boundaries.
+func TestShardOffsetCRNPairsGlobally(t *testing.T) {
+	cfgs := smallSpace().All()
+	base := RunOptions{Packets: 60, BaseSeed: 21, CRN: true}
+
+	full, err := RunConfigs(context.Background(), cfgs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := base
+	opts.IndexOffset = 9
+	rows, err := RunConfigs(context.Background(), cfgs[9:14], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, full[9:14]) {
+		t.Fatal("CRN shard rows differ from full campaign slice")
+	}
+	for _, r := range rows {
+		if r.Seed != full[0].Seed {
+			t.Fatalf("CRN shard row seed %#x != campaign index-0 seed %#x",
+				r.Seed, full[0].Seed)
+		}
+	}
+}
+
+// TestShardFingerprintIdentity pins the fingerprint contract: offset zero
+// hashes exactly as an unsharded campaign (existing checkpoints and caches
+// stay valid; a whole-space shard shares the unsharded cache entry), while
+// distinct nonzero offsets occupy distinct identities.
+func TestShardFingerprintIdentity(t *testing.T) {
+	cfgs := smallSpace().All()
+	opts := RunOptions{Packets: 60, BaseSeed: 9}
+
+	plain := CampaignFingerprint(cfgs, opts)
+	zero := opts
+	zero.IndexOffset = 0
+	if got := CampaignFingerprint(cfgs, zero); got != plain {
+		t.Fatalf("IndexOffset=0 changed the fingerprint: %#x != %#x", got, plain)
+	}
+	seen := map[uint64]int{plain: 0}
+	for _, off := range []int{1, 7, 16} {
+		o := opts
+		o.IndexOffset = off
+		fp := CampaignFingerprint(cfgs[0:7], o)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("offsets %d and %d collide on fingerprint %#x", off, prev, fp)
+		}
+		seen[fp] = off
+	}
+}
+
+// TestShardNegativeOffsetRejected pins option validation.
+func TestShardNegativeOffsetRejected(t *testing.T) {
+	_, err := RunConfigs(context.Background(), smallSpace().All(),
+		RunOptions{IndexOffset: -1})
+	if err == nil {
+		t.Fatal("negative IndexOffset accepted")
+	}
+}

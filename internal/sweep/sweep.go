@@ -153,6 +153,16 @@ type RunOptions struct {
 	// configurations, Packets, BaseSeed, Engine and CRN setting;
 	// BatchSize and Workers are execution knobs and may differ).
 	Resume bool
+	// IndexOffset shifts the global configuration index of the run: row i
+	// of this campaign derives its seed as if it were row IndexOffset+i of
+	// a larger sweep. A shard covering configs [off, off+n) of a parent
+	// space therefore produces rows byte-identical to rows [off, off+n) of
+	// the unsharded campaign. The offset changes row content, so a nonzero
+	// value is part of the campaign fingerprint; zero (the default) hashes
+	// exactly as before, keeping existing checkpoints and caches valid.
+	// CRN pairing always uses the parent campaign's index-0 seed, so
+	// paired contrasts hold across shard boundaries.
+	IndexOffset int
 
 	// pendingGauge, if set, observes the reorder-buffer size after each
 	// arrival (test instrumentation for the O(workers) memory bound).
@@ -186,6 +196,9 @@ func (o RunOptions) withDefaults() (RunOptions, error) {
 	if o.TraceSample < 0 {
 		return o, fmt.Errorf("sweep: TraceSample must be >= 0, got %d", o.TraceSample)
 	}
+	if o.IndexOffset < 0 {
+		return o, fmt.Errorf("sweep: IndexOffset must be >= 0, got %d", o.IndexOffset)
+	}
 	if o.Resume && o.Checkpoint == "" {
 		return o, fmt.Errorf("sweep: Resume requires a Checkpoint path")
 	}
@@ -210,13 +223,15 @@ func (o RunOptions) traceSpan(fingerprint uint64, idx int) *obs.SpanContext {
 const DefaultBatchSize = 64
 
 // seedFor derives the deterministic seed for configuration idx: SplitMix64
-// of the index mixed with BaseSeed (sim.DeriveSeed), or — under CRN
-// pairing — the index-0 seed shared by every configuration.
+// of the global index (idx + IndexOffset) mixed with BaseSeed
+// (sim.DeriveSeed), or — under CRN pairing — the global index-0 seed
+// shared by every configuration. CRN ignores the shard offset: pairing is
+// a property of the parent campaign, not of the shard.
 func (o RunOptions) seedFor(idx int) uint64 {
 	if o.CRN {
-		idx = 0
+		return sim.DeriveSeed(o.BaseSeed, 0)
 	}
-	return sim.DeriveSeed(o.BaseSeed, idx)
+	return sim.DeriveSeed(o.BaseSeed, idx+o.IndexOffset)
 }
 
 // RunSpace simulates every configuration in the space, honoring ctx. It is
