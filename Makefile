@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race service-e2e fabric-e2e validate validate-scenarios bench bench-json bench-check bench-service bench-service-baseline bench-fabric bench-fabric-baseline vulncheck verify
+.PHONY: build test vet race service-e2e fabric-e2e validate validate-scenarios validate-adaptive bench bench-json bench-check bench-service bench-service-baseline bench-fabric bench-fabric-baseline vulncheck verify
 
 # Benchmarks the committed BENCH_2.json baseline tracks: the batch kernel
 # (the configs_per_sec headline), sweep throughput, the per-configuration
@@ -27,6 +27,7 @@ race:
 	$(GO) test -race ./internal/sweep ./internal/sim ./internal/obs ./internal/serve \
 		./internal/scenario ./internal/netsim ./internal/interference \
 		./internal/lpl ./internal/mobility ./internal/fabric \
+		./internal/adaptive \
 		./cmd/wsnsweep ./cmd/wsnlinkd ./cmd/wsnload
 
 # The daemon e2e suite on its own: boots wsnlinkd on a loopback port and
@@ -72,6 +73,15 @@ validate-scenarios:
 	$(GO) build -o /tmp/wsnvalid ./cmd/wsnvalid
 	/tmp/wsnvalid -scenarios -seed 1 -q -out /tmp/wsnvalid-scn-1.json
 	/tmp/wsnvalid -scenarios -seed 2 -q -out /tmp/wsnvalid-scn-2.json
+
+# The adaptive extension of the validation harness: the explorer must
+# recover >=95% of the exhaustive front hypervolume from <=10% of the
+# evaluations on a 1600-cell reference grid, with every evaluated cell
+# CRN-identical to the exhaustive sweep (DESIGN.md §11).
+validate-adaptive:
+	$(GO) build -o /tmp/wsnvalid ./cmd/wsnvalid
+	/tmp/wsnvalid -adaptive -seed 1 -q -out /tmp/wsnvalid-ad-1.json
+	/tmp/wsnvalid -adaptive -seed 2 -q -out /tmp/wsnvalid-ad-2.json
 
 # Regenerate the committed benchmark baseline as JSON.
 bench-json:
@@ -168,4 +178,4 @@ bench-fabric:
 	/tmp/benchjson -service-baseline BENCH_4.json < /tmp/wsnload-fabric-fresh.json
 
 # The full quality gate (DESIGN.md §6).
-verify: build vet test race validate validate-scenarios
+verify: build vet test race validate validate-scenarios validate-adaptive

@@ -44,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"wsnlink/internal/adaptive"
 	"wsnlink/internal/buildinfo"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
@@ -87,6 +88,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		traceSample = fs.Int("trace-sample", 1, "trace every Nth configuration (with -trace-out)")
 		remote      = fs.String("remote", "", "run the campaign on a wsnlinkd daemon at this base URL, e.g. http://localhost:8080")
 		version     = fs.Bool("version", false, "print version and exit")
+
+		adaptiveOn   = fs.Bool("adaptive", false, "adaptive campaign: explore the grid under an evaluation budget instead of sweeping it (link scenario only; forces -crn)")
+		budget       = fs.Int("budget", 0, "adaptive: maximum configurations to evaluate (0 = max(16, grid/10))")
+		tolerance    = fs.Float64("tolerance", 0, "adaptive: relative hypervolume change counted as stable (0 = 0.01)")
+		initDesign   = fs.Int("adaptive-initial", 0, "adaptive: seed-design size (0 = max(8, budget/4))")
+		roundSize    = fs.Int("round-size", 0, "adaptive: configurations per EI round (0 = max(4, budget/16))")
+		stableRounds = fs.Int("stable-rounds", 0, "adaptive: consecutive stable rounds that stop the exploration (0 = 3)")
+		strategy     = fs.String("strategy", "", "adaptive: acquisition strategy, ei (default) or halving")
+		halvingEta   = fs.Int("halving-eta", 0, "adaptive: successive-halving cohort shrink factor (0 = 2)")
 
 		scenarioKind = fs.String("scenario", "", "campaign scenario: link (default), star, interference, lpl, mobility")
 		nodes        = fs.Int("nodes", 0, "star: contending senders (0 = default 2)")
@@ -138,6 +148,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	aParams := adaptive.Params{
+		Budget:        *budget,
+		InitialDesign: *initDesign,
+		RoundSize:     *roundSize,
+		Tolerance:     *tolerance,
+		StableRounds:  *stableRounds,
+		Strategy:      *strategy,
+		HalvingEta:    *halvingEta,
+	}
+	if *adaptiveOn {
+		if scn.Kind != scenario.KindLink {
+			return fmt.Errorf("-adaptive supports only the link scenario (got %q)", scn.Kind)
+		}
+		if *traceOut != "" {
+			return errors.New("-trace-out is not valid with -adaptive")
+		}
+		if err := aParams.Normalize(len(cfgs)); err != nil {
+			return err
+		}
+	} else if aParams != (adaptive.Params{}) {
+		return errors.New("-budget, -tolerance and the other exploration knobs require -adaptive")
+	}
+
 	if *remote != "" {
 		// The daemon owns durability and telemetry for remote campaigns:
 		// its spool checkpoints every row and its /debug endpoints serve
@@ -163,6 +196,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			Scenario:  string(scn.Kind),
 			Star:      scn.Star, Interference: scn.Interference,
 			LPL: scn.LPL, Mobility: scn.Mobility,
+		}
+		if *adaptiveOn {
+			spec.Mode = serve.ModeAdaptive
+			p := aParams
+			spec.Adaptive = &p
 		}
 		return runRemote(ctx, *remote, spec, scn.Kind, *out, *progress, stdout, stderr)
 	}
@@ -195,6 +233,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *fullDES {
 		opts.Engine = sim.EngineDES
 	}
+	aopts := adaptive.Options{
+		Params:     aParams,
+		Packets:    *packets,
+		BaseSeed:   *seed,
+		Engine:     opts.Engine,
+		Workers:    *workers,
+		BatchSize:  *batchSize,
+		Checkpoint: *checkpoint,
+		Resume:     *resume,
+	}
 
 	// Telemetry is armed whenever something consumes it (manifest,
 	// snapshot dump, or the live debug endpoint); otherwise the engine
@@ -208,9 +256,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	var prog sweep.Progress
 	opts.Progress = &prog
+	aopts.Metrics = opts.Metrics
+	aopts.Progress = &prog
 	if *pprofAddr != "" {
 		obs.PublishExpvar("wsnsweep", opts.Metrics)
-		fp := obs.FormatFingerprint(campaignFP(scn, cfgs, opts))
+		fpv := campaignFP(scn, cfgs, opts)
+		if *adaptiveOn {
+			fpv = adaptive.Fingerprint(cfgs, aopts)
+		}
+		fp := obs.FormatFingerprint(fpv)
 		obs.PublishCampaign(func() obs.CampaignStatus {
 			ps := prog.Snapshot()
 			return obs.CampaignStatus{
@@ -283,14 +337,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(stderr, "sweeping %d configurations (%d per distance) x %d packets",
-		len(cfgs), space.SettingsPerDistance(), *packets)
+	if *adaptiveOn {
+		fmt.Fprintf(stderr, "adaptively exploring up to %d of %d configurations x %d packets (strategy %s)",
+			aParams.Budget, len(cfgs), *packets, aParams.Strategy)
+	} else {
+		fmt.Fprintf(stderr, "sweeping %d configurations (%d per distance) x %d packets",
+			len(cfgs), space.SettingsPerDistance(), *packets)
+	}
 	if done > 0 {
 		fmt.Fprintf(stderr, " (resuming after %d)", done)
 	}
 	fmt.Fprintln(stderr)
 
 	if *progress {
+		total := len(cfgs)
+		if *adaptiveOn {
+			total = aParams.Budget
+		}
 		stopProgress := make(chan struct{})
 		defer close(stopProgress)
 		go func() {
@@ -301,7 +364,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				case <-t.C:
 					s := prog.Snapshot()
 					fmt.Fprintf(stderr, "\r%d/%d configurations (%d errors)",
-						s.Done, len(cfgs), s.Errors)
+						s.Done, total, s.Errors)
 				case <-stopProgress:
 					return
 				}
@@ -310,7 +373,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	wallStart := time.Now()
-	err = codec.Stream(ctx, cfgs, opts)
+	var ares *adaptive.Result
+	if *adaptiveOn {
+		// The explorer owns the checkpoint and the evaluation order; the
+		// link codec only formats rows. The prefix read on -resume replays
+		// through the explorer, which verifies every row against the
+		// trajectory it re-derives.
+		lc := codec.(*linkCodec)
+		aopts.ResumeRows = lc.prefix
+		ares, err = adaptive.Stream(ctx, space, aopts, func(r sweep.Row) error {
+			if err := lc.enc.Encode(r); err != nil {
+				return err
+			}
+			return lc.enc.Flush()
+		})
+	} else {
+		err = codec.Stream(ctx, cfgs, opts)
+	}
 	wall := time.Since(wallStart)
 	if *progress {
 		fmt.Fprintln(stderr)
@@ -345,15 +424,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "wrote %d rows to %s\n", codec.Rows(), *out)
+	if ares != nil {
+		fmt.Fprintf(stderr, "explored %d of %d configurations in %d rounds (converged=%v, front size %d, hypervolume %.4f)\n",
+			ares.Evaluations, ares.GridSize, len(ares.Rounds), ares.Converged, len(ares.Front), ares.Hypervolume)
+	}
 
 	if *manifest != "" {
 		man := buildManifest(scn, space, cfgs, opts, *resume, done, codec.Rows(), wall, *traceOut)
+		if ares != nil {
+			// The adaptive campaign identity replaces the exhaustive one:
+			// the manifest fingerprint must match the checkpoint sidecar,
+			// which the explorer stamped with the adaptive namespace.
+			man.Fingerprint = obs.FormatFingerprint(adaptive.Fingerprint(cfgs, aopts))
+			man.Adaptive = adaptiveManifestBlock(aParams, ares)
+		}
 		if err := man.WriteFile(*manifest); err != nil {
 			return err
 		}
 		fmt.Fprintf(stderr, "wrote manifest to %s\n", *manifest)
 	}
 	return nil
+}
+
+// adaptiveManifestBlock renders the exploration summary for the manifest:
+// the normalized knobs plus the trajectory's outcome, enough to judge the
+// run (budget fraction, convergence, front quality) without the dataset.
+func adaptiveManifestBlock(p adaptive.Params, res *adaptive.Result) json.RawMessage {
+	blk := struct {
+		Params      adaptive.Params `json:"params"`
+		GridSize    int             `json:"grid_size"`
+		Evaluations int             `json:"evaluations"`
+		Rounds      int             `json:"rounds"`
+		Converged   bool            `json:"converged"`
+		FrontSize   int             `json:"front_size"`
+		Hypervolume float64         `json:"hypervolume"`
+	}{p, res.GridSize, res.Evaluations, len(res.Rounds), res.Converged, len(res.Front), res.Hypervolume}
+	data, err := json.Marshal(blk)
+	if err != nil {
+		return nil
+	}
+	return data
 }
 
 // runRemote submits the campaign to a wsnlinkd daemon and streams the rows

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	wsnvalid [-seed N] [-seeds N] [-packets N] [-des] [-scenarios] [-out report.json] [-q]
+//	wsnvalid [-seed N] [-seeds N] [-packets N] [-des] [-scenarios] [-adaptive] [-out report.json] [-q]
 package main
 
 import (
@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		packets = fs.Int("packets", 0, "packets per simulated configuration (0 = default 2000)")
 		des     = fs.Bool("des", false, "exercise the event-driven simulator instead of the fast path")
 		scen    = fs.Bool("scenarios", false, "extend the suite to the scenario engine (star/interference/LPL oracles and laws)")
+		adapt   = fs.Bool("adaptive", false, "extend the suite with the adaptive-vs-exhaustive equivalence oracle (sweeps a 1600-cell reference grid)")
 		out     = fs.String("out", "", "write the JSON verdict manifest to this path")
 		quiet   = fs.Bool("q", false, "print only the verdict line")
 		version = fs.Bool("version", false, "print version and exit")
@@ -73,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Packets:   *packets,
 		FullDES:   *des,
 		Scenarios: *scen,
+		Adaptive:  *adapt,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,263 @@
+// Package adaptive is the campaign explorer that recovers the paper's
+// energy/goodput/delay Pareto front from a small fraction of the parameter
+// grid. Instead of sweeping every configuration (Table I exhaustively, the
+// paper's method), it seeds a stratified initial design, fits the paper's
+// empirical models as surrogates (internal/models calibration over the rows
+// observed so far), and iteratively picks the most informative unevaluated
+// grid cells — expected improvement on scalarized objectives, or a
+// successive-halving budget ladder — until the front's hypervolume
+// stabilizes or the evaluation budget is spent.
+//
+// Every evaluated cell is an ordinary sweep cell: configurations run
+// through the batch engine under common-random-numbers pairing
+// (sweep.RunOptions.CRN), so an adaptively evaluated row is byte-identical
+// to the row the exhaustive CRN sweep of the same grid would produce for
+// that configuration, regardless of the order exploration visited it. That
+// identity is what lets the campaign service spool, checkpoint, cache and
+// stream adaptive campaigns with the same machinery as exhaustive ones,
+// and what the internal/valid oracle asserts when it compares the adaptive
+// front against the exhaustive front.
+//
+// Determinism: for fixed (space, Params, Packets, BaseSeed, Engine) the
+// whole trajectory — seed design, surrogate fits, acquisition picks, round
+// log, final front — is a pure function of the inputs. Selection depends
+// only on previously observed rows, so a killed run replayed from its
+// checkpointed row prefix continues exactly as the uninterrupted run would
+// have (see Options.ResumeRows).
+package adaptive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"wsnlink/internal/obs"
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// Exploration strategies.
+const (
+	// StrategyEI picks configurations by expected improvement on
+	// scalarized surrogate objectives (ParEGO-style round-robin weights).
+	StrategyEI = "ei"
+	// StrategyHalving runs a successive-halving ladder: a large cohort at
+	// reduced packet counts, the non-dominated survivors promoted to the
+	// next rung, the final rung at full packets.
+	StrategyHalving = "halving"
+)
+
+// Params are the wire-form exploration knobs — the part of an adaptive
+// campaign's identity beyond the underlying grid. Zero values take
+// documented defaults in Normalize; a normalized Params re-normalizes to
+// itself, which is what lets the campaign service store and hash it.
+type Params struct {
+	// Budget caps evaluated configurations (0 = max(16, grid/10), never
+	// more than the grid).
+	Budget int `json:"budget,omitempty"`
+	// InitialDesign is the seed-design size (0 = max(8, Budget/4)). Under
+	// StrategyHalving it is the first rung's cohort size.
+	InitialDesign int `json:"initial_design,omitempty"`
+	// RoundSize is how many configurations each EI round evaluates
+	// (0 = max(4, Budget/16)).
+	RoundSize int `json:"round_size,omitempty"`
+	// Tolerance is the relative hypervolume change under which a round
+	// counts as stable (0 = 0.01).
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// StableRounds is how many consecutive stable rounds stop the
+	// exploration (0 = 3).
+	StableRounds int `json:"stable_rounds,omitempty"`
+	// Strategy is StrategyEI (default) or StrategyHalving.
+	Strategy string `json:"strategy,omitempty"`
+	// HalvingEta is the cohort shrink factor per rung (0 = 2).
+	HalvingEta int `json:"halving_eta,omitempty"`
+}
+
+// Normalize validates the knobs against a grid of gridSize configurations
+// and fills the defaults. It is idempotent: normalizing an already
+// normalized Params changes nothing, so the value can be hashed, stored
+// and re-submitted.
+func (p *Params) Normalize(gridSize int) error {
+	if gridSize <= 0 {
+		return fmt.Errorf("adaptive: empty grid")
+	}
+	switch p.Strategy {
+	case "":
+		p.Strategy = StrategyEI
+	case StrategyEI, StrategyHalving:
+	default:
+		return fmt.Errorf("adaptive: unknown strategy %q (want %q or %q)",
+			p.Strategy, StrategyEI, StrategyHalving)
+	}
+	if p.Budget < 0 || p.InitialDesign < 0 || p.RoundSize < 0 ||
+		p.StableRounds < 0 || p.HalvingEta < 0 {
+		return fmt.Errorf("adaptive: negative exploration knob")
+	}
+	if p.Budget == 0 {
+		p.Budget = max(16, gridSize/10)
+	}
+	if p.Budget > gridSize {
+		p.Budget = gridSize
+	}
+	if p.Budget < 2 {
+		return fmt.Errorf("adaptive: budget %d too small (need >= 2)", p.Budget)
+	}
+	if p.InitialDesign == 0 {
+		p.InitialDesign = max(8, p.Budget/4)
+	}
+	if p.InitialDesign > p.Budget {
+		p.InitialDesign = p.Budget
+	}
+	if p.RoundSize == 0 {
+		p.RoundSize = max(4, p.Budget/16)
+	}
+	if p.Tolerance < 0 || p.Tolerance >= 1 {
+		return fmt.Errorf("adaptive: tolerance %g outside (0,1)", p.Tolerance)
+	}
+	if p.Tolerance == 0 {
+		p.Tolerance = 0.01
+	}
+	if p.StableRounds == 0 {
+		p.StableRounds = 3
+	}
+	if p.HalvingEta == 0 {
+		p.HalvingEta = 2
+	}
+	if p.HalvingEta < 2 || p.HalvingEta > 16 {
+		return fmt.Errorf("adaptive: halving_eta %d outside [2,16]", p.HalvingEta)
+	}
+	return nil
+}
+
+// Options configures one adaptive exploration run. Params plus the sweep
+// identity knobs (Packets, BaseSeed, Engine) determine every row and every
+// decision; the rest is execution plumbing.
+type Options struct {
+	Params
+	// Packets per configuration at full fidelity (0 = the engine default
+	// of 500). Halving rungs below the last run at reduced packet counts.
+	Packets int
+	// BaseSeed seeds the simulations. CRN pairing is always on: every
+	// configuration runs under the grid's index-0 derived seed, making
+	// each evaluated cell byte-identical to the exhaustive CRN sweep's.
+	BaseSeed uint64
+	// Engine selects the simulator (fast Monte-Carlo by default).
+	Engine sim.EngineKind
+	// Workers/BatchSize are the inner sweep's execution knobs.
+	Workers   int
+	BatchSize int
+	// Metrics receives engine telemetry from the inner sweeps.
+	Metrics *obs.Metrics
+	// Progress, if set, is initialized to (Budget, resumed prefix) and
+	// advanced once per newly evaluated configuration.
+	Progress *sweep.Progress
+	// Checkpoint names the sidecar recording each evaluated row as it
+	// becomes durable (same format as exhaustive campaigns; the header's
+	// configs count is the Budget). Resume validates and appends to it.
+	Checkpoint string
+	Resume     bool
+	// ResumeRows is the durable row prefix (evaluation order) a previous
+	// attempt spooled — the caller re-reads it from its dataset. The
+	// explorer replays its selection against these rows instead of
+	// re-simulating them, verifying each matches the configuration the
+	// deterministic trajectory expects.
+	ResumeRows []sweep.Row
+	// OnRound, if set, observes each completed round from the exploring
+	// goroutine.
+	OnRound func(Round)
+}
+
+// withDefaults fills the run knobs (Params are normalized separately).
+func (o Options) withDefaults() Options {
+	if o.Packets == 0 {
+		o.Packets = 500
+	}
+	return o
+}
+
+// Round is one completed exploration round, as recorded in the round log.
+type Round struct {
+	// Index is the round number, 0 = the seed design.
+	Index int `json:"round"`
+	// Kind is "seed", "ei" or "rung".
+	Kind string `json:"kind"`
+	// Packets the round's configurations ran at.
+	Packets int `json:"packets"`
+	// Indices are the grid indices evaluated this round, ascending.
+	Indices []int `json:"indices"`
+	// Evals is the cumulative evaluation count after the round.
+	Evals int `json:"evals"`
+	// FrontSize and Hypervolume describe the full-fidelity Pareto front
+	// after the round (normalized hypervolume in the run's fixed bounds).
+	FrontSize   int     `json:"front_size"`
+	Hypervolume float64 `json:"hypervolume"`
+	// HVDelta is the relative hypervolume change against the previous
+	// round; Stable counts consecutive rounds within tolerance.
+	HVDelta float64 `json:"hv_delta"`
+	Stable  int     `json:"stable"`
+}
+
+// Result is the outcome of an exploration run.
+type Result struct {
+	// GridSize is the underlying grid's configuration count.
+	GridSize int
+	// Evaluations is how many configurations were simulated (replayed
+	// rows included) — the rows of the campaign dataset, in order.
+	Evaluations int
+	Rows        []sweep.Row
+	// Indices maps each row to its grid index.
+	Indices []int
+	// Front holds the final Pareto-front rows (full-packet rows only),
+	// ascending by grid index; FrontIndices are their grid indices.
+	Front        []sweep.Row
+	FrontIndices []int
+	// Hypervolume is the final front's normalized hypervolume; Bounds are
+	// the fixed normalization bounds (from the seed round).
+	Hypervolume float64
+	Bounds      Bounds
+	Rounds      []Round
+	// Converged is true when the stopping rule fired (EI: hypervolume
+	// stable; halving: the ladder completed) rather than the budget
+	// running out.
+	Converged bool
+}
+
+// Fingerprint returns the adaptive campaign's identity hash: a distinct
+// namespace over the exploration Params and the underlying grid campaign's
+// fingerprint (configurations, Packets, BaseSeed, Engine, with CRN forced
+// on). It is what the checkpoint sidecar, the service cache key and the
+// run manifest record for adaptive campaigns.
+func Fingerprint(cfgs []stack.Config, opts Options) uint64 {
+	opts = opts.withDefaults()
+	p := opts.Params
+	// Best-effort normalization so a zero-value Params hashes like its
+	// normalized form; invalid knobs are rejected before any caller runs.
+	p.Normalize(len(cfgs)) //nolint:errcheck // validated on the run path
+	h := fnv.New64a()
+	h.Write([]byte("wsnlink-adaptive/v1\n"))
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(p.Budget))
+	wu(uint64(p.InitialDesign))
+	wu(uint64(p.RoundSize))
+	wu(math.Float64bits(p.Tolerance))
+	wu(uint64(p.StableRounds))
+	if p.Strategy == StrategyHalving {
+		wu(2)
+		wu(uint64(p.HalvingEta))
+	} else {
+		wu(1)
+	}
+	wu(sweep.CampaignFingerprint(cfgs, sweep.RunOptions{
+		Packets:  opts.Packets,
+		BaseSeed: opts.BaseSeed,
+		Engine:   opts.Engine,
+		CRN:      true,
+	}))
+	return h.Sum64()
+}

@@ -1,0 +1,443 @@
+package adaptive
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wsnlink/internal/metrics"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// testSpace is a 36-cell grid small enough for unit tests yet spanning all
+// three distance strata.
+func testSpace() stack.Space {
+	return stack.Space{
+		DistancesM:    []float64{10, 20, 30},
+		TxPowers:      []phy.PowerLevel{3, 15, 31},
+		MaxTries:      []int{1, 3},
+		RetryDelays:   []float64{0},
+		QueueCaps:     []int{1},
+		PktIntervals:  []float64{0},
+		PayloadsBytes: []int{20, 80},
+	}
+}
+
+func testOptions() Options {
+	return Options{
+		Params:   Params{Budget: 16, InitialDesign: 8, RoundSize: 4, StableRounds: 3},
+		Packets:  120,
+		BaseSeed: 42,
+	}
+}
+
+func TestParamsNormalize(t *testing.T) {
+	t.Run("defaults", func(t *testing.T) {
+		var p Params
+		if err := p.Normalize(1600); err != nil {
+			t.Fatal(err)
+		}
+		want := Params{Budget: 160, InitialDesign: 40, RoundSize: 10,
+			Tolerance: 0.01, StableRounds: 3, Strategy: StrategyEI, HalvingEta: 2}
+		if p != want {
+			t.Fatalf("defaults = %+v, want %+v", p, want)
+		}
+	})
+	t.Run("idempotent", func(t *testing.T) {
+		p := Params{Budget: 20, Tolerance: 0.05, Strategy: StrategyHalving}
+		if err := p.Normalize(100); err != nil {
+			t.Fatal(err)
+		}
+		q := p
+		if err := q.Normalize(100); err != nil {
+			t.Fatal(err)
+		}
+		if p != q {
+			t.Fatalf("re-normalize changed %+v to %+v", p, q)
+		}
+	})
+	t.Run("budget-capped-at-grid", func(t *testing.T) {
+		p := Params{Budget: 500}
+		if err := p.Normalize(36); err != nil {
+			t.Fatal(err)
+		}
+		if p.Budget != 36 {
+			t.Fatalf("budget = %d, want 36", p.Budget)
+		}
+	})
+	for name, p := range map[string]Params{
+		"negative-budget":    {Budget: -1},
+		"bad-strategy":       {Strategy: "genetic"},
+		"tolerance-too-big":  {Tolerance: 1},
+		"negative-tolerance": {Tolerance: -0.1},
+		"eta-too-big":        {Strategy: StrategyHalving, HalvingEta: 17},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Normalize(100); err == nil {
+				t.Fatalf("Normalize(%+v) accepted invalid params", p)
+			}
+		})
+	}
+	t.Run("empty-grid", func(t *testing.T) {
+		var p Params
+		if err := p.Normalize(0); err == nil {
+			t.Fatal("Normalize accepted empty grid")
+		}
+	})
+}
+
+func rowWith(e, g, d float64) sweep.Row {
+	return sweep.Row{Report: metrics.Report{
+		EnergyPerBitMicroJ: e, GoodputKbps: g, MeanDelay: d,
+	}}
+}
+
+func TestFrontPositions(t *testing.T) {
+	rows := []sweep.Row{
+		rowWith(1, 10, 0.1),          // front
+		rowWith(2, 10, 0.1),          // dominated by 0
+		rowWith(0.5, 5, 0.2),         // front (cheapest energy)
+		rowWith(1, 20, 0.3),          // front (best goodput)
+		rowWith(math.NaN(), 1, 0.05), // NaN energy -> +Inf, but best delay: front
+	}
+	got := FrontPositions(rows)
+	want := []int{0, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FrontPositions = %v, want %v", got, want)
+	}
+}
+
+func TestFrontPositionsDuplicatesKept(t *testing.T) {
+	rows := []sweep.Row{rowWith(1, 10, 0.1), rowWith(1, 10, 0.1)}
+	if got := FrontPositions(rows); len(got) != 2 {
+		t.Fatalf("duplicate vectors should both survive, got %v", got)
+	}
+}
+
+func TestStaircaseArea(t *testing.T) {
+	pts := [][3]float64{{0.2, 0.8, 0}, {0.5, 0.3, 0}}
+	// (1-0.2)*(1-0.8) + (1-0.5)*(0.8-0.3) = 0.16 + 0.25
+	if got := staircaseArea(pts); math.Abs(got-0.41) > 1e-12 {
+		t.Fatalf("staircaseArea = %g, want 0.41", got)
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	unit := Bounds{Lo: [3]float64{0, 0, 0}, Hi: [3]float64{1, 1, 1}}
+	cases := []struct {
+		name string
+		pts  [][3]float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"ideal-point", [][3]float64{{0, 0, 0}}, 1},
+		{"reference-point", [][3]float64{{1, 1, 1}}, 0},
+		{"single", [][3]float64{{0.5, 0.5, 0.5}}, 0.125},
+		{"dominated-adds-nothing", [][3]float64{{0.5, 0.5, 0.5}, {0.6, 0.6, 0.6}}, 0.125},
+		{"two-slabs", [][3]float64{{0.5, 0.5, 0}, {0, 0, 0.5}},
+			// z in [0,0.5): 0.25; z in [0.5,1): union of full square.
+			0.25*0.5 + 1*0.5},
+		{"non-finite-ignored", [][3]float64{{math.Inf(1), 0, 0}, {0.5, 0.5, 0.5}}, 0.125},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Hypervolume(tc.pts, unit); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Hypervolume = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBoundsNormalizeDegenerate(t *testing.T) {
+	b := Bounds{Lo: [3]float64{2, 0, 0}, Hi: [3]float64{2, 1, 1}}
+	n := b.normalize([3]float64{2, 0.5, 2})
+	if n[0] != 0 {
+		t.Fatalf("degenerate axis should normalize to 0, got %g", n[0])
+	}
+	if n[2] != 1 {
+		t.Fatalf("out-of-range value should clamp to 1, got %g", n[2])
+	}
+}
+
+// TestDeterministicRoundLog is the satellite-1 core: two fixed-seed runs
+// must produce byte-identical round logs and identical fronts.
+func TestDeterministicRoundLog(t *testing.T) {
+	sp := testSpace()
+	var logs [2]bytes.Buffer
+	var results [2]*Result
+	for i := 0; i < 2; i++ {
+		res, err := Run(context.Background(), sp, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeRounds(&logs[i], res.Rounds); err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	if !bytes.Equal(logs[0].Bytes(), logs[1].Bytes()) {
+		t.Fatalf("round logs differ:\n%s\nvs\n%s", logs[0].String(), logs[1].String())
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("results differ between identical runs")
+	}
+	if results[0].Evaluations != 16 {
+		t.Fatalf("evaluations = %d, want the full budget 16", results[0].Evaluations)
+	}
+	if len(results[0].Front) == 0 {
+		t.Fatal("empty front")
+	}
+}
+
+// TestSeedDesignStratified checks every distance stratum contributes to
+// the round-0 design.
+func TestSeedDesignStratified(t *testing.T) {
+	sp := testSpace()
+	grid := sp.All()
+	res, err := Run(context.Background(), sp, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for _, idx := range res.Rounds[0].Indices {
+		seen[grid[idx].DistanceM] = true
+	}
+	if len(seen) != len(sp.DistancesM) {
+		t.Fatalf("seed design covers %d of %d distances", len(seen), len(sp.DistancesM))
+	}
+}
+
+// TestCellIdentityWithExhaustive asserts the CRN contract: every adaptive
+// row is byte-identical to the exhaustive CRN sweep's row for the same
+// configuration.
+func TestCellIdentityWithExhaustive(t *testing.T) {
+	sp := testSpace()
+	grid := sp.All()
+	opts := testOptions()
+	res, err := Run(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := sweep.RunConfigs(context.Background(), grid, sweep.RunOptions{
+		Packets: opts.Packets, BaseSeed: opts.BaseSeed, CRN: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Rows {
+		if row.Packets != opts.Packets {
+			continue // halving rungs run at reduced fidelity
+		}
+		if !reflect.DeepEqual(row, exh[res.Indices[i]]) {
+			t.Fatalf("adaptive row %d (grid index %d) differs from the exhaustive CRN row", i, res.Indices[i])
+		}
+	}
+}
+
+// TestKillAndResume replays a durable prefix cut mid-round and checks the
+// resumed trajectory is identical to the uninterrupted one.
+func TestKillAndResume(t *testing.T) {
+	sp := testSpace()
+	grid := sp.All()
+	opts := testOptions()
+
+	var fullRows []sweep.Row
+	full, err := Stream(context.Background(), sp, opts, func(r sweep.Row) error {
+		fullRows = append(fullRows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash 3 rows into the second round (seed design is 8).
+	const cut = 11
+	ckPath := filepath.Join(t.TempDir(), "adaptive.ckpt")
+	ck, err := sweep.OpenCheckpointWriter(ckPath, Fingerprint(grid, opts), opts.Budget, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cut; i++ {
+		if err := ck.Append(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := opts
+	ropts.Checkpoint = ckPath
+	ropts.Resume = true
+	ropts.ResumeRows = fullRows[:cut]
+	var resumedRows []sweep.Row
+	resumed, err := Stream(context.Background(), sp, ropts, func(r sweep.Row) error {
+		resumedRows = append(resumedRows, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(resumed, full) {
+		t.Fatal("resumed result differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(resumedRows, fullRows[cut:]) {
+		t.Fatal("resumed run re-yielded or skipped rows")
+	}
+	var logA, logB bytes.Buffer
+	if err := EncodeRounds(&logA, full.Rounds); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeRounds(&logB, resumed.Rounds); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(logA.Bytes(), logB.Bytes()) {
+		t.Fatal("resumed round log differs byte-wise")
+	}
+}
+
+// TestResumeRejectsForeignRows: rows from a different campaign must not
+// replay.
+func TestResumeRejectsForeignRows(t *testing.T) {
+	sp := testSpace()
+	opts := testOptions()
+	rows, err := Stream(context.Background(), sp, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rows
+	var streamed []sweep.Row
+	if _, err := Stream(context.Background(), sp, opts, func(r sweep.Row) error {
+		streamed = append(streamed, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := streamed[0]
+	bad.Seed++
+	ropts := opts
+	ropts.ResumeRows = []sweep.Row{bad}
+	if _, err := Stream(context.Background(), sp, ropts, nil); err == nil {
+		t.Fatal("tampered resume row accepted")
+	}
+}
+
+func TestHalvingLadder(t *testing.T) {
+	sp := testSpace()
+	opts := Options{
+		Params: Params{Budget: 30, InitialDesign: 16,
+			Strategy: StrategyHalving, HalvingEta: 2},
+		Packets:  160,
+		BaseSeed: 7,
+	}
+	res, err := Run(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("halving ladder did not complete")
+	}
+	if res.Evaluations > 30 {
+		t.Fatalf("evaluations %d exceed budget", res.Evaluations)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Packets != 160 {
+		t.Fatalf("final rung packets = %d, want full fidelity 160", last.Packets)
+	}
+	for _, rd := range res.Rounds {
+		if rd.Kind != "rung" {
+			t.Fatalf("round kind %q, want rung", rd.Kind)
+		}
+	}
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].Packets < res.Rounds[i-1].Packets {
+			t.Fatal("rung packet counts must be non-decreasing")
+		}
+		if len(res.Rounds[i].Indices) >= len(res.Rounds[i-1].Indices) {
+			t.Fatal("rung cohorts must shrink")
+		}
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, row := range res.Front {
+		if row.Packets != 160 {
+			t.Fatalf("front row at %d packets, want full fidelity only", row.Packets)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	sp := testSpace()
+	grid := sp.All()
+	base := testOptions()
+	fp := Fingerprint(grid, base)
+
+	mutations := map[string]Options{}
+	o := base
+	o.Budget = 20
+	mutations["budget"] = o
+	o = base
+	o.Tolerance = 0.05
+	mutations["tolerance"] = o
+	o = base
+	o.Strategy = StrategyHalving
+	mutations["strategy"] = o
+	o = base
+	o.BaseSeed = 43
+	mutations["seed"] = o
+	o = base
+	o.Packets = 121
+	mutations["packets"] = o
+	for name, m := range mutations {
+		if Fingerprint(grid, m) == fp {
+			t.Fatalf("fingerprint insensitive to %s", name)
+		}
+	}
+	if Fingerprint(grid, base) != fp {
+		t.Fatal("fingerprint not stable")
+	}
+
+	// A zero-value Params hashes like its normalized form.
+	zero := base
+	zero.Params = Params{Budget: 16, InitialDesign: 8, RoundSize: 4}
+	norm := zero
+	if err := norm.Params.Normalize(len(grid)); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(grid, zero) != Fingerprint(grid, norm) {
+		t.Fatal("fingerprint differs between zero-value and normalized params")
+	}
+}
+
+func TestConvergenceStopsEarly(t *testing.T) {
+	sp := testSpace()
+	// Budget = whole grid with a forgiving tolerance: the front saturates
+	// long before 36 evaluations, so the stopping rule must fire.
+	opts := Options{
+		Params: Params{Budget: 36, InitialDesign: 12, RoundSize: 4,
+			Tolerance: 0.2, StableRounds: 2},
+		Packets:  120,
+		BaseSeed: 42,
+	}
+	res, err := Run(context.Background(), sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("exploration did not converge")
+	}
+	if res.Evaluations >= 36 {
+		t.Fatalf("converged run evaluated the whole grid (%d)", res.Evaluations)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Stable < 2 {
+		t.Fatalf("final round stable = %d, want >= 2", last.Stable)
+	}
+}

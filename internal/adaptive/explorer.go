@@ -1,0 +1,447 @@
+package adaptive
+
+import (
+	"math"
+	"sort"
+
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// blockSpec is one round's worth of work: which grid cells to evaluate and
+// at what fidelity.
+type blockSpec struct {
+	kind    string // "seed", "ei" or "rung"
+	packets int
+	indices []int // grid indices, ascending
+}
+
+// explorer holds the deterministic exploration state. Every decision —
+// seed design, surrogate fit, acquisition pick, rung promotion — is a pure
+// function of (space, params, packets, baseSeed) and the rows observed so
+// far, which is what makes kill-and-resume replay exact.
+type explorer struct {
+	sp       stack.Space
+	grid     []stack.Config
+	p        Params
+	packets  int
+	baseSeed uint64
+
+	axisLen [7]int
+	axisOf  [][7]int
+
+	evaluated []bool    // per grid index (EI bookkeeping)
+	dmin      []float64 // normalized distance to the nearest evaluated cell
+
+	rows    []sweep.Row
+	rowIdx  []int // grid index per row
+	fullPos []int // positions in rows at full packet fidelity
+	evals   int
+
+	bounds    Bounds
+	boundsSet bool
+	lastHV    float64
+	stable    int
+	converged bool
+
+	wCursor int
+	rounds  []Round
+
+	// Successive-halving ladder.
+	rungSizes   []int
+	rungPackets []int
+	rungIdx     int
+	survivors   []int
+}
+
+func newExplorer(sp stack.Space, grid []stack.Config, p Params, packets int, baseSeed uint64) *explorer {
+	e := &explorer{
+		sp:       sp,
+		grid:     grid,
+		p:        p,
+		packets:  packets,
+		baseSeed: baseSeed,
+	}
+	e.axisLen = [7]int{
+		len(sp.PayloadsBytes), len(sp.PktIntervals), len(sp.QueueCaps),
+		len(sp.RetryDelays), len(sp.MaxTries), len(sp.TxPowers),
+		len(sp.DistancesM),
+	}
+	e.axisOf = make([][7]int, len(grid))
+	for i := range grid {
+		e.axisOf[i] = e.axisIndices(i)
+	}
+	e.evaluated = make([]bool, len(grid))
+	e.dmin = make([]float64, len(grid))
+	for i := range e.dmin {
+		e.dmin[i] = math.Inf(1)
+	}
+	if p.Strategy == StrategyHalving {
+		for s := p.InitialDesign; s >= 1; s /= p.HalvingEta {
+			e.rungSizes = append(e.rungSizes, s)
+			if s <= 4 {
+				break
+			}
+		}
+		r := len(e.rungSizes)
+		e.rungPackets = make([]int, r)
+		scale := 1
+		for i := r - 1; i >= 0; i-- {
+			e.rungPackets[i] = max(32, packets/scale)
+			scale *= p.HalvingEta
+		}
+		e.rungPackets[r-1] = packets // final rung always at full fidelity
+	}
+	return e
+}
+
+// axisIndices decomposes a row-major grid index into per-axis indices,
+// mirroring stack.Space.At's fastest-first order.
+func (e *explorer) axisIndices(i int) [7]int {
+	var v [7]int
+	for a := 0; a < 7; a++ {
+		v[a] = i % e.axisLen[a]
+		i /= e.axisLen[a]
+	}
+	return v
+}
+
+// axisDistance is the normalized L1 distance between two grid cells in
+// axis-index space, scaled to [0,1].
+func (e *explorer) axisDistance(a, b [7]int) float64 {
+	d := 0.0
+	for i := 0; i < 7; i++ {
+		if n := e.axisLen[i]; n > 1 {
+			d += math.Abs(float64(a[i]-b[i])) / float64(n-1)
+		}
+	}
+	return d / 7
+}
+
+// next returns the next block to evaluate, truncated to the remaining
+// budget, or nil when the exploration is finished.
+func (e *explorer) next() *blockSpec {
+	remaining := e.p.Budget - e.evals
+	if remaining <= 0 {
+		return nil
+	}
+	if e.p.Strategy == StrategyHalving {
+		if e.rungIdx >= len(e.rungSizes) {
+			return nil
+		}
+		var cohort []int
+		if e.rungIdx == 0 {
+			cohort = e.seedDesign(min(e.rungSizes[0], remaining))
+		} else {
+			n := min(e.rungSizes[e.rungIdx], min(remaining, len(e.survivors)))
+			cohort = append([]int(nil), e.survivors[:n]...)
+			sort.Ints(cohort)
+		}
+		if len(cohort) == 0 {
+			return nil
+		}
+		return &blockSpec{kind: "rung", packets: e.rungPackets[e.rungIdx], indices: cohort}
+	}
+	if len(e.rounds) == 0 {
+		return &blockSpec{kind: "seed", packets: e.packets,
+			indices: e.seedDesign(min(e.p.InitialDesign, remaining))}
+	}
+	if e.converged {
+		return nil
+	}
+	picks := e.selectEI(min(e.p.RoundSize, remaining))
+	if len(picks) == 0 {
+		return nil
+	}
+	return &blockSpec{kind: "ei", packets: e.packets, indices: picks}
+}
+
+// seedDesign returns n grid indices stratified across the distance axis —
+// every distance contributes an evenly strided slice of its settings with
+// a seeded offset, so the initial surrogate sees the whole SNR range
+// (distance is the slowest-iterating enumeration axis).
+func (e *explorer) seedDesign(n int) []int {
+	d := len(e.sp.DistancesM)
+	per := len(e.grid) / d
+	var out []int
+	for g := 0; g < d; g++ {
+		kg := n / d
+		if g < n%d {
+			kg++
+		}
+		kg = min(kg, per)
+		if kg == 0 {
+			continue
+		}
+		stride := per / kg
+		off := int(sim.DeriveSeed(e.baseSeed, 1_000_003+g) % uint64(stride))
+		for j := 0; j < kg; j++ {
+			out = append(out, g*per+off+j*stride)
+		}
+	}
+	return out
+}
+
+// weight returns the k-th scalarization weight vector of the simplex
+// lattice (H = 4 over 3 objectives: 15 vectors, corners included),
+// round-robined across picks like ParEGO.
+func weight(k int) [3]float64 {
+	const h = 4
+	var lattice [][3]float64
+	for a := 0; a <= h; a++ {
+		for b := 0; b <= h-a; b++ {
+			lattice = append(lattice, [3]float64{
+				float64(a) / h, float64(b) / h, float64(h-a-b) / h,
+			})
+		}
+	}
+	return lattice[k%len(lattice)]
+}
+
+// scale maps a cost vector through the bounds without clamping (predicted
+// values beyond the observed range keep their ordering); non-finite values
+// land at a large penalty.
+func (b Bounds) scale(v [3]float64) [3]float64 {
+	var out [3]float64
+	for i := range v {
+		switch {
+		case math.IsInf(v[i], 0) || math.IsNaN(v[i]):
+			out[i] = 2
+		case !(b.Hi[i] > b.Lo[i]):
+			out[i] = 0
+		default:
+			out[i] = (v[i] - b.Lo[i]) / (b.Hi[i] - b.Lo[i])
+		}
+	}
+	return out
+}
+
+func dot(w, v [3]float64) float64 { return w[0]*v[0] + w[1]*v[1] + w[2]*v[2] }
+
+// expectedImprovement is the closed-form EI of a Gaussian belief (mu,
+// sigma) against the incumbent best (cost orientation: lower is better).
+func expectedImprovement(best, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		return max(0, best-mu)
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*0.5*(1+math.Erf(z/math.Sqrt2)) +
+		sigma*math.Exp(-z*z/2)/math.Sqrt(2*math.Pi)
+}
+
+// selectEI picks up to n unevaluated cells by expected improvement: refit
+// the surrogate on everything observed, estimate its per-objective error
+// from in-sample residuals, inflate the predictive spread with the
+// distance to the nearest evaluated cell (far cells are less certain), and
+// take the EI argmax under a rotating scalarization weight. Ties break
+// toward the more uncertain, then the lower grid index — fully
+// deterministic.
+func (e *explorer) selectEI(n int) []int {
+	sur := fitSurrogate(e.rows)
+
+	// In-sample residual scale per objective, in bounds-scaled units.
+	var sqSum [3]float64
+	var cnt [3]int
+	for pos, r := range e.rows {
+		obs := e.bounds.scale(Objectives(r))
+		pred := e.bounds.scale(sur.predict(e.grid[e.rowIdx[pos]]))
+		for m := 0; m < 3; m++ {
+			if obs[m] < 2 && pred[m] < 2 { // both finite
+				d := obs[m] - pred[m]
+				sqSum[m] += d * d
+				cnt[m]++
+			}
+		}
+	}
+	var rmse [3]float64
+	for m := 0; m < 3; m++ {
+		rmse[m] = 0.02 // exploration floor: never let EI collapse
+		if cnt[m] > 0 {
+			rmse[m] = min(1, max(rmse[m], math.Sqrt(sqSum[m]/float64(cnt[m]))))
+		}
+	}
+
+	obsScaled := make([][3]float64, len(e.rows))
+	for pos, r := range e.rows {
+		obsScaled[pos] = e.bounds.scale(Objectives(r))
+	}
+	type cand struct {
+		idx  int
+		pred [3]float64
+	}
+	var cands []cand
+	for i := range e.grid {
+		if !e.evaluated[i] {
+			cands = append(cands, cand{i, e.bounds.scale(sur.predict(e.grid[i]))})
+		}
+	}
+
+	picked := make(map[int]bool, n)
+	var picks []int
+	dmin := append([]float64(nil), e.dmin...)
+	for t := 0; t < n && len(picks) < len(cands); t++ {
+		w := weight(e.wCursor)
+		e.wCursor++
+		best := math.Inf(1)
+		for _, o := range obsScaled {
+			best = math.Min(best, dot(w, o))
+		}
+		rmseW := w[0]*rmse[0] + w[1]*rmse[1] + w[2]*rmse[2]
+
+		bestIdx, bestEI, bestSigma := -1, math.Inf(-1), 0.0
+		for _, c := range cands {
+			if picked[c.idx] {
+				continue
+			}
+			mu := dot(w, c.pred)
+			sigma := max(1e-6, rmseW*(1+2*min(1, dmin[c.idx])))
+			ei := expectedImprovement(best, mu, sigma)
+			if ei > bestEI || (ei == bestEI && (sigma > bestSigma ||
+				(sigma == bestSigma && bestIdx >= 0 && c.idx < bestIdx))) {
+				bestIdx, bestEI, bestSigma = c.idx, ei, sigma
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		picked[bestIdx] = true
+		picks = append(picks, bestIdx)
+		// A fresh pick counts as (about to be) evaluated: shrink the
+		// uncertainty of its neighborhood so one round spreads out.
+		for _, c := range cands {
+			if !picked[c.idx] {
+				dmin[c.idx] = math.Min(dmin[c.idx],
+					e.axisDistance(e.axisOf[c.idx], e.axisOf[bestIdx]))
+			}
+		}
+	}
+	sort.Ints(picks)
+	return picks
+}
+
+// observe folds a completed block's rows into the state and appends the
+// round record. rows[i] is the result for b.indices[i].
+func (e *explorer) observe(b blockSpec, rows []sweep.Row) Round {
+	for i, r := range rows {
+		idx := b.indices[i]
+		pos := len(e.rows)
+		e.rows = append(e.rows, r)
+		e.rowIdx = append(e.rowIdx, idx)
+		if r.Packets == e.packets {
+			e.fullPos = append(e.fullPos, pos)
+		}
+		e.evaluated[idx] = true
+		for j := range e.grid {
+			if !e.evaluated[j] {
+				e.dmin[j] = math.Min(e.dmin[j],
+					e.axisDistance(e.axisOf[j], e.axisOf[idx]))
+			}
+		}
+	}
+	e.evals += len(rows)
+
+	full := make([]sweep.Row, 0, len(e.fullPos))
+	for _, pos := range e.fullPos {
+		full = append(full, e.rows[pos])
+	}
+	if !e.boundsSet && len(full) > 0 {
+		// Fix the normalization at the first full-fidelity round so the
+		// hypervolume sequence the stopping rule watches is comparable
+		// across rounds.
+		e.bounds = BoundsFrom(full)
+		e.boundsSet = true
+	}
+	frontSize := 0
+	hv := 0.0
+	if len(full) > 0 {
+		frontSize = len(FrontPositions(full))
+		hv = FrontHypervolume(full, e.bounds)
+	}
+
+	rd := Round{
+		Index:     len(e.rounds),
+		Kind:      b.kind,
+		Packets:   b.packets,
+		Indices:   b.indices,
+		Evals:     e.evals,
+		FrontSize: frontSize,
+	}
+	rd.Hypervolume = hv
+	if e.p.Strategy == StrategyHalving {
+		e.observeRung(b, rows)
+	} else if len(e.rounds) > 0 {
+		rd.HVDelta = math.Abs(hv-e.lastHV) / math.Max(math.Abs(e.lastHV), 1e-12)
+		if rd.HVDelta <= e.p.Tolerance {
+			e.stable++
+		} else {
+			e.stable = 0
+		}
+		rd.Stable = e.stable
+		if e.stable >= e.p.StableRounds {
+			e.converged = true
+		}
+	}
+	e.lastHV = hv
+	e.rounds = append(e.rounds, rd)
+	return rd
+}
+
+// observeRung promotes a rung's non-dominated survivors to the next rung
+// and marks the ladder converged once the full-fidelity rung completes.
+func (e *explorer) observeRung(b blockSpec, rows []sweep.Row) {
+	e.rungIdx++
+	if e.rungIdx >= len(e.rungSizes) {
+		e.converged = true
+		return
+	}
+	e.survivors = rankRows(b.indices, rows)
+}
+
+// rankRows orders a block's grid indices best-first: by non-dominated rank
+// (front peeling), inside a rank by the equal-weight scalarized cost in
+// block-local bounds, then by grid index. The ordering is a pure function
+// of the rows, so halving promotion replays deterministically.
+func rankRows(indices []int, rows []sweep.Row) []int {
+	b := BoundsFrom(rows)
+	remaining := make([]int, len(rows)) // positions into rows
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var ranked []int
+	for len(remaining) > 0 {
+		sub := make([]sweep.Row, len(remaining))
+		for i, pos := range remaining {
+			sub[i] = rows[pos]
+		}
+		frontLocal := FrontPositions(sub)
+		inFront := make(map[int]bool, len(frontLocal))
+		for _, fi := range frontLocal {
+			inFront[remaining[fi]] = true
+		}
+		var front, rest []int
+		for _, pos := range remaining {
+			if inFront[pos] {
+				front = append(front, pos)
+			} else {
+				rest = append(rest, pos)
+			}
+		}
+		w := [3]float64{1. / 3, 1. / 3, 1. / 3}
+		sort.Slice(front, func(x, y int) bool {
+			sx := dot(w, b.scale(Objectives(rows[front[x]])))
+			sy := dot(w, b.scale(Objectives(rows[front[y]])))
+			if sx != sy {
+				return sx < sy
+			}
+			return indices[front[x]] < indices[front[y]]
+		})
+		ranked = append(ranked, front...)
+		remaining = rest
+	}
+	out := make([]int, len(ranked))
+	for i, pos := range ranked {
+		out[i] = indices[pos]
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package adaptive
+
+import (
+	"math"
+	"sort"
+
+	"wsnlink/internal/sweep"
+)
+
+// The exploration optimizes the paper's three headline trade-off metrics —
+// energy per delivered bit (minimize), goodput (maximize), mean delay
+// (minimize) — in cost orientation (goodput negated), matching the
+// internal/optimize multi-objective machinery.
+
+// Objectives extracts a row's objective vector in cost orientation. NaN
+// values (a configuration that delivered nothing has undefined energy per
+// bit) are mapped to +Inf so they sort as strictly worse than any finite
+// result without poisoning dominance comparisons.
+func Objectives(r sweep.Row) [3]float64 {
+	v := [3]float64{
+		r.Report.EnergyPerBitMicroJ,
+		-r.Report.GoodputKbps,
+		r.Report.MeanDelay,
+	}
+	for i := range v {
+		if math.IsNaN(v[i]) {
+			v[i] = math.Inf(1)
+		}
+	}
+	return v
+}
+
+// dominates reports whether cost vector a Pareto-dominates b (all
+// objectives no worse, at least one strictly better).
+func dominates(a, b [3]float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// FrontPositions returns the positions (into rows) of the non-dominated
+// rows, ascending. Duplicate objective vectors are all kept, mirroring
+// optimize.ParetoFront.
+func FrontPositions(rows []sweep.Row) []int {
+	objs := make([][3]float64, len(rows))
+	for i, r := range rows {
+		objs[i] = Objectives(r)
+	}
+	var front []int
+	for i := range objs {
+		dominated := false
+		for j := range objs {
+			if i != j && dominates(objs[j], objs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Bounds are fixed per-objective normalization bounds. The explorer pins
+// them at the seed round so the hypervolume sequence the stopping rule
+// watches is monotone-comparable across rounds; the valid oracle pins them
+// from the exhaustive rows so both fronts are measured in one space.
+type Bounds struct {
+	Lo [3]float64
+	Hi [3]float64
+}
+
+// BoundsFrom computes min/max per objective over the rows' finite values.
+func BoundsFrom(rows []sweep.Row) Bounds {
+	b := Bounds{
+		Lo: [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)},
+		Hi: [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+	}
+	for _, r := range rows {
+		v := Objectives(r)
+		for i := range v {
+			if math.IsInf(v[i], 0) {
+				continue
+			}
+			b.Lo[i] = math.Min(b.Lo[i], v[i])
+			b.Hi[i] = math.Max(b.Hi[i], v[i])
+		}
+	}
+	return b
+}
+
+// normalize maps a cost vector into [0,1]^3 under the bounds: 0 is the
+// best observed value, 1 the worst (and the hypervolume reference point).
+// Values outside the bounds clamp; non-finite values land on the reference
+// point, contributing zero volume.
+func (b Bounds) normalize(v [3]float64) [3]float64 {
+	var out [3]float64
+	for i := range v {
+		switch {
+		case math.IsInf(v[i], 0) || math.IsNaN(v[i]):
+			out[i] = 1
+		case !(b.Hi[i] > b.Lo[i]): // degenerate or empty axis
+			out[i] = 0
+		default:
+			out[i] = min(1, max(0, (v[i]-b.Lo[i])/(b.Hi[i]-b.Lo[i])))
+		}
+	}
+	return out
+}
+
+// Hypervolume returns the exact volume, inside the unit cube, dominated by
+// the normalized point set with reference point (1,1,1) — the standard
+// three-objective hypervolume indicator. Points are normalized with b
+// first. The sweep is exact: sort by the third coordinate and integrate
+// the 2-D staircase union area across slabs.
+func Hypervolume(points [][3]float64, b Bounds) float64 {
+	var pts [][3]float64
+	for _, p := range points {
+		n := b.normalize(p)
+		if n[0] < 1 && n[1] < 1 && n[2] < 1 {
+			pts = append(pts, n)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][2] < pts[j][2] })
+
+	vol := 0.0
+	for k := 0; k < len(pts); {
+		z := pts[k][2]
+		// All points with third coordinate <= z are active in this slab.
+		end := k + 1
+		for end < len(pts) && pts[end][2] == z {
+			end++
+		}
+		next := 1.0
+		if end < len(pts) {
+			next = pts[end][2]
+		}
+		vol += staircaseArea(pts[:end]) * (next - z)
+		k = end
+	}
+	return vol
+}
+
+// staircaseArea returns the area of the union of rectangles
+// [x_i,1] x [y_i,1] over the points' first two coordinates.
+func staircaseArea(pts [][3]float64) float64 {
+	xy := make([][2]float64, len(pts))
+	for i, p := range pts {
+		xy[i] = [2]float64{p[0], p[1]}
+	}
+	sort.Slice(xy, func(i, j int) bool {
+		if xy[i][0] != xy[j][0] {
+			return xy[i][0] < xy[j][0]
+		}
+		return xy[i][1] < xy[j][1]
+	})
+	area := 0.0
+	prevY := 1.0
+	for _, p := range xy {
+		if p[1] >= prevY {
+			continue // dominated in 2-D: adds nothing
+		}
+		area += (1 - p[0]) * (prevY - p[1])
+		prevY = p[1]
+	}
+	return area
+}
+
+// FrontHypervolume is the hypervolume of the rows' Pareto front under b —
+// equal to Hypervolume over all rows (dominated points add no volume), but
+// cheaper when the caller already has the front.
+func FrontHypervolume(rows []sweep.Row, b Bounds) float64 {
+	objs := make([][3]float64, len(rows))
+	for i, r := range rows {
+		objs[i] = Objectives(r)
+	}
+	return Hypervolume(objs, b)
+}

@@ -1,0 +1,176 @@
+package adaptive
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"wsnlink/internal/sim"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// Stream runs the adaptive exploration over the space's grid, yielding
+// every freshly simulated row in evaluation order (the campaign dataset
+// order). Replayed resume rows are not re-yielded: the caller's dataset
+// already holds them. The returned Result covers the whole trajectory,
+// replayed prefix included.
+func Stream(ctx context.Context, sp stack.Space, opts Options, yield func(sweep.Row) error) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	grid := sp.All()
+	p := opts.Params
+	if err := p.Normalize(len(grid)); err != nil {
+		return nil, err
+	}
+	opts.Params = p
+
+	replay := opts.ResumeRows
+	var ck *sweep.CheckpointWriter
+	if opts.Checkpoint != "" {
+		var err error
+		ck, err = sweep.OpenCheckpointWriter(opts.Checkpoint, Fingerprint(grid, opts), p.Budget, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ck.Close()
+		if ck.Done() > len(replay) {
+			return nil, fmt.Errorf("adaptive: checkpoint records %d rows but only %d resume rows were provided", ck.Done(), len(replay))
+		}
+		// The checkpoint is the durability authority: only the prefix it
+		// acknowledges is replayed, anything past it is re-simulated.
+		replay = replay[:ck.Done()]
+	}
+	if opts.Progress != nil {
+		opts.Progress.Begin(p.Budget, len(replay))
+	}
+
+	crnSeed := sim.DeriveSeed(opts.BaseSeed, 0)
+	ex := newExplorer(sp, grid, p, opts.Packets, opts.BaseSeed)
+	emitted := 0
+	for {
+		b := ex.next()
+		if b == nil {
+			break
+		}
+		rows := make([]sweep.Row, 0, len(b.indices))
+
+		// Replay the durable prefix through the selection instead of
+		// re-simulating it. Each replayed row must match what the
+		// deterministic trajectory expects at this position — CRN pairing
+		// makes row content a function of (config, packets, seed) alone,
+		// so any mismatch means the dataset belongs to a different run.
+		i := 0
+		for ; i < len(b.indices) && len(replay) > 0; i++ {
+			r := replay[0]
+			idx := b.indices[i]
+			if r.Config != grid[idx] || r.Packets != b.packets || r.Seed != crnSeed {
+				return nil, fmt.Errorf("adaptive: resume row %d does not match the deterministic trajectory (want grid index %d at %d packets)", emitted, idx, b.packets)
+			}
+			replay = replay[1:]
+			rows = append(rows, r)
+			emitted++
+		}
+
+		if i < len(b.indices) {
+			cfgs := make([]stack.Config, 0, len(b.indices)-i)
+			for _, idx := range b.indices[i:] {
+				cfgs = append(cfgs, grid[idx])
+			}
+			err := sweep.StreamConfigs(ctx, cfgs, sweep.RunOptions{
+				Packets:   b.packets,
+				BaseSeed:  opts.BaseSeed,
+				Engine:    opts.Engine,
+				Workers:   opts.Workers,
+				BatchSize: opts.BatchSize,
+				CRN:       true,
+				Metrics:   opts.Metrics,
+			}, func(r sweep.Row) error {
+				if yield != nil {
+					if err := yield(r); err != nil {
+						return err
+					}
+				}
+				if ck != nil {
+					if err := ck.Append(emitted); err != nil {
+						return err
+					}
+				}
+				emitted++
+				if opts.Progress != nil {
+					opts.Progress.MarkDone()
+				}
+				rows = append(rows, r)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		rd := ex.observe(*b, rows)
+		if opts.OnRound != nil {
+			opts.OnRound(rd)
+		}
+	}
+	if len(replay) > 0 {
+		return nil, fmt.Errorf("adaptive: %d resume rows left over after the trajectory completed", len(replay))
+	}
+
+	res := &Result{
+		GridSize:    len(grid),
+		Evaluations: ex.evals,
+		Rows:        ex.rows,
+		Indices:     ex.rowIdx,
+		Bounds:      ex.bounds,
+		Hypervolume: ex.lastHV,
+		Rounds:      ex.rounds,
+		Converged:   ex.converged,
+	}
+	full := make([]sweep.Row, 0, len(ex.fullPos))
+	fullIdx := make([]int, 0, len(ex.fullPos))
+	for _, pos := range ex.fullPos {
+		full = append(full, ex.rows[pos])
+		fullIdx = append(fullIdx, ex.rowIdx[pos])
+	}
+	type fr struct {
+		idx int
+		row sweep.Row
+	}
+	var front []fr
+	seen := make(map[int]bool)
+	for _, pos := range FrontPositions(full) {
+		if seen[fullIdx[pos]] {
+			continue
+		}
+		seen[fullIdx[pos]] = true
+		front = append(front, fr{fullIdx[pos], full[pos]})
+	}
+	sort.Slice(front, func(a, b int) bool { return front[a].idx < front[b].idx })
+	for _, f := range front {
+		res.Front = append(res.Front, f.row)
+		res.FrontIndices = append(res.FrontIndices, f.idx)
+	}
+	return res, nil
+}
+
+// Run is Stream without a row sink.
+func Run(ctx context.Context, sp stack.Space, opts Options) (*Result, error) {
+	return Stream(ctx, sp, opts, nil)
+}
+
+// EncodeRounds writes the round log as NDJSON, one Round per line — the
+// byte-stable trace the determinism tests compare.
+func EncodeRounds(w io.Writer, rounds []Round) error {
+	enc := json.NewEncoder(w)
+	for _, rd := range rounds {
+		if err := enc.Encode(rd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package adaptive
+
+import (
+	"math"
+
+	"wsnlink/internal/models"
+	"wsnlink/internal/optimize"
+	"wsnlink/internal/phy"
+	"wsnlink/internal/stack"
+	"wsnlink/internal/sweep"
+)
+
+// surrogate predicts a configuration's objective vector from the rows
+// observed so far: the paper's empirical model suite re-fitted over the
+// observations (models.Calibrate — the same exp-family least-squares fit
+// the offline pipeline uses), plus a per-distance SNR intercept so the
+// optimize.Evaluator's link-quality map reflects each distance's channel.
+type surrogate struct {
+	suite models.Suite
+	// interceptAt maps distance -> mean(MeanSNR - txDBm) over the rows
+	// observed at that distance; global backs distances not yet observed.
+	interceptAt map[float64]float64
+	global      float64
+	// calibrated is false when the fit fell back to the paper constants
+	// (too few usable observations).
+	calibrated bool
+}
+
+// fitSurrogate builds the surrogate from the observed rows. It never
+// fails: when the calibration cannot fit (all SNRs outside the usable
+// range, degenerate samples) the paper-constant suite stands in, and the
+// intercepts still come from the observations.
+func fitSurrogate(rows []sweep.Row) *surrogate {
+	s := &surrogate{interceptAt: make(map[float64]float64)}
+	cal, err := models.Calibrate(sweep.ToObservations(rows))
+	if err == nil {
+		s.suite = cal.Suite
+		s.calibrated = true
+	} else {
+		s.suite = models.Paper()
+	}
+
+	type acc struct {
+		sum float64
+		n   int
+	}
+	byDist := make(map[float64]*acc)
+	var all acc
+	for _, r := range rows {
+		snr := r.Report.MeanSNR
+		if math.IsNaN(snr) || math.IsInf(snr, 0) {
+			continue
+		}
+		b := snr - r.Config.TxPower.DBm()
+		a := byDist[r.Config.DistanceM]
+		if a == nil {
+			a = &acc{}
+			byDist[r.Config.DistanceM] = a
+		}
+		a.sum += b
+		a.n++
+		all.sum += b
+		all.n++
+	}
+	if all.n > 0 {
+		s.global = all.sum / float64(all.n)
+	}
+	for d, a := range byDist {
+		s.interceptAt[d] = a.sum / float64(a.n)
+	}
+	return s
+}
+
+// predict returns the model-predicted cost vector (energy, -goodput,
+// delay) for cfg. Unpredictable configurations come back as +Inf costs so
+// the acquisition never prefers them on model grounds alone.
+func (s *surrogate) predict(cfg stack.Config) [3]float64 {
+	bad := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	intercept, ok := s.interceptAt[cfg.DistanceM]
+	if !ok {
+		intercept = s.global
+	}
+	ev := optimize.Evaluator{
+		Suite: s.suite,
+		SNRAt: func(p phy.PowerLevel) float64 { return intercept + p.DBm() },
+	}
+	res, err := ev.Evaluate(optimize.Candidate{
+		TxPower:      cfg.TxPower,
+		PayloadBytes: cfg.PayloadBytes,
+		MaxTries:     cfg.MaxTries,
+		RetryDelay:   cfg.RetryDelay,
+		QueueCap:     cfg.QueueCap,
+		PktInterval:  cfg.PktInterval,
+	})
+	if err != nil {
+		return bad
+	}
+	v := [3]float64{res.UEngMicroJ, -res.GoodputKbps, res.DelayS}
+	for i := range v {
+		if math.IsNaN(v[i]) {
+			v[i] = math.Inf(1)
+		}
+	}
+	return v
+}

@@ -62,6 +62,11 @@ type Manifest struct {
 	Resumed        bool            `json:"resumed"`
 	ResumedFrom    int             `json:"resumed_from"`
 	Axes           []Axis          `json:"axes,omitempty"`
+	// Adaptive carries the adaptive-campaign summary (exploration knobs,
+	// evaluation count, convergence, front hypervolume) as canonical JSON;
+	// omitted for exhaustive campaigns. Like ScenarioParams it is opaque
+	// here — the adaptive layer sits above obs.
+	Adaptive json.RawMessage `json:"adaptive,omitempty"`
 
 	// Trace* record the per-packet lifecycle trace written alongside the
 	// dataset; all omitted when tracing was off. TraceDropped counts events

@@ -1,0 +1,238 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for the MOP primitives: degenerate candidate
+// sets (single point, everything dominated by one point, exact ties) are
+// where a front or scalarisation routine silently drops or duplicates
+// points. The adaptive explorer leans on these primitives, so the edges
+// are pinned here once rather than re-discovered downstream.
+
+func TestParetoFrontTable(t *testing.T) {
+	ms2 := []Metric{MetricEnergy, MetricGoodput}
+	ms3 := []Metric{MetricEnergy, MetricGoodput, MetricDelay}
+	cases := []struct {
+		name  string
+		evals []Evaluation
+		ms    []Metric
+		want  int // expected front size
+	}{
+		{
+			name:  "single-point",
+			evals: []Evaluation{{UEngMicroJ: 1, GoodputKbps: 5}},
+			ms:    ms2,
+			want:  1,
+		},
+		{
+			name: "all-dominated-by-one",
+			evals: []Evaluation{
+				{UEngMicroJ: 0.1, GoodputKbps: 50, DelayS: 0.01},
+				{UEngMicroJ: 1, GoodputKbps: 40, DelayS: 0.02},
+				{UEngMicroJ: 2, GoodputKbps: 30, DelayS: 0.03},
+				{UEngMicroJ: 3, GoodputKbps: 20, DelayS: 0.04},
+			},
+			ms:   ms3,
+			want: 1,
+		},
+		{
+			name: "tie-on-first-metric",
+			// Equal energy, distinct goodput: the better goodput dominates.
+			evals: []Evaluation{
+				{UEngMicroJ: 1, GoodputKbps: 10},
+				{UEngMicroJ: 1, GoodputKbps: 20},
+			},
+			ms:   ms2,
+			want: 1,
+		},
+		{
+			name: "tie-on-second-metric",
+			evals: []Evaluation{
+				{UEngMicroJ: 1, GoodputKbps: 10},
+				{UEngMicroJ: 2, GoodputKbps: 10},
+			},
+			ms:   ms2,
+			want: 1,
+		},
+		{
+			name: "exact-duplicates-kept",
+			// Identical on every metric: neither strictly dominates, both
+			// survive — mirrors adaptive.FrontPositions.
+			evals: []Evaluation{
+				{UEngMicroJ: 1, GoodputKbps: 10, DelayS: 0.02},
+				{UEngMicroJ: 1, GoodputKbps: 10, DelayS: 0.02},
+				{UEngMicroJ: 1, GoodputKbps: 10, DelayS: 0.02},
+			},
+			ms:   ms3,
+			want: 3,
+		},
+		{
+			name: "duplicates-plus-dominated",
+			evals: []Evaluation{
+				{UEngMicroJ: 1, GoodputKbps: 10},
+				{UEngMicroJ: 1, GoodputKbps: 10},
+				{UEngMicroJ: 2, GoodputKbps: 5},
+			},
+			ms:   ms2,
+			want: 2,
+		},
+		{
+			name: "anti-chain-survives-whole",
+			evals: []Evaluation{
+				{UEngMicroJ: 1, GoodputKbps: 10},
+				{UEngMicroJ: 2, GoodputKbps: 20},
+				{UEngMicroJ: 3, GoodputKbps: 30},
+			},
+			ms:   ms2,
+			want: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			front := ParetoFront(tc.evals, tc.ms)
+			if len(front) != tc.want {
+				t.Fatalf("front size = %d, want %d: %+v", len(front), tc.want, front)
+			}
+			// The front must be sorted by the first metric's cost.
+			for i := 1; i < len(front); i++ {
+				if tc.ms[0].value(front[i-1]) > tc.ms[0].value(front[i]) {
+					t.Fatalf("front not sorted by %v at %d: %+v", tc.ms[0], i, front)
+				}
+			}
+		})
+	}
+}
+
+// TestParetoFront2TiesMatchNaive pins the sweep against the pairwise scan
+// on tie-heavy inputs, where the group-flush logic in paretoFront2 earns
+// its keep. A three-metric call on the same data uses the naive path, so
+// restricting it to two metrics compares the two implementations.
+func TestParetoFront2TiesMatchNaive(t *testing.T) {
+	var evals []Evaluation
+	for _, e := range []float64{1, 1, 2, 2, 3} {
+		for _, g := range []float64{10, 10, 20} {
+			evals = append(evals, Evaluation{UEngMicroJ: e, GoodputKbps: g})
+		}
+	}
+	ms := []Metric{MetricEnergy, MetricGoodput}
+	got := ParetoFront(evals, ms)
+	// Naive reference over the same dominance definition.
+	dominates := func(a, b Evaluation) bool {
+		strictly := false
+		for _, m := range ms {
+			if m.value(a) > m.value(b) {
+				return false
+			}
+			if m.value(a) < m.value(b) {
+				strictly = true
+			}
+		}
+		return strictly
+	}
+	want := 0
+	for i, e := range evals {
+		dominated := false
+		for j, o := range evals {
+			if i != j && dominates(o, e) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("sweep front = %d, naive front = %d", len(got), want)
+	}
+}
+
+func TestWeightedBestDegenerateInputs(t *testing.T) {
+	t.Run("single-point", func(t *testing.T) {
+		only := Evaluation{UEngMicroJ: 1, GoodputKbps: 10}
+		best, err := WeightedBest([]Evaluation{only}, Weights{MetricEnergy: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != only {
+			t.Fatalf("best = %+v, want the only candidate", best)
+		}
+	})
+	t.Run("all-identical-zero-range", func(t *testing.T) {
+		// Degenerate min-max range: every normalised cost is 0, the first
+		// candidate wins by the strict-improvement rule.
+		evals := []Evaluation{
+			{UEngMicroJ: 1, GoodputKbps: 10, DelayS: 0.5},
+			{UEngMicroJ: 1, GoodputKbps: 10, DelayS: 0.5},
+		}
+		best, err := WeightedBest(evals, Weights{MetricEnergy: 1, MetricGoodput: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != evals[0] {
+			t.Fatalf("best = %+v, want the first of the identical candidates", best)
+		}
+	})
+	t.Run("all-non-finite", func(t *testing.T) {
+		evals := []Evaluation{
+			{UEngMicroJ: math.Inf(1)},
+			{UEngMicroJ: math.NaN()},
+		}
+		if _, err := WeightedBest(evals, Weights{MetricEnergy: 1}); !errors.Is(err, ErrNoFeasible) {
+			t.Fatalf("err = %v, want ErrNoFeasible", err)
+		}
+	})
+	t.Run("zero-weight-metric-ignored", func(t *testing.T) {
+		// A zero-weight metric must not disqualify a candidate that is
+		// non-finite on it.
+		evals := []Evaluation{
+			{UEngMicroJ: 2, DelayS: math.NaN()},
+			{UEngMicroJ: 1, DelayS: 0.1},
+		}
+		best, err := WeightedBest(evals, Weights{MetricEnergy: 1, MetricDelay: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.UEngMicroJ != 1 {
+			t.Fatalf("best = %+v, want the 1 µJ candidate", best)
+		}
+	})
+}
+
+func TestEpsilonConstraintEdges(t *testing.T) {
+	t.Run("empty-input", func(t *testing.T) {
+		if _, err := EpsilonConstraint(nil, MetricEnergy, nil); !errors.Is(err, ErrNoFeasible) {
+			t.Fatalf("err = %v, want ErrNoFeasible", err)
+		}
+	})
+	t.Run("boundary-equality-feasible", func(t *testing.T) {
+		// Constraints are inclusive in both orientations.
+		ev := Evaluation{UEngMicroJ: 0.6, GoodputKbps: 15}
+		got, err := EpsilonConstraint([]Evaluation{ev}, MetricEnergy, []Constraint{
+			{Metric: MetricEnergy, Bound: 0.6},
+			{Metric: MetricGoodput, Bound: 15},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ev {
+			t.Fatalf("boundary candidate rejected: %+v", got)
+		}
+	})
+	t.Run("tie-on-primary-first-wins", func(t *testing.T) {
+		evals := []Evaluation{
+			{UEngMicroJ: 1, GoodputKbps: 10},
+			{UEngMicroJ: 1, GoodputKbps: 99},
+		}
+		got, err := EpsilonConstraint(evals, MetricEnergy, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != evals[0] {
+			t.Fatalf("got %+v, want the first tied candidate (strict-improvement rule)", got)
+		}
+	})
+}

@@ -67,10 +67,12 @@ func (s *Server) executeRemote(ctx context.Context, e *jobEntry, spec CampaignSp
 	)
 	if link {
 		var enc *sweep.Encoder
-		f, enc, resume, done, err = prepareSpool(s.store, fp, fingerprint, len(cfgs))
+		var prefix []sweep.Row
+		f, enc, resume, prefix, err = prepareSpool(s.store, fp, fingerprint, len(cfgs))
 		if err != nil {
 			return err
 		}
+		done = len(prefix)
 		encode = func(r StreamedRow) error {
 			if err := enc.Encode(r.Row); err != nil {
 				return err

@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wsnlink/internal/adaptive"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/scenario"
+	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
 
@@ -506,6 +508,12 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	if fp != e.job.Fingerprint {
 		return fmt.Errorf("serve: internal: fingerprint drift (%s vs %s)", fp, e.job.Fingerprint)
 	}
+	if spec.Mode == ModeAdaptive {
+		// Adaptive exploration is sequential-by-round and cannot be cut
+		// into shards, so it always runs on the local engine — even on a
+		// coordinator whose exhaustive campaigns go through the Executor.
+		return s.executeAdaptive(ctx, e, spec, sp, fingerprint, fp)
+	}
 	if s.opts.Executor != nil {
 		return s.executeRemote(ctx, e, spec, scn, cfgs, fingerprint, fp)
 	}
@@ -521,10 +529,12 @@ func (s *Server) executeJob(e *jobEntry, ctx context.Context) error {
 	)
 	if link {
 		var enc *sweep.Encoder
-		f, enc, resume, done, err = prepareSpool(s.store, fp, fingerprint, len(cfgs))
+		var prefix []sweep.Row
+		f, enc, resume, prefix, err = prepareSpool(s.store, fp, fingerprint, len(cfgs))
 		if err != nil {
 			return err
 		}
+		done = len(prefix)
 		stream = func(ctx context.Context) error {
 			return sweep.StreamConfigs(ctx, cfgs, opts, func(r sweep.Row) error {
 				if err := enc.Encode(r); err != nil {
@@ -695,12 +705,81 @@ func (s *Server) statusLocked(e *jobEntry) JobStatus {
 	return st
 }
 
+// executeAdaptive runs an adaptive campaign through the explorer, reusing
+// the exhaustive machinery end to end: the spool holds the rows in
+// evaluation order, the checkpoint sidecar records the durable prefix
+// (its configs header is the budget), and on resume the spooled prefix
+// replays through the explorer's deterministic selection instead of
+// re-simulating.
+func (s *Server) executeAdaptive(ctx context.Context, e *jobEntry, spec CampaignSpec, sp stack.Space, fingerprint uint64, fp string) error {
+	budget := spec.Adaptive.Budget // normalize guarantees the block
+	f, enc, resume, prefix, err := prepareSpool(s.store, fp, fingerprint, budget)
+	if err != nil {
+		return err
+	}
+
+	aopts := spec.adaptiveOptions()
+	aopts.Metrics = e.metrics
+	aopts.Progress = &e.prog
+	aopts.Checkpoint = s.store.SpoolCheckpoint(fp)
+	aopts.Resume = resume
+	aopts.ResumeRows = prefix
+	aopts.OnRound = func(rd adaptive.Round) {
+		s.tel.adaptiveRound(rd)
+		s.log.Info("adaptive round",
+			obs.LogKeyJob, e.job.ID,
+			obs.LogKeyFingerprint, fp,
+			"round", rd.Index,
+			"kind", rd.Kind,
+			"evals", rd.Evals,
+			"front_size", rd.FrontSize,
+			"hypervolume", rd.Hypervolume,
+			"stable", rd.Stable)
+	}
+
+	s.mu.Lock()
+	e.job.ResumedFrom = len(prefix)
+	e.ready = true
+	s.mu.Unlock()
+	e.notify.Broadcast()
+
+	res, streamErr := adaptive.Stream(ctx, sp, aopts, func(r sweep.Row) error {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+		e.notify.Broadcast()
+		return nil
+	})
+	closeErr := f.Close()
+	if streamErr != nil {
+		return streamErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	// A converged exploration stops under budget; the dataset's real row
+	// count is what Status should report as the total.
+	s.mu.Lock()
+	e.job.Configs = res.Evaluations
+	s.mu.Unlock()
+	s.tel.adaptiveDone(res)
+	if err := s.store.Promote(fp); err != nil {
+		return err
+	}
+	s.publishPromoted(fp)
+	s.tel.cachePromoted(s.store.CacheSize())
+	return nil
+}
+
 // prepareSpool opens the spool dataset positioned after the checkpointed
-// prefix. With a valid sidecar the existing CSV is rewritten to exactly the
-// checkpointed rows (a crash can leave a torn extra row) and the run
-// resumes; any corrupt or mismatched leftovers are discarded and the
-// campaign starts fresh.
-func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (file, *sweep.Encoder, bool, int, error) {
+// prefix, returning that prefix. With a valid sidecar the existing CSV is
+// rewritten to exactly the checkpointed rows (a crash can leave a torn
+// extra row) and the run resumes; any corrupt or mismatched leftovers are
+// discarded and the campaign starts fresh.
+func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (file, *sweep.Encoder, bool, []sweep.Row, error) {
 	csvPath := store.SpoolCSV(fp)
 	ckptPath := store.SpoolCheckpoint(fp)
 
@@ -725,24 +804,24 @@ func prepareSpool(store *Store, fp string, fingerprint uint64, configs int) (fil
 
 	f, err := store.fs.Create(csvPath)
 	if err != nil {
-		return nil, nil, false, 0, err
+		return nil, nil, false, nil, err
 	}
 	enc := sweep.NewEncoder(f)
 	if err := enc.WriteHeader(); err != nil {
 		f.Close()
-		return nil, nil, false, 0, err
+		return nil, nil, false, nil, err
 	}
 	for _, r := range prefix {
 		if err := enc.Encode(r); err != nil {
 			f.Close()
-			return nil, nil, false, 0, err
+			return nil, nil, false, nil, err
 		}
 	}
 	if err := enc.Flush(); err != nil {
 		f.Close()
-		return nil, nil, false, 0, err
+		return nil, nil, false, nil, err
 	}
-	return f, enc, resume, len(prefix), nil
+	return f, enc, resume, prefix, nil
 }
 
 // prepareScenarioSpool is prepareSpool for the scenario row schema: same

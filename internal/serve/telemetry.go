@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"wsnlink/internal/adaptive"
 	"wsnlink/internal/obs"
 )
 
@@ -46,6 +47,13 @@ type telemetry struct {
 	tailers      *obs.GaugeVec // job
 	rowsStreamed *obs.Counter
 	tailerStalls *obs.Counter
+
+	// Adaptive campaigns.
+	adaptiveRounds    *obs.Counter
+	adaptiveEvals     *obs.Counter
+	adaptiveConverged *obs.Counter
+	adaptiveFrontSize *obs.Gauge
+	adaptiveHVppm     *obs.Gauge
 }
 
 // newTelemetry registers the wsnlinkd metric families on reg and resolves
@@ -100,6 +108,17 @@ func newTelemetry(reg *obs.Registry) *telemetry {
 			"NDJSON rows delivered across all row streams.").With(),
 		tailerStalls: reg.Counter("wsnlinkd_tailer_stalls_total",
 			"Row deliveries that blocked on a slow reader beyond the stall threshold.").With(),
+
+		adaptiveRounds: reg.Counter("wsnlinkd_adaptive_rounds_total",
+			"Adaptive exploration rounds completed.").With(),
+		adaptiveEvals: reg.Counter("wsnlinkd_adaptive_evaluations_total",
+			"Configurations evaluated by completed adaptive campaigns.").With(),
+		adaptiveConverged: reg.Counter("wsnlinkd_adaptive_converged_total",
+			"Adaptive campaigns whose stopping rule fired before the budget ran out.").With(),
+		adaptiveFrontSize: reg.Gauge("wsnlinkd_adaptive_front_size",
+			"Pareto-front size after the most recent adaptive round.").With(),
+		adaptiveHVppm: reg.Gauge("wsnlinkd_adaptive_hypervolume_ppm",
+			"Normalized front hypervolume after the most recent adaptive round, in parts per million.").With(),
 	}
 }
 
@@ -188,6 +207,27 @@ func (t *telemetry) blobPublishFailed() {
 		return
 	}
 	t.blobPublishErrors.Inc()
+}
+
+// adaptiveRound records one completed exploration round.
+func (t *telemetry) adaptiveRound(rd adaptive.Round) {
+	if t == nil {
+		return
+	}
+	t.adaptiveRounds.Inc()
+	t.adaptiveFrontSize.Set(int64(rd.FrontSize))
+	t.adaptiveHVppm.Set(int64(rd.Hypervolume * 1e6))
+}
+
+// adaptiveDone records a finished adaptive campaign's totals.
+func (t *telemetry) adaptiveDone(res *adaptive.Result) {
+	if t == nil {
+		return
+	}
+	t.adaptiveEvals.Add(int64(res.Evaluations))
+	if res.Converged {
+		t.adaptiveConverged.Inc()
+	}
 }
 
 // tailerHandles resolves the per-campaign stream instruments once per

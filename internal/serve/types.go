@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"wsnlink/internal/adaptive"
 	"wsnlink/internal/obs"
 	"wsnlink/internal/phy"
 	"wsnlink/internal/scenario"
@@ -21,6 +22,12 @@ import (
 	"wsnlink/internal/stack"
 	"wsnlink/internal/sweep"
 )
+
+// ModeAdaptive selects the adaptive explorer instead of the exhaustive
+// sweep: the campaign evaluates a budgeted, surrogate-guided subset of the
+// grid and its dataset holds the rows in evaluation order. The empty mode
+// (or its explicit spelling "sweep") is the exhaustive default.
+const ModeAdaptive = "adaptive"
 
 // SpaceSpec is the wire form of a swept parameter space. Every omitted
 // (empty) axis falls back to the corresponding Table I default, so the
@@ -129,6 +136,16 @@ type CampaignSpec struct {
 	// configuration (0 = off); the trace file lands in the daemon's data
 	// directory and its path is reported in the job status.
 	TraceSample int `json:"trace_sample,omitempty"`
+	// Mode selects how the campaign covers the space: "" or "sweep" run
+	// every configuration (normalized to ""); "adaptive" runs the budgeted
+	// explorer (internal/adaptive) over the grid. Adaptive campaigns are
+	// link-scenario only, force CRN on (the explorer's row-identity
+	// contract), and reject sharding and trace sampling.
+	Mode string `json:"mode,omitempty"`
+	// Adaptive holds the exploration knobs when Mode is "adaptive" (nil
+	// means all defaults); it must be absent otherwise. The normalized
+	// block is part of the campaign identity.
+	Adaptive *adaptive.Params `json:"adaptive,omitempty"`
 	// ShardOffset/ShardCount restrict the campaign to the contiguous
 	// configuration window [ShardOffset, ShardOffset+ShardCount) of the
 	// space's row-major enumeration. Row i of a shard is byte-identical to
@@ -178,6 +195,41 @@ func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
 		return c, sp, fmt.Errorf("serve: shard [%d,%d) exceeds the %d-configuration space",
 			c.ShardOffset, c.ShardOffset+c.ShardCount, sp.Size())
 	}
+	if c.Mode == "sweep" {
+		c.Mode = "" // explicit spelling of the exhaustive default
+	}
+	switch c.Mode {
+	case "":
+		if c.Adaptive != nil {
+			return c, sp, fmt.Errorf("serve: adaptive block requires mode %q", ModeAdaptive)
+		}
+	case ModeAdaptive:
+		if c.ShardCount != 0 || c.ShardOffset != 0 {
+			return c, sp, fmt.Errorf("serve: adaptive campaigns cannot be sharded")
+		}
+		if c.TraceSample != 0 {
+			return c, sp, fmt.Errorf("serve: adaptive campaigns do not support trace sampling")
+		}
+		// The explorer materializes the whole grid to pick from, so the
+		// config limit bounds the grid itself, not just the budget.
+		if lim.MaxConfigs > 0 && sp.Size() > lim.MaxConfigs {
+			return c, sp, fmt.Errorf("serve: adaptive grid has %d configurations, server limit is %d",
+				sp.Size(), lim.MaxConfigs)
+		}
+		var a adaptive.Params
+		if c.Adaptive != nil {
+			a = *c.Adaptive // deep copy: Normalize must not mutate the caller
+		}
+		if err := a.Normalize(sp.Size()); err != nil {
+			return c, sp, err
+		}
+		c.Adaptive = &a
+		// CRN pairing is the adaptive row-identity contract; force it on so
+		// the stored spec says what actually runs.
+		c.CRN = true
+	default:
+		return c, sp, fmt.Errorf("serve: unknown campaign mode %q", c.Mode)
+	}
 	// The config limit guards the work a job performs, so it applies to
 	// the shard window, not the parent space it is cut from.
 	if lim.MaxConfigs > 0 && c.configCount(sp) > lim.MaxConfigs {
@@ -217,12 +269,19 @@ func (c CampaignSpec) normalize(lim Limits) (CampaignSpec, stack.Space, error) {
 	c.Scenario = string(scn.Kind)
 	c.Star, c.Interference, c.LPL, c.Mobility =
 		scn.Star, scn.Interference, scn.LPL, scn.Mobility
+	if c.Mode == ModeAdaptive && scn.Kind != scenario.KindLink {
+		return c, sp, fmt.Errorf("serve: adaptive campaigns support only the link scenario (got %q)", scn.Kind)
+	}
 	return c, sp, nil
 }
 
 // configCount returns the number of configurations the campaign covers:
-// the shard window, or the whole space.
+// the adaptive budget (an upper bound — a converged exploration stops
+// early), the shard window, or the whole space.
 func (c CampaignSpec) configCount(sp stack.Space) int {
+	if c.Mode == ModeAdaptive && c.Adaptive != nil {
+		return c.Adaptive.Budget
+	}
 	if c.ShardCount > 0 {
 		return c.ShardCount
 	}
@@ -299,6 +358,9 @@ func (c CampaignSpec) ScenarioKind() scenario.Kind {
 // manifests stay valid); every other kind hashes through the scenario
 // namespace, parameter block included.
 func (c CampaignSpec) fingerprint(cfgs []stack.Config) (uint64, error) {
+	if c.Mode == ModeAdaptive {
+		return adaptive.Fingerprint(cfgs, c.adaptiveOptions()), nil
+	}
 	scn, err := c.ScenarioSpec()
 	if err != nil {
 		return 0, err
@@ -325,6 +387,25 @@ func (c CampaignSpec) options() sweep.RunOptions {
 		opts.Engine = sim.EngineDES
 	}
 	return opts
+}
+
+// adaptiveOptions maps the spec onto explorer options (checkpoint and
+// resume plumbing is added by the job runner). CRN is implied: the
+// explorer always runs its inner sweeps CRN-paired.
+func (c CampaignSpec) adaptiveOptions() adaptive.Options {
+	o := adaptive.Options{
+		Packets:   c.Packets,
+		BaseSeed:  c.BaseSeed,
+		Workers:   c.Workers,
+		BatchSize: c.BatchSize,
+	}
+	if c.Adaptive != nil {
+		o.Params = *c.Adaptive
+	}
+	if c.FullDES {
+		o.Engine = sim.EngineDES
+	}
+	return o
 }
 
 // Fingerprint returns the campaign identity hash of a normalized spec —

@@ -57,6 +57,12 @@ type Options struct {
 	// monotonicity laws over the star/interference/LPL scenarios
 	// (scenarios.go).
 	Scenarios bool
+	// Adaptive extends the suite to the adaptive campaign mode: on a
+	// reference grid swept exhaustively as ground truth, the explorer must
+	// recover ≥95% of the exhaustive front hypervolume from ≤10% of the
+	// evaluations, with every evaluated cell CRN-identical to the
+	// exhaustive row and the trajectory byte-replayable (adaptive.go).
+	Adaptive bool
 }
 
 func (o Options) withDefaults() Options {
@@ -90,10 +96,12 @@ type Report struct {
 	Packets  int    `json:"packets"`
 	FullDES  bool   `json:"full_des"`
 	// Scenarios records whether the scenario-engine suite ran.
-	Scenarios bool    `json:"scenarios,omitempty"`
-	Pass      bool    `json:"pass"`
-	Failed    int     `json:"failed"`
-	Checks    []Check `json:"checks"`
+	Scenarios bool `json:"scenarios,omitempty"`
+	// Adaptive records whether the adaptive-equivalence suite ran.
+	Adaptive bool    `json:"adaptive,omitempty"`
+	Pass     bool    `json:"pass"`
+	Failed   int     `json:"failed"`
+	Checks   []Check `json:"checks"`
 }
 
 // ReportSchema identifies the verdict manifest format.
@@ -112,6 +120,7 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 		Packets:   opts.Packets,
 		FullDES:   opts.FullDES,
 		Scenarios: opts.Scenarios,
+		Adaptive:  opts.Adaptive,
 	}
 	oracle, err := runOracles(ctx, opts)
 	if err != nil {
@@ -129,6 +138,13 @@ func Run(ctx context.Context, opts Options) (Report, error) {
 			return Report{}, fmt.Errorf("valid: scenarios: %w", err)
 		}
 		r.Checks = append(r.Checks, scen...)
+	}
+	if opts.Adaptive {
+		ad, err := runAdaptive(ctx, opts)
+		if err != nil {
+			return Report{}, fmt.Errorf("valid: adaptive: %w", err)
+		}
+		r.Checks = append(r.Checks, ad...)
 	}
 
 	r.Pass = true
